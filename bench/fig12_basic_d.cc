@@ -1,0 +1,21 @@
+// Figure 12: basic contextual bandit, varying d ∈ {1, 5, 10, 15}.
+//
+// Expected shape: TS recovers as d shrinks (competitive at d = 1), same
+// as under full FASEA.
+#include "bench_util.h"
+
+int main() {
+  using namespace fasea;
+  using namespace fasea::bench;
+
+  Banner("Figure 12", "Basic contextual bandit, varying d");
+
+  for (std::size_t d : {1u, 5u, 10u, 15u}) {
+    SyntheticExperiment exp = DefaultExperiment();
+    exp.data.basic_bandit = true;
+    exp.data.dim = d;
+    std::printf("################ d = %zu ################\n\n", d);
+    PrintPanels(RunSyntheticExperiment(exp));
+  }
+  return 0;
+}

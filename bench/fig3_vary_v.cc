@@ -1,0 +1,22 @@
+// Figure 3: effect of |V| — full metric series for |V| = 100 and 1000
+// (|V| = 500 is Figure 1).
+//
+// Expected shape: larger |V| ⇒ higher accept ratios (more events with
+// large expected reward exist) and the regret drop arrives earlier/later
+// according to total capacity; TS still worst, UCB/Exploit best.
+#include "bench_util.h"
+
+int main() {
+  using namespace fasea;
+  using namespace fasea::bench;
+
+  Banner("Figure 3", "Effect of |V| (100 and 1000)");
+
+  for (std::size_t v : {100u, 1000u}) {
+    SyntheticExperiment exp = DefaultExperiment();
+    exp.data.num_events = v;
+    std::printf("################ |V| = %zu ################\n\n", v);
+    PrintPanels(RunSyntheticExperiment(exp));
+  }
+  return 0;
+}

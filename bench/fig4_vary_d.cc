@@ -1,0 +1,22 @@
+// Figure 4: effect of the context dimension d ∈ {1, 5, 10, 15}
+// (d = 20 is Figure 1).
+//
+// Expected shape: every algorithm improves as d shrinks; TS closes the
+// gap and is competitive at d = 1 (its sampled θ̃ noise scales with d —
+// the paper's second explanation of TS's weakness).
+#include "bench_util.h"
+
+int main() {
+  using namespace fasea;
+  using namespace fasea::bench;
+
+  Banner("Figure 4", "Effect of dimension d");
+
+  for (std::size_t d : {1u, 5u, 10u, 15u}) {
+    SyntheticExperiment exp = DefaultExperiment();
+    exp.data.dim = d;
+    std::printf("################ d = %zu ################\n\n", d);
+    PrintPanels(RunSyntheticExperiment(exp));
+  }
+  return 0;
+}

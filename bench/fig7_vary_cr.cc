@@ -1,0 +1,22 @@
+// Figure 7: effect of the conflict ratio cr ∈ {0, 0.5, 0.75, 1}
+// (cr = 0.25 is Figure 1).
+//
+// Expected shape: small cr ⇒ more events per arrangement ⇒ capacity runs
+// out sooner ⇒ earlier sudden drop. At cr = 1 only one event can be
+// arranged per user and no sudden drop occurs within the horizon.
+#include "bench_util.h"
+
+int main() {
+  using namespace fasea;
+  using namespace fasea::bench;
+
+  Banner("Figure 7", "Effect of conflict ratio cr");
+
+  for (double cr : {0.0, 0.5, 0.75, 1.0}) {
+    SyntheticExperiment exp = DefaultExperiment();
+    exp.data.conflict_ratio = cr;
+    std::printf("################ cr = %g ################\n\n", cr);
+    PrintPanels(RunSyntheticExperiment(exp));
+  }
+  return 0;
+}

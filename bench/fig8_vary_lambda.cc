@@ -1,0 +1,62 @@
+// Figure 8: effect of the ridge regularizer λ ∈ {0.5, 1, 2} on all ridge
+// learners, plus the TS regret-ratio view (8b) where the total-regret
+// differences are too small to see.
+//
+// Expected shape: λ = 1 or 2 slightly better than 0.5.
+#include "bench_util.h"
+
+int main() {
+  using namespace fasea;
+  using namespace fasea::bench;
+
+  Banner("Figure 8", "Effect of algorithm parameter lambda");
+
+  std::vector<std::pair<std::string, SimulationResult>> runs;
+  for (double lambda : {0.5, 1.0, 2.0}) {
+    SyntheticExperiment exp = DefaultExperiment();
+    exp.params.lambda = lambda;
+    exp.kinds = {PolicyKind::kUcb, PolicyKind::kTs, PolicyKind::kEpsGreedy,
+                 PolicyKind::kExploit};
+    std::printf("running lambda = %g ...\n", lambda);
+    runs.emplace_back(StrFormat("lambda=%g", lambda),
+                      RunSyntheticExperiment(exp));
+  }
+  std::printf("\n");
+
+  Section("Final total regrets per lambda");
+  {
+    TextTable table;
+    table.SetHeader({"algorithm", "lambda=0.5", "lambda=1", "lambda=2"});
+    for (std::size_t p = 0; p < runs[0].second.policies.size(); ++p) {
+      std::vector<std::string> row = {runs[0].second.policies[p].name};
+      for (const auto& [label, result] : runs) {
+        row.push_back(FormatDouble(result.policies[p].final_regret, 6));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  std::printf("\n");
+
+  // Figure 8b: TS regret ratio series per λ.
+  Section("TS regret ratio vs t, per lambda (Fig 8b)");
+  {
+    TextTable table;
+    std::vector<std::string> header = {"t"};
+    for (const auto& [label, result] : runs) header.push_back(label);
+    table.SetHeader(std::move(header));
+    const auto& checkpoints = runs[0].second.policies[1].checkpoints;
+    const std::size_t rows = 14;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t i = r * (checkpoints.size() - 1) / (rows - 1);
+      std::vector<std::string> row = {
+          StrFormat("%lld", static_cast<long long>(checkpoints[i]))};
+      for (const auto& [label, result] : runs) {
+        row.push_back(FormatDouble(result.policies[1].regret_ratio[i], 4));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 9: effect of each algorithm's own exploration parameter —
+// (a) UCB's α ∈ {1, 1.5, 2, 2.5}, (b) TS's δ ∈ {0.05, 0.1, 0.2},
+// (c) eGreedy's ε ∈ {0.05, 0.1, 0.2}.
+//
+// Expected shape: UCB best around α = 2; TS worse at δ = 0.05 (larger
+// posterior scale q); eGreedy better with smaller ε (its random
+// exploration does not pay off).
+#include "bench_util.h"
+
+namespace {
+
+using namespace fasea;
+using namespace fasea::bench;
+
+void SweepOne(const char* title, PolicyKind kind,
+              const std::vector<std::pair<std::string, PolicyParams>>&
+                  settings) {
+  Section(title);
+  TextTable table;
+  table.SetHeader({"setting", "accept_ratio", "total_rewards",
+                   "total_regrets", "regret_ratio"});
+  for (const auto& [label, params] : settings) {
+    SyntheticExperiment exp = DefaultExperiment();
+    exp.params = params;
+    exp.kinds = {kind};
+    const SimulationResult result = RunSyntheticExperiment(exp);
+    const TrajectoryResult& traj = result.policies[0];
+    table.AddRow({label, FormatDouble(traj.FinalAcceptRatio(), 4),
+                  FormatDouble(traj.final_reward, 6),
+                  FormatDouble(traj.final_regret, 6),
+                  FormatDouble(traj.FinalRegretRatio(), 4)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 9", "Effect of alpha (UCB), delta (TS), epsilon (eGreedy)");
+
+  {
+    std::vector<std::pair<std::string, PolicyParams>> settings;
+    for (double alpha : {1.0, 1.5, 2.0, 2.5}) {
+      PolicyParams p;
+      p.alpha = alpha;
+      settings.emplace_back(StrFormat("alpha=%g", alpha), p);
+    }
+    SweepOne("Fig 9a: UCB alpha sweep", PolicyKind::kUcb, settings);
+  }
+  {
+    std::vector<std::pair<std::string, PolicyParams>> settings;
+    for (double delta : {0.05, 0.1, 0.2}) {
+      PolicyParams p;
+      p.delta = delta;
+      settings.emplace_back(StrFormat("delta=%g", delta), p);
+    }
+    SweepOne("Fig 9b: TS delta sweep", PolicyKind::kTs, settings);
+  }
+  {
+    std::vector<std::pair<std::string, PolicyParams>> settings;
+    for (double eps : {0.05, 0.1, 0.2}) {
+      PolicyParams p;
+      p.epsilon = eps;
+      settings.emplace_back(StrFormat("epsilon=%g", eps), p);
+    }
+    SweepOne("Fig 9c: eGreedy epsilon sweep", PolicyKind::kEpsGreedy,
+             settings);
+  }
+  return 0;
+}

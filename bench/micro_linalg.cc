@@ -1,0 +1,116 @@
+// google-benchmark microbenchmarks for the linear-algebra kernels on the
+// bandit hot path: dot products, mat-vec, rank-1 updates, Cholesky,
+// Sherman–Morrison, and MVN sampling.
+#include <benchmark/benchmark.h>
+
+#include "linalg/cholesky.h"
+#include "linalg/mvn.h"
+#include "linalg/sherman_morrison.h"
+#include "rng/distributions.h"
+
+namespace fasea {
+namespace {
+
+Vector RandomVector(std::size_t n, Pcg64& rng) {
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = UniformReal(rng, -1.0, 1.0);
+  return v;
+}
+
+Matrix RandomSpd(std::size_t n, Pcg64& rng) {
+  Matrix m = Matrix::ScaledIdentity(n, static_cast<double>(n));
+  for (int k = 0; k < 3 * static_cast<int>(n); ++k) {
+    Vector x = RandomVector(n, rng);
+    m.AddOuter(1.0, x.span());
+  }
+  return m;
+}
+
+void BM_Dot(benchmark::State& state) {
+  Pcg64 rng(1);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const Vector a = RandomVector(d, rng), b = RandomVector(d, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(a, b));
+  }
+}
+BENCHMARK(BM_Dot)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_MatVec(benchmark::State& state) {
+  Pcg64 rng(2);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const Matrix m = RandomSpd(d, rng);
+  const Vector x = RandomVector(d, rng);
+  Vector y(d);
+  for (auto _ : state) {
+    m.MatVec(x.span(), y.span());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MatVec)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_QuadraticForm(benchmark::State& state) {
+  Pcg64 rng(3);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const Matrix m = RandomSpd(d, rng);
+  const Vector x = RandomVector(d, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.QuadraticForm(x.span()));
+  }
+}
+BENCHMARK(BM_QuadraticForm)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_CholeskyFactorize(benchmark::State& state) {
+  Pcg64 rng(4);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const Matrix m = RandomSpd(d, rng);
+  for (auto _ : state) {
+    auto chol = Cholesky::Factorize(m);
+    benchmark::DoNotOptimize(chol);
+  }
+}
+BENCHMARK(BM_CholeskyFactorize)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_ShermanMorrisonUpdate(benchmark::State& state) {
+  Pcg64 rng(5);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  SymmetricInverse inv(d, 1.0, /*refactor_every=*/0);
+  const Vector x = RandomVector(d, rng);
+  for (auto _ : state) {
+    inv.RankOneUpdate(x.span());
+    benchmark::DoNotOptimize(inv.inverse().data());
+  }
+}
+BENCHMARK(BM_ShermanMorrisonUpdate)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_FullRefactorUpdate(benchmark::State& state) {
+  // The O(d³) alternative per round (complexity the paper assumes).
+  Pcg64 rng(6);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  Matrix y = RandomSpd(d, rng);
+  const Vector x = RandomVector(d, rng);
+  for (auto _ : state) {
+    y.AddOuter(1.0, x.span());
+    auto chol = Cholesky::Factorize(y);
+    benchmark::DoNotOptimize(chol->Inverse());
+  }
+}
+BENCHMARK(BM_FullRefactorUpdate)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_MvnSample(benchmark::State& state) {
+  Pcg64 rng(7);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const Matrix y = RandomSpd(d, rng);
+  auto chol = Cholesky::Factorize(y);
+  const Vector mean = RandomVector(d, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SampleMvnFromPrecision(rng, mean, 2.0, chol.value()));
+  }
+}
+BENCHMARK(BM_MvnSample)->Arg(5)->Arg(20)->Arg(100);
+
+}  // namespace
+}  // namespace fasea
+
+BENCHMARK_MAIN();

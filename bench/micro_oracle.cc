@@ -1,0 +1,78 @@
+// google-benchmark microbenchmarks for arrangement construction:
+// Oracle-Greedy across |V| and conflict ratios, and the exact oracle on
+// small instances.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "oracle/exact.h"
+#include "oracle/greedy.h"
+#include "rng/distributions.h"
+
+namespace fasea {
+namespace {
+
+struct Setup {
+  ProblemInstance instance;
+  std::vector<double> scores;
+};
+
+Setup MakeSetup(std::size_t n, double cr, std::uint64_t seed) {
+  Pcg64 rng(seed);
+  ConflictGraph g = ConflictGraph::Random(n, cr, rng);
+  auto inst = ProblemInstance::Create(std::vector<std::int64_t>(n, 100),
+                                      std::move(g), 1);
+  FASEA_CHECK(inst.ok());
+  std::vector<double> scores(n);
+  for (auto& s : scores) s = UniformReal(rng, -1.0, 1.0);
+  return {std::move(inst).value(), std::move(scores)};
+}
+
+void BM_GreedySelect(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const double cr = static_cast<double>(state.range(1)) / 100.0;
+  Setup setup = MakeSetup(n, cr, 1);
+  PlatformState ps(setup.instance);
+  GreedyOracle oracle;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        oracle.Select(setup.scores, setup.instance.conflicts(), ps, 5));
+  }
+}
+BENCHMARK(BM_GreedySelect)
+    ->Args({100, 0})
+    ->Args({100, 25})
+    ->Args({500, 25})
+    ->Args({1000, 25})
+    ->Args({1000, 100});
+
+void BM_ExactSelect(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Setup setup = MakeSetup(n, 0.4, 2);
+  PlatformState ps(setup.instance);
+  ExactOracle oracle;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        oracle.Select(setup.scores, setup.instance.conflicts(), ps, 5));
+  }
+}
+BENCHMARK(BM_ExactSelect)->Arg(20)->Arg(40)->Arg(60);
+
+void BM_FeasibilityCheck(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Setup setup = MakeSetup(n, 0.25, 3);
+  PlatformState ps(setup.instance);
+  GreedyOracle oracle;
+  const Arrangement a =
+      oracle.Select(setup.scores, setup.instance.conflicts(), ps, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IsFeasibleArrangement(a, setup.instance.conflicts(), ps, 5));
+  }
+}
+BENCHMARK(BM_FeasibilityCheck)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace fasea
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// google-benchmark microbenchmarks for a full policy round
+// (Propose + feedback + Learn) across |V| and d — the per-user online
+// latency an EBSN platform would pay (paper Tables 5 and 6 in micro
+// form).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/policy_factory.h"
+#include "datagen/synthetic.h"
+#include "rng/seed.h"
+
+namespace fasea {
+namespace {
+
+struct World {
+  std::unique_ptr<SyntheticWorld> world;
+  std::unique_ptr<Policy> policy;
+  PlatformState state;
+  Pcg64 feedback_rng{1};
+};
+
+World MakeWorld(PolicyKind kind, std::size_t num_events, std::size_t dim) {
+  SyntheticConfig config;
+  config.num_events = num_events;
+  config.dim = dim;
+  config.horizon = 1;
+  config.event_capacity_mean = 1e9;  // Never exhaust inside the benchmark.
+  config.event_capacity_stddev = 0.0;
+  config.seed = 11;
+  auto world = SyntheticWorld::Create(config);
+  FASEA_CHECK(world.ok());
+  World w{std::move(world).value(), nullptr, {}, Pcg64(5)};
+  w.policy = MakePolicy(kind, &w.world->instance(), PolicyParams{}, 3);
+  w.state = PlatformState(w.world->instance());
+  return w;
+}
+
+void RunRounds(benchmark::State& state, PolicyKind kind) {
+  const std::size_t num_events = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = static_cast<std::size_t>(state.range(1));
+  World w = MakeWorld(kind, num_events, dim);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    ++t;
+    const RoundContext& round = w.world->provider().NextRound(t % 1000 + 1);
+    const Arrangement a = w.policy->Propose(t, round, w.state);
+    const Feedback fb =
+        w.world->feedback().Sample(t, round.contexts, a, w.feedback_rng);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (fb[i]) w.state.ConsumeOne(a[i]);
+    }
+    w.policy->Learn(t, round, a, fb);
+    benchmark::DoNotOptimize(a);
+  }
+}
+
+void BM_UcbRound(benchmark::State& state) {
+  RunRounds(state, PolicyKind::kUcb);
+}
+void BM_TsRound(benchmark::State& state) {
+  RunRounds(state, PolicyKind::kTs);
+}
+void BM_EGreedyRound(benchmark::State& state) {
+  RunRounds(state, PolicyKind::kEpsGreedy);
+}
+void BM_ExploitRound(benchmark::State& state) {
+  RunRounds(state, PolicyKind::kExploit);
+}
+void BM_RandomRound(benchmark::State& state) {
+  RunRounds(state, PolicyKind::kRandom);
+}
+
+#define FASEA_POLICY_ARGS          \
+  ->Args({100, 20})                \
+      ->Args({500, 20})            \
+      ->Args({1000, 20})           \
+      ->Args({500, 5})             \
+      ->Args({500, 40})
+
+BENCHMARK(BM_UcbRound) FASEA_POLICY_ARGS;
+BENCHMARK(BM_TsRound) FASEA_POLICY_ARGS;
+BENCHMARK(BM_EGreedyRound) FASEA_POLICY_ARGS;
+BENCHMARK(BM_ExploitRound) FASEA_POLICY_ARGS;
+BENCHMARK(BM_RandomRound) FASEA_POLICY_ARGS;
+
+}  // namespace
+}  // namespace fasea
+
+BENCHMARK_MAIN();

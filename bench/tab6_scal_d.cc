@@ -1,0 +1,27 @@
+// Table 6: average per-round running time and memory consumption with
+// d ∈ {1, 5, 10, 15} (default |V| = 500).
+//
+// Expected shape: time and memory grow with d for all ridge learners
+// (UCB steepest: O(d²) per event); Random is flat and fastest.
+#include "bench_util.h"
+
+int main() {
+  using namespace fasea;
+  using namespace fasea::bench;
+
+  Banner("Table 6", "Avg per-round time & memory vs context dimension d");
+
+  std::vector<std::pair<std::string, SimulationResult>> runs;
+  for (std::size_t d : {1u, 5u, 10u, 15u}) {
+    SyntheticExperiment exp = DefaultExperiment();
+    exp.data.dim = d;
+    exp.data.horizon = std::min<std::int64_t>(exp.data.horizon, 10000);
+    exp.compute_kendall = false;
+    std::printf("running d = %zu ...\n", d);
+    runs.emplace_back(StrFormat("d=%zu", d), RunSyntheticExperiment(exp));
+  }
+  std::printf("\n");
+  Section("Average running time (ms) and memory (KB) per algorithm");
+  EfficiencyTable(runs).Print();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// News recommender: the *basic contextual bandit* mode (paper §5.2,
+// "Further experiment results under basic contextual bandit"), framed as
+// the LinUCB news-recommendation scenario of Li et al. [26] that the
+// paper's feature encoding follows.
+//
+// One article (arm) is recommended per user visit; articles have
+// unlimited "capacity" and no conflicts. Compares UCB / TS / eGreedy /
+// Exploit / Random on click-through rate and regret.
+//
+//   ./news_recommender [num_articles] [visits]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiment.h"
+#include "sim/report.h"
+
+int main(int argc, char** argv) {
+  using namespace fasea;
+
+  SyntheticExperiment experiment;
+  experiment.data.basic_bandit = true;  // 1 arm/round, no caps/conflicts.
+  experiment.data.num_events =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 50;
+  experiment.data.dim = 10;
+  experiment.data.horizon = argc > 2 ? std::atoll(argv[2]) : 20000;
+  experiment.data.seed = 99;
+  experiment.compute_kendall = true;
+
+  std::printf(
+      "Basic contextual bandit: recommending 1 of %zu articles per visit, "
+      "%lld visits.\n\n",
+      experiment.data.num_events,
+      static_cast<long long>(experiment.data.horizon));
+
+  const SimulationResult result = RunSyntheticExperiment(experiment);
+
+  std::printf("=== Click-through (accept) ratio over time ===\n");
+  SeriesTable(result, SeriesMetric::kAcceptRatio, true, 12).Print();
+
+  std::printf("\n=== Cumulative regret vs OPT ===\n");
+  SeriesTable(result, SeriesMetric::kTotalRegret, false, 12).Print();
+
+  std::printf("\n=== Final summary ===\n");
+  SummaryTable(result).Print();
+
+  std::printf(
+      "\nNote: even under the basic model the paper finds TS trailing\n"
+      "UCB/Exploit (Fig 11-13) — the shared-θ correlation across arms\n"
+      "defeats TS's posterior-sampling exploration.\n");
+  return 0;
+}

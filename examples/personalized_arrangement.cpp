@@ -1,0 +1,85 @@
+// Personalized arrangement: the Remark 1 extension — an individual θ per
+// user, with platform state (event capacities, conflicts) shared.
+//
+// 19 users of the real-dataset surrogate arrive round-robin; a
+// PerUserPolicyBank learns one UCB model per user. Compare against a
+// single shared model: personalization wins because the users' tastes
+// genuinely differ.
+//
+//   ./personalized_arrangement
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/per_user_policy.h"
+#include "core/policy_factory.h"
+#include "datagen/real_surrogate.h"
+#include "rng/seed.h"
+
+int main() {
+  using namespace fasea;
+
+  const RealDataset dataset = RealDataset::Create();
+  const std::int64_t kRounds = 1900;  // 100 visits per user.
+  ProblemInstance instance = dataset.MakeInstance(kRounds);
+
+  // Two competing learners over the same arrival sequence.
+  PolicyParams params;
+  PerUserPolicyBank personalized(
+      [&](std::int64_t user_id) {
+        return MakePolicy(PolicyKind::kUcb, &instance, params,
+                          DeriveSeed(1, "user", user_id));
+      },
+      "PerUser-UCB");
+  auto shared = MakePolicy(PolicyKind::kUcb, &instance, params, 2);
+
+  // Frozen feedback per user.
+  std::vector<std::unique_ptr<FrozenFeedbackModel>> feedback;
+  for (std::size_t u = 0; u < RealDataset::kNumUsers; ++u) {
+    feedback.push_back(
+        std::make_unique<FrozenFeedbackModel>(dataset.FeedbackRow(u)));
+  }
+
+  const auto run = [&](Policy& policy) {
+    PlatformState state(instance);
+    Pcg64 rng = MakeEngine(3, "feedback");
+    std::int64_t accepted = 0, arranged = 0;
+    for (std::int64_t t = 1; t <= kRounds; ++t) {
+      const std::size_t user = static_cast<std::size_t>((t - 1) % 19);
+      RoundContext round;
+      round.contexts = dataset.ContextsFor(user);
+      round.user_capacity = 5;
+      round.user_id = static_cast<std::int64_t>(user);
+      const Arrangement a = policy.Propose(t, round, state);
+      const Feedback fb = feedback[user]->Sample(t, round.contexts, a, rng);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (fb[i]) state.ConsumeOne(a[i]);
+      }
+      policy.Learn(t, round, a, fb);
+      accepted += NumAccepted(fb);
+      arranged += static_cast<std::int64_t>(a.size());
+    }
+    return std::pair<std::int64_t, std::int64_t>{accepted, arranged};
+  };
+
+  std::printf("19 users with distinct tastes arrive round-robin, %lld "
+              "rounds, c_u = 5.\n\n",
+              static_cast<long long>(kRounds));
+
+  const auto [shared_acc, shared_arr] = run(*shared);
+  const auto [pers_acc, pers_arr] = run(personalized);
+
+  std::printf("Shared single θ (plain UCB):   %5lld / %lld accepted "
+              "(%.1f%%)\n",
+              static_cast<long long>(shared_acc),
+              static_cast<long long>(shared_arr),
+              100.0 * shared_acc / shared_arr);
+  std::printf("Per-user θ (Remark 1 bank):    %5lld / %lld accepted "
+              "(%.1f%%)\n",
+              static_cast<long long>(pers_acc),
+              static_cast<long long>(pers_arr),
+              100.0 * pers_acc / pers_arr);
+  std::printf("\nThe bank instantiated %zu per-user models lazily.\n",
+              personalized.num_users());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: the smallest useful FASEA program.
+//
+// Builds a synthetic EBSN workload (Table 4 defaults scaled down), runs
+// the paper's five policies against the OPT reference, and prints the
+// final accept ratios / regrets plus a short accept-ratio time series.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "sim/report.h"
+
+int main() {
+  using namespace fasea;
+
+  // 1. Describe the workload: 100 events, 10-dim contexts, 5000 arriving
+  //    users, conflicts on 25% of event pairs.
+  SyntheticExperiment experiment;
+  experiment.data.num_events = 100;
+  experiment.data.dim = 10;
+  experiment.data.horizon = 5000;
+  experiment.data.event_capacity_mean = 80.0;
+  experiment.data.event_capacity_stddev = 40.0;
+  experiment.data.conflict_ratio = 0.25;
+  experiment.data.seed = 2017;
+
+  // 2. Algorithm parameters (the paper's defaults): λ = 1, α = 2,
+  //    δ = 0.1, ε = 0.1.
+  experiment.params = PolicyParams{};
+  experiment.compute_kendall = true;
+
+  // 3. Run UCB, TS, eGreedy, Exploit and Random against OPT on one shared
+  //    stream of users.
+  std::printf("Running FASEA quickstart (|V|=%zu, d=%zu, T=%lld)...\n\n",
+              experiment.data.num_events, experiment.data.dim,
+              static_cast<long long>(experiment.data.horizon));
+  const SimulationResult result = RunSyntheticExperiment(experiment);
+
+  // 4. Report.
+  std::printf("=== Final summary ===\n");
+  SummaryTable(result).Print();
+
+  std::printf("\n=== Accept ratio over time (cumulative) ===\n");
+  SeriesTable(result, SeriesMetric::kAcceptRatio, /*include_reference=*/true,
+              /*max_rows=*/12)
+      .Print();
+
+  std::printf("\n=== Ranking quality vs ground truth (Kendall tau) ===\n");
+  SeriesTable(result, SeriesMetric::kKendallTau, /*include_reference=*/false,
+              /*max_rows=*/8)
+      .Print();
+
+  std::printf(
+      "\nReading the output: UCB and Exploit should end with the highest\n"
+      "accept ratios and lowest regrets; TS trails (the paper's central\n"
+      "finding); Random stays flat.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Rolling events: the Remark 2 extension — a different event subset V_t
+// is available each round (e.g. a user logging in on Monday sees
+// Tuesday's events; on Friday, the weekend's).
+//
+// Events are split into "weekday" and "weekend" pools; each round's
+// availability mask exposes exactly one pool. The UCB policy keeps one
+// shared model across pools and must never arrange an unavailable event
+// (the simulator validates this every round).
+//
+//   ./rolling_events
+#include <cstdio>
+
+#include "core/policy_factory.h"
+#include "core/opt_policy.h"
+#include "datagen/synthetic.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace fasea;
+
+// Wraps a provider and applies the weekday/weekend availability cycle:
+// 5 weekday arrivals, then 2 weekend arrivals, repeating.
+class WeekCycleProvider final : public RoundProvider {
+ public:
+  WeekCycleProvider(RoundProvider* inner, std::size_t num_events)
+      : inner_(inner), num_events_(num_events) {}
+
+  const RoundContext& NextRound(std::int64_t t) override {
+    round_ = inner_->NextRound(t);
+    const bool weekend = (t % 7) >= 5;
+    round_.available.assign(num_events_, 0);
+    // First 60% of events run on weekdays, the rest on weekends.
+    const std::size_t split = num_events_ * 3 / 5;
+    if (weekend) {
+      for (std::size_t v = split; v < num_events_; ++v) {
+        round_.available[v] = 1;
+      }
+    } else {
+      for (std::size_t v = 0; v < split; ++v) round_.available[v] = 1;
+    }
+    return round_;
+  }
+
+ private:
+  RoundProvider* inner_;
+  std::size_t num_events_;
+  RoundContext round_;
+};
+
+}  // namespace
+
+int main() {
+  SyntheticConfig config;
+  config.num_events = 60;
+  config.dim = 8;
+  config.horizon = 3000;
+  config.event_capacity_mean = 120.0;
+  config.event_capacity_stddev = 40.0;
+  config.conflict_ratio = 0.2;
+  config.seed = 31;
+
+  auto world = SyntheticWorld::Create(config);
+  FASEA_CHECK(world.ok());
+
+  WeekCycleProvider provider(&(*world)->provider(), config.num_events);
+  OptPolicy opt(&(*world)->instance(), &(*world)->feedback());
+  PolicyParams params;
+  auto ucb = MakePolicy(PolicyKind::kUcb, &(*world)->instance(), params, 1);
+  auto random =
+      MakePolicy(PolicyKind::kRandom, &(*world)->instance(), params, 2);
+
+  SimOptions options;
+  options.horizon = config.horizon;
+  options.seed = 5;
+  Simulator sim(&(*world)->instance(), &provider, &(*world)->feedback(),
+                options);
+  const SimulationResult result = sim.Run(&opt, {ucb.get(), random.get()});
+
+  std::printf("Rolling event sets (Remark 2): weekday pool of %zu events, "
+              "weekend pool of %zu, %lld rounds.\n\n",
+              config.num_events * 3 / 5,
+              config.num_events - config.num_events * 3 / 5,
+              static_cast<long long>(config.horizon));
+  std::printf("=== Accept ratio over time ===\n");
+  SeriesTable(result, SeriesMetric::kAcceptRatio, true, 10).Print();
+  std::printf("\n=== Final summary ===\n");
+  SummaryTable(result).Print();
+  std::printf(
+      "\nOne shared model learns across both pools; every arrangement was\n"
+      "validated against the round's availability mask.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Weekend planner: the paper's motivating scenario (Example 1) at small
+// scale, built directly against the core API instead of the experiment
+// helpers — shows how a platform would embed a FASEA policy.
+//
+// Four kinds of weekend events (football, basketball, concert, BBQ) with
+// football conflicting with basketball. A hidden user taste vector
+// generates accept/reject feedback; a UCB policy learns it online while
+// respecting capacities and conflicts.
+//
+//   ./weekend_planner
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/ucb_policy.h"
+#include "model/instance.h"
+#include "model/round_provider.h"
+#include "rng/distributions.h"
+#include "rng/seed.h"
+
+namespace {
+
+using namespace fasea;
+
+constexpr const char* kEventNames[] = {"football", "basketball", "concert",
+                                       "BBQ"};
+
+// Features per event: [sports-ness, music-ness, outdoor-ness, price-level].
+// A fresh noisy copy is revealed each round (weather, lineup, promos...).
+void FillContexts(ContextMatrix& ctx, Pcg64& rng) {
+  const double base[4][4] = {
+      {0.9, 0.0, 0.8, 0.2},  // football
+      {0.9, 0.0, 0.1, 0.3},  // basketball
+      {0.0, 0.9, 0.2, 0.7},  // concert
+      {0.1, 0.2, 0.9, 0.1},  // BBQ
+  };
+  for (std::size_t v = 0; v < 4; ++v) {
+    double norm_sq = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      ctx(v, j) = base[v][j] + UniformReal(rng, -0.05, 0.05);
+      norm_sq += ctx(v, j) * ctx(v, j);
+    }
+    for (std::size_t j = 0; j < 4; ++j) ctx(v, j) /= std::sqrt(norm_sq);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The platform: 4 events, capacities, football conflicts basketball.
+  ConflictGraph conflicts(4);
+  conflicts.AddConflict(0, 1);
+  auto instance =
+      ProblemInstance::Create({30, 30, 25, 40}, std::move(conflicts), 4);
+  FASEA_CHECK_OK(instance.status());
+
+  // Hidden user taste: loves outdoor & music, lukewarm on raw sports,
+  // dislikes pricey events.
+  Vector theta{0.25, 0.65, 0.65, -0.30};
+  theta.Normalize();
+  LinearFeedbackModel truth(theta);
+
+  UcbPolicy policy(&instance.value(), UcbParams{.lambda = 1.0, .alpha = 2.0});
+  PlatformState state(instance.value());
+  Pcg64 context_rng = MakeEngine(7, "contexts");
+  Pcg64 feedback_rng = MakeEngine(7, "feedback");
+
+  RoundContext round;
+  round.contexts = ContextMatrix(4, 4);
+
+  std::printf("Arranging weekend events for arriving users...\n\n");
+  std::int64_t accepted_total = 0, arranged_total = 0;
+  for (std::int64_t t = 1; t <= 60; ++t) {
+    FillContexts(round.contexts, context_rng);
+    round.user_capacity = UniformInt(context_rng, 1, 2);
+
+    const Arrangement arrangement = policy.Propose(t, round, state);
+    const Feedback feedback =
+        truth.Sample(t, round.contexts, arrangement, feedback_rng);
+    for (std::size_t i = 0; i < arrangement.size(); ++i) {
+      if (feedback[i]) state.ConsumeOne(arrangement[i]);
+    }
+    policy.Learn(t, round, arrangement, feedback);
+
+    arranged_total += static_cast<std::int64_t>(arrangement.size());
+    accepted_total += NumAccepted(feedback);
+
+    if (t <= 5 || t % 20 == 0) {
+      std::string line;
+      for (std::size_t i = 0; i < arrangement.size(); ++i) {
+        line += std::string(kEventNames[arrangement[i]]) +
+                (feedback[i] ? "(yes) " : "(no) ");
+      }
+      std::printf("t=%2lld  user capacity %lld  arranged: %s\n",
+                  static_cast<long long>(t),
+                  static_cast<long long>(round.user_capacity), line.c_str());
+    }
+  }
+
+  std::printf("\nAccepted %lld of %lld arranged events (%.0f%%).\n",
+              static_cast<long long>(accepted_total),
+              static_cast<long long>(arranged_total),
+              100.0 * accepted_total / arranged_total);
+
+  std::printf("\nLearned weights vs hidden taste (4 features):\n");
+  const Vector& learned = policy.ridge().ThetaHat();
+  const char* kFeatures[] = {"sports", "music", "outdoor", "price"};
+  for (std::size_t j = 0; j < 4; ++j) {
+    std::printf("  %-8s learned %+.3f   true %+.3f\n", kFeatures[j],
+                learned[j], theta[j]);
+  }
+  std::printf("\nRemaining capacities: ");
+  for (std::size_t v = 0; v < 4; ++v) {
+    std::printf("%s=%lld ", kEventNames[v],
+                static_cast<long long>(state.remaining(v)));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "baseline/online_greedy.h"
+
+#include <algorithm>
+
+namespace fasea {
+
+std::vector<double> TagInterestingness(
+    const std::vector<std::vector<int>>& event_tags,
+    const std::vector<int>& preferred_tags) {
+  std::vector<double> scores(event_tags.size(), 0.0);
+  for (std::size_t v = 0; v < event_tags.size(); ++v) {
+    const auto& tags = event_tags[v];
+    std::size_t common = 0;
+    for (int tag : tags) {
+      if (std::find(preferred_tags.begin(), preferred_tags.end(), tag) !=
+          preferred_tags.end()) {
+        ++common;
+      }
+    }
+    const std::size_t unions = tags.size() + preferred_tags.size() - common;
+    scores[v] = unions == 0 ? 0.0
+                            : static_cast<double>(common) /
+                                  static_cast<double>(unions);
+  }
+  return scores;
+}
+
+Arrangement OnlineGreedyPolicy::Propose(std::int64_t /*t*/,
+                                        const RoundContext& round,
+                                        const PlatformState& state) {
+  masked_ = scores_;
+  ApplyAvailabilityMask(round, masked_);
+  return greedy_.Select(masked_, instance_->conflicts(), state,
+                        round.user_capacity);
+}
+
+void OnlineGreedyPolicy::EstimateRewards(const ContextMatrix& contexts,
+                                         std::span<double> out) const {
+  FASEA_CHECK(out.size() == contexts.rows() && out.size() == scores_.size());
+  std::copy(scores_.begin(), scores_.end(), out.begin());
+}
+
+}  // namespace fasea

@@ -1,0 +1,66 @@
+// OnlineGreedy-GEACC baseline ("Online[39]" in Table 7 of the paper).
+//
+// The online arrangement algorithm of She et al. (TKDE'16) assigns events
+// by a fixed interestingness score computed from user-selected preference
+// tags — it never looks at feedbacks, so running it for multiple rounds
+// repeats the same arrangement and its accept ratio is a single-round
+// quantity. FASEA's experiments use it to show the value of feedback
+// awareness.
+//
+// Interestingness here follows the tag-overlap construction the paper
+// describes ("we use category-sub-categories as tags of events and asked
+// users to select their preferred tags"): the Jaccard similarity between
+// the event's tag set and the user's preferred tag set.
+#ifndef FASEA_BASELINE_ONLINE_GREEDY_H_
+#define FASEA_BASELINE_ONLINE_GREEDY_H_
+
+#include <vector>
+
+#include "core/policy.h"
+#include "model/instance.h"
+#include "oracle/greedy.h"
+
+namespace fasea {
+
+/// Jaccard tag-overlap interestingness: one score per event.
+std::vector<double> TagInterestingness(
+    const std::vector<std::vector<int>>& event_tags,
+    const std::vector<int>& preferred_tags);
+
+class OnlineGreedyPolicy final : public Policy {
+ public:
+  /// `interestingness[v]` is the fixed score of event v.
+  OnlineGreedyPolicy(const ProblemInstance* instance,
+                     std::vector<double> interestingness)
+      : instance_(instance), scores_(std::move(interestingness)) {
+    FASEA_CHECK(instance != nullptr);
+    FASEA_CHECK(scores_.size() == instance->num_events());
+  }
+
+  std::string_view name() const override { return "Online"; }
+
+  Arrangement Propose(std::int64_t t, const RoundContext& round,
+                      const PlatformState& state) override;
+
+  /// Feedback-oblivious by construction.
+  void Learn(std::int64_t, const RoundContext&, const Arrangement&,
+             const Feedback&) override {}
+
+  void EstimateRewards(const ContextMatrix& contexts,
+                       std::span<double> out) const override;
+
+  std::size_t MemoryBytes() const override {
+    return scores_.capacity() * sizeof(double) +
+           masked_.capacity() * sizeof(double);
+  }
+
+ private:
+  const ProblemInstance* instance_;
+  std::vector<double> scores_;
+  std::vector<double> masked_;
+  GreedyOracle greedy_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_BASELINE_ONLINE_GREEDY_H_

@@ -1,0 +1,203 @@
+#include "common/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace fasea {
+
+namespace {
+
+StatusOr<std::int64_t> ParseInt(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return InvalidArgumentError("not an integer: '" + text + "'");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+StatusOr<double> ParseDouble(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return InvalidArgumentError("not a number: '" + text + "'");
+  }
+  return value;
+}
+
+StatusOr<bool> ParseBool(const std::string& text) {
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  return InvalidArgumentError("not a boolean: '" + text + "'");
+}
+
+}  // namespace
+
+void FlagSet::Define(const std::string& name, Type type,
+                     std::string default_text, const std::string& help) {
+  FASEA_CHECK(!name.empty());
+  Flag flag;
+  flag.type = type;
+  flag.help = help;
+  flag.default_text = default_text;
+  flag.text_value = std::move(default_text);
+  switch (type) {
+    case Type::kInt:
+      flag.int_value = ParseInt(flag.text_value).value();
+      break;
+    case Type::kDouble:
+      flag.double_value = ParseDouble(flag.text_value).value();
+      break;
+    case Type::kBool:
+      flag.bool_value = ParseBool(flag.text_value).value();
+      break;
+    case Type::kString:
+      break;
+  }
+  const bool inserted = flags_.emplace(name, std::move(flag)).second;
+  FASEA_CHECK(inserted && "flag defined twice");
+}
+
+void FlagSet::DefineString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  Define(name, Type::kString, default_value, help);
+}
+void FlagSet::DefineInt(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  Define(name, Type::kInt,
+         StrFormat("%lld", static_cast<long long>(default_value)), help);
+}
+void FlagSet::DefineDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Define(name, Type::kDouble, FormatDouble(default_value, 17), help);
+}
+void FlagSet::DefineBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Define(name, Type::kBool, default_value ? "true" : "false", help);
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& text) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return InvalidArgumentError("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kInt: {
+      auto value = ParseInt(text);
+      if (!value.ok()) {
+        return InvalidArgumentError("--" + name + ": " +
+                                    value.status().message());
+      }
+      flag.int_value = *value;
+      break;
+    }
+    case Type::kDouble: {
+      auto value = ParseDouble(text);
+      if (!value.ok()) {
+        return InvalidArgumentError("--" + name + ": " +
+                                    value.status().message());
+      }
+      flag.double_value = *value;
+      break;
+    }
+    case Type::kBool: {
+      auto value = ParseBool(text);
+      if (!value.ok()) {
+        return InvalidArgumentError("--" + name + ": " +
+                                    value.status().message());
+      }
+      flag.bool_value = *value;
+      break;
+    }
+    case Type::kString:
+      break;
+  }
+  flag.text_value = text;
+  flag.set = true;
+  return Status::Ok();
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      if (Status st = SetValue(arg.substr(0, eq), arg.substr(eq + 1));
+          !st.ok()) {
+        return st;
+      }
+      continue;
+    }
+    // --flag or --noflag for bools; --flag value otherwise.
+    auto it = flags_.find(arg);
+    if (it != flags_.end() && it->second.type == Type::kBool) {
+      FASEA_CHECK_OK(SetValue(arg, "true"));
+      continue;
+    }
+    if (StartsWith(arg, "no")) {
+      auto no_it = flags_.find(arg.substr(2));
+      if (no_it != flags_.end() && no_it->second.type == Type::kBool) {
+        FASEA_CHECK_OK(SetValue(arg.substr(2), "false"));
+        continue;
+      }
+    }
+    if (it == flags_.end()) {
+      return InvalidArgumentError("unknown flag --" + arg);
+    }
+    if (i + 1 >= argc) {
+      return InvalidArgumentError("flag --" + arg + " is missing a value");
+    }
+    if (Status st = SetValue(arg, argv[++i]); !st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+const FlagSet::Flag& FlagSet::GetChecked(const std::string& name,
+                                         Type type) const {
+  auto it = flags_.find(name);
+  FASEA_CHECK(it != flags_.end() && "flag not defined");
+  FASEA_CHECK(it->second.type == type && "flag type mismatch");
+  return it->second;
+}
+
+const std::string& FlagSet::GetString(const std::string& name) const {
+  return GetChecked(name, Type::kString).text_value;
+}
+std::int64_t FlagSet::GetInt(const std::string& name) const {
+  return GetChecked(name, Type::kInt).int_value;
+}
+double FlagSet::GetDouble(const std::string& name) const {
+  return GetChecked(name, Type::kDouble).double_value;
+}
+bool FlagSet::GetBool(const std::string& name) const {
+  return GetChecked(name, Type::kBool).bool_value;
+}
+
+bool FlagSet::WasSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  FASEA_CHECK(it != flags_.end());
+  return it->second.set;
+}
+
+std::string FlagSet::HelpText(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name;
+    out += " (default: " + flag.default_text + ")\n";
+    out += "      " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace fasea

@@ -1,0 +1,78 @@
+// Minimal command-line flag parsing for the CLI tools and benches.
+//
+// Supports --name=value and --name value forms, bool flags as --flag /
+// --noflag / --flag=true|false, typed accessors with defaults, and
+// generated --help text. No global registry: a FlagSet is an explicit
+// object, so tests can construct and parse in isolation.
+#ifndef FASEA_COMMON_FLAGS_H_
+#define FASEA_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fasea {
+
+class FlagSet {
+ public:
+  /// Declares a flag with its default (as text) and help string. Must be
+  /// called before Parse. Re-declaring a name aborts.
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  void DefineInt(const std::string& name, std::int64_t default_value,
+                 const std::string& help);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+
+  /// Parses argv (excluding argv[0]). Unknown flags, malformed values, and
+  /// missing values produce InvalidArgument. Non-flag tokens are collected
+  /// as positional arguments.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Typed accessors; aborts if the flag was never defined or the type
+  /// does not match the definition.
+  const std::string& GetString(const std::string& name) const;
+  std::int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True if the flag was explicitly set on the command line.
+  bool WasSet(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Generated --help text: one line per flag with default and help.
+  std::string HelpText(const std::string& program) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string text_value;  // Current value, as text.
+    std::string default_text;
+    bool set = false;
+    // Parsed caches.
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+  };
+
+  void Define(const std::string& name, Type type, std::string default_text,
+              const std::string& help);
+  Status SetValue(const std::string& name, const std::string& text);
+  const Flag& GetChecked(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_COMMON_FLAGS_H_

@@ -1,0 +1,53 @@
+// Core assertion macros.
+//
+// FASEA follows the Google C++ style: library code does not throw
+// exceptions for programmer errors. Invariant violations abort with a
+// readable message; recoverable errors travel through Status/StatusOr.
+#ifndef FASEA_COMMON_MACROS_H_
+#define FASEA_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fasea::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "FASEA_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fasea::internal
+
+/// Aborts the process if `cond` is false. Enabled in all build modes.
+#define FASEA_CHECK(cond)                                      \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::fasea::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                          \
+  } while (0)
+
+/// Like FASEA_CHECK but compiled out in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define FASEA_DCHECK(cond)          \
+  do {                              \
+    (void)sizeof((cond) ? 1 : 0);   \
+  } while (0)
+#else
+#define FASEA_DCHECK(cond) FASEA_CHECK(cond)
+#endif
+
+/// Aborts if a Status-returning expression is not OK.
+#define FASEA_CHECK_OK(expr)                                          \
+  do {                                                                \
+    const ::fasea::Status _fasea_st = (expr);                         \
+    if (!_fasea_st.ok()) {                                            \
+      std::fprintf(stderr, "FASEA_CHECK_OK failed at %s:%d: %s\n",    \
+                   __FILE__, __LINE__, _fasea_st.message().c_str());  \
+      std::fflush(stderr);                                            \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+#endif  // FASEA_COMMON_MACROS_H_

@@ -1,0 +1,102 @@
+// A minimal Status / StatusOr pair, in the spirit of absl::Status.
+//
+// Library code reports recoverable failures (bad configuration, malformed
+// input) through Status. Programmer errors go through FASEA_CHECK.
+#ifndef FASEA_COMMON_STATUS_H_
+#define FASEA_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace fasea {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+};
+
+/// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-semantic error carrier. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    FASEA_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status NotFoundError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+/// Either a value of T or an error Status. Accessing the value of a
+/// non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    FASEA_CHECK(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    FASEA_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    FASEA_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    FASEA_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_COMMON_STATUS_H_

@@ -1,0 +1,73 @@
+// Monotonic wall-clock stopwatch used by the benchmark harness to report
+// per-round policy latencies (paper Tables 5 and 6).
+#ifndef FASEA_COMMON_STOPWATCH_H_
+#define FASEA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fasea {
+
+/// Accumulating stopwatch. Start()/Stop() may be called repeatedly; the
+/// elapsed time of every started interval is summed.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Starts (or restarts) timing from now. Calling Start while running
+  /// restarts the current interval.
+  void Start() {
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  /// Stops timing and folds the current interval into the total.
+  void Stop() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - start_;
+    running_ = false;
+  }
+
+  /// Drops all accumulated time and stops the watch.
+  void Reset() {
+    accumulated_ = Clock::duration::zero();
+    running_ = false;
+  }
+
+  /// Total accumulated time including a currently running interval.
+  Clock::duration Elapsed() const {
+    Clock::duration total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return total;
+  }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Elapsed()).count();
+  }
+
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Elapsed())
+        .count();
+  }
+
+ private:
+  Clock::duration accumulated_ = Clock::duration::zero();
+  Clock::time_point start_{};
+  bool running_ = false;
+};
+
+/// RAII guard: starts a stopwatch on construction, stops it on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Stopwatch* watch) : watch_(watch) { watch_->Start(); }
+  ~ScopedTimer() { watch_->Stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stopwatch* watch_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_COMMON_STOPWATCH_H_

@@ -1,0 +1,35 @@
+// Small string helpers (split/join/trim/printf-style format).
+#ifndef FASEA_COMMON_STRINGS_H_
+#define FASEA_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fasea {
+
+/// Splits `text` on every occurrence of `sep`. Adjacent separators yield
+/// empty pieces; splitting the empty string yields one empty piece.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `digits` significant digits, trimming trailing
+/// zeros ("0.25", "1", "3.4e-05").
+std::string FormatDouble(double value, int digits = 6);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace fasea
+
+#endif  // FASEA_COMMON_STRINGS_H_

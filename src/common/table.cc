@@ -1,0 +1,100 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace fasea {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  FASEA_CHECK(rows_.empty());
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  FASEA_CHECK(row.size() <= header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit_row = [&](const std::vector<std::string>& row,
+                            std::string* out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) *out += "  ";
+      *out += row[c];
+      out->append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!out->empty() && out->back() == ' ') out->pop_back();
+    *out += '\n';
+  };
+  std::string out;
+  emit_row(header_, &out);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c != 0 ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, &out);
+  return out;
+}
+
+void TextTable::Print(std::FILE* out) const {
+  const std::string text = ToString();
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fflush(out);
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find(',') == std::string::npos &&
+      cell.find('"') == std::string::npos &&
+      cell.find('\n') == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string TextTable::ToCsv() const {
+  std::string out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += ',';
+      out += CsvEscape(row[c]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  FASEA_CHECK(f != nullptr);
+  const std::size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  FASEA_CHECK(written == contents.size());
+  FASEA_CHECK(std::fclose(f) == 0);
+}
+
+}  // namespace fasea

@@ -1,0 +1,42 @@
+// Plain-text table and CSV emitters used by the paper-reproduction bench
+// binaries to print rows/series in the same layout the paper reports.
+#ifndef FASEA_COMMON_TABLE_H_
+#define FASEA_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fasea {
+
+/// Column-aligned ASCII table. Collect rows, then Print to a FILE*.
+class TextTable {
+ public:
+  /// Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are right-padded
+  /// with empty cells; longer rows abort.
+  void AddRow(std::vector<std::string> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with a separator line under the header.
+  std::string ToString() const;
+  void Print(std::FILE* out = stdout) const;
+
+  /// Renders as CSV (no alignment padding, comma-separated, quoted when a
+  /// cell contains a comma or quote).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes `csv` to `path`; aborts on I/O failure (bench-harness only).
+void WriteFileOrDie(const std::string& path, const std::string& contents);
+
+}  // namespace fasea
+
+#endif  // FASEA_COMMON_TABLE_H_

@@ -1,0 +1,194 @@
+#include "core/checkpoint.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace fasea {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46534541;  // "FSEA".
+constexpr std::uint32_t kVersion = 1;
+
+// --- Little-endian byte IO -----------------------------------------------
+
+void AppendU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  StatusOr<std::uint32_t> ReadU32() {
+    if (pos_ + 4 > data_.size()) return TruncatedError();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  StatusOr<std::uint64_t> ReadU64() {
+    if (pos_ + 8 > data_.size()) return TruncatedError();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  StatusOr<double> ReadDouble() {
+    auto bits = ReadU64();
+    if (!bits.ok()) return bits.status();
+    double v;
+    std::memcpy(&v, &bits.value(), sizeof(v));
+    return v;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  static Status TruncatedError() {
+    return InvalidArgumentError("checkpoint: truncated data");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SaveCheckpoint(PolicyKind kind, const PolicyParams& params,
+                           const LinearPolicyBase& policy) {
+  const RidgeState& ridge = policy.ridge();
+  const std::size_t d = ridge.dim();
+
+  std::string out;
+  out.reserve(48 + (d * d + d) * 8);
+  AppendU32(&out, kMagic);
+  AppendU32(&out, kVersion);
+  AppendU32(&out, static_cast<std::uint32_t>(kind));
+  AppendU32(&out, 0);  // Reserved.
+  AppendDouble(&out, params.lambda);
+  AppendDouble(&out, params.alpha);
+  AppendDouble(&out, params.delta);
+  AppendDouble(&out, params.epsilon);
+  AppendU64(&out, d);
+  AppendU64(&out, static_cast<std::uint64_t>(ridge.num_observations()));
+  const Matrix& y = ridge.Y();
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) AppendDouble(&out, y(i, j));
+  }
+  for (std::size_t i = 0; i < d; ++i) AppendDouble(&out, ridge.b()[i]);
+  return out;
+}
+
+StatusOr<PolicyCheckpoint> ParseCheckpoint(std::string_view data) {
+  ByteReader reader(data);
+  auto magic = reader.ReadU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMagic) {
+    return InvalidArgumentError("checkpoint: bad magic");
+  }
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kVersion) {
+    return InvalidArgumentError(
+        StrFormat("checkpoint: unsupported version %u", *version));
+  }
+  auto kind_raw = reader.ReadU32();
+  if (!kind_raw.ok()) return kind_raw.status();
+  if (*kind_raw > static_cast<std::uint32_t>(PolicyKind::kRandom)) {
+    return InvalidArgumentError("checkpoint: unknown policy kind");
+  }
+  auto reserved = reader.ReadU32();
+  if (!reserved.ok()) return reserved.status();
+
+  PolicyCheckpoint cp;
+  cp.kind = static_cast<PolicyKind>(*kind_raw);
+  const auto read_double = [&](double* out) -> Status {
+    auto v = reader.ReadDouble();
+    if (!v.ok()) return v.status();
+    *out = *v;
+    return Status::Ok();
+  };
+  if (Status st = read_double(&cp.params.lambda); !st.ok()) return st;
+  if (Status st = read_double(&cp.params.alpha); !st.ok()) return st;
+  if (Status st = read_double(&cp.params.delta); !st.ok()) return st;
+  if (Status st = read_double(&cp.params.epsilon); !st.ok()) return st;
+
+  auto dim = reader.ReadU64();
+  if (!dim.ok()) return dim.status();
+  if (*dim == 0 || *dim > (1u << 20)) {
+    return InvalidArgumentError("checkpoint: implausible dimension");
+  }
+  auto num_obs = reader.ReadU64();
+  if (!num_obs.ok()) return num_obs.status();
+  cp.num_observations = static_cast<std::int64_t>(*num_obs);
+
+  const std::size_t d = static_cast<std::size_t>(*dim);
+  cp.y = Matrix(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      if (Status st = read_double(&cp.y(i, j)); !st.ok()) return st;
+    }
+  }
+  cp.b = Vector(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    if (Status st = read_double(&cp.b[i]); !st.ok()) return st;
+  }
+  if (!reader.AtEnd()) {
+    return InvalidArgumentError("checkpoint: trailing bytes");
+  }
+  return cp;
+}
+
+StatusOr<std::unique_ptr<Policy>> RestorePolicy(
+    const PolicyCheckpoint& checkpoint, const ProblemInstance* instance,
+    std::uint64_t seed) {
+  FASEA_CHECK(instance != nullptr);
+  if (checkpoint.kind == PolicyKind::kRandom) {
+    return InvalidArgumentError(
+        "checkpoint: Random has no learning state to restore");
+  }
+  if (checkpoint.y.rows() != instance->dim()) {
+    return InvalidArgumentError(StrFormat(
+        "checkpoint dimension %zu does not match instance dimension %zu",
+        checkpoint.y.rows(), instance->dim()));
+  }
+  auto ridge = RidgeState::FromComponents(
+      checkpoint.params.lambda, checkpoint.y, checkpoint.b,
+      checkpoint.num_observations);
+  if (!ridge.ok()) return ridge.status();
+  std::unique_ptr<Policy> policy =
+      MakePolicy(checkpoint.kind, instance, checkpoint.params, seed);
+  auto* base = dynamic_cast<LinearPolicyBase*>(policy.get());
+  FASEA_CHECK(base != nullptr);
+  base->RestoreRidge(std::move(ridge).value());
+  return policy;
+}
+
+}  // namespace fasea

@@ -1,0 +1,48 @@
+#include "core/eps_greedy_policy.h"
+
+#include "rng/distributions.h"
+#include "rng/seed.h"
+
+namespace fasea {
+
+EpsGreedyPolicy::EpsGreedyPolicy(const ProblemInstance* instance,
+                                 const EpsGreedyParams& params, Pcg64 rng)
+    : LinearPolicyBase(instance, params.lambda),
+      params_(params),
+      coin_rng_(rng),
+      random_oracle_(Pcg64(rng.Next(), HashTag("egreedy-oracle"))) {
+  FASEA_CHECK(params.epsilon >= 0.0 && params.epsilon <= 1.0);
+}
+
+Arrangement EpsGreedyPolicy::Propose(std::int64_t /*t*/,
+                                     const RoundContext& round,
+                                     const PlatformState& state) {
+  std::span<double> scores = Scores(round.contexts.rows());
+  if (params_.epsilon > 0.0 &&
+      coin_rng_.NextDouble() <= params_.epsilon) {
+    // Exploration: a random feasible arrangement. Scores only mark
+    // availability for the random oracle.
+    std::fill(scores.begin(), scores.end(), 0.0);
+    ApplyAvailabilityMask(round, scores);
+    return random_oracle_.Select(scores, conflicts(), state,
+                                 round.user_capacity);
+  }
+  // Exploitation: greedy on estimated expected rewards.
+  const Vector& theta = ridge_.ThetaHat();
+  for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
+    scores[v] = Dot(round.contexts.Row(v), theta.span());
+  }
+  ApplyAvailabilityMask(round, scores);
+  return greedy_.Select(scores, conflicts(), state, round.user_capacity);
+}
+
+std::unique_ptr<EpsGreedyPolicy> MakeExploitPolicy(
+    const ProblemInstance* instance, double lambda) {
+  EpsGreedyParams params;
+  params.lambda = lambda;
+  params.epsilon = 0.0;
+  // ε = 0 never consults the rng; any seed works.
+  return std::make_unique<EpsGreedyPolicy>(instance, params, Pcg64(0));
+}
+
+}  // namespace fasea

@@ -1,0 +1,28 @@
+#include "core/linear_policy_base.h"
+
+namespace fasea {
+
+void LinearPolicyBase::Learn(std::int64_t /*t*/, const RoundContext& round,
+                             const Arrangement& arrangement,
+                             const Feedback& feedback) {
+  FASEA_CHECK(arrangement.size() == feedback.size());
+  for (std::size_t i = 0; i < arrangement.size(); ++i) {
+    ridge_.Update(round.contexts.Row(arrangement[i]),
+                  static_cast<double>(feedback[i]));
+  }
+}
+
+void LinearPolicyBase::EstimateRewards(const ContextMatrix& contexts,
+                                       std::span<double> out) const {
+  FASEA_CHECK(out.size() == contexts.rows());
+  const Vector& theta = ridge_.ThetaHat();
+  for (std::size_t v = 0; v < contexts.rows(); ++v) {
+    out[v] = Dot(contexts.Row(v), theta.span());
+  }
+}
+
+std::size_t LinearPolicyBase::MemoryBytes() const {
+  return ridge_.MemoryBytes() + scores_.capacity() * sizeof(double);
+}
+
+}  // namespace fasea

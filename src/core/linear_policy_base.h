@@ -1,0 +1,62 @@
+// Shared machinery of the four ridge learners (TS, UCB, eGreedy, Exploit):
+// the RidgeState, the greedy arrangement oracle, the score scratch buffer,
+// and the common Learn step (Y ← Y + Σ x xᵀ, b ← b + Σ r x).
+#ifndef FASEA_CORE_LINEAR_POLICY_BASE_H_
+#define FASEA_CORE_LINEAR_POLICY_BASE_H_
+
+#include <vector>
+
+#include "core/policy.h"
+#include "core/ridge.h"
+#include "model/instance.h"
+#include "oracle/greedy.h"
+
+namespace fasea {
+
+class LinearPolicyBase : public Policy {
+ public:
+  void Learn(std::int64_t t, const RoundContext& round,
+             const Arrangement& arrangement,
+             const Feedback& feedback) override;
+
+  void EstimateRewards(const ContextMatrix& contexts,
+                       std::span<double> out) const override;
+
+  std::size_t MemoryBytes() const override;
+
+  const RidgeState& ridge() const { return ridge_; }
+
+  /// Replaces the learning state (checkpoint restore). The new state must
+  /// have the instance's dimension.
+  void RestoreRidge(RidgeState state) {
+    FASEA_CHECK(state.dim() == ridge_.dim());
+    ridge_ = std::move(state);
+  }
+
+ protected:
+  /// `instance` must outlive the policy.
+  LinearPolicyBase(const ProblemInstance* instance, double lambda,
+                   std::int64_t refactor_every = 4096)
+      : instance_(instance), ridge_(instance->dim(), lambda, refactor_every) {
+    FASEA_CHECK(instance != nullptr);
+  }
+
+  const ConflictGraph& conflicts() const { return instance_->conflicts(); }
+
+  /// Resizes the scratch score buffer to n and returns it.
+  std::span<double> Scores(std::size_t n) {
+    scores_.resize(n);
+    return scores_;
+  }
+
+  const ProblemInstance* instance_;
+  RidgeState ridge_;
+  GreedyOracle greedy_;
+
+ private:
+  std::vector<double> scores_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_CORE_LINEAR_POLICY_BASE_H_

@@ -1,0 +1,67 @@
+#include "core/opt_policy.h"
+
+namespace fasea {
+
+Arrangement OptPolicy::Propose(std::int64_t t, const RoundContext& round,
+                               const PlatformState& state) {
+  scores_.resize(round.contexts.rows());
+  for (std::size_t v = 0; v < scores_.size(); ++v) {
+    scores_[v] =
+        truth_->ExpectedReward(t, round.contexts, static_cast<EventId>(v));
+  }
+  ApplyAvailabilityMask(round, scores_);
+  last_t_ = t;
+  return greedy_.Select(scores_, instance_->conflicts(), state,
+                        round.user_capacity);
+}
+
+void OptPolicy::EstimateRewards(const ContextMatrix& contexts,
+                                std::span<double> out) const {
+  FASEA_CHECK(out.size() == contexts.rows());
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    out[v] = truth_->ExpectedReward(last_t_, contexts,
+                                    static_cast<EventId>(v));
+  }
+}
+
+Arrangement FullKnowledgePolicy::Propose(std::int64_t /*t*/,
+                                         const RoundContext& round,
+                                         const PlatformState& state) {
+  if (round.user_capacity != cached_capacity_) {
+    std::vector<double> scores(row_.begin(), row_.end());
+    ApplyAvailabilityMask(round, scores);
+    ExactOracle exact;
+    cached_ = exact.Select(scores, instance_->conflicts(), state,
+                           round.user_capacity);
+    // The paper still arranges c_u events even when fewer can all be
+    // accepted ("otherwise the accept ratio of Full Knowledge would
+    // always be 1, which would be meaningless"): pad with feasible
+    // "No" events until c_u is reached or nothing feasible remains.
+    EventBitset arranged(instance_->num_events());
+    for (EventId v : cached_) arranged.Set(v);
+    for (EventId v = 0;
+         v < instance_->num_events() &&
+         static_cast<std::int64_t>(cached_.size()) < round.user_capacity;
+         ++v) {
+      if (arranged.Test(v) || !round.IsAvailable(v)) continue;
+      if (!state.HasCapacity(v)) continue;
+      if (instance_->conflicts().ConflictsWithAny(v, arranged)) continue;
+      arranged.Set(v);
+      cached_.push_back(v);
+    }
+    cached_capacity_ = round.user_capacity;
+  }
+  // Replay is always feasible: real-dataset capacities never bind.
+  for (EventId v : cached_) FASEA_DCHECK(state.HasCapacity(v));
+  return cached_;
+}
+
+void FullKnowledgePolicy::EstimateRewards(const ContextMatrix& contexts,
+                                          std::span<double> out) const {
+  FASEA_CHECK(out.size() == contexts.rows());
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    out[v] = static_cast<double>(row_[v]);
+  }
+}
+
+}  // namespace fasea

@@ -1,0 +1,41 @@
+#include "core/per_user_policy.h"
+
+#include <algorithm>
+
+namespace fasea {
+
+Policy& PerUserPolicyBank::PolicyFor(std::int64_t user_id) {
+  last_user_id_ = user_id;
+  auto it = policies_.find(user_id);
+  if (it == policies_.end()) {
+    auto policy = factory_(user_id);
+    FASEA_CHECK(policy != nullptr);
+    it = policies_.emplace(user_id, std::move(policy)).first;
+  }
+  return *it->second;
+}
+
+void PerUserPolicyBank::EstimateRewards(const ContextMatrix& contexts,
+                                        std::span<double> out) const {
+  const Policy* policy = UserPolicy(last_user_id_);
+  if (policy == nullptr) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+  policy->EstimateRewards(contexts, out);
+}
+
+std::size_t PerUserPolicyBank::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, policy] : policies_) {
+    total += sizeof(id) + policy->MemoryBytes();
+  }
+  return total;
+}
+
+const Policy* PerUserPolicyBank::UserPolicy(std::int64_t user_id) const {
+  auto it = policies_.find(user_id);
+  return it == policies_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace fasea

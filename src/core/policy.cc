@@ -1,0 +1,14 @@
+#include "core/policy.h"
+
+namespace fasea {
+
+void ApplyAvailabilityMask(const RoundContext& round,
+                           std::span<double> scores) {
+  if (round.available.empty()) return;
+  FASEA_CHECK(round.available.size() == scores.size());
+  for (std::size_t v = 0; v < scores.size(); ++v) {
+    if (!round.available[v]) scores[v] = kExcludedScore;
+  }
+}
+
+}  // namespace fasea

@@ -1,0 +1,62 @@
+// Policy: the interface every FASEA arrangement strategy implements.
+//
+// The simulation engine drives a policy through the online protocol of
+// Definition 3: for each arriving user it calls Propose (which must
+// return a feasible arrangement for the given platform state), shows the
+// arrangement to the ground-truth feedback model, and hands the observed
+// 0/1 feedbacks back through Learn.
+#ifndef FASEA_CORE_POLICY_H_
+#define FASEA_CORE_POLICY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "model/context.h"
+#include "model/platform_state.h"
+#include "model/types.h"
+
+namespace fasea {
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Proposes an arrangement for the user arriving at step t. Must respect
+  /// the three constraints of Definition 3 (user capacity, event
+  /// capacities in `state`, no conflicting pair) plus the round's
+  /// availability mask.
+  virtual Arrangement Propose(std::int64_t t, const RoundContext& round,
+                              const PlatformState& state) = 0;
+
+  /// Observes the user's feedback for the proposed arrangement. Called
+  /// exactly once after each Propose, with `feedback[i]` the 0/1 response
+  /// to `arrangement[i]`.
+  virtual void Learn(std::int64_t t, const RoundContext& round,
+                     const Arrangement& arrangement,
+                     const Feedback& feedback) = 0;
+
+  /// Writes this policy's current estimate of the *expected reward* of
+  /// every event under `contexts` into `out` — the quantity whose ranking
+  /// Figure 2 correlates with the ground truth. For TS this is the most
+  /// recent sampled θ̃ (its ranking noise is the paper's explanation of
+  /// TS's poor performance); for the ridge learners it is x ᵀ θ̂; Random
+  /// has no estimate and writes zeros.
+  virtual void EstimateRewards(const ContextMatrix& contexts,
+                               std::span<double> out) const = 0;
+
+  /// Bytes of learner state (the paper's memory metric tracks how state
+  /// scales with |V| and d).
+  virtual std::size_t MemoryBytes() const = 0;
+};
+
+/// Overwrites scores of unavailable events with kExcludedScore.
+void ApplyAvailabilityMask(const RoundContext& round,
+                           std::span<double> scores);
+
+}  // namespace fasea
+
+#endif  // FASEA_CORE_POLICY_H_

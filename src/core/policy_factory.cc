@@ -1,0 +1,66 @@
+#include "core/policy_factory.h"
+
+#include "core/eps_greedy_policy.h"
+#include "core/random_policy.h"
+#include "core/ts_policy.h"
+#include "core/ucb_policy.h"
+#include "rng/seed.h"
+
+namespace fasea {
+
+std::string_view PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kUcb:
+      return "UCB";
+    case PolicyKind::kTs:
+      return "TS";
+    case PolicyKind::kEpsGreedy:
+      return "eGreedy";
+    case PolicyKind::kExploit:
+      return "Exploit";
+    case PolicyKind::kRandom:
+      return "Random";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<Policy> MakePolicy(PolicyKind kind,
+                                   const ProblemInstance* instance,
+                                   const PolicyParams& params,
+                                   std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kUcb: {
+      UcbParams p;
+      p.lambda = params.lambda;
+      p.alpha = params.alpha;
+      return std::make_unique<UcbPolicy>(instance, p);
+    }
+    case PolicyKind::kTs: {
+      TsParams p;
+      p.lambda = params.lambda;
+      p.delta = params.delta;
+      return std::make_unique<TsPolicy>(instance, p, MakeEngine(seed, "ts"));
+    }
+    case PolicyKind::kEpsGreedy: {
+      EpsGreedyParams p;
+      p.lambda = params.lambda;
+      p.epsilon = params.epsilon;
+      return std::make_unique<EpsGreedyPolicy>(instance, p,
+                                               MakeEngine(seed, "egreedy"));
+    }
+    case PolicyKind::kExploit:
+      return MakeExploitPolicy(instance, params.lambda);
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>(instance,
+                                            MakeEngine(seed, "random"));
+  }
+  FASEA_CHECK(false && "unknown policy kind");
+  return nullptr;
+}
+
+std::vector<PolicyKind> AllPolicyKinds() {
+  return {PolicyKind::kUcb, PolicyKind::kTs, PolicyKind::kEpsGreedy,
+          PolicyKind::kExploit, PolicyKind::kRandom};
+}
+
+}  // namespace fasea

@@ -1,0 +1,44 @@
+// Convenience constructors: build the paper's five algorithms (plus OPT)
+// with their Table 4 default parameters from one spec. The benches and
+// examples use this to stay in sync on defaults.
+#ifndef FASEA_CORE_POLICY_FACTORY_H_
+#define FASEA_CORE_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "model/instance.h"
+#include "model/round_provider.h"
+
+namespace fasea {
+
+enum class PolicyKind { kUcb, kTs, kEpsGreedy, kExploit, kRandom };
+
+std::string_view PolicyKindName(PolicyKind kind);
+
+/// Parameters covering all algorithms; unused fields are ignored by each
+/// kind. Defaults are the paper's bold defaults (Table 4).
+struct PolicyParams {
+  double lambda = 1.0;  // All ridge learners.
+  double alpha = 2.0;   // UCB.
+  double delta = 0.1;   // TS.
+  double epsilon = 0.1; // eGreedy.
+};
+
+/// Builds one policy. `seed` feeds the policy's private randomness
+/// (TS sampling, eGreedy coin, Random order); deterministic kinds ignore
+/// it. `instance` must outlive the policy.
+std::unique_ptr<Policy> MakePolicy(PolicyKind kind,
+                                   const ProblemInstance* instance,
+                                   const PolicyParams& params,
+                                   std::uint64_t seed);
+
+/// All five algorithms in the paper's reporting order:
+/// UCB, TS, eGreedy, Exploit, Random.
+std::vector<PolicyKind> AllPolicyKinds();
+
+}  // namespace fasea
+
+#endif  // FASEA_CORE_POLICY_FACTORY_H_

@@ -1,0 +1,23 @@
+#include "core/random_policy.h"
+
+#include <algorithm>
+
+namespace fasea {
+
+Arrangement RandomPolicy::Propose(std::int64_t /*t*/,
+                                  const RoundContext& round,
+                                  const PlatformState& state) {
+  scores_.resize(round.contexts.rows());
+  std::fill(scores_.begin(), scores_.end(), 0.0);
+  ApplyAvailabilityMask(round, scores_);
+  return oracle_.Select(scores_, instance_->conflicts(), state,
+                        round.user_capacity);
+}
+
+void RandomPolicy::EstimateRewards(const ContextMatrix& contexts,
+                                   std::span<double> out) const {
+  FASEA_CHECK(out.size() == contexts.rows());
+  std::fill(out.begin(), out.end(), 0.0);
+}
+
+}  // namespace fasea

@@ -1,0 +1,46 @@
+// Random: the paper's weakest baseline (§5.1). Visits events in a random
+// order and applies the same feasibility filter as Oracle-Greedy; never
+// learns from feedback.
+#ifndef FASEA_CORE_RANDOM_POLICY_H_
+#define FASEA_CORE_RANDOM_POLICY_H_
+
+#include <vector>
+
+#include "core/policy.h"
+#include "model/instance.h"
+#include "oracle/random_oracle.h"
+
+namespace fasea {
+
+class RandomPolicy final : public Policy {
+ public:
+  RandomPolicy(const ProblemInstance* instance, Pcg64 rng)
+      : instance_(instance), oracle_(rng) {
+    FASEA_CHECK(instance != nullptr);
+  }
+
+  std::string_view name() const override { return "Random"; }
+
+  Arrangement Propose(std::int64_t t, const RoundContext& round,
+                      const PlatformState& state) override;
+
+  void Learn(std::int64_t, const RoundContext&, const Arrangement&,
+             const Feedback&) override {}
+
+  /// Random has no model: every event is estimated at zero.
+  void EstimateRewards(const ContextMatrix& contexts,
+                       std::span<double> out) const override;
+
+  std::size_t MemoryBytes() const override {
+    return scores_.capacity() * sizeof(double);
+  }
+
+ private:
+  const ProblemInstance* instance_;
+  RandomOracle oracle_;
+  std::vector<double> scores_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_CORE_RANDOM_POLICY_H_

@@ -1,0 +1,54 @@
+#include "core/ridge.h"
+
+namespace fasea {
+
+RidgeState::RidgeState(std::size_t dim, double lambda,
+                       std::int64_t refactor_every)
+    : lambda_(lambda),
+      inverse_(dim, lambda, refactor_every),
+      b_(dim),
+      theta_hat_(dim) {
+  FASEA_CHECK(lambda > 0.0);
+}
+
+StatusOr<RidgeState> RidgeState::FromComponents(double lambda, Matrix y,
+                                                Vector b,
+                                                std::int64_t num_observations,
+                                                std::int64_t refactor_every) {
+  if (lambda <= 0.0) {
+    return InvalidArgumentError("RidgeState: lambda must be positive");
+  }
+  if (y.rows() != b.size()) {
+    return InvalidArgumentError("RidgeState: Y and b dimension mismatch");
+  }
+  auto inverse =
+      SymmetricInverse::FromMatrix(std::move(y), num_observations,
+                                   refactor_every);
+  if (!inverse.ok()) return inverse.status();
+  RidgeState state(b.size(), lambda, refactor_every);
+  state.inverse_ = std::move(inverse).value();
+  state.b_ = std::move(b);
+  state.theta_dirty_ = true;
+  return state;
+}
+
+void RidgeState::Update(std::span<const double> x, double reward) {
+  FASEA_CHECK(x.size() == dim());
+  inverse_.RankOneUpdate(x);
+  Axpy(reward, x, b_.span());
+  theta_dirty_ = true;
+}
+
+const Vector& RidgeState::ThetaHat() const {
+  if (theta_dirty_) {
+    theta_hat_ = inverse_.inverse().MatVec(b_);
+    theta_dirty_ = false;
+  }
+  return theta_hat_;
+}
+
+double RidgeState::PredictedReward(std::span<const double> x) const {
+  return Dot(ThetaHat().span(), x);
+}
+
+}  // namespace fasea

@@ -1,0 +1,80 @@
+// RidgeState: the shared learning state of every linear-payoff policy.
+//
+// All four learners of the paper (TS, UCB, eGreedy, Exploit) maintain the
+// same sufficient statistics (Algorithms 1, 3, 4 lines 1-2 and 13-14):
+//
+//     Y = λ I + Σ x xᵀ      over all arranged events so far,
+//     b = Σ r x             over all arranged events so far,
+//     θ̂ = Y⁻¹ b             (ridge regression, [26]).
+//
+// RidgeState tracks Y exactly, keeps Y⁻¹ current via Sherman–Morrison
+// rank-1 updates (with periodic re-factorization for numerical hygiene),
+// and caches θ̂ lazily.
+#ifndef FASEA_CORE_RIDGE_H_
+#define FASEA_CORE_RIDGE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "linalg/sherman_morrison.h"
+#include "linalg/vector.h"
+
+namespace fasea {
+
+class RidgeState {
+ public:
+  /// `lambda` is the ridge regularizer (Y starts at λI, must be > 0).
+  /// `refactor_every` controls the periodic exact re-inversion cadence;
+  /// 0 disables it (pure incremental mode, used by the ablation bench).
+  RidgeState(std::size_t dim, double lambda,
+             std::int64_t refactor_every = 4096);
+
+  /// Restores a state from previously accumulated components (checkpoint
+  /// loading). `y` must be SPD and shaped like `b`.
+  static StatusOr<RidgeState> FromComponents(double lambda, Matrix y,
+                                             Vector b,
+                                             std::int64_t num_observations,
+                                             std::int64_t refactor_every =
+                                                 4096);
+
+  std::size_t dim() const { return b_.size(); }
+  double lambda() const { return lambda_; }
+
+  /// Folds one observation (context x, reward r ∈ {0,1}) into Y and b.
+  void Update(std::span<const double> x, double reward);
+
+  /// θ̂ = Y⁻¹ b, cached until the next Update.
+  const Vector& ThetaHat() const;
+
+  /// x ᵀ θ̂ — the estimated expected reward of a context.
+  double PredictedReward(std::span<const double> x) const;
+
+  /// xᵀ Y⁻¹ x — squared confidence width of a context (LinUCB bonus).
+  double ConfidenceWidthSq(std::span<const double> x) const {
+    return inverse_.InverseQuadraticForm(x);
+  }
+
+  /// The tracked Gram matrix Y and maintained inverse.
+  const Matrix& Y() const { return inverse_.y(); }
+  const Matrix& YInverse() const { return inverse_.inverse(); }
+  const Vector& b() const { return b_; }
+
+  /// Number of (x, r) observations folded in so far.
+  std::int64_t num_observations() const { return inverse_.num_updates(); }
+
+  std::size_t MemoryBytes() const {
+    return inverse_.MemoryBytes() + b_.MemoryBytes() +
+           theta_hat_.MemoryBytes();
+  }
+
+ private:
+  double lambda_;
+  SymmetricInverse inverse_;
+  Vector b_;
+  mutable Vector theta_hat_;
+  mutable bool theta_dirty_ = true;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_CORE_RIDGE_H_

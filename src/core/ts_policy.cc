@@ -1,0 +1,53 @@
+#include "core/ts_policy.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/mvn.h"
+
+namespace fasea {
+
+TsPolicy::TsPolicy(const ProblemInstance* instance, const TsParams& params,
+                   Pcg64 rng)
+    : LinearPolicyBase(instance, params.lambda),
+      params_(params),
+      rng_(rng),
+      sampled_theta_(instance->dim()) {
+  FASEA_CHECK(params.delta > 0.0 && params.delta < 1.0);
+  FASEA_CHECK(params.r_scale >= 0.0);
+}
+
+Arrangement TsPolicy::Propose(std::int64_t t, const RoundContext& round,
+                              const PlatformState& state) {
+  const std::size_t d = ridge_.dim();
+  // Posterior scale q = R sqrt(9 d ln(t / δ)) from [2]; ln(t/δ) > 0 for
+  // every t >= 1 since δ < 1.
+  const double q =
+      params_.r_scale *
+      std::sqrt(9.0 * static_cast<double>(d) *
+                std::log(static_cast<double>(t) / params_.delta));
+
+  // Sample θ̃ ~ N(θ̂, q² Y⁻¹) through the Cholesky factor of Y: the
+  // O(d³) step of the paper's complexity analysis.
+  auto chol = Cholesky::Factorize(ridge_.Y());
+  FASEA_CHECK(chol.ok());
+  sampled_theta_ =
+      SampleMvnFromPrecision(rng_, ridge_.ThetaHat(), q, chol.value());
+
+  std::span<double> scores = Scores(round.contexts.rows());
+  for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
+    scores[v] = Dot(round.contexts.Row(v), sampled_theta_.span());
+  }
+  ApplyAvailabilityMask(round, scores);
+  return greedy_.Select(scores, conflicts(), state, round.user_capacity);
+}
+
+void TsPolicy::EstimateRewards(const ContextMatrix& contexts,
+                               std::span<double> out) const {
+  FASEA_CHECK(out.size() == contexts.rows());
+  for (std::size_t v = 0; v < contexts.rows(); ++v) {
+    out[v] = Dot(contexts.Row(v), sampled_theta_.span());
+  }
+}
+
+}  // namespace fasea

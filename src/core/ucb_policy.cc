@@ -1,0 +1,27 @@
+#include "core/ucb_policy.h"
+
+#include <cmath>
+
+namespace fasea {
+
+UcbPolicy::UcbPolicy(const ProblemInstance* instance, const UcbParams& params)
+    : LinearPolicyBase(instance, params.lambda), params_(params) {
+  FASEA_CHECK(params.alpha >= 0.0);
+}
+
+double UcbPolicy::UpperConfidenceBound(std::span<const double> x) const {
+  return ridge_.PredictedReward(x) +
+         params_.alpha * std::sqrt(ridge_.ConfidenceWidthSq(x));
+}
+
+Arrangement UcbPolicy::Propose(std::int64_t /*t*/, const RoundContext& round,
+                               const PlatformState& state) {
+  std::span<double> scores = Scores(round.contexts.rows());
+  for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
+    scores[v] = UpperConfidenceBound(round.contexts.Row(v));
+  }
+  ApplyAvailabilityMask(round, scores);
+  return greedy_.Select(scores, conflicts(), state, round.user_capacity);
+}
+
+}  // namespace fasea

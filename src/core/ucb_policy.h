@@ -1,0 +1,44 @@
+// UCB: the C²UCB-style upper-confidence-bound policy (Algorithm 3),
+// adapting [36] (contextual combinatorial bandit) built on LinUCB [26][13].
+//
+// Each round:
+//   θ̂_t = Y⁻¹ b
+//   r̃_{t,v} = x_{t,v}ᵀ θ̂_t
+//   r̂_{t,v} = r̃_{t,v} + α √(x_{t,v}ᵀ Y⁻¹ x_{t,v})
+//   A_t = Oracle-Greedy(r̂, CF, c_v, c_u)
+//
+// The α√(xᵀY⁻¹x) bonus is the concentration-inequality width [48][26]:
+// under-explored directions keep large widths, so UCB can escape the
+// all-zero-feedback lock-in that traps Exploit on the real dataset.
+#ifndef FASEA_CORE_UCB_POLICY_H_
+#define FASEA_CORE_UCB_POLICY_H_
+
+#include "core/linear_policy_base.h"
+
+namespace fasea {
+
+struct UcbParams {
+  double lambda = 1.0;  // Ridge regularizer λ.
+  double alpha = 2.0;   // Exploration weight α.
+};
+
+class UcbPolicy final : public LinearPolicyBase {
+ public:
+  UcbPolicy(const ProblemInstance* instance, const UcbParams& params);
+
+  std::string_view name() const override { return "UCB"; }
+
+  Arrangement Propose(std::int64_t t, const RoundContext& round,
+                      const PlatformState& state) override;
+
+  /// The upper confidence bound r̂ of one context under the current state
+  /// (exposed for tests of the bound's shrinking behaviour).
+  double UpperConfidenceBound(std::span<const double> x) const;
+
+ private:
+  UcbParams params_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_CORE_UCB_POLICY_H_

@@ -1,0 +1,265 @@
+#include "datagen/real_surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/strings.h"
+#include "oracle/exact.h"
+#include "rng/distributions.h"
+#include "rng/seed.h"
+
+namespace fasea {
+
+namespace {
+
+// Table 3 category / sub-category taxonomy.
+constexpr const char* kCategoryNames[6] = {"Pop Concert", "Theater", "Sports",
+                                           "Folk Art",    "Music",   "Movie"};
+
+const std::vector<std::vector<std::string>>& SubCategoryTable() {
+  static const auto* table = new std::vector<std::vector<std::string>>{
+      {"pop", "classic", "folk", "jazz"},
+      {"drama", "opera", "musical", "children drama"},
+      {"basketball", "football", "boxing"},
+      {"cross talk", "magic", "acrobatics"},
+      {"piano", "orchestral", "choral"},
+      {"adventure", "cartoon", "romance", "fantasy", "documentary", "horror",
+       "comedy"},
+  };
+  return *table;
+}
+
+// Paper Table 7, last row: the number of "Yes" feedbacks of each user
+// (their c_u = full capacity).
+constexpr std::int64_t kYesCounts[RealDataset::kNumUsers] = {
+    12, 26, 11, 10, 15, 22, 16, 7, 22, 11, 13, 19, 23, 11, 11, 7, 9, 13, 17};
+
+// Binary feature encoding following [26]: an m-valued categorical value k
+// is written as (k + 1) in binary over ceil(log2(m + 1)) bits, so no value
+// encodes as all-zeros.
+void EncodeBits(int value, int num_bits, std::vector<double>* out) {
+  const int code = value + 1;
+  FASEA_CHECK(code >= 1 && code < (1 << num_bits));
+  for (int bit = num_bits - 1; bit >= 0; --bit) {
+    out->push_back((code >> bit) & 1 ? 1.0 : 0.0);
+  }
+}
+
+// Start times typical of the event kinds (matinee vs evening shows).
+constexpr double kStartHours[] = {10.0, 14.0, 19.0, 19.5, 20.0};
+
+int FirstGlobalTag(int category) {
+  int tag = 0;
+  for (int c = 0; c < category; ++c) {
+    tag += static_cast<int>(SubCategoryTable()[c].size());
+  }
+  return tag;
+}
+
+}  // namespace
+
+std::string RealDataset::CategoryName(int category) {
+  FASEA_CHECK(category >= 0 && category < 6);
+  return kCategoryNames[category];
+}
+
+std::string RealDataset::SubCategoryName(int category, int sub_category) {
+  FASEA_CHECK(category >= 0 && category < 6);
+  const auto& subs = SubCategoryTable()[category];
+  FASEA_CHECK(sub_category >= 0 &&
+              sub_category < static_cast<int>(subs.size()));
+  return subs[sub_category];
+}
+
+std::size_t RealDataset::NumSubCategories(int category) {
+  FASEA_CHECK(category >= 0 && category < 6);
+  return SubCategoryTable()[category].size();
+}
+
+int RealDataset::EventTag(std::size_t v) const {
+  FASEA_CHECK(v < events_.size());
+  return FirstGlobalTag(events_[v].category) + events_[v].sub_category;
+}
+
+RealDataset RealDataset::Create(std::uint64_t seed) {
+  RealDataset ds;
+  Pcg64 rng = MakeEngine(seed, "real-events");
+
+  // --- Events -----------------------------------------------------------
+  ds.events_.reserve(kNumEvents);
+  std::vector<double> starts, ends;
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    RealEvent e;
+    // Round-robin over categories keeps all six populated (the paper
+    // collected a spread of popular events), with random sub-structure.
+    e.category = static_cast<int>(i % 6);
+    e.sub_category = static_cast<int>(
+        UniformInt(rng, 0, static_cast<std::int64_t>(
+                              NumSubCategories(e.category)) - 1));
+    e.performer = static_cast<int>(UniformInt(rng, 0, 2));
+    e.country = static_cast<int>(UniformInt(rng, 0, 10));
+    e.price_band = static_cast<int>(UniformInt(rng, 0, 7));
+    e.day = static_cast<int>(UniformInt(rng, 0, 4));
+    e.venue_x = rng.NextDouble();
+    e.venue_y = rng.NextDouble();
+    e.start_hour = kStartHours[UniformInt(rng, 0, 4)];
+    e.duration_hours = UniformReal(rng, 1.5, 3.0);
+    ds.events_.push_back(e);
+    const double t0 = e.day * 24.0 + e.start_hour;
+    starts.push_back(t0);
+    ends.push_back(t0 + e.duration_hours);
+  }
+  ds.conflicts_ = ConflictGraph::FromIntervals(starts, ends);
+
+  // --- Per-user contexts -------------------------------------------------
+  // Shared categorical bits; the distance feature depends on the user's
+  // home location.
+  std::vector<std::vector<double>> categorical(kNumEvents);
+  for (std::size_t v = 0; v < kNumEvents; ++v) {
+    const RealEvent& e = ds.events_[v];
+    auto& bits = categorical[v];
+    EncodeBits(e.category, 3, &bits);      // 6 values.
+    EncodeBits(e.sub_category, 3, &bits);  // Up to 7 values.
+    EncodeBits(e.performer, 2, &bits);     // 3 values.
+    EncodeBits(e.country, 4, &bits);       // 11 values.
+    EncodeBits(e.price_band, 4, &bits);    // 8 values.
+    EncodeBits(e.day, 3, &bits);           // 5 values.
+    FASEA_CHECK(bits.size() == kDim - 1);
+  }
+
+  Pcg64 user_rng = MakeEngine(seed, "real-users");
+  ds.contexts_.reserve(kNumUsers);
+  ds.feedback_.reserve(kNumUsers);
+  ds.preferred_tags_.reserve(kNumUsers);
+  for (std::size_t u = 0; u < kNumUsers; ++u) {
+    const double home_x = user_rng.NextDouble();
+    const double home_y = user_rng.NextDouble();
+    ContextMatrix ctx(kNumEvents, kDim);
+    for (std::size_t v = 0; v < kNumEvents; ++v) {
+      const RealEvent& e = ds.events_[v];
+      for (std::size_t j = 0; j + 1 < kDim; ++j) {
+        ctx(v, j) = categorical[v][j] / static_cast<double>(kDim);
+      }
+      // Normalized distance on the unit square (max possible sqrt(2)).
+      const double dist = std::hypot(e.venue_x - home_x, e.venue_y - home_y) /
+                          std::sqrt(2.0);
+      ctx(v, kDim - 1) = dist / static_cast<double>(kDim);
+    }
+    ds.contexts_.push_back(std::move(ctx));
+
+    // Hidden preference vector: positive-leaning weights on categorical
+    // bits, negative weight on distance (users prefer nearby events).
+    Vector pref(kDim);
+    for (std::size_t j = 0; j + 1 < kDim; ++j) {
+      pref[j] = Normal(user_rng, 0.0, 1.0);
+    }
+    pref[kDim - 1] = -std::fabs(Normal(user_rng, 2.0, 0.5));
+
+    // Score each event; threshold at the kYesCounts[u]-th largest score so
+    // the user answers Yes to exactly the paper's count. Tiny noise breaks
+    // ties between identically-encoded events.
+    std::vector<double> scores(kNumEvents);
+    for (std::size_t v = 0; v < kNumEvents; ++v) {
+      scores[v] = Dot(ds.contexts_[u].Row(v), pref.span()) +
+                  1e-9 * user_rng.NextDouble();
+    }
+    std::vector<std::size_t> order(kNumEvents);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return scores[a] > scores[b];
+    });
+    std::vector<std::uint8_t> row(kNumEvents, 0);
+    for (std::int64_t k = 0; k < kYesCounts[u]; ++k) row[order[k]] = 1;
+    ds.feedback_.push_back(std::move(row));
+
+    // Preferred tags for the OnlineGreedy baseline: the top 5 sub-category
+    // tags ranked by the mean preference score of their events. This
+    // mimics users ticking favourite sub-categories in a sign-up form —
+    // correlated with, but not identical to, their actual feedbacks.
+    std::vector<double> tag_score(kNumTags, 0.0);
+    std::vector<int> tag_count(kNumTags, 0);
+    for (std::size_t v = 0; v < kNumEvents; ++v) {
+      const int tag = ds.EventTag(v);
+      tag_score[tag] += scores[v];
+      tag_count[tag] += 1;
+    }
+    std::vector<int> tags;
+    for (int tag = 0; tag < kNumTags; ++tag) {
+      if (tag_count[tag] > 0) {
+        tag_score[tag] /= tag_count[tag];
+        tags.push_back(tag);
+      }
+    }
+    std::sort(tags.begin(), tags.end(),
+              [&](int a, int b) { return tag_score[a] > tag_score[b]; });
+    if (tags.size() > 5) tags.resize(5);
+    std::sort(tags.begin(), tags.end());
+    ds.preferred_tags_.push_back(std::move(tags));
+  }
+  return ds;
+}
+
+const ContextMatrix& RealDataset::ContextsFor(std::size_t user) const {
+  FASEA_CHECK(user < contexts_.size());
+  return contexts_[user];
+}
+
+const std::vector<std::uint8_t>& RealDataset::FeedbackRow(
+    std::size_t user) const {
+  FASEA_CHECK(user < feedback_.size());
+  return feedback_[user];
+}
+
+std::int64_t RealDataset::YesCount(std::size_t user) const {
+  const auto& row = FeedbackRow(user);
+  return std::accumulate(row.begin(), row.end(), std::int64_t{0});
+}
+
+std::int64_t RealDataset::FullKnowledgeReward(
+    std::size_t user, std::int64_t user_capacity) const {
+  const auto& row = FeedbackRow(user);
+  std::vector<double> scores(row.begin(), row.end());
+  ProblemInstance instance = MakeInstance(1);
+  PlatformState state(instance);
+  ExactOracle oracle;
+  const Arrangement best =
+      oracle.Select(scores, conflicts_, state, user_capacity);
+  return static_cast<std::int64_t>(best.size());
+}
+
+ProblemInstance RealDataset::MakeInstance(std::int64_t horizon) const {
+  // Real-dataset runs exert no capacity pressure: every round could accept
+  // at most c_u <= 50 events, so horizon * 50 seats can never bind.
+  std::vector<std::int64_t> capacities(kNumEvents, horizon * 50);
+  auto instance =
+      ProblemInstance::Create(std::move(capacities), conflicts_, kDim);
+  FASEA_CHECK(instance.ok());
+  return std::move(instance).value();
+}
+
+const std::vector<int>& RealDataset::PreferredTags(std::size_t user) const {
+  FASEA_CHECK(user < preferred_tags_.size());
+  return preferred_tags_[user];
+}
+
+double FrozenFeedbackModel::ExpectedReward(std::int64_t /*t*/,
+                                           const ContextMatrix& /*contexts*/,
+                                           EventId v) const {
+  FASEA_CHECK(v < row_.size());
+  return static_cast<double>(row_[v]);
+}
+
+Feedback FrozenFeedbackModel::Sample(std::int64_t /*t*/,
+                                     const ContextMatrix& /*contexts*/,
+                                     const Arrangement& arrangement,
+                                     Pcg64& /*rng*/) {
+  Feedback feedback(arrangement.size());
+  for (std::size_t i = 0; i < arrangement.size(); ++i) {
+    FASEA_CHECK(arrangement[i] < row_.size());
+    feedback[i] = row_[arrangement[i]];
+  }
+  return feedback;
+}
+
+}  // namespace fasea

@@ -1,0 +1,181 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "rng/distributions.h"
+#include "rng/seed.h"
+
+namespace fasea {
+
+std::string_view ValueDistributionName(ValueDistribution dist) {
+  switch (dist) {
+    case ValueDistribution::kUniform:
+      return "Uniform";
+    case ValueDistribution::kNormal:
+      return "Normal";
+    case ValueDistribution::kPower:
+      return "Power";
+    case ValueDistribution::kShuffle:
+      return "Shuffle";
+  }
+  return "Unknown";
+}
+
+Status SyntheticConfig::Validate() const {
+  if (num_events == 0) return InvalidArgumentError("num_events must be > 0");
+  if (dim == 0) return InvalidArgumentError("dim must be > 0");
+  if (horizon <= 0) return InvalidArgumentError("horizon must be > 0");
+  if (theta_dist == ValueDistribution::kShuffle) {
+    return InvalidArgumentError("theta cannot use the Shuffle distribution");
+  }
+  if (conflict_ratio < 0.0 || conflict_ratio > 1.0) {
+    return InvalidArgumentError("conflict_ratio must be in [0, 1]");
+  }
+  if (user_capacity_min < 1 || user_capacity_max < user_capacity_min) {
+    return InvalidArgumentError("invalid user capacity range");
+  }
+  if (event_capacity_stddev < 0.0) {
+    return InvalidArgumentError("event capacity stddev must be >= 0");
+  }
+  return Status::Ok();
+}
+
+double SampleValue(ValueDistribution dist, Pcg64& rng) {
+  switch (dist) {
+    case ValueDistribution::kUniform:
+      return UniformReal(rng, -1.0, 1.0);
+    case ValueDistribution::kNormal:
+      return StandardNormal(rng);
+    case ValueDistribution::kPower:
+      return Power(rng, 2.0);
+    case ValueDistribution::kShuffle:
+      break;
+  }
+  FASEA_CHECK(false && "Shuffle has no single-scalar sampler");
+  return 0.0;
+}
+
+Vector GenerateTheta(ValueDistribution dist, std::size_t dim, Pcg64& rng) {
+  FASEA_CHECK(dist != ValueDistribution::kShuffle);
+  Vector theta(dim);
+  do {
+    for (std::size_t i = 0; i < dim; ++i) theta[i] = SampleValue(dist, rng);
+  } while (theta.Norm() == 0.0);
+  theta.Normalize();
+  return theta;
+}
+
+void FillContextRow(ValueDistribution dist, std::size_t dim, Pcg64& rng,
+                    std::span<double> row) {
+  FASEA_DCHECK(row.size() == dim);
+  if (dist == ValueDistribution::kShuffle) {
+    // Dimension i cycles Uniform / Normal(mean i/d) / Power, following the
+    // paper's "shuffle" construction of more heterogeneous features.
+    for (std::size_t i = 0; i < dim; ++i) {
+      switch (i % 3) {
+        case 0:
+          row[i] = UniformReal(rng, -1.0, 1.0);
+          break;
+        case 1:
+          row[i] = Normal(rng, static_cast<double>(i) / dim, 1.0);
+          break;
+        default:
+          row[i] = Power(rng, 2.0);
+          break;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < dim; ++i) row[i] = SampleValue(dist, rng);
+  }
+  // Normalize to unit length (‖x‖ ≤ 1 requirement); re-draw is not needed:
+  // a zero row stays zero, which is a valid (if useless) context.
+  double norm_sq = 0.0;
+  for (double v : row) norm_sq += v * v;
+  if (norm_sq > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (double& v : row) v *= inv;
+  }
+}
+
+namespace {
+
+/// Streams fresh contexts and user capacities each round, reusing one
+/// buffer. Deterministic in (seed, t): each round reseeds a per-round
+/// engine so that providers for different policies (or re-runs) agree
+/// without sharing mutable state.
+class SyntheticRoundProvider final : public RoundProvider {
+ public:
+  SyntheticRoundProvider(const SyntheticConfig& config, std::uint64_t seed)
+      : config_(config), seed_(seed) {
+    round_.contexts = ContextMatrix(config.num_events, config.dim);
+  }
+
+  const RoundContext& NextRound(std::int64_t t) override {
+    Pcg64 rng(DeriveSeed(seed_, "round", static_cast<std::uint64_t>(t)));
+    if (config_.basic_bandit) {
+      round_.user_capacity = 1;
+    } else {
+      round_.user_capacity =
+          UniformInt(rng, config_.user_capacity_min, config_.user_capacity_max);
+    }
+    for (std::size_t v = 0; v < config_.num_events; ++v) {
+      FillContextRow(config_.context_dist, config_.dim, rng,
+                     round_.contexts.Row(v));
+    }
+    return round_;
+  }
+
+ private:
+  SyntheticConfig config_;
+  std::uint64_t seed_;
+  RoundContext round_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SyntheticWorld>> SyntheticWorld::Create(
+    const SyntheticConfig& config) {
+  if (Status st = config.Validate(); !st.ok()) return st;
+
+  auto world = std::unique_ptr<SyntheticWorld>(new SyntheticWorld());
+  world->config_ = config;
+
+  Pcg64 theta_rng = MakeEngine(config.seed, "theta");
+  world->theta_ = GenerateTheta(config.theta_dist, config.dim, theta_rng);
+
+  // Event capacities: N(mean, stddev) rounded, clamped at 0 (an event
+  // drawn non-positive simply never has seats). Basic bandit mode uses
+  // effectively-unlimited capacity and an empty conflict graph.
+  std::vector<std::int64_t> capacities(config.num_events);
+  Pcg64 cap_rng = MakeEngine(config.seed, "event-capacity");
+  for (auto& c : capacities) {
+    if (config.basic_bandit) {
+      c = config.horizon;  // Can never be exhausted.
+    } else {
+      const double draw = Normal(cap_rng, config.event_capacity_mean,
+                                 config.event_capacity_stddev);
+      c = std::max<std::int64_t>(0, std::llround(draw));
+    }
+  }
+
+  Pcg64 conflict_rng = MakeEngine(config.seed, "conflicts");
+  ConflictGraph conflicts =
+      config.basic_bandit
+          ? ConflictGraph(config.num_events)
+          : ConflictGraph::Random(config.num_events, config.conflict_ratio,
+                                  conflict_rng);
+
+  auto instance = ProblemInstance::Create(std::move(capacities),
+                                          std::move(conflicts), config.dim);
+  if (!instance.ok()) return instance.status();
+  world->instance_ = std::move(instance).value();
+
+  world->provider_ = std::make_unique<SyntheticRoundProvider>(
+      config, DeriveSeed(config.seed, "provider"));
+  world->feedback_ = std::make_unique<LinearFeedbackModel>(world->theta_);
+  return world;
+}
+
+}  // namespace fasea

@@ -1,0 +1,105 @@
+#include "ebsn/arrangement_service.h"
+
+#include "oracle/oracle.h"
+#include "rng/seed.h"
+
+namespace fasea {
+
+ArrangementService::ArrangementService(const ProblemInstance* instance,
+                                       PolicyKind kind,
+                                       const PolicyParams& params)
+    : instance_(instance),
+      kind_(kind),
+      params_(params),
+      state_(*instance),
+      log_(instance->num_events(), instance->dim()) {
+  FASEA_CHECK(instance != nullptr);
+}
+
+ArrangementService::ArrangementService(const ProblemInstance* instance,
+                                       PolicyKind kind,
+                                       const PolicyParams& params,
+                                       std::uint64_t seed)
+    : ArrangementService(instance, kind, params) {
+  policy_ = MakePolicy(kind, instance, params, seed);
+}
+
+StatusOr<std::unique_ptr<ArrangementService>>
+ArrangementService::FromCheckpoint(const ProblemInstance* instance,
+                                   std::string_view blob,
+                                   std::uint64_t seed) {
+  auto checkpoint = ParseCheckpoint(blob);
+  if (!checkpoint.ok()) return checkpoint.status();
+  auto policy = RestorePolicy(*checkpoint, instance, seed);
+  if (!policy.ok()) return policy.status();
+  auto service = std::unique_ptr<ArrangementService>(new ArrangementService(
+      instance, checkpoint->kind, checkpoint->params));
+  service->policy_ = std::move(policy).value();
+  return service;
+}
+
+StatusOr<Arrangement> ArrangementService::ServeUser(
+    std::int64_t user_id, std::int64_t user_capacity,
+    const ContextMatrix& contexts) {
+  if (pending_) {
+    return FailedPreconditionError(
+        "previous user's feedback has not been submitted");
+  }
+  RoundContext round;
+  round.contexts = contexts;
+  round.user_capacity = user_capacity;
+  round.user_id = user_id;
+  if (Status st = ValidateRoundContext(round, instance_->num_events(),
+                                       instance_->dim());
+      !st.ok()) {
+    return st;
+  }
+  ++t_;
+  Arrangement arrangement = policy_->Propose(t_, round, state_);
+  FASEA_CHECK(IsFeasibleArrangement(arrangement, instance_->conflicts(),
+                                    state_, user_capacity));
+  pending_ = true;
+  pending_round_ = std::move(round);
+  pending_arrangement_ = arrangement;
+  return arrangement;
+}
+
+Status ArrangementService::SubmitFeedback(const Feedback& feedback) {
+  if (!pending_) {
+    return FailedPreconditionError("no arrangement is awaiting feedback");
+  }
+  if (feedback.size() != pending_arrangement_.size()) {
+    return InvalidArgumentError(
+        "feedback must align with the proposed arrangement");
+  }
+  for (std::uint8_t f : feedback) {
+    if (f > 1) return InvalidArgumentError("feedback entries must be 0/1");
+  }
+  for (std::size_t i = 0; i < feedback.size(); ++i) {
+    if (feedback[i]) state_.ConsumeOne(pending_arrangement_[i]);
+  }
+  policy_->Learn(t_, pending_round_, pending_arrangement_, feedback);
+
+  InteractionRecord record;
+  record.t = t_;
+  record.user_id = pending_round_.user_id;
+  record.user_capacity = pending_round_.user_capacity;
+  record.arrangement = pending_arrangement_;
+  record.feedback = feedback;
+  for (EventId v : pending_arrangement_) {
+    const auto row = pending_round_.contexts.Row(v);
+    record.contexts.emplace_back(row.begin(), row.end());
+  }
+  FASEA_CHECK_OK(log_.Append(std::move(record)));
+  pending_ = false;
+  return Status::Ok();
+}
+
+std::string ArrangementService::Checkpoint() const {
+  const auto* base = dynamic_cast<const LinearPolicyBase*>(policy_.get());
+  FASEA_CHECK(base != nullptr &&
+              "only ridge learners support checkpointing");
+  return SaveCheckpoint(kind_, params_, *base);
+}
+
+}  // namespace fasea

@@ -1,0 +1,79 @@
+// ArrangementService: the embeddable front door of a FASEA deployment.
+//
+// Owns the policy, the live platform state (remaining capacities), and
+// the interaction log, and enforces the online protocol of Definition 3:
+// each arriving user gets an immediate, feasible, irrevocable proposal;
+// the user's feedback must be submitted before the next user is served;
+// accepted events consume capacity; every interaction is logged and
+// learned from.
+//
+// Recovery paths: Checkpoint()/service construction from a checkpoint
+// blob (binary sufficient statistics), or InteractionLog::Replay over a
+// persisted log.
+#ifndef FASEA_EBSN_ARRANGEMENT_SERVICE_H_
+#define FASEA_EBSN_ARRANGEMENT_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/policy_factory.h"
+#include "ebsn/interaction_log.h"
+#include "model/platform_state.h"
+
+namespace fasea {
+
+class ArrangementService {
+ public:
+  /// `instance` must outlive the service. `seed` feeds the policy's
+  /// exploration randomness.
+  ArrangementService(const ProblemInstance* instance, PolicyKind kind,
+                     const PolicyParams& params, std::uint64_t seed);
+
+  /// As above, but restores the policy's learning state from a checkpoint
+  /// blob produced by Checkpoint().
+  static StatusOr<std::unique_ptr<ArrangementService>> FromCheckpoint(
+      const ProblemInstance* instance, std::string_view blob,
+      std::uint64_t seed);
+
+  /// Serves the next arriving user: proposes a feasible arrangement for
+  /// the revealed contexts. Fails if the previous user's feedback has not
+  /// been submitted yet or the round is malformed.
+  StatusOr<Arrangement> ServeUser(std::int64_t user_id,
+                                  std::int64_t user_capacity,
+                                  const ContextMatrix& contexts);
+
+  /// Submits the served user's feedback (aligned with the returned
+  /// arrangement): consumes capacities, trains the policy, logs the
+  /// interaction.
+  Status SubmitFeedback(const Feedback& feedback);
+
+  /// Serializes the policy's learning state (see core/checkpoint.h).
+  std::string Checkpoint() const;
+
+  const PlatformState& state() const { return state_; }
+  const InteractionLog& log() const { return log_; }
+  const Policy& policy() const { return *policy_; }
+  std::int64_t rounds_served() const { return t_; }
+  bool AwaitingFeedback() const { return pending_; }
+
+ private:
+  ArrangementService(const ProblemInstance* instance, PolicyKind kind,
+                     const PolicyParams& params);
+
+  const ProblemInstance* instance_;
+  PolicyKind kind_;
+  PolicyParams params_;
+  std::unique_ptr<Policy> policy_;
+  PlatformState state_;
+  InteractionLog log_;
+
+  std::int64_t t_ = 0;
+  bool pending_ = false;
+  RoundContext pending_round_;
+  Arrangement pending_arrangement_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_EBSN_ARRANGEMENT_SERVICE_H_

@@ -1,0 +1,82 @@
+#include "ebsn/event_catalog.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace fasea {
+
+StatusOr<EventId> EventCatalog::Add(EventSpec spec) {
+  if (spec.name.empty()) {
+    return InvalidArgumentError("event name must not be empty");
+  }
+  for (const EventSpec& existing : events_) {
+    if (existing.name == spec.name) {
+      return InvalidArgumentError("duplicate event name '" + spec.name + "'");
+    }
+  }
+  if (spec.capacity < 0) {
+    return InvalidArgumentError("event '" + spec.name +
+                                "' has negative capacity");
+  }
+  if (spec.end_time < spec.start_time) {
+    return InvalidArgumentError("event '" + spec.name +
+                                "' ends before it starts");
+  }
+  events_.push_back(std::move(spec));
+  return static_cast<EventId>(events_.size() - 1);
+}
+
+const EventSpec& EventCatalog::Get(EventId id) const {
+  FASEA_CHECK(id < events_.size());
+  return events_[id];
+}
+
+StatusOr<EventId> EventCatalog::Find(const std::string& name) const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].name == name) return static_cast<EventId>(i);
+  }
+  return NotFoundError("no event named '" + name + "'");
+}
+
+StatusOr<ProblemInstance> EventCatalog::BuildInstance(
+    std::size_t dim) const {
+  if (events_.empty()) {
+    return FailedPreconditionError("catalog has no events");
+  }
+  std::vector<std::int64_t> capacities;
+  std::vector<double> starts, ends;
+  capacities.reserve(events_.size());
+  for (const EventSpec& e : events_) {
+    capacities.push_back(e.capacity);
+    starts.push_back(e.start_time);
+    ends.push_back(e.end_time);
+  }
+  return ProblemInstance::Create(std::move(capacities),
+                                 ConflictGraph::FromIntervals(starts, ends),
+                                 dim);
+}
+
+std::vector<std::string> EventCatalog::TagVocabulary() const {
+  std::set<std::string> vocab;
+  for (const EventSpec& e : events_) {
+    vocab.insert(e.tags.begin(), e.tags.end());
+  }
+  return std::vector<std::string>(vocab.begin(), vocab.end());
+}
+
+std::vector<std::vector<int>> EventCatalog::EventTagIds() const {
+  const std::vector<std::string> vocab = TagVocabulary();
+  std::vector<std::vector<int>> ids(events_.size());
+  for (std::size_t v = 0; v < events_.size(); ++v) {
+    for (const std::string& tag : events_[v].tags) {
+      const auto it = std::lower_bound(vocab.begin(), vocab.end(), tag);
+      ids[v].push_back(static_cast<int>(it - vocab.begin()));
+    }
+    std::sort(ids[v].begin(), ids[v].end());
+  }
+  return ids;
+}
+
+}  // namespace fasea

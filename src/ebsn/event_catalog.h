@@ -1,0 +1,61 @@
+// EventCatalog: the user-facing registry of events behind a FASEA
+// deployment.
+//
+// A platform describes its events with names, capacities, tags, and a
+// schedule; the catalog derives the ProblemInstance (conflicts from
+// schedule overlap, Definition 1's "a 7:30pm concert conflicts with a
+// 7:00pm one") that the policies and simulator consume, and keeps the
+// id ↔ name mapping for presentation.
+#ifndef FASEA_EBSN_EVENT_CATALOG_H_
+#define FASEA_EBSN_EVENT_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/instance.h"
+
+namespace fasea {
+
+struct EventSpec {
+  std::string name;
+  std::int64_t capacity = 0;
+  /// Schedule as [start, end) on a shared timeline (e.g. hours since the
+  /// start of the week). Events with overlapping intervals conflict.
+  double start_time = 0.0;
+  double end_time = 0.0;
+  /// Free-form tags (category, sub-category, ...) used by tag-based
+  /// baselines and presentation.
+  std::vector<std::string> tags;
+};
+
+class EventCatalog {
+ public:
+  /// Registers an event; returns its id. Fails on empty/duplicate name,
+  /// negative capacity, or end < start.
+  StatusOr<EventId> Add(EventSpec spec);
+
+  std::size_t size() const { return events_.size(); }
+  const EventSpec& Get(EventId id) const;
+  const std::string& Name(EventId id) const { return Get(id).name; }
+
+  /// Id of the event named `name`, or NotFound.
+  StatusOr<EventId> Find(const std::string& name) const;
+
+  /// Builds the problem instance: capacities from the specs, conflicts
+  /// from pairwise schedule overlap, context dimension `dim`.
+  StatusOr<ProblemInstance> BuildInstance(std::size_t dim) const;
+
+  /// Distinct tags across all events, sorted; and per-event tag-id lists
+  /// against that vocabulary (for the OnlineGreedy baseline).
+  std::vector<std::string> TagVocabulary() const;
+  std::vector<std::vector<int>> EventTagIds() const;
+
+ private:
+  std::vector<EventSpec> events_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_EBSN_EVENT_CATALOG_H_

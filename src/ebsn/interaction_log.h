@@ -1,0 +1,69 @@
+// InteractionLog: append-only history of (user, arrangement, feedback)
+// interactions, with CSV round-trip and policy replay.
+//
+// Replay rebuilds a freshly constructed policy's learning state from the
+// log — the recovery path a production deployment uses when no binary
+// checkpoint exists. Only the arranged events' context rows are stored:
+// they are exactly what the ridge update consumes (Y += x xᵀ, b += r x
+// over arranged events), so replay reproduces Y and b bit-for-bit.
+#ifndef FASEA_EBSN_INTERACTION_LOG_H_
+#define FASEA_EBSN_INTERACTION_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "model/types.h"
+
+namespace fasea {
+
+struct InteractionRecord {
+  std::int64_t t = 0;
+  std::int64_t user_id = 0;
+  std::int64_t user_capacity = 0;
+  Arrangement arrangement;
+  Feedback feedback;
+  /// Context row of each arranged event (arrangement.size() × dim).
+  std::vector<std::vector<double>> contexts;
+};
+
+class InteractionLog {
+ public:
+  explicit InteractionLog(std::size_t num_events, std::size_t dim)
+      : num_events_(num_events), dim_(dim) {}
+
+  std::size_t num_events() const { return num_events_; }
+  std::size_t dim() const { return dim_; }
+  std::size_t size() const { return records_.size(); }
+  const InteractionRecord& record(std::size_t i) const {
+    FASEA_CHECK(i < records_.size());
+    return records_[i];
+  }
+
+  /// Appends one interaction; validates arrangement/feedback/context
+  /// shapes and event-id bounds.
+  Status Append(InteractionRecord record);
+
+  /// Total accepted events across the log.
+  std::int64_t TotalAccepted() const;
+
+  /// Feeds every record through `policy->Learn`, rebuilding its state.
+  void Replay(Policy* policy) const;
+
+  /// CSV round-trip. One row per arranged event:
+  ///   t,user_id,user_capacity,event,feedback,x0,x1,...,x{d-1}
+  std::string ToCsv() const;
+  static StatusOr<InteractionLog> FromCsv(std::string_view csv,
+                                          std::size_t num_events,
+                                          std::size_t dim);
+
+ private:
+  std::size_t num_events_;
+  std::size_t dim_;
+  std::vector<InteractionRecord> records_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_EBSN_INTERACTION_LOG_H_

@@ -1,0 +1,130 @@
+// Conflict graph over events (Definition 1 of the paper).
+//
+// An undirected graph on |V| vertices where an edge {vi, vj} means a user
+// can attend at most one of the two events. Arrangement feasibility needs
+// one query on the hot path — "does candidate v conflict with anything
+// already arranged?" — so adjacency is stored as packed bitsets and the
+// query is a word-wise AND against the arranged-set bitset: O(|V|/64).
+#ifndef FASEA_GRAPH_CONFLICT_GRAPH_H_
+#define FASEA_GRAPH_CONFLICT_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "rng/pcg64.h"
+
+namespace fasea {
+
+/// Fixed-capacity bitset sized at runtime; used for adjacency rows and for
+/// the "already arranged" working set during arrangement construction.
+class EventBitset {
+ public:
+  EventBitset() = default;
+  explicit EventBitset(std::size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  std::size_t size() const { return n_; }
+
+  void Set(std::size_t i) {
+    FASEA_DCHECK(i < n_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+  void Clear(std::size_t i) {
+    FASEA_DCHECK(i < n_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+  bool Test(std::size_t i) const {
+    FASEA_DCHECK(i < n_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// True if this and `other` share any set bit.
+  bool Intersects(const EventBitset& other) const {
+    FASEA_DCHECK(n_ == other.n_);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] & other.words_[w]) return true;
+    }
+    return false;
+  }
+
+  std::size_t Count() const;
+
+  std::size_t MemoryBytes() const {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+class ConflictGraph {
+ public:
+  ConflictGraph() = default;
+  /// Graph on n events, no conflicts.
+  explicit ConflictGraph(std::size_t n);
+
+  std::size_t num_events() const { return n_; }
+  std::size_t num_conflicts() const { return edges_.size(); }
+
+  /// Conflict ratio cr = |CF| / (|V|(|V|-1)/2); 0 for graphs with < 2
+  /// events.
+  double ConflictRatio() const;
+
+  /// Adds the conflicting pair {a, b}; a == b or duplicate pairs abort.
+  void AddConflict(std::size_t a, std::size_t b);
+
+  bool Conflicts(std::size_t a, std::size_t b) const {
+    FASEA_DCHECK(a < n_ && b < n_);
+    return rows_[a].Test(b);
+  }
+
+  /// True if event v conflicts with any event in `arranged`.
+  bool ConflictsWithAny(std::size_t v, const EventBitset& arranged) const {
+    FASEA_DCHECK(v < n_);
+    return rows_[v].Intersects(arranged);
+  }
+
+  /// The sorted list of conflicting pairs (a < b).
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges() const {
+    return edges_;
+  }
+
+  /// Degree of vertex v.
+  std::size_t Degree(std::size_t v) const {
+    FASEA_DCHECK(v < n_);
+    return rows_[v].Count();
+  }
+
+  /// True if the events listed in `events` are pairwise non-conflicting.
+  bool IsIndependentSet(const std::vector<std::uint32_t>& events) const;
+
+  std::size_t MemoryBytes() const;
+
+  // --- Generators -------------------------------------------------------
+
+  /// Erdős–Rényi style: exactly round(cr · n(n-1)/2) distinct conflicting
+  /// pairs sampled uniformly.
+  static ConflictGraph Random(std::size_t n, double conflict_ratio,
+                              Pcg64& rng);
+
+  /// All pairs conflicting (cr = 1).
+  static ConflictGraph Complete(std::size_t n);
+
+  /// Conflicts from time-interval overlap: events i and j conflict iff
+  /// [start_i, end_i) overlaps [start_j, end_j). Used by the real-dataset
+  /// surrogate (a 7:30pm concert conflicts with a 7:00pm one).
+  static ConflictGraph FromIntervals(const std::vector<double>& starts,
+                                     const std::vector<double>& ends);
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<EventBitset> rows_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_GRAPH_CONFLICT_GRAPH_H_

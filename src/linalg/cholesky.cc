@@ -1,0 +1,84 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace fasea {
+
+StatusOr<Cholesky> Cholesky::Factorize(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return InvalidArgumentError("Cholesky: matrix is not square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return InvalidArgumentError(
+              "Cholesky: matrix is not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::SolveLower(const Vector& rhs) const {
+  FASEA_CHECK(rhs.size() == dim());
+  const std::size_t n = dim();
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = rhs[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::SolveUpper(const Vector& rhs) const {
+  FASEA_CHECK(rhs.size() == dim());
+  const std::size_t n = dim();
+  Vector y(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = rhs[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l_(k, i) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::Solve(const Vector& rhs) const {
+  return SolveUpper(SolveLower(rhs));
+}
+
+Matrix Cholesky::Inverse() const {
+  const std::size_t n = dim();
+  Matrix inv(n, n);
+  Vector unit(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    unit.Fill(0.0);
+    unit[j] = 1.0;
+    const Vector col = Solve(unit);
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+  }
+  return inv;
+}
+
+double Cholesky::LogDet() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) sum += std::log(l_(i, i));
+  return 2.0 * sum;
+}
+
+double Cholesky::InverseQuadraticForm(const Vector& x) const {
+  const Vector y = SolveLower(x);
+  return Dot(y, y);
+}
+
+}  // namespace fasea

@@ -1,0 +1,52 @@
+// Cholesky (L Lᵀ) factorization of symmetric positive-definite matrices,
+// with triangular solves, SPD linear solve, inverse, and log-determinant.
+//
+// The ridge Gram matrix Y = λI + Σ x xᵀ of the bandit policies is always
+// SPD (λ > 0), so Cholesky is the natural factorization: it backs θ̂ = Y⁻¹b,
+// the UCB quadratic form, and Thompson sampling from N(θ̂, q²Y⁻¹).
+#ifndef FASEA_LINALG_CHOLESKY_H_
+#define FASEA_LINALG_CHOLESKY_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace fasea {
+
+/// Holds the lower-triangular factor L with A = L Lᵀ.
+class Cholesky {
+ public:
+  /// Factorizes SPD matrix `a` (only the lower triangle is read). Fails
+  /// with InvalidArgument if `a` is not square or a pivot is not positive.
+  static StatusOr<Cholesky> Factorize(const Matrix& a);
+
+  std::size_t dim() const { return l_.rows(); }
+  const Matrix& L() const { return l_; }
+
+  /// Solves L y = rhs (forward substitution).
+  Vector SolveLower(const Vector& rhs) const;
+
+  /// Solves Lᵀ y = rhs (backward substitution).
+  Vector SolveUpper(const Vector& rhs) const;
+
+  /// Solves A x = rhs, A = L Lᵀ.
+  Vector Solve(const Vector& rhs) const;
+
+  /// A⁻¹ via d solves against unit vectors (O(d³)).
+  Matrix Inverse() const;
+
+  /// log det(A) = 2 Σ log L_ii.
+  double LogDet() const;
+
+  /// Quadratic form xᵀ A⁻¹ x computed as ‖L⁻¹x‖² without forming A⁻¹.
+  double InverseQuadraticForm(const Vector& x) const;
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+
+  Matrix l_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_LINALG_CHOLESKY_H_

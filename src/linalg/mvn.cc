@@ -1,0 +1,38 @@
+#include "linalg/mvn.h"
+
+#include "rng/distributions.h"
+
+namespace fasea {
+
+Vector StandardNormalVector(Pcg64& rng, std::size_t n) {
+  Vector z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = StandardNormal(rng);
+  return z;
+}
+
+Vector SampleMvnFromPrecision(Pcg64& rng, const Vector& mean, double scale,
+                              const Cholesky& chol_y) {
+  FASEA_CHECK(mean.size() == chol_y.dim());
+  const Vector z = StandardNormalVector(rng, mean.size());
+  Vector sample = chol_y.SolveUpper(z);  // L⁻ᵀ z ~ N(0, Y⁻¹).
+  sample.Scale(scale);
+  for (std::size_t i = 0; i < sample.size(); ++i) sample[i] += mean[i];
+  return sample;
+}
+
+Vector SampleMvnFromCovariance(Pcg64& rng, const Vector& mean,
+                               const Cholesky& chol_cov) {
+  FASEA_CHECK(mean.size() == chol_cov.dim());
+  const Vector z = StandardNormalVector(rng, mean.size());
+  // L z ~ N(0, L Lᵀ) = N(0, cov).
+  const Matrix& l = chol_cov.L();
+  Vector sample(mean.size());
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    double sum = mean[i];
+    for (std::size_t k = 0; k <= i; ++k) sum += l(i, k) * z[k];
+    sample[i] = sum;
+  }
+  return sample;
+}
+
+}  // namespace fasea

@@ -1,0 +1,30 @@
+// Multivariate normal sampling for Thompson Sampling.
+//
+// Algorithm 1 of the paper samples θ̃ ~ N(θ̂, q² Y⁻¹). Given the Cholesky
+// factor Y = L Lᵀ, a sample is θ̂ + q · L⁻ᵀ z with z ~ N(0, I): the
+// covariance of L⁻ᵀ z is L⁻ᵀ L⁻¹ = (L Lᵀ)⁻¹ = Y⁻¹. This avoids forming or
+// factorizing the d×d inverse.
+#ifndef FASEA_LINALG_MVN_H_
+#define FASEA_LINALG_MVN_H_
+
+#include "linalg/cholesky.h"
+#include "linalg/vector.h"
+#include "rng/pcg64.h"
+
+namespace fasea {
+
+/// Vector of n iid standard normal deviates.
+Vector StandardNormalVector(Pcg64& rng, std::size_t n);
+
+/// Sample from N(mean, scale² · Y⁻¹) where `chol_y` factorizes Y.
+Vector SampleMvnFromPrecision(Pcg64& rng, const Vector& mean, double scale,
+                              const Cholesky& chol_y);
+
+/// Sample from N(mean, cov) where `chol_cov` factorizes the covariance
+/// itself (mean + L z).
+Vector SampleMvnFromCovariance(Pcg64& rng, const Vector& mean,
+                               const Cholesky& chol_cov);
+
+}  // namespace fasea
+
+#endif  // FASEA_LINALG_MVN_H_

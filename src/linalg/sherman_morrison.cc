@@ -1,0 +1,61 @@
+#include "linalg/sherman_morrison.h"
+
+#include "linalg/cholesky.h"
+
+namespace fasea {
+
+SymmetricInverse::SymmetricInverse(std::size_t dim, double diag,
+                                   std::int64_t refactor_every)
+    : y_(Matrix::ScaledIdentity(dim, diag)),
+      y_inv_(Matrix::ScaledIdentity(dim, 1.0 / diag)),
+      work_(dim),
+      refactor_every_(refactor_every) {
+  FASEA_CHECK(diag > 0.0);
+}
+
+StatusOr<SymmetricInverse> SymmetricInverse::FromMatrix(
+    Matrix y, std::int64_t num_updates, std::int64_t refactor_every) {
+  if (y.rows() != y.cols() || y.rows() == 0) {
+    return InvalidArgumentError("SymmetricInverse: matrix must be square");
+  }
+  if (num_updates < 0) {
+    return InvalidArgumentError("SymmetricInverse: negative update count");
+  }
+  auto chol = Cholesky::Factorize(y);
+  if (!chol.ok()) return chol.status();
+  SymmetricInverse inv(y.rows(), 1.0, refactor_every);
+  inv.y_ = std::move(y);
+  inv.y_inv_ = chol->Inverse();
+  inv.num_updates_ = num_updates;
+  return inv;
+}
+
+void SymmetricInverse::RankOneUpdate(std::span<const double> x) {
+  FASEA_CHECK(x.size() == dim());
+  y_.AddOuter(1.0, x);
+  // u = Y⁻¹ x; denom = 1 + xᵀ Y⁻¹ x (> 0 for SPD Y).
+  y_inv_.MatVec(x, work_.span());
+  const double denom = 1.0 + Dot(x, work_.span());
+  y_inv_.AddOuter(-1.0 / denom, work_.span());
+  ++num_updates_;
+  if (refactor_every_ > 0 && num_updates_ % refactor_every_ == 0) {
+    Refactorize();
+  }
+}
+
+Vector SymmetricInverse::Solve(const Vector& rhs) const {
+  return y_inv_.MatVec(rhs);
+}
+
+double SymmetricInverse::InverseQuadraticForm(
+    std::span<const double> x) const {
+  return y_inv_.QuadraticForm(x);
+}
+
+void SymmetricInverse::Refactorize() {
+  auto chol = Cholesky::Factorize(y_);
+  FASEA_CHECK(chol.ok());
+  y_inv_ = chol->Inverse();
+}
+
+}  // namespace fasea

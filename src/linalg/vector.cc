@@ -1,0 +1,88 @@
+#include "linalg/vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace fasea {
+
+void Vector::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+double Vector::Norm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Vector::Sum() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v;
+  return sum;
+}
+
+void Vector::Scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+void Vector::Normalize() {
+  const double norm = Norm();
+  if (norm > 0.0) Scale(1.0 / norm);
+}
+
+std::string Vector::ToString(int digits) const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += FormatDouble(data_[i], digits);
+  }
+  out += "]";
+  return out;
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  FASEA_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  return Dot(a.span(), b.span());
+}
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  FASEA_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Axpy(double alpha, const Vector& x, Vector* y) {
+  Axpy(alpha, x.span(), y->span());
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  FASEA_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Sub(const Vector& a, const Vector& b) {
+  FASEA_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double MaxAbsDiff(const Vector& a, const Vector& b) {
+  FASEA_CHECK(a.size() == b.size());
+  double max = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max = std::max(max, std::fabs(a[i] - b[i]));
+  }
+  return max;
+}
+
+}  // namespace fasea

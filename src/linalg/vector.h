@@ -1,0 +1,100 @@
+// Dense double vector with BLAS-1 style kernels.
+//
+// FASEA's dimensions are small (d ≤ a few dozen in the paper, |V| ≤ a few
+// thousand), so the implementation favours clarity and cache-friendly
+// contiguous storage over blocking tricks. All kernels are scalar loops
+// the compiler can auto-vectorize.
+#ifndef FASEA_LINALG_VECTOR_H_
+#define FASEA_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace fasea {
+
+class Vector {
+ public:
+  Vector() = default;
+  /// Zero vector of dimension n.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+  Vector(std::size_t n, double fill) : data_(n, fill) {}
+  Vector(std::initializer_list<double> values) : data_(values) {}
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) {
+    FASEA_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    FASEA_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  std::span<double> span() { return {data_.data(), data_.size()}; }
+  std::span<const double> span() const { return {data_.data(), data_.size()}; }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  /// Sets every entry to `value`.
+  void Fill(double value);
+
+  /// Resizes to n, zero-filling new entries.
+  void Resize(std::size_t n) { data_.resize(n, 0.0); }
+
+  /// Euclidean norm.
+  double Norm() const;
+
+  /// Sum of entries.
+  double Sum() const;
+
+  /// Scales in place: this *= s.
+  void Scale(double s);
+
+  /// Rescales to unit Euclidean norm; a zero vector is left unchanged.
+  void Normalize();
+
+  /// Heap bytes owned by this vector.
+  std::size_t MemoryBytes() const { return data_.capacity() * sizeof(double); }
+
+  std::string ToString(int digits = 6) const;
+
+  friend bool operator==(const Vector& a, const Vector& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Dot product; dimensions must match.
+double Dot(const Vector& a, const Vector& b);
+double Dot(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x.
+void Axpy(double alpha, const Vector& x, Vector* y);
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Element-wise a + b, a - b.
+Vector Add(const Vector& a, const Vector& b);
+Vector Sub(const Vector& a, const Vector& b);
+
+/// Max |a_i - b_i|; dimensions must match.
+double MaxAbsDiff(const Vector& a, const Vector& b);
+
+}  // namespace fasea
+
+#endif  // FASEA_LINALG_VECTOR_H_

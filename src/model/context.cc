@@ -1,0 +1,34 @@
+#include "model/context.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace fasea {
+
+Status ValidateRoundContext(const RoundContext& round, std::size_t num_events,
+                            std::size_t dim) {
+  if (round.contexts.rows() != num_events || round.contexts.cols() != dim) {
+    return InvalidArgumentError(
+        StrFormat("context matrix is %zux%zu, expected %zux%zu",
+                  round.contexts.rows(), round.contexts.cols(), num_events,
+                  dim));
+  }
+  if (round.user_capacity < 1) {
+    return InvalidArgumentError(StrFormat(
+        "user capacity must be >= 1, got %lld",
+        static_cast<long long>(round.user_capacity)));
+  }
+  constexpr double kNormTolerance = 1e-9;
+  for (std::size_t v = 0; v < num_events; ++v) {
+    double norm_sq = 0.0;
+    for (double x : round.contexts.Row(v)) norm_sq += x * x;
+    if (norm_sq > 1.0 + kNormTolerance) {
+      return InvalidArgumentError(StrFormat(
+          "context of event %zu has norm %.6f > 1", v, std::sqrt(norm_sq)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace fasea

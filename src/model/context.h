@@ -1,0 +1,49 @@
+// Round context: the |V| × d matrix of feature vectors x_{t,v} revealed
+// when user u_t arrives, plus the user's capacity c_u.
+#ifndef FASEA_MODEL_CONTEXT_H_
+#define FASEA_MODEL_CONTEXT_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace fasea {
+
+/// Row v holds x_{t,v}. The paper requires ‖x_{t,v}‖ ≤ 1 for every event.
+using ContextMatrix = Matrix;
+
+struct RoundContext {
+  ContextMatrix contexts;          // |V| × d.
+  std::int64_t user_capacity = 0;  // c_u ≥ 1.
+
+  /// Identity of the arriving user. The base FASEA setting treats all
+  /// arrivals as sharing one θ (user_id stays 0); the Remark 1 extension
+  /// learns an individual θ per user id.
+  std::int64_t user_id = 0;
+
+  /// Remark 2 extension (dynamic event sets V_t): if non-empty, only
+  /// events with available[v] != 0 may be arranged this round. Empty
+  /// means every event is available (the base FASEA setting).
+  std::vector<std::uint8_t> available;
+
+  bool IsAvailable(std::size_t v) const {
+    return available.empty() || available[v] != 0;
+  }
+};
+
+/// Scores use -infinity as the "do not arrange this round" marker; all
+/// oracles skip events carrying it.
+inline constexpr double kExcludedScore =
+    -std::numeric_limits<double>::infinity();
+
+/// Validates shape and the ‖x‖ ≤ 1 norm bound (with a small tolerance for
+/// accumulated float error).
+Status ValidateRoundContext(const RoundContext& round, std::size_t num_events,
+                            std::size_t dim);
+
+}  // namespace fasea
+
+#endif  // FASEA_MODEL_CONTEXT_H_

@@ -1,0 +1,39 @@
+#include "model/instance.h"
+
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace fasea {
+
+StatusOr<ProblemInstance> ProblemInstance::Create(
+    std::vector<std::int64_t> capacities, ConflictGraph conflicts,
+    std::size_t dim) {
+  if (conflicts.num_events() != capacities.size()) {
+    return InvalidArgumentError(StrFormat(
+        "conflict graph has %zu events but %zu capacities were given",
+        conflicts.num_events(), capacities.size()));
+  }
+  if (dim == 0) {
+    return InvalidArgumentError("context dimension must be positive");
+  }
+  for (std::size_t v = 0; v < capacities.size(); ++v) {
+    if (capacities[v] < 0) {
+      return InvalidArgumentError(
+          StrFormat("event %zu has negative capacity %lld", v,
+                    static_cast<long long>(capacities[v])));
+    }
+  }
+  ProblemInstance instance;
+  instance.capacities_ = std::move(capacities);
+  instance.conflicts_ = std::move(conflicts);
+  instance.dim_ = dim;
+  return instance;
+}
+
+std::int64_t ProblemInstance::TotalCapacity() const {
+  return std::accumulate(capacities_.begin(), capacities_.end(),
+                         std::int64_t{0});
+}
+
+}  // namespace fasea

@@ -1,0 +1,52 @@
+// ProblemInstance: the static inputs of a FASEA problem (Definition 3) —
+// the event set V with capacities c_v, the conflict pairs CF, and the
+// context dimension d.
+#ifndef FASEA_MODEL_INSTANCE_H_
+#define FASEA_MODEL_INSTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/conflict_graph.h"
+#include "model/types.h"
+
+namespace fasea {
+
+class ProblemInstance {
+ public:
+  ProblemInstance() = default;
+  /// Builds an instance; capacities.size() defines |V| and must match the
+  /// conflict graph. Every capacity must be >= 0.
+  static StatusOr<ProblemInstance> Create(std::vector<std::int64_t> capacities,
+                                          ConflictGraph conflicts,
+                                          std::size_t dim);
+
+  std::size_t num_events() const { return capacities_.size(); }
+  std::size_t dim() const { return dim_; }
+
+  std::int64_t capacity(EventId v) const {
+    FASEA_DCHECK(v < capacities_.size());
+    return capacities_[v];
+  }
+  const std::vector<std::int64_t>& capacities() const { return capacities_; }
+
+  const ConflictGraph& conflicts() const { return conflicts_; }
+
+  /// Sum of all event capacities — an upper bound on total acceptances.
+  std::int64_t TotalCapacity() const;
+
+  std::size_t MemoryBytes() const {
+    return capacities_.capacity() * sizeof(std::int64_t) +
+           conflicts_.MemoryBytes();
+  }
+
+ private:
+  std::vector<std::int64_t> capacities_;
+  ConflictGraph conflicts_;
+  std::size_t dim_ = 0;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_MODEL_INSTANCE_H_

@@ -1,0 +1,18 @@
+#include "model/platform_state.h"
+
+#include <numeric>
+
+namespace fasea {
+
+std::int64_t PlatformState::NumAvailableEvents() const {
+  std::int64_t n = 0;
+  for (std::int64_t r : remaining_) n += (r > 0);
+  return n;
+}
+
+std::int64_t PlatformState::TotalRemaining() const {
+  return std::accumulate(remaining_.begin(), remaining_.end(),
+                         std::int64_t{0});
+}
+
+}  // namespace fasea

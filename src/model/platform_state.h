@@ -1,0 +1,60 @@
+// PlatformState: the mutable per-trajectory state of the EBSN platform —
+// how much capacity each event has left. Each algorithm (and OPT) evolves
+// its own PlatformState, because which events fill up depends on which
+// arrangements were made and accepted.
+#ifndef FASEA_MODEL_PLATFORM_STATE_H_
+#define FASEA_MODEL_PLATFORM_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "model/instance.h"
+#include "model/types.h"
+
+namespace fasea {
+
+class PlatformState {
+ public:
+  PlatformState() = default;
+  explicit PlatformState(const ProblemInstance& instance)
+      : remaining_(instance.capacities()) {}
+
+  std::size_t num_events() const { return remaining_.size(); }
+
+  std::int64_t remaining(EventId v) const {
+    FASEA_DCHECK(v < remaining_.size());
+    return remaining_[v];
+  }
+
+  /// True if event v can still accept at least one more participant.
+  bool HasCapacity(EventId v) const { return remaining(v) > 0; }
+
+  /// Consumes one seat of event v (called when a user accepts v).
+  void ConsumeOne(EventId v) {
+    FASEA_DCHECK(v < remaining_.size());
+    FASEA_CHECK(remaining_[v] > 0);
+    --remaining_[v];
+  }
+
+  /// Number of events that still have capacity.
+  std::int64_t NumAvailableEvents() const;
+
+  /// Sum of remaining capacities.
+  std::int64_t TotalRemaining() const;
+
+  /// True once every event is full — from then on no arrangement can
+  /// gain reward (the regret-curve "sudden drop" regime in the paper).
+  bool Exhausted() const { return NumAvailableEvents() == 0; }
+
+  std::size_t MemoryBytes() const {
+    return remaining_.capacity() * sizeof(std::int64_t);
+  }
+
+ private:
+  std::vector<std::int64_t> remaining_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_MODEL_PLATFORM_STATE_H_

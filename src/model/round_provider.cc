@@ -1,0 +1,28 @@
+#include "model/round_provider.h"
+
+#include <algorithm>
+
+#include "rng/distributions.h"
+
+namespace fasea {
+
+double LinearFeedbackModel::ExpectedReward(std::int64_t /*t*/,
+                                           const ContextMatrix& contexts,
+                                           EventId v) const {
+  const double raw = Dot(contexts.Row(v), theta_.span());
+  return std::clamp(raw, 0.0, 1.0);
+}
+
+Feedback LinearFeedbackModel::Sample(std::int64_t t,
+                                     const ContextMatrix& contexts,
+                                     const Arrangement& arrangement,
+                                     Pcg64& rng) {
+  Feedback feedback(arrangement.size());
+  for (std::size_t i = 0; i < arrangement.size(); ++i) {
+    const double p = ExpectedReward(t, contexts, arrangement[i]);
+    feedback[i] = Bernoulli(rng, p) ? 1 : 0;
+  }
+  return feedback;
+}
+
+}  // namespace fasea

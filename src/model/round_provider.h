@@ -1,0 +1,66 @@
+// RoundProvider and FeedbackModel: the two interfaces that connect a data
+// source (synthetic generator, real-dataset surrogate, or a live platform)
+// to the simulation engine.
+//
+// RoundProvider produces, for each time step t, the arriving user's
+// capacity and the |V| × d context matrix. FeedbackModel is the hidden
+// ground truth: it knows the true expected reward of each event and
+// samples the user's accept/reject feedback for an arrangement.
+#ifndef FASEA_MODEL_ROUND_PROVIDER_H_
+#define FASEA_MODEL_ROUND_PROVIDER_H_
+
+#include <cstdint>
+
+#include "model/context.h"
+#include "model/types.h"
+#include "rng/pcg64.h"
+
+namespace fasea {
+
+class RoundProvider {
+ public:
+  virtual ~RoundProvider() = default;
+
+  /// Fills `round` for time step t (t is 1-based). The returned reference
+  /// stays valid until the next call. Implementations may reuse buffers.
+  /// The round carries the arriving user's id (0 in the shared-θ setting).
+  virtual const RoundContext& NextRound(std::int64_t t) = 0;
+};
+
+class FeedbackModel {
+ public:
+  virtual ~FeedbackModel() = default;
+
+  /// True expected reward E[r_{t,v} | x_{t,v}] of event v this round.
+  /// This is hidden from the learning policies; only OPT / Full Knowledge
+  /// and the regret accounting may look at it.
+  virtual double ExpectedReward(std::int64_t t, const ContextMatrix& contexts,
+                                EventId v) const = 0;
+
+  /// Samples the user's 0/1 feedback for each arranged event, using `rng`
+  /// (the caller owns one engine per trajectory so that parallel
+  /// trajectories stay independent).
+  virtual Feedback Sample(std::int64_t t, const ContextMatrix& contexts,
+                          const Arrangement& arrangement, Pcg64& rng) = 0;
+};
+
+/// The linear-payoff ground truth of Definition 2: each arranged event is
+/// accepted independently with probability clamp(x_{t,v}ᵀ θ, 0, 1).
+class LinearFeedbackModel final : public FeedbackModel {
+ public:
+  explicit LinearFeedbackModel(Vector theta) : theta_(std::move(theta)) {}
+
+  const Vector& theta() const { return theta_; }
+
+  double ExpectedReward(std::int64_t t, const ContextMatrix& contexts,
+                        EventId v) const override;
+  Feedback Sample(std::int64_t t, const ContextMatrix& contexts,
+                  const Arrangement& arrangement, Pcg64& rng) override;
+
+ private:
+  Vector theta_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_MODEL_ROUND_PROVIDER_H_

@@ -1,0 +1,30 @@
+// Shared vocabulary types of the FASEA domain model.
+#ifndef FASEA_MODEL_TYPES_H_
+#define FASEA_MODEL_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fasea {
+
+/// Index of an event within the instance's event list.
+using EventId = std::uint32_t;
+
+/// An arrangement A_t: the event ids proposed to the user this round, in
+/// the order the oracle selected them.
+using Arrangement = std::vector<EventId>;
+
+/// Per-arranged-event 0/1 feedback, aligned with the Arrangement: 1 means
+/// the user accepted the event.
+using Feedback = std::vector<std::uint8_t>;
+
+/// Number of accepted events in a feedback vector (r_{t,A_t}, Eq. 1).
+inline std::int64_t NumAccepted(const Feedback& feedback) {
+  std::int64_t n = 0;
+  for (std::uint8_t f : feedback) n += f;
+  return n;
+}
+
+}  // namespace fasea
+
+#endif  // FASEA_MODEL_TYPES_H_

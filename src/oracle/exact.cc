@@ -1,0 +1,90 @@
+#include "oracle/exact.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fasea {
+
+namespace {
+
+struct SearchState {
+  std::span<const double> scores;
+  const ConflictGraph* conflicts;
+  const std::vector<EventId>* candidates;  // Sorted by score desc.
+  std::int64_t capacity;
+  std::int64_t node_limit;
+  std::int64_t nodes = 0;
+
+  double best_score = 0.0;
+  Arrangement best;
+  Arrangement current;
+};
+
+// Upper bound for completing `current` from candidates[idx..]: take the
+// next best scores ignoring conflicts.
+double UpperBound(const SearchState& s, std::size_t idx, double current_sum) {
+  double bound = current_sum;
+  std::int64_t slots =
+      s.capacity - static_cast<std::int64_t>(s.current.size());
+  for (std::size_t i = idx; i < s.candidates->size() && slots > 0;
+       ++i, --slots) {
+    bound += s.scores[(*s.candidates)[i]];
+  }
+  return bound;
+}
+
+void Search(SearchState& s, std::size_t idx, double current_sum) {
+  FASEA_CHECK(++s.nodes <= s.node_limit);
+  if (current_sum > s.best_score) {
+    s.best_score = current_sum;
+    s.best = s.current;
+  }
+  if (idx >= s.candidates->size()) return;
+  if (static_cast<std::int64_t>(s.current.size()) >= s.capacity) return;
+  if (UpperBound(s, idx, current_sum) <= s.best_score) return;
+
+  const EventId v = (*s.candidates)[idx];
+  // Branch 1: include v if it is compatible with the current set.
+  bool compatible = true;
+  for (EventId u : s.current) {
+    if (s.conflicts->Conflicts(u, v)) {
+      compatible = false;
+      break;
+    }
+  }
+  if (compatible) {
+    s.current.push_back(v);
+    Search(s, idx + 1, current_sum + s.scores[v]);
+    s.current.pop_back();
+  }
+  // Branch 2: exclude v.
+  Search(s, idx + 1, current_sum);
+}
+
+}  // namespace
+
+Arrangement ExactOracle::Select(std::span<const double> scores,
+                                const ConflictGraph& conflicts,
+                                const PlatformState& state,
+                                std::int64_t user_capacity) {
+  FASEA_CHECK(user_capacity >= 0);
+  // Only positive-score, non-full events can improve the objective; the
+  // optimum over positive scores never benefits from a non-positive event.
+  std::vector<EventId> candidates;
+  for (std::size_t v = 0; v < scores.size(); ++v) {
+    if (scores[v] > 0.0 && state.HasCapacity(static_cast<EventId>(v))) {
+      candidates.push_back(static_cast<EventId>(v));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](EventId a, EventId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+
+  SearchState s{scores, &conflicts, &candidates, user_capacity, node_limit_,
+                /*nodes=*/0, /*best_score=*/0.0, /*best=*/{}, /*current=*/{}};
+  Search(s, 0, 0.0);
+  return s.best;
+}
+
+}  // namespace fasea

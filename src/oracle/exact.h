@@ -1,0 +1,36 @@
+// ExactOracle: branch-and-bound solver for the max-score arrangement.
+//
+// Finds the independent set of at most c_u non-full events maximizing the
+// sum of (positive) scores. Exponential in the worst case — FASEA uses it
+// only in tests (validating Theorem 1's 1/c_u bound against Oracle-Greedy)
+// and in the bench_ablation_oracle study on small instances.
+#ifndef FASEA_ORACLE_EXACT_H_
+#define FASEA_ORACLE_EXACT_H_
+
+#include <vector>
+
+#include "oracle/oracle.h"
+
+namespace fasea {
+
+class ExactOracle final : public ArrangementOracle {
+ public:
+  /// `node_limit` bounds the search; exceeding it aborts (tests keep
+  /// instances small enough that this never triggers).
+  explicit ExactOracle(std::int64_t node_limit = 50'000'000)
+      : node_limit_(node_limit) {}
+
+  Arrangement Select(std::span<const double> scores,
+                     const ConflictGraph& conflicts,
+                     const PlatformState& state,
+                     std::int64_t user_capacity) override;
+
+  std::string_view name() const override { return "Exact"; }
+
+ private:
+  std::int64_t node_limit_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_ORACLE_EXACT_H_

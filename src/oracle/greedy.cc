@@ -1,0 +1,41 @@
+#include "oracle/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fasea {
+
+Arrangement GreedyOracle::Select(std::span<const double> scores,
+                                 const ConflictGraph& conflicts,
+                                 const PlatformState& state,
+                                 std::int64_t user_capacity) {
+  const std::size_t n = scores.size();
+  FASEA_DCHECK(n == state.num_events());
+  FASEA_CHECK(user_capacity >= 0);
+
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0);
+  // Non-increasing score; ties broken by event id for determinism.
+  std::sort(order_.begin(), order_.end(), [&](EventId a, EventId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+
+  if (arranged_.size() != n) arranged_ = EventBitset(n);
+  arranged_.Reset();
+
+  Arrangement result;
+  result.reserve(static_cast<std::size_t>(user_capacity));
+  for (EventId v : order_) {
+    if (static_cast<std::int64_t>(result.size()) >= user_capacity) break;
+    if (std::isinf(scores[v]) && scores[v] < 0) continue;  // Excluded.
+    if (!state.HasCapacity(v)) continue;
+    if (conflicts.ConflictsWithAny(v, arranged_)) continue;
+    arranged_.Set(v);
+    result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace fasea

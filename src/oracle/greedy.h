@@ -1,0 +1,36 @@
+// Oracle-Greedy (Algorithm 2 of the paper).
+//
+// Visits events in non-increasing order of score; arranges each visited
+// event that still has capacity and does not conflict with the events
+// already arranged, stopping once the user capacity is reached. Theorem 1:
+// over positive scores this is a 1/c_u approximation of the optimal
+// arrangement. Note that events with score ≤ 0 ARE arranged when nothing
+// better fits — the paper argues this "does no harm" because estimated
+// rewards can be pessimistic (§3).
+#ifndef FASEA_ORACLE_GREEDY_H_
+#define FASEA_ORACLE_GREEDY_H_
+
+#include <vector>
+
+#include "oracle/oracle.h"
+
+namespace fasea {
+
+class GreedyOracle final : public ArrangementOracle {
+ public:
+  Arrangement Select(std::span<const double> scores,
+                     const ConflictGraph& conflicts,
+                     const PlatformState& state,
+                     std::int64_t user_capacity) override;
+
+  std::string_view name() const override { return "Oracle-Greedy"; }
+
+ private:
+  // Scratch buffers reused across rounds to avoid per-round allocation.
+  std::vector<EventId> order_;
+  EventBitset arranged_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_ORACLE_GREEDY_H_

@@ -1,0 +1,32 @@
+#include "oracle/oracle.h"
+
+namespace fasea {
+
+bool IsFeasibleArrangement(const Arrangement& arrangement,
+                           const ConflictGraph& conflicts,
+                           const PlatformState& state,
+                           std::int64_t user_capacity) {
+  if (static_cast<std::int64_t>(arrangement.size()) > user_capacity) {
+    return false;
+  }
+  for (std::size_t i = 0; i < arrangement.size(); ++i) {
+    const EventId v = arrangement[i];
+    if (v >= state.num_events() || !state.HasCapacity(v)) return false;
+    for (std::size_t j = i + 1; j < arrangement.size(); ++j) {
+      if (arrangement[j] == v) return false;  // Duplicate.
+      if (conflicts.Conflicts(v, arrangement[j])) return false;
+    }
+  }
+  return true;
+}
+
+double PositiveScoreSum(const Arrangement& arrangement,
+                        std::span<const double> scores) {
+  double sum = 0.0;
+  for (EventId v : arrangement) {
+    if (scores[v] > 0.0) sum += scores[v];
+  }
+  return sum;
+}
+
+}  // namespace fasea

@@ -1,0 +1,51 @@
+// Arrangement oracles: given per-event scores, build a feasible
+// arrangement (non-conflicting, non-full events, at most c_u of them).
+//
+// Selecting the max-score arrangement is NP-hard (it embeds max-weight
+// independent set, see [38] cited by the paper), so the production oracle
+// is the greedy 1/c_u-approximation of Algorithm 2. The interface is
+// pluggable so tests can swap in an exact branch-and-bound oracle and the
+// Random baseline can reuse the same feasibility filter.
+#ifndef FASEA_ORACLE_ORACLE_H_
+#define FASEA_ORACLE_ORACLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "graph/conflict_graph.h"
+#include "model/platform_state.h"
+#include "model/types.h"
+
+namespace fasea {
+
+class ArrangementOracle {
+ public:
+  virtual ~ArrangementOracle() = default;
+
+  /// Builds an arrangement from `scores` (one per event). Implementations
+  /// must only return events with remaining capacity, pairwise
+  /// non-conflicting, and at most `user_capacity` of them.
+  virtual Arrangement Select(std::span<const double> scores,
+                             const ConflictGraph& conflicts,
+                             const PlatformState& state,
+                             std::int64_t user_capacity) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Checks the three feasibility constraints of Definition 3 for an
+/// arrangement; used by tests and debug assertions.
+bool IsFeasibleArrangement(const Arrangement& arrangement,
+                           const ConflictGraph& conflicts,
+                           const PlatformState& state,
+                           std::int64_t user_capacity);
+
+/// Sum of scores[v] over the arrangement, counting only positive scores —
+/// the quantity Theorem 1 bounds.
+double PositiveScoreSum(const Arrangement& arrangement,
+                        std::span<const double> scores);
+
+}  // namespace fasea
+
+#endif  // FASEA_ORACLE_ORACLE_H_

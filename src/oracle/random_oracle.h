@@ -1,0 +1,35 @@
+// RandomOracle: visits events in a uniformly random order and applies the
+// same feasibility filter as Oracle-Greedy (lines 3-5 of Algorithm 2).
+// This is both the paper's Random baseline and the exploration move of
+// eGreedy (Algorithm 4 line 7).
+#ifndef FASEA_ORACLE_RANDOM_ORACLE_H_
+#define FASEA_ORACLE_RANDOM_ORACLE_H_
+
+#include <vector>
+
+#include "oracle/oracle.h"
+#include "rng/pcg64.h"
+
+namespace fasea {
+
+class RandomOracle final : public ArrangementOracle {
+ public:
+  explicit RandomOracle(Pcg64 rng) : rng_(rng) {}
+
+  /// Scores are ignored except for their count.
+  Arrangement Select(std::span<const double> scores,
+                     const ConflictGraph& conflicts,
+                     const PlatformState& state,
+                     std::int64_t user_capacity) override;
+
+  std::string_view name() const override { return "Random"; }
+
+ private:
+  Pcg64 rng_;
+  std::vector<EventId> order_;
+  EventBitset arranged_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_ORACLE_RANDOM_ORACLE_H_

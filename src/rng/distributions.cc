@@ -1,0 +1,62 @@
+#include "rng/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/macros.h"
+
+namespace fasea {
+
+double UniformReal(Pcg64& rng, double lo, double hi) {
+  FASEA_DCHECK(lo <= hi);
+  return lo + (hi - lo) * rng.NextDouble();
+}
+
+std::int64_t UniformInt(Pcg64& rng, std::int64_t lo, std::int64_t hi) {
+  FASEA_DCHECK(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(rng.NextBounded(span));
+}
+
+double StandardNormal(Pcg64& rng) {
+  // Box–Muller. Reject u1 == 0 to keep log finite.
+  double u1;
+  do {
+    u1 = rng.NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = rng.NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return radius * std::cos(2.0 * M_PI * u2);
+}
+
+double Normal(Pcg64& rng, double mu, double sigma) {
+  FASEA_DCHECK(sigma >= 0.0);
+  return mu + sigma * StandardNormal(rng);
+}
+
+double Power(Pcg64& rng, double a) {
+  FASEA_DCHECK(a > -1.0);
+  return std::pow(rng.NextDouble(), 1.0 / (a + 1.0));
+}
+
+bool Bernoulli(Pcg64& rng, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return rng.NextDouble() < p;
+}
+
+std::vector<std::int64_t> SampleWithoutReplacement(Pcg64& rng,
+                                                   std::int64_t n,
+                                                   std::int64_t k) {
+  FASEA_CHECK(k >= 0 && k <= n);
+  // Floyd's algorithm: O(k) samples, O(k log k) set operations.
+  std::set<std::int64_t> chosen;
+  for (std::int64_t j = n - k; j < n; ++j) {
+    const std::int64_t t = UniformInt(rng, 0, j);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  return std::vector<std::int64_t>(chosen.begin(), chosen.end());
+}
+
+}  // namespace fasea

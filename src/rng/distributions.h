@@ -1,0 +1,55 @@
+// Scalar distributions over a Pcg64 engine.
+//
+// These cover everything Table 4 of the paper needs: Uniform[a,b],
+// Normal(mu, sigma), the Power distribution with density f(x) ∝ x^a on
+// [0,1] ("Power: 2" in the paper), Bernoulli, and integer uniforms.
+#ifndef FASEA_RNG_DISTRIBUTIONS_H_
+#define FASEA_RNG_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/pcg64.h"
+
+namespace fasea {
+
+/// Uniform real in [lo, hi).
+double UniformReal(Pcg64& rng, double lo, double hi);
+
+/// Uniform integer in [lo, hi] inclusive.
+std::int64_t UniformInt(Pcg64& rng, std::int64_t lo, std::int64_t hi);
+
+/// Standard normal via Box–Muller (no per-engine cache; each call draws two
+/// uniforms and returns one deviate, keeping streams state-free).
+double StandardNormal(Pcg64& rng);
+
+/// Normal with mean `mu` and standard deviation `sigma` (sigma >= 0).
+double Normal(Pcg64& rng, double mu, double sigma);
+
+/// Power distribution on [0,1]: density f(x) = (a+1) x^a, sampled by
+/// inverse transform u^(1/(a+1)). For a = 2 most mass sits near 1, which is
+/// what the paper exploits ("values are generally large (closer to 1)").
+double Power(Pcg64& rng, double a);
+
+/// True with probability p (p clamped to [0,1]).
+bool Bernoulli(Pcg64& rng, double p);
+
+/// Fisher–Yates shuffle of `values` in place.
+template <typename T>
+void Shuffle(Pcg64& rng, std::vector<T>& values) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.NextBounded(i));
+    using std::swap;
+    swap(values[i - 1], values[j]);
+  }
+}
+
+/// Samples `k` distinct integers from [0, n) uniformly (Floyd's algorithm);
+/// the result is in ascending order.
+std::vector<std::int64_t> SampleWithoutReplacement(Pcg64& rng,
+                                                   std::int64_t n,
+                                                   std::int64_t k);
+
+}  // namespace fasea
+
+#endif  // FASEA_RNG_DISTRIBUTIONS_H_

@@ -1,0 +1,60 @@
+#include "rng/pcg64.h"
+
+#include "rng/splitmix64.h"
+
+namespace fasea {
+
+namespace {
+
+// PCG 128-bit default multiplier (from the PCG reference implementation).
+constexpr unsigned __int128 kMultiplier =
+    (static_cast<unsigned __int128>(2549297995355413924ULL) << 64) |
+    4865540595714422341ULL;
+
+inline std::uint64_t RotateRight(std::uint64_t value, unsigned amount) {
+  return (value >> amount) | (value << ((-amount) & 63u));
+}
+
+}  // namespace
+
+Pcg64::Pcg64(std::uint64_t seed, std::uint64_t stream) {
+  SplitMix64 mixer(seed);
+  const u128 initstate =
+      (static_cast<u128>(mixer.Next()) << 64) | mixer.Next();
+  SplitMix64 stream_mixer(stream ^ 0xDA3E39CB94B95BDBULL);
+  const u128 initseq =
+      (static_cast<u128>(stream_mixer.Next()) << 64) | stream_mixer.Next();
+  inc_ = (initseq << 1) | 1u;
+  state_ = 0u;
+  Next();
+  state_ += initstate;
+  Next();
+}
+
+std::uint64_t Pcg64::Next() {
+  state_ = state_ * kMultiplier + inc_;
+  // Output function XSL-RR: xor the high and low halves, rotate by the top
+  // 6 bits of the state.
+  const std::uint64_t xored =
+      static_cast<std::uint64_t>(state_ >> 64) ^
+      static_cast<std::uint64_t>(state_);
+  const unsigned rot = static_cast<unsigned>(state_ >> 122);
+  return RotateRight(xored, rot);
+}
+
+std::uint64_t Pcg64::NextBounded(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Lemire's nearly-divisionless method.
+  u128 product = static_cast<u128>(Next()) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(product);
+  if (low < bound) {
+    const std::uint64_t threshold = (-bound) % bound;
+    while (low < threshold) {
+      product = static_cast<u128>(Next()) * bound;
+      low = static_cast<std::uint64_t>(product);
+    }
+  }
+  return static_cast<std::uint64_t>(product >> 64);
+}
+
+}  // namespace fasea

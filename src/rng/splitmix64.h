@@ -1,0 +1,39 @@
+// SplitMix64 (Steele, Lea, Flood 2014): a tiny, fast 64-bit generator.
+//
+// FASEA uses SplitMix64 for two jobs: seeding the main PCG64 engine from a
+// single user seed, and deriving independent per-stream seeds so that each
+// policy / dataset / round provider draws from a statistically independent
+// stream (see rng/seed.h).
+#ifndef FASEA_RNG_SPLITMIX64_H_
+#define FASEA_RNG_SPLITMIX64_H_
+
+#include <cstdint>
+
+namespace fasea {
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Advances the state and returns the next 64-bit output.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // UniformRandomBitGenerator interface.
+  std::uint64_t operator()() { return Next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_RNG_SPLITMIX64_H_

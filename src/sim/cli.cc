@@ -1,0 +1,229 @@
+#include "sim/cli.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "sim/report.h"
+
+namespace fasea {
+
+namespace {
+
+std::string ToLower(std::string text) {
+  for (char& c : text) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return text;
+}
+
+StatusOr<ValueDistribution> ParseDistribution(const std::string& text) {
+  const std::string lower = ToLower(text);
+  if (lower == "uniform") return ValueDistribution::kUniform;
+  if (lower == "normal") return ValueDistribution::kNormal;
+  if (lower == "power") return ValueDistribution::kPower;
+  if (lower == "shuffle") return ValueDistribution::kShuffle;
+  return InvalidArgumentError("unknown distribution '" + text +
+                              "' (uniform|normal|power|shuffle)");
+}
+
+}  // namespace
+
+void RegisterCliFlags(FlagSet* flags) {
+  flags->DefineBool("help", false, "Print usage and exit.");
+  flags->DefineString("mode", "synthetic",
+                      "Experiment mode: synthetic | real.");
+  // Shared.
+  flags->DefineString("policies", "ucb,ts,egreedy,exploit,random",
+                      "Comma-separated policy list.");
+  flags->DefineInt("horizon", 100000, "Number of rounds T.");
+  flags->DefineInt("seed", 20170514, "Dataset seed.");
+  flags->DefineInt("run_seed", 42,
+                   "Seed for policy randomness and feedback draws.");
+  flags->DefineBool("kendall", false,
+                    "Compute Kendall tau vs the reference ranking.");
+  flags->DefineString("csv_prefix", "",
+                      "If set, write <prefix>_<metric>.csv files.");
+  flags->DefineInt("series_rows", 14,
+                   "Rows to print per metric series (0 = all).");
+  // Algorithm parameters (paper defaults).
+  flags->DefineDouble("lambda", 1.0, "Ridge regularizer lambda.");
+  flags->DefineDouble("alpha", 2.0, "UCB exploration weight alpha.");
+  flags->DefineDouble("delta", 0.1, "TS confidence parameter delta.");
+  flags->DefineDouble("epsilon", 0.1, "eGreedy exploration rate epsilon.");
+  // Synthetic data (Table 4).
+  flags->DefineInt("num_events", 500, "|V|: number of events.");
+  flags->DefineInt("dim", 20, "d: context dimension.");
+  flags->DefineString("theta_dist", "uniform",
+                      "theta distribution: uniform|normal|power.");
+  flags->DefineString("context_dist", "uniform",
+                      "Feature distribution: uniform|normal|power|shuffle.");
+  flags->DefineDouble("cv_mean", 200.0, "Event capacity mean.");
+  flags->DefineDouble("cv_stddev", 100.0, "Event capacity stddev.");
+  flags->DefineInt("cu_min", 1, "User capacity lower bound.");
+  flags->DefineInt("cu_max", 5, "User capacity upper bound.");
+  flags->DefineDouble("conflict_ratio", 0.25, "Conflict ratio cr.");
+  flags->DefineBool("basic_bandit", false,
+                    "Basic contextual bandit mode (no caps/conflicts, one "
+                    "event per round).");
+  // Real dataset.
+  flags->DefineInt("user", 1, "Real mode: user index 1..19.");
+  flags->DefineString("user_capacity", "5",
+                      "Real mode: c_u per round, or 'full'.");
+  flags->DefineBool("online_baseline", true,
+                    "Real mode: include the OnlineGreedy [39] baseline.");
+}
+
+StatusOr<std::vector<PolicyKind>> ParsePolicyList(const std::string& text) {
+  std::vector<PolicyKind> kinds;
+  for (const std::string& raw : StrSplit(text, ',')) {
+    const std::string name = ToLower(std::string(StripAsciiWhitespace(raw)));
+    if (name.empty()) continue;
+    if (name == "ucb") {
+      kinds.push_back(PolicyKind::kUcb);
+    } else if (name == "ts") {
+      kinds.push_back(PolicyKind::kTs);
+    } else if (name == "egreedy") {
+      kinds.push_back(PolicyKind::kEpsGreedy);
+    } else if (name == "exploit") {
+      kinds.push_back(PolicyKind::kExploit);
+    } else if (name == "random") {
+      kinds.push_back(PolicyKind::kRandom);
+    } else {
+      return InvalidArgumentError(
+          "unknown policy '" + name +
+          "' (ucb|ts|egreedy|exploit|random)");
+    }
+  }
+  if (kinds.empty()) {
+    return InvalidArgumentError("--policies must name at least one policy");
+  }
+  return kinds;
+}
+
+StatusOr<SyntheticExperiment> SyntheticExperimentFromFlags(
+    const FlagSet& flags) {
+  SyntheticExperiment exp;
+  exp.data.num_events = static_cast<std::size_t>(flags.GetInt("num_events"));
+  exp.data.dim = static_cast<std::size_t>(flags.GetInt("dim"));
+  exp.data.horizon = flags.GetInt("horizon");
+  auto theta_dist = ParseDistribution(flags.GetString("theta_dist"));
+  if (!theta_dist.ok()) return theta_dist.status();
+  exp.data.theta_dist = *theta_dist;
+  auto context_dist = ParseDistribution(flags.GetString("context_dist"));
+  if (!context_dist.ok()) return context_dist.status();
+  exp.data.context_dist = *context_dist;
+  exp.data.event_capacity_mean = flags.GetDouble("cv_mean");
+  exp.data.event_capacity_stddev = flags.GetDouble("cv_stddev");
+  exp.data.user_capacity_min = flags.GetInt("cu_min");
+  exp.data.user_capacity_max = flags.GetInt("cu_max");
+  exp.data.conflict_ratio = flags.GetDouble("conflict_ratio");
+  exp.data.basic_bandit = flags.GetBool("basic_bandit");
+  exp.data.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  if (Status st = exp.data.Validate(); !st.ok()) return st;
+
+  exp.params.lambda = flags.GetDouble("lambda");
+  exp.params.alpha = flags.GetDouble("alpha");
+  exp.params.delta = flags.GetDouble("delta");
+  exp.params.epsilon = flags.GetDouble("epsilon");
+  auto kinds = ParsePolicyList(flags.GetString("policies"));
+  if (!kinds.ok()) return kinds.status();
+  exp.kinds = *kinds;
+  exp.run_seed = static_cast<std::uint64_t>(flags.GetInt("run_seed"));
+  exp.compute_kendall = flags.GetBool("kendall");
+  return exp;
+}
+
+StatusOr<RealExperiment> RealExperimentFromFlags(const FlagSet& flags) {
+  RealExperiment exp;
+  const std::int64_t user = flags.GetInt("user");
+  if (user < 1 || user > static_cast<std::int64_t>(RealDataset::kNumUsers)) {
+    return InvalidArgumentError(
+        StrFormat("--user must be in 1..%zu", RealDataset::kNumUsers));
+  }
+  exp.user = static_cast<std::size_t>(user - 1);
+  exp.horizon = flags.GetInt("horizon");
+  const std::string cu = flags.GetString("user_capacity");
+  if (cu == "full") {
+    exp.user_capacity = RealExperiment::kFullCapacity;
+  } else {
+    const std::int64_t value = std::atoll(cu.c_str());
+    if (value < 1) {
+      return InvalidArgumentError("--user_capacity must be >= 1 or 'full'");
+    }
+    exp.user_capacity = value;
+  }
+  exp.params.lambda = flags.GetDouble("lambda");
+  exp.params.alpha = flags.GetDouble("alpha");
+  exp.params.delta = flags.GetDouble("delta");
+  exp.params.epsilon = flags.GetDouble("epsilon");
+  auto kinds = ParsePolicyList(flags.GetString("policies"));
+  if (!kinds.ok()) return kinds.status();
+  exp.kinds = *kinds;
+  exp.include_online_baseline = flags.GetBool("online_baseline");
+  exp.run_seed = static_cast<std::uint64_t>(flags.GetInt("run_seed"));
+  exp.compute_kendall = flags.GetBool("kendall");
+  return exp;
+}
+
+int CliMain(int argc, const char* const* argv) {
+  FlagSet flags;
+  RegisterCliFlags(&flags);
+  if (Status st = flags.Parse(argc - 1, argv + 1); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::fputs(flags.HelpText(argv[0]).c_str(), stdout);
+    return 0;
+  }
+
+  SimulationResult result;
+  const std::string mode = flags.GetString("mode");
+  if (mode == "synthetic") {
+    auto exp = SyntheticExperimentFromFlags(flags);
+    if (!exp.ok()) {
+      std::fprintf(stderr, "%s\n", exp.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("mode=synthetic |V|=%zu d=%zu T=%lld cr=%g\n\n",
+                exp->data.num_events, exp->data.dim,
+                static_cast<long long>(exp->data.horizon),
+                exp->data.conflict_ratio);
+    result = RunSyntheticExperiment(*exp);
+  } else if (mode == "real") {
+    auto exp = RealExperimentFromFlags(flags);
+    if (!exp.ok()) {
+      std::fprintf(stderr, "%s\n", exp.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("mode=real user=u%zu T=%lld c_u=%s\n\n", exp->user + 1,
+                static_cast<long long>(exp->horizon),
+                flags.GetString("user_capacity").c_str());
+    const RealDataset dataset =
+        RealDataset::Create(static_cast<std::uint64_t>(flags.GetInt("seed")));
+    result = RunRealExperiment(dataset, *exp);
+  } else {
+    std::fprintf(stderr, "unknown --mode '%s' (synthetic|real)\n",
+                 mode.c_str());
+    return 2;
+  }
+
+  const std::size_t rows =
+      static_cast<std::size_t>(flags.GetInt("series_rows"));
+  std::printf("--- Accept ratio (cumulative) ---\n");
+  SeriesTable(result, SeriesMetric::kAcceptRatio, true, rows).Print();
+  std::printf("\n--- Total regrets ---\n");
+  SeriesTable(result, SeriesMetric::kTotalRegret, false, rows).Print();
+  std::printf("\n--- Summary ---\n");
+  SummaryTable(result).Print();
+
+  const std::string prefix = flags.GetString("csv_prefix");
+  if (!prefix.empty()) {
+    const auto paths = WriteResultCsvs(result, prefix);
+    std::printf("\nwrote %zu CSV files:\n", paths.size());
+    for (const auto& path : paths) std::printf("  %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace fasea

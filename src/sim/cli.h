@@ -1,0 +1,37 @@
+// The fasea_cli command-line driver, as a library so tests can exercise
+// flag parsing and experiment construction without spawning a process.
+//
+//   fasea_cli --mode=synthetic --num_events=500 --dim=20 --horizon=100000
+//             --policies=ucb,ts,egreedy,exploit,random --csv_prefix=out/run
+//   fasea_cli --mode=real --user=1 --user_capacity=full --horizon=1000
+#ifndef FASEA_SIM_CLI_H_
+#define FASEA_SIM_CLI_H_
+
+#include <string>
+
+#include "common/flags.h"
+#include "sim/experiment.h"
+
+namespace fasea {
+
+/// Declares every fasea_cli flag on `flags`.
+void RegisterCliFlags(FlagSet* flags);
+
+/// Parses --policies=ucb,ts,... into kinds (case-insensitive). Rejects
+/// unknown names and empty lists.
+StatusOr<std::vector<PolicyKind>> ParsePolicyList(const std::string& text);
+
+/// Builds the synthetic experiment from parsed flags.
+StatusOr<SyntheticExperiment> SyntheticExperimentFromFlags(
+    const FlagSet& flags);
+
+/// Builds the real-dataset experiment from parsed flags.
+StatusOr<RealExperiment> RealExperimentFromFlags(const FlagSet& flags);
+
+/// Full driver: parse, run, print, optionally export CSVs. Returns the
+/// process exit code.
+int CliMain(int argc, const char* const* argv);
+
+}  // namespace fasea
+
+#endif  // FASEA_SIM_CLI_H_

@@ -1,0 +1,95 @@
+#include "sim/experiment.h"
+
+#include <cstdlib>
+
+#include "baseline/online_greedy.h"
+#include "core/opt_policy.h"
+#include "rng/seed.h"
+
+namespace fasea {
+
+SimulationResult RunSyntheticExperiment(const SyntheticExperiment& exp) {
+  auto world = SyntheticWorld::Create(exp.data);
+  FASEA_CHECK(world.ok());
+
+  OptPolicy opt(&(*world)->instance(), &(*world)->feedback());
+  std::vector<std::unique_ptr<Policy>> owned;
+  std::vector<Policy*> policies;
+  for (PolicyKind kind : exp.kinds) {
+    owned.push_back(MakePolicy(kind, &(*world)->instance(), exp.params,
+                               DeriveSeed(exp.run_seed, "policy",
+                                          static_cast<std::uint64_t>(kind))));
+    policies.push_back(owned.back().get());
+  }
+
+  SimOptions options;
+  options.horizon = exp.data.horizon;
+  options.seed = exp.run_seed;
+  options.compute_kendall = exp.compute_kendall;
+  options.validate_arrangements = exp.validate_arrangements;
+  Simulator sim(&(*world)->instance(), &(*world)->provider(),
+                &(*world)->feedback(), options);
+  return sim.Run(&opt, policies);
+}
+
+SimulationResult RunRealExperiment(const RealDataset& dataset,
+                                   const RealExperiment& exp) {
+  FASEA_CHECK(exp.user < RealDataset::kNumUsers);
+  const std::int64_t capacity =
+      exp.user_capacity == RealExperiment::kFullCapacity
+          ? dataset.YesCount(exp.user)
+          : exp.user_capacity;
+  FASEA_CHECK(capacity >= 1);
+
+  ProblemInstance instance = dataset.MakeInstance(exp.horizon);
+  FixedRoundProvider provider(dataset.ContextsFor(exp.user), capacity);
+  FrozenFeedbackModel feedback(dataset.FeedbackRow(exp.user));
+  FullKnowledgePolicy full_knowledge(
+      &instance,
+      std::vector<std::uint8_t>(dataset.FeedbackRow(exp.user)));
+
+  std::vector<std::unique_ptr<Policy>> owned;
+  std::vector<Policy*> policies;
+  for (PolicyKind kind : exp.kinds) {
+    owned.push_back(MakePolicy(kind, &instance, exp.params,
+                               DeriveSeed(exp.run_seed, "policy",
+                                          static_cast<std::uint64_t>(kind))));
+    policies.push_back(owned.back().get());
+  }
+  if (exp.include_online_baseline) {
+    std::vector<std::vector<int>> event_tags(RealDataset::kNumEvents);
+    for (std::size_t v = 0; v < RealDataset::kNumEvents; ++v) {
+      event_tags[v] = {dataset.EventTag(v)};
+    }
+    owned.push_back(std::make_unique<OnlineGreedyPolicy>(
+        &instance,
+        TagInterestingness(event_tags, dataset.PreferredTags(exp.user))));
+    policies.push_back(owned.back().get());
+  }
+
+  SimOptions options;
+  options.horizon = exp.horizon;
+  options.seed = exp.run_seed;
+  options.compute_kendall = exp.compute_kendall;
+  Simulator sim(&instance, &provider, &feedback, options);
+  return sim.Run(&full_knowledge, policies);
+}
+
+double EnvScale() {
+  const char* env = std::getenv("FASEA_SCALE");
+  if (env == nullptr || env[0] == '\0') return 1.0;
+  const double scale = std::atof(env);
+  FASEA_CHECK(scale > 0.0 && scale <= 1.0);
+  return scale;
+}
+
+void ApplyScale(double scale, SyntheticConfig* config) {
+  FASEA_CHECK(scale > 0.0 && scale <= 1.0);
+  if (scale == 1.0) return;
+  config->horizon = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(config->horizon * scale));
+  config->event_capacity_mean *= scale;
+  config->event_capacity_stddev *= scale;
+}
+
+}  // namespace fasea

@@ -1,0 +1,64 @@
+// High-level experiment drivers shared by the bench binaries, tests, and
+// examples: one call builds the world, instantiates the paper's policies,
+// runs the simulator, and returns the metric trajectories.
+#ifndef FASEA_SIM_EXPERIMENT_H_
+#define FASEA_SIM_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "datagen/real_surrogate.h"
+#include "datagen/synthetic.h"
+#include "sim/simulator.h"
+
+namespace fasea {
+
+/// A synthetic-data experiment: Table 4 data configuration + algorithm
+/// parameters + which policies to run. The reference is OPT.
+struct SyntheticExperiment {
+  SyntheticConfig data;
+  PolicyParams params;
+  std::vector<PolicyKind> kinds = AllPolicyKinds();
+  /// Seeds policy randomness and feedback sampling (the data seed lives
+  /// in `data.seed`).
+  std::uint64_t run_seed = 42;
+  bool compute_kendall = false;
+  bool validate_arrangements = true;
+};
+
+SimulationResult RunSyntheticExperiment(const SyntheticExperiment& exp);
+
+/// A real-dataset experiment for one user (Fig 10 / Table 7). The
+/// reference is Full Knowledge; the OnlineGreedy baseline of [39] can be
+/// appended to the policy list.
+struct RealExperiment {
+  std::size_t user = 0;
+  std::int64_t horizon = 1000;
+  /// c_u for every round; kFullCapacity uses the user's Yes-count
+  /// (the paper's "c_u = full" setting).
+  std::int64_t user_capacity = 5;
+  static constexpr std::int64_t kFullCapacity = -1;
+
+  PolicyParams params;
+  std::vector<PolicyKind> kinds = AllPolicyKinds();
+  bool include_online_baseline = true;
+  std::uint64_t run_seed = 42;
+  bool compute_kendall = false;
+};
+
+SimulationResult RunRealExperiment(const RealDataset& dataset,
+                                   const RealExperiment& exp);
+
+/// Scale factor from the FASEA_SCALE environment variable (default 1.0,
+/// accepted range (0, 1]). Bench binaries use it to shrink the paper's
+/// T = 100000 runs proportionally on small machines.
+double EnvScale();
+
+/// Scales an experiment down: horizon and event capacities shrink by
+/// `scale` so the capacity-exhaustion dynamics keep their shape.
+void ApplyScale(double scale, SyntheticConfig* config);
+
+}  // namespace fasea
+
+#endif  // FASEA_SIM_EXPERIMENT_H_

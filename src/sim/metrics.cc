@@ -1,0 +1,142 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace fasea {
+
+namespace {
+
+/// Counts inversions of `values` by merge sort (pairs i < j with
+/// values[i] > values[j]); `buffer` is scratch of the same size.
+std::int64_t CountInversions(std::vector<double>& values,
+                             std::vector<double>& buffer, std::size_t lo,
+                             std::size_t hi) {
+  if (hi - lo <= 1) return 0;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::int64_t count = CountInversions(values, buffer, lo, mid) +
+                       CountInversions(values, buffer, mid, hi);
+  std::size_t i = lo, j = mid, k = lo;
+  while (i < mid && j < hi) {
+    if (values[i] <= values[j]) {
+      buffer[k++] = values[i++];
+    } else {
+      count += static_cast<std::int64_t>(mid - i);
+      buffer[k++] = values[j++];
+    }
+  }
+  while (i < mid) buffer[k++] = values[i++];
+  while (j < hi) buffer[k++] = values[j++];
+  std::copy(buffer.begin() + lo, buffer.begin() + hi, values.begin() + lo);
+  return count;
+}
+
+/// Σ over groups of equal values of c(group size, 2).
+template <typename Iter, typename Equal>
+std::int64_t CountTiedPairs(Iter begin, Iter end, Equal equal) {
+  std::int64_t tied = 0;
+  auto run_start = begin;
+  for (auto it = begin; it != end; ++it) {
+    if (it == run_start || equal(*run_start, *it)) continue;
+    const std::int64_t len = it - run_start;
+    tied += len * (len - 1) / 2;
+    run_start = it;
+  }
+  const std::int64_t len = end - run_start;
+  tied += len * (len - 1) / 2;
+  return tied;
+}
+
+}  // namespace
+
+double KendallTau(std::span<const double> a, std::span<const double> b) {
+  FASEA_CHECK(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  const std::int64_t total = static_cast<std::int64_t>(n) * (n - 1) / 2;
+
+  // Sort indices by (a asc, b asc).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    if (a[i] != a[j]) return a[i] < a[j];
+    return b[i] < b[j];
+  });
+
+  // Tie bookkeeping. Pairs tied in a (n1), tied in b (n2), tied in both
+  // (n3). Discordant pairs D are inversions of b in a-sorted order; pairs
+  // tied in a contribute no inversion because ties were broken by b asc.
+  std::vector<std::pair<double, double>> sorted(n);
+  for (std::size_t k = 0; k < n; ++k) sorted[k] = {a[order[k]], b[order[k]]};
+  const std::int64_t n1 = CountTiedPairs(
+      sorted.begin(), sorted.end(),
+      [](const auto& x, const auto& y) { return x.first == y.first; });
+  const std::int64_t n3 = CountTiedPairs(
+      sorted.begin(), sorted.end(), [](const auto& x, const auto& y) {
+        return x.first == y.first && x.second == y.second;
+      });
+  std::vector<double> b_sorted_by_b(n);
+  for (std::size_t k = 0; k < n; ++k) b_sorted_by_b[k] = b[k];
+  std::sort(b_sorted_by_b.begin(), b_sorted_by_b.end());
+  const std::int64_t n2 =
+      CountTiedPairs(b_sorted_by_b.begin(), b_sorted_by_b.end(),
+                     [](double x, double y) { return x == y; });
+
+  std::vector<double> b_in_a_order(n);
+  for (std::size_t k = 0; k < n; ++k) b_in_a_order[k] = b[order[k]];
+  std::vector<double> buffer(n);
+  const std::int64_t discordant =
+      CountInversions(b_in_a_order, buffer, 0, n);
+
+  // C + D = total − n1 − n2 + n3 (pairs untied in both coordinates).
+  const std::int64_t concordant = total - n1 - n2 + n3 - discordant;
+  return static_cast<double>(concordant - discordant) /
+         static_cast<double>(total);
+}
+
+double KendallTauNaive(std::span<const double> a, std::span<const double> b) {
+  FASEA_CHECK(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  std::int64_t numerator = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      if (da == 0.0 || db == 0.0) continue;
+      numerator += ((da > 0) == (db > 0)) ? 1 : -1;
+    }
+  }
+  return static_cast<double>(numerator) /
+         (static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+std::vector<std::int64_t> CheckpointSchedule(std::int64_t horizon) {
+  FASEA_CHECK(horizon >= 1);
+  // The paper samples at 100..1000 step 100, then 2000..T step 1000 for
+  // T = 100000. Scale the two step sizes with the horizon so shorter
+  // (test) runs keep ~110 checkpoints.
+  const double scale = static_cast<double>(horizon) / 100000.0;
+  const std::int64_t fine_step =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(100 * scale));
+  const std::int64_t coarse_step =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(1000 * scale));
+  std::vector<std::int64_t> checkpoints;
+  for (std::int64_t t = fine_step; t <= 10 * fine_step && t <= horizon;
+       t += fine_step) {
+    checkpoints.push_back(t);
+  }
+  for (std::int64_t t = 2 * coarse_step; t <= horizon; t += coarse_step) {
+    if (checkpoints.empty() || t > checkpoints.back()) {
+      checkpoints.push_back(t);
+    }
+  }
+  if (checkpoints.empty() || checkpoints.back() != horizon) {
+    checkpoints.push_back(horizon);
+  }
+  return checkpoints;
+}
+
+}  // namespace fasea

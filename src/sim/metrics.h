@@ -1,0 +1,57 @@
+// Evaluation metrics of §5.1: accept ratio, total rewards, total regrets,
+// regret ratio, Kendall's rank correlation, and per-round time/memory.
+#ifndef FASEA_SIM_METRICS_H_
+#define FASEA_SIM_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fasea {
+
+/// Kendall rank correlation (τ-a with tie-neutral pairs):
+///     (#concordant − #discordant) / (n(n−1)/2).
+/// Pairs tied in either input contribute 0, matching the paper's
+/// definition on continuous reward estimates. O(n log n) via merge-sort
+/// inversion counting.
+double KendallTau(std::span<const double> a, std::span<const double> b);
+
+/// O(n²) reference implementation; used by tests to validate KendallTau.
+double KendallTauNaive(std::span<const double> a, std::span<const double> b);
+
+/// The paper's checkpoint grid for a horizon T: 100, 200, ..., 1000, then
+/// 2000, 3000, ... up to T (scaled down proportionally when T < 100000),
+/// always including T itself.
+std::vector<std::int64_t> CheckpointSchedule(std::int64_t horizon);
+
+/// Time series of one policy's run, sampled at the checkpoint grid.
+struct TrajectoryResult {
+  std::string name;
+
+  std::vector<std::int64_t> checkpoints;
+  std::vector<double> cum_rewards;    // Σ accepted events up to t.
+  std::vector<double> cum_arranged;   // Σ |A_t| up to t.
+  std::vector<double> accept_ratio;   // cum_rewards / cum_arranged.
+  std::vector<double> total_regret;   // ref cum_rewards − cum_rewards.
+  std::vector<double> regret_ratio;   // total_regret / cum_rewards.
+  std::vector<double> kendall_tau;    // Ranking correlation vs truth.
+
+  // Final whole-run aggregates.
+  double final_reward = 0.0;
+  double final_arranged = 0.0;
+  double final_regret = 0.0;
+  double avg_round_seconds = 0.0;
+  std::size_t memory_bytes = 0;
+
+  double FinalAcceptRatio() const {
+    return final_arranged > 0 ? final_reward / final_arranged : 0.0;
+  }
+  double FinalRegretRatio() const {
+    return final_reward > 0 ? final_regret / final_reward : 0.0;
+  }
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_SIM_METRICS_H_

@@ -1,0 +1,151 @@
+#include "sim/report.h"
+
+#include "common/strings.h"
+
+namespace fasea {
+
+namespace {
+
+const std::vector<double>& MetricSeries(const TrajectoryResult& traj,
+                                        SeriesMetric metric) {
+  switch (metric) {
+    case SeriesMetric::kAcceptRatio:
+      return traj.accept_ratio;
+    case SeriesMetric::kTotalRewards:
+      return traj.cum_rewards;
+    case SeriesMetric::kTotalRegret:
+      return traj.total_regret;
+    case SeriesMetric::kRegretRatio:
+      return traj.regret_ratio;
+    case SeriesMetric::kKendallTau:
+      return traj.kendall_tau;
+  }
+  FASEA_CHECK(false && "unknown metric");
+  static const std::vector<double> kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
+std::string_view SeriesMetricName(SeriesMetric metric) {
+  switch (metric) {
+    case SeriesMetric::kAcceptRatio:
+      return "accept_ratio";
+    case SeriesMetric::kTotalRewards:
+      return "total_rewards";
+    case SeriesMetric::kTotalRegret:
+      return "total_regrets";
+    case SeriesMetric::kRegretRatio:
+      return "regret_ratio";
+    case SeriesMetric::kKendallTau:
+      return "kendall_tau";
+  }
+  return "unknown";
+}
+
+TextTable SeriesTable(const SimulationResult& result, SeriesMetric metric,
+                      bool include_reference, std::size_t max_rows) {
+  std::vector<const TrajectoryResult*> trajs;
+  if (include_reference) trajs.push_back(&result.reference);
+  for (const auto& p : result.policies) trajs.push_back(&p);
+  FASEA_CHECK(!trajs.empty());
+
+  TextTable table;
+  std::vector<std::string> header = {"t"};
+  for (const auto* traj : trajs) header.push_back(traj->name);
+  table.SetHeader(std::move(header));
+
+  const auto& checkpoints = trajs[0]->checkpoints;
+  const std::size_t n = checkpoints.size();
+  const std::size_t rows = (max_rows == 0 || max_rows >= n) ? n : max_rows;
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Even thinning that always includes the last checkpoint.
+    const std::size_t i =
+        rows == 1 ? n - 1 : r * (n - 1) / (rows - 1);
+    std::vector<std::string> row = {
+        StrFormat("%lld", static_cast<long long>(checkpoints[i]))};
+    for (const auto* traj : trajs) {
+      const auto& series = MetricSeries(*traj, metric);
+      row.push_back(i < series.size() ? FormatDouble(series[i], 4) : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+TextTable SummaryTable(const SimulationResult& result,
+                       bool include_reference) {
+  std::vector<const TrajectoryResult*> trajs;
+  if (include_reference) trajs.push_back(&result.reference);
+  for (const auto& p : result.policies) trajs.push_back(&p);
+
+  TextTable table;
+  table.SetHeader({"algorithm", "accept_ratio", "total_rewards",
+                   "total_regrets", "regret_ratio", "avg_time_ms",
+                   "memory_KB"});
+  for (const auto* traj : trajs) {
+    table.AddRow({traj->name, FormatDouble(traj->FinalAcceptRatio(), 4),
+                  FormatDouble(traj->final_reward, 6),
+                  FormatDouble(traj->final_regret, 6),
+                  FormatDouble(traj->FinalRegretRatio(), 4),
+                  FormatDouble(traj->avg_round_seconds * 1e3, 4),
+                  FormatDouble(static_cast<double>(traj->memory_bytes) /
+                                   1024.0,
+                               5)});
+  }
+  return table;
+}
+
+TextTable EfficiencyTable(
+    const std::vector<std::pair<std::string, SimulationResult>>& runs) {
+  FASEA_CHECK(!runs.empty());
+  TextTable table;
+  std::vector<std::string> header = {"algorithm"};
+  for (const auto& [label, result] : runs) {
+    header.push_back("time_ms(" + label + ")");
+  }
+  for (const auto& [label, result] : runs) {
+    header.push_back("mem_KB(" + label + ")");
+  }
+  table.SetHeader(std::move(header));
+
+  const std::size_t num_policies = runs[0].second.policies.size();
+  for (std::size_t p = 0; p < num_policies; ++p) {
+    std::vector<std::string> row = {runs[0].second.policies[p].name};
+    for (const auto& [label, result] : runs) {
+      FASEA_CHECK(result.policies.size() == num_policies);
+      row.push_back(
+          FormatDouble(result.policies[p].avg_round_seconds * 1e3, 4));
+    }
+    for (const auto& [label, result] : runs) {
+      row.push_back(FormatDouble(
+          static_cast<double>(result.policies[p].memory_bytes) / 1024.0, 5));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+std::vector<std::string> WriteResultCsvs(const SimulationResult& result,
+                                         const std::string& prefix) {
+  std::vector<std::string> paths;
+  for (SeriesMetric metric :
+       {SeriesMetric::kAcceptRatio, SeriesMetric::kTotalRewards,
+        SeriesMetric::kTotalRegret, SeriesMetric::kRegretRatio,
+        SeriesMetric::kKendallTau}) {
+    if (metric == SeriesMetric::kKendallTau &&
+        result.reference.kendall_tau.empty()) {
+      continue;  // τ was not computed for this run.
+    }
+    const std::string path =
+        prefix + "_" + std::string(SeriesMetricName(metric)) + ".csv";
+    WriteFileOrDie(path, SeriesTable(result, metric).ToCsv());
+    paths.push_back(path);
+  }
+  const std::string summary_path = prefix + "_summary.csv";
+  WriteFileOrDie(summary_path, SummaryTable(result).ToCsv());
+  paths.push_back(summary_path);
+  return paths;
+}
+
+}  // namespace fasea

@@ -1,0 +1,48 @@
+// Table builders turning SimulationResults into the series and summary
+// tables the paper's figures/tables report.
+#ifndef FASEA_SIM_REPORT_H_
+#define FASEA_SIM_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/simulator.h"
+
+namespace fasea {
+
+enum class SeriesMetric {
+  kAcceptRatio,
+  kTotalRewards,
+  kTotalRegret,
+  kRegretRatio,
+  kKendallTau,
+};
+
+std::string_view SeriesMetricName(SeriesMetric metric);
+
+/// One row per checkpoint t, one column per policy (reference first when
+/// `include_reference`). `max_rows` thins the series evenly for printing
+/// (0 = all checkpoints).
+TextTable SeriesTable(const SimulationResult& result, SeriesMetric metric,
+                      bool include_reference = true, std::size_t max_rows = 0);
+
+/// Final aggregates: one row per policy with accept ratio, total rewards,
+/// total regret, regret ratio, avg round time, memory.
+TextTable SummaryTable(const SimulationResult& result,
+                       bool include_reference = true);
+
+/// Efficiency comparison across labelled runs (paper Tables 5 and 6):
+/// one row per policy, one column pair (time, memory) per labelled run.
+TextTable EfficiencyTable(
+    const std::vector<std::pair<std::string, SimulationResult>>& runs);
+
+/// Writes one CSV per metric (`<prefix>_accept_ratio.csv`,
+/// `<prefix>_total_regrets.csv`, ...) plus `<prefix>_summary.csv`.
+/// Aborts on I/O failure. Returns the written paths.
+std::vector<std::string> WriteResultCsvs(const SimulationResult& result,
+                                         const std::string& prefix);
+
+}  // namespace fasea
+
+#endif  // FASEA_SIM_REPORT_H_

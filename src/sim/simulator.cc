@@ -1,0 +1,155 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "oracle/oracle.h"
+#include "rng/seed.h"
+
+namespace fasea {
+
+namespace {
+
+/// Mutable bookkeeping of one trajectory during a run.
+struct Trajectory {
+  Policy* policy = nullptr;
+  PlatformState state;
+  Pcg64 feedback_rng{0};
+  Stopwatch watch;
+
+  double cum_reward = 0.0;
+  double cum_arranged = 0.0;
+
+  TrajectoryResult result;
+};
+
+void InitTrajectory(Policy* policy, const ProblemInstance& instance,
+                    std::uint64_t seed, std::uint64_t stream_index,
+                    Trajectory* traj) {
+  traj->policy = policy;
+  traj->state = PlatformState(instance);
+  traj->feedback_rng =
+      Pcg64(DeriveSeed(seed, "feedback", stream_index), stream_index);
+  traj->result.name = std::string(policy->name());
+}
+
+}  // namespace
+
+Simulator::Simulator(const ProblemInstance* instance, RoundProvider* provider,
+                     FeedbackModel* feedback, SimOptions options)
+    : instance_(instance),
+      provider_(provider),
+      feedback_(feedback),
+      options_(std::move(options)) {
+  FASEA_CHECK(instance != nullptr && provider != nullptr &&
+              feedback != nullptr);
+  FASEA_CHECK(options_.horizon >= 1);
+  if (options_.checkpoints.empty()) {
+    options_.checkpoints = CheckpointSchedule(options_.horizon);
+  }
+  FASEA_CHECK(std::is_sorted(options_.checkpoints.begin(),
+                             options_.checkpoints.end()));
+}
+
+SimulationResult Simulator::Run(Policy* reference,
+                                const std::vector<Policy*>& policies) {
+  FASEA_CHECK(reference != nullptr);
+
+  Trajectory ref;
+  InitTrajectory(reference, *instance_, options_.seed, 0, &ref);
+  std::vector<Trajectory> algs(policies.size());
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    FASEA_CHECK(policies[i] != nullptr);
+    InitTrajectory(policies[i], *instance_, options_.seed, i + 1, &algs[i]);
+  }
+
+  std::vector<double> est_scores(instance_->num_events());
+  std::vector<double> ref_scores(instance_->num_events());
+
+  std::size_t next_checkpoint = 0;
+  const auto play_round = [&](std::int64_t t, const RoundContext& round,
+                              Trajectory& traj) {
+    traj.watch.Start();
+    const Arrangement arrangement =
+        traj.policy->Propose(t, round, traj.state);
+    traj.watch.Stop();
+    if (options_.validate_arrangements) {
+      FASEA_CHECK(IsFeasibleArrangement(arrangement, instance_->conflicts(),
+                                        traj.state, round.user_capacity));
+      for (EventId v : arrangement) FASEA_CHECK(round.IsAvailable(v));
+    }
+    const Feedback feedback = feedback_->Sample(t, round.contexts,
+                                                arrangement,
+                                                traj.feedback_rng);
+    for (std::size_t i = 0; i < arrangement.size(); ++i) {
+      if (feedback[i]) traj.state.ConsumeOne(arrangement[i]);
+    }
+    traj.watch.Start();
+    traj.policy->Learn(t, round, arrangement, feedback);
+    traj.watch.Stop();
+    traj.cum_arranged += static_cast<double>(arrangement.size());
+    traj.cum_reward += static_cast<double>(NumAccepted(feedback));
+  };
+
+  for (std::int64_t t = 1; t <= options_.horizon; ++t) {
+    const RoundContext& round = provider_->NextRound(t);
+    play_round(t, round, ref);
+    for (Trajectory& traj : algs) play_round(t, round, traj);
+
+    if (next_checkpoint < options_.checkpoints.size() &&
+        options_.checkpoints[next_checkpoint] == t) {
+      ++next_checkpoint;
+      if (options_.compute_kendall) {
+        ref.policy->EstimateRewards(round.contexts, ref_scores);
+      }
+      const auto record = [&](Trajectory& traj, bool is_ref) {
+        TrajectoryResult& r = traj.result;
+        r.checkpoints.push_back(t);
+        r.cum_rewards.push_back(traj.cum_reward);
+        r.cum_arranged.push_back(traj.cum_arranged);
+        r.accept_ratio.push_back(
+            traj.cum_arranged > 0 ? traj.cum_reward / traj.cum_arranged
+                                  : 0.0);
+        const double regret = is_ref ? 0.0 : ref.cum_reward - traj.cum_reward;
+        r.total_regret.push_back(regret);
+        r.regret_ratio.push_back(
+            traj.cum_reward > 0 ? regret / traj.cum_reward : 0.0);
+        if (options_.compute_kendall) {
+          if (is_ref) {
+            r.kendall_tau.push_back(1.0);
+          } else {
+            traj.policy->EstimateRewards(round.contexts, est_scores);
+            r.kendall_tau.push_back(KendallTau(est_scores, ref_scores));
+          }
+        }
+      };
+      record(ref, /*is_ref=*/true);
+      for (Trajectory& traj : algs) record(traj, /*is_ref=*/false);
+    }
+  }
+
+  const auto finalize = [&](Trajectory& traj, bool is_ref) {
+    TrajectoryResult& r = traj.result;
+    r.final_reward = traj.cum_reward;
+    r.final_arranged = traj.cum_arranged;
+    r.final_regret = is_ref ? 0.0 : ref.cum_reward - traj.cum_reward;
+    r.avg_round_seconds =
+        traj.watch.ElapsedSeconds() / static_cast<double>(options_.horizon);
+    // The paper's memory metric covers learner state plus the input data
+    // held resident (instance + one round's context matrix).
+    r.memory_bytes = traj.policy->MemoryBytes() + traj.state.MemoryBytes() +
+                     instance_->MemoryBytes() +
+                     instance_->num_events() * instance_->dim() *
+                         sizeof(double);
+  };
+  finalize(ref, /*is_ref=*/true);
+  SimulationResult result;
+  for (Trajectory& traj : algs) {
+    finalize(traj, /*is_ref=*/false);
+    result.policies.push_back(std::move(traj.result));
+  }
+  result.reference = std::move(ref.result);
+  return result;
+}
+
+}  // namespace fasea

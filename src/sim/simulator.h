@@ -1,0 +1,70 @@
+// Simulator: drives policies through the online FASEA protocol.
+//
+// Each run pushes a reference strategy (OPT / Full Knowledge) and any
+// number of learning policies through the SAME stream of arriving users
+// and contexts — exactly the paper's setup, where every algorithm is
+// evaluated on one shared workload. Every trajectory owns:
+//   - its own PlatformState (capacities deplete according to what ITS
+//     users accepted),
+//   - its own feedback-sampling RNG stream (acceptances are independent
+//     across trajectories, conditionally on the shared contexts).
+//
+// Per round and per policy the simulator: asks for an arrangement,
+// validates feasibility (Definition 3), samples the user's feedback from
+// the ground-truth model, consumes capacities of accepted events, hands
+// the feedback to the policy, and accumulates metrics. Regret at time t
+// is the reference's cumulative reward minus the policy's (Eq. 2).
+#ifndef FASEA_SIM_SIMULATOR_H_
+#define FASEA_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.h"
+#include "model/instance.h"
+#include "model/round_provider.h"
+#include "sim/metrics.h"
+
+namespace fasea {
+
+struct SimOptions {
+  std::int64_t horizon = 100000;
+  /// Seeds the per-trajectory feedback streams.
+  std::uint64_t seed = 42;
+  /// Metric sampling grid; empty = CheckpointSchedule(horizon).
+  std::vector<std::int64_t> checkpoints;
+  /// Compute Kendall's τ of estimated-reward rankings vs the reference at
+  /// each checkpoint (costs O(|V| log |V|) per checkpoint per policy).
+  bool compute_kendall = true;
+  /// Validate every proposed arrangement against Definition 3 (cheap:
+  /// O(|A_t|²) with |A_t| ≤ c_u); disable only in micro-benchmarks.
+  bool validate_arrangements = true;
+};
+
+struct SimulationResult {
+  TrajectoryResult reference;
+  std::vector<TrajectoryResult> policies;
+};
+
+class Simulator {
+ public:
+  /// All pointers must outlive the simulator. The provider must yield
+  /// contexts shaped |V| × d matching the instance.
+  Simulator(const ProblemInstance* instance, RoundProvider* provider,
+            FeedbackModel* feedback, SimOptions options);
+
+  /// Runs `reference` and `policies` in lockstep for `options.horizon`
+  /// rounds. Policies are identified by their name() in the result.
+  SimulationResult Run(Policy* reference,
+                       const std::vector<Policy*>& policies);
+
+ private:
+  const ProblemInstance* instance_;
+  RoundProvider* provider_;
+  FeedbackModel* feedback_;
+  SimOptions options_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_SIM_SIMULATOR_H_

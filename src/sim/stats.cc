@@ -1,0 +1,49 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace fasea {
+
+SummaryStats Summarize(std::span<const double> values) {
+  SummaryStats stats;
+  stats.count = values.size();
+  if (values.empty()) return stats;
+  double sum = 0.0;
+  stats.min = values[0];
+  stats.max = values[0];
+  for (double v : values) {
+    sum += v;
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+  }
+  stats.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - stats.mean) * (v - stats.mean);
+    stats.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return stats;
+}
+
+double OlsSlope(std::span<const double> x, std::span<const double> y) {
+  FASEA_CHECK(x.size() == y.size() && x.size() >= 2);
+  double mean_x = 0.0, mean_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(x.size());
+  mean_y /= static_cast<double>(x.size());
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mean_x) * (x[i] - mean_x);
+    sxy += (x[i] - mean_x) * (y[i] - mean_y);
+  }
+  FASEA_CHECK(sxx > 0.0 && "x must not be constant");
+  return sxy / sxx;
+}
+
+}  // namespace fasea

@@ -1,0 +1,29 @@
+// Small summary-statistics helpers for multi-seed experiment aggregation.
+#ifndef FASEA_SIM_STATS_H_
+#define FASEA_SIM_STATS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace fasea {
+
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes count/mean/sample-stddev/min/max of `values`; empty input
+/// returns all zeros.
+SummaryStats Summarize(std::span<const double> values);
+
+/// Ordinary least squares slope of y against x (equal sizes, >= 2 points
+/// with non-constant x required; aborts otherwise). Used to fit regret
+/// growth exponents on log-log scales.
+double OlsSlope(std::span<const double> x, std::span<const double> y);
+
+}  // namespace fasea
+
+#endif  // FASEA_SIM_STATS_H_

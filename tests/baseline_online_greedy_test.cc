@@ -1,0 +1,101 @@
+#include "baseline/online_greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "oracle/oracle.h"
+
+namespace fasea {
+namespace {
+
+ProblemInstance MakeInstance(std::size_t n,
+                             std::vector<std::pair<int, int>> conflicts = {}) {
+  ConflictGraph g(n);
+  for (auto [a, b] : conflicts) g.AddConflict(a, b);
+  auto inst = ProblemInstance::Create(std::vector<std::int64_t>(n, 10),
+                                      std::move(g), 2);
+  FASEA_CHECK(inst.ok());
+  return std::move(inst).value();
+}
+
+RoundContext MakeRound(std::size_t n, std::int64_t cu) {
+  RoundContext round;
+  round.contexts = ContextMatrix(n, 2);
+  round.user_capacity = cu;
+  return round;
+}
+
+TEST(TagInterestingnessTest, JaccardOverlap) {
+  const std::vector<std::vector<int>> event_tags = {{0}, {1}, {0, 1}, {2}};
+  const std::vector<int> preferred = {0, 1};
+  const auto scores = TagInterestingness(event_tags, preferred);
+  ASSERT_EQ(scores.size(), 4u);
+  EXPECT_DOUBLE_EQ(scores[0], 0.5);        // |{0}∩{0,1}|/|{0}∪{0,1}| = 1/2.
+  EXPECT_DOUBLE_EQ(scores[1], 0.5);
+  EXPECT_DOUBLE_EQ(scores[2], 1.0);        // Identical sets.
+  EXPECT_DOUBLE_EQ(scores[3], 0.0);        // Disjoint.
+}
+
+TEST(TagInterestingnessTest, EmptyTagSets) {
+  const auto scores = TagInterestingness({{}, {1}}, {});
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);  // 0/0 defined as 0.
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);
+}
+
+TEST(OnlineGreedyPolicyTest, ArrangesByInterestingness) {
+  const ProblemInstance inst = MakeInstance(4);
+  OnlineGreedyPolicy online(&inst, {0.2, 0.9, 0.5, 0.1});
+  PlatformState state(inst);
+  const RoundContext round = MakeRound(4, 2);
+  EXPECT_EQ(online.Propose(1, round, state), (Arrangement{1, 2}));
+}
+
+TEST(OnlineGreedyPolicyTest, IgnoresFeedbackEntirely) {
+  // The defining property of the baseline: identical arrangements every
+  // round regardless of feedback.
+  const ProblemInstance inst = MakeInstance(5);
+  OnlineGreedyPolicy online(&inst, {0.1, 0.8, 0.3, 0.6, 0.2});
+  PlatformState state(inst);
+  const RoundContext round = MakeRound(5, 2);
+  const Arrangement first = online.Propose(1, round, state);
+  for (int t = 2; t <= 20; ++t) {
+    online.Learn(t - 1, round, first, Feedback(first.size(), t % 2));
+    EXPECT_EQ(online.Propose(t, round, state), first);
+  }
+}
+
+TEST(OnlineGreedyPolicyTest, RespectsConflictsAndCapacities) {
+  const ProblemInstance inst = MakeInstance(4, {{1, 2}});
+  OnlineGreedyPolicy online(&inst, {0.2, 0.9, 0.8, 0.1});
+  PlatformState state(inst);
+  const RoundContext round = MakeRound(4, 3);
+  const Arrangement a = online.Propose(1, round, state);
+  EXPECT_TRUE(IsFeasibleArrangement(a, inst.conflicts(), state, 3));
+  // 1 beats 2 (conflict), then 0 and 3 fill the remaining slots.
+  EXPECT_EQ(a, (Arrangement{1, 0, 3}));
+}
+
+TEST(OnlineGreedyPolicyTest, RespectsAvailabilityMask) {
+  const ProblemInstance inst = MakeInstance(3);
+  OnlineGreedyPolicy online(&inst, {0.9, 0.8, 0.7});
+  PlatformState state(inst);
+  RoundContext round = MakeRound(3, 3);
+  round.available = {0, 1, 1};
+  const Arrangement a = online.Propose(1, round, state);
+  EXPECT_EQ(a, (Arrangement{1, 2}));
+}
+
+TEST(OnlineGreedyPolicyTest, EstimatesAreTheFixedScores) {
+  const ProblemInstance inst = MakeInstance(3);
+  OnlineGreedyPolicy online(&inst, {0.4, 0.5, 0.6});
+  std::vector<double> est(3);
+  online.EstimateRewards(ContextMatrix(3, 2), est);
+  EXPECT_EQ(est, (std::vector<double>{0.4, 0.5, 0.6}));
+}
+
+TEST(OnlineGreedyPolicyDeathTest, ScoreSizeMismatchAborts) {
+  const ProblemInstance inst = MakeInstance(3);
+  EXPECT_DEATH(OnlineGreedyPolicy(&inst, {0.1, 0.2}), "FASEA_CHECK");
+}
+
+}  // namespace
+}  // namespace fasea

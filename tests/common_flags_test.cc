@@ -1,0 +1,147 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace fasea {
+namespace {
+
+FlagSet MakeFlags() {
+  FlagSet flags;
+  flags.DefineString("name", "default", "a string");
+  flags.DefineInt("count", 7, "an int");
+  flags.DefineDouble("rate", 0.5, "a double");
+  flags.DefineBool("verbose", false, "a bool");
+  return flags;
+}
+
+Status Parse(FlagSet& flags, std::vector<const char*> argv) {
+  return flags.Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagSetTest, DefaultsWhenNothingParsed) {
+  FlagSet flags = MakeFlags();
+  EXPECT_TRUE(Parse(flags, {}).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+  EXPECT_FALSE(flags.WasSet("name"));
+}
+
+TEST(FlagSetTest, EqualsForm) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(
+      Parse(flags, {"--name=abc", "--count=42", "--rate=1.25",
+                    "--verbose=true"})
+          .ok());
+  EXPECT_EQ(flags.GetString("name"), "abc");
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 1.25);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_TRUE(flags.WasSet("count"));
+}
+
+TEST(FlagSetTest, SpaceForm) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(Parse(flags, {"--count", "13", "--name", "xyz"}).ok());
+  EXPECT_EQ(flags.GetInt("count"), 13);
+  EXPECT_EQ(flags.GetString("name"), "xyz");
+}
+
+TEST(FlagSetTest, BoolShorthand) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(Parse(flags, {"--verbose"}).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+
+  FlagSet flags2 = MakeFlags();
+  ASSERT_TRUE(Parse(flags2, {"--verbose", "--noverbose"}).ok());
+  EXPECT_FALSE(flags2.GetBool("verbose"));
+}
+
+TEST(FlagSetTest, BoolValueSpellings) {
+  for (const char* spelling : {"true", "1", "yes"}) {
+    FlagSet flags = MakeFlags();
+    ASSERT_TRUE(
+        Parse(flags, {(std::string("--verbose=") + spelling).c_str()}).ok());
+    EXPECT_TRUE(flags.GetBool("verbose")) << spelling;
+  }
+  for (const char* spelling : {"false", "0", "no"}) {
+    FlagSet flags = MakeFlags();
+    ASSERT_TRUE(
+        Parse(flags, {(std::string("--verbose=") + spelling).c_str()}).ok());
+    EXPECT_FALSE(flags.GetBool("verbose")) << spelling;
+  }
+}
+
+TEST(FlagSetTest, PositionalArguments) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(Parse(flags, {"input.txt", "--count=1", "more"}).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.txt", "more"}));
+}
+
+TEST(FlagSetTest, NegativeAndLargeIntegers) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(Parse(flags, {"--count=-100000000000"}).ok());
+  EXPECT_EQ(flags.GetInt("count"), -100000000000LL);
+}
+
+TEST(FlagSetTest, ScientificDoubles) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(Parse(flags, {"--rate=2.5e-3"}).ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.0025);
+}
+
+TEST(FlagSetTest, ErrorsAreReported) {
+  {
+    FlagSet flags = MakeFlags();
+    const Status st = Parse(flags, {"--bogus=1"});
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("bogus"), std::string::npos);
+  }
+  {
+    FlagSet flags = MakeFlags();
+    EXPECT_FALSE(Parse(flags, {"--count=abc"}).ok());
+  }
+  {
+    FlagSet flags = MakeFlags();
+    EXPECT_FALSE(Parse(flags, {"--rate=12..5"}).ok());
+  }
+  {
+    FlagSet flags = MakeFlags();
+    EXPECT_FALSE(Parse(flags, {"--verbose=maybe"}).ok());
+  }
+  {
+    FlagSet flags = MakeFlags();
+    EXPECT_FALSE(Parse(flags, {"--count"}).ok());  // Missing value.
+  }
+}
+
+TEST(FlagSetTest, LastSettingWins) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(Parse(flags, {"--count=1", "--count=2"}).ok());
+  EXPECT_EQ(flags.GetInt("count"), 2);
+}
+
+TEST(FlagSetTest, HelpTextMentionsFlagsAndDefaults) {
+  FlagSet flags = MakeFlags();
+  const std::string help = flags.HelpText("prog");
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("default: 7"), std::string::npos);
+  EXPECT_NE(help.find("a double"), std::string::npos);
+  EXPECT_NE(help.find("Usage: prog"), std::string::npos);
+}
+
+TEST(FlagSetDeathTest, RedefinitionAborts) {
+  FlagSet flags = MakeFlags();
+  EXPECT_DEATH(flags.DefineInt("count", 1, "again"), "FASEA_CHECK");
+}
+
+TEST(FlagSetDeathTest, TypeMismatchAborts) {
+  FlagSet flags = MakeFlags();
+  EXPECT_DEATH((void)flags.GetInt("name"), "FASEA_CHECK");
+  EXPECT_DEATH((void)flags.GetString("unknown"), "FASEA_CHECK");
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,69 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace fasea {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"alg", "regret"});
+  t.AddRow({"UCB", "12"});
+  t.AddRow({"eGreedy", "3.5"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("alg      regret"), std::string::npos);
+  EXPECT_NE(out.find("UCB      12"), std::string::npos);
+  EXPECT_NE(out.find("eGreedy  3.5"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("1,,"), std::string::npos);
+}
+
+TEST(TextTableDeathTest, OverlongRowAborts) {
+  TextTable t;
+  t.SetHeader({"a"});
+  EXPECT_DEATH(t.AddRow({"1", "2"}), "FASEA_CHECK");
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCharacters) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"with,comma", "with\"quote"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTableTest, CsvPlainCellsUnquoted) {
+  TextTable t;
+  t.SetHeader({"x"});
+  t.AddRow({"plain"});
+  EXPECT_EQ(t.ToCsv(), "x\nplain\n");
+}
+
+TEST(WriteFileTest, RoundTrips) {
+  const std::string path = testing::TempDir() + "/fasea_table_test.csv";
+  WriteFileOrDie(path, "hello\n");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "hello\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,139 @@
+#include "core/per_user_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/eps_greedy_policy.h"
+#include "core/policy_factory.h"
+#include "oracle/oracle.h"
+
+namespace fasea {
+namespace {
+
+ProblemInstance MakeInstance(std::size_t n, std::size_t d) {
+  auto inst = ProblemInstance::Create(std::vector<std::int64_t>(n, 100),
+                                      ConflictGraph(n), d);
+  FASEA_CHECK(inst.ok());
+  return std::move(inst).value();
+}
+
+RoundContext MakeRound(std::size_t n, std::size_t d, std::int64_t cu,
+                       std::int64_t user_id) {
+  RoundContext round;
+  round.contexts = ContextMatrix(n, d);
+  for (std::size_t v = 0; v < n; ++v) {
+    round.contexts(v, v % d) = 0.5 + 0.01 * static_cast<double>(v);
+  }
+  round.user_capacity = cu;
+  round.user_id = user_id;
+  return round;
+}
+
+TEST(PerUserPolicyBankTest, CreatesOnePolicyPerUser) {
+  const ProblemInstance inst = MakeInstance(6, 3);
+  PolicyParams params;
+  PerUserPolicyBank bank([&](std::int64_t user_id) {
+    return MakePolicy(PolicyKind::kUcb, &inst, params,
+                      static_cast<std::uint64_t>(user_id));
+  });
+  PlatformState state(inst);
+  EXPECT_EQ(bank.num_users(), 0u);
+  for (std::int64_t user = 0; user < 4; ++user) {
+    const RoundContext round = MakeRound(6, 3, 2, user);
+    const Arrangement a = bank.Propose(1, round, state);
+    bank.Learn(1, round, a, Feedback(a.size(), 1));
+  }
+  EXPECT_EQ(bank.num_users(), 4u);
+  EXPECT_NE(bank.UserPolicy(0), nullptr);
+  EXPECT_NE(bank.UserPolicy(3), nullptr);
+  EXPECT_EQ(bank.UserPolicy(9), nullptr);
+}
+
+TEST(PerUserPolicyBankTest, ReusesExistingPolicy) {
+  const ProblemInstance inst = MakeInstance(4, 2);
+  PolicyParams params;
+  PerUserPolicyBank bank([&](std::int64_t) {
+    return MakePolicy(PolicyKind::kExploit, &inst, params, 0);
+  });
+  PlatformState state(inst);
+  const RoundContext round = MakeRound(4, 2, 1, 7);
+  bank.Propose(1, round, state);
+  const Policy* first = bank.UserPolicy(7);
+  bank.Propose(2, round, state);
+  EXPECT_EQ(bank.UserPolicy(7), first);
+  EXPECT_EQ(bank.num_users(), 1u);
+}
+
+TEST(PerUserPolicyBankTest, LearningIsIsolatedPerUser) {
+  const ProblemInstance inst = MakeInstance(2, 2);
+  PolicyParams params;
+  PerUserPolicyBank bank([&](std::int64_t) {
+    return MakePolicy(PolicyKind::kExploit, &inst, params, 0);
+  });
+  PlatformState state(inst);
+  // User 0 learns event 0 is great.
+  RoundContext r0 = MakeRound(2, 2, 1, 0);
+  for (int t = 1; t <= 20; ++t) {
+    bank.Learn(t, r0, {0}, Feedback{1});
+  }
+  // User 1's model is untouched: its estimates are still all zero.
+  RoundContext r1 = MakeRound(2, 2, 1, 1);
+  PlatformState fresh(inst);
+  bank.Propose(1, r1, fresh);
+  std::vector<double> est(2);
+  bank.EstimateRewards(r1.contexts, est);
+  EXPECT_EQ(est[0], 0.0);
+  EXPECT_EQ(est[1], 0.0);
+  // Route back to user 0: estimates reflect its training.
+  bank.Propose(2, r0, fresh);
+  bank.EstimateRewards(r0.contexts, est);
+  EXPECT_GT(est[0], 0.0);
+}
+
+TEST(PerUserPolicyBankTest, SharedPlatformStateAcrossUsers) {
+  // Remark 1: capacities are shared — user 0 exhausting an event removes
+  // it for user 1.
+  auto inst = ProblemInstance::Create({1, 100}, ConflictGraph(2), 2);
+  ASSERT_TRUE(inst.ok());
+  PolicyParams params;
+  PerUserPolicyBank bank([&](std::int64_t) {
+    return MakePolicy(PolicyKind::kUcb, &inst.value(), params, 0);
+  });
+  PlatformState state(*inst);
+  state.ConsumeOne(0);  // User 0 accepted event 0; now full.
+  const RoundContext round = MakeRound(2, 2, 2, 1);
+  const Arrangement a = bank.Propose(1, round, state);
+  EXPECT_EQ(a, (Arrangement{1}));
+}
+
+TEST(PerUserPolicyBankTest, MemoryGrowsWithUsers) {
+  const ProblemInstance inst = MakeInstance(4, 8);
+  PolicyParams params;
+  PerUserPolicyBank bank([&](std::int64_t) {
+    return MakePolicy(PolicyKind::kUcb, &inst, params, 0);
+  });
+  PlatformState state(inst);
+  bank.Propose(1, MakeRound(4, 8, 1, 0), state);
+  const std::size_t one_user = bank.MemoryBytes();
+  for (std::int64_t u = 1; u < 5; ++u) {
+    bank.Propose(1, MakeRound(4, 8, 1, u), state);
+  }
+  EXPECT_GT(bank.MemoryBytes(), 3 * one_user);
+}
+
+TEST(PerUserPolicyBankTest, EstimateBeforeAnyRoundIsZero) {
+  const ProblemInstance inst = MakeInstance(3, 2);
+  PolicyParams params;
+  PerUserPolicyBank bank([&](std::int64_t) {
+    return MakePolicy(PolicyKind::kUcb, &inst, params, 0);
+  });
+  std::vector<double> est(3, 99.0);
+  bank.EstimateRewards(ContextMatrix(3, 2), est);
+  for (double e : est) EXPECT_EQ(e, 0.0);
+}
+
+TEST(PerUserPolicyBankDeathTest, NullFactoryAborts) {
+  EXPECT_DEATH(PerUserPolicyBank(nullptr), "FASEA_CHECK");
+}
+
+}  // namespace
+}  // namespace fasea

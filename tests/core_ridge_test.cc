@@ -1,0 +1,142 @@
+#include "core/ridge.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "rng/distributions.h"
+
+namespace fasea {
+namespace {
+
+TEST(RidgeStateTest, InitialStateIsPrior) {
+  RidgeState ridge(3, 2.0);
+  EXPECT_EQ(ridge.dim(), 3u);
+  EXPECT_DOUBLE_EQ(ridge.lambda(), 2.0);
+  EXPECT_EQ(ridge.num_observations(), 0);
+  // θ̂ = (2I)⁻¹ 0 = 0.
+  EXPECT_DOUBLE_EQ(ridge.ThetaHat().Norm(), 0.0);
+  const double x[] = {1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(ridge.PredictedReward(x), 0.0);
+  EXPECT_DOUBLE_EQ(ridge.ConfidenceWidthSq(x), 0.5);
+}
+
+TEST(RidgeStateTest, SingleObservationClosedForm) {
+  RidgeState ridge(2, 1.0);
+  const double x[] = {1.0, 0.0};
+  ridge.Update(x, 1.0);
+  // Y = diag(2, 1), b = (1, 0) => θ̂ = (0.5, 0).
+  EXPECT_NEAR(ridge.ThetaHat()[0], 0.5, 1e-12);
+  EXPECT_NEAR(ridge.ThetaHat()[1], 0.0, 1e-12);
+  EXPECT_EQ(ridge.num_observations(), 1);
+}
+
+TEST(RidgeStateTest, MatchesDirectRidgeRegression) {
+  Pcg64 rng(1);
+  const std::size_t d = 6;
+  const double lambda = 0.5;
+  RidgeState ridge(d, lambda);
+  Matrix y = Matrix::ScaledIdentity(d, lambda);
+  Vector b(d);
+  Vector x(d);
+  for (int step = 0; step < 200; ++step) {
+    for (std::size_t i = 0; i < d; ++i) x[i] = UniformReal(rng, -1.0, 1.0);
+    x.Normalize();
+    const double reward = Bernoulli(rng, 0.5) ? 1.0 : 0.0;
+    ridge.Update(x.span(), reward);
+    y.AddOuter(1.0, x.span());
+    Axpy(reward, x, &b);
+  }
+  auto chol = Cholesky::Factorize(y);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_LT(MaxAbsDiff(ridge.ThetaHat(), chol->Solve(b)), 1e-9);
+  EXPECT_LT(ridge.Y().MaxAbsDiff(y), 1e-12);
+  EXPECT_LT(MaxAbsDiff(ridge.b(), b), 1e-12);
+}
+
+TEST(RidgeStateTest, RecoversThetaFromNoiselessData) {
+  // With deterministic rewards r = xᵀθ and many observations, θ̂ → θ.
+  Pcg64 rng(2);
+  const std::size_t d = 5;
+  Vector theta(d);
+  for (std::size_t i = 0; i < d; ++i) theta[i] = UniformReal(rng, -1.0, 1.0);
+  theta.Normalize();
+  RidgeState ridge(d, 1.0);
+  Vector x(d);
+  for (int step = 0; step < 5000; ++step) {
+    for (std::size_t i = 0; i < d; ++i) x[i] = UniformReal(rng, -1.0, 1.0);
+    x.Normalize();
+    ridge.Update(x.span(), Dot(x, theta));
+  }
+  EXPECT_LT(MaxAbsDiff(ridge.ThetaHat(), theta), 0.01);
+}
+
+TEST(RidgeStateTest, RecoversThetaFromBernoulliFeedback) {
+  // The FASEA learning problem: 0/1 rewards with mean xᵀθ.
+  Pcg64 rng(3);
+  const std::size_t d = 4;
+  Vector theta{0.5, 0.3, 0.1, 0.05};
+  RidgeState ridge(d, 1.0);
+  Vector x(d);
+  for (int step = 0; step < 50000; ++step) {
+    for (std::size_t i = 0; i < d; ++i) x[i] = UniformReal(rng, 0.0, 1.0);
+    x.Normalize();
+    const double p = Dot(x, theta);
+    ridge.Update(x.span(), Bernoulli(rng, p) ? 1.0 : 0.0);
+  }
+  EXPECT_LT(MaxAbsDiff(ridge.ThetaHat(), theta), 0.05);
+}
+
+TEST(RidgeStateTest, ConfidenceWidthShrinksWithData) {
+  RidgeState ridge(3, 1.0);
+  const double x[] = {0.6, 0.8, 0.0};
+  const double before = ridge.ConfidenceWidthSq(x);
+  for (int i = 0; i < 20; ++i) ridge.Update(x, 1.0);
+  EXPECT_LT(ridge.ConfidenceWidthSq(x), before / 10.0);
+}
+
+TEST(RidgeStateTest, ThetaHatCachedUntilUpdate) {
+  RidgeState ridge(2, 1.0);
+  const double x[] = {1.0, 0.0};
+  ridge.Update(x, 1.0);
+  const Vector* first = &ridge.ThetaHat();
+  const Vector* second = &ridge.ThetaHat();
+  EXPECT_EQ(first, second);  // Same cached object.
+  ridge.Update(x, 0.0);
+  EXPECT_NE(ridge.ThetaHat()[0], 1.0);  // Recomputed.
+}
+
+TEST(RidgeStateTest, ZeroRewardObservationsShrinkEstimates) {
+  RidgeState ridge(2, 1.0);
+  const double x[] = {1.0, 0.0};
+  ridge.Update(x, 1.0);
+  const double est_after_hit = ridge.PredictedReward(x);
+  for (int i = 0; i < 10; ++i) ridge.Update(x, 0.0);
+  EXPECT_LT(ridge.PredictedReward(x), est_after_hit);
+}
+
+TEST(RidgeStateDeathTest, InvalidInputsAbort) {
+  EXPECT_DEATH(RidgeState(3, 0.0), "FASEA_CHECK");
+  RidgeState ridge(3, 1.0);
+  const double x[] = {1.0, 0.0};
+  EXPECT_DEATH(ridge.Update(std::span<const double>(x, 2), 1.0),
+               "FASEA_CHECK");
+}
+
+class RidgeLambdaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RidgeLambdaTest, LargerLambdaShrinksEstimates) {
+  const double lambda = GetParam();
+  RidgeState ridge(2, lambda);
+  const double x[] = {1.0, 0.0};
+  for (int i = 0; i < 5; ++i) ridge.Update(x, 1.0);
+  // θ̂₀ = 5 / (λ + 5).
+  EXPECT_NEAR(ridge.ThetaHat()[0], 5.0 / (lambda + 5.0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RidgeLambdaTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 10.0));
+
+}  // namespace
+}  // namespace fasea

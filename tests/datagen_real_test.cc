@@ -1,0 +1,206 @@
+#include "datagen/real_surrogate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "model/context.h"
+
+namespace fasea {
+namespace {
+
+// Paper Table 7 bottom row.
+constexpr std::int64_t kPaperYesCounts[] = {12, 26, 11, 10, 15, 22, 16,
+                                            7,  22, 11, 13, 19, 23, 11,
+                                            11, 7,  9,  13, 17};
+
+class RealDatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { dataset_ = new RealDataset(RealDataset::Create()); }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static const RealDataset* dataset_;
+};
+
+const RealDataset* RealDatasetTest::dataset_ = nullptr;
+
+TEST_F(RealDatasetTest, FiftyEventsNineteenUsersTwentyDims) {
+  EXPECT_EQ(dataset_->events().size(), RealDataset::kNumEvents);
+  EXPECT_EQ(RealDataset::kNumEvents, 50u);
+  EXPECT_EQ(RealDataset::kNumUsers, 19u);
+  EXPECT_EQ(RealDataset::kDim, 20u);
+}
+
+TEST_F(RealDatasetTest, EventsCoverAllSixCategories) {
+  std::set<int> categories;
+  for (const auto& e : dataset_->events()) {
+    ASSERT_GE(e.category, 0);
+    ASSERT_LT(e.category, 6);
+    categories.insert(e.category);
+  }
+  EXPECT_EQ(categories.size(), 6u);
+}
+
+TEST_F(RealDatasetTest, EventFieldsInRange) {
+  for (const auto& e : dataset_->events()) {
+    EXPECT_GE(e.sub_category, 0);
+    EXPECT_LT(e.sub_category,
+              static_cast<int>(RealDataset::NumSubCategories(e.category)));
+    EXPECT_GE(e.performer, 0);
+    EXPECT_LE(e.performer, 2);
+    EXPECT_GE(e.country, 0);
+    EXPECT_LE(e.country, 10);
+    EXPECT_GE(e.price_band, 0);
+    EXPECT_LE(e.price_band, 7);
+    EXPECT_GE(e.day, 0);
+    EXPECT_LE(e.day, 4);
+    EXPECT_GE(e.venue_x, 0.0);
+    EXPECT_LE(e.venue_x, 1.0);
+    EXPECT_GT(e.duration_hours, 0.0);
+  }
+}
+
+TEST_F(RealDatasetTest, TaxonomyMatchesTable3) {
+  EXPECT_EQ(RealDataset::CategoryName(0), "Pop Concert");
+  EXPECT_EQ(RealDataset::CategoryName(5), "Movie");
+  EXPECT_EQ(RealDataset::NumSubCategories(0), 4u);  // pop/classic/folk/jazz.
+  EXPECT_EQ(RealDataset::NumSubCategories(2), 3u);  // bb/fb/boxing.
+  EXPECT_EQ(RealDataset::NumSubCategories(5), 7u);  // 7 movie genres.
+  EXPECT_EQ(RealDataset::SubCategoryName(2, 1), "football");
+  // Total tags = 4+4+3+3+3+7 = 24.
+  std::size_t total = 0;
+  for (int c = 0; c < 6; ++c) total += RealDataset::NumSubCategories(c);
+  EXPECT_EQ(total, static_cast<std::size_t>(RealDataset::kNumTags));
+}
+
+TEST_F(RealDatasetTest, ContextsHaveUnitBoundedNormAndScaling) {
+  for (std::size_t u = 0; u < RealDataset::kNumUsers; ++u) {
+    const ContextMatrix& ctx = dataset_->ContextsFor(u);
+    ASSERT_EQ(ctx.rows(), 50u);
+    ASSERT_EQ(ctx.cols(), 20u);
+    for (std::size_t v = 0; v < 50; ++v) {
+      double norm_sq = 0.0;
+      for (double x : ctx.Row(v)) {
+        EXPECT_GE(x, 0.0);
+        EXPECT_LE(x, 1.0 / 20.0 + 1e-12);  // Paper divides by d = 20.
+        norm_sq += x * x;
+      }
+      EXPECT_LE(std::sqrt(norm_sq), 1.0);
+      EXPECT_GT(norm_sq, 0.0);  // At least one categorical bit set.
+    }
+  }
+}
+
+TEST_F(RealDatasetTest, CategoricalBitsSharedAcrossUsers) {
+  // Only the distance feature (last dim) may differ between users.
+  const ContextMatrix& a = dataset_->ContextsFor(0);
+  const ContextMatrix& b = dataset_->ContextsFor(7);
+  for (std::size_t v = 0; v < 50; ++v) {
+    for (std::size_t j = 0; j + 1 < 20; ++j) {
+      EXPECT_EQ(a(v, j), b(v, j));
+    }
+  }
+}
+
+TEST_F(RealDatasetTest, YesCountsMatchPaperCapacities) {
+  for (std::size_t u = 0; u < RealDataset::kNumUsers; ++u) {
+    EXPECT_EQ(dataset_->YesCount(u), kPaperYesCounts[u]) << "user " << u;
+  }
+}
+
+TEST_F(RealDatasetTest, ConflictsComeFromScheduleOverlap) {
+  const auto& g = dataset_->conflicts();
+  EXPECT_EQ(g.num_events(), 50u);
+  EXPECT_GT(g.num_conflicts(), 0u);  // Dense start-hour grid guarantees some.
+  for (const auto& [a, b] : g.edges()) {
+    const auto& ea = dataset_->events()[a];
+    const auto& eb = dataset_->events()[b];
+    EXPECT_EQ(ea.day, eb.day);  // Overlap requires the same day.
+  }
+}
+
+TEST_F(RealDatasetTest, FullKnowledgeRespectsCapAndConflicts) {
+  for (std::size_t u = 0; u < RealDataset::kNumUsers; ++u) {
+    const std::int64_t yes = dataset_->YesCount(u);
+    const std::int64_t fk_full = dataset_->FullKnowledgeReward(u, yes);
+    EXPECT_LE(fk_full, yes);          // Conflicts can only reduce it.
+    EXPECT_GE(fk_full, 1);            // Everyone likes something.
+    const std::int64_t fk_5 = dataset_->FullKnowledgeReward(u, 5);
+    EXPECT_LE(fk_5, 5);
+    EXPECT_LE(fk_5, fk_full);
+    EXPECT_GE(fk_5, std::min<std::int64_t>(1, yes));
+  }
+}
+
+TEST_F(RealDatasetTest, FullKnowledgeMonotoneInCapacity) {
+  for (std::int64_t cu = 1; cu < 10; ++cu) {
+    EXPECT_LE(dataset_->FullKnowledgeReward(0, cu),
+              dataset_->FullKnowledgeReward(0, cu + 1));
+  }
+}
+
+TEST_F(RealDatasetTest, InstanceCapacitiesNeverBind) {
+  const ProblemInstance inst = dataset_->MakeInstance(1000);
+  for (std::size_t v = 0; v < 50; ++v) {
+    EXPECT_GE(inst.capacity(v), 1000 * 50);
+  }
+  EXPECT_EQ(inst.dim(), 20u);
+}
+
+TEST_F(RealDatasetTest, TagsAreConsistent) {
+  for (std::size_t v = 0; v < 50; ++v) {
+    const int tag = dataset_->EventTag(v);
+    EXPECT_GE(tag, 0);
+    EXPECT_LT(tag, RealDataset::kNumTags);
+  }
+  for (std::size_t u = 0; u < RealDataset::kNumUsers; ++u) {
+    const auto& tags = dataset_->PreferredTags(u);
+    EXPECT_GE(tags.size(), 1u);
+    EXPECT_LE(tags.size(), 5u);
+    for (int t : tags) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, RealDataset::kNumTags);
+    }
+  }
+}
+
+TEST_F(RealDatasetTest, DeterministicAcrossCreations) {
+  const RealDataset other = RealDataset::Create();
+  EXPECT_EQ(other.FeedbackRow(3), dataset_->FeedbackRow(3));
+  EXPECT_EQ(other.conflicts().edges(), dataset_->conflicts().edges());
+  EXPECT_EQ(other.ContextsFor(5), dataset_->ContextsFor(5));
+}
+
+TEST_F(RealDatasetTest, DifferentSeedChangesFeedbackButNotCounts) {
+  const RealDataset other = RealDataset::Create(999);
+  for (std::size_t u = 0; u < RealDataset::kNumUsers; ++u) {
+    EXPECT_EQ(other.YesCount(u), kPaperYesCounts[u]);
+  }
+}
+
+TEST(FrozenFeedbackModelTest, DeterministicLookup) {
+  FrozenFeedbackModel model({1, 0, 1});
+  ContextMatrix ctx(3, 2);
+  Pcg64 rng(1);
+  EXPECT_DOUBLE_EQ(model.ExpectedReward(1, ctx, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.ExpectedReward(9, ctx, 1), 0.0);
+  const Feedback fb = model.Sample(1, ctx, {2, 1, 0}, rng);
+  EXPECT_EQ(fb, (Feedback{1, 0, 1}));
+}
+
+TEST(FixedRoundProviderTest, ReplaysSameRound) {
+  ContextMatrix ctx(2, 3);
+  ctx(0, 1) = 0.25;
+  FixedRoundProvider provider(ctx, 4);
+  const RoundContext& r1 = provider.NextRound(1);
+  EXPECT_EQ(r1.user_capacity, 4);
+  EXPECT_EQ(r1.contexts(0, 1), 0.25);
+  const RoundContext& r2 = provider.NextRound(999);
+  EXPECT_EQ(&r1, &r2);
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,189 @@
+#include "ebsn/arrangement_service.h"
+
+#include <gtest/gtest.h>
+
+#include "ebsn/event_catalog.h"
+#include "oracle/oracle.h"
+#include "rng/distributions.h"
+
+namespace fasea {
+namespace {
+
+ProblemInstance MakeInstance() {
+  EventCatalog catalog;
+  EventSpec a{"concert", 3, 19.0, 21.0, {"music"}};
+  EventSpec b{"opera", 2, 20.0, 22.0, {"music"}};    // Conflicts concert.
+  EventSpec c{"football", 5, 14.0, 16.0, {"sport"}};
+  FASEA_CHECK(catalog.Add(a).ok());
+  FASEA_CHECK(catalog.Add(b).ok());
+  FASEA_CHECK(catalog.Add(c).ok());
+  auto instance = catalog.BuildInstance(3);
+  FASEA_CHECK(instance.ok());
+  return std::move(instance).value();
+}
+
+ContextMatrix MakeContexts(Pcg64& rng) {
+  ContextMatrix ctx(3, 3);
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      ctx(v, j) = UniformReal(rng, 0.0, 0.5);
+    }
+  }
+  return ctx;
+}
+
+TEST(ArrangementServiceTest, ServeAndFeedbackHappyPath) {
+  const ProblemInstance instance = MakeInstance();
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  Pcg64 rng(1);
+
+  auto arrangement = service.ServeUser(/*user_id=*/0, /*user_capacity=*/2,
+                                       MakeContexts(rng));
+  ASSERT_TRUE(arrangement.ok());
+  EXPECT_TRUE(IsFeasibleArrangement(*arrangement, instance.conflicts(),
+                                    service.state(), 2));
+  EXPECT_TRUE(service.AwaitingFeedback());
+
+  Feedback feedback(arrangement->size(), 1);
+  ASSERT_TRUE(service.SubmitFeedback(feedback).ok());
+  EXPECT_FALSE(service.AwaitingFeedback());
+  EXPECT_EQ(service.rounds_served(), 1);
+  EXPECT_EQ(service.log().size(), 1u);
+  EXPECT_EQ(service.log().TotalAccepted(),
+            static_cast<std::int64_t>(arrangement->size()));
+}
+
+TEST(ArrangementServiceTest, EnforcesFeedbackBeforeNextUser) {
+  const ProblemInstance instance = MakeInstance();
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  Pcg64 rng(2);
+  ASSERT_TRUE(service.ServeUser(0, 1, MakeContexts(rng)).ok());
+  // Second user before feedback: protocol violation.
+  EXPECT_FALSE(service.ServeUser(1, 1, MakeContexts(rng)).ok());
+  ASSERT_TRUE(service.SubmitFeedback(Feedback(1, 0)).ok());
+  EXPECT_TRUE(service.ServeUser(1, 1, MakeContexts(rng)).ok());
+}
+
+TEST(ArrangementServiceTest, RejectsFeedbackWithoutServe) {
+  const ProblemInstance instance = MakeInstance();
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  EXPECT_FALSE(service.SubmitFeedback({}).ok());
+}
+
+TEST(ArrangementServiceTest, RejectsMalformedFeedback) {
+  const ProblemInstance instance = MakeInstance();
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  Pcg64 rng(3);
+  auto arrangement = service.ServeUser(0, 2, MakeContexts(rng));
+  ASSERT_TRUE(arrangement.ok());
+  ASSERT_GT(arrangement->size(), 0u);
+  EXPECT_FALSE(service.SubmitFeedback(Feedback(9, 1)).ok());   // Wrong size.
+  EXPECT_FALSE(
+      service.SubmitFeedback(Feedback(arrangement->size(), 7)).ok());
+  // Valid submission still possible after rejections.
+  EXPECT_TRUE(
+      service.SubmitFeedback(Feedback(arrangement->size(), 1)).ok());
+}
+
+TEST(ArrangementServiceTest, RejectsMalformedRound) {
+  const ProblemInstance instance = MakeInstance();
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  EXPECT_FALSE(service.ServeUser(0, 0, ContextMatrix(3, 3)).ok());  // c_u.
+  EXPECT_FALSE(service.ServeUser(0, 1, ContextMatrix(2, 3)).ok());  // Shape.
+  // A failed serve leaves the service ready for a valid one.
+  Pcg64 rng(4);
+  EXPECT_TRUE(service.ServeUser(0, 1, MakeContexts(rng)).ok());
+}
+
+TEST(ArrangementServiceTest, AcceptedEventsConsumeCapacity) {
+  const ProblemInstance instance = MakeInstance();
+  ArrangementService service(&instance, PolicyKind::kExploit, PolicyParams{},
+                             1);
+  Pcg64 rng(5);
+  std::int64_t accepted_football = 0;
+  for (int round = 0; round < 20; ++round) {
+    auto arrangement = service.ServeUser(0, 3, MakeContexts(rng));
+    ASSERT_TRUE(arrangement.ok());
+    Feedback feedback(arrangement->size(), 0);
+    for (std::size_t i = 0; i < arrangement->size(); ++i) {
+      if ((*arrangement)[i] == 2 && accepted_football < 5) {
+        feedback[i] = 1;  // Accept football until its capacity is gone.
+        ++accepted_football;
+      }
+    }
+    ASSERT_TRUE(service.SubmitFeedback(feedback).ok());
+  }
+  EXPECT_EQ(service.state().remaining(2), 0);
+  // Once full, football must never be proposed again.
+  auto arrangement = service.ServeUser(0, 3, MakeContexts(rng));
+  ASSERT_TRUE(arrangement.ok());
+  for (EventId v : *arrangement) EXPECT_NE(v, 2u);
+  ASSERT_TRUE(
+      service.SubmitFeedback(Feedback(arrangement->size(), 0)).ok());
+}
+
+TEST(ArrangementServiceTest, CheckpointRestoreKeepsLearnedState) {
+  const ProblemInstance instance = MakeInstance();
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  Pcg64 rng(6);
+  for (int round = 0; round < 15; ++round) {
+    auto arrangement = service.ServeUser(0, 2, MakeContexts(rng));
+    ASSERT_TRUE(arrangement.ok());
+    Feedback feedback(arrangement->size());
+    for (auto& f : feedback) f = Bernoulli(rng, 0.5) ? 1 : 0;
+    ASSERT_TRUE(service.SubmitFeedback(feedback).ok());
+  }
+  const std::string blob = service.Checkpoint();
+  auto restored = ArrangementService::FromCheckpoint(&instance, blob, 1);
+  ASSERT_TRUE(restored.ok());
+
+  // The learner state carries over exactly. (PlatformState intentionally
+  // does not: remaining capacities live in the platform's own records.)
+  const auto* live =
+      dynamic_cast<const LinearPolicyBase*>(&service.policy());
+  const auto* rebuilt =
+      dynamic_cast<const LinearPolicyBase*>(&(*restored)->policy());
+  ASSERT_NE(live, nullptr);
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_LT(rebuilt->ridge().Y().MaxAbsDiff(live->ridge().Y()), 1e-15);
+  EXPECT_LT(MaxAbsDiff(rebuilt->ridge().b(), live->ridge().b()), 1e-15);
+  EXPECT_LT(MaxAbsDiff(rebuilt->ridge().ThetaHat(),
+                       live->ridge().ThetaHat()),
+            1e-9);
+  EXPECT_EQ(rebuilt->ridge().num_observations(),
+            live->ridge().num_observations());
+}
+
+TEST(ArrangementServiceTest, FromCheckpointRejectsGarbage) {
+  const ProblemInstance instance = MakeInstance();
+  EXPECT_FALSE(
+      ArrangementService::FromCheckpoint(&instance, "nonsense", 1).ok());
+}
+
+TEST(ArrangementServiceTest, LogReplayMatchesLiveService) {
+  const ProblemInstance instance = MakeInstance();
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  Pcg64 rng(8);
+  for (int round = 0; round < 10; ++round) {
+    auto arrangement = service.ServeUser(round % 3, 2, MakeContexts(rng));
+    ASSERT_TRUE(arrangement.ok());
+    Feedback feedback(arrangement->size());
+    for (auto& f : feedback) f = Bernoulli(rng, 0.6) ? 1 : 0;
+    ASSERT_TRUE(service.SubmitFeedback(feedback).ok());
+  }
+  // Rebuild a fresh policy from the CSV round-tripped log.
+  auto log = InteractionLog::FromCsv(service.log().ToCsv(), 3, 3);
+  ASSERT_TRUE(log.ok());
+  auto fresh = MakePolicy(PolicyKind::kUcb, &instance, PolicyParams{}, 1);
+  log->Replay(fresh.get());
+  const auto* live =
+      dynamic_cast<const LinearPolicyBase*>(&service.policy());
+  const auto* rebuilt = dynamic_cast<LinearPolicyBase*>(fresh.get());
+  ASSERT_NE(live, nullptr);
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_LT(rebuilt->ridge().Y().MaxAbsDiff(live->ridge().Y()), 1e-12);
+  EXPECT_LT(MaxAbsDiff(rebuilt->ridge().b(), live->ridge().b()), 1e-12);
+}
+
+}  // namespace
+}  // namespace fasea

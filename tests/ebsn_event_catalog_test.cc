@@ -1,0 +1,85 @@
+#include "ebsn/event_catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace fasea {
+namespace {
+
+EventSpec Spec(std::string name, std::int64_t cap, double start, double end,
+               std::vector<std::string> tags = {}) {
+  EventSpec spec;
+  spec.name = std::move(name);
+  spec.capacity = cap;
+  spec.start_time = start;
+  spec.end_time = end;
+  spec.tags = std::move(tags);
+  return spec;
+}
+
+TEST(EventCatalogTest, AddAndLookup) {
+  EventCatalog catalog;
+  auto id1 = catalog.Add(Spec("concert", 100, 19.0, 21.5, {"music"}));
+  auto id2 = catalog.Add(Spec("football", 500, 14.0, 16.0, {"sports"}));
+  ASSERT_TRUE(id1.ok() && id2.ok());
+  EXPECT_EQ(*id1, 0u);
+  EXPECT_EQ(*id2, 1u);
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.Name(0), "concert");
+  EXPECT_EQ(catalog.Get(1).capacity, 500);
+  auto found = catalog.Find("football");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 1u);
+  EXPECT_FALSE(catalog.Find("opera").ok());
+}
+
+TEST(EventCatalogTest, RejectsBadSpecs) {
+  EventCatalog catalog;
+  EXPECT_FALSE(catalog.Add(Spec("", 1, 0, 1)).ok());
+  EXPECT_FALSE(catalog.Add(Spec("x", -1, 0, 1)).ok());
+  EXPECT_FALSE(catalog.Add(Spec("y", 1, 2.0, 1.0)).ok());
+  ASSERT_TRUE(catalog.Add(Spec("dup", 1, 0, 1)).ok());
+  EXPECT_FALSE(catalog.Add(Spec("dup", 2, 3, 4)).ok());
+}
+
+TEST(EventCatalogTest, BuildInstanceDerivesConflictsFromSchedule) {
+  EventCatalog catalog;
+  ASSERT_TRUE(catalog.Add(Spec("a", 10, 19.0, 21.0)).ok());   // Overlaps b.
+  ASSERT_TRUE(catalog.Add(Spec("b", 20, 20.0, 22.0)).ok());   // Overlaps a.
+  ASSERT_TRUE(catalog.Add(Spec("c", 30, 22.0, 23.0)).ok());   // Touches b.
+  auto instance = catalog.BuildInstance(4);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->num_events(), 3u);
+  EXPECT_EQ(instance->dim(), 4u);
+  EXPECT_EQ(instance->capacity(1), 20);
+  EXPECT_TRUE(instance->conflicts().Conflicts(0, 1));
+  EXPECT_FALSE(instance->conflicts().Conflicts(1, 2));  // [ , 22) vs [22, ).
+  EXPECT_FALSE(instance->conflicts().Conflicts(0, 2));
+}
+
+TEST(EventCatalogTest, BuildInstanceRequiresEvents) {
+  EventCatalog catalog;
+  EXPECT_FALSE(catalog.BuildInstance(4).ok());
+}
+
+TEST(EventCatalogTest, TagVocabularyAndIds) {
+  EventCatalog catalog;
+  ASSERT_TRUE(catalog.Add(Spec("a", 1, 0, 1, {"music", "jazz"})).ok());
+  ASSERT_TRUE(catalog.Add(Spec("b", 1, 2, 3, {"sports"})).ok());
+  ASSERT_TRUE(catalog.Add(Spec("c", 1, 4, 5, {"jazz"})).ok());
+  const auto vocab = catalog.TagVocabulary();
+  EXPECT_EQ(vocab, (std::vector<std::string>{"jazz", "music", "sports"}));
+  const auto ids = catalog.EventTagIds();
+  EXPECT_EQ(ids[0], (std::vector<int>{0, 1}));  // jazz, music.
+  EXPECT_EQ(ids[1], (std::vector<int>{2}));     // sports.
+  EXPECT_EQ(ids[2], (std::vector<int>{0}));     // jazz.
+}
+
+TEST(EventCatalogTest, UntaggedEventsAllowed) {
+  EventCatalog catalog;
+  ASSERT_TRUE(catalog.Add(Spec("plain", 1, 0, 1)).ok());
+  EXPECT_TRUE(catalog.TagVocabulary().empty());
+  EXPECT_TRUE(catalog.EventTagIds()[0].empty());
+}
+
+}  // namespace
+}  // namespace fasea

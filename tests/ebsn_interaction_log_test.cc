@@ -1,0 +1,178 @@
+#include "ebsn/interaction_log.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+#include "core/linear_policy_base.h"
+#include "rng/distributions.h"
+
+namespace fasea {
+namespace {
+
+InteractionRecord Record(std::int64_t t, std::int64_t user, std::int64_t cap,
+                         Arrangement arrangement, Feedback feedback,
+                         std::size_t dim) {
+  InteractionRecord record;
+  record.t = t;
+  record.user_id = user;
+  record.user_capacity = cap;
+  record.arrangement = std::move(arrangement);
+  record.feedback = std::move(feedback);
+  Pcg64 rng(static_cast<std::uint64_t>(t) * 31 + user);
+  for (std::size_t i = 0; i < record.arrangement.size(); ++i) {
+    std::vector<double> row(dim);
+    for (double& x : row) x = UniformReal(rng, 0.0, 0.4);
+    record.contexts.push_back(std::move(row));
+  }
+  return record;
+}
+
+TEST(InteractionLogTest, AppendValidates) {
+  InteractionLog log(5, 3);
+  EXPECT_TRUE(log.Append(Record(1, 0, 2, {0, 1}, {1, 0}, 3)).ok());
+  EXPECT_EQ(log.size(), 1u);
+  // Misaligned feedback.
+  EXPECT_FALSE(log.Append(Record(2, 0, 2, {0, 1}, {1}, 3)).ok());
+  // Event id out of range.
+  EXPECT_FALSE(log.Append(Record(3, 0, 2, {9}, {1}, 3)).ok());
+  // Arrangement larger than user capacity.
+  EXPECT_FALSE(log.Append(Record(4, 0, 1, {0, 1}, {1, 0}, 3)).ok());
+  // Bad feedback value.
+  EXPECT_FALSE(log.Append(Record(5, 0, 2, {0}, {2}, 3)).ok());
+  // Wrong context dimension.
+  InteractionRecord bad = Record(6, 0, 2, {0}, {1}, 3);
+  bad.contexts[0].resize(2);
+  EXPECT_FALSE(log.Append(std::move(bad)).ok());
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(InteractionLogTest, TotalAccepted) {
+  InteractionLog log(4, 2);
+  ASSERT_TRUE(log.Append(Record(1, 0, 3, {0, 1, 2}, {1, 0, 1}, 2)).ok());
+  ASSERT_TRUE(log.Append(Record(2, 1, 1, {3}, {1}, 2)).ok());
+  EXPECT_EQ(log.TotalAccepted(), 3);
+}
+
+TEST(InteractionLogTest, ReplayRebuildsRidgeStateExactly) {
+  const auto instance = ProblemInstance::Create(
+      std::vector<std::int64_t>(6, 100), ConflictGraph(6), 4);
+  ASSERT_TRUE(instance.ok());
+  PolicyParams params;
+  auto original = MakePolicy(PolicyKind::kUcb, &instance.value(), params, 1);
+  auto replayed = MakePolicy(PolicyKind::kUcb, &instance.value(), params, 1);
+
+  InteractionLog log(6, 4);
+  PlatformState state(*instance);
+  Pcg64 rng(9);
+  for (std::int64_t t = 1; t <= 30; ++t) {
+    RoundContext round;
+    round.contexts = ContextMatrix(6, 4);
+    for (std::size_t v = 0; v < 6; ++v) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        round.contexts(v, j) = UniformReal(rng, 0.0, 0.45);
+      }
+    }
+    round.user_capacity = 2;
+    const Arrangement a = original->Propose(t, round, state);
+    Feedback fb(a.size());
+    for (auto& f : fb) f = Bernoulli(rng, 0.4) ? 1 : 0;
+    original->Learn(t, round, a, fb);
+
+    InteractionRecord record;
+    record.t = t;
+    record.user_capacity = 2;
+    record.arrangement = a;
+    record.feedback = fb;
+    for (EventId v : a) {
+      const auto row = round.contexts.Row(v);
+      record.contexts.emplace_back(row.begin(), row.end());
+    }
+    ASSERT_TRUE(log.Append(std::move(record)).ok());
+  }
+
+  log.Replay(replayed.get());
+  const auto* orig_base = dynamic_cast<LinearPolicyBase*>(original.get());
+  const auto* repl_base = dynamic_cast<LinearPolicyBase*>(replayed.get());
+  ASSERT_NE(orig_base, nullptr);
+  ASSERT_NE(repl_base, nullptr);
+  EXPECT_EQ(repl_base->ridge().num_observations(),
+            orig_base->ridge().num_observations());
+  EXPECT_LT(repl_base->ridge().Y().MaxAbsDiff(orig_base->ridge().Y()),
+            1e-15);
+  EXPECT_LT(MaxAbsDiff(repl_base->ridge().b(), orig_base->ridge().b()),
+            1e-15);
+}
+
+TEST(InteractionLogTest, CsvRoundTrip) {
+  InteractionLog log(5, 3);
+  ASSERT_TRUE(log.Append(Record(1, 7, 2, {0, 4}, {1, 0}, 3)).ok());
+  ASSERT_TRUE(log.Append(Record(2, 8, 1, {2}, {1}, 3)).ok());
+  ASSERT_TRUE(log.Append(Record(3, 9, 2, {}, {}, 3)).ok());  // Empty.
+  const std::string csv = log.ToCsv();
+
+  auto loaded = InteractionLog::FromCsv(csv, 5, 3);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->record(0).arrangement, (Arrangement{0, 4}));
+  EXPECT_EQ(loaded->record(0).feedback, (Feedback{1, 0}));
+  EXPECT_EQ(loaded->record(0).user_id, 7);
+  EXPECT_EQ(loaded->record(1).user_capacity, 1);
+  EXPECT_TRUE(loaded->record(2).arrangement.empty());
+  EXPECT_EQ(loaded->record(2).user_id, 9);
+  // Context values round-trip through text at full precision.
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(loaded->record(0).contexts[0][j],
+                     log.record(0).contexts[0][j]);
+  }
+  EXPECT_EQ(loaded->TotalAccepted(), log.TotalAccepted());
+}
+
+TEST(InteractionLogTest, FromCsvRejectsMalformedInput) {
+  EXPECT_FALSE(InteractionLog::FromCsv("not a header\n1,2,3", 4, 2).ok());
+  // Wrong cell count for dim=2 (needs 7 cells).
+  EXPECT_FALSE(
+      InteractionLog::FromCsv("t,user_id,user_capacity,event,feedback,x0,x1\n"
+                              "1,0,2,0,1,0.5\n",
+                              4, 2)
+          .ok());
+  // Event out of range.
+  EXPECT_FALSE(
+      InteractionLog::FromCsv("t,user_id,user_capacity,event,feedback,x0,x1\n"
+                              "1,0,2,9,1,0.5,0.5\n",
+                              4, 2)
+          .ok());
+}
+
+TEST(InteractionLogTest, FuzzedCsvNeverCrashesTheParser) {
+  InteractionLog log(5, 3);
+  ASSERT_TRUE(log.Append(Record(1, 0, 2, {0, 1}, {1, 0}, 3)).ok());
+  ASSERT_TRUE(log.Append(Record(2, 1, 1, {4}, {1}, 3)).ok());
+  const std::string csv = log.ToCsv();
+
+  Pcg64 rng(555);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = csv;
+    const int mode = static_cast<int>(rng.NextBounded(3));
+    if (mode == 0) {
+      mutated.resize(rng.NextBounded(csv.size() + 1));
+    } else if (mode == 1) {
+      const std::size_t pos = rng.NextBounded(mutated.size());
+      mutated[pos] = static_cast<char>(rng.NextBounded(128));
+    } else {
+      mutated.insert(rng.NextBounded(mutated.size()), ",,,");
+    }
+    // Must return a Status or a (possibly shorter) log — never crash.
+    (void)InteractionLog::FromCsv(mutated, 5, 3);
+  }
+  SUCCEED();
+}
+
+TEST(InteractionLogTest, FromCsvEmptyLogIsValid) {
+  auto loaded = InteractionLog::FromCsv(
+      "t,user_id,user_capacity,event,feedback,x0\n", 3, 1);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,126 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/distributions.h"
+
+namespace fasea {
+namespace {
+
+/// Random SPD matrix A = B Bᵀ + n·I.
+Matrix RandomSpd(std::size_t n, Pcg64& rng) {
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      b(i, j) = UniformReal(rng, -1.0, 1.0);
+    }
+  }
+  Matrix a = MatMul(b, b.Transposed());
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(CholeskyTest, FactorizesKnownMatrix) {
+  // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]].
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->L()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(chol->L()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(chol->L()(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(chol->L()(0, 1), 0.0, 1e-12);
+}
+
+TEST(CholeskyTest, ReconstructsInput) {
+  Pcg64 g(1);
+  for (std::size_t n : {1u, 2u, 5u, 20u}) {
+    const Matrix a = RandomSpd(n, g);
+    auto chol = Cholesky::Factorize(a);
+    ASSERT_TRUE(chol.ok());
+    const Matrix rebuilt = MatMul(chol->L(), chol->L().Transposed());
+    EXPECT_LT(rebuilt.MaxAbsDiff(a), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(CholeskyTest, SolveSatisfiesSystem) {
+  Pcg64 g(2);
+  const std::size_t n = 12;
+  const Matrix a = RandomSpd(n, g);
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  Vector rhs(n);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = UniformReal(g, -1.0, 1.0);
+  const Vector x = chol->Solve(rhs);
+  EXPECT_LT(MaxAbsDiff(a.MatVec(x), rhs), 1e-9);
+}
+
+TEST(CholeskyTest, TriangularSolves) {
+  Pcg64 g(3);
+  const Matrix a = RandomSpd(6, g);
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  Vector rhs(6);
+  for (std::size_t i = 0; i < 6; ++i) rhs[i] = UniformReal(g, -1.0, 1.0);
+  // L (SolveLower(rhs)) == rhs.
+  EXPECT_LT(MaxAbsDiff(chol->L().MatVec(chol->SolveLower(rhs)), rhs), 1e-10);
+  // Lᵀ (SolveUpper(rhs)) == rhs.
+  EXPECT_LT(MaxAbsDiff(chol->L().Transposed().MatVec(chol->SolveUpper(rhs)),
+                       rhs),
+            1e-10);
+}
+
+TEST(CholeskyTest, InverseTimesInputIsIdentity) {
+  Pcg64 g(4);
+  const Matrix a = RandomSpd(8, g);
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix prod = MatMul(a, chol->Inverse());
+  EXPECT_LT(prod.MaxAbsDiff(Matrix::Identity(8)), 1e-9);
+}
+
+TEST(CholeskyTest, LogDetMatchesDiagonalProduct) {
+  Matrix a = Matrix::ScaledIdentity(3, 2.0);
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->LogDet(), 3.0 * std::log(2.0), 1e-12);
+}
+
+TEST(CholeskyTest, InverseQuadraticFormMatchesExplicitInverse) {
+  Pcg64 g(5);
+  const Matrix a = RandomSpd(7, g);
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  Vector x(7);
+  for (std::size_t i = 0; i < 7; ++i) x[i] = UniformReal(g, -1.0, 1.0);
+  const double via_chol = chol->InverseQuadraticForm(x);
+  const double via_inverse = chol->Inverse().QuadraticForm(x.span());
+  EXPECT_NEAR(via_chol, via_inverse, 1e-10);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(Cholesky::Factorize(Matrix(2, 3)).ok());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_FALSE(Cholesky::Factorize(a).ok());
+  // Zero matrix is also not PD.
+  EXPECT_FALSE(Cholesky::Factorize(Matrix(2, 2)).ok());
+}
+
+TEST(CholeskyTest, OneByOne) {
+  Matrix a(1, 1);
+  a(0, 0) = 9.0;
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_DOUBLE_EQ(chol->L()(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(chol->Solve(Vector{18.0})[0], 2.0);
+}
+
+}  // namespace
+}  // namespace fasea

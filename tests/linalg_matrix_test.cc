@@ -1,0 +1,162 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/distributions.h"
+
+namespace fasea {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIdentity) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 0.0);
+
+  const Matrix id = Matrix::Identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+  const Matrix scaled = Matrix::ScaledIdentity(2, 0.5);
+  EXPECT_EQ(scaled(0, 0), 0.5);
+  EXPECT_EQ(scaled(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowViewSharesStorage) {
+  Matrix m(2, 2);
+  m.Row(1)[0] = 7.0;
+  EXPECT_EQ(m(1, 0), 7.0);
+}
+
+TEST(MatrixTest, AddOuter) {
+  Matrix m = Matrix::Identity(2);
+  const double x[] = {1.0, 2.0};
+  m.AddOuter(3.0, x);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0 + 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 13.0);
+}
+
+TEST(MatrixTest, AddScaled) {
+  Matrix a = Matrix::Identity(2);
+  Matrix b(2, 2);
+  b.Fill(2.0);
+  a.AddScaled(0.5, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 1.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      m(i, j) = static_cast<double>(i * 3 + j + 1);
+    }
+  }
+  const Vector y = m.MatVec(Vector{1.0, 0.0, -1.0});
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(MatrixTest, TransposeMatVec) {
+  Matrix m(2, 3);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      m(i, j) = static_cast<double>(i * 3 + j + 1);
+    }
+  }
+  const Vector y = m.TransposeMatVec(Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_DOUBLE_EQ(y[2], 9.0);
+}
+
+TEST(MatrixTest, QuadraticForm) {
+  Matrix m = Matrix::Identity(2);
+  m(0, 1) = m(1, 0) = 0.5;
+  const double x[] = {1.0, 2.0};
+  // xᵀMx = 1 + 4 + 2*0.5*2 = 7.
+  EXPECT_DOUBLE_EQ(m.QuadraticForm(x), 7.0);
+}
+
+TEST(MatrixTest, QuadraticFormMatchesMatVec) {
+  Pcg64 g(1);
+  Matrix m(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      m(i, j) = UniformReal(g, -1.0, 1.0);
+    }
+  }
+  Vector x(5);
+  for (std::size_t i = 0; i < 5; ++i) x[i] = UniformReal(g, -1.0, 1.0);
+  EXPECT_NEAR(m.QuadraticForm(x.span()), Dot(x, m.MatVec(x)), 1e-12);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m(2, 3);
+  m(0, 2) = 5.0;
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 0), 5.0);
+}
+
+TEST(MatrixTest, MatMulAgainstHandComputed) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatMulIdentityIsNoop) {
+  Pcg64 g(2);
+  Matrix m(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      m(i, j) = UniformReal(g, -2.0, 2.0);
+    }
+  }
+  EXPECT_LT(MatMul(m, Matrix::Identity(4)).MaxAbsDiff(m), 1e-15);
+  EXPECT_LT(MatMul(Matrix::Identity(4), m).MaxAbsDiff(m), 1e-15);
+}
+
+TEST(MatrixTest, MatMulRectangular) {
+  Matrix a(1, 3), b(3, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  for (std::size_t i = 0; i < 3; ++i) {
+    b(i, 0) = 1.0;
+    b(i, 1) = static_cast<double>(i);
+  }
+  const Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 1u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 8.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixDeathTest, ShapeMismatchesAbort) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_DEATH((void)MatMul(a, b), "FASEA_CHECK");
+  Matrix sq(2, 2);
+  Vector wrong(3);
+  EXPECT_DEATH((void)sq.MatVec(wrong), "FASEA_CHECK");
+  EXPECT_DEATH(sq.AddOuter(1.0, wrong.span()), "FASEA_CHECK");
+}
+
+}  // namespace
+}  // namespace fasea

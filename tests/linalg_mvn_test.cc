@@ -1,0 +1,116 @@
+#include "linalg/mvn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/distributions.h"
+
+namespace fasea {
+namespace {
+
+TEST(StandardNormalVectorTest, MomentsPerCoordinate) {
+  Pcg64 g(1);
+  const std::size_t n = 4;
+  const int kSamples = 50000;
+  Vector sum(n), sum_sq(n);
+  for (int s = 0; s < kSamples; ++s) {
+    const Vector z = StandardNormalVector(g, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sum[i] += z[i];
+      sum_sq[i] += z[i] * z[i];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(sum[i] / kSamples, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq[i] / kSamples, 1.0, 0.05);
+  }
+}
+
+TEST(MvnFromPrecisionTest, IdentityPrecisionGivesStandardNormal) {
+  Pcg64 g(2);
+  auto chol = Cholesky::Factorize(Matrix::Identity(3));
+  ASSERT_TRUE(chol.ok());
+  const Vector mean = {1.0, -2.0, 0.5};
+  const int kSamples = 50000;
+  Vector sum(3), sum_sq(3);
+  for (int s = 0; s < kSamples; ++s) {
+    const Vector x = SampleMvnFromPrecision(g, mean, 1.0, chol.value());
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double centered = x[i] - mean[i];
+      sum[i] += centered;
+      sum_sq[i] += centered * centered;
+    }
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(sum[i] / kSamples, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq[i] / kSamples, 1.0, 0.05);
+  }
+}
+
+TEST(MvnFromPrecisionTest, CovarianceMatchesScaledInverse) {
+  // Y = [[4, 1], [1, 2]], scale q = 0.7: cov should be q² Y⁻¹.
+  Pcg64 g(3);
+  Matrix y(2, 2);
+  y(0, 0) = 4; y(0, 1) = 1; y(1, 0) = 1; y(1, 1) = 2;
+  auto chol = Cholesky::Factorize(y);
+  ASSERT_TRUE(chol.ok());
+  const Matrix y_inv = chol->Inverse();
+  const double q = 0.7;
+  const Vector mean(2);
+  const int kSamples = 200000;
+  double c00 = 0, c01 = 0, c11 = 0;
+  for (int s = 0; s < kSamples; ++s) {
+    const Vector x = SampleMvnFromPrecision(g, mean, q, chol.value());
+    c00 += x[0] * x[0];
+    c01 += x[0] * x[1];
+    c11 += x[1] * x[1];
+  }
+  EXPECT_NEAR(c00 / kSamples, q * q * y_inv(0, 0), 0.01);
+  EXPECT_NEAR(c01 / kSamples, q * q * y_inv(0, 1), 0.01);
+  EXPECT_NEAR(c11 / kSamples, q * q * y_inv(1, 1), 0.01);
+}
+
+TEST(MvnFromPrecisionTest, ZeroScaleReturnsMean) {
+  Pcg64 g(4);
+  auto chol = Cholesky::Factorize(Matrix::Identity(2));
+  ASSERT_TRUE(chol.ok());
+  const Vector mean = {3.0, -1.0};
+  const Vector x = SampleMvnFromPrecision(g, mean, 0.0, chol.value());
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], -1.0);
+}
+
+TEST(MvnFromCovarianceTest, CovarianceMatchesInput) {
+  Pcg64 g(5);
+  Matrix cov(2, 2);
+  cov(0, 0) = 2.0; cov(0, 1) = 0.8; cov(1, 0) = 0.8; cov(1, 1) = 1.0;
+  auto chol = Cholesky::Factorize(cov);
+  ASSERT_TRUE(chol.ok());
+  const Vector mean = {10.0, -5.0};
+  const int kSamples = 200000;
+  double m0 = 0, m1 = 0, c00 = 0, c01 = 0, c11 = 0;
+  for (int s = 0; s < kSamples; ++s) {
+    const Vector x = SampleMvnFromCovariance(g, mean, chol.value());
+    const double a = x[0] - mean[0], b = x[1] - mean[1];
+    m0 += a; m1 += b;
+    c00 += a * a; c01 += a * b; c11 += b * b;
+  }
+  EXPECT_NEAR(m0 / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(m1 / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(c00 / kSamples, 2.0, 0.05);
+  EXPECT_NEAR(c01 / kSamples, 0.8, 0.03);
+  EXPECT_NEAR(c11 / kSamples, 1.0, 0.03);
+}
+
+TEST(MvnDeathTest, MeanDimensionMismatchAborts) {
+  Pcg64 g(6);
+  auto chol = Cholesky::Factorize(Matrix::Identity(3));
+  ASSERT_TRUE(chol.ok());
+  EXPECT_DEATH(
+      (void)SampleMvnFromPrecision(g, Vector(2), 1.0, chol.value()),
+      "FASEA_CHECK");
+}
+
+}  // namespace
+}  // namespace fasea

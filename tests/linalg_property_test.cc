@@ -1,0 +1,184 @@
+// Property sweeps over the linear-algebra kernels: algebraic identities
+// that must hold for random inputs across dimensions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "rng/distributions.h"
+
+namespace fasea {
+namespace {
+
+Vector RandomVector(std::size_t n, Pcg64& rng) {
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = UniformReal(rng, -2.0, 2.0);
+  return v;
+}
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, Pcg64& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(i, j) = UniformReal(rng, -2.0, 2.0);
+    }
+  }
+  return m;
+}
+
+class VectorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VectorPropertyTest, CauchySchwarz) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Pcg64 rng(n * 11);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Vector a = RandomVector(n, rng), b = RandomVector(n, rng);
+    EXPECT_LE(std::fabs(Dot(a, b)), a.Norm() * b.Norm() + 1e-12);
+  }
+}
+
+TEST_P(VectorPropertyTest, TriangleInequality) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Pcg64 rng(n * 13);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Vector a = RandomVector(n, rng), b = RandomVector(n, rng);
+    EXPECT_LE(Add(a, b).Norm(), a.Norm() + b.Norm() + 1e-12);
+  }
+}
+
+TEST_P(VectorPropertyTest, AxpyIsLinear) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Pcg64 rng(n * 17);
+  const Vector x = RandomVector(n, rng);
+  Vector y1 = RandomVector(n, rng);
+  Vector y2 = y1;
+  // y + 2x + 3x == y + 5x.
+  Axpy(2.0, x, &y1);
+  Axpy(3.0, x, &y1);
+  Axpy(5.0, x, &y2);
+  EXPECT_LT(MaxAbsDiff(y1, y2), 1e-12);
+}
+
+TEST_P(VectorPropertyTest, NormalizePreservesDirection) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Pcg64 rng(n * 19);
+  Vector v = RandomVector(n, rng);
+  const Vector original = v;
+  v.Normalize();
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+  // v and original are parallel: |<v, o>| == ‖v‖‖o‖.
+  EXPECT_NEAR(Dot(v, original), original.Norm(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VectorPropertyTest,
+                         ::testing::Values(1, 2, 3, 8, 20, 64));
+
+class MatrixPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixPropertyTest, TransposeIsInvolution) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Pcg64 rng(n * 23);
+  const Matrix m = RandomMatrix(n, n + 2, rng);
+  EXPECT_LT(m.Transposed().Transposed().MaxAbsDiff(m), 1e-15);
+}
+
+TEST_P(MatrixPropertyTest, MatMulAssociative) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Pcg64 rng(n * 29);
+  const Matrix a = RandomMatrix(n, n, rng);
+  const Matrix b = RandomMatrix(n, n, rng);
+  const Matrix c = RandomMatrix(n, n, rng);
+  const Matrix left = MatMul(MatMul(a, b), c);
+  const Matrix right = MatMul(a, MatMul(b, c));
+  EXPECT_LT(left.MaxAbsDiff(right), 1e-9 * (1.0 + left.FrobeniusNorm()));
+}
+
+TEST_P(MatrixPropertyTest, MatVecAgreesWithMatMul) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Pcg64 rng(n * 31);
+  const Matrix a = RandomMatrix(n, n, rng);
+  const Vector x = RandomVector(n, rng);
+  Matrix col(n, 1);
+  for (std::size_t i = 0; i < n; ++i) col(i, 0) = x[i];
+  const Matrix product = MatMul(a, col);
+  const Vector y = a.MatVec(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(product(i, 0), y[i], 1e-10);
+  }
+}
+
+TEST_P(MatrixPropertyTest, TransposeMatVecIsAdjoint) {
+  // <A x, y> == <x, Aᵀ y>.
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Pcg64 rng(n * 37);
+  const Matrix a = RandomMatrix(n, n + 1, rng);
+  Vector x(n + 1), y(n);
+  for (std::size_t i = 0; i < n + 1; ++i) x[i] = UniformReal(rng, -1, 1);
+  for (std::size_t i = 0; i < n; ++i) y[i] = UniformReal(rng, -1, 1);
+  EXPECT_NEAR(Dot(a.MatVec(x), y), Dot(x, a.TransposeMatVec(y)), 1e-10);
+}
+
+TEST_P(MatrixPropertyTest, AddOuterMatchesExplicitOuterProduct) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Pcg64 rng(n * 41);
+  const Vector x = RandomVector(n, rng);
+  Matrix m = RandomMatrix(n, n, rng);
+  Matrix expected = m;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      expected(i, j) += 0.7 * x[i] * x[j];
+    }
+  }
+  m.AddOuter(0.7, x.span());
+  EXPECT_LT(m.MaxAbsDiff(expected), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatrixPropertyTest,
+                         ::testing::Values(1, 2, 5, 11, 24));
+
+class CholeskyPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CholeskyPropertyTest, SolveResidualSmall) {
+  const auto [n, diag_boost] = GetParam();
+  Pcg64 rng(static_cast<std::uint64_t>(n * 1000 + diag_boost));
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a(n, n);
+    // SPD: B Bᵀ + boost·I with boost controlling the condition number.
+    const Matrix b = RandomMatrix(n, n, rng);
+    a = MatMul(b, b.Transposed());
+    for (int i = 0; i < n; ++i) a(i, i) += diag_boost;
+    auto chol = Cholesky::Factorize(a);
+    ASSERT_TRUE(chol.ok());
+    const Vector rhs = RandomVector(n, rng);
+    const Vector x = chol->Solve(rhs);
+    const double residual = MaxAbsDiff(a.MatVec(x), rhs);
+    EXPECT_LT(residual, 1e-7 * (1.0 + rhs.Norm()))
+        << "n=" << n << " boost=" << diag_boost;
+  }
+}
+
+TEST_P(CholeskyPropertyTest, LogDetMatchesProductOfPivots) {
+  const auto [n, diag_boost] = GetParam();
+  Pcg64 rng(static_cast<std::uint64_t>(n * 77 + diag_boost));
+  Matrix a(n, n);
+  const Matrix b = RandomMatrix(n, n, rng);
+  a = MatMul(b, b.Transposed());
+  for (int i = 0; i < n; ++i) a(i, i) += diag_boost;
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  double log_det = 0.0;
+  for (int i = 0; i < n; ++i) log_det += 2.0 * std::log(chol->L()(i, i));
+  EXPECT_NEAR(chol->LogDet(), log_det, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CholeskyPropertyTest,
+    ::testing::Combine(::testing::Values(1, 3, 10, 30),
+                       ::testing::Values(0.1, 1.0, 50.0)));
+
+}  // namespace
+}  // namespace fasea

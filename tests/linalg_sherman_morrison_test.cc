@@ -1,0 +1,142 @@
+#include "linalg/sherman_morrison.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "linalg/cholesky.h"
+#include "rng/distributions.h"
+
+namespace fasea {
+namespace {
+
+TEST(SymmetricInverseTest, StartsAtScaledIdentity) {
+  SymmetricInverse inv(3, 2.0);
+  EXPECT_LT(inv.y().MaxAbsDiff(Matrix::ScaledIdentity(3, 2.0)), 1e-15);
+  EXPECT_LT(inv.inverse().MaxAbsDiff(Matrix::ScaledIdentity(3, 0.5)), 1e-15);
+  EXPECT_EQ(inv.num_updates(), 0);
+}
+
+TEST(SymmetricInverseTest, SingleUpdateMatchesDirectInverse) {
+  SymmetricInverse inv(2, 1.0);
+  const double x[] = {1.0, 2.0};
+  inv.RankOneUpdate(x);
+  // Y = I + xxᵀ = [[2, 2], [2, 5]]; Y⁻¹ = 1/6 [[5, -2], [-2, 2]].
+  EXPECT_NEAR(inv.inverse()(0, 0), 5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(inv.inverse()(0, 1), -2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(inv.inverse()(1, 1), 2.0 / 6.0, 1e-12);
+  EXPECT_EQ(inv.num_updates(), 1);
+}
+
+TEST(SymmetricInverseTest, ManyUpdatesStayConsistentWithCholesky) {
+  Pcg64 g(1);
+  const std::size_t d = 10;
+  SymmetricInverse inv(d, 0.5, /*refactor_every=*/0);  // Pure incremental.
+  Vector x(d);
+  for (int step = 0; step < 500; ++step) {
+    for (std::size_t i = 0; i < d; ++i) x[i] = UniformReal(g, -1.0, 1.0);
+    x.Normalize();
+    inv.RankOneUpdate(x.span());
+  }
+  auto chol = Cholesky::Factorize(inv.y());
+  ASSERT_TRUE(chol.ok());
+  EXPECT_LT(inv.inverse().MaxAbsDiff(chol->Inverse()), 1e-8);
+}
+
+TEST(SymmetricInverseTest, PeriodicRefactorizationKeepsDriftBounded) {
+  Pcg64 g(2);
+  const std::size_t d = 6;
+  SymmetricInverse inv(d, 1.0, /*refactor_every=*/64);
+  Vector x(d);
+  for (int step = 0; step < 2000; ++step) {
+    for (std::size_t i = 0; i < d; ++i) x[i] = UniformReal(g, -1.0, 1.0);
+    inv.RankOneUpdate(x.span());
+  }
+  const Matrix prod = MatMul(inv.y(), inv.inverse());
+  EXPECT_LT(prod.MaxAbsDiff(Matrix::Identity(d)), 1e-7);
+}
+
+TEST(SymmetricInverseTest, SolveMatchesCholeskySolve) {
+  Pcg64 g(3);
+  const std::size_t d = 8;
+  SymmetricInverse inv(d, 1.0);
+  Vector x(d), rhs(d);
+  for (int step = 0; step < 50; ++step) {
+    for (std::size_t i = 0; i < d; ++i) x[i] = UniformReal(g, -1.0, 1.0);
+    inv.RankOneUpdate(x.span());
+  }
+  for (std::size_t i = 0; i < d; ++i) rhs[i] = UniformReal(g, -1.0, 1.0);
+  auto chol = Cholesky::Factorize(inv.y());
+  ASSERT_TRUE(chol.ok());
+  EXPECT_LT(MaxAbsDiff(inv.Solve(rhs), chol->Solve(rhs)), 1e-9);
+}
+
+TEST(SymmetricInverseTest, InverseQuadraticFormPositive) {
+  Pcg64 g(4);
+  SymmetricInverse inv(5, 1.0);
+  Vector x(5);
+  for (int step = 0; step < 30; ++step) {
+    for (std::size_t i = 0; i < 5; ++i) x[i] = UniformReal(g, -1.0, 1.0);
+    inv.RankOneUpdate(x.span());
+    // Y SPD ⇒ xᵀY⁻¹x > 0 for x ≠ 0.
+    EXPECT_GT(inv.InverseQuadraticForm(x.span()), 0.0);
+  }
+}
+
+TEST(SymmetricInverseTest, ConfidenceWidthShrinksAlongObservedDirection) {
+  SymmetricInverse inv(3, 1.0);
+  const double x[] = {1.0, 0.0, 0.0};
+  const double before = inv.InverseQuadraticForm(x);
+  for (int i = 0; i < 10; ++i) inv.RankOneUpdate(x);
+  const double after = inv.InverseQuadraticForm(x);
+  EXPECT_LT(after, before / 5.0);
+  // Orthogonal direction untouched.
+  const double y[] = {0.0, 1.0, 0.0};
+  EXPECT_NEAR(inv.InverseQuadraticForm(y), 1.0, 1e-12);
+}
+
+TEST(SymmetricInverseTest, RefactorizeIsIdempotentOnExactState) {
+  Pcg64 g(5);
+  SymmetricInverse inv(4, 1.0);
+  Vector x(4);
+  for (int step = 0; step < 20; ++step) {
+    for (std::size_t i = 0; i < 4; ++i) x[i] = UniformReal(g, -1.0, 1.0);
+    inv.RankOneUpdate(x.span());
+  }
+  const Matrix before = inv.inverse();
+  inv.Refactorize();
+  EXPECT_LT(inv.inverse().MaxAbsDiff(before), 1e-10);
+}
+
+TEST(SymmetricInverseDeathTest, WrongDimensionAborts) {
+  SymmetricInverse inv(3, 1.0);
+  const double x[] = {1.0, 2.0};
+  EXPECT_DEATH(inv.RankOneUpdate(std::span<const double>(x, 2)),
+               "FASEA_CHECK");
+}
+
+class ShermanMorrisonPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ShermanMorrisonPropertyTest, MatchesDirectInverseAfterRandomUpdates) {
+  const auto [dim, lambda] = GetParam();
+  Pcg64 g(static_cast<std::uint64_t>(dim * 1000) +
+          static_cast<std::uint64_t>(lambda * 10));
+  SymmetricInverse inv(dim, lambda, /*refactor_every=*/0);
+  Vector x(dim);
+  for (int step = 0; step < 100; ++step) {
+    for (int i = 0; i < dim; ++i) x[i] = UniformReal(g, -1.0, 1.0);
+    inv.RankOneUpdate(x.span());
+  }
+  auto chol = Cholesky::Factorize(inv.y());
+  ASSERT_TRUE(chol.ok());
+  EXPECT_LT(inv.inverse().MaxAbsDiff(chol->Inverse()), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShermanMorrisonPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 5, 10, 20),
+                       ::testing::Values(0.5, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace fasea

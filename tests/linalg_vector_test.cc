@@ -1,0 +1,115 @@
+#include "linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fasea {
+namespace {
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector zero(3);
+  EXPECT_EQ(zero.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(zero[i], 0.0);
+
+  Vector filled(4, 2.5);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(filled[i], 2.5);
+
+  Vector init = {1.0, 2.0, 3.0};
+  EXPECT_EQ(init[1], 2.0);
+
+  EXPECT_TRUE(Vector().empty());
+}
+
+TEST(VectorTest, FillAndResize) {
+  Vector v(2);
+  v.Fill(7.0);
+  EXPECT_EQ(v[0], 7.0);
+  v.Resize(4);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[3], 0.0);  // New entries zero.
+  EXPECT_EQ(v[0], 7.0);  // Old entries preserved.
+}
+
+TEST(VectorTest, NormAndSum) {
+  Vector v = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.Sum(), 7.0);
+  EXPECT_DOUBLE_EQ(Vector().Norm(), 0.0);
+}
+
+TEST(VectorTest, ScaleAndNormalize) {
+  Vector v = {3.0, 4.0};
+  v.Scale(2.0);
+  EXPECT_DOUBLE_EQ(v[0], 6.0);
+  EXPECT_DOUBLE_EQ(v[1], 8.0);
+  v.Normalize();
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(v[0], 0.6, 1e-12);
+}
+
+TEST(VectorTest, NormalizeZeroVectorIsNoop) {
+  Vector v(3);
+  v.Normalize();
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(VectorTest, DotProduct) {
+  Vector a = {1.0, 2.0, 3.0};
+  Vector b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(Dot(a, a), 14.0);
+}
+
+TEST(VectorTest, Axpy) {
+  Vector x = {1.0, 2.0};
+  Vector y = {10.0, 20.0};
+  Axpy(3.0, x, &y);
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 26.0);
+}
+
+TEST(VectorTest, AddSub) {
+  Vector a = {1.0, 2.0};
+  Vector b = {0.5, -1.0};
+  const Vector sum = Add(a, b);
+  EXPECT_DOUBLE_EQ(sum[0], 1.5);
+  EXPECT_DOUBLE_EQ(sum[1], 1.0);
+  const Vector diff = Sub(a, b);
+  EXPECT_DOUBLE_EQ(diff[0], 0.5);
+  EXPECT_DOUBLE_EQ(diff[1], 3.0);
+}
+
+TEST(VectorTest, MaxAbsDiff) {
+  Vector a = {1.0, 5.0, -2.0};
+  Vector b = {1.1, 4.0, -2.0};
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, a), 0.0);
+}
+
+TEST(VectorDeathTest, DimensionMismatchAborts) {
+  Vector a(2), b(3);
+  EXPECT_DEATH((void)Add(a, b), "FASEA_CHECK");
+  EXPECT_DEATH((void)MaxAbsDiff(a, b), "FASEA_CHECK");
+}
+
+TEST(VectorTest, ToString) {
+  Vector v = {1.0, 0.5};
+  EXPECT_EQ(v.ToString(), "[1, 0.5]");
+  EXPECT_EQ(Vector().ToString(), "[]");
+}
+
+TEST(VectorTest, SpanViewsShareStorage) {
+  Vector v = {1.0, 2.0};
+  v.span()[0] = 9.0;
+  EXPECT_EQ(v[0], 9.0);
+}
+
+TEST(VectorTest, MemoryBytesGrowsWithSize) {
+  Vector small(2), big(1000);
+  EXPECT_GE(big.MemoryBytes(), 1000 * sizeof(double));
+  EXPECT_LT(small.MemoryBytes(), big.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace fasea

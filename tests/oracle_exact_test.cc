@@ -1,0 +1,105 @@
+#include "oracle/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "oracle/oracle.h"
+
+namespace fasea {
+namespace {
+
+ProblemInstance MakeInstance(std::vector<std::int64_t> caps,
+                             std::vector<std::pair<int, int>> conflicts) {
+  ConflictGraph g(caps.size());
+  for (const auto& [a, b] : conflicts) g.AddConflict(a, b);
+  auto inst = ProblemInstance::Create(std::move(caps), std::move(g), 1);
+  FASEA_CHECK(inst.ok());
+  return std::move(inst).value();
+}
+
+double Sum(const Arrangement& a, const std::vector<double>& scores) {
+  double s = 0.0;
+  for (EventId v : a) s += scores[v];
+  return s;
+}
+
+TEST(ExactOracleTest, UnconstrainedTakesTopK) {
+  const auto inst = MakeInstance({1, 1, 1, 1}, {});
+  PlatformState state(inst);
+  ExactOracle oracle;
+  const std::vector<double> scores = {0.1, 0.9, 0.5, 0.7};
+  const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 2);
+  EXPECT_DOUBLE_EQ(Sum(a, scores), 1.6);
+}
+
+TEST(ExactOracleTest, BeatsGreedyOnAdversarialConflict) {
+  // Greedy takes event 0 (score 1.0) which conflicts with 1 and 2
+  // (0.9 each); the optimum is {1, 2} with 1.8.
+  const auto inst = MakeInstance({1, 1, 1}, {{0, 1}, {0, 2}});
+  PlatformState state(inst);
+  ExactOracle oracle;
+  const std::vector<double> scores = {1.0, 0.9, 0.9};
+  const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 2);
+  EXPECT_DOUBLE_EQ(Sum(a, scores), 1.8);
+}
+
+TEST(ExactOracleTest, NeverPicksNonPositiveScores) {
+  const auto inst = MakeInstance({1, 1, 1}, {});
+  PlatformState state(inst);
+  ExactOracle oracle;
+  const std::vector<double> scores = {-0.5, 0.0, 0.3};
+  const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 3);
+  EXPECT_EQ(a, (Arrangement{2}));
+}
+
+TEST(ExactOracleTest, RespectsCapacitiesAndUserLimit) {
+  const auto inst = MakeInstance({0, 1, 1, 1}, {});
+  PlatformState state(inst);
+  ExactOracle oracle;
+  const std::vector<double> scores = {5.0, 1.0, 0.8, 0.6};
+  const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 2);
+  // Event 0 is full; best feasible pair is {1, 2}.
+  EXPECT_DOUBLE_EQ(Sum(a, scores), 1.8);
+  EXPECT_TRUE(IsFeasibleArrangement(a, inst.conflicts(), state, 2));
+}
+
+TEST(ExactOracleTest, EmptyWhenNothingPositive) {
+  const auto inst = MakeInstance({1, 1}, {});
+  PlatformState state(inst);
+  ExactOracle oracle;
+  const std::vector<double> scores = {-1.0, -2.0};
+  EXPECT_TRUE(oracle.Select(scores, inst.conflicts(), state, 2).empty());
+}
+
+TEST(ExactOracleTest, CompleteConflictGraphPicksSingleBest) {
+  ConflictGraph g = ConflictGraph::Complete(4);
+  auto inst = ProblemInstance::Create({1, 1, 1, 1}, std::move(g), 1);
+  ASSERT_TRUE(inst.ok());
+  PlatformState state(*inst);
+  ExactOracle oracle;
+  const std::vector<double> scores = {0.4, 0.9, 0.2, 0.6};
+  const Arrangement a = oracle.Select(scores, inst->conflicts(), state, 3);
+  EXPECT_EQ(a, (Arrangement{1}));
+}
+
+TEST(ExactOracleTest, ZeroCapacityUserGetsNothing) {
+  const auto inst = MakeInstance({1}, {});
+  PlatformState state(inst);
+  ExactOracle oracle;
+  const std::vector<double> scores = {1.0};
+  EXPECT_TRUE(oracle.Select(scores, inst.conflicts(), state, 0).empty());
+}
+
+TEST(ExactOracleTest, PathGraphOptimalAlternation) {
+  // Path 0-1-2-3-4 with equal scores: optimum is {0, 2, 4}.
+  const auto inst =
+      MakeInstance({1, 1, 1, 1, 1}, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  PlatformState state(inst);
+  ExactOracle oracle;
+  const std::vector<double> scores = {1.0, 1.0, 1.0, 1.0, 1.0};
+  const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 5);
+  EXPECT_DOUBLE_EQ(Sum(a, scores), 3.0);
+  EXPECT_TRUE(IsFeasibleArrangement(a, inst.conflicts(), state, 5));
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,145 @@
+#include "oracle/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "model/context.h"
+#include "oracle/oracle.h"
+
+namespace fasea {
+namespace {
+
+ProblemInstance MakeInstance(std::vector<std::int64_t> caps,
+                             std::vector<std::pair<int, int>> conflicts) {
+  ConflictGraph g(caps.size());
+  for (const auto& [a, b] : conflicts) g.AddConflict(a, b);
+  auto inst = ProblemInstance::Create(std::move(caps), std::move(g), 1);
+  FASEA_CHECK(inst.ok());
+  return std::move(inst).value();
+}
+
+TEST(GreedyOracleTest, PicksTopScoresWithoutConstraints) {
+  const auto inst = MakeInstance({1, 1, 1, 1}, {});
+  PlatformState state(inst);
+  GreedyOracle oracle;
+  const std::vector<double> scores = {0.1, 0.9, 0.5, 0.7};
+  const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 2);
+  EXPECT_EQ(a, (Arrangement{1, 3}));
+}
+
+TEST(GreedyOracleTest, RespectsUserCapacity) {
+  const auto inst = MakeInstance({1, 1, 1}, {});
+  PlatformState state(inst);
+  GreedyOracle oracle;
+  const std::vector<double> scores = {0.3, 0.2, 0.1};
+  EXPECT_EQ(oracle.Select(scores, inst.conflicts(), state, 1).size(), 1u);
+  EXPECT_EQ(oracle.Select(scores, inst.conflicts(), state, 0).size(), 0u);
+  EXPECT_EQ(oracle.Select(scores, inst.conflicts(), state, 10).size(), 3u);
+}
+
+TEST(GreedyOracleTest, SkipsFullEvents) {
+  const auto inst = MakeInstance({0, 1, 1}, {});
+  PlatformState state(inst);
+  GreedyOracle oracle;
+  const std::vector<double> scores = {0.9, 0.5, 0.1};  // Best event is full.
+  const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 2);
+  EXPECT_EQ(a, (Arrangement{1, 2}));
+}
+
+TEST(GreedyOracleTest, SkipsConflictingEvents) {
+  // 0 conflicts with 1; greedy takes 0 (best) and must skip 1.
+  const auto inst = MakeInstance({1, 1, 1}, {{0, 1}});
+  PlatformState state(inst);
+  GreedyOracle oracle;
+  const std::vector<double> scores = {0.9, 0.8, 0.1};
+  const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 2);
+  EXPECT_EQ(a, (Arrangement{0, 2}));
+}
+
+TEST(GreedyOracleTest, IncludesNonPositiveScoresWhenRoomRemains) {
+  // The paper (§3): events with r̂ ≤ 0 ARE arranged when the arrangement
+  // is not yet full.
+  const auto inst = MakeInstance({1, 1}, {});
+  PlatformState state(inst);
+  GreedyOracle oracle;
+  const std::vector<double> scores = {-0.5, -0.9};
+  const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 2);
+  EXPECT_EQ(a, (Arrangement{0, 1}));
+}
+
+TEST(GreedyOracleTest, VisitsInNonIncreasingScoreOrder) {
+  const auto inst = MakeInstance({1, 1, 1, 1}, {});
+  PlatformState state(inst);
+  GreedyOracle oracle;
+  const std::vector<double> scores = {0.2, 0.8, -0.1, 0.5};
+  const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 4);
+  EXPECT_EQ(a, (Arrangement{1, 3, 0, 2}));
+}
+
+TEST(GreedyOracleTest, TieBreaksByEventIdDeterministically) {
+  const auto inst = MakeInstance({1, 1, 1}, {});
+  PlatformState state(inst);
+  GreedyOracle oracle;
+  const std::vector<double> scores = {0.5, 0.5, 0.5};
+  const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 2);
+  EXPECT_EQ(a, (Arrangement{0, 1}));
+}
+
+TEST(GreedyOracleTest, SkipsExcludedScores) {
+  const auto inst = MakeInstance({1, 1, 1}, {});
+  PlatformState state(inst);
+  GreedyOracle oracle;
+  const std::vector<double> scores = {kExcludedScore, 0.5, kExcludedScore};
+  const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 3);
+  EXPECT_EQ(a, (Arrangement{1}));
+}
+
+TEST(GreedyOracleTest, PaperExampleTwoEventsArranged) {
+  // Example 2 round 1: events v2, v3 (ids 1, 2) arranged for sampled
+  // rewards <-3.94, -0.30, 1.74, -13.07>, conflict {v1, v2}, c_u = 2.
+  const auto inst = MakeInstance({5, 5, 5, 5}, {{0, 1}});
+  PlatformState state(inst);
+  GreedyOracle oracle;
+  const std::vector<double> scores = {-3.94, -0.30, 1.74, -13.07};
+  const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 2);
+  EXPECT_EQ(a, (Arrangement{2, 1}));
+}
+
+TEST(GreedyOracleTest, EmptyWhenEverythingFull) {
+  const auto inst = MakeInstance({0, 0}, {});
+  PlatformState state(inst);
+  GreedyOracle oracle;
+  const std::vector<double> scores = {1.0, 1.0};
+  EXPECT_TRUE(oracle.Select(scores, inst.conflicts(), state, 3).empty());
+}
+
+TEST(GreedyOracleTest, ResultIsAlwaysFeasible) {
+  const auto inst = MakeInstance({1, 0, 2, 1, 1}, {{0, 2}, {3, 4}, {0, 4}});
+  PlatformState state(inst);
+  GreedyOracle oracle;
+  const std::vector<double> scores = {0.5, 0.9, 0.4, 0.3, 0.6};
+  for (std::int64_t cu = 0; cu <= 5; ++cu) {
+    const Arrangement a = oracle.Select(scores, inst.conflicts(), state, cu);
+    EXPECT_TRUE(IsFeasibleArrangement(a, inst.conflicts(), state, cu));
+  }
+}
+
+TEST(IsFeasibleArrangementTest, DetectsViolations) {
+  const auto inst = MakeInstance({1, 1, 0}, {{0, 1}});
+  PlatformState state(inst);
+  EXPECT_TRUE(IsFeasibleArrangement({0}, inst.conflicts(), state, 1));
+  EXPECT_FALSE(IsFeasibleArrangement({0, 1}, inst.conflicts(), state, 2));
+  EXPECT_FALSE(IsFeasibleArrangement({2}, inst.conflicts(), state, 1));
+  EXPECT_FALSE(IsFeasibleArrangement({0}, inst.conflicts(), state, 0));
+  EXPECT_FALSE(IsFeasibleArrangement({0, 0}, inst.conflicts(), state, 2));
+  EXPECT_FALSE(IsFeasibleArrangement({9}, inst.conflicts(), state, 1));
+}
+
+TEST(PositiveScoreSumTest, CountsOnlyPositive) {
+  const std::vector<double> scores = {0.5, -0.2, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(PositiveScoreSum({0, 1, 2, 3}, scores), 1.5);
+  EXPECT_DOUBLE_EQ(PositiveScoreSum({1, 2}, scores), 0.0);
+  EXPECT_DOUBLE_EQ(PositiveScoreSum({}, scores), 0.0);
+}
+
+}  // namespace
+}  // namespace fasea

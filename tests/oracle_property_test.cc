@@ -1,0 +1,118 @@
+// Property tests of Theorem 1: over positive scores, Oracle-Greedy attains
+// at least 1/c_u of the exact optimum, on randomized instances swept over
+// conflict ratio, user capacity, and instance size.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "oracle/exact.h"
+#include "oracle/greedy.h"
+#include "oracle/oracle.h"
+#include "rng/distributions.h"
+#include "rng/pcg64.h"
+
+namespace fasea {
+namespace {
+
+struct RandomInstance {
+  ProblemInstance instance;
+  std::vector<double> scores;
+};
+
+RandomInstance MakeRandom(std::size_t n, double cr, Pcg64& rng) {
+  std::vector<std::int64_t> caps(n);
+  for (auto& c : caps) c = UniformInt(rng, 0, 2);  // Some events full.
+  ConflictGraph g = ConflictGraph::Random(n, cr, rng);
+  auto inst = ProblemInstance::Create(std::move(caps), std::move(g), 1);
+  FASEA_CHECK(inst.ok());
+  std::vector<double> scores(n);
+  for (auto& s : scores) s = UniformReal(rng, -1.0, 1.0);
+  return {std::move(inst).value(), std::move(scores)};
+}
+
+class Theorem1Test
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(Theorem1Test, GreedyWithinOneOverCuOfExact) {
+  const auto [n, cr, cu] = GetParam();
+  Pcg64 rng(static_cast<std::uint64_t>(n * 7919) +
+            static_cast<std::uint64_t>(cr * 1000) +
+            static_cast<std::uint64_t>(cu));
+  GreedyOracle greedy;
+  ExactOracle exact;
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomInstance ri = MakeRandom(n, cr, rng);
+    PlatformState state(ri.instance);
+    const Arrangement ag =
+        greedy.Select(ri.scores, ri.instance.conflicts(), state, cu);
+    const Arrangement ae =
+        exact.Select(ri.scores, ri.instance.conflicts(), state, cu);
+    ASSERT_TRUE(IsFeasibleArrangement(ag, ri.instance.conflicts(), state, cu));
+    ASSERT_TRUE(IsFeasibleArrangement(ae, ri.instance.conflicts(), state, cu));
+    const double greedy_sum = PositiveScoreSum(ag, ri.scores);
+    const double exact_sum = PositiveScoreSum(ae, ri.scores);
+    EXPECT_GE(exact_sum + 1e-12, greedy_sum);  // Exact is an upper bound.
+    EXPECT_GE(greedy_sum + 1e-9, exact_sum / static_cast<double>(cu))
+        << "n=" << n << " cr=" << cr << " cu=" << cu << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem1Test,
+    ::testing::Combine(::testing::Values(5, 10, 20),
+                       ::testing::Values(0.0, 0.25, 0.5, 1.0),
+                       ::testing::Values(1, 2, 5)));
+
+class GreedyFeasibilityTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(GreedyFeasibilityTest, AlwaysFeasibleAndDeterministic) {
+  const auto [n, cr] = GetParam();
+  Pcg64 rng(static_cast<std::uint64_t>(n * 31) +
+            static_cast<std::uint64_t>(cr * 100));
+  GreedyOracle g1, g2;
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomInstance ri = MakeRandom(n, cr, rng);
+    PlatformState state(ri.instance);
+    const std::int64_t cu = UniformInt(rng, 1, 5);
+    const Arrangement a1 =
+        g1.Select(ri.scores, ri.instance.conflicts(), state, cu);
+    const Arrangement a2 =
+        g2.Select(ri.scores, ri.instance.conflicts(), state, cu);
+    EXPECT_EQ(a1, a2);  // Pure function of inputs.
+    EXPECT_TRUE(IsFeasibleArrangement(a1, ri.instance.conflicts(), state, cu));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedyFeasibilityTest,
+    ::testing::Combine(::testing::Values(3, 8, 30, 64, 65),
+                       ::testing::Values(0.0, 0.3, 0.8)));
+
+TEST(GreedyMaximalityTest, ArrangementIsMaximalWhenUnderCapacity) {
+  // If |A| < c_u, no skipped event can be feasible: each unarranged event
+  // is either full or conflicts with A.
+  Pcg64 rng(99);
+  GreedyOracle greedy;
+  for (int trial = 0; trial < 50; ++trial) {
+    RandomInstance ri = MakeRandom(15, 0.4, rng);
+    PlatformState state(ri.instance);
+    const std::int64_t cu = 6;
+    const Arrangement a =
+        greedy.Select(ri.scores, ri.instance.conflicts(), state, cu);
+    if (static_cast<std::int64_t>(a.size()) == cu) continue;
+    for (EventId v = 0; v < ri.instance.num_events(); ++v) {
+      if (std::find(a.begin(), a.end(), v) != a.end()) continue;
+      bool conflicts_with_a = false;
+      for (EventId u : a) {
+        conflicts_with_a |= ri.instance.conflicts().Conflicts(u, v);
+      }
+      EXPECT_TRUE(!state.HasCapacity(v) || conflicts_with_a)
+          << "event " << v << " was feasible but skipped";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,106 @@
+#include "oracle/random_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "model/context.h"
+#include "oracle/oracle.h"
+
+namespace fasea {
+namespace {
+
+const std::vector<double> kZero3(3, 0.0);
+const std::vector<double> kZero4(4, 0.0);
+
+ProblemInstance MakeInstance(std::vector<std::int64_t> caps,
+                             std::vector<std::pair<int, int>> conflicts) {
+  ConflictGraph g(caps.size());
+  for (const auto& [a, b] : conflicts) g.AddConflict(a, b);
+  auto inst = ProblemInstance::Create(std::move(caps), std::move(g), 1);
+  FASEA_CHECK(inst.ok());
+  return std::move(inst).value();
+}
+
+TEST(RandomOracleTest, IgnoresScoresChoosesUniformly) {
+  const auto inst = MakeInstance({1, 1, 1, 1, 1}, {});
+  PlatformState state(inst);
+  RandomOracle oracle(Pcg64(7));
+  // Wildly different scores must not bias selection.
+  const std::vector<double> scores = {100.0, -50.0, 0.0, 3.0, -1.0};
+  std::vector<int> first_counts(5, 0);
+  const int kTrials = 50000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 1);
+    ASSERT_EQ(a.size(), 1u);
+    ++first_counts[a[0]];
+  }
+  for (int c : first_counts) {
+    EXPECT_NEAR(c, kTrials / 5, 6 * std::sqrt(kTrials / 5.0));
+  }
+}
+
+TEST(RandomOracleTest, RespectsCapacityConflictAndUserLimit) {
+  const auto inst = MakeInstance({0, 1, 1, 1}, {{1, 2}});
+  PlatformState state(inst);
+  RandomOracle oracle(Pcg64(9));
+  for (int trial = 0; trial < 500; ++trial) {
+    const Arrangement a = oracle.Select(kZero4, inst.conflicts(),
+                                        state, 2);
+    EXPECT_TRUE(IsFeasibleArrangement(a, inst.conflicts(), state, 2));
+    for (EventId v : a) EXPECT_NE(v, 0u);  // Event 0 is full.
+  }
+}
+
+TEST(RandomOracleTest, FillsUpToUserCapacityWhenPossible) {
+  const auto inst = MakeInstance({1, 1, 1, 1}, {});
+  PlatformState state(inst);
+  RandomOracle oracle(Pcg64(11));
+  for (int trial = 0; trial < 100; ++trial) {
+    EXPECT_EQ(oracle.Select(kZero4, inst.conflicts(), state, 3).size(),
+              3u);
+    EXPECT_EQ(oracle.Select(kZero4, inst.conflicts(), state, 9).size(),
+              4u);
+  }
+}
+
+TEST(RandomOracleTest, SkipsExcludedScores) {
+  const auto inst = MakeInstance({1, 1, 1}, {});
+  PlatformState state(inst);
+  RandomOracle oracle(Pcg64(13));
+  const std::vector<double> scores = {kExcludedScore, 0.0, kExcludedScore};
+  for (int trial = 0; trial < 200; ++trial) {
+    const Arrangement a = oracle.Select(scores, inst.conflicts(), state, 3);
+    EXPECT_EQ(a, (Arrangement{1}));
+  }
+}
+
+TEST(RandomOracleTest, EventuallyCoversAllFeasibleArrangements) {
+  // 3 events, one conflicting pair: feasible 2-sets are {0,1}, {0,2}
+  // (pair {1,2} conflicts); plus order variations.
+  const auto inst = MakeInstance({1, 1, 1}, {{1, 2}});
+  PlatformState state(inst);
+  RandomOracle oracle(Pcg64(17));
+  std::set<std::multiset<EventId>> seen;
+  for (int trial = 0; trial < 500; ++trial) {
+    const Arrangement a = oracle.Select(kZero3, inst.conflicts(), state, 2);
+    seen.insert(std::multiset<EventId>(a.begin(), a.end()));
+  }
+  EXPECT_TRUE(seen.count({0, 1}));
+  EXPECT_TRUE(seen.count({0, 2}));
+  EXPECT_FALSE(seen.count({1, 2}));  // Conflicting.
+}
+
+TEST(RandomOracleTest, DeterministicGivenSeed) {
+  const auto inst = MakeInstance({1, 1, 1, 1}, {});
+  PlatformState state(inst);
+  RandomOracle a(Pcg64(21)), b(Pcg64(21));
+  for (int trial = 0; trial < 50; ++trial) {
+    EXPECT_EQ(a.Select(kZero4, inst.conflicts(), state, 2),
+              b.Select(kZero4, inst.conflicts(), state, 2));
+  }
+}
+
+}  // namespace
+}  // namespace fasea

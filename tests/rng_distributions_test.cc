@@ -1,0 +1,198 @@
+#include "rng/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fasea {
+namespace {
+
+constexpr int kN = 200000;
+
+TEST(UniformRealTest, RangeAndMoments) {
+  Pcg64 g(1);
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = UniformReal(g, -1.0, 1.0);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);            // Mean 0.
+  EXPECT_NEAR(sum_sq / kN, 1.0 / 3.0, 0.01);   // Var 1/3.
+}
+
+TEST(UniformIntTest, CoversInclusiveRange) {
+  Pcg64 g(2);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < kN; ++i) {
+    const std::int64_t v = UniformInt(g, 1, 5);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 5);
+    ++counts[v - 1];
+  }
+  for (int c : counts) EXPECT_NEAR(c, kN / 5, 6 * std::sqrt(kN / 5.0));
+}
+
+TEST(UniformIntTest, DegenerateRange) {
+  Pcg64 g(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(UniformInt(g, 7, 7), 7);
+}
+
+TEST(UniformIntTest, NegativeRange) {
+  Pcg64 g(4);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = UniformInt(g, -3, -1);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(StandardNormalTest, Moments) {
+  Pcg64 g(5);
+  double sum = 0.0, sum_sq = 0.0, sum_cube = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = StandardNormal(g);
+    sum += x;
+    sum_sq += x * x;
+    sum_cube += x * x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+  EXPECT_NEAR(sum_cube / kN, 0.0, 0.1);  // Symmetry.
+}
+
+TEST(StandardNormalTest, TailMass) {
+  Pcg64 g(6);
+  int beyond_2 = 0;
+  for (int i = 0; i < kN; ++i) beyond_2 += std::fabs(StandardNormal(g)) > 2.0;
+  // P(|Z| > 2) ≈ 0.0455.
+  EXPECT_NEAR(static_cast<double>(beyond_2) / kN, 0.0455, 0.005);
+}
+
+TEST(NormalTest, ShiftAndScale) {
+  Pcg64 g(7);
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = Normal(g, 200.0, 100.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 200.0, 2.0);
+  EXPECT_NEAR(std::sqrt(var), 100.0, 2.0);
+}
+
+TEST(PowerTest, RangeAndMean) {
+  Pcg64 g(8);
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = Power(g, 2.0);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    sum += x;
+  }
+  // E[X] = (a+1)/(a+2) = 3/4 for a = 2.
+  EXPECT_NEAR(sum / kN, 0.75, 0.005);
+}
+
+TEST(PowerTest, MassConcentratedNearOne) {
+  Pcg64 g(9);
+  int above_half = 0;
+  for (int i = 0; i < kN; ++i) above_half += Power(g, 2.0) > 0.5;
+  // P(X > 0.5) = 1 - 0.5^3 = 0.875.
+  EXPECT_NEAR(static_cast<double>(above_half) / kN, 0.875, 0.01);
+}
+
+TEST(BernoulliTest, MatchesProbability) {
+  Pcg64 g(10);
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) hits += Bernoulli(g, 0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(BernoulliTest, ClampsOutOfRangeProbabilities) {
+  Pcg64 g(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(Bernoulli(g, -0.5));
+    EXPECT_FALSE(Bernoulli(g, 0.0));
+    EXPECT_TRUE(Bernoulli(g, 1.0));
+    EXPECT_TRUE(Bernoulli(g, 1.5));
+  }
+}
+
+TEST(ShuffleTest, IsPermutationAndMixes) {
+  Pcg64 g(12);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  const std::vector<int> original = v;
+  Shuffle(g, v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+  EXPECT_NE(v, original);  // Probability 1/100! of spurious failure.
+}
+
+TEST(ShuffleTest, UniformFirstElement) {
+  Pcg64 g(13);
+  std::vector<int> counts(5, 0);
+  for (int trial = 0; trial < 50000; ++trial) {
+    std::vector<int> v = {0, 1, 2, 3, 4};
+    Shuffle(g, v);
+    ++counts[v[0]];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 6 * std::sqrt(10000.0));
+}
+
+TEST(ShuffleTest, HandlesTinyInputs) {
+  Pcg64 g(14);
+  std::vector<int> empty;
+  Shuffle(g, empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  Shuffle(g, one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(SampleWithoutReplacementTest, DistinctSortedInRange) {
+  Pcg64 g(15);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto picks = SampleWithoutReplacement(g, 50, 10);
+    ASSERT_EQ(picks.size(), 10u);
+    EXPECT_TRUE(std::is_sorted(picks.begin(), picks.end()));
+    for (std::size_t i = 1; i < picks.size(); ++i) {
+      EXPECT_NE(picks[i - 1], picks[i]);
+    }
+    for (auto p : picks) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, 50);
+    }
+  }
+}
+
+TEST(SampleWithoutReplacementTest, FullAndEmptySamples) {
+  Pcg64 g(16);
+  const auto all = SampleWithoutReplacement(g, 5, 5);
+  EXPECT_EQ(all, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(SampleWithoutReplacement(g, 5, 0).empty());
+}
+
+TEST(SampleWithoutReplacementTest, MarginalsUniform) {
+  Pcg64 g(17);
+  std::vector<int> counts(10, 0);
+  constexpr int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (auto p : SampleWithoutReplacement(g, 10, 3)) ++counts[p];
+  }
+  // Each element appears with probability 3/10.
+  for (int c : counts) {
+    EXPECT_NEAR(c, kTrials * 3 / 10, 6 * std::sqrt(kTrials * 0.3 * 0.7));
+  }
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,131 @@
+#include "rng/pcg64.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/seed.h"
+#include "rng/splitmix64.h"
+
+namespace fasea {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndDistinct) {
+  SplitMix64 a(123), b(123), c(124);
+  std::vector<std::uint64_t> sa, sb, sc;
+  for (int i = 0; i < 16; ++i) {
+    sa.push_back(a.Next());
+    sb.push_back(b.Next());
+    sc.push_back(c.Next());
+  }
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa, sc);
+}
+
+TEST(SplitMix64Test, NoShortCycle) {
+  SplitMix64 g(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(g.Next()).second) << "cycle at step " << i;
+  }
+}
+
+TEST(Pcg64Test, DeterministicGivenSeedAndStream) {
+  Pcg64 a(42, 1), b(42, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Pcg64Test, DifferentSeedsDiffer) {
+  Pcg64 a(42), b(43);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Pcg64Test, DifferentStreamsDiffer) {
+  Pcg64 a(42, 0), b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Pcg64Test, NextDoubleInUnitInterval) {
+  Pcg64 g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = g.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Pcg64Test, NextDoubleMeanNearHalf) {
+  Pcg64 g(11);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += g.NextDouble();
+  // Std error ~ 1/sqrt(12 kN) ≈ 0.00065; 6 sigma tolerance.
+  EXPECT_NEAR(sum / kN, 0.5, 0.004);
+}
+
+TEST(Pcg64Test, BoundedIsInRangeAndRoughlyUniform) {
+  Pcg64 g(3);
+  constexpr std::uint64_t kBound = 10;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t v = g.NextBounded(kBound);
+    ASSERT_LT(v, kBound);
+    ++counts[v];
+  }
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kN / kBound, 6 * std::sqrt(kN / kBound));
+  }
+}
+
+TEST(Pcg64Test, BoundedEdgeCases) {
+  Pcg64 g(5);
+  EXPECT_EQ(g.NextBounded(0), 0u);
+  EXPECT_EQ(g.NextBounded(1), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(g.NextBounded(2), 2u);
+}
+
+TEST(Pcg64Test, BitsLookBalanced) {
+  // Every output bit position should be ~50% ones.
+  Pcg64 g(99);
+  constexpr int kN = 20000;
+  std::vector<int> ones(64, 0);
+  for (int i = 0; i < kN; ++i) {
+    std::uint64_t v = g.Next();
+    for (int bit = 0; bit < 64; ++bit) ones[bit] += (v >> bit) & 1;
+  }
+  for (int bit = 0; bit < 64; ++bit) {
+    EXPECT_NEAR(ones[bit], kN / 2, 6 * std::sqrt(kN) / 2) << "bit " << bit;
+  }
+}
+
+TEST(SeedDeriveTest, TagsProduceIndependentSeeds) {
+  const std::uint64_t root = 1234;
+  EXPECT_NE(DeriveSeed(root, "alpha"), DeriveSeed(root, "beta"));
+  EXPECT_EQ(DeriveSeed(root, "alpha"), DeriveSeed(root, "alpha"));
+  EXPECT_NE(DeriveSeed(root, "alpha"), DeriveSeed(root + 1, "alpha"));
+}
+
+TEST(SeedDeriveTest, IndexedFamiliesDistinct) {
+  const std::uint64_t root = 55;
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(DeriveSeed(root, "user", i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(HashTagTest, StableAndDistinct) {
+  EXPECT_EQ(HashTag("x"), HashTag("x"));
+  EXPECT_NE(HashTag("x"), HashTag("y"));
+  EXPECT_NE(HashTag(""), HashTag("x"));
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,160 @@
+#include "sim/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace fasea {
+namespace {
+
+FlagSet ParsedFlags(std::vector<const char*> argv) {
+  FlagSet flags;
+  RegisterCliFlags(&flags);
+  FASEA_CHECK_OK(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  return flags;
+}
+
+TEST(ParsePolicyListTest, AllNames) {
+  auto kinds = ParsePolicyList("ucb,ts,egreedy,exploit,random");
+  ASSERT_TRUE(kinds.ok());
+  EXPECT_EQ(*kinds, AllPolicyKinds());
+}
+
+TEST(ParsePolicyListTest, CaseAndWhitespaceInsensitive) {
+  auto kinds = ParsePolicyList(" UCB , Exploit ");
+  ASSERT_TRUE(kinds.ok());
+  EXPECT_EQ(*kinds,
+            (std::vector<PolicyKind>{PolicyKind::kUcb, PolicyKind::kExploit}));
+}
+
+TEST(ParsePolicyListTest, RejectsUnknownAndEmpty) {
+  EXPECT_FALSE(ParsePolicyList("ucb,frobnicate").ok());
+  EXPECT_FALSE(ParsePolicyList("").ok());
+  EXPECT_FALSE(ParsePolicyList(",,").ok());
+}
+
+TEST(SyntheticExperimentFromFlagsTest, DefaultsMatchPaper) {
+  FlagSet flags = ParsedFlags({});
+  auto exp = SyntheticExperimentFromFlags(flags);
+  ASSERT_TRUE(exp.ok());
+  EXPECT_EQ(exp->data.num_events, 500u);
+  EXPECT_EQ(exp->data.dim, 20u);
+  EXPECT_EQ(exp->data.horizon, 100000);
+  EXPECT_DOUBLE_EQ(exp->data.conflict_ratio, 0.25);
+  EXPECT_DOUBLE_EQ(exp->params.alpha, 2.0);
+  EXPECT_EQ(exp->kinds.size(), 5u);
+}
+
+TEST(SyntheticExperimentFromFlagsTest, OverridesApply) {
+  FlagSet flags = ParsedFlags(
+      {"--num_events=64", "--dim=4", "--horizon=1000",
+       "--theta_dist=power", "--context_dist=shuffle", "--cv_mean=50",
+       "--cv_stddev=10", "--conflict_ratio=0.5", "--policies=ucb",
+       "--lambda=2", "--basic_bandit", "--kendall"});
+  auto exp = SyntheticExperimentFromFlags(flags);
+  ASSERT_TRUE(exp.ok());
+  EXPECT_EQ(exp->data.num_events, 64u);
+  EXPECT_EQ(exp->data.theta_dist, ValueDistribution::kPower);
+  EXPECT_EQ(exp->data.context_dist, ValueDistribution::kShuffle);
+  EXPECT_TRUE(exp->data.basic_bandit);
+  EXPECT_TRUE(exp->compute_kendall);
+  EXPECT_DOUBLE_EQ(exp->params.lambda, 2.0);
+  EXPECT_EQ(exp->kinds, (std::vector<PolicyKind>{PolicyKind::kUcb}));
+}
+
+TEST(SyntheticExperimentFromFlagsTest, RejectsInvalidConfig) {
+  {
+    FlagSet flags = ParsedFlags({"--theta_dist=shuffle"});  // Invalid for θ.
+    EXPECT_FALSE(SyntheticExperimentFromFlags(flags).ok());
+  }
+  {
+    FlagSet flags = ParsedFlags({"--theta_dist=gauss"});
+    EXPECT_FALSE(SyntheticExperimentFromFlags(flags).ok());
+  }
+  {
+    FlagSet flags = ParsedFlags({"--conflict_ratio=1.5"});
+    EXPECT_FALSE(SyntheticExperimentFromFlags(flags).ok());
+  }
+  {
+    FlagSet flags = ParsedFlags({"--policies=nope"});
+    EXPECT_FALSE(SyntheticExperimentFromFlags(flags).ok());
+  }
+}
+
+TEST(RealExperimentFromFlagsTest, DefaultsAndFullCapacity) {
+  FlagSet flags = ParsedFlags({"--mode=real", "--user=3",
+                               "--user_capacity=full", "--horizon=500"});
+  auto exp = RealExperimentFromFlags(flags);
+  ASSERT_TRUE(exp.ok());
+  EXPECT_EQ(exp->user, 2u);  // 1-based on the CLI.
+  EXPECT_EQ(exp->user_capacity, RealExperiment::kFullCapacity);
+  EXPECT_EQ(exp->horizon, 500);
+  EXPECT_TRUE(exp->include_online_baseline);
+}
+
+TEST(RealExperimentFromFlagsTest, NumericCapacity) {
+  FlagSet flags = ParsedFlags({"--user_capacity=7"});
+  auto exp = RealExperimentFromFlags(flags);
+  ASSERT_TRUE(exp.ok());
+  EXPECT_EQ(exp->user_capacity, 7);
+}
+
+TEST(RealExperimentFromFlagsTest, RejectsBadUserOrCapacity) {
+  {
+    FlagSet flags = ParsedFlags({"--user=0"});
+    EXPECT_FALSE(RealExperimentFromFlags(flags).ok());
+  }
+  {
+    FlagSet flags = ParsedFlags({"--user=20"});
+    EXPECT_FALSE(RealExperimentFromFlags(flags).ok());
+  }
+  {
+    FlagSet flags = ParsedFlags({"--user_capacity=0"});
+    EXPECT_FALSE(RealExperimentFromFlags(flags).ok());
+  }
+  {
+    FlagSet flags = ParsedFlags({"--user_capacity=banana"});
+    EXPECT_FALSE(RealExperimentFromFlags(flags).ok());
+  }
+}
+
+TEST(CliMainTest, HelpExitsZero) {
+  const char* argv[] = {"fasea_cli", "--help"};
+  EXPECT_EQ(CliMain(2, argv), 0);
+}
+
+TEST(CliMainTest, UnknownFlagExitsNonZero) {
+  const char* argv[] = {"fasea_cli", "--definitely_not_a_flag=1"};
+  EXPECT_EQ(CliMain(2, argv), 2);
+}
+
+TEST(CliMainTest, UnknownModeExitsNonZero) {
+  const char* argv[] = {"fasea_cli", "--mode=quantum"};
+  EXPECT_EQ(CliMain(2, argv), 2);
+}
+
+TEST(CliMainTest, TinySyntheticRunSucceedsAndWritesCsvs) {
+  const std::string prefix = testing::TempDir() + "/fasea_cli_test";
+  const std::string prefix_flag = "--csv_prefix=" + prefix;
+  const char* argv[] = {"fasea_cli",        "--mode=synthetic",
+                        "--num_events=10",  "--dim=3",
+                        "--horizon=50",     "--cv_mean=5",
+                        "--cv_stddev=1",    "--policies=ucb,random",
+                        prefix_flag.c_str()};
+  EXPECT_EQ(CliMain(9, argv), 0);
+  // Summary CSV exists and mentions UCB.
+  std::FILE* f = std::fopen((prefix + "_summary.csv").c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[512] = {};
+  (void)std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_NE(std::string(buf).find("UCB"), std::string::npos);
+  std::remove((prefix + "_summary.csv").c_str());
+}
+
+TEST(CliMainTest, TinyRealRunSucceeds) {
+  const char* argv[] = {"fasea_cli", "--mode=real", "--user=1",
+                        "--horizon=30", "--policies=ucb,exploit"};
+  EXPECT_EQ(CliMain(5, argv), 0);
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,150 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "rng/distributions.h"
+
+namespace fasea {
+namespace {
+
+TEST(KendallTauTest, PerfectAgreement) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(KendallTau(a, a), 1.0);
+}
+
+TEST(KendallTauTest, PerfectDisagreement) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(KendallTau(a, b), -1.0);
+}
+
+TEST(KendallTauTest, HandComputedExample) {
+  // Pairs: (1,2)(1,3)(2,3): a orders 1<2<3; b = {1, 3, 2}:
+  // (0,1) concordant, (0,2) concordant, (1,2) discordant → (2-1)/3.
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {1, 3, 2};
+  EXPECT_NEAR(KendallTau(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, TiesContributeZero) {
+  // b constant: every pair tied in b → numerator 0.
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {7, 7, 7, 7};
+  EXPECT_DOUBLE_EQ(KendallTau(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTau(b, a), 0.0);
+}
+
+TEST(KendallTauTest, PartialTies) {
+  const std::vector<double> a = {1, 1, 2};
+  const std::vector<double> b = {1, 2, 3};
+  // Pair (0,1) tied in a → 0. Pairs (0,2), (1,2) concordant → 2/3.
+  EXPECT_NEAR(KendallTau(a, b), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, DegenerateSizes) {
+  EXPECT_DOUBLE_EQ(KendallTau(std::vector<double>{}, std::vector<double>{}),
+                   0.0);
+  EXPECT_DOUBLE_EQ(KendallTau(std::vector<double>{1.0},
+                              std::vector<double>{2.0}),
+                   0.0);
+}
+
+TEST(KendallTauTest, InvariantUnderMonotoneTransform) {
+  Pcg64 rng(1);
+  std::vector<double> a(50), b(50), a2(50);
+  for (int i = 0; i < 50; ++i) {
+    a[i] = UniformReal(rng, -1, 1);
+    b[i] = UniformReal(rng, -1, 1);
+    a2[i] = 3.0 * a[i] + 7.0;  // Strictly increasing transform.
+  }
+  EXPECT_NEAR(KendallTau(a, b), KendallTau(a2, b), 1e-12);
+}
+
+TEST(KendallTauTest, Symmetric) {
+  Pcg64 rng(2);
+  std::vector<double> a(80), b(80);
+  for (int i = 0; i < 80; ++i) {
+    a[i] = UniformReal(rng, -1, 1);
+    b[i] = UniformReal(rng, -1, 1);
+  }
+  EXPECT_NEAR(KendallTau(a, b), KendallTau(b, a), 1e-12);
+}
+
+class KendallTauPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KendallTauPropertyTest, FastMatchesNaive) {
+  const int n = GetParam();
+  Pcg64 rng(static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(n), b(n);
+    for (int i = 0; i < n; ++i) {
+      // Coarse grid induces plenty of ties.
+      a[i] = static_cast<double>(UniformInt(rng, 0, 5));
+      b[i] = static_cast<double>(UniformInt(rng, 0, 5));
+    }
+    EXPECT_NEAR(KendallTau(a, b), KendallTauNaive(a, b), 1e-12)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KendallTauPropertyTest,
+                         ::testing::Values(2, 3, 5, 10, 50, 200));
+
+TEST(KendallTauPropertyTest, FastMatchesNaiveContinuous) {
+  Pcg64 rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(100), b(100);
+    for (int i = 0; i < 100; ++i) {
+      a[i] = UniformReal(rng, -1, 1);
+      b[i] = UniformReal(rng, -1, 1);
+    }
+    EXPECT_NEAR(KendallTau(a, b), KendallTauNaive(a, b), 1e-12);
+  }
+}
+
+TEST(CheckpointScheduleTest, PaperGridForFullHorizon) {
+  const auto grid = CheckpointSchedule(100000);
+  // 100..1000 step 100 (10 points) + 2000..100000 step 1000 (99 points).
+  ASSERT_GE(grid.size(), 100u);
+  EXPECT_EQ(grid.front(), 100);
+  EXPECT_EQ(grid[9], 1000);
+  EXPECT_EQ(grid[10], 2000);
+  EXPECT_EQ(grid.back(), 100000);
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  EXPECT_TRUE(std::adjacent_find(grid.begin(), grid.end()) == grid.end());
+}
+
+TEST(CheckpointScheduleTest, ScaledHorizonKeepsShape) {
+  const auto grid = CheckpointSchedule(10000);
+  EXPECT_EQ(grid.front(), 10);
+  EXPECT_EQ(grid.back(), 10000);
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  EXPECT_TRUE(std::adjacent_find(grid.begin(), grid.end()) == grid.end());
+  EXPECT_GE(grid.size(), 100u);
+}
+
+TEST(CheckpointScheduleTest, TinyHorizons) {
+  EXPECT_EQ(CheckpointSchedule(1), (std::vector<std::int64_t>{1}));
+  const auto grid5 = CheckpointSchedule(5);
+  EXPECT_EQ(grid5.back(), 5);
+  EXPECT_TRUE(std::is_sorted(grid5.begin(), grid5.end()));
+  EXPECT_TRUE(std::adjacent_find(grid5.begin(), grid5.end()) == grid5.end());
+}
+
+TEST(TrajectoryResultTest, FinalRatios) {
+  TrajectoryResult r;
+  r.final_reward = 50;
+  r.final_arranged = 100;
+  r.final_regret = 25;
+  EXPECT_DOUBLE_EQ(r.FinalAcceptRatio(), 0.5);
+  EXPECT_DOUBLE_EQ(r.FinalRegretRatio(), 0.5);
+  TrajectoryResult zero;
+  EXPECT_DOUBLE_EQ(zero.FinalAcceptRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.FinalRegretRatio(), 0.0);
+}
+
+}  // namespace
+}  // namespace fasea

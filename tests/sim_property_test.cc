@@ -1,0 +1,149 @@
+// Property sweeps over FASEA configurations: invariants that must hold
+// for every combination of conflict ratio, distributions, capacities and
+// modes, on scaled-down workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "sim/experiment.h"
+
+namespace fasea {
+namespace {
+
+SyntheticConfig SweepConfig(double cr, ValueDistribution dist,
+                            bool basic_bandit, std::uint64_t seed) {
+  SyntheticConfig c;
+  c.num_events = 40;
+  c.dim = 6;
+  c.horizon = 600;
+  c.event_capacity_mean = 25.0;
+  c.event_capacity_stddev = 10.0;
+  c.conflict_ratio = cr;
+  c.theta_dist = dist == ValueDistribution::kShuffle
+                     ? ValueDistribution::kUniform
+                     : dist;
+  c.context_dist = dist;
+  c.basic_bandit = basic_bandit;
+  c.seed = seed;
+  return c;
+}
+
+class SimSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<double, ValueDistribution, bool>> {};
+
+TEST_P(SimSweepTest, CoreInvariantsHold) {
+  const auto [cr, dist, basic] = GetParam();
+  SyntheticExperiment exp;
+  exp.data = SweepConfig(cr, dist, basic, 77);
+  exp.compute_kendall = true;
+  // validate_arrangements (on by default) makes the simulator itself
+  // FASEA_CHECK feasibility of every proposal of every policy.
+  const SimulationResult result = RunSyntheticExperiment(exp);
+
+  auto world = SyntheticWorld::Create(exp.data);
+  ASSERT_TRUE(world.ok());
+  const double total_capacity =
+      static_cast<double>((*world)->instance().TotalCapacity());
+
+  const auto check_traj = [&](const TrajectoryResult& traj) {
+    SCOPED_TRACE(traj.name);
+    // Rewards: within [0, arranged] and within capacity.
+    EXPECT_GE(traj.final_reward, 0.0);
+    EXPECT_LE(traj.final_reward, traj.final_arranged);
+    EXPECT_LE(traj.final_reward, total_capacity);
+    // Accept ratio in [0, 1] at every checkpoint.
+    for (double ar : traj.accept_ratio) {
+      EXPECT_GE(ar, 0.0);
+      EXPECT_LE(ar, 1.0);
+    }
+    // Cumulative series monotone.
+    EXPECT_TRUE(std::is_sorted(traj.cum_rewards.begin(),
+                               traj.cum_rewards.end()));
+    EXPECT_TRUE(std::is_sorted(traj.cum_arranged.begin(),
+                               traj.cum_arranged.end()));
+    // Kendall tau in [-1, 1].
+    for (double tau : traj.kendall_tau) {
+      EXPECT_GE(tau, -1.0);
+      EXPECT_LE(tau, 1.0);
+    }
+    // In basic mode exactly one event is arranged per round.
+    if (basic) {
+      EXPECT_EQ(traj.final_arranged,
+                static_cast<double>(exp.data.horizon));
+    }
+  };
+  check_traj(result.reference);
+  for (const auto& traj : result.policies) check_traj(traj);
+
+  // Reference regret is identically zero; policy regret = ref − policy.
+  for (const auto& traj : result.policies) {
+    ASSERT_EQ(traj.total_regret.size(),
+              result.reference.cum_rewards.size());
+    for (std::size_t i = 0; i < traj.total_regret.size(); ++i) {
+      EXPECT_NEAR(traj.total_regret[i],
+                  result.reference.cum_rewards[i] - traj.cum_rewards[i],
+                  1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimSweepTest,
+    ::testing::Combine(
+        ::testing::Values(0.0, 0.25, 1.0),
+        ::testing::Values(ValueDistribution::kUniform,
+                          ValueDistribution::kNormal,
+                          ValueDistribution::kPower,
+                          ValueDistribution::kShuffle),
+        ::testing::Bool()));
+
+class RealSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(RealSweepTest, RealDatasetInvariants) {
+  const auto [user_1based, capacity] = GetParam();
+  static const RealDataset* dataset = new RealDataset(RealDataset::Create());
+  RealExperiment exp;
+  exp.user = static_cast<std::size_t>(user_1based - 1);
+  exp.horizon = 120;
+  exp.user_capacity = capacity;
+  const SimulationResult result = RunRealExperiment(*dataset, exp);
+
+  const std::int64_t cu = capacity == RealExperiment::kFullCapacity
+                              ? dataset->YesCount(exp.user)
+                              : capacity;
+  // Full Knowledge earns exactly its constant per-round optimum.
+  const std::int64_t fk = dataset->FullKnowledgeReward(exp.user, cu);
+  EXPECT_DOUBLE_EQ(result.reference.final_reward,
+                   static_cast<double>(fk * exp.horizon));
+  // Nobody beats Full Knowledge.
+  for (const auto& traj : result.policies) {
+    EXPECT_LE(traj.final_reward, result.reference.final_reward)
+        << traj.name;
+    EXPECT_GE(traj.final_regret, 0.0) << traj.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RealSweepTest,
+    ::testing::Combine(::testing::Values(1, 5, 8, 13, 19),
+                       ::testing::Values(std::int64_t{5},
+                                         RealExperiment::kFullCapacity)));
+
+TEST(SimDeterminismSweepTest, EveryModeIsReproducible) {
+  for (const bool basic : {false, true}) {
+    SyntheticExperiment exp;
+    exp.data = SweepConfig(0.25, ValueDistribution::kUniform, basic, 5);
+    exp.run_seed = 31;
+    const SimulationResult a = RunSyntheticExperiment(exp);
+    const SimulationResult b = RunSyntheticExperiment(exp);
+    for (std::size_t p = 0; p < a.policies.size(); ++p) {
+      EXPECT_EQ(a.policies[p].cum_rewards, b.policies[p].cum_rewards);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,227 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/opt_policy.h"
+#include "core/policy_factory.h"
+#include "datagen/synthetic.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+
+namespace fasea {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig c;
+  c.num_events = 30;
+  c.dim = 5;
+  c.horizon = 400;
+  c.event_capacity_mean = 20.0;
+  c.event_capacity_stddev = 5.0;
+  c.conflict_ratio = 0.25;
+  c.seed = 3;
+  return c;
+}
+
+TEST(SimulatorTest, ReferenceHasZeroRegret) {
+  SyntheticExperiment exp;
+  exp.data = SmallConfig();
+  exp.kinds = {PolicyKind::kUcb};
+  const SimulationResult result = RunSyntheticExperiment(exp);
+  EXPECT_EQ(result.reference.name, "OPT");
+  for (double r : result.reference.total_regret) EXPECT_EQ(r, 0.0);
+  EXPECT_EQ(result.reference.final_regret, 0.0);
+}
+
+TEST(SimulatorTest, SeriesShapesConsistent) {
+  SyntheticExperiment exp;
+  exp.data = SmallConfig();
+  exp.compute_kendall = true;
+  const SimulationResult result = RunSyntheticExperiment(exp);
+  ASSERT_EQ(result.policies.size(), 5u);
+  const auto n = result.reference.checkpoints.size();
+  EXPECT_GT(n, 10u);
+  for (const auto& traj : result.policies) {
+    EXPECT_EQ(traj.checkpoints.size(), n);
+    EXPECT_EQ(traj.cum_rewards.size(), n);
+    EXPECT_EQ(traj.accept_ratio.size(), n);
+    EXPECT_EQ(traj.total_regret.size(), n);
+    EXPECT_EQ(traj.regret_ratio.size(), n);
+    EXPECT_EQ(traj.kendall_tau.size(), n);
+    EXPECT_EQ(traj.checkpoints.back(), exp.data.horizon);
+  }
+}
+
+TEST(SimulatorTest, CumulativeSeriesAreMonotone) {
+  SyntheticExperiment exp;
+  exp.data = SmallConfig();
+  const SimulationResult result = RunSyntheticExperiment(exp);
+  for (const auto& traj : result.policies) {
+    for (std::size_t i = 1; i < traj.cum_rewards.size(); ++i) {
+      EXPECT_GE(traj.cum_rewards[i], traj.cum_rewards[i - 1]);
+      EXPECT_GE(traj.cum_arranged[i], traj.cum_arranged[i - 1]);
+    }
+  }
+}
+
+TEST(SimulatorTest, AcceptRatiosAreWithinBounds) {
+  SyntheticExperiment exp;
+  exp.data = SmallConfig();
+  const SimulationResult result = RunSyntheticExperiment(exp);
+  for (const auto& traj : result.policies) {
+    for (double ar : traj.accept_ratio) {
+      EXPECT_GE(ar, 0.0);
+      EXPECT_LE(ar, 1.0);
+    }
+  }
+}
+
+TEST(SimulatorTest, RewardsBoundedByArrangedAndCapacity) {
+  SyntheticExperiment exp;
+  exp.data = SmallConfig();
+  const SimulationResult result = RunSyntheticExperiment(exp);
+  auto world = SyntheticWorld::Create(exp.data);
+  ASSERT_TRUE(world.ok());
+  const double total_capacity =
+      static_cast<double>((*world)->instance().TotalCapacity());
+  for (const auto& traj : result.policies) {
+    EXPECT_LE(traj.final_reward, traj.final_arranged);
+    EXPECT_LE(traj.final_reward, total_capacity);
+  }
+  EXPECT_LE(result.reference.final_reward, total_capacity);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  SyntheticExperiment exp;
+  exp.data = SmallConfig();
+  exp.run_seed = 99;
+  const SimulationResult a = RunSyntheticExperiment(exp);
+  const SimulationResult b = RunSyntheticExperiment(exp);
+  for (std::size_t p = 0; p < a.policies.size(); ++p) {
+    EXPECT_EQ(a.policies[p].cum_rewards, b.policies[p].cum_rewards);
+    EXPECT_EQ(a.policies[p].total_regret, b.policies[p].total_regret);
+  }
+}
+
+TEST(SimulatorTest, DifferentRunSeedChangesFeedbackDraws) {
+  SyntheticExperiment exp;
+  exp.data = SmallConfig();
+  exp.run_seed = 1;
+  const SimulationResult a = RunSyntheticExperiment(exp);
+  exp.run_seed = 2;
+  const SimulationResult b = RunSyntheticExperiment(exp);
+  EXPECT_NE(a.policies[0].cum_rewards, b.policies[0].cum_rewards);
+}
+
+TEST(SimulatorTest, CapacityExhaustionFlattensOptRewards) {
+  // Tiny capacities: OPT fills everything well before the horizon and its
+  // cumulative rewards become constant (the paper's sudden-drop regime).
+  SyntheticConfig c = SmallConfig();
+  c.event_capacity_mean = 3.0;
+  c.event_capacity_stddev = 1.0;
+  c.horizon = 2000;
+  SyntheticExperiment exp;
+  exp.data = c;
+  exp.kinds = {PolicyKind::kUcb};
+  const SimulationResult result = RunSyntheticExperiment(exp);
+  const auto& rewards = result.reference.cum_rewards;
+  EXPECT_EQ(rewards.back(), rewards[rewards.size() - 5])
+      << "OPT kept earning after exhaustion";
+  // And the learner's regret must shrink after OPT flattens.
+  const auto& regret = result.policies[0].total_regret;
+  double max_regret = 0.0;
+  for (double r : regret) max_regret = std::max(max_regret, r);
+  EXPECT_LT(regret.back(), max_regret);
+}
+
+TEST(SimulatorTest, BasicBanditModeSingleArmPerRound) {
+  SyntheticConfig c = SmallConfig();
+  c.basic_bandit = true;
+  c.horizon = 300;
+  SyntheticExperiment exp;
+  exp.data = c;
+  exp.kinds = {PolicyKind::kUcb, PolicyKind::kTs};
+  const SimulationResult result = RunSyntheticExperiment(exp);
+  for (const auto& traj : result.policies) {
+    // Exactly one event arranged every round.
+    EXPECT_EQ(traj.final_arranged, static_cast<double>(c.horizon));
+  }
+  EXPECT_EQ(result.reference.final_arranged, static_cast<double>(c.horizon));
+}
+
+TEST(SimulatorTest, KendallTauOfReferenceIsOne) {
+  SyntheticExperiment exp;
+  exp.data = SmallConfig();
+  exp.compute_kendall = true;
+  exp.kinds = {PolicyKind::kRandom};
+  const SimulationResult result = RunSyntheticExperiment(exp);
+  for (double tau : result.reference.kendall_tau) EXPECT_EQ(tau, 1.0);
+  // Random's estimates are all-zero → all pairs tied → τ = 0.
+  for (double tau : result.policies[0].kendall_tau) EXPECT_EQ(tau, 0.0);
+}
+
+TEST(SimulatorTest, TimingAndMemoryPopulated) {
+  SyntheticExperiment exp;
+  exp.data = SmallConfig();
+  const SimulationResult result = RunSyntheticExperiment(exp);
+  for (const auto& traj : result.policies) {
+    EXPECT_GT(traj.avg_round_seconds, 0.0);
+    EXPECT_GT(traj.memory_bytes, 0u);
+  }
+}
+
+TEST(ReportTest, SeriesTableShape) {
+  SyntheticExperiment exp;
+  exp.data = SmallConfig();
+  exp.kinds = {PolicyKind::kUcb, PolicyKind::kRandom};
+  const SimulationResult result = RunSyntheticExperiment(exp);
+  const TextTable table =
+      SeriesTable(result, SeriesMetric::kAcceptRatio, true, 10);
+  EXPECT_EQ(table.num_rows(), 10u);
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("OPT"), std::string::npos);
+  EXPECT_NE(text.find("UCB"), std::string::npos);
+  EXPECT_NE(text.find("Random"), std::string::npos);
+}
+
+TEST(ReportTest, SummaryTableIncludesAllPolicies) {
+  SyntheticExperiment exp;
+  exp.data = SmallConfig();
+  const SimulationResult result = RunSyntheticExperiment(exp);
+  const TextTable table = SummaryTable(result);
+  EXPECT_EQ(table.num_rows(), 6u);  // OPT + 5 policies.
+  const std::string csv = table.ToCsv();
+  for (const char* name : {"OPT", "UCB", "TS", "eGreedy", "Exploit",
+                           "Random"}) {
+    EXPECT_NE(csv.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(ReportTest, EfficiencyTableColumnsPerRun) {
+  SyntheticExperiment exp;
+  exp.data = SmallConfig();
+  exp.kinds = {PolicyKind::kUcb};
+  const SimulationResult r1 = RunSyntheticExperiment(exp);
+  const SimulationResult r2 = RunSyntheticExperiment(exp);
+  const TextTable table = EfficiencyTable({{"A", r1}, {"B", r2}});
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("time_ms(A)"), std::string::npos);
+  EXPECT_NE(text.find("mem_KB(B)"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(ExperimentScaleTest, ApplyScaleShrinksProportionally) {
+  SyntheticConfig c;
+  ApplyScale(0.1, &c);
+  EXPECT_EQ(c.horizon, 10000);
+  EXPECT_DOUBLE_EQ(c.event_capacity_mean, 20.0);
+  EXPECT_DOUBLE_EQ(c.event_capacity_stddev, 10.0);
+  SyntheticConfig unchanged;
+  ApplyScale(1.0, &unchanged);
+  EXPECT_EQ(unchanged.horizon, 100000);
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,75 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace fasea {
+namespace {
+
+TEST(SummarizeTest, EmptyInput) {
+  const SummaryStats stats = Summarize(std::vector<double>{});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.mean, 0.0);
+  EXPECT_EQ(stats.stddev, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const SummaryStats stats = Summarize(std::vector<double>{5.0});
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats.min, 5.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+}
+
+TEST(SummarizeTest, KnownValues) {
+  const SummaryStats stats =
+      Summarize(std::vector<double>{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(stats.count, 8u);
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  // Sample variance = 32/7.
+  EXPECT_NEAR(stats.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 9.0);
+}
+
+TEST(SummarizeTest, NegativeValues) {
+  const SummaryStats stats = Summarize(std::vector<double>{-3.0, 3.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+  EXPECT_NEAR(stats.stddev, std::sqrt(18.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min, -3.0);
+}
+
+TEST(OlsSlopeTest, ExactLine) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {3.0, 5.0, 7.0, 9.0};  // y = 2x + 1.
+  EXPECT_NEAR(OlsSlope(x, y), 2.0, 1e-12);
+}
+
+TEST(OlsSlopeTest, FlatLine) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {4.0, 4.0, 4.0};
+  EXPECT_NEAR(OlsSlope(x, y), 0.0, 1e-12);
+}
+
+TEST(OlsSlopeTest, NegativeSlopeWithNoise) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {10.1, 7.9, 6.05, 3.95, 2.0};  // ≈ -2x + 10.
+  EXPECT_NEAR(OlsSlope(x, y), -2.0, 0.05);
+}
+
+TEST(OlsSlopeDeathTest, RejectsDegenerateInputs) {
+  const std::vector<double> one = {1.0};
+  EXPECT_DEATH((void)OlsSlope(one, one), "FASEA_CHECK");
+  const std::vector<double> constant = {2.0, 2.0};
+  const std::vector<double> y = {1.0, 3.0};
+  EXPECT_DEATH((void)OlsSlope(constant, y), "FASEA_CHECK");
+  const std::vector<double> x2 = {1.0, 2.0};
+  const std::vector<double> y3 = {1.0, 2.0, 3.0};
+  EXPECT_DEATH((void)OlsSlope(x2, y3), "FASEA_CHECK");
+}
+
+}  // namespace
+}  // namespace fasea

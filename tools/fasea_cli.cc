@@ -1,0 +1,9 @@
+// fasea_cli: run any FASEA experiment from the command line.
+//
+//   fasea_cli --help
+//   fasea_cli --mode=synthetic --num_events=200 --horizon=20000
+//   fasea_cli --mode=real --user=3 --user_capacity=full --horizon=1000
+//   fasea_cli --policies=ucb,exploit --csv_prefix=/tmp/run1
+#include "sim/cli.h"
+
+int main(int argc, char** argv) { return fasea::CliMain(argc, argv); }
