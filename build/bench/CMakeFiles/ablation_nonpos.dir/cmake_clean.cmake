@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nonpos.dir/ablation_nonpos.cc.o"
+  "CMakeFiles/ablation_nonpos.dir/ablation_nonpos.cc.o.d"
+  "ablation_nonpos"
+  "ablation_nonpos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nonpos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

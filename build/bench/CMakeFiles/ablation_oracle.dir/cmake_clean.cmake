@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_oracle.dir/ablation_oracle.cc.o"
+  "CMakeFiles/ablation_oracle.dir/ablation_oracle.cc.o.d"
+  "ablation_oracle"
+  "ablation_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regret_growth.dir/ablation_regret_growth.cc.o"
+  "CMakeFiles/ablation_regret_growth.dir/ablation_regret_growth.cc.o.d"
+  "ablation_regret_growth"
+  "ablation_regret_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regret_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_real_u1.dir/fig10_real_u1.cc.o"
+  "CMakeFiles/fig10_real_u1.dir/fig10_real_u1.cc.o.d"
+  "fig10_real_u1"
+  "fig10_real_u1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_real_u1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_basic_v.dir/fig11_basic_v.cc.o"
+  "CMakeFiles/fig11_basic_v.dir/fig11_basic_v.cc.o.d"
+  "fig11_basic_v"
+  "fig11_basic_v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_basic_v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

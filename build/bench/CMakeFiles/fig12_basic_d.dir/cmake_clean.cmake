@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_basic_d.dir/fig12_basic_d.cc.o"
+  "CMakeFiles/fig12_basic_d.dir/fig12_basic_d.cc.o.d"
+  "fig12_basic_d"
+  "fig12_basic_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_basic_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_basic_dist.dir/fig13_basic_dist.cc.o"
+  "CMakeFiles/fig13_basic_dist.dir/fig13_basic_dist.cc.o.d"
+  "fig13_basic_dist"
+  "fig13_basic_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_basic_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_default.dir/fig1_default.cc.o"
+  "CMakeFiles/fig1_default.dir/fig1_default.cc.o.d"
+  "fig1_default"
+  "fig1_default.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_default.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

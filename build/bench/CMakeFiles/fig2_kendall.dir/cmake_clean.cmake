@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_kendall.dir/fig2_kendall.cc.o"
+  "CMakeFiles/fig2_kendall.dir/fig2_kendall.cc.o.d"
+  "fig2_kendall"
+  "fig2_kendall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_kendall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

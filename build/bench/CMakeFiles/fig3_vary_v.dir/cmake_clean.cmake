@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vary_v.dir/fig3_vary_v.cc.o"
+  "CMakeFiles/fig3_vary_v.dir/fig3_vary_v.cc.o.d"
+  "fig3_vary_v"
+  "fig3_vary_v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vary_v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

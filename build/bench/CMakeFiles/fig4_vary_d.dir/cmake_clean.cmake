@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_vary_d.dir/fig4_vary_d.cc.o"
+  "CMakeFiles/fig4_vary_d.dir/fig4_vary_d.cc.o.d"
+  "fig4_vary_d"
+  "fig4_vary_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vary_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_vary_cv.dir/fig6_vary_cv.cc.o"
+  "CMakeFiles/fig6_vary_cv.dir/fig6_vary_cv.cc.o.d"
+  "fig6_vary_cv"
+  "fig6_vary_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vary_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_vary_cr.dir/fig7_vary_cr.cc.o"
+  "CMakeFiles/fig7_vary_cr.dir/fig7_vary_cr.cc.o.d"
+  "fig7_vary_cr"
+  "fig7_vary_cr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_vary_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

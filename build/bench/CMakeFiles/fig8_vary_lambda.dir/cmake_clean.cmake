@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_vary_lambda.dir/fig8_vary_lambda.cc.o"
+  "CMakeFiles/fig8_vary_lambda.dir/fig8_vary_lambda.cc.o.d"
+  "fig8_vary_lambda"
+  "fig8_vary_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vary_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

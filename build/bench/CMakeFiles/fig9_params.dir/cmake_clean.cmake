@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_params.dir/fig9_params.cc.o"
+  "CMakeFiles/fig9_params.dir/fig9_params.cc.o.d"
+  "fig9_params"
+  "fig9_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_oracle.dir/micro_oracle.cc.o"
+  "CMakeFiles/micro_oracle.dir/micro_oracle.cc.o.d"
+  "micro_oracle"
+  "micro_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

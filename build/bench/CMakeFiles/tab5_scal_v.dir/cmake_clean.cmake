@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_scal_v.dir/tab5_scal_v.cc.o"
+  "CMakeFiles/tab5_scal_v.dir/tab5_scal_v.cc.o.d"
+  "tab5_scal_v"
+  "tab5_scal_v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_scal_v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_scal_d.dir/tab6_scal_d.cc.o"
+  "CMakeFiles/tab6_scal_d.dir/tab6_scal_d.cc.o.d"
+  "tab6_scal_d"
+  "tab6_scal_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_scal_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab7_real_all.dir/tab7_real_all.cc.o"
+  "CMakeFiles/tab7_real_all.dir/tab7_real_all.cc.o.d"
+  "tab7_real_all"
+  "tab7_real_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_real_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

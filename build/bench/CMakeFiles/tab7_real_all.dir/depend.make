@@ -1,0 +1,2 @@
+# Empty dependencies file for tab7_real_all.
+# This may be replaced when dependencies are built.

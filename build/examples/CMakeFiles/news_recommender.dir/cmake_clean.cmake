@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_recommender.dir/news_recommender.cpp.o"
+  "CMakeFiles/news_recommender.dir/news_recommender.cpp.o.d"
+  "news_recommender"
+  "news_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

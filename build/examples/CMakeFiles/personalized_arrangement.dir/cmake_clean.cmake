@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalized_arrangement.dir/personalized_arrangement.cpp.o"
+  "CMakeFiles/personalized_arrangement.dir/personalized_arrangement.cpp.o.d"
+  "personalized_arrangement"
+  "personalized_arrangement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalized_arrangement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_service.dir/platform_service.cpp.o"
+  "CMakeFiles/platform_service.dir/platform_service.cpp.o.d"
+  "platform_service"
+  "platform_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

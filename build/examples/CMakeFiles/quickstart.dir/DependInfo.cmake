@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fasea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebsn/CMakeFiles/fasea_ebsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fasea_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fasea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/fasea_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/fasea_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fasea_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fasea_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/fasea_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/fasea_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fasea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolling_events.dir/rolling_events.cpp.o"
+  "CMakeFiles/rolling_events.dir/rolling_events.cpp.o.d"
+  "rolling_events"
+  "rolling_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolling_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

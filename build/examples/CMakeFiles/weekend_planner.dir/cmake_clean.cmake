@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weekend_planner.dir/weekend_planner.cpp.o"
+  "CMakeFiles/weekend_planner.dir/weekend_planner.cpp.o.d"
+  "weekend_planner"
+  "weekend_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weekend_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for weekend_planner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasea_baseline.dir/online_greedy.cc.o"
+  "CMakeFiles/fasea_baseline.dir/online_greedy.cc.o.d"
+  "libfasea_baseline.a"
+  "libfasea_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasea_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

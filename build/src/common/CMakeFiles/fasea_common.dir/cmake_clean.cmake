@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasea_common.dir/flags.cc.o"
+  "CMakeFiles/fasea_common.dir/flags.cc.o.d"
+  "CMakeFiles/fasea_common.dir/status.cc.o"
+  "CMakeFiles/fasea_common.dir/status.cc.o.d"
+  "CMakeFiles/fasea_common.dir/strings.cc.o"
+  "CMakeFiles/fasea_common.dir/strings.cc.o.d"
+  "CMakeFiles/fasea_common.dir/table.cc.o"
+  "CMakeFiles/fasea_common.dir/table.cc.o.d"
+  "libfasea_common.a"
+  "libfasea_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasea_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/fasea_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/fasea_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/eps_greedy_policy.cc" "src/core/CMakeFiles/fasea_core.dir/eps_greedy_policy.cc.o" "gcc" "src/core/CMakeFiles/fasea_core.dir/eps_greedy_policy.cc.o.d"
+  "/root/repo/src/core/linear_policy_base.cc" "src/core/CMakeFiles/fasea_core.dir/linear_policy_base.cc.o" "gcc" "src/core/CMakeFiles/fasea_core.dir/linear_policy_base.cc.o.d"
+  "/root/repo/src/core/opt_policy.cc" "src/core/CMakeFiles/fasea_core.dir/opt_policy.cc.o" "gcc" "src/core/CMakeFiles/fasea_core.dir/opt_policy.cc.o.d"
+  "/root/repo/src/core/per_user_policy.cc" "src/core/CMakeFiles/fasea_core.dir/per_user_policy.cc.o" "gcc" "src/core/CMakeFiles/fasea_core.dir/per_user_policy.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/fasea_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/fasea_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/policy_factory.cc" "src/core/CMakeFiles/fasea_core.dir/policy_factory.cc.o" "gcc" "src/core/CMakeFiles/fasea_core.dir/policy_factory.cc.o.d"
+  "/root/repo/src/core/random_policy.cc" "src/core/CMakeFiles/fasea_core.dir/random_policy.cc.o" "gcc" "src/core/CMakeFiles/fasea_core.dir/random_policy.cc.o.d"
+  "/root/repo/src/core/ridge.cc" "src/core/CMakeFiles/fasea_core.dir/ridge.cc.o" "gcc" "src/core/CMakeFiles/fasea_core.dir/ridge.cc.o.d"
+  "/root/repo/src/core/ts_policy.cc" "src/core/CMakeFiles/fasea_core.dir/ts_policy.cc.o" "gcc" "src/core/CMakeFiles/fasea_core.dir/ts_policy.cc.o.d"
+  "/root/repo/src/core/ucb_policy.cc" "src/core/CMakeFiles/fasea_core.dir/ucb_policy.cc.o" "gcc" "src/core/CMakeFiles/fasea_core.dir/ucb_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/fasea_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/fasea_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/fasea_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/fasea_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fasea_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fasea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

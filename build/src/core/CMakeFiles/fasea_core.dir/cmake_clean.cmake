@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasea_core.dir/checkpoint.cc.o"
+  "CMakeFiles/fasea_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/fasea_core.dir/eps_greedy_policy.cc.o"
+  "CMakeFiles/fasea_core.dir/eps_greedy_policy.cc.o.d"
+  "CMakeFiles/fasea_core.dir/linear_policy_base.cc.o"
+  "CMakeFiles/fasea_core.dir/linear_policy_base.cc.o.d"
+  "CMakeFiles/fasea_core.dir/opt_policy.cc.o"
+  "CMakeFiles/fasea_core.dir/opt_policy.cc.o.d"
+  "CMakeFiles/fasea_core.dir/per_user_policy.cc.o"
+  "CMakeFiles/fasea_core.dir/per_user_policy.cc.o.d"
+  "CMakeFiles/fasea_core.dir/policy.cc.o"
+  "CMakeFiles/fasea_core.dir/policy.cc.o.d"
+  "CMakeFiles/fasea_core.dir/policy_factory.cc.o"
+  "CMakeFiles/fasea_core.dir/policy_factory.cc.o.d"
+  "CMakeFiles/fasea_core.dir/random_policy.cc.o"
+  "CMakeFiles/fasea_core.dir/random_policy.cc.o.d"
+  "CMakeFiles/fasea_core.dir/ridge.cc.o"
+  "CMakeFiles/fasea_core.dir/ridge.cc.o.d"
+  "CMakeFiles/fasea_core.dir/ts_policy.cc.o"
+  "CMakeFiles/fasea_core.dir/ts_policy.cc.o.d"
+  "CMakeFiles/fasea_core.dir/ucb_policy.cc.o"
+  "CMakeFiles/fasea_core.dir/ucb_policy.cc.o.d"
+  "libfasea_core.a"
+  "libfasea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasea_datagen.dir/real_surrogate.cc.o"
+  "CMakeFiles/fasea_datagen.dir/real_surrogate.cc.o.d"
+  "CMakeFiles/fasea_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/fasea_datagen.dir/synthetic.cc.o.d"
+  "libfasea_datagen.a"
+  "libfasea_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasea_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

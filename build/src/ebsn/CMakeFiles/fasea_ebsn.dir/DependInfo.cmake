@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebsn/arrangement_service.cc" "src/ebsn/CMakeFiles/fasea_ebsn.dir/arrangement_service.cc.o" "gcc" "src/ebsn/CMakeFiles/fasea_ebsn.dir/arrangement_service.cc.o.d"
+  "/root/repo/src/ebsn/event_catalog.cc" "src/ebsn/CMakeFiles/fasea_ebsn.dir/event_catalog.cc.o" "gcc" "src/ebsn/CMakeFiles/fasea_ebsn.dir/event_catalog.cc.o.d"
+  "/root/repo/src/ebsn/interaction_log.cc" "src/ebsn/CMakeFiles/fasea_ebsn.dir/interaction_log.cc.o" "gcc" "src/ebsn/CMakeFiles/fasea_ebsn.dir/interaction_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fasea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fasea_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/fasea_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fasea_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/fasea_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/fasea_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fasea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasea_ebsn.dir/arrangement_service.cc.o"
+  "CMakeFiles/fasea_ebsn.dir/arrangement_service.cc.o.d"
+  "CMakeFiles/fasea_ebsn.dir/event_catalog.cc.o"
+  "CMakeFiles/fasea_ebsn.dir/event_catalog.cc.o.d"
+  "CMakeFiles/fasea_ebsn.dir/interaction_log.cc.o"
+  "CMakeFiles/fasea_ebsn.dir/interaction_log.cc.o.d"
+  "libfasea_ebsn.a"
+  "libfasea_ebsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasea_ebsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

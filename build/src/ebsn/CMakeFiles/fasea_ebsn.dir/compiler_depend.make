@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fasea_ebsn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fasea_ebsn.
+# This may be replaced when dependencies are built.

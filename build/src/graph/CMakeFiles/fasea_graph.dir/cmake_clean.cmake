@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasea_graph.dir/conflict_graph.cc.o"
+  "CMakeFiles/fasea_graph.dir/conflict_graph.cc.o.d"
+  "libfasea_graph.a"
+  "libfasea_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasea_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cc" "src/linalg/CMakeFiles/fasea_linalg.dir/cholesky.cc.o" "gcc" "src/linalg/CMakeFiles/fasea_linalg.dir/cholesky.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/linalg/CMakeFiles/fasea_linalg.dir/matrix.cc.o" "gcc" "src/linalg/CMakeFiles/fasea_linalg.dir/matrix.cc.o.d"
+  "/root/repo/src/linalg/mvn.cc" "src/linalg/CMakeFiles/fasea_linalg.dir/mvn.cc.o" "gcc" "src/linalg/CMakeFiles/fasea_linalg.dir/mvn.cc.o.d"
+  "/root/repo/src/linalg/sherman_morrison.cc" "src/linalg/CMakeFiles/fasea_linalg.dir/sherman_morrison.cc.o" "gcc" "src/linalg/CMakeFiles/fasea_linalg.dir/sherman_morrison.cc.o.d"
+  "/root/repo/src/linalg/vector.cc" "src/linalg/CMakeFiles/fasea_linalg.dir/vector.cc.o" "gcc" "src/linalg/CMakeFiles/fasea_linalg.dir/vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fasea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/fasea_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

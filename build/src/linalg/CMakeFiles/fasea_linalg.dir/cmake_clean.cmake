@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasea_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/fasea_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/fasea_linalg.dir/matrix.cc.o"
+  "CMakeFiles/fasea_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/fasea_linalg.dir/mvn.cc.o"
+  "CMakeFiles/fasea_linalg.dir/mvn.cc.o.d"
+  "CMakeFiles/fasea_linalg.dir/sherman_morrison.cc.o"
+  "CMakeFiles/fasea_linalg.dir/sherman_morrison.cc.o.d"
+  "CMakeFiles/fasea_linalg.dir/vector.cc.o"
+  "CMakeFiles/fasea_linalg.dir/vector.cc.o.d"
+  "libfasea_linalg.a"
+  "libfasea_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasea_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasea_model.dir/context.cc.o"
+  "CMakeFiles/fasea_model.dir/context.cc.o.d"
+  "CMakeFiles/fasea_model.dir/instance.cc.o"
+  "CMakeFiles/fasea_model.dir/instance.cc.o.d"
+  "CMakeFiles/fasea_model.dir/platform_state.cc.o"
+  "CMakeFiles/fasea_model.dir/platform_state.cc.o.d"
+  "CMakeFiles/fasea_model.dir/round_provider.cc.o"
+  "CMakeFiles/fasea_model.dir/round_provider.cc.o.d"
+  "libfasea_model.a"
+  "libfasea_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasea_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasea_oracle.dir/exact.cc.o"
+  "CMakeFiles/fasea_oracle.dir/exact.cc.o.d"
+  "CMakeFiles/fasea_oracle.dir/greedy.cc.o"
+  "CMakeFiles/fasea_oracle.dir/greedy.cc.o.d"
+  "CMakeFiles/fasea_oracle.dir/oracle.cc.o"
+  "CMakeFiles/fasea_oracle.dir/oracle.cc.o.d"
+  "CMakeFiles/fasea_oracle.dir/random_oracle.cc.o"
+  "CMakeFiles/fasea_oracle.dir/random_oracle.cc.o.d"
+  "libfasea_oracle.a"
+  "libfasea_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasea_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasea_rng.dir/distributions.cc.o"
+  "CMakeFiles/fasea_rng.dir/distributions.cc.o.d"
+  "CMakeFiles/fasea_rng.dir/pcg64.cc.o"
+  "CMakeFiles/fasea_rng.dir/pcg64.cc.o.d"
+  "libfasea_rng.a"
+  "libfasea_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasea_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfasea_rng.a"
+)

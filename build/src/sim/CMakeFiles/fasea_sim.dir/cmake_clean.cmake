@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasea_sim.dir/cli.cc.o"
+  "CMakeFiles/fasea_sim.dir/cli.cc.o.d"
+  "CMakeFiles/fasea_sim.dir/experiment.cc.o"
+  "CMakeFiles/fasea_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/fasea_sim.dir/metrics.cc.o"
+  "CMakeFiles/fasea_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/fasea_sim.dir/report.cc.o"
+  "CMakeFiles/fasea_sim.dir/report.cc.o.d"
+  "CMakeFiles/fasea_sim.dir/simulator.cc.o"
+  "CMakeFiles/fasea_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/fasea_sim.dir/stats.cc.o"
+  "CMakeFiles/fasea_sim.dir/stats.cc.o.d"
+  "libfasea_sim.a"
+  "libfasea_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasea_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_online_greedy_test.dir/baseline_online_greedy_test.cc.o"
+  "CMakeFiles/baseline_online_greedy_test.dir/baseline_online_greedy_test.cc.o.d"
+  "baseline_online_greedy_test"
+  "baseline_online_greedy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_online_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_per_user_test.dir/core_per_user_test.cc.o"
+  "CMakeFiles/core_per_user_test.dir/core_per_user_test.cc.o.d"
+  "core_per_user_test"
+  "core_per_user_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_per_user_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

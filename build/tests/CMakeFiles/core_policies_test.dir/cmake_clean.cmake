@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_policies_test.dir/core_policies_test.cc.o"
+  "CMakeFiles/core_policies_test.dir/core_policies_test.cc.o.d"
+  "core_policies_test"
+  "core_policies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

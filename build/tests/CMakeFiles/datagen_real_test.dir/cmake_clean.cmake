@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_real_test.dir/datagen_real_test.cc.o"
+  "CMakeFiles/datagen_real_test.dir/datagen_real_test.cc.o.d"
+  "datagen_real_test"
+  "datagen_real_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_real_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebsn_arrangement_service_test.dir/ebsn_arrangement_service_test.cc.o"
+  "CMakeFiles/ebsn_arrangement_service_test.dir/ebsn_arrangement_service_test.cc.o.d"
+  "ebsn_arrangement_service_test"
+  "ebsn_arrangement_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebsn_arrangement_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

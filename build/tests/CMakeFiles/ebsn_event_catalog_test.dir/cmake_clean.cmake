@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebsn_event_catalog_test.dir/ebsn_event_catalog_test.cc.o"
+  "CMakeFiles/ebsn_event_catalog_test.dir/ebsn_event_catalog_test.cc.o.d"
+  "ebsn_event_catalog_test"
+  "ebsn_event_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebsn_event_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

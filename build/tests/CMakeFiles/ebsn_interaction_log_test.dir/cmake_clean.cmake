@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebsn_interaction_log_test.dir/ebsn_interaction_log_test.cc.o"
+  "CMakeFiles/ebsn_interaction_log_test.dir/ebsn_interaction_log_test.cc.o.d"
+  "ebsn_interaction_log_test"
+  "ebsn_interaction_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebsn_interaction_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_conflict_graph_test.dir/graph_conflict_graph_test.cc.o"
+  "CMakeFiles/graph_conflict_graph_test.dir/graph_conflict_graph_test.cc.o.d"
+  "graph_conflict_graph_test"
+  "graph_conflict_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_conflict_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_property_test.dir/linalg_property_test.cc.o"
+  "CMakeFiles/linalg_property_test.dir/linalg_property_test.cc.o.d"
+  "linalg_property_test"
+  "linalg_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

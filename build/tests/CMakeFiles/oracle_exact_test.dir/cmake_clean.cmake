@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_exact_test.dir/oracle_exact_test.cc.o"
+  "CMakeFiles/oracle_exact_test.dir/oracle_exact_test.cc.o.d"
+  "oracle_exact_test"
+  "oracle_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

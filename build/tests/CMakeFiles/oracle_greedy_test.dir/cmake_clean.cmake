@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_greedy_test.dir/oracle_greedy_test.cc.o"
+  "CMakeFiles/oracle_greedy_test.dir/oracle_greedy_test.cc.o.d"
+  "oracle_greedy_test"
+  "oracle_greedy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_random_test.dir/oracle_random_test.cc.o"
+  "CMakeFiles/oracle_random_test.dir/oracle_random_test.cc.o.d"
+  "oracle_random_test"
+  "oracle_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

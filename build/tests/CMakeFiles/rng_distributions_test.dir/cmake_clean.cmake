@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rng_distributions_test.dir/rng_distributions_test.cc.o"
+  "CMakeFiles/rng_distributions_test.dir/rng_distributions_test.cc.o.d"
+  "rng_distributions_test"
+  "rng_distributions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rng_distributions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

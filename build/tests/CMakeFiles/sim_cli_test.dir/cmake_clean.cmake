@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_cli_test.dir/sim_cli_test.cc.o"
+  "CMakeFiles/sim_cli_test.dir/sim_cli_test.cc.o.d"
+  "sim_cli_test"
+  "sim_cli_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

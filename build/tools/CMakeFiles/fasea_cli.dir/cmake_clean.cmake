@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasea_cli.dir/fasea_cli.cc.o"
+  "CMakeFiles/fasea_cli.dir/fasea_cli.cc.o.d"
+  "fasea_cli"
+  "fasea_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasea_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
