@@ -121,7 +121,7 @@ int main() {
   FASEA_CHECK_OK(log.status());
   auto replayed =
       MakePolicy(PolicyKind::kUcb, &instance.value(), PolicyParams{}, 11);
-  log->Replay(replayed.get());
+  FASEA_CHECK_OK(log->Replay(replayed.get(), catalog.size(), kDim));
 
   const auto* live = dynamic_cast<const LinearPolicyBase*>(&service.policy());
   const auto* from_log = dynamic_cast<LinearPolicyBase*>(replayed.get());

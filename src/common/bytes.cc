@@ -1,0 +1,87 @@
+#include "common/bytes.h"
+
+#include <cstring>
+
+namespace fasea {
+
+void AppendU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendI64(std::string* out, std::int64_t v) {
+  AppendU64(out, static_cast<std::uint64_t>(v));
+}
+
+void AppendDouble(std::string* out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void EncodeU32(char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint32_t DecodeU32(const char* data) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+StatusOr<std::uint8_t> ByteReader::ReadU8() {
+  if (pos_ + 1 > data_.size()) return TruncatedError();
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+StatusOr<std::uint32_t> ByteReader::ReadU32() {
+  if (pos_ + 4 > data_.size()) return TruncatedError();
+  const std::uint32_t v = DecodeU32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<std::uint64_t> ByteReader::ReadU64() {
+  if (pos_ + 8 > data_.size()) return TruncatedError();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<std::int64_t> ByteReader::ReadI64() {
+  auto v = ReadU64();
+  if (!v.ok()) return v.status();
+  return static_cast<std::int64_t>(*v);
+}
+
+StatusOr<double> ByteReader::ReadDouble() {
+  auto bits = ReadU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  std::memcpy(&v, &bits.value(), sizeof(v));
+  return v;
+}
+
+}  // namespace fasea

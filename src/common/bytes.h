@@ -1,0 +1,62 @@
+// Little-endian binary encoding helpers shared by every on-disk format
+// (policy checkpoints, WAL frames, interaction records).
+//
+// All integers are serialized little-endian regardless of host order, so
+// blobs are portable across platforms. ByteReader is a bounds-checked
+// cursor: every read reports truncation through Status instead of
+// touching out-of-range memory.
+#ifndef FASEA_COMMON_BYTES_H_
+#define FASEA_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace fasea {
+
+void AppendU8(std::string* out, std::uint8_t v);
+void AppendU32(std::string* out, std::uint32_t v);
+void AppendU64(std::string* out, std::uint64_t v);
+void AppendI64(std::string* out, std::int64_t v);
+void AppendDouble(std::string* out, double v);
+
+/// Encodes `v` little-endian into `out[0..3]` (caller provides 4 bytes).
+void EncodeU32(char* out, std::uint32_t v);
+
+/// Decodes 4 little-endian bytes at `data`.
+std::uint32_t DecodeU32(const char* data);
+
+/// Bounds-checked sequential reader over a byte buffer. Reads past the
+/// end fail with `truncated_error` (so each format can report its own
+/// context, e.g. "checkpoint: truncated data").
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data, std::string truncated_message =
+                                                 "truncated data")
+      : data_(data), truncated_message_(std::move(truncated_message)) {}
+
+  StatusOr<std::uint8_t> ReadU8();
+  StatusOr<std::uint32_t> ReadU32();
+  StatusOr<std::uint64_t> ReadU64();
+  StatusOr<std::int64_t> ReadI64();
+  StatusOr<double> ReadDouble();
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status TruncatedError() const {
+    return Status(StatusCode::kInvalidArgument, truncated_message_);
+  }
+
+  std::string_view data_;
+  std::string truncated_message_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_COMMON_BYTES_H_

@@ -22,6 +22,12 @@ enum class StatusCode {
   kNotFound = 4,
   kInternal = 5,
   kUnimplemented = 6,
+  /// A transient failure (e.g. the durability layer could not persist a
+  /// record). The operation did not take effect and may be retried.
+  kUnavailable = 7,
+  /// Unrecoverable data corruption or loss (e.g. a WAL frame whose
+  /// checksum fails mid-file). Retrying cannot help.
+  kDataLoss = 8,
 };
 
 /// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -60,6 +66,12 @@ Status FailedPreconditionError(std::string message);
 Status NotFoundError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
+Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
+
+/// True if the failed operation had no effect and is worth retrying
+/// verbatim (currently: kUnavailable). OK statuses are not "retryable".
+bool IsRetryable(const Status& status);
 
 /// Either a value of T or an error Status. Accessing the value of a
 /// non-OK StatusOr aborts.

@@ -1,7 +1,8 @@
 #include "core/checkpoint.h"
 
-#include <cstring>
+#include <cmath>
 
+#include "common/bytes.h"
 #include "common/strings.h"
 
 namespace fasea {
@@ -11,73 +12,7 @@ namespace {
 constexpr std::uint32_t kMagic = 0x46534541;  // "FSEA".
 constexpr std::uint32_t kVersion = 1;
 
-// --- Little-endian byte IO -----------------------------------------------
-
-void AppendU32(std::string* out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-void AppendU64(std::string* out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-void AppendDouble(std::string* out, double v) {
-  std::uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  AppendU64(out, bits);
-}
-
-class ByteReader {
- public:
-  explicit ByteReader(std::string_view data) : data_(data) {}
-
-  StatusOr<std::uint32_t> ReadU32() {
-    if (pos_ + 4 > data_.size()) return TruncatedError();
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(
-               static_cast<unsigned char>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-
-  StatusOr<std::uint64_t> ReadU64() {
-    if (pos_ + 8 > data_.size()) return TruncatedError();
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(
-               static_cast<unsigned char>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-
-  StatusOr<double> ReadDouble() {
-    auto bits = ReadU64();
-    if (!bits.ok()) return bits.status();
-    double v;
-    std::memcpy(&v, &bits.value(), sizeof(v));
-    return v;
-  }
-
-  bool AtEnd() const { return pos_ == data_.size(); }
-
- private:
-  static Status TruncatedError() {
-    return InvalidArgumentError("checkpoint: truncated data");
-  }
-
-  std::string_view data_;
-  std::size_t pos_ = 0;
-};
+constexpr const char* kTruncated = "checkpoint: truncated data";
 
 }  // namespace
 
@@ -107,7 +42,7 @@ std::string SaveCheckpoint(PolicyKind kind, const PolicyParams& params,
 }
 
 StatusOr<PolicyCheckpoint> ParseCheckpoint(std::string_view data) {
-  ByteReader reader(data);
+  ByteReader reader(data, kTruncated);
   auto magic = reader.ReadU32();
   if (!magic.ok()) return magic.status();
   if (*magic != kMagic) {
@@ -129,9 +64,14 @@ StatusOr<PolicyCheckpoint> ParseCheckpoint(std::string_view data) {
 
   PolicyCheckpoint cp;
   cp.kind = static_cast<PolicyKind>(*kind_raw);
+  // Every stored double must be finite: a flipped bit can smuggle in a
+  // NaN/Inf that would silently poison Y (and every Cholesky behind it).
   const auto read_double = [&](double* out) -> Status {
     auto v = reader.ReadDouble();
     if (!v.ok()) return v.status();
+    if (!std::isfinite(*v)) {
+      return InvalidArgumentError("checkpoint: non-finite value");
+    }
     *out = *v;
     return Status::Ok();
   };
@@ -139,6 +79,20 @@ StatusOr<PolicyCheckpoint> ParseCheckpoint(std::string_view data) {
   if (Status st = read_double(&cp.params.alpha); !st.ok()) return st;
   if (Status st = read_double(&cp.params.delta); !st.ok()) return st;
   if (Status st = read_double(&cp.params.epsilon); !st.ok()) return st;
+  // Mirror the policy constructors' preconditions: a corrupted parameter
+  // must surface as a Status here, not as an abort inside MakePolicy.
+  if (cp.params.lambda <= 0.0) {
+    return InvalidArgumentError("checkpoint: lambda must be positive");
+  }
+  if (cp.params.alpha < 0.0) {
+    return InvalidArgumentError("checkpoint: alpha must be non-negative");
+  }
+  if (cp.params.delta <= 0.0 || cp.params.delta >= 1.0) {
+    return InvalidArgumentError("checkpoint: delta must be in (0, 1)");
+  }
+  if (cp.params.epsilon < 0.0 || cp.params.epsilon > 1.0) {
+    return InvalidArgumentError("checkpoint: epsilon must be in [0, 1]");
+  }
 
   auto dim = reader.ReadU64();
   if (!dim.ok()) return dim.status();
@@ -147,9 +101,19 @@ StatusOr<PolicyCheckpoint> ParseCheckpoint(std::string_view data) {
   }
   auto num_obs = reader.ReadU64();
   if (!num_obs.ok()) return num_obs.status();
+  if (*num_obs > (1ull << 62)) {
+    return InvalidArgumentError("checkpoint: implausible observation count");
+  }
   cp.num_observations = static_cast<std::int64_t>(*num_obs);
 
   const std::size_t d = static_cast<std::size_t>(*dim);
+  // Match the payload size before allocating d×d doubles: a flipped bit
+  // in `dim` must not trigger a gigabyte allocation or mis-sliced reads.
+  if (reader.remaining() != (d * d + d) * 8) {
+    return InvalidArgumentError(reader.remaining() < (d * d + d) * 8
+                                    ? kTruncated
+                                    : "checkpoint: trailing bytes");
+  }
   cp.y = Matrix(d, d);
   for (std::size_t i = 0; i < d; ++i) {
     for (std::size_t j = 0; j < d; ++j) {
@@ -160,9 +124,7 @@ StatusOr<PolicyCheckpoint> ParseCheckpoint(std::string_view data) {
   for (std::size_t i = 0; i < d; ++i) {
     if (Status st = read_double(&cp.b[i]); !st.ok()) return st;
   }
-  if (!reader.AtEnd()) {
-    return InvalidArgumentError("checkpoint: trailing bytes");
-  }
+  FASEA_CHECK(reader.AtEnd());
   return cp;
 }
 

@@ -26,6 +26,10 @@ class LinearPolicyBase : public Policy {
 
   const RidgeState& ridge() const { return ridge_; }
 
+  /// Mutable learning state — for recovery tooling and fault-injection
+  /// tests; production serving paths only read.
+  RidgeState& mutable_ridge() { return ridge_; }
+
   /// Replaces the learning state (checkpoint restore). The new state must
   /// have the instance's dimension.
   void RestoreRidge(RidgeState state) {

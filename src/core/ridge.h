@@ -62,6 +62,14 @@ class RidgeState {
   /// Number of (x, r) observations folded in so far.
   std::int64_t num_observations() const { return inverse_.num_updates(); }
 
+  /// False once a periodic Cholesky refactorization of Y has failed
+  /// (numerical corruption). Estimates may then be stale; serving layers
+  /// fall back to a stateless proposal (see ArrangementService).
+  bool healthy() const { return inverse_.healthy(); }
+
+  /// Test hook: simulates numerical corruption of Y.
+  void SetUnhealthyForTesting() { inverse_.SetUnhealthyForTesting(); }
+
   std::size_t MemoryBytes() const {
     return inverse_.MemoryBytes() + b_.MemoryBytes() +
            theta_hat_.MemoryBytes();

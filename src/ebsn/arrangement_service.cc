@@ -1,5 +1,6 @@
 #include "ebsn/arrangement_service.h"
 
+#include "common/strings.h"
 #include "oracle/oracle.h"
 #include "rng/seed.h"
 
@@ -38,6 +39,35 @@ ArrangementService::FromCheckpoint(const ProblemInstance* instance,
   return service;
 }
 
+void ArrangementService::AttachWal(std::unique_ptr<WalWriter> wal,
+                                   DurabilityPolicy policy) {
+  FASEA_CHECK(wal != nullptr);
+  FASEA_CHECK(wal_ == nullptr && "a WAL is already attached");
+  wal_ = std::move(wal);
+  durability_ = policy;
+}
+
+Arrangement ArrangementService::StatelessProposal(
+    const RoundContext& round) const {
+  const ConflictGraph& conflicts = instance_->conflicts();
+  Arrangement out;
+  for (EventId v = 0;
+       v < instance_->num_events() &&
+       static_cast<std::int64_t>(out.size()) < round.user_capacity;
+       ++v) {
+    if (!round.IsAvailable(v) || !state_.HasCapacity(v)) continue;
+    bool clashes = false;
+    for (EventId arranged : out) {
+      if (conflicts.Conflicts(v, arranged)) {
+        clashes = true;
+        break;
+      }
+    }
+    if (!clashes) out.push_back(v);
+  }
+  return out;
+}
+
 StatusOr<Arrangement> ArrangementService::ServeUser(
     std::int64_t user_id, std::int64_t user_capacity,
     const ContextMatrix& contexts) {
@@ -55,7 +85,17 @@ StatusOr<Arrangement> ArrangementService::ServeUser(
     return st;
   }
   ++t_;
-  Arrangement arrangement = policy_->Propose(t_, round, state_);
+  Arrangement arrangement;
+  const auto* base = dynamic_cast<const LinearPolicyBase*>(policy_.get());
+  if (base != nullptr && !base->ridge().healthy()) {
+    // The learner's Y lost positive-definiteness (a failed Cholesky
+    // refactorization). Serve a feasible, estimate-free arrangement
+    // rather than crash or propose from a corrupt inverse.
+    arrangement = StatelessProposal(round);
+    ++stateless_fallbacks_;
+  } else {
+    arrangement = policy_->Propose(t_, round, state_);
+  }
   FASEA_CHECK(IsFeasibleArrangement(arrangement, instance_->conflicts(),
                                     state_, user_capacity));
   pending_ = true;
@@ -75,10 +115,6 @@ Status ArrangementService::SubmitFeedback(const Feedback& feedback) {
   for (std::uint8_t f : feedback) {
     if (f > 1) return InvalidArgumentError("feedback entries must be 0/1");
   }
-  for (std::size_t i = 0; i < feedback.size(); ++i) {
-    if (feedback[i]) state_.ConsumeOne(pending_arrangement_[i]);
-  }
-  policy_->Learn(t_, pending_round_, pending_arrangement_, feedback);
 
   InteractionRecord record;
   record.t = t_;
@@ -90,8 +126,70 @@ Status ArrangementService::SubmitFeedback(const Feedback& feedback) {
     const auto row = pending_round_.contexts.Row(v);
     record.contexts.emplace_back(row.begin(), row.end());
   }
+
+  // Write-ahead: the interaction must be durable (per the writer's fsync
+  // policy) before any state changes, so a crash between here and the end
+  // of this function loses nothing that was applied.
+  if (wal_ != nullptr && !wal_degraded_) {
+    if (Status st = wal_->Append(EncodeInteractionRecord(record));
+        !st.ok()) {
+      ++wal_append_failures_;
+      if (durability_.on_wal_error ==
+          DurabilityPolicy::OnWalError::kFailRound) {
+        return UnavailableError(
+            "durability failure, feedback not applied (retry after the "
+            "log is restored): " +
+            st.message());
+      }
+      // Degrade: availability over durability, visibly.
+      wal_degraded_ = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < feedback.size(); ++i) {
+    if (feedback[i]) state_.ConsumeOne(pending_arrangement_[i]);
+  }
+  policy_->Learn(t_, pending_round_, pending_arrangement_, feedback);
   FASEA_CHECK_OK(log_.Append(std::move(record)));
   pending_ = false;
+  return Status::Ok();
+}
+
+Status ArrangementService::RestoreInteraction(
+    const InteractionRecord& record, bool learn) {
+  if (pending_) {
+    return FailedPreconditionError(
+        "cannot restore interactions while a round is awaiting feedback");
+  }
+  if (record.t <= t_) {
+    return DataLossError(StrFormat(
+        "wal replay: round %lld arrived after round %lld (out of order "
+        "or duplicated frame)",
+        static_cast<long long>(record.t), static_cast<long long>(t_)));
+  }
+  if (Status st = log_.Validate(record); !st.ok()) return st;
+  for (std::size_t i = 0; i < record.arrangement.size(); ++i) {
+    if (record.feedback[i] && !state_.HasCapacity(record.arrangement[i])) {
+      return DataLossError(StrFormat(
+          "wal replay: event %u accepted at round %lld but its capacity "
+          "is already exhausted — log and instance disagree",
+          record.arrangement[i], static_cast<long long>(record.t)));
+    }
+  }
+
+  // All checks passed; apply. Append cannot fail after Validate.
+  for (std::size_t i = 0; i < record.arrangement.size(); ++i) {
+    if (record.feedback[i]) state_.ConsumeOne(record.arrangement[i]);
+  }
+  if (learn) {
+    RoundContext scratch;
+    scratch.contexts =
+        ContextMatrix(instance_->num_events(), instance_->dim());
+    InteractionLog::FeedRecord(record, instance_->num_events(),
+                               instance_->dim(), policy_.get(), &scratch);
+  }
+  t_ = record.t;
+  FASEA_CHECK_OK(log_.Append(record));
   return Status::Ok();
 }
 

@@ -7,9 +7,23 @@
 // accepted events consume capacity; every interaction is logged and
 // learned from.
 //
-// Recovery paths: Checkpoint()/service construction from a checkpoint
-// blob (binary sufficient statistics), or InteractionLog::Replay over a
-// persisted log.
+// Durability: with a WAL attached (AttachWal), SubmitFeedback persists
+// the interaction *before* mutating any state — write-ahead — so a crash
+// never loses an applied round. A WAL append/fsync failure is handled
+// per DurabilityPolicy: fail the round with a retryable kUnavailable
+// (nothing changed, the caller may retry), or degrade to
+// serve-without-logging while wal_degraded() surfaces the condition to
+// health checks.
+//
+// Numerical resilience: if the policy's periodic Cholesky
+// refactorization of Y ever fails (drift or corruption made Y lose
+// positive-definiteness), ServeUser falls back to a stateless greedy
+// proposal — feasibility is still guaranteed, learning quality is not —
+// instead of crashing; stateless_fallbacks() counts such rounds.
+//
+// Recovery paths: Checkpoint() + WAL tail via RecoverArrangementService
+// (ebsn/recovery_manager.h), checkpoint-only via FromCheckpoint, or
+// InteractionLog::Replay over a persisted CSV log.
 #ifndef FASEA_EBSN_ARRANGEMENT_SERVICE_H_
 #define FASEA_EBSN_ARRANGEMENT_SERVICE_H_
 
@@ -19,9 +33,24 @@
 #include "core/checkpoint.h"
 #include "core/policy_factory.h"
 #include "ebsn/interaction_log.h"
+#include "io/wal.h"
 #include "model/platform_state.h"
 
 namespace fasea {
+
+/// What SubmitFeedback does when the write-ahead guarantee cannot be met.
+struct DurabilityPolicy {
+  enum class OnWalError {
+    /// Fail the round with kUnavailable and change nothing; the feedback
+    /// may be resubmitted once the operator restores the log (the WAL
+    /// writer stays broken until then).
+    kFailRound,
+    /// Stop logging, keep serving, and raise the wal_degraded() health
+    /// flag — availability over durability.
+    kDegrade,
+  };
+  OnWalError on_wal_error = OnWalError::kFailRound;
+};
 
 class ArrangementService {
  public:
@@ -36,6 +65,12 @@ class ArrangementService {
       const ProblemInstance* instance, std::string_view blob,
       std::uint64_t seed);
 
+  /// Attaches a write-ahead log: every subsequent SubmitFeedback encodes
+  /// the interaction and appends it (with the writer's fsync policy)
+  /// before any state changes. May be called at most once.
+  void AttachWal(std::unique_ptr<WalWriter> wal,
+                 DurabilityPolicy policy = {});
+
   /// Serves the next arriving user: proposes a feasible arrangement for
   /// the revealed contexts. Fails if the previous user's feedback has not
   /// been submitted yet or the round is malformed.
@@ -44,22 +79,51 @@ class ArrangementService {
                                   const ContextMatrix& contexts);
 
   /// Submits the served user's feedback (aligned with the returned
-  /// arrangement): consumes capacities, trains the policy, logs the
-  /// interaction.
+  /// arrangement): logs to the WAL (if attached), consumes capacities,
+  /// trains the policy, records the interaction. On kUnavailable nothing
+  /// has changed and the same feedback may be submitted again.
   Status SubmitFeedback(const Feedback& feedback);
 
   /// Serializes the policy's learning state (see core/checkpoint.h).
   std::string Checkpoint() const;
 
+  /// Recovery hook: re-applies one previously logged interaction —
+  /// capacity consumption, the in-memory log, and the round counter;
+  /// policy learning only when `learn` is true (records already covered
+  /// by a checkpoint were learned before it was cut). Records must
+  /// arrive in strictly increasing `t` order. On failure nothing has
+  /// changed. Used by RecoverArrangementService.
+  Status RestoreInteraction(const InteractionRecord& record, bool learn);
+
   const PlatformState& state() const { return state_; }
   const InteractionLog& log() const { return log_; }
   const Policy& policy() const { return *policy_; }
+  /// Mutable policy access — for recovery tooling and fault-injection
+  /// tests; production serving goes through ServeUser/SubmitFeedback.
+  Policy* mutable_policy() { return policy_.get(); }
   std::int64_t rounds_served() const { return t_; }
   bool AwaitingFeedback() const { return pending_; }
+
+  // --- Health -----------------------------------------------------------
+
+  bool wal_attached() const { return wal_ != nullptr; }
+  /// True once a WAL failure switched the service to serve-without-
+  /// logging (DurabilityPolicy::kDegrade). Rounds served past this point
+  /// are not recoverable from the WAL.
+  bool wal_degraded() const { return wal_degraded_; }
+  std::int64_t wal_append_failures() const { return wal_append_failures_; }
+  /// Rounds proposed by the stateless fallback because the learner's
+  /// numerical state went unhealthy.
+  std::int64_t stateless_fallbacks() const { return stateless_fallbacks_; }
 
  private:
   ArrangementService(const ProblemInstance* instance, PolicyKind kind,
                      const PolicyParams& params);
+
+  /// Greedy feasible arrangement that consults no learned state: events
+  /// in id order, skipping unavailable/full/conflicting ones, up to the
+  /// user capacity.
+  Arrangement StatelessProposal(const RoundContext& round) const;
 
   const ProblemInstance* instance_;
   PolicyKind kind_;
@@ -67,6 +131,12 @@ class ArrangementService {
   std::unique_ptr<Policy> policy_;
   PlatformState state_;
   InteractionLog log_;
+
+  std::unique_ptr<WalWriter> wal_;
+  DurabilityPolicy durability_;
+  bool wal_degraded_ = false;
+  std::int64_t wal_append_failures_ = 0;
+  std::int64_t stateless_fallbacks_ = 0;
 
   std::int64_t t_ = 0;
   bool pending_ = false;

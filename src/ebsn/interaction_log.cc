@@ -2,11 +2,12 @@
 
 #include <cstdlib>
 
+#include "common/bytes.h"
 #include "common/strings.h"
 
 namespace fasea {
 
-Status InteractionLog::Append(InteractionRecord record) {
+Status InteractionLog::Validate(const InteractionRecord& record) const {
   if (record.feedback.size() != record.arrangement.size() ||
       record.contexts.size() != record.arrangement.size()) {
     return InvalidArgumentError(
@@ -28,6 +29,11 @@ Status InteractionLog::Append(InteractionRecord record) {
       return InvalidArgumentError("feedback must be 0 or 1");
     }
   }
+  return Status::Ok();
+}
+
+Status InteractionLog::Append(InteractionRecord record) {
+  if (Status st = Validate(record); !st.ok()) return st;
   records_.push_back(std::move(record));
   return Status::Ok();
 }
@@ -38,22 +44,38 @@ std::int64_t InteractionLog::TotalAccepted() const {
   return total;
 }
 
-void InteractionLog::Replay(Policy* policy) const {
+Status InteractionLog::Replay(Policy* policy, std::size_t num_events,
+                              std::size_t dim) const {
   FASEA_CHECK(policy != nullptr);
+  if (num_events_ != num_events || dim_ != dim) {
+    return InvalidArgumentError(StrFormat(
+        "interaction log shape (%zu events, dim %zu) does not match the "
+        "instance (%zu events, dim %zu)",
+        num_events_, dim_, num_events, dim));
+  }
   RoundContext round;
   round.contexts = ContextMatrix(num_events_, dim_);
   for (const InteractionRecord& record : records_) {
-    round.contexts.Fill(0.0);
-    for (std::size_t i = 0; i < record.arrangement.size(); ++i) {
-      auto row = round.contexts.Row(record.arrangement[i]);
-      for (std::size_t j = 0; j < dim_; ++j) {
-        row[j] = record.contexts[i][j];
-      }
-    }
-    round.user_capacity = record.user_capacity;
-    round.user_id = record.user_id;
-    policy->Learn(record.t, round, record.arrangement, record.feedback);
+    FeedRecord(record, num_events_, dim_, policy, &round);
   }
+  return Status::Ok();
+}
+
+void InteractionLog::FeedRecord(const InteractionRecord& record,
+                                std::size_t num_events, std::size_t dim,
+                                Policy* policy, RoundContext* scratch) {
+  FASEA_CHECK(scratch->contexts.rows() == num_events &&
+              scratch->contexts.cols() == dim);
+  scratch->contexts.Fill(0.0);
+  for (std::size_t i = 0; i < record.arrangement.size(); ++i) {
+    auto row = scratch->contexts.Row(record.arrangement[i]);
+    for (std::size_t j = 0; j < dim; ++j) {
+      row[j] = record.contexts[i][j];
+    }
+  }
+  scratch->user_capacity = record.user_capacity;
+  scratch->user_id = record.user_id;
+  policy->Learn(record.t, *scratch, record.arrangement, record.feedback);
 }
 
 std::string InteractionLog::ToCsv() const {
@@ -141,6 +163,82 @@ StatusOr<InteractionLog> InteractionLog::FromCsv(std::string_view csv,
   }
   if (Status st = flush(); !st.ok()) return st;
   return log;
+}
+
+namespace {
+// Guards against absurd element counts in a structurally valid payload so
+// decoding cannot be tricked into huge allocations.
+constexpr std::uint32_t kMaxArrangementSize = 1u << 24;
+constexpr std::uint32_t kMaxContextDim = 1u << 20;
+}  // namespace
+
+std::string EncodeInteractionRecord(const InteractionRecord& record) {
+  const std::size_t n = record.arrangement.size();
+  const std::size_t dim = n == 0 ? 0 : record.contexts[0].size();
+  std::string out;
+  out.reserve(32 + n * (5 + 8 * dim));
+  AppendI64(&out, record.t);
+  AppendI64(&out, record.user_id);
+  AppendI64(&out, record.user_capacity);
+  AppendU32(&out, static_cast<std::uint32_t>(n));
+  AppendU32(&out, static_cast<std::uint32_t>(dim));
+  for (std::size_t i = 0; i < n; ++i) {
+    AppendU32(&out, record.arrangement[i]);
+    AppendU8(&out, record.feedback[i]);
+    for (double x : record.contexts[i]) AppendDouble(&out, x);
+  }
+  return out;
+}
+
+StatusOr<InteractionRecord> DecodeInteractionRecord(
+    std::string_view payload) {
+  ByteReader reader(payload, "interaction record: truncated payload");
+  const auto fail = [](std::string_view what) {
+    return DataLossError(StrFormat("interaction record: %s",
+                                   std::string(what).c_str()));
+  };
+  InteractionRecord record;
+  auto t = reader.ReadI64();
+  if (!t.ok()) return fail(t.status().message());
+  record.t = *t;
+  auto user_id = reader.ReadI64();
+  if (!user_id.ok()) return fail(user_id.status().message());
+  record.user_id = *user_id;
+  auto user_capacity = reader.ReadI64();
+  if (!user_capacity.ok()) return fail(user_capacity.status().message());
+  record.user_capacity = *user_capacity;
+  auto n = reader.ReadU32();
+  if (!n.ok()) return fail(n.status().message());
+  auto dim = reader.ReadU32();
+  if (!dim.ok()) return fail(dim.status().message());
+  if (*n > kMaxArrangementSize || *dim > kMaxContextDim) {
+    return fail("implausible arrangement size or dimension");
+  }
+  // The remaining bytes must be exactly n fixed-size per-event entries.
+  if (reader.remaining() !=
+      static_cast<std::size_t>(*n) * (5 + 8 * static_cast<std::size_t>(*dim))) {
+    return fail("payload size does not match the declared shape");
+  }
+  record.arrangement.reserve(*n);
+  record.feedback.reserve(*n);
+  record.contexts.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto event = reader.ReadU32();
+    if (!event.ok()) return fail(event.status().message());
+    record.arrangement.push_back(*event);
+    auto fb = reader.ReadU8();
+    if (!fb.ok()) return fail(fb.status().message());
+    record.feedback.push_back(*fb);
+    std::vector<double> row(*dim);
+    for (std::uint32_t j = 0; j < *dim; ++j) {
+      auto x = reader.ReadDouble();
+      if (!x.ok()) return fail(x.status().message());
+      row[j] = *x;
+    }
+    record.contexts.push_back(std::move(row));
+  }
+  FASEA_CHECK(reader.AtEnd());
+  return record;
 }
 
 }  // namespace fasea

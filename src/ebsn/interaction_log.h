@@ -49,7 +49,23 @@ class InteractionLog {
   std::int64_t TotalAccepted() const;
 
   /// Feeds every record through `policy->Learn`, rebuilding its state.
-  void Replay(Policy* policy) const;
+  /// `num_events`/`dim` are the dimensions of the instance the policy was
+  /// built for; a log recorded against a different instance shape fails
+  /// with kInvalidArgument before any record is applied.
+  Status Replay(Policy* policy, std::size_t num_events,
+                std::size_t dim) const;
+
+  /// Feeds a single record into `policy` the way Replay does, using
+  /// `scratch` as the |V|×d context buffer (must be num_events × dim).
+  /// Shared with the crash-recovery path, which interleaves learning with
+  /// capacity restoration.
+  static void FeedRecord(const InteractionRecord& record,
+                         std::size_t num_events, std::size_t dim,
+                         Policy* policy, RoundContext* scratch);
+
+  /// Shape/bounds validation of one record against this log's dimensions
+  /// — exactly the checks Append performs, without storing anything.
+  Status Validate(const InteractionRecord& record) const;
 
   /// CSV round-trip. One row per arranged event:
   ///   t,user_id,user_capacity,event,feedback,x0,x1,...,x{d-1}
@@ -63,6 +79,17 @@ class InteractionLog {
   std::size_t dim_;
   std::vector<InteractionRecord> records_;
 };
+
+/// Binary codec for one InteractionRecord — the payload format of WAL
+/// frames (little-endian, self-describing arrangement size and context
+/// dimension; see io/wal.h for the framing around it).
+std::string EncodeInteractionRecord(const InteractionRecord& record);
+
+/// Decodes a WAL payload. Fails with kDataLoss on any structural problem:
+/// the frame passed its checksum, so a malformed payload means a format
+/// mismatch rather than bit rot.
+StatusOr<InteractionRecord> DecodeInteractionRecord(
+    std::string_view payload);
 
 }  // namespace fasea
 

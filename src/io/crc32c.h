@@ -1,0 +1,27 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum guarding every WAL frame.
+//
+// Software slicing-by-4 table implementation: no SSE4.2 dependency, so
+// the same bytes verify on any host. WAL frames store a *masked* CRC (a
+// rotate-and-offset of the raw value, the scheme leveldb popularized) so
+// that a frame whose payload happens to embed its own CRC — or a run of
+// zeros — does not accidentally verify.
+#ifndef FASEA_IO_CRC32C_H_
+#define FASEA_IO_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace fasea {
+
+/// CRC32C of `data`, starting from `init` (pass a previous result to
+/// checksum a logical stream in pieces).
+std::uint32_t Crc32c(std::string_view data, std::uint32_t init = 0);
+
+/// Bijective masking applied to CRCs before storing them on disk.
+std::uint32_t MaskCrc32c(std::uint32_t crc);
+std::uint32_t UnmaskCrc32c(std::uint32_t masked);
+
+}  // namespace fasea
+
+#endif  // FASEA_IO_CRC32C_H_

@@ -1,0 +1,153 @@
+#include "io/env.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace fasea {
+
+namespace {
+
+Status IoError(const char* op, const std::string& path, int err) {
+  return UnavailableError(
+      StrFormat("%s %s: %s", op, path.c_str(), std::strerror(err)));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) return UnavailableError("file is closed: " + path_);
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return IoError("write", path_, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status Flush() override {
+    if (file_ == nullptr) return UnavailableError("file is closed: " + path_);
+    if (std::fflush(file_) != 0) return IoError("flush", path_, errno);
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (Status st = Flush(); !st.ok()) return st;
+    if (::fsync(::fileno(file_)) != 0) return IoError("fsync", path_, errno);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::Ok();
+    std::FILE* file = file_;
+    file_ = nullptr;
+    if (std::fflush(file) != 0) {
+      std::fclose(file);
+      return IoError("flush", path_, errno);
+    }
+    if (std::fclose(file) != 0) return IoError("close", path_, errno);
+    return Status::Ok();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "ab");
+    if (file == nullptr) return IoError("open", path, errno);
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(file, path));
+  }
+
+  StatusOr<std::string> ReadFileToString(const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      if (errno == ENOENT) return NotFoundError("no such file: " + path);
+      return IoError("open", path, errno);
+    }
+    std::string out;
+    char buffer[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      out.append(buffer, n);
+    }
+    const bool failed = std::ferror(file) != 0;
+    std::fclose(file);
+    if (failed) return IoError("read", path, errno);
+    return out;
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* handle = ::opendir(dir.c_str());
+    if (handle == nullptr) {
+      if (errno == ENOENT) return NotFoundError("no such directory: " + dir);
+      return IoError("opendir", dir, errno);
+    }
+    std::vector<std::string> names;
+    while (const struct dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      struct stat info;
+      if (::stat(JoinPath(dir, name).c_str(), &info) == 0 &&
+          S_ISREG(info.st_mode)) {
+        names.push_back(name);
+      }
+    }
+    ::closedir(handle);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return IoError("mkdir", dir, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return NotFoundError("no such file: " + path);
+      return IoError("unlink", path, errno);
+    }
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat info;
+    return ::stat(path.c_str(), &info) == 0;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv;
+  return env;
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (!out.empty() && out.back() != '/') out += '/';
+  out += name;
+  return out;
+}
+
+}  // namespace fasea

@@ -1,0 +1,67 @@
+// Env: the filesystem boundary of the persistence layer.
+//
+// Everything in src/io that touches disk goes through this interface, so
+// tests can substitute a FaultInjectionEnv and prove the WAL and the
+// RecoveryManager survive short writes, failed fsyncs, and bit rot
+// without ever involving real hardware faults.
+//
+// The surface is deliberately small — exactly what a write-ahead log and
+// its recovery path need: append-only writes with explicit sync, whole-
+// file reads, and directory listing/creation.
+#ifndef FASEA_IO_ENV_H_
+#define FASEA_IO_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fasea {
+
+/// An append-only file handle. Append buffers; Sync makes everything
+/// appended so far durable (fsync); Close flushes and releases the
+/// handle. All methods may be called after a failure — they keep
+/// reporting the error rather than crashing.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending, creating it if missing.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Reads the entire file into a string.
+  virtual StatusOr<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// Names (not paths) of regular files directly inside `dir`, sorted.
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  /// Creates `dir` (single level); succeeds if it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// The process-wide POSIX-backed environment.
+  static Env* Default();
+};
+
+/// `dir` + "/" + `name`, without doubling separators.
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+}  // namespace fasea
+
+#endif  // FASEA_IO_ENV_H_

@@ -1,0 +1,145 @@
+#include "io/fault_injection_env.h"
+
+#include <utility>
+
+namespace fasea {
+
+namespace {
+constexpr std::string_view kTornWriteMsg = "injected fault: torn write";
+constexpr std::string_view kWriteErrorMsg = "injected fault: write error";
+constexpr std::string_view kSyncFailureMsg = "injected fault: fsync failure";
+}  // namespace
+
+/// Forwards to the real file but consults the env's fault plan first.
+class FaultInjectedWritableFile final : public WritableFile {
+ public:
+  FaultInjectedWritableFile(std::unique_ptr<WritableFile> base,
+                            FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(std::string_view data) override {
+    bool fail = false;
+    const std::size_t keep = env_->PlanAppend(data.size(), &fail);
+    if (keep > 0) {
+      if (Status st = base_->Append(data.substr(0, keep)); !st.ok()) {
+        return st;
+      }
+      // A torn write reaches the medium: flush so recovery tests reading
+      // through a fresh handle observe the partial frame.
+      if (fail) (void)base_->Flush();
+    }
+    if (fail) {
+      return UnavailableError(std::string(
+          keep < data.size() && keep > 0 ? kTornWriteMsg : kWriteErrorMsg));
+    }
+    return Status::Ok();
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    if (env_->PlanSyncFailure()) {
+      // The data may or may not be durable; only the acknowledgement is
+      // withheld. Flush so the bytes are at least visible to readers.
+      (void)base_->Flush();
+      return UnavailableError(std::string(kSyncFailureMsg));
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+void FaultInjectionEnv::ArmReadCorruption(const std::string& path_suffix,
+                                          std::size_t offset,
+                                          std::uint8_t mask) {
+  FASEA_CHECK(mask != 0);
+  corruptions_[path_suffix].push_back(Corruption{offset, mask});
+}
+
+void FaultInjectionEnv::DisarmAll() {
+  write_error_in_ = -1;
+  short_write_in_ = -1;
+  sync_failure_in_ = -1;
+  corruptions_.clear();
+}
+
+std::size_t FaultInjectionEnv::PlanAppend(std::size_t size, bool* fail) {
+  ++appends_seen_;
+  *fail = false;
+  if (write_error_in_ >= 0 && write_error_in_-- == 0) {
+    ++faults_injected_;
+    *fail = true;
+    return 0;
+  }
+  if (short_write_in_ >= 0 && short_write_in_-- == 0) {
+    ++faults_injected_;
+    *fail = true;
+    return short_write_keep_bytes_ < size ? short_write_keep_bytes_ : size;
+  }
+  return size;
+}
+
+bool FaultInjectionEnv::PlanSyncFailure() {
+  ++syncs_seen_;
+  if (sync_failure_in_ >= 0) {
+    if (sync_failure_in_ == 0) {
+      ++faults_injected_;
+      return true;  // Stays at 0: every later sync fails too.
+    }
+    --sync_failure_in_;
+  }
+  return false;
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  auto base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectedWritableFile(std::move(base).value(), this));
+}
+
+StatusOr<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) {
+  auto data = base_->ReadFileToString(path);
+  if (!data.ok()) return data;
+  for (const auto& [suffix, faults] : corruptions_) {
+    if (path.size() < suffix.size() ||
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    for (const Corruption& c : faults) {
+      if (c.offset < data->size()) {
+        ++faults_injected_;
+        (*data)[c.offset] = static_cast<char>(
+            static_cast<std::uint8_t>((*data)[c.offset]) ^ c.mask);
+      }
+    }
+  }
+  return data;
+}
+
+StatusOr<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& dir) {
+  return base_->CreateDir(dir);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  return base_->DeleteFile(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+}  // namespace fasea

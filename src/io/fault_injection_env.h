@@ -1,0 +1,108 @@
+// FaultInjectionEnv: an Env decorator that injects storage failures on
+// demand, so tests can prove the WAL and RecoveryManager keep their
+// invariants under the classic crash-consistency hazards:
+//
+//   - write errors   — an Append fails cleanly, no bytes reach the file;
+//   - short writes   — an Append persists only a prefix, then fails
+//                      (a torn record, as after power loss mid-write);
+//   - fsync failures — data may sit in the page cache but durability is
+//                      not acknowledged;
+//   - read corruption — bytes flip between write and read-back (bit rot,
+//                      to exercise CRC verification and frame skipping).
+//
+// Faults are armed with countdowns over the *global* operation sequence
+// (appends and syncs across every file opened through this Env), which
+// lets a test say "the 7th append tears" without knowing which segment
+// the writer will be on.
+#ifndef FASEA_IO_FAULT_INJECTION_ENV_H_
+#define FASEA_IO_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+
+namespace fasea {
+
+class FaultInjectionEnv final : public Env {
+ public:
+  /// Wraps `base` (not owned; typically Env::Default()).
+  explicit FaultInjectionEnv(Env* base) : base_(base) {
+    FASEA_CHECK(base != nullptr);
+  }
+
+  // --- Fault arming -----------------------------------------------------
+
+  /// The (countdown+1)-th Append from now on fails; no bytes are written.
+  void ArmWriteError(std::int64_t countdown) { write_error_in_ = countdown; }
+
+  /// The (countdown+1)-th Append writes only `keep_bytes` bytes of its
+  /// payload, then reports failure — a torn write.
+  void ArmShortWrite(std::int64_t countdown, std::size_t keep_bytes) {
+    short_write_in_ = countdown;
+    short_write_keep_bytes_ = keep_bytes;
+  }
+
+  /// The (countdown+1)-th Sync from now on fails (and every later one,
+  /// matching a dying disk). Appends keep succeeding.
+  void ArmSyncFailure(std::int64_t countdown) { sync_failure_in_ = countdown; }
+
+  /// Every future read of the file whose path ends with `path_suffix`
+  /// sees byte `offset` XOR-ed with `mask` (mask must be non-zero).
+  void ArmReadCorruption(const std::string& path_suffix, std::size_t offset,
+                         std::uint8_t mask);
+
+  /// Clears all armed faults (already-failed syncs stay failed until
+  /// re-armed; this resets that too).
+  void DisarmAll();
+
+  // --- Observability ----------------------------------------------------
+
+  std::int64_t appends_seen() const { return appends_seen_; }
+  std::int64_t syncs_seen() const { return syncs_seen_; }
+  std::int64_t faults_injected() const { return faults_injected_; }
+
+  // --- Env --------------------------------------------------------------
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  StatusOr<std::string> ReadFileToString(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDir(const std::string& dir) override;
+  Status DeleteFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+
+ private:
+  friend class FaultInjectedWritableFile;
+
+  struct Corruption {
+    std::size_t offset;
+    std::uint8_t mask;
+  };
+
+  /// Decides the fate of one Append carrying `size` bytes. Returns the
+  /// number of bytes to actually write and sets `fail` when the append
+  /// must report an error afterwards.
+  std::size_t PlanAppend(std::size_t size, bool* fail);
+
+  /// Decides whether the next Sync fails.
+  bool PlanSyncFailure();
+
+  Env* base_;
+  std::int64_t write_error_in_ = -1;
+  std::int64_t short_write_in_ = -1;
+  std::size_t short_write_keep_bytes_ = 0;
+  std::int64_t sync_failure_in_ = -1;
+  std::map<std::string, std::vector<Corruption>> corruptions_;
+
+  std::int64_t appends_seen_ = 0;
+  std::int64_t syncs_seen_ = 0;
+  std::int64_t faults_injected_ = 0;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_IO_FAULT_INJECTION_ENV_H_

@@ -1,0 +1,295 @@
+#include "io/wal.h"
+
+#include "common/bytes.h"
+#include "common/strings.h"
+#include "io/crc32c.h"
+
+namespace fasea {
+
+namespace {
+
+constexpr std::uint32_t kSegmentMagic = 0x314C5746u;  // "FWL1".
+constexpr std::uint32_t kSegmentVersion = 1;
+constexpr std::size_t kSegmentHeaderBytes = 16;
+constexpr std::size_t kFrameHeaderBytes = 8;
+
+std::string SegmentHeader(std::uint64_t index) {
+  std::string out;
+  out.reserve(kSegmentHeaderBytes);
+  AppendU32(&out, kSegmentMagic);
+  AppendU32(&out, kSegmentVersion);
+  AppendU64(&out, index);
+  return out;
+}
+
+/// Parses "wal-NNNNNN.log" → NNNNNN; 0 if `name` is not a segment file.
+std::uint64_t ParseSegmentIndex(const std::string& name) {
+  if (!StartsWith(name, "wal-") || name.size() < 9 ||
+      name.compare(name.size() - 4, 4, ".log") != 0) {
+    return 0;
+  }
+  std::uint64_t index = 0;
+  for (std::size_t i = 4; i < name.size() - 4; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    index = index * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return index;
+}
+
+}  // namespace
+
+std::string WalSegmentFileName(std::uint64_t index) {
+  return StrFormat("wal-%06llu.log", static_cast<unsigned long long>(index));
+}
+
+// --- WalWriter -----------------------------------------------------------
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env, std::string dir,
+                                                     WalOptions options) {
+  FASEA_CHECK(env != nullptr);
+  if (options.sync_mode == WalSyncMode::kEveryN) {
+    FASEA_CHECK(options.sync_every_n > 0);
+  }
+  if (Status st = env->CreateDir(dir); !st.ok()) return st;
+  auto names = env->ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::uint64_t max_index = 0;
+  for (const std::string& name : *names) {
+    const std::uint64_t index = ParseSegmentIndex(name);
+    if (index > max_index) max_index = index;
+  }
+  auto writer = std::unique_ptr<WalWriter>(
+      new WalWriter(env, std::move(dir), options));
+  if (Status st = writer->OpenSegment(max_index + 1); !st.ok()) return st;
+  return writer;
+}
+
+Status WalWriter::OpenSegment(std::uint64_t index) {
+  auto file = env_->NewWritableFile(
+      JoinPath(dir_, WalSegmentFileName(index)));
+  if (!file.ok()) return file.status();
+  file_ = std::move(file).value();
+  segment_index_ = index;
+  segment_bytes_written_ = 0;
+  const std::string header = SegmentHeader(index);
+  if (Status st = file_->Append(header); !st.ok()) {
+    broken_ = true;
+    return st;
+  }
+  segment_bytes_written_ = header.size();
+  return Status::Ok();
+}
+
+Status WalWriter::MaybeRotate(std::size_t next_frame_bytes) {
+  if (segment_bytes_written_ <= kSegmentHeaderBytes ||
+      segment_bytes_written_ + next_frame_bytes <= options_.segment_bytes) {
+    return Status::Ok();
+  }
+  // Seal the old segment — everything in it becomes durable before the
+  // new segment accepts frames, so only the active tail can ever tear.
+  if (Status st = file_->Sync(); !st.ok()) return st;
+  if (Status st = file_->Close(); !st.ok()) return st;
+  records_since_sync_ = 0;
+  return OpenSegment(segment_index_ + 1);
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  if (broken_) {
+    return UnavailableError(
+        "wal: writer is broken after an earlier append failure");
+  }
+  if (payload.size() > kWalMaxPayloadBytes) {
+    return InvalidArgumentError(
+        StrFormat("wal: payload of %zu bytes exceeds the %u-byte frame "
+                  "limit",
+                  payload.size(), kWalMaxPayloadBytes));
+  }
+  const std::size_t frame_bytes = kFrameHeaderBytes + payload.size();
+  if (Status st = MaybeRotate(frame_bytes); !st.ok()) {
+    broken_ = true;
+    return st;
+  }
+  std::string frame;
+  frame.reserve(frame_bytes);
+  AppendU32(&frame, static_cast<std::uint32_t>(payload.size()));
+  AppendU32(&frame, MaskCrc32c(Crc32c(payload)));
+  frame.append(payload);
+  if (Status st = file_->Append(frame); !st.ok()) {
+    broken_ = true;
+    return st;
+  }
+  // Push the frame out of user-space buffers: a process crash must lose
+  // at most what the fsync policy already allows.
+  if (Status st = file_->Flush(); !st.ok()) {
+    broken_ = true;
+    return st;
+  }
+  segment_bytes_written_ += frame_bytes;
+  ++records_appended_;
+  ++records_since_sync_;
+
+  bool want_sync = false;
+  switch (options_.sync_mode) {
+    case WalSyncMode::kEveryRecord:
+      want_sync = true;
+      break;
+    case WalSyncMode::kEveryN:
+      want_sync = records_since_sync_ >= options_.sync_every_n;
+      break;
+    case WalSyncMode::kNever:
+      break;
+  }
+  if (want_sync) {
+    if (Status st = Sync(); !st.ok()) {
+      broken_ = true;
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return UnavailableError("wal: writer is closed");
+  if (Status st = file_->Sync(); !st.ok()) {
+    broken_ = true;
+    return st;
+  }
+  records_since_sync_ = 0;
+  return Status::Ok();
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  Status result = Status::Ok();
+  if (!broken_ && options_.sync_mode != WalSyncMode::kNever) {
+    if (Status st = file_->Sync(); !st.ok()) result = st;
+  }
+  if (Status st = file_->Close(); !st.ok() && result.ok()) result = st;
+  file_.reset();
+  return result;
+}
+
+// --- ScanWal -------------------------------------------------------------
+
+namespace {
+
+/// Scans the frames of one segment into `scan`. `is_last` selects the
+/// torn-tail interpretation for unreadable trailing bytes.
+Status ScanSegment(const std::string& name, const std::string& data,
+                   bool is_last, CorruptFramePolicy policy, WalScan* scan) {
+  const auto corrupt = [&](const char* what, std::size_t pos) {
+    return DataLossError(StrFormat("wal segment %s: %s at offset %zu",
+                                   name.c_str(), what, pos));
+  };
+  if (data.size() < kSegmentHeaderBytes) {
+    // A crash can leave a freshly created segment with a partial header;
+    // anywhere else a short segment is corruption.
+    if (is_last) {
+      scan->bytes_truncated += static_cast<std::int64_t>(data.size());
+      return Status::Ok();
+    }
+    return corrupt("segment header truncated", 0);
+  }
+  ByteReader header(std::string_view(data).substr(0, kSegmentHeaderBytes));
+  const std::uint32_t magic = *header.ReadU32();
+  const std::uint32_t version = *header.ReadU32();
+  if (magic != kSegmentMagic) return corrupt("bad segment magic", 0);
+  if (version != kSegmentVersion) {
+    return DataLossError(StrFormat("wal segment %s: unsupported version %u",
+                                   name.c_str(), version));
+  }
+
+  std::size_t pos = kSegmentHeaderBytes;
+  while (pos < data.size()) {
+    const std::size_t bytes_left = data.size() - pos;
+    // Incomplete frame header or payload: a torn tail if nothing follows
+    // (only possible in the last segment), corruption otherwise.
+    bool torn = false;
+    std::uint32_t payload_len = 0;
+    if (bytes_left < kFrameHeaderBytes) {
+      torn = true;
+    } else {
+      payload_len = DecodeU32(data.data() + pos);
+      if (payload_len > kWalMaxPayloadBytes) {
+        // An absurd length is corruption, not a tear: tears shorten data,
+        // they do not rewrite already-acknowledged header bytes.
+        if (policy == CorruptFramePolicy::kFail) {
+          return corrupt("implausible frame length", pos);
+        }
+        // The length cannot be trusted, so the rest of this segment is
+        // unparseable; drop it and move on.
+        ++scan->corrupt_frames_skipped;
+        return Status::Ok();
+      }
+      if (bytes_left < kFrameHeaderBytes + payload_len) torn = true;
+    }
+    if (torn) {
+      if (is_last) {
+        scan->bytes_truncated += static_cast<std::int64_t>(bytes_left);
+        return Status::Ok();
+      }
+      if (policy == CorruptFramePolicy::kFail) {
+        return corrupt("torn frame inside a sealed segment", pos);
+      }
+      ++scan->corrupt_frames_skipped;
+      return Status::Ok();
+    }
+
+    const std::uint32_t stored_crc =
+        UnmaskCrc32c(DecodeU32(data.data() + pos + 4));
+    const std::string_view payload(data.data() + pos + kFrameHeaderBytes,
+                                   payload_len);
+    const std::size_t frame_end = pos + kFrameHeaderBytes + payload_len;
+    if (Crc32c(payload) != stored_crc) {
+      if (is_last && frame_end == data.size()) {
+        // The final frame of the log failed verification: a torn or
+        // partially synced tail. Truncate it.
+        scan->bytes_truncated += static_cast<std::int64_t>(bytes_left);
+        return Status::Ok();
+      }
+      if (policy == CorruptFramePolicy::kFail) {
+        return corrupt("frame checksum mismatch", pos);
+      }
+      ++scan->corrupt_frames_skipped;
+      pos = frame_end;
+      continue;
+    }
+    scan->payloads.emplace_back(payload);
+    pos = frame_end;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<WalScan> ScanWal(Env* env, const std::string& dir,
+                          CorruptFramePolicy policy) {
+  FASEA_CHECK(env != nullptr);
+  WalScan scan;
+  auto names = env->ListDir(dir);
+  if (!names.ok()) {
+    if (names.status().code() == StatusCode::kNotFound) return scan;
+    return names.status();
+  }
+  // ListDir sorts lexicographically; zero-padded names make that the
+  // numeric segment order.
+  std::vector<std::string> segments;
+  for (const std::string& name : *names) {
+    if (ParseSegmentIndex(name) != 0) segments.push_back(name);
+  }
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    auto data = env->ReadFileToString(JoinPath(dir, segments[i]));
+    if (!data.ok()) return data.status();
+    const bool is_last = i + 1 == segments.size();
+    if (Status st =
+            ScanSegment(segments[i], *data, is_last, policy, &scan);
+        !st.ok()) {
+      return st;
+    }
+    ++scan.segments_scanned;
+    scan.last_segment_index = ParseSegmentIndex(segments[i]);
+  }
+  return scan;
+}
+
+}  // namespace fasea

@@ -1,0 +1,127 @@
+// Binary framed write-ahead log.
+//
+// A WAL lives in a directory of segment files `wal-000001.log`,
+// `wal-000002.log`, ... Each segment starts with a 16-byte header
+// (magic "FWL1", format version, segment index) and then carries frames:
+//
+//   [u32 payload_length][u32 masked_crc32c(payload)][payload bytes]
+//
+// Integers are little-endian; the CRC is masked (see io/crc32c.h) so a
+// zero-filled or self-referential payload cannot verify by accident.
+//
+// Durability: WalWriter appends a frame and then, per WalSyncMode, fsyncs
+// after every record, after every N records, or never (leaving it to the
+// OS). Segment rotation syncs and closes the old segment before the new
+// one accepts frames, so at most the active tail segment can be torn.
+//
+// Failure semantics: an append that fails leaves the writer *broken* —
+// every later append reports kUnavailable — because bytes may have been
+// partially written and appending past a torn frame would corrupt the
+// log. The caller decides whether that fails the round or degrades the
+// service (see DurabilityPolicy in ebsn/arrangement_service.h); recovery
+// truncates the torn tail.
+//
+// Reading: ScanWal walks every segment in order and returns the payloads
+// of all verifiable frames. An unreadable tail of the *last* segment is
+// a torn write — reported via `bytes_truncated`, never an error. A bad
+// frame with valid data after it (or any bad frame in a non-last
+// segment) is mid-file corruption: fatal (kDataLoss) or skipped and
+// counted, per CorruptFramePolicy.
+#ifndef FASEA_IO_WAL_H_
+#define FASEA_IO_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+
+namespace fasea {
+
+/// When the writer makes appended frames durable.
+enum class WalSyncMode {
+  kEveryRecord,  // fsync after each append — strongest, slowest.
+  kEveryN,       // fsync after every N appends (and on rotation/close).
+  kNever,        // never fsync — the OS decides; fastest, weakest.
+};
+
+struct WalOptions {
+  WalSyncMode sync_mode = WalSyncMode::kEveryRecord;
+  std::int64_t sync_every_n = 64;          // Used by kEveryN.
+  std::uint64_t segment_bytes = 4 << 20;   // Rotate past this size.
+};
+
+/// Largest payload a frame may carry. Generous for interaction records
+/// (an arrangement of k events costs ~13 + k(5 + 8d) bytes) while letting
+/// the reader reject absurd lengths produced by corruption.
+inline constexpr std::uint32_t kWalMaxPayloadBytes = 64u << 20;
+
+class WalWriter {
+ public:
+  /// Opens a WAL in `dir` (created if missing; `env` must outlive the
+  /// writer). Appends go to a fresh segment numbered after the highest
+  /// existing one, so recovery followed by reopening never rewrites old
+  /// frames.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(Env* env, std::string dir,
+                                                   WalOptions options = {});
+
+  /// Appends one frame and applies the sync policy. On failure the write-
+  /// ahead guarantee is void, the writer becomes broken, and every later
+  /// Append fails fast with kUnavailable.
+  Status Append(std::string_view payload);
+
+  /// Forces an fsync of the active segment regardless of sync mode.
+  Status Sync();
+
+  /// Syncs (per policy) and closes the active segment.
+  Status Close();
+
+  bool broken() const { return broken_; }
+  std::uint64_t segment_index() const { return segment_index_; }
+  std::int64_t records_appended() const { return records_appended_; }
+
+ private:
+  WalWriter(Env* env, std::string dir, WalOptions options)
+      : env_(env), dir_(std::move(dir)), options_(options) {}
+
+  Status OpenSegment(std::uint64_t index);
+  Status MaybeRotate(std::size_t next_frame_bytes);
+
+  Env* env_;
+  std::string dir_;
+  WalOptions options_;
+  std::unique_ptr<WritableFile> file_;
+  std::uint64_t segment_index_ = 0;
+  std::uint64_t segment_bytes_written_ = 0;
+  std::int64_t records_appended_ = 0;
+  std::int64_t records_since_sync_ = 0;
+  bool broken_ = false;
+};
+
+/// How ScanWal treats a corrupt frame that is not a torn tail.
+enum class CorruptFramePolicy {
+  kFail,  // Stop with kDataLoss — the conservative default.
+  kSkip,  // Drop the frame, count it, keep reading.
+};
+
+struct WalScan {
+  std::vector<std::string> payloads;       // Every verified frame, in order.
+  std::int64_t segments_scanned = 0;
+  std::int64_t bytes_truncated = 0;        // Torn tail dropped, in bytes.
+  std::int64_t corrupt_frames_skipped = 0; // Only under kSkip.
+  std::uint64_t last_segment_index = 0;    // 0 when the WAL is empty.
+};
+
+/// Reads every segment of the WAL in `dir`. A missing or empty directory
+/// yields an empty scan (a service that never logged is recoverable).
+StatusOr<WalScan> ScanWal(Env* env, const std::string& dir,
+                          CorruptFramePolicy policy =
+                              CorruptFramePolicy::kFail);
+
+/// Name of segment file `index` ("wal-000042.log").
+std::string WalSegmentFileName(std::uint64_t index);
+
+}  // namespace fasea
+
+#endif  // FASEA_IO_WAL_H_

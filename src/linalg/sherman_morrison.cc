@@ -54,8 +54,12 @@ double SymmetricInverse::InverseQuadraticForm(
 
 void SymmetricInverse::Refactorize() {
   auto chol = Cholesky::Factorize(y_);
-  FASEA_CHECK(chol.ok());
+  if (!chol.ok()) {
+    healthy_ = false;
+    return;
+  }
   y_inv_ = chol->Inverse();
+  healthy_ = true;
 }
 
 }  // namespace fasea

@@ -51,8 +51,19 @@ class SymmetricInverse {
   /// xᵀ Y⁻¹ x — the LinUCB confidence width squared.
   double InverseQuadraticForm(std::span<const double> x) const;
 
-  /// Re-derives Y⁻¹ from Y by Cholesky; clears accumulated drift.
+  /// Re-derives Y⁻¹ from Y by Cholesky; clears accumulated drift. If the
+  /// factorization fails (Y lost positive-definiteness to drift or
+  /// corruption), the previous inverse is kept and the instance is marked
+  /// unhealthy instead of aborting — callers consult healthy() and fall
+  /// back (see ArrangementService's degraded proposal path).
   void Refactorize();
+
+  /// False once a refactorization has failed. The maintained inverse is
+  /// then the last good one; results may be stale.
+  bool healthy() const { return healthy_; }
+
+  /// Test hook: simulates a failed refactorization.
+  void SetUnhealthyForTesting() { healthy_ = false; }
 
   /// Number of rank-1 updates applied so far.
   std::int64_t num_updates() const { return num_updates_; }
@@ -67,6 +78,7 @@ class SymmetricInverse {
   Vector work_;  // Scratch for Y⁻¹ x.
   std::int64_t refactor_every_;
   std::int64_t num_updates_ = 0;
+  bool healthy_ = true;
 };
 
 }  // namespace fasea

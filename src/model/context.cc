@@ -22,7 +22,13 @@ Status ValidateRoundContext(const RoundContext& round, std::size_t num_events,
   constexpr double kNormTolerance = 1e-9;
   for (std::size_t v = 0; v < num_events; ++v) {
     double norm_sq = 0.0;
-    for (double x : round.contexts.Row(v)) norm_sq += x * x;
+    for (double x : round.contexts.Row(v)) {
+      if (!std::isfinite(x)) {
+        return InvalidArgumentError(StrFormat(
+            "context of event %zu contains a non-finite value", v));
+      }
+      norm_sq += x * x;
+    }
     if (norm_sq > 1.0 + kNormTolerance) {
       return InvalidArgumentError(StrFormat(
           "context of event %zu has norm %.6f > 1", v, std::sqrt(norm_sq)));

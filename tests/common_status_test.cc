@@ -28,6 +28,19 @@ TEST(StatusTest, FactoryFunctionsMapToCodes) {
   EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, RetryableClassification) {
+  // Only kUnavailable invites a retry: the operation failed transiently
+  // and changed nothing. Data loss and caller bugs must not be retried.
+  EXPECT_TRUE(IsRetryable(UnavailableError("wal fsync failed")));
+  EXPECT_FALSE(IsRetryable(Status::Ok()));
+  EXPECT_FALSE(IsRetryable(DataLossError("x")));
+  EXPECT_FALSE(IsRetryable(InvalidArgumentError("x")));
+  EXPECT_FALSE(IsRetryable(FailedPreconditionError("x")));
+  EXPECT_FALSE(IsRetryable(InternalError("x")));
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -47,6 +60,8 @@ TEST(StatusCodeNameTest, AllCodesNamed) {
   EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
   EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -160,6 +160,99 @@ TEST(ArrangementServiceTest, FromCheckpointRejectsGarbage) {
       ArrangementService::FromCheckpoint(&instance, "nonsense", 1).ok());
 }
 
+/// Everything a protocol violation must leave untouched.
+struct ServiceSnapshot {
+  Matrix y;
+  Vector b;
+  std::vector<std::int64_t> remaining;
+  std::size_t log_size;
+  std::int64_t rounds_served;
+  bool awaiting_feedback;
+
+  static ServiceSnapshot Of(const ArrangementService& service) {
+    const auto* base =
+        dynamic_cast<const LinearPolicyBase*>(&service.policy());
+    FASEA_CHECK(base != nullptr);
+    ServiceSnapshot snap{base->ridge().Y(),
+                         base->ridge().b(),
+                         {},
+                         service.log().size(),
+                         service.rounds_served(),
+                         service.AwaitingFeedback()};
+    for (EventId v = 0; v < 3; ++v) {
+      snap.remaining.push_back(service.state().remaining(v));
+    }
+    return snap;
+  }
+
+  void ExpectUnchanged(const ArrangementService& service) const {
+    const auto* base =
+        dynamic_cast<const LinearPolicyBase*>(&service.policy());
+    ASSERT_NE(base, nullptr);
+    EXPECT_EQ(base->ridge().Y().MaxAbsDiff(y), 0.0);
+    EXPECT_EQ(MaxAbsDiff(base->ridge().b(), b), 0.0);
+    for (EventId v = 0; v < 3; ++v) {
+      EXPECT_EQ(service.state().remaining(v), remaining[v]);
+    }
+    EXPECT_EQ(service.log().size(), log_size);
+    EXPECT_EQ(service.rounds_served(), rounds_served);
+    EXPECT_EQ(service.AwaitingFeedback(), awaiting_feedback);
+  }
+};
+
+TEST(ArrangementServiceTest, DoubleFeedbackIsRejectedWithoutSideEffects) {
+  const ProblemInstance instance = MakeInstance();
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  Pcg64 rng(21);
+  auto arrangement = service.ServeUser(0, 2, MakeContexts(rng));
+  ASSERT_TRUE(arrangement.ok());
+  ASSERT_TRUE(service.SubmitFeedback(Feedback(arrangement->size(), 1)).ok());
+
+  const ServiceSnapshot snapshot = ServiceSnapshot::Of(service);
+  EXPECT_FALSE(
+      service.SubmitFeedback(Feedback(arrangement->size(), 1)).ok());
+  snapshot.ExpectUnchanged(service);
+  // The protocol proceeds normally after the rejected resubmission.
+  EXPECT_TRUE(service.ServeUser(1, 1, MakeContexts(rng)).ok());
+}
+
+TEST(ArrangementServiceTest, MismatchedFeedbackLeavesStateUntouched) {
+  const ProblemInstance instance = MakeInstance();
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  Pcg64 rng(22);
+  auto arrangement = service.ServeUser(0, 2, MakeContexts(rng));
+  ASSERT_TRUE(arrangement.ok());
+  ASSERT_GT(arrangement->size(), 0u);
+
+  const ServiceSnapshot snapshot = ServiceSnapshot::Of(service);
+  EXPECT_FALSE(
+      service.SubmitFeedback(Feedback(arrangement->size() + 1, 1)).ok());
+  snapshot.ExpectUnchanged(service);
+  EXPECT_FALSE(
+      service.SubmitFeedback(Feedback(arrangement->size(), 3)).ok());
+  snapshot.ExpectUnchanged(service);
+  EXPECT_TRUE(service.AwaitingFeedback());  // The round is still open...
+  ASSERT_TRUE(
+      service.SubmitFeedback(Feedback(arrangement->size(), 1)).ok());
+}
+
+TEST(ArrangementServiceTest, ServeWhileAwaitingFeedbackLeavesRoundIntact) {
+  const ProblemInstance instance = MakeInstance();
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  Pcg64 rng(24);
+  auto arrangement = service.ServeUser(0, 2, MakeContexts(rng));
+  ASSERT_TRUE(arrangement.ok());
+
+  const ServiceSnapshot snapshot = ServiceSnapshot::Of(service);
+  EXPECT_FALSE(service.ServeUser(1, 2, MakeContexts(rng)).ok());
+  snapshot.ExpectUnchanged(service);
+  // The original round's feedback is still accepted afterwards.
+  ASSERT_TRUE(
+      service.SubmitFeedback(Feedback(arrangement->size(), 0)).ok());
+  EXPECT_EQ(service.rounds_served(), 1);
+  EXPECT_EQ(service.log().size(), 1u);
+}
+
 TEST(ArrangementServiceTest, LogReplayMatchesLiveService) {
   const ProblemInstance instance = MakeInstance();
   ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
@@ -175,7 +268,7 @@ TEST(ArrangementServiceTest, LogReplayMatchesLiveService) {
   auto log = InteractionLog::FromCsv(service.log().ToCsv(), 3, 3);
   ASSERT_TRUE(log.ok());
   auto fresh = MakePolicy(PolicyKind::kUcb, &instance, PolicyParams{}, 1);
-  log->Replay(fresh.get());
+  ASSERT_TRUE(log->Replay(fresh.get(), 3, 3).ok());
   const auto* live =
       dynamic_cast<const LinearPolicyBase*>(&service.policy());
   const auto* rebuilt = dynamic_cast<LinearPolicyBase*>(fresh.get());

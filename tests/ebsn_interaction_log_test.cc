@@ -90,7 +90,12 @@ TEST(InteractionLogTest, ReplayRebuildsRidgeStateExactly) {
     ASSERT_TRUE(log.Append(std::move(record)).ok());
   }
 
-  log.Replay(replayed.get());
+  // Replay validates the log's shape against the instance first.
+  EXPECT_EQ(log.Replay(replayed.get(), 7, 4).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.Replay(replayed.get(), 6, 5).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(log.Replay(replayed.get(), 6, 4).ok());
   const auto* orig_base = dynamic_cast<LinearPolicyBase*>(original.get());
   const auto* repl_base = dynamic_cast<LinearPolicyBase*>(replayed.get());
   ASSERT_NE(orig_base, nullptr);

@@ -1,0 +1,436 @@
+#include "ebsn/recovery_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ebsn/arrangement_service.h"
+#include "ebsn/event_catalog.h"
+#include "io/fault_injection_env.h"
+#include "oracle/oracle.h"
+#include "rng/distributions.h"
+
+namespace fasea {
+namespace {
+
+/// Capacities large enough that 30+ rounds never exhaust an event, so
+/// the reference and recovered trajectories stay in the interesting
+/// regime throughout.
+ProblemInstance MakeInstance() {
+  EventCatalog catalog;
+  EventSpec a{"concert", 40, 19.0, 21.0, {"music"}};
+  EventSpec b{"opera", 30, 20.0, 22.0, {"music"}};  // Conflicts concert.
+  EventSpec c{"football", 50, 14.0, 16.0, {"sport"}};
+  FASEA_CHECK(catalog.Add(a).ok());
+  FASEA_CHECK(catalog.Add(b).ok());
+  FASEA_CHECK(catalog.Add(c).ok());
+  auto instance = catalog.BuildInstance(3);
+  FASEA_CHECK(instance.ok());
+  return std::move(instance).value();
+}
+
+ContextMatrix MakeContexts(Pcg64& rng) {
+  ContextMatrix ctx(3, 3);
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      ctx(v, j) = UniformReal(rng, 0.0, 0.5);
+    }
+  }
+  return ctx;
+}
+
+/// Serves `n` rounds. The kUcb policy is deterministic, so two services
+/// fed the same rng seed walk bit-identical trajectories.
+void RunRounds(ArrangementService& service, Pcg64& rng, int n) {
+  for (int round = 0; round < n; ++round) {
+    // User id derives from the global round counter so a trajectory split
+    // across several RunRounds calls matches an uninterrupted one.
+    auto arrangement =
+        service.ServeUser(service.rounds_served() % 3, 2, MakeContexts(rng));
+    ASSERT_TRUE(arrangement.ok());
+    Feedback feedback(arrangement->size());
+    for (auto& f : feedback) f = Bernoulli(rng, 0.6) ? 1 : 0;
+    ASSERT_TRUE(service.SubmitFeedback(feedback).ok());
+  }
+}
+
+const LinearPolicyBase& Ridge(const ArrangementService& service) {
+  const auto* base =
+      dynamic_cast<const LinearPolicyBase*>(&service.policy());
+  FASEA_CHECK(base != nullptr);
+  return *base;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "fasea_" + name;
+  Env* env = Env::Default();
+  if (auto names = env->ListDir(dir); names.ok()) {
+    for (const std::string& file : *names) {
+      (void)env->DeleteFile(JoinPath(dir, file));
+    }
+  }
+  EXPECT_TRUE(env->CreateDir(dir).ok());
+  return dir;
+}
+
+std::unique_ptr<WalWriter> OpenWal(Env* env, const std::string& dir) {
+  auto writer = WalWriter::Open(env, dir);
+  FASEA_CHECK(writer.ok());
+  return std::move(writer).value();
+}
+
+/// Asserts every piece of recoverable state matches bit-for-bit.
+void ExpectBitIdentical(const ArrangementService& recovered,
+                        const ArrangementService& reference) {
+  EXPECT_EQ(Ridge(recovered).ridge().Y().MaxAbsDiff(
+                Ridge(reference).ridge().Y()),
+            0.0);
+  EXPECT_EQ(MaxAbsDiff(Ridge(recovered).ridge().b(),
+                       Ridge(reference).ridge().b()),
+            0.0);
+  EXPECT_EQ(Ridge(recovered).ridge().num_observations(),
+            Ridge(reference).ridge().num_observations());
+  EXPECT_EQ(recovered.rounds_served(), reference.rounds_served());
+  for (EventId v = 0; v < 3; ++v) {
+    EXPECT_EQ(recovered.state().remaining(v), reference.state().remaining(v));
+  }
+  EXPECT_EQ(recovered.log().size(), reference.log().size());
+  EXPECT_EQ(recovered.log().ToCsv(), reference.log().ToCsv());
+}
+
+// --- The acceptance scenario: crash, torn tail, recovery ----------------
+
+TEST(RecoveryTest, CrashRecoveryRoundTripIsBitIdentical) {
+  const ProblemInstance instance = MakeInstance();
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("recovery_roundtrip");
+
+  // Live service: 30 rounds under WAL protection, checkpoint at round 20.
+  std::string checkpoint;
+  std::int64_t checkpoint_observations = 0;
+  {
+    ArrangementService live(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+    live.AttachWal(OpenWal(&env, dir));
+    Pcg64 rng(42);
+    RunRounds(live, rng, 20);
+    checkpoint = live.Checkpoint();
+    checkpoint_observations = Ridge(live).ridge().num_observations();
+    RunRounds(live, rng, 10);
+    ASSERT_EQ(live.rounds_served(), 30);
+    // Crash: `live` goes out of scope without a clean shutdown.
+  }
+
+  // Bit rot on the final frame: recovery must truncate round 30 and
+  // restore the service exactly as of round 29.
+  const std::string segment = JoinPath(dir, WalSegmentFileName(1));
+  auto raw = Env::Default()->ReadFileToString(segment);
+  ASSERT_TRUE(raw.ok());
+  env.ArmReadCorruption(WalSegmentFileName(1), raw->size() - 1, 0x01);
+
+  // Uninterrupted reference: the same trajectory through round 29.
+  ArrangementService reference(&instance, PolicyKind::kUcb, PolicyParams{},
+                               1);
+  Pcg64 reference_rng(42);
+  RunRounds(reference, reference_rng, 29);
+
+  // Recover with the checkpoint: rounds 1..20 restore state only, rounds
+  // 21..29 also replay learning.
+  auto with_checkpoint =
+      RecoverArrangementService(&instance, &env, dir, checkpoint);
+  ASSERT_TRUE(with_checkpoint.ok());
+  const RecoveryReport& report = with_checkpoint->report;
+  EXPECT_TRUE(report.had_checkpoint);
+  EXPECT_EQ(report.checkpoint_observations, checkpoint_observations);
+  EXPECT_EQ(report.records_scanned, 29);
+  EXPECT_EQ(report.records_restored, 20);
+  EXPECT_EQ(report.records_replayed, 9);
+  EXPECT_GT(report.bytes_truncated, 0);
+  EXPECT_EQ(report.rounds_served, 29);
+  ExpectBitIdentical(*with_checkpoint->service, reference);
+  EXPECT_FALSE(with_checkpoint->service->wal_attached());
+
+  // Without a checkpoint every surviving record replays learning — the
+  // result must be the same bits.
+  auto from_scratch = RecoverArrangementService(&instance, &env, dir, "");
+  ASSERT_TRUE(from_scratch.ok());
+  EXPECT_FALSE(from_scratch->report.had_checkpoint);
+  EXPECT_EQ(from_scratch->report.records_replayed, 29);
+  EXPECT_EQ(from_scratch->report.records_restored, 0);
+  ExpectBitIdentical(*from_scratch->service, reference);
+
+  // The dry run (fasea_cli recover) agrees with the real recovery.
+  auto inspected = InspectWal(&env, dir, checkpoint);
+  ASSERT_TRUE(inspected.ok());
+  EXPECT_EQ(inspected->records_scanned, 29);
+  EXPECT_EQ(inspected->records_restored, 20);
+  EXPECT_EQ(inspected->records_replayed, 9);
+  EXPECT_NE(inspected->ToString().find("records replayed"),
+            std::string::npos);
+}
+
+TEST(RecoveryTest, RecoveredServiceContinuesServing) {
+  const ProblemInstance instance = MakeInstance();
+  Env* env = Env::Default();
+  const std::string dir = FreshDir("recovery_continue");
+  {
+    ArrangementService live(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+    live.AttachWal(OpenWal(env, dir));
+    Pcg64 rng(7);
+    RunRounds(live, rng, 10);
+  }
+  auto recovered = RecoverArrangementService(&instance, env, dir, "");
+  ASSERT_TRUE(recovered.ok());
+  ArrangementService& service = *recovered->service;
+  // A fresh writer appends to a new segment — recovered frames are never
+  // rewritten — and serving picks up where the log left off.
+  service.AttachWal(OpenWal(env, dir));
+  Pcg64 rng(99);
+  auto arrangement = service.ServeUser(0, 2, MakeContexts(rng));
+  ASSERT_TRUE(arrangement.ok());
+  ASSERT_TRUE(service.SubmitFeedback(Feedback(arrangement->size(), 1)).ok());
+  EXPECT_EQ(service.rounds_served(), 11);
+
+  auto scan = ScanWal(env, dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->payloads.size(), 11u);
+  EXPECT_GE(scan->last_segment_index, 2u);
+}
+
+TEST(RecoveryTest, EmptyOrMissingWalRecoversFreshService) {
+  const ProblemInstance instance = MakeInstance();
+  auto recovered = RecoverArrangementService(
+      &instance, Env::Default(), ::testing::TempDir() + "fasea_no_such_wal",
+      "");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->report.records_scanned, 0);
+  EXPECT_EQ(recovered->service->rounds_served(), 0);
+  EXPECT_EQ(Ridge(*recovered->service).ridge().num_observations(), 0);
+}
+
+TEST(RecoveryTest, CheckpointAheadOfWalIsDataLoss) {
+  const ProblemInstance instance = MakeInstance();
+  Env* env = Env::Default();
+  const std::string dir = FreshDir("recovery_checkpoint_ahead");
+  std::string checkpoint;
+  {
+    ArrangementService live(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+    live.AttachWal(OpenWal(env, dir));
+    Pcg64 rng(11);
+    RunRounds(live, rng, 5);
+    RunRounds(live, rng, 5);
+    checkpoint = live.Checkpoint();
+  }
+  // Lose the WAL (operator error, disk swap): the checkpoint's horizon is
+  // now past everything the log can prove.
+  auto names = env->ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  for (const std::string& name : *names) {
+    ASSERT_TRUE(env->DeleteFile(JoinPath(dir, name)).ok());
+  }
+  auto recovered = RecoverArrangementService(&instance, env, dir, checkpoint);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kDataLoss);
+}
+
+// --- Mid-file corruption: fail-fast vs skip-and-count -------------------
+
+TEST(RecoveryTest, MidFileCorruptionFailsOrSkipsPerPolicy) {
+  const ProblemInstance instance = MakeInstance();
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("recovery_mid_corruption");
+  {
+    ArrangementService live(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+    live.AttachWal(OpenWal(&env, dir));
+    Pcg64 rng(13);
+    RunRounds(live, rng, 3);
+  }
+  // Flip a byte inside the first record's payload (well before the valid
+  // frames that follow, so this is corruption, not a torn tail).
+  env.ArmReadCorruption(WalSegmentFileName(1), /*offset=*/16 + 8 + 16, 0x01);
+
+  auto strict = RecoverArrangementService(&instance, &env, dir, "");
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kDataLoss);
+
+  RecoveryOptions lenient;
+  lenient.corrupt_frames = CorruptFramePolicy::kSkip;
+  auto recovered =
+      RecoverArrangementService(&instance, &env, dir, "", lenient);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->report.corrupt_frames_skipped, 1);
+  EXPECT_EQ(recovered->report.records_scanned, 2);
+  EXPECT_EQ(recovered->service->log().size(), 2u);
+  EXPECT_EQ(recovered->service->rounds_served(), 3);  // Round ids survive.
+}
+
+// --- DurabilityPolicy under injected faults -----------------------------
+
+struct ServiceSnapshot {
+  Matrix y;
+  Vector b;
+  std::vector<std::int64_t> remaining;
+  std::size_t log_size;
+  std::int64_t rounds_served;
+
+  static ServiceSnapshot Of(const ArrangementService& service) {
+    ServiceSnapshot snap{Ridge(service).ridge().Y(),
+                         Ridge(service).ridge().b(),
+                         {},
+                         service.log().size(),
+                         service.rounds_served()};
+    for (EventId v = 0; v < 3; ++v) {
+      snap.remaining.push_back(service.state().remaining(v));
+    }
+    return snap;
+  }
+
+  void ExpectUnchanged(const ArrangementService& service) const {
+    EXPECT_EQ(Ridge(service).ridge().Y().MaxAbsDiff(y), 0.0);
+    EXPECT_EQ(MaxAbsDiff(Ridge(service).ridge().b(), b), 0.0);
+    for (EventId v = 0; v < 3; ++v) {
+      EXPECT_EQ(service.state().remaining(v), remaining[v]);
+    }
+    EXPECT_EQ(service.log().size(), log_size);
+    EXPECT_EQ(service.rounds_served(), rounds_served);
+  }
+};
+
+enum class Fault { kShortWrite, kWriteError, kSyncFailure };
+
+void Arm(FaultInjectionEnv& env, Fault fault) {
+  switch (fault) {
+    case Fault::kShortWrite:
+      env.ArmShortWrite(/*countdown=*/0, /*keep_bytes=*/3);
+      break;
+    case Fault::kWriteError:
+      env.ArmWriteError(/*countdown=*/0);
+      break;
+    case Fault::kSyncFailure:
+      env.ArmSyncFailure(/*countdown=*/0);
+      break;
+  }
+}
+
+/// Fail-fast: the faulted round fails with a retryable status and leaves
+/// every piece of state untouched; the WAL stays usable for recovery.
+void CheckFailRound(Fault fault, const std::string& dir_name) {
+  const ProblemInstance instance = MakeInstance();
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir(dir_name);
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  service.AttachWal(OpenWal(&env, dir),
+                    DurabilityPolicy{DurabilityPolicy::OnWalError::kFailRound});
+  Pcg64 rng(17);
+  RunRounds(service, rng, 1);
+
+  auto arrangement = service.ServeUser(1, 2, MakeContexts(rng));
+  ASSERT_TRUE(arrangement.ok());
+  const ServiceSnapshot before = ServiceSnapshot::Of(service);
+
+  Arm(env, fault);
+  const Status failed =
+      service.SubmitFeedback(Feedback(arrangement->size(), 1));
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(failed));
+  before.ExpectUnchanged(service);
+  EXPECT_TRUE(service.AwaitingFeedback());  // The round is still open.
+  EXPECT_EQ(service.wal_append_failures(), 1);
+  EXPECT_FALSE(service.wal_degraded());
+
+  // The writer is broken until an operator intervenes: resubmitting keeps
+  // failing retryably, and still changes nothing.
+  const Status again =
+      service.SubmitFeedback(Feedback(arrangement->size(), 1));
+  EXPECT_EQ(again.code(), StatusCode::kUnavailable);
+  before.ExpectUnchanged(service);
+
+  // Recovery from the surviving WAL restores the applied round.
+  env.DisarmAll();
+  auto recovered = RecoverArrangementService(&instance, &env, dir, "");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_GE(recovered->service->rounds_served(), 1);
+}
+
+/// Degrade: the faulted round is applied, the WAL is abandoned, and the
+/// health flag trips so monitoring can page someone.
+void CheckDegrade(Fault fault, const std::string& dir_name) {
+  const ProblemInstance instance = MakeInstance();
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir(dir_name);
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  service.AttachWal(OpenWal(&env, dir),
+                    DurabilityPolicy{DurabilityPolicy::OnWalError::kDegrade});
+  Pcg64 rng(19);
+  RunRounds(service, rng, 1);
+  EXPECT_FALSE(service.wal_degraded());
+
+  auto arrangement = service.ServeUser(1, 2, MakeContexts(rng));
+  ASSERT_TRUE(arrangement.ok());
+  Arm(env, fault);
+  ASSERT_TRUE(service.SubmitFeedback(Feedback(arrangement->size(), 1)).ok());
+  EXPECT_TRUE(service.wal_degraded());
+  EXPECT_EQ(service.wal_append_failures(), 1);
+  EXPECT_EQ(service.rounds_served(), 2);
+  EXPECT_EQ(service.log().size(), 2u);
+
+  // Serving continues, without further WAL traffic.
+  env.DisarmAll();
+  const std::int64_t appends_before = env.appends_seen();
+  RunRounds(service, rng, 2);
+  EXPECT_EQ(env.appends_seen(), appends_before);
+  EXPECT_EQ(service.rounds_served(), 4);
+
+  // Rounds served after the degradation point are not durable — exactly
+  // what wal_degraded() warns about. (A sync failure may leave the
+  // faulted round's frame readable; short/failed writes do not.)
+  auto recovered = RecoverArrangementService(&instance, &env, dir, "");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_GE(recovered->service->rounds_served(), 1);
+  EXPECT_LT(recovered->service->rounds_served(), service.rounds_served());
+}
+
+TEST(RecoveryTest, ShortWriteFailRound) {
+  CheckFailRound(Fault::kShortWrite, "durability_short_fail");
+}
+TEST(RecoveryTest, ShortWriteDegrade) {
+  CheckDegrade(Fault::kShortWrite, "durability_short_degrade");
+}
+TEST(RecoveryTest, WriteErrorFailRound) {
+  CheckFailRound(Fault::kWriteError, "durability_error_fail");
+}
+TEST(RecoveryTest, WriteErrorDegrade) {
+  CheckDegrade(Fault::kWriteError, "durability_error_degrade");
+}
+TEST(RecoveryTest, SyncFailureFailRound) {
+  CheckFailRound(Fault::kSyncFailure, "durability_sync_fail");
+}
+TEST(RecoveryTest, SyncFailureDegrade) {
+  CheckDegrade(Fault::kSyncFailure, "durability_sync_degrade");
+}
+
+// --- Numerical degradation: stateless greedy fallback -------------------
+
+TEST(RecoveryTest, UnhealthyLearnerFallsBackToStatelessProposal) {
+  const ProblemInstance instance = MakeInstance();
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  Pcg64 rng(23);
+  RunRounds(service, rng, 3);
+  EXPECT_EQ(service.stateless_fallbacks(), 0);
+
+  auto* base = dynamic_cast<LinearPolicyBase*>(service.mutable_policy());
+  ASSERT_NE(base, nullptr);
+  base->mutable_ridge().SetUnhealthyForTesting();
+
+  auto arrangement = service.ServeUser(0, 2, MakeContexts(rng));
+  ASSERT_TRUE(arrangement.ok());
+  EXPECT_EQ(service.stateless_fallbacks(), 1);
+  EXPECT_TRUE(IsFeasibleArrangement(*arrangement, instance.conflicts(),
+                                    service.state(), 2));
+  // The protocol keeps working end to end on the fallback path.
+  ASSERT_TRUE(service.SubmitFeedback(Feedback(arrangement->size(), 1)).ok());
+  EXPECT_EQ(service.rounds_served(), 4);
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,46 @@
+#include "io/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fasea {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // The canonical check value for CRC32C.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  // RFC 3720 (iSCSI) appendix test patterns.
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  EXPECT_EQ(Crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+  EXPECT_EQ(Crc32c(""), 0u);
+}
+
+TEST(Crc32cTest, SensitiveToEveryByte) {
+  const std::string base = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t crc = Crc32c(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    std::string mutated = base;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    EXPECT_NE(Crc32c(mutated), crc) << "flip at offset " << i;
+  }
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "write-ahead logs need checksums";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const std::uint32_t first = Crc32c(data.substr(0, split));
+    EXPECT_EQ(Crc32c(data.substr(split), first), Crc32c(data))
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDiffers) {
+  for (std::uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu, 0xA282EAD8u}) {
+    EXPECT_EQ(UnmaskCrc32c(MaskCrc32c(crc)), crc);
+    EXPECT_NE(MaskCrc32c(crc), crc);
+  }
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,147 @@
+#include "io/env.h"
+
+#include <gtest/gtest.h>
+
+#include "io/fault_injection_env.h"
+
+namespace fasea {
+namespace {
+
+/// Fresh empty directory under the test temp root.
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "fasea_" + name;
+  Env* env = Env::Default();
+  if (auto names = env->ListDir(dir); names.ok()) {
+    for (const std::string& file : *names) {
+      (void)env->DeleteFile(JoinPath(dir, file));
+    }
+  }
+  EXPECT_TRUE(env->CreateDir(dir).ok());
+  return dir;
+}
+
+TEST(PosixEnvTest, WriteReadRoundTrip) {
+  Env* env = Env::Default();
+  const std::string dir = FreshDir("env_roundtrip");
+  const std::string path = JoinPath(dir, "data.bin");
+
+  auto file = env->NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append(std::string("\0world", 6)).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto data = env->ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, std::string("hello \0world", 12));
+  EXPECT_TRUE(env->FileExists(path));
+
+  // Reopening appends rather than truncating.
+  file = env->NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("!").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  data = env->ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 13u);
+}
+
+TEST(PosixEnvTest, ListDirSortedAndMissingPathsReported) {
+  Env* env = Env::Default();
+  const std::string dir = FreshDir("env_listing");
+  for (const char* name : {"b.log", "a.log", "c.log"}) {
+    auto file = env->NewWritableFile(JoinPath(dir, name));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto names = env->ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a.log", "b.log", "c.log"}));
+
+  EXPECT_EQ(env->ListDir(dir + "/nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(env->ReadFileToString(JoinPath(dir, "nope")).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(env->FileExists(JoinPath(dir, "nope")));
+
+  ASSERT_TRUE(env->DeleteFile(JoinPath(dir, "b.log")).ok());
+  EXPECT_EQ(env->DeleteFile(JoinPath(dir, "b.log")).code(),
+            StatusCode::kNotFound);
+  // CreateDir is idempotent.
+  EXPECT_TRUE(env->CreateDir(dir).ok());
+}
+
+TEST(FaultInjectionEnvTest, WriteErrorDropsWholeAppend) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("fault_write_error");
+  const std::string path = JoinPath(dir, "f.bin");
+  auto file = env.NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+
+  env.ArmWriteError(/*countdown=*/1);  // Second append fails.
+  ASSERT_TRUE((*file)->Append("aaaa").ok());
+  const Status failed = (*file)->Append("bbbb");
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(failed));
+  ASSERT_TRUE((*file)->Append("cccc").ok());  // Fault was one-shot.
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto data = env.ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "aaaacccc");
+  EXPECT_EQ(env.faults_injected(), 1);
+  EXPECT_EQ(env.appends_seen(), 3);
+}
+
+TEST(FaultInjectionEnvTest, ShortWriteKeepsPrefix) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("fault_short_write");
+  const std::string path = JoinPath(dir, "f.bin");
+  auto file = env.NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+
+  env.ArmShortWrite(/*countdown=*/0, /*keep_bytes=*/3);
+  EXPECT_EQ((*file)->Append("abcdefgh").code(), StatusCode::kUnavailable);
+  ASSERT_TRUE((*file)->Close().ok());
+  auto data = env.ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "abc");  // The torn prefix reached the file.
+}
+
+TEST(FaultInjectionEnvTest, SyncFailuresAreSticky) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("fault_sync");
+  auto file = env.NewWritableFile(JoinPath(dir, "f.bin"));
+  ASSERT_TRUE(file.ok());
+
+  env.ArmSyncFailure(/*countdown=*/1);
+  EXPECT_TRUE((*file)->Sync().ok());
+  EXPECT_EQ((*file)->Sync().code(), StatusCode::kUnavailable);
+  EXPECT_EQ((*file)->Sync().code(), StatusCode::kUnavailable);  // Sticky.
+  env.DisarmAll();
+  EXPECT_TRUE((*file)->Sync().ok());
+  EXPECT_EQ(env.syncs_seen(), 4);
+}
+
+TEST(FaultInjectionEnvTest, ReadCorruptionFlipsBytes) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("fault_read");
+  const std::string path = JoinPath(dir, "payload.bin");
+  auto file = env.NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("ABCDEF").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  env.ArmReadCorruption("payload.bin", /*offset=*/2, /*mask=*/0x20);
+  auto data = env.ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "ABcDEF");  // 'C' ^ 0x20 = 'c'.
+  // The file itself is untouched.
+  auto clean = Env::Default()->ReadFileToString(path);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(*clean, "ABCDEF");
+}
+
+}  // namespace
+}  // namespace fasea

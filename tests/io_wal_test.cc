@@ -1,0 +1,286 @@
+#include "io/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+#include "io/fault_injection_env.h"
+
+namespace fasea {
+namespace {
+
+/// Fresh empty directory under the test temp root (segment files from a
+/// previous run of the same test are deleted).
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "fasea_" + name;
+  Env* env = Env::Default();
+  if (auto names = env->ListDir(dir); names.ok()) {
+    for (const std::string& file : *names) {
+      (void)env->DeleteFile(JoinPath(dir, file));
+    }
+  }
+  EXPECT_TRUE(env->CreateDir(dir).ok());
+  return dir;
+}
+
+std::vector<std::string> SamplePayloads() {
+  return {"alpha", "", "a longer payload with some structure: 1,2,3",
+          std::string("\0\xff\x7f binary", 10), "tail"};
+}
+
+TEST(WalTest, RoundTrip) {
+  Env* env = Env::Default();
+  const std::string dir = FreshDir("wal_roundtrip");
+  auto writer = WalWriter::Open(env, dir);
+  ASSERT_TRUE(writer.ok());
+  for (const std::string& payload : SamplePayloads()) {
+    ASSERT_TRUE((*writer)->Append(payload).ok());
+  }
+  EXPECT_EQ((*writer)->records_appended(), 5);
+  EXPECT_FALSE((*writer)->broken());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto scan = ScanWal(env, dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->payloads, SamplePayloads());
+  EXPECT_EQ(scan->segments_scanned, 1);
+  EXPECT_EQ(scan->bytes_truncated, 0);
+  EXPECT_EQ(scan->corrupt_frames_skipped, 0);
+  EXPECT_EQ(scan->last_segment_index, 1u);
+}
+
+TEST(WalTest, MissingDirectoryScansEmpty) {
+  auto scan = ScanWal(Env::Default(), ::testing::TempDir() + "fasea_wal_void");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->payloads.empty());
+  EXPECT_EQ(scan->segments_scanned, 0);
+}
+
+TEST(WalTest, RotationAndReopenPreserveOrder) {
+  Env* env = Env::Default();
+  const std::string dir = FreshDir("wal_rotation");
+  WalOptions options;
+  options.segment_bytes = 64;  // Tiny segments force rotation.
+  std::vector<std::string> expected;
+  {
+    auto writer = WalWriter::Open(env, dir, options);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_EQ((*writer)->segment_index(), 1u);
+    for (int i = 0; i < 6; ++i) {
+      expected.push_back("record " + std::to_string(i) +
+                         " padded to force segment rotation.....");
+      ASSERT_TRUE((*writer)->Append(expected.back()).ok());
+    }
+    EXPECT_GT((*writer)->segment_index(), 1u);
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  {
+    // Reopening starts a fresh segment after the highest existing one and
+    // never rewrites sealed frames.
+    auto writer = WalWriter::Open(env, dir, options);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_GT((*writer)->segment_index(), 6u - 1u);
+    expected.push_back("appended after reopen");
+    ASSERT_TRUE((*writer)->Append(expected.back()).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto scan = ScanWal(env, dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->payloads, expected);
+  EXPECT_GE(scan->segments_scanned, 3);
+  EXPECT_EQ(scan->bytes_truncated, 0);
+}
+
+TEST(WalTest, TornTailIsTruncatedNotFatal) {
+  Env* env = Env::Default();
+  const std::string dir = FreshDir("wal_torn_tail");
+  auto writer = WalWriter::Open(env, dir);
+  ASSERT_TRUE(writer.ok());
+  for (const char* payload : {"one", "two", "three"}) {
+    ASSERT_TRUE((*writer)->Append(payload).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  // Simulate a crash mid-append: a partial frame header lands at the end
+  // of the active segment.
+  auto file = env->NewWritableFile(JoinPath(dir, WalSegmentFileName(1)));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string("\x20\x00\x00\x00\xAB", 5)).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto scan = ScanWal(env, dir);  // kFail policy: tears are still benign.
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->payloads,
+            (std::vector<std::string>{"one", "two", "three"}));
+  EXPECT_EQ(scan->bytes_truncated, 5);
+  EXPECT_EQ(scan->corrupt_frames_skipped, 0);
+}
+
+TEST(WalTest, CorruptFinalFrameTreatedAsTornTail) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("wal_corrupt_tail");
+  auto writer = WalWriter::Open(&env, dir);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("first").ok());
+  ASSERT_TRUE((*writer)->Append("second").ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  // Flip the very last byte of the segment: the final frame fails its CRC
+  // at EOF, which recovery must treat as a partially synced tail.
+  const std::size_t file_size = 16 + (8 + 5) + (8 + 6);
+  env.ArmReadCorruption(WalSegmentFileName(1), file_size - 1, 0x01);
+  auto scan = ScanWal(&env, dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->payloads, (std::vector<std::string>{"first"}));
+  EXPECT_EQ(scan->bytes_truncated, 8 + 6);
+}
+
+TEST(WalTest, MidFileCorruptionFailsOrSkipsPerPolicy) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("wal_mid_corruption");
+  auto writer = WalWriter::Open(&env, dir);
+  ASSERT_TRUE(writer.ok());
+  for (const char* payload : {"first", "second", "third"}) {
+    ASSERT_TRUE((*writer)->Append(payload).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  // Flip a byte inside the *first* payload — valid frames follow, so this
+  // is mid-file corruption, not a torn tail.
+  env.ArmReadCorruption(WalSegmentFileName(1), /*offset=*/16 + 8 + 2, 0x40);
+  auto strict = ScanWal(&env, dir, CorruptFramePolicy::kFail);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kDataLoss);
+
+  auto lenient = ScanWal(&env, dir, CorruptFramePolicy::kSkip);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(lenient->payloads,
+            (std::vector<std::string>{"second", "third"}));
+  EXPECT_EQ(lenient->corrupt_frames_skipped, 1);
+  EXPECT_EQ(lenient->bytes_truncated, 0);
+}
+
+TEST(WalTest, ImplausibleLengthIsCorruptionNotTear) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("wal_bad_length");
+  auto writer = WalWriter::Open(&env, dir);
+  ASSERT_TRUE(writer.ok());
+  for (const char* payload : {"first", "second"}) {
+    ASSERT_TRUE((*writer)->Append(payload).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  // Flip the high byte of the first frame's length field: the claimed
+  // payload would exceed the frame limit, which a tear cannot produce.
+  env.ArmReadCorruption(WalSegmentFileName(1), /*offset=*/16 + 3, 0xFF);
+  auto strict = ScanWal(&env, dir, CorruptFramePolicy::kFail);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kDataLoss);
+
+  // Under kSkip the length cannot be trusted, so the rest of the segment
+  // is abandoned rather than resynchronized on garbage.
+  auto lenient = ScanWal(&env, dir, CorruptFramePolicy::kSkip);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_TRUE(lenient->payloads.empty());
+  EXPECT_EQ(lenient->corrupt_frames_skipped, 1);
+}
+
+TEST(WalTest, WriteErrorBreaksWriterWithRetryableStatus) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("wal_write_error");
+  auto writer = WalWriter::Open(&env, dir);  // Segment header = append #1.
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("durable").ok());
+
+  env.ArmWriteError(/*countdown=*/0);
+  const Status failed = (*writer)->Append("lost");
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(failed));
+  EXPECT_TRUE((*writer)->broken());
+
+  // Broken is sticky even though the fault was one-shot: bytes may be
+  // torn, and appending past them would corrupt the log.
+  EXPECT_EQ((*writer)->Append("after").code(), StatusCode::kUnavailable);
+  (void)(*writer)->Close();
+
+  auto scan = ScanWal(&env, dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->payloads, (std::vector<std::string>{"durable"}));
+  EXPECT_EQ(scan->bytes_truncated, 0);  // Write errors drop whole appends.
+}
+
+TEST(WalTest, ShortWriteLeavesRecoverableTornFrame) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("wal_short_write");
+  WalOptions options;
+  options.sync_mode = WalSyncMode::kNever;
+  auto writer = WalWriter::Open(&env, dir, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("durable").ok());
+
+  // The next frame persists only its first 5 bytes — a torn record.
+  env.ArmShortWrite(/*countdown=*/0, /*keep_bytes=*/5);
+  EXPECT_EQ((*writer)->Append("torn-record").code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE((*writer)->broken());
+  (void)(*writer)->Close();
+
+  auto scan = ScanWal(&env, dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->payloads, (std::vector<std::string>{"durable"}));
+  EXPECT_EQ(scan->bytes_truncated, 5);
+}
+
+TEST(WalTest, SyncFailureFailsAppendUnderEveryRecord) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("wal_sync_failure");
+  auto writer = WalWriter::Open(&env, dir);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("acknowledged").ok());
+
+  env.ArmSyncFailure(/*countdown=*/0);
+  const Status failed = (*writer)->Append("unacknowledged");
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(failed));
+  EXPECT_TRUE((*writer)->broken());
+  EXPECT_GE(env.faults_injected(), 1);
+}
+
+TEST(WalTest, SyncModesIssueExpectedFsyncs) {
+  {
+    FaultInjectionEnv env(Env::Default());
+    auto writer = WalWriter::Open(&env, FreshDir("wal_sync_every"));
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE((*writer)->Append("x").ok());
+    EXPECT_EQ(env.syncs_seen(), 3);  // One per record.
+    ASSERT_TRUE((*writer)->Close().ok());
+    EXPECT_EQ(env.syncs_seen(), 4);  // Close syncs once more.
+  }
+  {
+    FaultInjectionEnv env(Env::Default());
+    WalOptions options;
+    options.sync_mode = WalSyncMode::kEveryN;
+    options.sync_every_n = 2;
+    auto writer = WalWriter::Open(&env, FreshDir("wal_sync_every_n"), options);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE((*writer)->Append("x").ok());
+    EXPECT_EQ(env.syncs_seen(), 2);  // After records 2 and 4.
+    ASSERT_TRUE((*writer)->Close().ok());
+    EXPECT_EQ(env.syncs_seen(), 3);  // Close flushes the odd record out.
+  }
+  {
+    FaultInjectionEnv env(Env::Default());
+    WalOptions options;
+    options.sync_mode = WalSyncMode::kNever;
+    auto writer = WalWriter::Open(&env, FreshDir("wal_sync_never"), options);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE((*writer)->Append("x").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+    EXPECT_EQ(env.syncs_seen(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace fasea

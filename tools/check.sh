@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the plain build + full test suite, then the same
+# tests again under AddressSanitizer + UndefinedBehaviorSanitizer
+# (-DFASEA_SANITIZE=ON). Run from anywhere; trees live in build/ and
+# build-sanitize/ at the repository root.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: plain build + ctest =="
+cmake -B "$root/build" -S "$root" >/dev/null
+cmake --build "$root/build" -j "$jobs"
+ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+
+echo
+echo "== sanitizers: ASan + UBSan build + ctest =="
+# Benchmarks and examples add nothing to sanitizer coverage of the
+# library; skip them so the instrumented build stays fast.
+cmake -B "$root/build-sanitize" -S "$root" \
+  -DFASEA_SANITIZE=ON \
+  -DFASEA_BUILD_BENCHMARKS=OFF \
+  -DFASEA_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$root/build-sanitize" -j "$jobs"
+ctest --test-dir "$root/build-sanitize" --output-on-failure -j "$jobs"
+
+echo
+echo "check.sh: all clean"

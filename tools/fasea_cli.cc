@@ -4,6 +4,75 @@
 //   fasea_cli --mode=synthetic --num_events=200 --horizon=20000
 //   fasea_cli --mode=real --user=3 --user_capacity=full --horizon=1000
 //   fasea_cli --policies=ucb,exploit --csv_prefix=/tmp/run1
+//
+// Crash-recovery inspection (prints the RecoveryReport a full recovery
+// would produce: frames scanned, torn-tail bytes truncated, corrupt
+// frames, checkpoint boundary classification):
+//
+//   fasea_cli recover --wal_dir=/var/lib/fasea/wal
+//   fasea_cli recover --wal_dir=... --checkpoint=policy.ckpt --skip_corrupt
+#include <cstdio>
+#include <string_view>
+
+#include "common/flags.h"
+#include "ebsn/recovery_manager.h"
+#include "io/env.h"
 #include "sim/cli.h"
 
-int main(int argc, char** argv) { return fasea::CliMain(argc, argv); }
+namespace {
+
+int RecoverMain(int argc, char** argv) {
+  fasea::FlagSet flags;
+  flags.DefineString("wal_dir", "",
+                     "Directory holding the WAL segment files (required).");
+  flags.DefineString("checkpoint", "",
+                     "Optional policy checkpoint blob to recover against.");
+  flags.DefineBool("skip_corrupt", false,
+                   "Skip-and-count corrupt mid-file frames instead of "
+                   "failing with DATA_LOSS.");
+  flags.DefineBool("help", false, "Show this help.");
+  if (fasea::Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "fasea_cli recover: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help") || flags.GetString("wal_dir").empty()) {
+    std::fputs(flags.HelpText("fasea_cli recover").c_str(),
+               flags.GetBool("help") ? stdout : stderr);
+    return flags.GetBool("help") ? 0 : 2;
+  }
+
+  fasea::Env* env = fasea::Env::Default();
+  std::string checkpoint_blob;
+  const std::string& checkpoint_path = flags.GetString("checkpoint");
+  if (!checkpoint_path.empty()) {
+    auto blob = env->ReadFileToString(checkpoint_path);
+    if (!blob.ok()) {
+      std::fprintf(stderr, "fasea_cli recover: %s\n",
+                   blob.status().ToString().c_str());
+      return 1;
+    }
+    checkpoint_blob = std::move(blob).value();
+  }
+
+  const auto policy = flags.GetBool("skip_corrupt")
+                          ? fasea::CorruptFramePolicy::kSkip
+                          : fasea::CorruptFramePolicy::kFail;
+  auto report = fasea::InspectWal(env, flags.GetString("wal_dir"),
+                                  checkpoint_blob, policy);
+  if (!report.ok()) {
+    std::fprintf(stderr, "recovery would fail: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(report->ToString().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string_view(argv[1]) == "recover") {
+    return RecoverMain(argc - 2, argv + 2);
+  }
+  return fasea::CliMain(argc, argv);
+}
