@@ -13,6 +13,18 @@ namespace fasea {
 class Stopwatch {
  public:
   using Clock = std::chrono::steady_clock;
+  // Latency metrics are meaningless on a clock that can jump backwards
+  // (NTP slew, manual adjustment); the trace/histogram layers rely on
+  // monotonicity.
+  static_assert(Clock::is_steady, "Stopwatch requires a monotonic clock");
+
+  /// Current monotonic time in integer nanoseconds — the hot-path
+  /// timestamp used by obs/trace; no double round-trip.
+  static std::int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
 
   /// Starts (or restarts) timing from now. Calling Start while running
   /// restarts the current interval.

@@ -1,5 +1,6 @@
 #include "core/eps_greedy_policy.h"
 
+#include "obs/trace.h"
 #include "rng/distributions.h"
 #include "rng/seed.h"
 
@@ -14,7 +15,7 @@ EpsGreedyPolicy::EpsGreedyPolicy(const ProblemInstance* instance,
   FASEA_CHECK(params.epsilon >= 0.0 && params.epsilon <= 1.0);
 }
 
-Arrangement EpsGreedyPolicy::Propose(std::int64_t /*t*/,
+Arrangement EpsGreedyPolicy::Propose(std::int64_t t,
                                      const RoundContext& round,
                                      const PlatformState& state) {
   std::span<double> scores = Scores(round.contexts.rows());
@@ -24,16 +25,25 @@ Arrangement EpsGreedyPolicy::Propose(std::int64_t /*t*/,
     // availability for the random oracle.
     std::fill(scores.begin(), scores.end(), 0.0);
     ApplyAvailabilityMask(round, scores);
-    return random_oracle_.Select(scores, conflicts(), state,
-                                 round.user_capacity);
+    const std::int64_t random_start = SpanStart();
+    Arrangement arrangement = random_oracle_.Select(
+        scores, conflicts(), state, round.user_capacity);
+    RecordSpanSince("oracle.random", t, random_start);
+    return arrangement;
   }
   // Exploitation: greedy on estimated expected rewards.
+  const std::int64_t score_start = SpanStart();
   const Vector& theta = ridge_.ThetaHat();
   for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
     scores[v] = Dot(round.contexts.Row(v), theta.span());
   }
   ApplyAvailabilityMask(round, scores);
-  return greedy_.Select(scores, conflicts(), state, round.user_capacity);
+  RecordSpanSince("policy.score", t, score_start);
+  const std::int64_t greedy_start = SpanStart();
+  Arrangement arrangement =
+      greedy_.Select(scores, conflicts(), state, round.user_capacity);
+  RecordSpanSince("oracle.greedy", t, greedy_start);
+  return arrangement;
 }
 
 std::unique_ptr<EpsGreedyPolicy> MakeExploitPolicy(

@@ -6,10 +6,19 @@ void LinearPolicyBase::Learn(std::int64_t /*t*/, const RoundContext& round,
                              const Arrangement& arrangement,
                              const Feedback& feedback) {
   FASEA_CHECK(arrangement.size() == feedback.size());
+  const std::int64_t refactors_before = ridge_.num_refactorizations();
+  const std::int64_t failures_before = ridge_.num_refactor_failures();
   for (std::size_t i = 0; i < arrangement.size(); ++i) {
     ridge_.Update(round.contexts.Row(arrangement[i]),
                   static_cast<double>(feedback[i]));
   }
+  // One batched sync per Learn call keeps the per-observation hot loop
+  // free of atomics.
+  sm_updates_metric_->Add(static_cast<std::int64_t>(arrangement.size()));
+  refactorizations_metric_->Add(ridge_.num_refactorizations() -
+                                refactors_before);
+  refactor_failures_metric_->Add(ridge_.num_refactor_failures() -
+                                 failures_before);
 }
 
 void LinearPolicyBase::EstimateRewards(const ContextMatrix& contexts,

@@ -9,6 +9,7 @@
 #include "core/policy.h"
 #include "core/ridge.h"
 #include "model/instance.h"
+#include "obs/metrics.h"
 #include "oracle/greedy.h"
 
 namespace fasea {
@@ -44,6 +45,16 @@ class LinearPolicyBase : public Policy {
       : instance_(instance), ridge_(instance->dim(), lambda, refactor_every) {
     FASEA_CHECK(instance != nullptr);
   }
+
+  // Process-wide learner telemetry, shared by every linear policy: how
+  // much learning went through the O(d²) incremental path vs the O(d³)
+  // full re-solve, and whether any re-solve failed (numerical health).
+  Counter* sm_updates_metric_ =
+      Metrics()->GetCounter("fasea.policy.sm_updates");
+  Counter* refactorizations_metric_ =
+      Metrics()->GetCounter("fasea.policy.refactorizations");
+  Counter* refactor_failures_metric_ =
+      Metrics()->GetCounter("fasea.policy.refactor_failures");
 
   const ConflictGraph& conflicts() const { return instance_->conflicts(); }
 

@@ -62,6 +62,15 @@ class RidgeState {
   /// Number of (x, r) observations folded in so far.
   std::int64_t num_observations() const { return inverse_.num_updates(); }
 
+  /// Full Cholesky re-factorizations performed / failed so far (every
+  /// observation also costs one O(d²) Sherman–Morrison update).
+  std::int64_t num_refactorizations() const {
+    return inverse_.num_refactorizations();
+  }
+  std::int64_t num_refactor_failures() const {
+    return inverse_.num_refactor_failures();
+  }
+
   /// False once a periodic Cholesky refactorization of Y has failed
   /// (numerical corruption). Estimates may then be stale; serving layers
   /// fall back to a stateless proposal (see ArrangementService).

@@ -4,6 +4,7 @@
 
 #include "linalg/cholesky.h"
 #include "linalg/mvn.h"
+#include "obs/trace.h"
 
 namespace fasea {
 
@@ -27,19 +28,32 @@ Arrangement TsPolicy::Propose(std::int64_t t, const RoundContext& round,
       std::sqrt(9.0 * static_cast<double>(d) *
                 std::log(static_cast<double>(t) / params_.delta));
 
-  // Sample θ̃ ~ N(θ̂, q² Y⁻¹) through the Cholesky factor of Y: the
-  // O(d³) step of the paper's complexity analysis.
-  auto chol = Cholesky::Factorize(ridge_.Y());
-  FASEA_CHECK(chol.ok());
-  sampled_theta_ =
-      SampleMvnFromPrecision(rng_, ridge_.ThetaHat(), q, chol.value());
+  {
+    // Sample θ̃ ~ N(θ̂, q² Y⁻¹) through the Cholesky factor of Y: the
+    // O(d³) step of the paper's complexity analysis — the one worth
+    // watching as d grows.
+    static Histogram* const sample_hist =
+        Metrics()->GetHistogram("fasea.policy.ts_sample_ns");
+    TraceSpan span("policy.sample_theta", t, TraceRing::Global(),
+                   sample_hist);
+    auto chol = Cholesky::Factorize(ridge_.Y());
+    FASEA_CHECK(chol.ok());
+    sampled_theta_ =
+        SampleMvnFromPrecision(rng_, ridge_.ThetaHat(), q, chol.value());
+  }
 
   std::span<double> scores = Scores(round.contexts.rows());
+  const std::int64_t score_start = SpanStart();
   for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
     scores[v] = Dot(round.contexts.Row(v), sampled_theta_.span());
   }
   ApplyAvailabilityMask(round, scores);
-  return greedy_.Select(scores, conflicts(), state, round.user_capacity);
+  RecordSpanSince("policy.score", t, score_start);
+  const std::int64_t greedy_start = SpanStart();
+  Arrangement arrangement =
+      greedy_.Select(scores, conflicts(), state, round.user_capacity);
+  RecordSpanSince("oracle.greedy", t, greedy_start);
+  return arrangement;
 }
 
 void TsPolicy::EstimateRewards(const ContextMatrix& contexts,

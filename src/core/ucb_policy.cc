@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace fasea {
 
 UcbPolicy::UcbPolicy(const ProblemInstance* instance, const UcbParams& params)
@@ -14,14 +16,20 @@ double UcbPolicy::UpperConfidenceBound(std::span<const double> x) const {
          params_.alpha * std::sqrt(ridge_.ConfidenceWidthSq(x));
 }
 
-Arrangement UcbPolicy::Propose(std::int64_t /*t*/, const RoundContext& round,
+Arrangement UcbPolicy::Propose(std::int64_t t, const RoundContext& round,
                                const PlatformState& state) {
   std::span<double> scores = Scores(round.contexts.rows());
+  const std::int64_t score_start = SpanStart();
   for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
     scores[v] = UpperConfidenceBound(round.contexts.Row(v));
   }
   ApplyAvailabilityMask(round, scores);
-  return greedy_.Select(scores, conflicts(), state, round.user_capacity);
+  RecordSpanSince("policy.score", t, score_start);
+  const std::int64_t greedy_start = SpanStart();
+  Arrangement arrangement =
+      greedy_.Select(scores, conflicts(), state, round.user_capacity);
+  RecordSpanSince("oracle.greedy", t, greedy_start);
+  return arrangement;
 }
 
 }  // namespace fasea

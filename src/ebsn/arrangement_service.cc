@@ -1,6 +1,7 @@
 #include "ebsn/arrangement_service.h"
 
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "oracle/oracle.h"
 #include "rng/seed.h"
 
@@ -71,71 +72,104 @@ Arrangement ArrangementService::StatelessProposal(
 StatusOr<Arrangement> ArrangementService::ServeUser(
     std::int64_t user_id, std::int64_t user_capacity,
     const ContextMatrix& contexts) {
+  TraceSpan total_span("serve.total", t_ + 1, TraceRing::Global(),
+                       serve_latency_);
   if (pending_) {
+    serve_errors_metric_->Increment();
     return FailedPreconditionError(
         "previous user's feedback has not been submitted");
   }
   RoundContext round;
-  round.contexts = contexts;
-  round.user_capacity = user_capacity;
-  round.user_id = user_id;
-  if (Status st = ValidateRoundContext(round, instance_->num_events(),
-                                       instance_->dim());
-      !st.ok()) {
-    return st;
+  {
+    TraceSpan span("serve.ingest", t_ + 1);
+    round.contexts = contexts;
+    round.user_capacity = user_capacity;
+    round.user_id = user_id;
+    if (Status st = ValidateRoundContext(round, instance_->num_events(),
+                                         instance_->dim());
+        !st.ok()) {
+      serve_errors_metric_->Increment();
+      return st;
+    }
   }
   ++t_;
   Arrangement arrangement;
   const auto* base = dynamic_cast<const LinearPolicyBase*>(policy_.get());
-  if (base != nullptr && !base->ridge().healthy()) {
-    // The learner's Y lost positive-definiteness (a failed Cholesky
-    // refactorization). Serve a feasible, estimate-free arrangement
-    // rather than crash or propose from a corrupt inverse.
-    arrangement = StatelessProposal(round);
-    ++stateless_fallbacks_;
-  } else {
-    arrangement = policy_->Propose(t_, round, state_);
+  const bool learner_healthy =
+      base == nullptr || base->ridge().healthy();
+  learner_healthy_gauge_->Set(learner_healthy ? 1.0 : 0.0);
+  {
+    TraceSpan span("serve.propose", t_);
+    if (!learner_healthy) {
+      // The learner's Y lost positive-definiteness (a failed Cholesky
+      // refactorization). Serve a feasible, estimate-free arrangement
+      // rather than crash or propose from a corrupt inverse.
+      arrangement = StatelessProposal(round);
+      ++stateless_fallbacks_;
+      fallbacks_metric_->Increment();
+    } else {
+      arrangement = policy_->Propose(t_, round, state_);
+    }
   }
   FASEA_CHECK(IsFeasibleArrangement(arrangement, instance_->conflicts(),
                                     state_, user_capacity));
   pending_ = true;
   pending_round_ = std::move(round);
   pending_arrangement_ = arrangement;
+  serve_rounds_metric_->Increment();
+  proposed_events_metric_->Add(static_cast<std::int64_t>(
+      arrangement.size()));
+  rounds_served_gauge_->Set(static_cast<double>(t_));
   return arrangement;
 }
 
 Status ArrangementService::SubmitFeedback(const Feedback& feedback) {
+  TraceSpan total_span("feedback.total", t_, TraceRing::Global(),
+                       feedback_latency_);
   if (!pending_) {
+    feedback_errors_metric_->Increment();
     return FailedPreconditionError("no arrangement is awaiting feedback");
   }
   if (feedback.size() != pending_arrangement_.size()) {
+    feedback_errors_metric_->Increment();
     return InvalidArgumentError(
         "feedback must align with the proposed arrangement");
   }
   for (std::uint8_t f : feedback) {
-    if (f > 1) return InvalidArgumentError("feedback entries must be 0/1");
+    if (f > 1) {
+      feedback_errors_metric_->Increment();
+      return InvalidArgumentError("feedback entries must be 0/1");
+    }
   }
 
   InteractionRecord record;
-  record.t = t_;
-  record.user_id = pending_round_.user_id;
-  record.user_capacity = pending_round_.user_capacity;
-  record.arrangement = pending_arrangement_;
-  record.feedback = feedback;
-  for (EventId v : pending_arrangement_) {
-    const auto row = pending_round_.contexts.Row(v);
-    record.contexts.emplace_back(row.begin(), row.end());
+  std::string encoded;
+  {
+    TraceSpan span("feedback.encode", t_);
+    record.t = t_;
+    record.user_id = pending_round_.user_id;
+    record.user_capacity = pending_round_.user_capacity;
+    record.arrangement = pending_arrangement_;
+    record.feedback = feedback;
+    for (EventId v : pending_arrangement_) {
+      const auto row = pending_round_.contexts.Row(v);
+      record.contexts.emplace_back(row.begin(), row.end());
+    }
+    if (wal_ != nullptr && !wal_degraded_) {
+      encoded = EncodeInteractionRecord(record);
+    }
   }
 
   // Write-ahead: the interaction must be durable (per the writer's fsync
   // policy) before any state changes, so a crash between here and the end
   // of this function loses nothing that was applied.
   if (wal_ != nullptr && !wal_degraded_) {
-    if (Status st = wal_->Append(EncodeInteractionRecord(record));
-        !st.ok()) {
+    wal_->set_trace_round(t_);
+    if (Status st = wal_->Append(encoded); !st.ok()) {
       ++wal_append_failures_;
       if (durability_.on_wal_error ==
           DurabilityPolicy::OnWalError::kFailRound) {
+        retryable_errors_metric_->Increment();
         return UnavailableError(
             "durability failure, feedback not applied (retry after the "
             "log is restored): " +
@@ -143,15 +177,23 @@ Status ArrangementService::SubmitFeedback(const Feedback& feedback) {
       }
       // Degrade: availability over durability, visibly.
       wal_degraded_ = true;
+      degraded_entries_metric_->Increment();
+      wal_degraded_gauge_->Set(1.0);
     }
   }
 
   for (std::size_t i = 0; i < feedback.size(); ++i) {
     if (feedback[i]) state_.ConsumeOne(pending_arrangement_[i]);
   }
-  policy_->Learn(t_, pending_round_, pending_arrangement_, feedback);
+  {
+    TraceSpan span("feedback.learn", t_);
+    policy_->Learn(t_, pending_round_, pending_arrangement_, feedback);
+  }
+  accepted_events_metric_->Add(
+      static_cast<std::int64_t>(NumAccepted(feedback)));
   FASEA_CHECK_OK(log_.Append(std::move(record)));
   pending_ = false;
+  feedback_rounds_metric_->Increment();
   return Status::Ok();
 }
 
@@ -189,6 +231,7 @@ Status ArrangementService::RestoreInteraction(
                                instance_->dim(), policy_.get(), &scratch);
   }
   t_ = record.t;
+  rounds_served_gauge_->Set(static_cast<double>(t_));
   FASEA_CHECK_OK(log_.Append(record));
   return Status::Ok();
 }

@@ -35,6 +35,7 @@
 #include "ebsn/interaction_log.h"
 #include "io/wal.h"
 #include "model/platform_state.h"
+#include "obs/metrics.h"
 
 namespace fasea {
 
@@ -142,6 +143,36 @@ class ArrangementService {
   bool pending_ = false;
   RoundContext pending_round_;
   Arrangement pending_arrangement_;
+
+  // --- Telemetry (process-wide registry; see DESIGN.md §8) --------------
+  Histogram* serve_latency_ =
+      Metrics()->GetHistogram("fasea.serve.latency_ns");
+  Histogram* feedback_latency_ =
+      Metrics()->GetHistogram("fasea.feedback.latency_ns");
+  Counter* serve_rounds_metric_ =
+      Metrics()->GetCounter("fasea.serve.rounds");
+  Counter* serve_errors_metric_ =
+      Metrics()->GetCounter("fasea.serve.errors");
+  Counter* proposed_events_metric_ =
+      Metrics()->GetCounter("fasea.serve.proposed_events");
+  Counter* fallbacks_metric_ =
+      Metrics()->GetCounter("fasea.serve.stateless_fallbacks");
+  Counter* feedback_rounds_metric_ =
+      Metrics()->GetCounter("fasea.feedback.rounds");
+  Counter* feedback_errors_metric_ =
+      Metrics()->GetCounter("fasea.feedback.errors");
+  Counter* accepted_events_metric_ =
+      Metrics()->GetCounter("fasea.feedback.accepted_events");
+  Counter* retryable_errors_metric_ =
+      Metrics()->GetCounter("fasea.feedback.retryable_errors");
+  Counter* degraded_entries_metric_ =
+      Metrics()->GetCounter("fasea.service.degraded_entries");
+  Gauge* wal_degraded_gauge_ =
+      Metrics()->GetGauge("fasea.service.wal_degraded");
+  Gauge* learner_healthy_gauge_ =
+      Metrics()->GetGauge("fasea.service.learner_healthy");
+  Gauge* rounds_served_gauge_ =
+      Metrics()->GetGauge("fasea.service.rounds_served");
 };
 
 }  // namespace fasea

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace fasea {
 
@@ -169,6 +170,19 @@ StatusOr<RecoveredService> RecoverArrangementService(
     }
   }
   result.report.rounds_served = result.service->rounds_served();
+
+  // Publish what this recovery did — operators watch these after every
+  // restart to confirm nothing was lost beyond the torn tail.
+  MetricsRegistry* metrics = Metrics();
+  metrics->GetCounter("fasea.recovery.runs")->Increment();
+  metrics->GetCounter("fasea.recovery.records_restored")
+      ->Add(result.report.records_restored);
+  metrics->GetCounter("fasea.recovery.records_replayed")
+      ->Add(result.report.records_replayed);
+  metrics->GetCounter("fasea.recovery.torn_tail_bytes")
+      ->Add(result.report.bytes_truncated);
+  metrics->GetCounter("fasea.recovery.corrupt_frames_skipped")
+      ->Add(result.report.corrupt_frames_skipped);
   return result;
 }
 

@@ -72,12 +72,12 @@ std::size_t FaultInjectionEnv::PlanAppend(std::size_t size, bool* fail) {
   ++appends_seen_;
   *fail = false;
   if (write_error_in_ >= 0 && write_error_in_-- == 0) {
-    ++faults_injected_;
+    CountInjectedFault();
     *fail = true;
     return 0;
   }
   if (short_write_in_ >= 0 && short_write_in_-- == 0) {
-    ++faults_injected_;
+    CountInjectedFault();
     *fail = true;
     return short_write_keep_bytes_ < size ? short_write_keep_bytes_ : size;
   }
@@ -88,7 +88,7 @@ bool FaultInjectionEnv::PlanSyncFailure() {
   ++syncs_seen_;
   if (sync_failure_in_ >= 0) {
     if (sync_failure_in_ == 0) {
-      ++faults_injected_;
+      CountInjectedFault();
       return true;  // Stays at 0: every later sync fails too.
     }
     --sync_failure_in_;
@@ -116,7 +116,7 @@ StatusOr<std::string> FaultInjectionEnv::ReadFileToString(
     }
     for (const Corruption& c : faults) {
       if (c.offset < data->size()) {
-        ++faults_injected_;
+        CountInjectedFault();
         (*data)[c.offset] = static_cast<char>(
             static_cast<std::uint8_t>((*data)[c.offset]) ^ c.mask);
       }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "io/env.h"
+#include "obs/metrics.h"
 
 namespace fasea {
 
@@ -91,6 +92,13 @@ class FaultInjectionEnv final : public Env {
   /// Decides whether the next Sync fails.
   bool PlanSyncFailure();
 
+  /// Bumps both the local count and the process-wide injected-fault
+  /// metric (so harness runs can report how many faults actually fired).
+  void CountInjectedFault() {
+    ++faults_injected_;
+    faults_metric_->Increment();
+  }
+
   Env* base_;
   std::int64_t write_error_in_ = -1;
   std::int64_t short_write_in_ = -1;
@@ -101,6 +109,8 @@ class FaultInjectionEnv final : public Env {
   std::int64_t appends_seen_ = 0;
   std::int64_t syncs_seen_ = 0;
   std::int64_t faults_injected_ = 0;
+  Counter* faults_metric_ =
+      Metrics()->GetCounter("fasea.faultenv.faults_injected");
 };
 
 }  // namespace fasea

@@ -3,6 +3,7 @@
 #include "common/bytes.h"
 #include "common/strings.h"
 #include "io/crc32c.h"
+#include "obs/trace.h"
 
 namespace fasea {
 
@@ -87,26 +88,31 @@ Status WalWriter::MaybeRotate(std::size_t next_frame_bytes) {
   }
   // Seal the old segment — everything in it becomes durable before the
   // new segment accepts frames, so only the active tail can ever tear.
-  if (Status st = file_->Sync(); !st.ok()) return st;
+  if (Status st = Sync(); !st.ok()) return st;
   if (Status st = file_->Close(); !st.ok()) return st;
-  records_since_sync_ = 0;
+  rotations_metric_->Increment();
   return OpenSegment(segment_index_ + 1);
 }
 
 Status WalWriter::Append(std::string_view payload) {
   if (broken_) {
+    append_failures_metric_->Increment();
     return UnavailableError(
         "wal: writer is broken after an earlier append failure");
   }
   if (payload.size() > kWalMaxPayloadBytes) {
+    append_failures_metric_->Increment();
     return InvalidArgumentError(
         StrFormat("wal: payload of %zu bytes exceeds the %u-byte frame "
                   "limit",
                   payload.size(), kWalMaxPayloadBytes));
   }
+  TraceSpan append_span("wal.append", trace_round_, TraceRing::Global(),
+                        append_latency_);
   const std::size_t frame_bytes = kFrameHeaderBytes + payload.size();
   if (Status st = MaybeRotate(frame_bytes); !st.ok()) {
     broken_ = true;
+    append_failures_metric_->Increment();
     return st;
   }
   std::string frame;
@@ -116,17 +122,21 @@ Status WalWriter::Append(std::string_view payload) {
   frame.append(payload);
   if (Status st = file_->Append(frame); !st.ok()) {
     broken_ = true;
+    append_failures_metric_->Increment();
     return st;
   }
   // Push the frame out of user-space buffers: a process crash must lose
   // at most what the fsync policy already allows.
   if (Status st = file_->Flush(); !st.ok()) {
     broken_ = true;
+    append_failures_metric_->Increment();
     return st;
   }
   segment_bytes_written_ += frame_bytes;
   ++records_appended_;
   ++records_since_sync_;
+  appends_metric_->Increment();
+  bytes_metric_->Add(static_cast<std::int64_t>(frame_bytes));
 
   bool want_sync = false;
   switch (options_.sync_mode) {
@@ -142,6 +152,7 @@ Status WalWriter::Append(std::string_view payload) {
   if (want_sync) {
     if (Status st = Sync(); !st.ok()) {
       broken_ = true;
+      append_failures_metric_->Increment();
       return st;
     }
   }
@@ -150,11 +161,15 @@ Status WalWriter::Append(std::string_view payload) {
 
 Status WalWriter::Sync() {
   if (file_ == nullptr) return UnavailableError("wal: writer is closed");
+  TraceSpan span("wal.fsync", trace_round_, TraceRing::Global(),
+                 fsync_latency_);
   if (Status st = file_->Sync(); !st.ok()) {
     broken_ = true;
+    fsync_failures_metric_->Increment();
     return st;
   }
   records_since_sync_ = 0;
+  fsyncs_metric_->Increment();
   return Status::Ok();
 }
 
@@ -162,7 +177,12 @@ Status WalWriter::Close() {
   if (file_ == nullptr) return Status::Ok();
   Status result = Status::Ok();
   if (!broken_ && options_.sync_mode != WalSyncMode::kNever) {
-    if (Status st = file_->Sync(); !st.ok()) result = st;
+    if (Status st = file_->Sync(); st.ok()) {
+      fsyncs_metric_->Increment();
+    } else {
+      fsync_failures_metric_->Increment();
+      result = st;
+    }
   }
   if (Status st = file_->Close(); !st.ok() && result.ok()) result = st;
   file_.reset();

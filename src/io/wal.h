@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "io/env.h"
+#include "obs/metrics.h"
 
 namespace fasea {
 
@@ -81,6 +82,10 @@ class WalWriter {
   std::uint64_t segment_index() const { return segment_index_; }
   std::int64_t records_appended() const { return records_appended_; }
 
+  /// Tags the trace spans of subsequent appends/fsyncs with the serving
+  /// round they belong to (purely observability; 0 = outside any round).
+  void set_trace_round(std::int64_t round) { trace_round_ = round; }
+
  private:
   WalWriter(Env* env, std::string dir, WalOptions options)
       : env_(env), dir_(std::move(dir)), options_(options) {}
@@ -96,7 +101,22 @@ class WalWriter {
   std::uint64_t segment_bytes_written_ = 0;
   std::int64_t records_appended_ = 0;
   std::int64_t records_since_sync_ = 0;
+  std::int64_t trace_round_ = 0;
   bool broken_ = false;
+
+  // Process-wide WAL telemetry (all writers share the same series; a
+  // deployment runs one).
+  Counter* appends_metric_ = Metrics()->GetCounter("fasea.wal.appends");
+  Counter* append_failures_metric_ =
+      Metrics()->GetCounter("fasea.wal.append_failures");
+  Counter* bytes_metric_ = Metrics()->GetCounter("fasea.wal.bytes_appended");
+  Counter* fsyncs_metric_ = Metrics()->GetCounter("fasea.wal.fsyncs");
+  Counter* fsync_failures_metric_ =
+      Metrics()->GetCounter("fasea.wal.fsync_failures");
+  Counter* rotations_metric_ = Metrics()->GetCounter("fasea.wal.rotations");
+  Histogram* append_latency_ =
+      Metrics()->GetHistogram("fasea.wal.append_ns");
+  Histogram* fsync_latency_ = Metrics()->GetHistogram("fasea.wal.fsync_ns");
 };
 
 /// How ScanWal treats a corrupt frame that is not a torn tail.

@@ -55,10 +55,12 @@ double SymmetricInverse::InverseQuadraticForm(
 void SymmetricInverse::Refactorize() {
   auto chol = Cholesky::Factorize(y_);
   if (!chol.ok()) {
+    ++num_refactor_failures_;
     healthy_ = false;
     return;
   }
   y_inv_ = chol->Inverse();
+  ++num_refactorizations_;
   healthy_ = true;
 }
 

@@ -68,6 +68,15 @@ class SymmetricInverse {
   /// Number of rank-1 updates applied so far.
   std::int64_t num_updates() const { return num_updates_; }
 
+  /// Number of successful full Cholesky re-factorizations (the O(d³)
+  /// "full solve" path, vs the O(d²) Sherman–Morrison updates above).
+  std::int64_t num_refactorizations() const { return num_refactorizations_; }
+
+  /// Number of re-factorization attempts that failed (Y not SPD).
+  std::int64_t num_refactor_failures() const {
+    return num_refactor_failures_;
+  }
+
   std::size_t MemoryBytes() const {
     return y_.MemoryBytes() + y_inv_.MemoryBytes() + work_.MemoryBytes();
   }
@@ -78,6 +87,8 @@ class SymmetricInverse {
   Vector work_;  // Scratch for Y⁻¹ x.
   std::int64_t refactor_every_;
   std::int64_t num_updates_ = 0;
+  std::int64_t num_refactorizations_ = 0;
+  std::int64_t num_refactor_failures_ = 0;
   bool healthy_ = true;
 };
 

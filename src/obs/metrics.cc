@@ -1,0 +1,222 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace fasea {
+
+// --- HistogramSnapshot ---------------------------------------------------
+
+std::int64_t HistogramSnapshot::ValueAtPercentile(double p) const {
+  if (count <= 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample, 1-based; p=0 means the first sample.
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(p / 100.0 *
+                                             static_cast<double>(count))));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Report the highest value this bucket can hold, clamped to what
+      // was actually observed — exact for unit-width buckets and for the
+      // extremes, ≤ one bucket width optimistic elsewhere.
+      const std::int64_t upper = Histogram::BucketUpperBound(i);
+      std::int64_t value = upper == INT64_MAX ? max : upper - 1;
+      return std::clamp(value, min, max);
+    }
+  }
+  return max;
+}
+
+// --- Histogram -----------------------------------------------------------
+
+std::int64_t Histogram::BucketLowerBound(std::size_t index) {
+  FASEA_CHECK(index < kNumBuckets);
+  if (index < 2 * kSubBuckets) return static_cast<std::int64_t>(index);
+  const std::size_t block = index >> kSubBucketBits;
+  const std::size_t pos = index & (kSubBuckets - 1);
+  const int shift = static_cast<int>(block) - 1;
+  return static_cast<std::int64_t>((kSubBuckets + pos) << shift);
+}
+
+std::int64_t Histogram::BucketUpperBound(std::size_t index) {
+  FASEA_CHECK(index < kNumBuckets);
+  if (index == kNumBuckets - 1) return INT64_MAX;  // Overflow bucket.
+  if (index < 2 * kSubBuckets) return static_cast<std::int64_t>(index) + 1;
+  const std::size_t block = index >> kSubBucketBits;
+  const int shift = static_cast<int>(block) - 1;
+  return BucketLowerBound(index) + (std::int64_t{1} << shift);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::int64_t n = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[i] = n;
+    snap.count += n;
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const std::int64_t min = min_.load(std::memory_order_relaxed);
+  const std::int64_t max = max_.load(std::memory_order_relaxed);
+  snap.min = snap.count > 0 && min != INT64_MAX ? min : 0;
+  snap.max = snap.count > 0 && max != INT64_MIN ? max : 0;
+  return snap;
+}
+
+// --- MetricsRegistry -----------------------------------------------------
+
+MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(const std::string& name,
+                                                     Kind kind) {
+  FASEA_CHECK(!name.empty());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  FASEA_CHECK(entry.kind == kind &&
+              "metric name already registered as a different kind");
+  return &entry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return GetOrCreate(name, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return GetOrCreate(name, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetOrCreate(name, Kind::kHistogram)->histogram.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.emplace_back(name, entry.counter->value());
+        break;
+      case Kind::kGauge:
+        snap.gauges.emplace_back(name, entry.gauge->value());
+        break;
+      case Kind::kHistogram:
+        snap.histograms.emplace_back(name, entry.histogram->Snapshot());
+        break;
+    }
+  }
+  return snap;
+}
+
+namespace {
+
+void AppendJsonHistogram(const HistogramSnapshot& h, std::string* out) {
+  out->append(StrFormat(
+      "{\"count\":%lld,\"sum\":%lld,\"min\":%lld,\"max\":%lld,"
+      "\"mean\":%s,\"p50\":%lld,\"p90\":%lld,\"p95\":%lld,\"p99\":%lld,"
+      "\"buckets\":[",
+      static_cast<long long>(h.count), static_cast<long long>(h.sum),
+      static_cast<long long>(h.min), static_cast<long long>(h.max),
+      FormatDouble(h.Mean(), 6).c_str(),
+      static_cast<long long>(h.ValueAtPercentile(50)),
+      static_cast<long long>(h.ValueAtPercentile(90)),
+      static_cast<long long>(h.ValueAtPercentile(95)),
+      static_cast<long long>(h.ValueAtPercentile(99))));
+  bool first = true;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (h.buckets[i] == 0) continue;
+    out->append(StrFormat(
+        "%s[%lld,%lld]", first ? "" : ",",
+        static_cast<long long>(Histogram::BucketLowerBound(i)),
+        static_cast<long long>(h.buckets[i])));
+    first = false;
+  }
+  out->append("]}");
+}
+
+std::string PrometheusName(std::string name) {
+  for (char& c : name) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  const RegistrySnapshot snap = Snapshot();
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out.append(StrFormat("%s\"%s\":%lld", i == 0 ? "" : ",",
+                         snap.counters[i].first.c_str(),
+                         static_cast<long long>(snap.counters[i].second)));
+  }
+  out.append("},\"gauges\":{");
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out.append(StrFormat("%s\"%s\":%s", i == 0 ? "" : ",",
+                         snap.gauges[i].first.c_str(),
+                         FormatDouble(snap.gauges[i].second, 6).c_str()));
+  }
+  out.append("},\"histograms\":{");
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    out.append(StrFormat("%s\"%s\":", i == 0 ? "" : ",",
+                         snap.histograms[i].first.c_str()));
+    AppendJsonHistogram(snap.histograms[i].second, &out);
+  }
+  out.append("}}");
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  const RegistrySnapshot snap = Snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PrometheusName(name);
+    out.append(StrFormat("# TYPE %s counter\n%s %lld\n", prom.c_str(),
+                         prom.c_str(), static_cast<long long>(value)));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PrometheusName(name);
+    out.append(StrFormat("# TYPE %s gauge\n%s %s\n", prom.c_str(),
+                         prom.c_str(), FormatDouble(value, 6).c_str()));
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string prom = PrometheusName(name);
+    out.append(StrFormat("# TYPE %s summary\n", prom.c_str()));
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+      out.append(StrFormat(
+          "%s{quantile=\"%s\"} %lld\n", prom.c_str(),
+          FormatDouble(q, 2).c_str(),
+          static_cast<long long>(h.ValueAtPercentile(q * 100.0))));
+    }
+    out.append(StrFormat("%s_sum %lld\n%s_count %lld\n", prom.c_str(),
+                         static_cast<long long>(h.sum), prom.c_str(),
+                         static_cast<long long>(h.count)));
+  }
+  return out;
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace fasea

@@ -1,0 +1,239 @@
+// Process-wide runtime metrics for the serving pipeline.
+//
+// Three primitives, all safe for concurrent recording with relaxed
+// atomics and no locks on the hot path:
+//
+//   Counter    — monotonically increasing 64-bit count (appends, fsyncs,
+//                degraded-mode entries, ...).
+//   Gauge      — last-written value (health bits, rounds served).
+//   Histogram  — fixed-bucket log-scale value distribution with
+//                p50/p95/p99/max extraction; designed for nanosecond
+//                latencies but works for any non-negative magnitude.
+//
+// MetricsRegistry owns named instances: components resolve their metrics
+// by name once (at construction — a mutex-protected map lookup) and then
+// record through plain pointers, so the per-round cost is a handful of
+// relaxed atomic adds. `MetricsRegistry::Global()` is the process-wide
+// registry every production component uses; tests may build private
+// registries.
+//
+// Export surfaces: Snapshot() (structured), ToJson() (machine-readable,
+// consumed by `fasea_cli stats` and tools/check.sh --metrics-smoke), and
+// ToPrometheusText() (scrape-style text).
+//
+// Compile-time kill switch: building with -DFASEA_DISABLE_METRICS
+// (CMake option of the same name) turns every Record/Add/Set into a
+// no-op that the optimizer deletes, for measuring instrumentation
+// overhead (bench/micro_policies) or shaving the last atomics off an
+// embedded build. Registration and snapshots still work; they report
+// zeros.
+#ifndef FASEA_OBS_METRICS_H_
+#define FASEA_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fasea {
+
+#ifdef FASEA_DISABLE_METRICS
+inline constexpr bool kMetricsEnabled = false;
+#else
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment() { Add(1); }
+  void Add(std::int64_t n) {
+    if constexpr (kMetricsEnabled) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      (void)n;
+    }
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) {
+    if constexpr (kMetricsEnabled) {
+      value_.store(value, std::memory_order_relaxed);
+    } else {
+      (void)value;
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time copy of one histogram; all derived statistics
+/// (percentiles, mean) are computed on the copy so a snapshot is
+/// internally consistent even while recording continues.
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  // 0 when empty.
+  std::int64_t max = 0;
+  std::vector<std::int64_t> buckets;  // Size Histogram::kNumBuckets.
+
+  /// Value at percentile p ∈ [0, 100]: the upper edge of the bucket
+  /// containing the p-th sample, clamped to the observed [min, max] (so a
+  /// single-sample histogram reports that sample exactly). Empty → 0.
+  std::int64_t ValueAtPercentile(double p) const;
+  double Mean() const {
+    return count > 0 ? static_cast<double>(sum) / count : 0.0;
+  }
+};
+
+/// Log-scale histogram of non-negative 64-bit values (HdrHistogram-style
+/// indexing): each power-of-two octave is split into kSubBuckets linear
+/// sub-buckets, giving ≤ 100/kSubBuckets % relative bucket width with a
+/// small fixed array and pure integer arithmetic. Values 0..2·kSubBuckets
+/// land in exact unit-width buckets; values past the last boundary land
+/// in the overflow bucket (index kNumBuckets−1), whose reported
+/// percentile value is clamped to the observed max.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 3;  // 8 sub-buckets per octave.
+  static constexpr std::int64_t kSubBuckets = 1 << kSubBucketBits;
+  // 384 buckets cover [0, 2^50) ≈ 13 days in nanoseconds; anything larger
+  // clamps into the final (overflow) bucket.
+  static constexpr std::size_t kNumBuckets = 384;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one sample. Negative values clamp to 0 (the stopwatch can
+  /// legally report 0 ns on a coarse clock; it never reports negatives —
+  /// the clamp is for arbitrary caller-supplied magnitudes).
+  void Record(std::int64_t value) {
+    if constexpr (kMetricsEnabled) {
+      if (value < 0) value = 0;
+      buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+      sum_.fetch_add(value, std::memory_order_relaxed);
+      UpdateExtreme(&min_, value, /*want_min=*/true);
+      UpdateExtreme(&max_, value, /*want_min=*/false);
+    } else {
+      (void)value;
+    }
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Bucket index of `value` (≥ 0); the top bucket absorbs overflow.
+  static std::size_t BucketIndex(std::int64_t value) {
+    const auto v = static_cast<std::uint64_t>(value);
+    std::size_t index;
+    if (v < 2 * kSubBuckets) {
+      index = static_cast<std::size_t>(v);
+    } else {
+      const int octave = 63 - std::countl_zero(v);
+      const int shift = octave - kSubBucketBits;
+      index = static_cast<std::size_t>(
+          (static_cast<std::uint64_t>(octave - kSubBucketBits)
+           << kSubBucketBits) +
+          (v >> shift));
+    }
+    return index < kNumBuckets ? index : kNumBuckets - 1;
+  }
+
+  /// Inclusive lower edge of bucket `index`.
+  static std::int64_t BucketLowerBound(std::size_t index);
+  /// Exclusive upper edge of bucket `index` (the overflow bucket reports
+  /// INT64_MAX).
+  static std::int64_t BucketUpperBound(std::size_t index);
+
+ private:
+  static void UpdateExtreme(std::atomic<std::int64_t>* slot,
+                            std::int64_t value, bool want_min) {
+    std::int64_t seen = slot->load(std::memory_order_relaxed);
+    while ((want_min ? value < seen : value > seen) &&
+           !slot->compare_exchange_weak(seen, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{INT64_MAX};
+  std::atomic<std::int64_t> max_{INT64_MIN};
+};
+
+/// One registry snapshot: every metric, sorted by name.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric registered under `name`, creating it on first
+  /// use. A name permanently binds to its first-requested kind; asking
+  /// for it as a different kind aborts (catches catalog typos early).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  RegistrySnapshot Snapshot() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {count, sum, min, max, mean, p50, p90, p95, p99, buckets: [[lo,
+  /// count], ...]}}} — buckets lists only non-empty ones.
+  std::string ToJson() const;
+
+  /// Prometheus-style text: counters/gauges as-is, histograms as summary
+  /// quantiles plus _count/_sum. Metric names have '.' mapped to '_'.
+  std::string ToPrometheusText() const;
+
+  /// The process-wide registry used by all production instrumentation.
+  static MetricsRegistry* Global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* GetOrCreate(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Shorthand for MetricsRegistry::Global().
+inline MetricsRegistry* Metrics() { return MetricsRegistry::Global(); }
+
+}  // namespace fasea
+
+#endif  // FASEA_OBS_METRICS_H_

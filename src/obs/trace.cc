@@ -1,0 +1,123 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace fasea {
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
+  FASEA_CHECK(capacity > 0);
+  slots_.reserve(std::min<std::size_t>(capacity, 1024));
+}
+
+void TraceRing::Record(const TraceEvent& event) {
+  if constexpr (!kMetricsEnabled) {
+    (void)event;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (slots_.size() < capacity_) {
+    slots_.push_back(event);
+    return;
+  }
+  slots_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> TraceRing::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(slots_.size());
+  // Once wrapped, `next_` points at the oldest slot.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    out.push_back(slots_[(next_ + i) % slots_.size()]);
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  next_ = 0;
+}
+
+std::int64_t TraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::vector<TraceEvent> TraceRing::FilteredEvents(
+    std::size_t last_rounds) const {
+  std::vector<TraceEvent> events = Events();
+  if (last_rounds == 0 || events.empty()) return events;
+  std::int64_t max_round = 0;
+  for (const TraceEvent& e : events) max_round = std::max(max_round, e.round);
+  const std::int64_t cutoff =
+      max_round - static_cast<std::int64_t>(last_rounds) + 1;
+  std::erase_if(events,
+                [cutoff](const TraceEvent& e) { return e.round < cutoff; });
+  return events;
+}
+
+std::string TraceRing::DumpText(std::size_t last_rounds) const {
+  const std::vector<TraceEvent> events = FilteredEvents(last_rounds);
+  if (events.empty()) return "trace: no spans recorded\n";
+
+  // Group by round, preserving recording order inside each round. The
+  // ring is ordered oldest → newest, so a stable sort on round keeps
+  // stage order within a round.
+  std::vector<TraceEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.round < b.round;
+                   });
+  std::string out;
+  std::int64_t current_round = -1;
+  std::int64_t round_origin_ns = 0;
+  for (const TraceEvent& e : sorted) {
+    if (e.round != current_round) {
+      current_round = e.round;
+      round_origin_ns = e.start_ns;
+      out.append(StrFormat("round %lld:\n",
+                           static_cast<long long>(e.round)));
+    }
+    out.append(StrFormat(
+        "  %-24s %10.1fus  @+%.1fus\n", e.name,
+        static_cast<double>(e.duration_ns) / 1e3,
+        static_cast<double>(e.start_ns - round_origin_ns) / 1e3));
+  }
+  return out;
+}
+
+std::string TraceRing::ToJson(std::size_t last_rounds) const {
+  const std::vector<TraceEvent> events = FilteredEvents(last_rounds);
+  std::string out = "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out.append(StrFormat(
+        "%s{\"name\":\"%s\",\"round\":%lld,\"start_ns\":%lld,"
+        "\"duration_ns\":%lld}",
+        i == 0 ? "" : ",", events[i].name,
+        static_cast<long long>(events[i].round),
+        static_cast<long long>(events[i].start_ns),
+        static_cast<long long>(events[i].duration_ns)));
+  }
+  out.append("]");
+  return out;
+}
+
+TraceRing* TraceRing::Global() {
+  static TraceRing* ring = new TraceRing();
+  return ring;
+}
+
+void RecordSpanSinceImpl(const char* name, std::int64_t round,
+                         std::int64_t start_ns, Histogram* histogram) {
+  const std::int64_t duration = Stopwatch::NowNanos() - start_ns;
+  TraceRing::Global()->Record(TraceEvent{name, round, start_ns, duration});
+  if (histogram != nullptr) histogram->Record(duration);
+}
+
+}  // namespace fasea

@@ -45,6 +45,9 @@ void RegisterCliFlags(FlagSet* flags) {
                       "If set, write <prefix>_<metric>.csv files.");
   flags->DefineInt("series_rows", 14,
                    "Rows to print per metric series (0 = all).");
+  flags->DefineInt("emit_metrics_every", 0,
+                   "Print per-policy progress/latency lines to stderr every "
+                   "N rounds (0 = off).");
   // Algorithm parameters (paper defaults).
   flags->DefineDouble("lambda", 1.0, "Ridge regularizer lambda.");
   flags->DefineDouble("alpha", 2.0, "UCB exploration weight alpha.");
@@ -130,6 +133,7 @@ StatusOr<SyntheticExperiment> SyntheticExperimentFromFlags(
   exp.kinds = *kinds;
   exp.run_seed = static_cast<std::uint64_t>(flags.GetInt("run_seed"));
   exp.compute_kendall = flags.GetBool("kendall");
+  exp.emit_metrics_every = flags.GetInt("emit_metrics_every");
   return exp;
 }
 
@@ -162,6 +166,7 @@ StatusOr<RealExperiment> RealExperimentFromFlags(const FlagSet& flags) {
   exp.include_online_baseline = flags.GetBool("online_baseline");
   exp.run_seed = static_cast<std::uint64_t>(flags.GetInt("run_seed"));
   exp.compute_kendall = flags.GetBool("kendall");
+  exp.emit_metrics_every = flags.GetInt("emit_metrics_every");
   return exp;
 }
 

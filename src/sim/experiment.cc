@@ -27,6 +27,7 @@ SimulationResult RunSyntheticExperiment(const SyntheticExperiment& exp) {
   options.seed = exp.run_seed;
   options.compute_kendall = exp.compute_kendall;
   options.validate_arrangements = exp.validate_arrangements;
+  options.emit_metrics_every = exp.emit_metrics_every;
   Simulator sim(&(*world)->instance(), &(*world)->provider(),
                 &(*world)->feedback(), options);
   return sim.Run(&opt, policies);
@@ -71,6 +72,7 @@ SimulationResult RunRealExperiment(const RealDataset& dataset,
   options.horizon = exp.horizon;
   options.seed = exp.run_seed;
   options.compute_kendall = exp.compute_kendall;
+  options.emit_metrics_every = exp.emit_metrics_every;
   Simulator sim(&instance, &provider, &feedback, options);
   return sim.Run(&full_knowledge, policies);
 }

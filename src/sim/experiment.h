@@ -25,6 +25,8 @@ struct SyntheticExperiment {
   std::uint64_t run_seed = 42;
   bool compute_kendall = false;
   bool validate_arrangements = true;
+  /// See SimOptions::emit_metrics_every.
+  std::int64_t emit_metrics_every = 0;
 };
 
 SimulationResult RunSyntheticExperiment(const SyntheticExperiment& exp);
@@ -45,6 +47,8 @@ struct RealExperiment {
   bool include_online_baseline = true;
   std::uint64_t run_seed = 42;
   bool compute_kendall = false;
+  /// See SimOptions::emit_metrics_every.
+  std::int64_t emit_metrics_every = 0;
 };
 
 SimulationResult RunRealExperiment(const RealDataset& dataset,

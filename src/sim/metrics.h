@@ -44,6 +44,14 @@ struct TrajectoryResult {
   double avg_round_seconds = 0.0;
   std::size_t memory_bytes = 0;
 
+  // Per-round decision latency (Propose + Learn) percentiles over the
+  // whole run, from the trajectory's log-scale histogram (obs/metrics.h).
+  // Unlike avg_round_seconds these expose the tail, which the mean hides.
+  std::int64_t latency_p50_ns = 0;
+  std::int64_t latency_p95_ns = 0;
+  std::int64_t latency_p99_ns = 0;
+  std::int64_t latency_max_ns = 0;
+
   double FinalAcceptRatio() const {
     return final_arranged > 0 ? final_reward / final_arranged : 0.0;
   }

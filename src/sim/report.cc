@@ -82,13 +82,19 @@ TextTable SummaryTable(const SimulationResult& result,
   TextTable table;
   table.SetHeader({"algorithm", "accept_ratio", "total_rewards",
                    "total_regrets", "regret_ratio", "avg_time_ms",
-                   "memory_KB"});
+                   "p50_us", "p99_us", "memory_KB"});
   for (const auto* traj : trajs) {
     table.AddRow({traj->name, FormatDouble(traj->FinalAcceptRatio(), 4),
                   FormatDouble(traj->final_reward, 6),
                   FormatDouble(traj->final_regret, 6),
                   FormatDouble(traj->FinalRegretRatio(), 4),
                   FormatDouble(traj->avg_round_seconds * 1e3, 4),
+                  FormatDouble(static_cast<double>(traj->latency_p50_ns) /
+                                   1e3,
+                               3),
+                  FormatDouble(static_cast<double>(traj->latency_p99_ns) /
+                                   1e3,
+                               3),
                   FormatDouble(static_cast<double>(traj->memory_bytes) /
                                    1024.0,
                                5)});

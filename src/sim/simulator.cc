@@ -1,8 +1,10 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "oracle/oracle.h"
 #include "rng/seed.h"
 
@@ -16,6 +18,9 @@ struct Trajectory {
   PlatformState state;
   Pcg64 feedback_rng{0};
   Stopwatch watch;
+  /// Per-round Propose+Learn latency distribution (private to this
+  /// trajectory, not the process registry — concurrent runs must not mix).
+  Histogram latency;
 
   double cum_reward = 0.0;
   double cum_arranged = 0.0;
@@ -69,6 +74,7 @@ SimulationResult Simulator::Run(Policy* reference,
   std::size_t next_checkpoint = 0;
   const auto play_round = [&](std::int64_t t, const RoundContext& round,
                               Trajectory& traj) {
+    const std::int64_t round_start_ns = traj.watch.ElapsedNanos();
     traj.watch.Start();
     const Arrangement arrangement =
         traj.policy->Propose(t, round, traj.state);
@@ -87,14 +93,38 @@ SimulationResult Simulator::Run(Policy* reference,
     traj.watch.Start();
     traj.policy->Learn(t, round, arrangement, feedback);
     traj.watch.Stop();
+    // The watch only runs inside Propose and Learn, so the accumulated
+    // delta is exactly this round's decision latency.
+    traj.latency.Record(traj.watch.ElapsedNanos() - round_start_ns);
     traj.cum_arranged += static_cast<double>(arrangement.size());
     traj.cum_reward += static_cast<double>(NumAccepted(feedback));
+  };
+
+  const auto emit_progress = [&](std::int64_t t, const Trajectory& traj) {
+    const HistogramSnapshot lat = traj.latency.Snapshot();
+    std::fprintf(
+        stderr,
+        "[sim] t=%lld/%lld policy=%s accept=%.4f p50_ns=%lld p99_ns=%lld "
+        "max_ns=%lld\n",
+        static_cast<long long>(t),
+        static_cast<long long>(options_.horizon),
+        traj.result.name.c_str(),
+        traj.cum_arranged > 0 ? traj.cum_reward / traj.cum_arranged : 0.0,
+        static_cast<long long>(lat.ValueAtPercentile(50)),
+        static_cast<long long>(lat.ValueAtPercentile(99)),
+        static_cast<long long>(lat.max));
   };
 
   for (std::int64_t t = 1; t <= options_.horizon; ++t) {
     const RoundContext& round = provider_->NextRound(t);
     play_round(t, round, ref);
     for (Trajectory& traj : algs) play_round(t, round, traj);
+
+    if (options_.emit_metrics_every > 0 &&
+        t % options_.emit_metrics_every == 0) {
+      emit_progress(t, ref);
+      for (const Trajectory& traj : algs) emit_progress(t, traj);
+    }
 
     if (next_checkpoint < options_.checkpoints.size() &&
         options_.checkpoints[next_checkpoint] == t) {
@@ -135,6 +165,11 @@ SimulationResult Simulator::Run(Policy* reference,
     r.final_regret = is_ref ? 0.0 : ref.cum_reward - traj.cum_reward;
     r.avg_round_seconds =
         traj.watch.ElapsedSeconds() / static_cast<double>(options_.horizon);
+    const HistogramSnapshot lat = traj.latency.Snapshot();
+    r.latency_p50_ns = lat.ValueAtPercentile(50);
+    r.latency_p95_ns = lat.ValueAtPercentile(95);
+    r.latency_p99_ns = lat.ValueAtPercentile(99);
+    r.latency_max_ns = lat.max;
     // The paper's memory metric covers learner state plus the input data
     // held resident (instance + one round's context matrix).
     r.memory_bytes = traj.policy->MemoryBytes() + traj.state.MemoryBytes() +

@@ -39,6 +39,9 @@ struct SimOptions {
   /// Validate every proposed arrangement against Definition 3 (cheap:
   /// O(|A_t|²) with |A_t| ≤ c_u); disable only in micro-benchmarks.
   bool validate_arrangements = true;
+  /// Every N rounds, print one progress line per trajectory to stderr
+  /// (round, accept ratio so far, latency p50/p99/max). 0 disables.
+  std::int64_t emit_metrics_every = 0;
 };
 
 struct SimulationResult {

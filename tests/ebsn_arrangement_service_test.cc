@@ -278,5 +278,76 @@ TEST(ArrangementServiceTest, LogReplayMatchesLiveService) {
   EXPECT_LT(MaxAbsDiff(rebuilt->ridge().b(), live->ridge().b()), 1e-12);
 }
 
+TEST(ArrangementServiceTest, TelemetryCountsServesFeedbacksAndErrors) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  MetricsRegistry* metrics = Metrics();
+  const std::int64_t serves0 =
+      metrics->GetCounter("fasea.serve.rounds")->value();
+  const std::int64_t serve_errors0 =
+      metrics->GetCounter("fasea.serve.errors")->value();
+  const std::int64_t proposed0 =
+      metrics->GetCounter("fasea.serve.proposed_events")->value();
+  const std::int64_t feedbacks0 =
+      metrics->GetCounter("fasea.feedback.rounds")->value();
+  const std::int64_t feedback_errors0 =
+      metrics->GetCounter("fasea.feedback.errors")->value();
+  const std::int64_t accepted0 =
+      metrics->GetCounter("fasea.feedback.accepted_events")->value();
+  const std::int64_t serve_lat0 =
+      metrics->GetHistogram("fasea.serve.latency_ns")->Snapshot().count;
+  const std::int64_t feedback_lat0 =
+      metrics->GetHistogram("fasea.feedback.latency_ns")->Snapshot().count;
+
+  const ProblemInstance instance = MakeInstance();
+  ArrangementService service(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+  Pcg64 rng(11);
+  std::int64_t proposed = 0;
+  std::int64_t accepted = 0;
+  for (int round = 0; round < 3; ++round) {
+    auto arrangement = service.ServeUser(round, 2, MakeContexts(rng));
+    ASSERT_TRUE(arrangement.ok());
+    proposed += static_cast<std::int64_t>(arrangement->size());
+    // All-ones feedback: every proposed event is accepted.
+    accepted += static_cast<std::int64_t>(arrangement->size());
+    ASSERT_TRUE(
+        service.SubmitFeedback(Feedback(arrangement->size(), 1)).ok());
+  }
+  // One protocol violation on each side of the round trip.
+  EXPECT_FALSE(service.SubmitFeedback(Feedback(1, 0)).ok());
+  auto fourth = service.ServeUser(9, 2, MakeContexts(rng));
+  ASSERT_TRUE(fourth.ok());
+  proposed += static_cast<std::int64_t>(fourth->size());
+  EXPECT_FALSE(service.ServeUser(10, 2, MakeContexts(rng)).ok());
+
+  EXPECT_EQ(metrics->GetCounter("fasea.serve.rounds")->value() - serves0, 4);
+  EXPECT_EQ(
+      metrics->GetCounter("fasea.serve.errors")->value() - serve_errors0, 1);
+  EXPECT_EQ(metrics->GetCounter("fasea.serve.proposed_events")->value() -
+                proposed0,
+            proposed);
+  EXPECT_EQ(
+      metrics->GetCounter("fasea.feedback.rounds")->value() - feedbacks0, 3);
+  EXPECT_EQ(metrics->GetCounter("fasea.feedback.errors")->value() -
+                feedback_errors0,
+            1);
+  EXPECT_EQ(metrics->GetCounter("fasea.feedback.accepted_events")->value() -
+                accepted0,
+            accepted);
+  // Every ServeUser call (including the failed ones) records a latency
+  // sample; same for SubmitFeedback.
+  EXPECT_EQ(
+      metrics->GetHistogram("fasea.serve.latency_ns")->Snapshot().count -
+          serve_lat0,
+      5);
+  EXPECT_EQ(
+      metrics->GetHistogram("fasea.feedback.latency_ns")->Snapshot().count -
+          feedback_lat0,
+      4);
+  // Health gauges reflect the live service.
+  EXPECT_EQ(metrics->GetGauge("fasea.service.learner_healthy")->value(),
+            1.0);
+  EXPECT_EQ(metrics->GetGauge("fasea.service.rounds_served")->value(), 4.0);
+}
+
 }  // namespace
 }  // namespace fasea

@@ -282,5 +282,73 @@ TEST(WalTest, SyncModesIssueExpectedFsyncs) {
   }
 }
 
+TEST(WalTest, TelemetryCountsAppendsBytesAndFsyncs) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  MetricsRegistry* metrics = Metrics();
+  const std::int64_t appends0 =
+      metrics->GetCounter("fasea.wal.appends")->value();
+  const std::int64_t bytes0 =
+      metrics->GetCounter("fasea.wal.bytes_appended")->value();
+  const std::int64_t fsyncs0 =
+      metrics->GetCounter("fasea.wal.fsyncs")->value();
+  const std::int64_t append_failures0 =
+      metrics->GetCounter("fasea.wal.append_failures")->value();
+
+  Env* env = Env::Default();
+  const std::string dir = FreshDir("wal_telemetry");
+  WalOptions options;
+  options.sync_mode = WalSyncMode::kEveryRecord;
+  auto writer = WalWriter::Open(env, dir, options);
+  ASSERT_TRUE(writer.ok());
+  std::int64_t payload_bytes = 0;
+  const std::vector<std::string> payloads = SamplePayloads();
+  for (const std::string& payload : payloads) {
+    ASSERT_TRUE((*writer)->Append(payload).ok());
+    payload_bytes += static_cast<std::int64_t>(payload.size());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  const auto appended =
+      static_cast<std::int64_t>(payloads.size());
+  EXPECT_EQ(metrics->GetCounter("fasea.wal.appends")->value() - appends0,
+            appended);
+  // Bytes cover payloads plus the 8-byte frame headers.
+  EXPECT_EQ(metrics->GetCounter("fasea.wal.bytes_appended")->value() - bytes0,
+            payload_bytes + 8 * appended);
+  // kEveryRecord: one fsync per append, plus at least the close sync.
+  EXPECT_GE(metrics->GetCounter("fasea.wal.fsyncs")->value() - fsyncs0,
+            appended);
+  EXPECT_EQ(metrics->GetCounter("fasea.wal.append_failures")->value() -
+                append_failures0,
+            0);
+}
+
+TEST(WalTest, TelemetryCountsFailedAppends) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  MetricsRegistry* metrics = Metrics();
+  const std::int64_t append_failures0 =
+      metrics->GetCounter("fasea.wal.append_failures")->value();
+  const std::int64_t faults0 =
+      metrics->GetCounter("fasea.faultenv.faults_injected")->value();
+
+  FaultInjectionEnv faulty(Env::Default());
+  const std::string dir = FreshDir("wal_telemetry_fail");
+  auto writer = WalWriter::Open(&faulty, dir);
+  ASSERT_TRUE(writer.ok());
+  faulty.ArmWriteError(0);
+  EXPECT_FALSE((*writer)->Append("doomed").ok());
+  EXPECT_EQ(metrics->GetCounter("fasea.wal.append_failures")->value() -
+                append_failures0,
+            1);
+  EXPECT_EQ(metrics->GetCounter("fasea.faultenv.faults_injected")->value() -
+                faults0,
+            1);
+  // The broken writer fails fast — and counts — on every later append.
+  EXPECT_FALSE((*writer)->Append("still broken").ok());
+  EXPECT_EQ(metrics->GetCounter("fasea.wal.append_failures")->value() -
+                append_failures0,
+            2);
+}
+
 }  // namespace
 }  // namespace fasea

@@ -1,0 +1,146 @@
+// Snapshot consistency under concurrent recording: writers hammer the
+// counters/gauges/histograms of one registry while readers take
+// snapshots. Run under tools/check.sh's FASEA_SANITIZE tier this also
+// proves the hot path is race-free (relaxed atomics, no locks).
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fasea {
+namespace {
+
+TEST(ObsConcurrencyTest, CounterIncrementsAreNotLost) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kPerThread = 20000;
+  Counter counter;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&counter] {
+      for (std::int64_t n = 0; n < kPerThread; ++n) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(ObsConcurrencyTest, HistogramCountAndSumMatchAfterConcurrentRecords) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kPerThread = 10000;
+  Histogram histogram;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&histogram, i] {
+      for (std::int64_t n = 0; n < kPerThread; ++n) {
+        histogram.Record(i * 1000 + (n % 97));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  std::int64_t expected_sum = 0;
+  for (int i = 0; i < kThreads; ++i) {
+    for (std::int64_t n = 0; n < kPerThread; ++n) {
+      expected_sum += i * 1000 + (n % 97);
+    }
+  }
+  EXPECT_EQ(snap.sum, expected_sum);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 7 * 1000 + 96);
+}
+
+TEST(ObsConcurrencyTest, SnapshotsUnderConcurrentIncrementsAreMonotone) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  constexpr int kWriters = 4;
+  constexpr std::int64_t kPerThread = 20000;
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.hits");
+  Histogram* latency = registry.GetHistogram("test.latency");
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int i = 0; i < kWriters; ++i) {
+    writers.emplace_back([&] {
+      for (std::int64_t n = 0; n < kPerThread; ++n) {
+        counter->Increment();
+        latency->Record(n & 1023);
+      }
+    });
+  }
+
+  // Reader: every snapshot must be internally sane (count == Σ buckets by
+  // construction; counter and histogram monotone non-decreasing) even
+  // while writers race.
+  std::thread reader([&] {
+    std::int64_t last_count = 0;
+    std::int64_t last_hits = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const RegistrySnapshot snap = registry.Snapshot();
+      ASSERT_EQ(snap.counters.size(), 1u);
+      ASSERT_EQ(snap.histograms.size(), 1u);
+      const std::int64_t hits = snap.counters[0].second;
+      const HistogramSnapshot& h = snap.histograms[0].second;
+      EXPECT_GE(hits, last_hits);
+      EXPECT_GE(h.count, last_count);
+      EXPECT_LE(h.count, kWriters * kPerThread);
+      std::int64_t bucket_total = 0;
+      for (std::int64_t b : h.buckets) bucket_total += b;
+      EXPECT_EQ(bucket_total, h.count);
+      if (h.count > 0) {
+        EXPECT_GE(h.ValueAtPercentile(99), h.min);
+        EXPECT_LE(h.ValueAtPercentile(99), h.max);
+      }
+      last_hits = hits;
+      last_count = h.count;
+    }
+  });
+
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(counter->value(), kWriters * kPerThread);
+  EXPECT_EQ(latency->Snapshot().count, kWriters * kPerThread);
+}
+
+TEST(ObsConcurrencyTest, TraceRingSurvivesConcurrentSpans) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 2000;
+  TraceRing ring(/*capacity=*/256);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&ring, i] {
+      for (int n = 0; n < kSpansPerThread; ++n) {
+        TraceSpan span("test.span", /*round=*/i * kSpansPerThread + n,
+                       &ring);
+      }
+    });
+  }
+  // Concurrent readers exercise Events() against the writers.
+  std::thread reader([&ring] {
+    for (int n = 0; n < 200; ++n) {
+      const std::vector<TraceEvent> events = ring.Events();
+      EXPECT_LE(events.size(), ring.capacity());
+      for (const TraceEvent& e : events) EXPECT_GE(e.duration_ns, 0);
+    }
+  });
+  for (auto& t : threads) t.join();
+  reader.join();
+  EXPECT_EQ(ring.total_recorded(), kThreads * kSpansPerThread);
+  EXPECT_EQ(ring.Events().size(), ring.capacity());
+}
+
+}  // namespace
+}  // namespace fasea

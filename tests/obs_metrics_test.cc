@@ -1,0 +1,202 @@
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "gtest/gtest.h"
+
+namespace fasea {
+namespace {
+
+TEST(HistogramBucketTest, SmallValuesGetExactUnitBuckets) {
+  // Values below 2 * kSubBuckets index themselves: unit-width buckets.
+  for (std::int64_t v = 0; v < 2 * Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), static_cast<std::size_t>(v));
+    EXPECT_EQ(Histogram::BucketLowerBound(Histogram::BucketIndex(v)), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(Histogram::BucketIndex(v)), v + 1);
+  }
+}
+
+TEST(HistogramBucketTest, EveryValueFallsInsideItsBucket) {
+  // Walk octave boundaries and their neighbours across the whole range.
+  for (std::int64_t base = 1; base > 0 && base < (INT64_C(1) << 60);
+       base <<= 1) {
+    for (std::int64_t v : {base - 1, base, base + 1}) {
+      const std::size_t index = Histogram::BucketIndex(v);
+      ASSERT_LT(index, Histogram::kNumBuckets);
+      EXPECT_LE(Histogram::BucketLowerBound(index), v)
+          << "v=" << v << " index=" << index;
+      EXPECT_LT(v, Histogram::BucketUpperBound(index))
+          << "v=" << v << " index=" << index;
+    }
+  }
+}
+
+TEST(HistogramBucketTest, IndexIsMonotoneAcrossBucketEdges) {
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    const std::int64_t lower = Histogram::BucketLowerBound(i);
+    const std::size_t index = Histogram::BucketIndex(lower);
+    EXPECT_EQ(index, i) << "lower edge of bucket " << i;
+    EXPECT_GE(index, last);
+    last = index;
+  }
+}
+
+TEST(HistogramBucketTest, RelativeBucketWidthIsBounded) {
+  // Log-scale promise: width / lower <= 1 / kSubBuckets past the linear
+  // range (the overflow bucket is exempt — it absorbs everything).
+  for (std::size_t i = 2 * Histogram::kSubBuckets;
+       i + 1 < Histogram::kNumBuckets; ++i) {
+    const double lower =
+        static_cast<double>(Histogram::BucketLowerBound(i));
+    const double width =
+        static_cast<double>(Histogram::BucketUpperBound(i)) - lower;
+    EXPECT_LE(width / lower, 1.0 / Histogram::kSubBuckets + 1e-12)
+        << "bucket " << i;
+  }
+}
+
+TEST(HistogramBucketTest, OverflowClampsToLastBucket) {
+  const std::size_t last = Histogram::kNumBuckets - 1;
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<std::int64_t>::max()),
+            last);
+  // The first value past the penultimate bucket's range also lands there.
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(last)), last);
+  EXPECT_EQ(Histogram::BucketUpperBound(last),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.sum, 0);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_EQ(snap.ValueAtPercentile(50), 0);
+  EXPECT_EQ(snap.ValueAtPercentile(99), 0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleReportsItselfAtEveryPercentile) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  Histogram h;
+  h.Record(123456);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_EQ(snap.sum, 123456);
+  EXPECT_EQ(snap.min, 123456);
+  EXPECT_EQ(snap.max, 123456);
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(snap.ValueAtPercentile(p), 123456) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, PercentilesTrackBucketResolution) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  Histogram h;
+  for (std::int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1000);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 1000);
+  // A percentile may be off by at most one bucket width (≤ 12.5 %).
+  const auto near = [](std::int64_t reported, double expected) {
+    EXPECT_GE(static_cast<double>(reported), expected * (1 - 0.125) - 1);
+    EXPECT_LE(static_cast<double>(reported), expected * (1 + 0.125) + 1);
+  };
+  near(snap.ValueAtPercentile(50), 500);
+  near(snap.ValueAtPercentile(95), 950);
+  near(snap.ValueAtPercentile(99), 990);
+  EXPECT_EQ(snap.ValueAtPercentile(100), 1000);
+}
+
+TEST(HistogramTest, OverflowSamplesClampPercentileToObservedMax) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  Histogram h;
+  const std::int64_t huge = INT64_C(1) << 55;  // Past the covered range.
+  h.Record(10);
+  h.Record(huge);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.max, huge);
+  EXPECT_EQ(snap.buckets[Histogram::kNumBuckets - 1], 1);
+  // Without the clamp this would report INT64_MAX - 1.
+  EXPECT_EQ(snap.ValueAtPercentile(100), huge);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  Histogram h;
+  h.Record(-5);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_EQ(snap.ValueAtPercentile(50), 0);
+}
+
+TEST(CounterTest, AddAndIncrement) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), kMetricsEnabled ? 42 : 0);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  Gauge g;
+  g.Set(1.5);
+  g.Set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), kMetricsEnabled ? -2.0 : 0.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.counter");
+  Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("test.other"), a);
+  EXPECT_EQ(registry.GetHistogram("test.hist"),
+            registry.GetHistogram("test.hist"));
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.b")->Add(2);
+  registry.GetCounter("test.a")->Add(1);
+  registry.GetGauge("test.g")->Set(3.0);
+  registry.GetHistogram("test.h")->Record(7);
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "test.a");
+  EXPECT_EQ(snap.counters[1].first, "test.b");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  if (kMetricsEnabled) {
+    EXPECT_EQ(snap.counters[0].second, 1);
+    EXPECT_EQ(snap.counters[1].second, 2);
+    EXPECT_EQ(snap.histograms[0].second.count, 1);
+  }
+}
+
+TEST(MetricsRegistryTest, JsonAndPrometheusContainMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.counter")->Add(5);
+  registry.GetHistogram("test.latency_ns")->Record(100);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"test.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  const std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("test_counter"), std::string::npos);
+  EXPECT_NE(prom.find("test_latency_ns_count"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GlobalIsStable) {
+  EXPECT_EQ(MetricsRegistry::Global(), MetricsRegistry::Global());
+  EXPECT_EQ(Metrics(), MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace fasea {
+namespace {
+
+TraceEvent MakeEvent(const char* name, std::int64_t round,
+                     std::int64_t start_ns, std::int64_t duration_ns) {
+  TraceEvent event;
+  event.name = name;
+  event.round = round;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  return event;
+}
+
+TEST(TraceRingTest, KeepsOnlyNewestWhenFull) {
+  TraceRing ring(/*capacity=*/4);
+  for (int i = 0; i < 7; ++i) {
+    ring.Record(MakeEvent("stage", /*round=*/i, /*start_ns=*/i * 100,
+                          /*duration_ns=*/10));
+  }
+  EXPECT_EQ(ring.total_recorded(), 7);
+  const std::vector<TraceEvent> events = ring.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: rounds 3, 4, 5, 6 survive.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].round, static_cast<std::int64_t>(i + 3));
+  }
+}
+
+TEST(TraceRingTest, ClearDropsRetainedSpans) {
+  TraceRing ring(/*capacity=*/4);
+  ring.Record(MakeEvent("stage", 1, 0, 1));
+  ring.Clear();
+  EXPECT_TRUE(ring.Events().empty());
+  // A cleared ring keeps accepting spans.
+  ring.Record(MakeEvent("stage", 2, 0, 1));
+  EXPECT_EQ(ring.Events().size(), 1u);
+}
+
+TEST(TraceRingTest, DumpTextGroupsByRoundAndFiltersToLastRounds) {
+  TraceRing ring(/*capacity=*/16);
+  ring.Record(MakeEvent("serve.ingest", 1, 1000, 50));
+  ring.Record(MakeEvent("serve.total", 1, 990, 500));
+  ring.Record(MakeEvent("serve.ingest", 2, 2000, 60));
+  ring.Record(MakeEvent("wal.append", 2, 2100, 200));
+  const std::string all = ring.DumpText();
+  EXPECT_NE(all.find("round 1"), std::string::npos);
+  EXPECT_NE(all.find("round 2"), std::string::npos);
+  EXPECT_NE(all.find("serve.ingest"), std::string::npos);
+  const std::string last = ring.DumpText(/*last_rounds=*/1);
+  EXPECT_EQ(last.find("round 1"), std::string::npos);
+  EXPECT_NE(last.find("round 2"), std::string::npos);
+  EXPECT_NE(last.find("wal.append"), std::string::npos);
+}
+
+TEST(TraceRingTest, ToJsonListsEventsInOrder) {
+  TraceRing ring(/*capacity=*/8);
+  ring.Record(MakeEvent("a", 1, 10, 5));
+  ring.Record(MakeEvent("b", 2, 20, 6));
+  const std::string json = ring.ToJson();
+  const std::size_t a = json.find("\"a\"");
+  const std::size_t b = json.find("\"b\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_NE(json.find("\"round\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"duration_ns\":6"), std::string::npos);
+  // Filtered view drops round 1.
+  EXPECT_EQ(ring.ToJson(/*last_rounds=*/1).find("\"a\""), std::string::npos);
+}
+
+TEST(TraceSpanTest, RecordsCompletedSpanIntoRingAndHistogram) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  TraceRing ring(/*capacity=*/8);
+  Histogram latency;
+  {
+    TraceSpan span("test.stage", /*round=*/7, &ring, &latency);
+  }
+  const std::vector<TraceEvent> events = ring.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.stage");
+  EXPECT_EQ(events[0].round, 7);
+  EXPECT_GE(events[0].duration_ns, 0);
+  const HistogramSnapshot snap = latency.Snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_EQ(snap.min, events[0].duration_ns);
+}
+
+TEST(TraceSpanTest, NestedSpansAreContainedInParent) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  TraceRing ring(/*capacity=*/8);
+  {
+    TraceSpan outer("outer", 1, &ring);
+    TraceSpan inner("inner", 1, &ring);
+  }
+  const std::vector<TraceEvent> events = ring.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Destruction order: inner completes (and records) first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_GE(events[0].start_ns, events[1].start_ns);
+  EXPECT_LE(events[0].start_ns + events[0].duration_ns,
+            events[1].start_ns + events[1].duration_ns);
+}
+
+TEST(TraceRingTest, GlobalIsStable) {
+  EXPECT_EQ(TraceRing::Global(), TraceRing::Global());
+  EXPECT_EQ(TraceRing::Global()->capacity(), TraceRing::kDefaultCapacity);
+}
+
+}  // namespace
+}  // namespace fasea

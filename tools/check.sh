@@ -3,26 +3,79 @@
 # tests again under AddressSanitizer + UndefinedBehaviorSanitizer
 # (-DFASEA_SANITIZE=ON). Run from anywhere; trees live in build/ and
 # build-sanitize/ at the repository root.
+#
+#   tools/check.sh                  # plain + sanitizer tiers
+#   tools/check.sh --metrics-smoke  # also smoke-test `fasea_cli stats`
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
+metrics_smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --metrics-smoke) metrics_smoke=1 ;;
+    *)
+      echo "check.sh: unknown argument '$arg' (supported: --metrics-smoke)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+# A configure failure (broken CMakeLists edit, missing toolchain) must
+# stop the run with its actual error, not scroll by suppressed before the
+# build step dies confusingly.
+configure() {
+  local dir="$1"
+  shift
+  if ! cmake -B "$dir" -S "$root" "$@" >"$dir.configure.log" 2>&1; then
+    echo "check.sh: FATAL: cmake configure failed for $dir" >&2
+    echo "check.sh: last 30 lines of $dir.configure.log:" >&2
+    tail -n 30 "$dir.configure.log" >&2
+    exit 1
+  fi
+}
+
 echo "== tier-1: plain build + ctest =="
-cmake -B "$root/build" -S "$root" >/dev/null
+configure "$root/build"
 cmake --build "$root/build" -j "$jobs"
 ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
 
 echo
 echo "== sanitizers: ASan + UBSan build + ctest =="
+echo "sanitizer tier: AddressSanitizer + UndefinedBehaviorSanitizer" \
+     "(-DFASEA_SANITIZE=ON)"
 # Benchmarks and examples add nothing to sanitizer coverage of the
 # library; skip them so the instrumented build stays fast.
-cmake -B "$root/build-sanitize" -S "$root" \
+configure "$root/build-sanitize" \
   -DFASEA_SANITIZE=ON \
   -DFASEA_BUILD_BENCHMARKS=OFF \
-  -DFASEA_BUILD_EXAMPLES=OFF >/dev/null
+  -DFASEA_BUILD_EXAMPLES=OFF
 cmake --build "$root/build-sanitize" -j "$jobs"
 ctest --test-dir "$root/build-sanitize" --output-on-failure -j "$jobs"
+
+if [[ "$metrics_smoke" -eq 1 ]]; then
+  echo
+  echo "== metrics smoke: fasea_cli stats =="
+  "$root/build/tools/fasea_cli" stats --rounds=1000 --trace_rounds=2 \
+    >"$root/build/stats.json"
+  python3 - "$root/build/stats.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+hist = snap["histograms"]["fasea.serve.latency_ns"]
+assert hist["count"] >= 1000, hist
+for key in ("p50", "p95", "p99", "max"):
+    assert key in hist, f"missing {key} in serve-latency histogram"
+assert "fasea.wal.fsyncs" in snap["counters"], "missing WAL fsync counter"
+assert "fasea.service.degraded_entries" in snap["counters"], \
+    "missing degraded-mode counter"
+print("metrics smoke: serve-latency histogram OK "
+      f"(count={hist['count']}, p50={hist['p50']}ns, p99={hist['p99']}ns)")
+PY
+fi
 
 echo
 echo "check.sh: all clean"

@@ -11,12 +11,25 @@
 //
 //   fasea_cli recover --wal_dir=/var/lib/fasea/wal
 //   fasea_cli recover --wal_dir=... --checkpoint=policy.ckpt --skip_corrupt
+//
+// Observability smoke run (drives a synthetic serving workload through
+// ArrangementService with a WAL attached, then dumps the process metrics
+// registry; tools/check.sh --metrics-smoke builds on this):
+//
+//   fasea_cli stats                       # JSON on stdout
+//   fasea_cli stats --format=prom         # Prometheus-style text
+//   fasea_cli stats --rounds=1000 --trace_rounds=3   # + stage trace on stderr
 #include <cstdio>
 #include <string_view>
 
 #include "common/flags.h"
+#include "datagen/synthetic.h"
+#include "ebsn/arrangement_service.h"
 #include "ebsn/recovery_manager.h"
 #include "io/env.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rng/pcg64.h"
 #include "sim/cli.h"
 
 namespace {
@@ -68,11 +81,133 @@ int RecoverMain(int argc, char** argv) {
   return 0;
 }
 
+int StatsMain(int argc, char** argv) {
+  fasea::FlagSet flags;
+  flags.DefineInt("rounds", 1000, "Serve/feedback rounds to drive.");
+  flags.DefineInt("num_events", 100, "|V| of the synthetic workload.");
+  flags.DefineInt("dim", 10, "Context dimension d.");
+  flags.DefineString("policy", "ucb",
+                     "Serving policy: ucb|ts|egreedy|exploit|random.");
+  flags.DefineInt("seed", 7, "Workload + policy seed.");
+  flags.DefineString("wal_dir", "",
+                     "WAL directory; empty uses a scratch directory under "
+                     "/tmp whose old segments are deleted first.");
+  flags.DefineInt("sync_every", 8,
+                  "fsync every N appends (1 = after every record).");
+  flags.DefineString("format", "json", "Output format: json | prom.");
+  flags.DefineInt("trace_rounds", 0,
+                  "Dump the per-stage trace of the last N rounds to stderr "
+                  "(0 = off).");
+  flags.DefineBool("help", false, "Show this help.");
+  if (fasea::Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "fasea_cli stats: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::fputs(flags.HelpText("fasea_cli stats").c_str(), stdout);
+    return 0;
+  }
+  const std::string format = flags.GetString("format");
+  if (format != "json" && format != "prom") {
+    std::fprintf(stderr, "fasea_cli stats: unknown --format '%s' (json|prom)\n",
+                 format.c_str());
+    return 2;
+  }
+
+  fasea::SyntheticConfig config;
+  config.num_events = static_cast<std::size_t>(flags.GetInt("num_events"));
+  config.dim = static_cast<std::size_t>(flags.GetInt("dim"));
+  config.horizon = flags.GetInt("rounds");
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  if (fasea::Status st = config.Validate(); !st.ok()) {
+    std::fprintf(stderr, "fasea_cli stats: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  auto world = fasea::SyntheticWorld::Create(config);
+  if (!world.ok()) {
+    std::fprintf(stderr, "fasea_cli stats: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+
+  auto kinds = fasea::ParsePolicyList(flags.GetString("policy"));
+  if (!kinds.ok()) {
+    std::fprintf(stderr, "fasea_cli stats: %s\n",
+                 kinds.status().ToString().c_str());
+    return 2;
+  }
+  fasea::ArrangementService service(
+      &(*world)->instance(), kinds->front(), fasea::PolicyParams{},
+      static_cast<std::uint64_t>(flags.GetInt("seed")));
+
+  fasea::Env* env = fasea::Env::Default();
+  std::string wal_dir = flags.GetString("wal_dir");
+  if (wal_dir.empty()) {
+    wal_dir = "/tmp/fasea_stats_wal";
+    if (auto entries = env->ListDir(wal_dir); entries.ok()) {
+      for (const std::string& name : *entries) {
+        (void)env->DeleteFile(wal_dir + "/" + name);
+      }
+    }
+  }
+  fasea::WalOptions wal_options;
+  const std::int64_t sync_every = flags.GetInt("sync_every");
+  wal_options.sync_mode = sync_every <= 1 ? fasea::WalSyncMode::kEveryRecord
+                                          : fasea::WalSyncMode::kEveryN;
+  wal_options.sync_every_n = sync_every;
+  auto wal = fasea::WalWriter::Open(env, wal_dir, wal_options);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "fasea_cli stats: %s\n",
+                 wal.status().ToString().c_str());
+    return 1;
+  }
+  service.AttachWal(std::move(wal).value());
+
+  fasea::Pcg64 feedback_rng(static_cast<std::uint64_t>(flags.GetInt("seed")),
+                            /*stream=*/99);
+  const std::int64_t rounds = flags.GetInt("rounds");
+  for (std::int64_t t = 1; t <= rounds; ++t) {
+    const fasea::RoundContext& round = (*world)->provider().NextRound(t);
+    auto arrangement = service.ServeUser(round.user_id, round.user_capacity,
+                                         round.contexts);
+    if (!arrangement.ok()) {
+      std::fprintf(stderr, "fasea_cli stats: round %lld: %s\n",
+                   static_cast<long long>(t),
+                   arrangement.status().ToString().c_str());
+      return 1;
+    }
+    const fasea::Feedback feedback = (*world)->feedback().Sample(
+        t, round.contexts, *arrangement, feedback_rng);
+    if (fasea::Status st = service.SubmitFeedback(feedback); !st.ok()) {
+      std::fprintf(stderr, "fasea_cli stats: round %lld: %s\n",
+                   static_cast<long long>(t), st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (format == "json") {
+    std::printf("%s\n", fasea::Metrics()->ToJson().c_str());
+  } else {
+    std::fputs(fasea::Metrics()->ToPrometheusText().c_str(), stdout);
+  }
+  const std::int64_t trace_rounds = flags.GetInt("trace_rounds");
+  if (trace_rounds > 0) {
+    std::fputs(fasea::TraceRing::Global()
+                   ->DumpText(static_cast<std::size_t>(trace_rounds))
+                   .c_str(),
+               stderr);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::string_view(argv[1]) == "recover") {
     return RecoverMain(argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::string_view(argv[1]) == "stats") {
+    return StatsMain(argc - 2, argv + 2);
   }
   return fasea::CliMain(argc, argv);
 }
