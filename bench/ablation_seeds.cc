@@ -13,23 +13,29 @@
 #include "bench_util.h"
 #include "sim/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fasea;
   using namespace fasea::bench;
 
+  const int threads = ThreadsFromArgs(argc, argv);
   Banner("Ablation", "Stability of the policy ordering across 5 seeds");
 
   const std::vector<std::uint64_t> seeds = {11, 22, 33, 44, 55};
-  std::map<std::string, std::vector<double>> accept, regret;
-
+  std::vector<SyntheticExperiment> exps;
   for (std::uint64_t seed : seeds) {
     SyntheticExperiment exp;
     exp.data.seed = seed;
     exp.run_seed = seed * 7 + 1;
     ApplyScale(std::min(0.1, EnvScale()), &exp.data);
-    std::printf("running seed %llu ...\n",
-                static_cast<unsigned long long>(seed));
-    const SimulationResult result = RunSyntheticExperiment(exp);
+    exps.push_back(exp);
+  }
+  std::printf("running %zu seeds on %d thread(s) ...\n", seeds.size(),
+              threads);
+  const std::vector<SimulationResult> results =
+      RunSyntheticExperiments(exps, threads);
+
+  std::map<std::string, std::vector<double>> accept, regret;
+  for (const SimulationResult& result : results) {
     for (const auto& traj : result.policies) {
       accept[traj.name].push_back(traj.FinalAcceptRatio());
       regret[traj.name].push_back(traj.final_regret);

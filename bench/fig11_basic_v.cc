@@ -5,18 +5,20 @@
 // capacities never bind.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fasea;
   using namespace fasea::bench;
 
+  const int threads = ThreadsFromArgs(argc, argv);
   Banner("Figure 11", "Basic contextual bandit, varying |V|");
 
+  std::vector<std::pair<std::string, SyntheticExperiment>> sweep;
   for (std::size_t v : {100u, 500u, 1000u}) {
     SyntheticExperiment exp = DefaultExperiment();
     exp.data.basic_bandit = true;
     exp.data.num_events = v;
-    std::printf("################ |V| = %zu ################\n\n", v);
-    PrintPanels(RunSyntheticExperiment(exp));
+    sweep.emplace_back(StrFormat("|V| = %zu", v), exp);
   }
+  RunAndPrintSweep(sweep, threads);
   return 0;
 }

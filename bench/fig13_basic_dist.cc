@@ -5,10 +5,11 @@
 // everyone's accept ratio.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fasea;
   using namespace fasea::bench;
 
+  const int threads = ThreadsFromArgs(argc, argv);
   Banner("Figure 13", "Basic contextual bandit under other distributions");
 
   struct Combo {
@@ -24,13 +25,14 @@ int main() {
       {"theta~Uniform, x~Shuffle", ValueDistribution::kUniform,
        ValueDistribution::kShuffle},
   };
+  std::vector<std::pair<std::string, SyntheticExperiment>> sweep;
   for (const Combo& combo : combos) {
     SyntheticExperiment exp = DefaultExperiment();
     exp.data.basic_bandit = true;
     exp.data.theta_dist = combo.theta;
     exp.data.context_dist = combo.context;
-    std::printf("################ %s ################\n\n", combo.label);
-    PrintPanels(RunSyntheticExperiment(exp));
+    sweep.emplace_back(combo.label, exp);
   }
+  RunAndPrintSweep(sweep, threads);
   return 0;
 }

@@ -6,17 +6,19 @@
 // according to total capacity; TS still worst, UCB/Exploit best.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fasea;
   using namespace fasea::bench;
 
+  const int threads = ThreadsFromArgs(argc, argv);
   Banner("Figure 3", "Effect of |V| (100 and 1000)");
 
+  std::vector<std::pair<std::string, SyntheticExperiment>> sweep;
   for (std::size_t v : {100u, 1000u}) {
     SyntheticExperiment exp = DefaultExperiment();
     exp.data.num_events = v;
-    std::printf("################ |V| = %zu ################\n\n", v);
-    PrintPanels(RunSyntheticExperiment(exp));
+    sweep.emplace_back(StrFormat("|V| = %zu", v), exp);
   }
+  RunAndPrintSweep(sweep, threads);
   return 0;
 }

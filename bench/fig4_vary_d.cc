@@ -6,17 +6,19 @@
 // the paper's second explanation of TS's weakness).
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fasea;
   using namespace fasea::bench;
 
+  const int threads = ThreadsFromArgs(argc, argv);
   Banner("Figure 4", "Effect of dimension d");
 
+  std::vector<std::pair<std::string, SyntheticExperiment>> sweep;
   for (std::size_t d : {1u, 5u, 10u, 15u}) {
     SyntheticExperiment exp = DefaultExperiment();
     exp.data.dim = d;
-    std::printf("################ d = %zu ################\n\n", d);
-    PrintPanels(RunSyntheticExperiment(exp));
+    sweep.emplace_back(StrFormat("d = %zu", d), exp);
   }
+  RunAndPrintSweep(sweep, threads);
   return 0;
 }

@@ -6,10 +6,11 @@
 // and regrets drop early. Normal and Shuffle look like the default.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fasea;
   using namespace fasea::bench;
 
+  const int threads = ThreadsFromArgs(argc, argv);
   Banner("Figure 5", "θ and features under Power / Normal / Shuffle");
 
   struct Combo {
@@ -25,12 +26,13 @@ int main() {
       {"theta~Uniform, x~Shuffle", ValueDistribution::kUniform,
        ValueDistribution::kShuffle},
   };
+  std::vector<std::pair<std::string, SyntheticExperiment>> sweep;
   for (const Combo& combo : combos) {
     SyntheticExperiment exp = DefaultExperiment();
     exp.data.theta_dist = combo.theta;
     exp.data.context_dist = combo.context;
-    std::printf("################ %s ################\n\n", combo.label);
-    PrintPanels(RunSyntheticExperiment(exp));
+    sweep.emplace_back(combo.label, exp);
   }
+  RunAndPrintSweep(sweep, threads);
   return 0;
 }

@@ -4,26 +4,32 @@
 // Expected shape: small capacities ⇒ events run out early ⇒ accept ratios
 // and regrets drop suddenly; at N(500,200) events remain available for
 // the whole horizon and no sudden drop appears.
+#include <algorithm>
+
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fasea;
   using namespace fasea::bench;
 
+  const int threads = ThreadsFromArgs(argc, argv);
   Banner("Figure 6", "Effect of event capacity distribution");
 
   struct Combo {
     const char* label;
     double mean, stddev;
   };
+  std::vector<std::pair<std::string, SyntheticExperiment>> sweep;
   for (const Combo& combo : {Combo{"c_v ~ N(100,100)", 100.0, 100.0},
                              Combo{"c_v ~ N(500,200)", 500.0, 200.0}}) {
     SyntheticExperiment exp = DefaultExperiment();
-    // Scale is already applied to the default; re-derive from raw values.
-    exp.data.event_capacity_mean = combo.mean * EnvScale();
-    exp.data.event_capacity_stddev = combo.stddev * EnvScale();
-    std::printf("################ %s ################\n\n", combo.label);
-    PrintPanels(RunSyntheticExperiment(exp));
+    // Scale is already applied to the default; re-derive from raw values,
+    // with the same >= 1 seat floor ApplyScale enforces.
+    exp.data.event_capacity_mean = std::max(1.0, combo.mean * EnvScale());
+    exp.data.event_capacity_stddev = std::min(
+        exp.data.event_capacity_mean, combo.stddev * EnvScale());
+    sweep.emplace_back(combo.label, exp);
   }
+  RunAndPrintSweep(sweep, threads);
   return 0;
 }

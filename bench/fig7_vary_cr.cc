@@ -6,17 +6,19 @@
 // arranged per user and no sudden drop occurs within the horizon.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fasea;
   using namespace fasea::bench;
 
+  const int threads = ThreadsFromArgs(argc, argv);
   Banner("Figure 7", "Effect of conflict ratio cr");
 
+  std::vector<std::pair<std::string, SyntheticExperiment>> sweep;
   for (double cr : {0.0, 0.5, 0.75, 1.0}) {
     SyntheticExperiment exp = DefaultExperiment();
     exp.data.conflict_ratio = cr;
-    std::printf("################ cr = %g ################\n\n", cr);
-    PrintPanels(RunSyntheticExperiment(exp));
+    sweep.emplace_back(StrFormat("cr = %g", cr), exp);
   }
+  RunAndPrintSweep(sweep, threads);
   return 0;
 }

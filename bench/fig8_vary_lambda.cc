@@ -5,21 +5,29 @@
 // Expected shape: λ = 1 or 2 slightly better than 0.5.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fasea;
   using namespace fasea::bench;
 
+  const int threads = ThreadsFromArgs(argc, argv);
   Banner("Figure 8", "Effect of algorithm parameter lambda");
 
-  std::vector<std::pair<std::string, SimulationResult>> runs;
+  std::vector<std::string> labels;
+  std::vector<SyntheticExperiment> exps;
   for (double lambda : {0.5, 1.0, 2.0}) {
     SyntheticExperiment exp = DefaultExperiment();
     exp.params.lambda = lambda;
     exp.kinds = {PolicyKind::kUcb, PolicyKind::kTs, PolicyKind::kEpsGreedy,
                  PolicyKind::kExploit};
     std::printf("running lambda = %g ...\n", lambda);
-    runs.emplace_back(StrFormat("lambda=%g", lambda),
-                      RunSyntheticExperiment(exp));
+    labels.push_back(StrFormat("lambda=%g", lambda));
+    exps.push_back(exp);
+  }
+  const std::vector<SimulationResult> results =
+      RunSyntheticExperiments(exps, threads);
+  std::vector<std::pair<std::string, SimulationResult>> runs;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    runs.emplace_back(labels[i], results[i]);
   }
   std::printf("\n");
 

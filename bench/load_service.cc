@@ -1,0 +1,210 @@
+// Multi-threaded closed-loop load driver for the thread-safe serving
+// path (ArrangementService::ServeUser / SubmitFeedback).
+//
+// N workers hammer ONE shared service: each worker serves a user, samples
+// the user's feedback from the synthetic ground truth, and submits it —
+// the closed loop of the online protocol. The protocol is sequential by
+// definition (one pending arrangement at a time), so a worker whose
+// ServeUser lands while another worker's round is mid-flight gets the
+// retryable FailedPrecondition and retries; the bench therefore measures
+// the serialized pipeline under contention — lock overhead, fairness,
+// and the per-call latency distribution — not speedup.
+//
+// Latency percentiles come from the process metrics registry (the same
+// `fasea.serve.latency_ns` / `fasea.feedback.latency_ns` histograms
+// `fasea_cli stats` exports); throughput from a wall-clock stopwatch.
+//
+//   load_service --threads=8 --rounds=20000
+//   load_service --threads=4 --policy=ts --wal_dir=/tmp/load_wal
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "datagen/synthetic.h"
+#include "ebsn/arrangement_service.h"
+#include "io/env.h"
+#include "obs/metrics.h"
+#include "rng/seed.h"
+#include "sim/cli.h"
+
+namespace {
+
+struct WorkerTotals {
+  std::int64_t served = 0;
+  std::int64_t contention_retries = 0;
+  std::int64_t accepted = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fasea;
+
+  FlagSet flags;
+  flags.DefineInt("threads", 4,
+                  "Closed-loop workers driving the shared service "
+                  "(<= 0 = one per hardware thread).");
+  flags.DefineInt("rounds", 10000, "Total rounds to serve across workers.");
+  flags.DefineInt("num_events", 100, "|V| of the synthetic workload.");
+  flags.DefineInt("dim", 10, "Context dimension d.");
+  flags.DefineString("policy", "ucb",
+                     "Serving policy: ucb|ts|egreedy|exploit|random.");
+  flags.DefineInt("seed", 7, "Workload + policy seed.");
+  flags.DefineString("wal_dir", "",
+                     "Attach a WAL in this directory (empty = no WAL).");
+  flags.DefineBool("help", false, "Show this help.");
+  if (Status st = flags.Parse(argc - 1, argv + 1); !st.ok()) {
+    std::fprintf(stderr, "load_service: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::fputs(flags.HelpText("load_service").c_str(), stdout);
+    return 0;
+  }
+  const int threads = flags.GetInt("threads") <= 0
+                          ? ThreadPool::HardwareThreads()
+                          : static_cast<int>(flags.GetInt("threads"));
+  const std::int64_t target_rounds = flags.GetInt("rounds");
+  FASEA_CHECK(target_rounds >= 1);
+
+  SyntheticConfig config;
+  config.num_events = static_cast<std::size_t>(flags.GetInt("num_events"));
+  config.dim = static_cast<std::size_t>(flags.GetInt("dim"));
+  config.horizon = target_rounds;
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  if (Status st = config.Validate(); !st.ok()) {
+    std::fprintf(stderr, "load_service: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  auto world = SyntheticWorld::Create(config);
+  if (!world.ok()) {
+    std::fprintf(stderr, "load_service: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  auto kinds = ParsePolicyList(flags.GetString("policy"));
+  if (!kinds.ok()) {
+    std::fprintf(stderr, "load_service: %s\n",
+                 kinds.status().ToString().c_str());
+    return 2;
+  }
+
+  ArrangementService service(&(*world)->instance(), kinds->front(),
+                             PolicyParams{},
+                             static_cast<std::uint64_t>(flags.GetInt("seed")));
+  if (const std::string& wal_dir = flags.GetString("wal_dir");
+      !wal_dir.empty()) {
+    auto wal = WalWriter::Open(Env::Default(), wal_dir, WalOptions{});
+    if (!wal.ok()) {
+      std::fprintf(stderr, "load_service: %s\n",
+                   wal.status().ToString().c_str());
+      return 1;
+    }
+    service.AttachWal(std::move(wal).value());
+  }
+
+  // Pre-generate a ring of rounds: the synthetic provider reuses its
+  // buffers and is not thread-safe, so workers cycle private copies.
+  const std::size_t ring_size =
+      std::min<std::size_t>(256, static_cast<std::size_t>(target_rounds));
+  std::vector<RoundContext> rounds(ring_size);
+  for (std::size_t i = 0; i < ring_size; ++i) {
+    rounds[i] = (*world)->provider().NextRound(static_cast<std::int64_t>(i) + 1);
+  }
+
+  std::printf("load_service: %d worker(s), %lld rounds, policy=%s, |V|=%zu, "
+              "d=%zu, wal=%s\n",
+              threads, static_cast<long long>(target_rounds),
+              flags.GetString("policy").c_str(), config.num_events,
+              config.dim, service.wal_attached() ? "on" : "off");
+
+  std::atomic<std::int64_t> completed{0};
+  std::vector<WorkerTotals> totals(static_cast<std::size_t>(threads));
+  Stopwatch wall;
+  wall.Start();
+  {
+    std::vector<std::thread> workers;
+    for (int w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        WorkerTotals& mine = totals[static_cast<std::size_t>(w)];
+        Pcg64 rng(DeriveSeed(config.seed, "load-feedback",
+                             static_cast<std::uint64_t>(w)),
+                  static_cast<std::uint64_t>(w));
+        while (completed.load(std::memory_order_relaxed) < target_rounds) {
+          const RoundContext& round =
+              rounds[static_cast<std::size_t>(
+                  completed.load(std::memory_order_relaxed)) %
+                  rounds.size()];
+          auto arrangement =
+              service.ServeUser(round.user_id, round.user_capacity,
+                                round.contexts);
+          if (!arrangement.ok()) {
+            // Another worker's round is mid-flight (the protocol allows
+            // one pending arrangement); back off and retry.
+            ++mine.contention_retries;
+            std::this_thread::yield();
+            continue;
+          }
+          const Feedback feedback = (*world)->feedback().Sample(
+              mine.served + 1, round.contexts, *arrangement, rng);
+          Status st = service.SubmitFeedback(feedback);
+          while (IsRetryable(st)) st = service.SubmitFeedback(feedback);
+          FASEA_CHECK_OK(st);
+          ++mine.served;
+          mine.accepted += NumAccepted(feedback);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  wall.Stop();
+
+  WorkerTotals sum;
+  for (const WorkerTotals& t : totals) {
+    sum.served += t.served;
+    sum.contention_retries += t.contention_retries;
+    sum.accepted += t.accepted;
+  }
+  FASEA_CHECK(sum.served == service.rounds_served());
+  FASEA_CHECK(sum.served >= target_rounds);
+
+  const double seconds = wall.ElapsedSeconds();
+  const RegistrySnapshot snap = Metrics()->Snapshot();
+  const auto percentiles = [&](const char* name) {
+    for (const auto& [metric, hist] : snap.histograms) {
+      if (metric == name) {
+        std::printf("  %-26s p50=%lldns p95=%lldns p99=%lldns max=%lldns "
+                    "(n=%lld)\n",
+                    name, static_cast<long long>(hist.ValueAtPercentile(50)),
+                    static_cast<long long>(hist.ValueAtPercentile(95)),
+                    static_cast<long long>(hist.ValueAtPercentile(99)),
+                    static_cast<long long>(hist.max),
+                    static_cast<long long>(hist.count));
+        return;
+      }
+    }
+    std::printf("  %-26s (no samples)\n", name);
+  };
+
+  std::printf("\nresults:\n");
+  std::printf("  rounds served              %lld\n",
+              static_cast<long long>(sum.served));
+  std::printf("  wall seconds               %.3f\n", seconds);
+  std::printf("  throughput                 %.0f rounds/s\n",
+              seconds > 0 ? static_cast<double>(sum.served) / seconds : 0.0);
+  std::printf("  accept ratio               %.4f\n",
+              sum.served > 0
+                  ? static_cast<double>(sum.accepted) /
+                        static_cast<double>(sum.served)
+                  : 0.0);
+  std::printf("  contention retries         %lld\n",
+              static_cast<long long>(sum.contention_retries));
+  percentiles("fasea.serve.latency_ns");
+  percentiles("fasea.feedback.latency_ns");
+  return 0;
+}

@@ -5,20 +5,31 @@
 // (UCB steepest: O(d²) per event); Random is flat and fastest.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fasea;
   using namespace fasea::bench;
 
+  // See tab5_scal_v.cc: --threads > 1 leaves the metric columns intact
+  // but adds co-scheduling noise to the timing column.
+  const int threads = ThreadsFromArgs(argc, argv);
   Banner("Table 6", "Avg per-round time & memory vs context dimension d");
 
-  std::vector<std::pair<std::string, SimulationResult>> runs;
+  std::vector<std::string> labels;
+  std::vector<SyntheticExperiment> exps;
   for (std::size_t d : {1u, 5u, 10u, 15u}) {
     SyntheticExperiment exp = DefaultExperiment();
     exp.data.dim = d;
     exp.data.horizon = std::min<std::int64_t>(exp.data.horizon, 10000);
     exp.compute_kendall = false;
     std::printf("running d = %zu ...\n", d);
-    runs.emplace_back(StrFormat("d=%zu", d), RunSyntheticExperiment(exp));
+    labels.push_back(StrFormat("d=%zu", d));
+    exps.push_back(exp);
+  }
+  const std::vector<SimulationResult> results =
+      RunSyntheticExperiments(exps, threads);
+  std::vector<std::pair<std::string, SimulationResult>> runs;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    runs.emplace_back(labels[i], results[i]);
   }
   std::printf("\n");
   Section("Average running time (ms) and memory (KB) per algorithm");

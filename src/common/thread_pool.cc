@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace fasea {
+
+ThreadPool::ThreadPool(int num_threads) {
+  FASEA_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  FASEA_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FASEA_CHECK(!shutdown_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::WaitAll() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // Shutdown with nothing left to run.
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> error_lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    lock.lock();
+    if (--in_flight_ == 0) all_done_.notify_all();
+  }
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    pool->Submit([&fn, i] { fn(i); });
+  }
+  pool->WaitAll();
+}
+
+}  // namespace fasea

@@ -1,0 +1,80 @@
+// Fixed-size worker pool for the parallel execution layer.
+//
+// FASEA's parallelism is deliberately coarse and deterministic: callers
+// decompose work into tasks whose *results* do not depend on execution
+// order (per-trajectory simulation rounds, whole experiments of a seed
+// sweep, closed-loop load-driver workers), submit them, and barrier with
+// WaitAll(). The pool adds no ambient magic — no work stealing across
+// pools, no global singleton — so a unit of work always runs on the pool
+// that owns it and `threads = 1` callers can skip the pool entirely.
+//
+// Error model: library code aborts on programmer error (FASEA_CHECK) but
+// tasks may still throw (std::bad_alloc, test assertions). The first
+// exception thrown by any task is captured and re-thrown from the next
+// WaitAll() on the submitting thread; later exceptions of the same wave
+// are dropped. Workers never unwind past the pool loop.
+#ifndef FASEA_COMMON_THREAD_POOL_H_
+#define FASEA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fasea {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; FASEA_CHECK'd).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding work (an implicit WaitAll, minus the rethrow —
+  /// destructors must not throw) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Tasks may be submitted from any thread, but
+  /// WaitAll() only guards tasks submitted before it is entered.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then re-throws the
+  /// first exception any of them raised (clearing it, so the pool is
+  /// reusable for the next wave).
+  void WaitAll();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows 0 for "unknown").
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;   // Signals workers.
+  std::condition_variable all_done_;     // Signals WaitAll.
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // Queued + currently executing tasks.
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0), ..., fn(n-1), fanning out across `pool` and blocking until
+/// all calls finish (WaitAll semantics, including the rethrow). A null
+/// pool, a single-threaded pool, or n <= 1 runs every call inline on the
+/// caller's thread in index order — the zero-overhead sequential path
+/// that parallel results must be bit-identical to.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace fasea
+
+#endif  // FASEA_COMMON_THREAD_POOL_H_

@@ -42,6 +42,7 @@ ArrangementService::FromCheckpoint(const ProblemInstance* instance,
 
 void ArrangementService::AttachWal(std::unique_ptr<WalWriter> wal,
                                    DurabilityPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
   FASEA_CHECK(wal != nullptr);
   FASEA_CHECK(wal_ == nullptr && "a WAL is already attached");
   wal_ = std::move(wal);
@@ -72,6 +73,7 @@ Arrangement ArrangementService::StatelessProposal(
 StatusOr<Arrangement> ArrangementService::ServeUser(
     std::int64_t user_id, std::int64_t user_capacity,
     const ContextMatrix& contexts) {
+  std::lock_guard<std::mutex> lock(mu_);
   TraceSpan total_span("serve.total", t_ + 1, TraceRing::Global(),
                        serve_latency_);
   if (pending_) {
@@ -124,6 +126,7 @@ StatusOr<Arrangement> ArrangementService::ServeUser(
 }
 
 Status ArrangementService::SubmitFeedback(const Feedback& feedback) {
+  std::lock_guard<std::mutex> lock(mu_);
   TraceSpan total_span("feedback.total", t_, TraceRing::Global(),
                        feedback_latency_);
   if (!pending_) {
@@ -199,6 +202,7 @@ Status ArrangementService::SubmitFeedback(const Feedback& feedback) {
 
 Status ArrangementService::RestoreInteraction(
     const InteractionRecord& record, bool learn) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (pending_) {
     return FailedPreconditionError(
         "cannot restore interactions while a round is awaiting feedback");
@@ -237,6 +241,7 @@ Status ArrangementService::RestoreInteraction(
 }
 
 std::string ArrangementService::Checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto* base = dynamic_cast<const LinearPolicyBase*>(policy_.get());
   FASEA_CHECK(base != nullptr &&
               "only ridge learners support checkpointing");

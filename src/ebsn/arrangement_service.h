@@ -24,10 +24,22 @@
 // Recovery paths: Checkpoint() + WAL tail via RecoverArrangementService
 // (ebsn/recovery_manager.h), checkpoint-only via FromCheckpoint, or
 // InteractionLog::Replay over a persisted CSV log.
+//
+// Thread safety: ServeUser, SubmitFeedback, RestoreInteraction,
+// Checkpoint, AttachWal, and the health accessors are safe to call from
+// any number of threads — one mutex serializes the round pipeline (the
+// protocol itself is sequential: one pending arrangement at a time, so
+// coarse locking costs no parallelism). A ServeUser racing a round that
+// is mid-flight fails with the same retryable FailedPrecondition a
+// single-threaded caller gets for an out-of-order call; closed-loop
+// drivers (bench/load_service.cc) simply retry. The reference accessors
+// state()/log()/policy() hand out unguarded views — take them only while
+// no other thread is mutating (tests, recovery tooling).
 #ifndef FASEA_EBSN_ARRANGEMENT_SERVICE_H_
 #define FASEA_EBSN_ARRANGEMENT_SERVICE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/checkpoint.h"
@@ -96,26 +108,46 @@ class ArrangementService {
   /// changed. Used by RecoverArrangementService.
   Status RestoreInteraction(const InteractionRecord& record, bool learn);
 
+  /// Unguarded views — require external quiescence (see the thread-safety
+  /// note above).
   const PlatformState& state() const { return state_; }
   const InteractionLog& log() const { return log_; }
   const Policy& policy() const { return *policy_; }
   /// Mutable policy access — for recovery tooling and fault-injection
   /// tests; production serving goes through ServeUser/SubmitFeedback.
   Policy* mutable_policy() { return policy_.get(); }
-  std::int64_t rounds_served() const { return t_; }
-  bool AwaitingFeedback() const { return pending_; }
+  std::int64_t rounds_served() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return t_;
+  }
+  bool AwaitingFeedback() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_;
+  }
 
   // --- Health -----------------------------------------------------------
 
-  bool wal_attached() const { return wal_ != nullptr; }
+  bool wal_attached() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return wal_ != nullptr;
+  }
   /// True once a WAL failure switched the service to serve-without-
   /// logging (DurabilityPolicy::kDegrade). Rounds served past this point
   /// are not recoverable from the WAL.
-  bool wal_degraded() const { return wal_degraded_; }
-  std::int64_t wal_append_failures() const { return wal_append_failures_; }
+  bool wal_degraded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return wal_degraded_;
+  }
+  std::int64_t wal_append_failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return wal_append_failures_;
+  }
   /// Rounds proposed by the stateless fallback because the learner's
   /// numerical state went unhealthy.
-  std::int64_t stateless_fallbacks() const { return stateless_fallbacks_; }
+  std::int64_t stateless_fallbacks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stateless_fallbacks_;
+  }
 
  private:
   ArrangementService(const ProblemInstance* instance, PolicyKind kind,
@@ -125,6 +157,10 @@ class ArrangementService {
   /// in id order, skipping unavailable/full/conflicting ones, up to the
   /// user capacity.
   Arrangement StatelessProposal(const RoundContext& round) const;
+
+  /// Serializes the round pipeline and every mutable member below; the
+  /// telemetry pointers are lock-free (the obs primitives are atomic).
+  mutable std::mutex mu_;
 
   const ProblemInstance* instance_;
   PolicyKind kind_;

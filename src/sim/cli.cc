@@ -48,6 +48,10 @@ void RegisterCliFlags(FlagSet* flags) {
   flags->DefineInt("emit_metrics_every", 0,
                    "Print per-policy progress/latency lines to stderr every "
                    "N rounds (0 = off).");
+  flags->DefineInt("threads", 1,
+                   "Worker threads for the per-round trajectory fan-out "
+                   "(1 = sequential, <= 0 = one per hardware thread); "
+                   "results are identical for every value.");
   // Algorithm parameters (paper defaults).
   flags->DefineDouble("lambda", 1.0, "Ridge regularizer lambda.");
   flags->DefineDouble("alpha", 2.0, "UCB exploration weight alpha.");
@@ -134,6 +138,7 @@ StatusOr<SyntheticExperiment> SyntheticExperimentFromFlags(
   exp.run_seed = static_cast<std::uint64_t>(flags.GetInt("run_seed"));
   exp.compute_kendall = flags.GetBool("kendall");
   exp.emit_metrics_every = flags.GetInt("emit_metrics_every");
+  exp.threads = static_cast<int>(flags.GetInt("threads"));
   return exp;
 }
 
@@ -167,6 +172,7 @@ StatusOr<RealExperiment> RealExperimentFromFlags(const FlagSet& flags) {
   exp.run_seed = static_cast<std::uint64_t>(flags.GetInt("run_seed"));
   exp.compute_kendall = flags.GetBool("kendall");
   exp.emit_metrics_every = flags.GetInt("emit_metrics_every");
+  exp.threads = static_cast<int>(flags.GetInt("threads"));
   return exp;
 }
 

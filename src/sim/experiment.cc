@@ -1,8 +1,12 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "baseline/online_greedy.h"
+#include "common/thread_pool.h"
 #include "core/opt_policy.h"
 #include "rng/seed.h"
 
@@ -28,9 +32,25 @@ SimulationResult RunSyntheticExperiment(const SyntheticExperiment& exp) {
   options.compute_kendall = exp.compute_kendall;
   options.validate_arrangements = exp.validate_arrangements;
   options.emit_metrics_every = exp.emit_metrics_every;
+  options.threads = exp.threads;
   Simulator sim(&(*world)->instance(), &(*world)->provider(),
                 &(*world)->feedback(), options);
   return sim.Run(&opt, policies);
+}
+
+std::vector<SimulationResult> RunSyntheticExperiments(
+    const std::vector<SyntheticExperiment>& exps, int threads) {
+  std::vector<SimulationResult> results(exps.size());
+  if (threads <= 0) threads = ThreadPool::HardwareThreads();
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1 && exps.size() > 1) {
+    pool = std::make_unique<ThreadPool>(
+        std::min<int>(threads, static_cast<int>(exps.size())));
+  }
+  ParallelFor(pool.get(), exps.size(), [&](std::size_t i) {
+    results[i] = RunSyntheticExperiment(exps[i]);
+  });
+  return results;
 }
 
 SimulationResult RunRealExperiment(const RealDataset& dataset,
@@ -73,6 +93,7 @@ SimulationResult RunRealExperiment(const RealDataset& dataset,
   options.seed = exp.run_seed;
   options.compute_kendall = exp.compute_kendall;
   options.emit_metrics_every = exp.emit_metrics_every;
+  options.threads = exp.threads;
   Simulator sim(&instance, &provider, &feedback, options);
   return sim.Run(&full_knowledge, policies);
 }
@@ -80,8 +101,18 @@ SimulationResult RunRealExperiment(const RealDataset& dataset,
 double EnvScale() {
   const char* env = std::getenv("FASEA_SCALE");
   if (env == nullptr || env[0] == '\0') return 1.0;
-  const double scale = std::atof(env);
-  FASEA_CHECK(scale > 0.0 && scale <= 1.0);
+  // strtod, not atof: atof swallows trailing garbage ("0.5x5" -> 0.5) and
+  // maps non-numbers to 0.0, which then aborts with no hint of the cause.
+  char* end = nullptr;
+  const double scale = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(scale > 0.0 && scale <= 1.0)) {
+    std::fprintf(stderr,
+                 "FASEA_SCALE='%s' is not a number in (0, 1]; set a plain "
+                 "decimal like FASEA_SCALE=0.05 or unset it\n",
+                 env);
+    std::fflush(stderr);
+    std::abort();
+  }
   return scale;
 }
 
@@ -90,8 +121,15 @@ void ApplyScale(double scale, SyntheticConfig* config) {
   if (scale == 1.0) return;
   config->horizon = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(config->horizon * scale));
-  config->event_capacity_mean *= scale;
-  config->event_capacity_stddev *= scale;
+  // Floor the scaled capacity mean at one seat: with no floor a small
+  // scale sends the mean to ~0, the N(mean, stddev) draws round/clamp to
+  // zero seats, and every arrangement comes back empty. Keep the stddev
+  // at most the mean so the floored configuration still samples mostly
+  // positive capacities.
+  config->event_capacity_mean =
+      std::max(1.0, config->event_capacity_mean * scale);
+  config->event_capacity_stddev = std::min(
+      config->event_capacity_mean, config->event_capacity_stddev * scale);
 }
 
 }  // namespace fasea

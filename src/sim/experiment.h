@@ -27,9 +27,22 @@ struct SyntheticExperiment {
   bool validate_arrangements = true;
   /// See SimOptions::emit_metrics_every.
   std::int64_t emit_metrics_every = 0;
+  /// See SimOptions::threads (per-round trajectory fan-out; results are
+  /// bit-identical for every value).
+  int threads = 1;
 };
 
 SimulationResult RunSyntheticExperiment(const SyntheticExperiment& exp);
+
+/// Runs a batch of independent experiments — a seed sweep, a |V|/d/cr
+/// figure sweep — fanning whole experiments out across `threads` workers
+/// (<= 0 = one per hardware thread). Results come back in input order and
+/// are bit-identical to running each experiment alone: every experiment
+/// builds its own world, policies, and RNG streams. This is the outer
+/// parallelism axis; per-experiment `exp.threads` is the inner one —
+/// prefer the outer for sweeps (better locality, no per-round barrier).
+std::vector<SimulationResult> RunSyntheticExperiments(
+    const std::vector<SyntheticExperiment>& exps, int threads);
 
 /// A real-dataset experiment for one user (Fig 10 / Table 7). The
 /// reference is Full Knowledge; the OnlineGreedy baseline of [39] can be
@@ -49,6 +62,8 @@ struct RealExperiment {
   bool compute_kendall = false;
   /// See SimOptions::emit_metrics_every.
   std::int64_t emit_metrics_every = 0;
+  /// See SimOptions::threads.
+  int threads = 1;
 };
 
 SimulationResult RunRealExperiment(const RealDataset& dataset,
@@ -56,11 +71,16 @@ SimulationResult RunRealExperiment(const RealDataset& dataset,
 
 /// Scale factor from the FASEA_SCALE environment variable (default 1.0,
 /// accepted range (0, 1]). Bench binaries use it to shrink the paper's
-/// T = 100000 runs proportionally on small machines.
+/// T = 100000 runs proportionally on small machines. A value that is not
+/// a plain number in (0, 1] — trailing garbage included — aborts with a
+/// message naming the offending text.
 double EnvScale();
 
 /// Scales an experiment down: horizon and event capacities shrink by
-/// `scale` so the capacity-exhaustion dynamics keep their shape.
+/// `scale` so the capacity-exhaustion dynamics keep their shape. The
+/// scaled capacity mean is floored at 1.0 (and the stddev shrunk no
+/// further than the mean) so extreme scales cannot drive every sampled
+/// capacity to zero and make all arrangements empty.
 void ApplyScale(double scale, SyntheticConfig* config);
 
 }  // namespace fasea

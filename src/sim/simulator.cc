@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "oracle/oracle.h"
 #include "rng/seed.h"
@@ -54,6 +56,17 @@ Simulator::Simulator(const ProblemInstance* instance, RoundProvider* provider,
   }
   FASEA_CHECK(std::is_sorted(options_.checkpoints.begin(),
                              options_.checkpoints.end()));
+  for (std::int64_t cp : options_.checkpoints) FASEA_CHECK(cp >= 1);
+  // A duplicate checkpoint would emit the same metric row twice and one
+  // past the horizon would never be sampled at all; normalize the grid so
+  // every surviving entry yields exactly one row.
+  options_.checkpoints.erase(std::unique(options_.checkpoints.begin(),
+                                         options_.checkpoints.end()),
+                             options_.checkpoints.end());
+  options_.checkpoints.erase(
+      std::upper_bound(options_.checkpoints.begin(),
+                       options_.checkpoints.end(), options_.horizon),
+      options_.checkpoints.end());
 }
 
 SimulationResult Simulator::Run(Policy* reference,
@@ -115,10 +128,29 @@ SimulationResult Simulator::Run(Policy* reference,
         static_cast<long long>(lat.max));
   };
 
+  // Parallel execution: per round, the reference + policy trajectories
+  // fan out across the pool and barrier before metric sampling. Each task
+  // touches only its own Trajectory (state, RNG stream, latency
+  // histogram) plus shared *read-only* inputs (instance, the round's
+  // context matrix), so the result is bit-identical for every thread
+  // count; only wall-clock changes. The round context is produced
+  // sequentially because providers may reuse their buffers.
+  std::vector<Trajectory*> trajectories;
+  trajectories.push_back(&ref);
+  for (Trajectory& traj : algs) trajectories.push_back(&traj);
+  const int requested =
+      options_.threads <= 0 ? ThreadPool::HardwareThreads() : options_.threads;
+  std::unique_ptr<ThreadPool> pool;
+  if (requested > 1 && trajectories.size() > 1) {
+    pool = std::make_unique<ThreadPool>(std::min<int>(
+        requested, static_cast<int>(trajectories.size())));
+  }
+
   for (std::int64_t t = 1; t <= options_.horizon; ++t) {
     const RoundContext& round = provider_->NextRound(t);
-    play_round(t, round, ref);
-    for (Trajectory& traj : algs) play_round(t, round, traj);
+    ParallelFor(pool.get(), trajectories.size(), [&](std::size_t i) {
+      play_round(t, round, *trajectories[i]);
+    });
 
     if (options_.emit_metrics_every > 0 &&
         t % options_.emit_metrics_every == 0) {

@@ -31,8 +31,18 @@ struct SimOptions {
   std::int64_t horizon = 100000;
   /// Seeds the per-trajectory feedback streams.
   std::uint64_t seed = 42;
-  /// Metric sampling grid; empty = CheckpointSchedule(horizon).
+  /// Metric sampling grid; empty = CheckpointSchedule(horizon). Entries
+  /// must be sorted and >= 1; duplicates are collapsed and entries past
+  /// `horizon` dropped (each surviving checkpoint yields exactly one
+  /// metric row).
   std::vector<std::int64_t> checkpoints;
+  /// Worker threads for the per-round trajectory fan-out: each round the
+  /// reference and policy trajectories step concurrently, with a barrier
+  /// before checkpoint sampling. 1 = sequential (no pool); <= 0 = one per
+  /// hardware thread. Results are bit-identical for every value — each
+  /// trajectory owns its state and RNG stream, so only wall-clock
+  /// changes.
+  int threads = 1;
   /// Compute Kendall's τ of estimated-reward rankings vs the reference at
   /// each checkpoint (costs O(|V| log |V|) per checkpoint per policy).
   bool compute_kendall = true;

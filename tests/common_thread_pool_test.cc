@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fasea {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitAllWithNothingSubmittedReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitAll();
+  pool.WaitAll();
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 50; ++wave) {
+    for (int i = 0; i < 7; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.WaitAll();
+    EXPECT_EQ(count.load(), (wave + 1) * 7);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillRunsTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitAll();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i) pool.Submit([&count] { count.fetch_add(1); });
+    // No WaitAll: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesFromWaitAll) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([i] {
+      if (i % 2 == 0) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(pool.WaitAll(), std::runtime_error);
+  // The error was consumed; the pool keeps working.
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitAll();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(),
+              [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  ParallelFor(nullptr, 5, [&order](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, MatchesSequentialSum) {
+  std::vector<std::int64_t> values(10000);
+  std::iota(values.begin(), values.end(), 1);
+  std::vector<std::int64_t> doubled(values.size());
+  ThreadPool pool(8);
+  ParallelFor(&pool, values.size(),
+              [&](std::size_t i) { doubled[i] = 2 * values[i]; });
+  std::int64_t sum = 0;
+  for (std::int64_t v : doubled) sum += v;
+  EXPECT_EQ(sum, 10000LL * 10001);
+}
+
+TEST(ParallelForTest, PropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelFor(&pool, 4,
+                           [](std::size_t i) {
+                             if (i == 3) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fasea

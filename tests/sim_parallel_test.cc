@@ -1,0 +1,138 @@
+// Parallel execution layer: N-thread runs must be bit-identical to the
+// sequential run (the per-trajectory RNG streams carry all randomness, so
+// thread count may only change wall-clock), and the checkpoint grid must
+// be normalized (duplicates collapsed, beyond-horizon entries dropped).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/opt_policy.h"
+#include "datagen/synthetic.h"
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+
+namespace fasea {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig c;
+  c.num_events = 30;
+  c.dim = 5;
+  c.horizon = 400;
+  c.event_capacity_mean = 20.0;
+  c.event_capacity_stddev = 5.0;
+  c.conflict_ratio = 0.25;
+  c.seed = 3;
+  return c;
+}
+
+/// Every deterministic field — everything except the timing/memory
+/// measurements, which legitimately vary run to run.
+void ExpectSameTrajectory(const TrajectoryResult& a,
+                          const TrajectoryResult& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.checkpoints, b.checkpoints);
+  EXPECT_EQ(a.cum_rewards, b.cum_rewards);
+  EXPECT_EQ(a.cum_arranged, b.cum_arranged);
+  EXPECT_EQ(a.accept_ratio, b.accept_ratio);
+  EXPECT_EQ(a.total_regret, b.total_regret);
+  EXPECT_EQ(a.regret_ratio, b.regret_ratio);
+  EXPECT_EQ(a.kendall_tau, b.kendall_tau);
+  EXPECT_EQ(a.final_reward, b.final_reward);
+  EXPECT_EQ(a.final_arranged, b.final_arranged);
+  EXPECT_EQ(a.final_regret, b.final_regret);
+}
+
+void ExpectSameResult(const SimulationResult& a, const SimulationResult& b) {
+  ExpectSameTrajectory(a.reference, b.reference);
+  ASSERT_EQ(a.policies.size(), b.policies.size());
+  for (std::size_t i = 0; i < a.policies.size(); ++i) {
+    ExpectSameTrajectory(a.policies[i], b.policies[i]);
+  }
+}
+
+TEST(ParallelSimulatorTest, MultiThreadedRunIsBitIdenticalToSequential) {
+  SyntheticExperiment exp;
+  exp.data = SmallConfig();
+  exp.compute_kendall = true;
+
+  exp.threads = 1;
+  const SimulationResult sequential = RunSyntheticExperiment(exp);
+  for (int threads : {2, 4, 0}) {  // 0 = one per hardware thread.
+    exp.threads = threads;
+    ExpectSameResult(sequential, RunSyntheticExperiment(exp));
+  }
+}
+
+TEST(ParallelSimulatorTest, ExperimentFanOutMatchesSequentialRuns) {
+  std::vector<SyntheticExperiment> exps;
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    SyntheticExperiment exp;
+    exp.data = SmallConfig();
+    exp.data.seed = seed;
+    exp.run_seed = seed * 7 + 1;
+    exps.push_back(exp);
+  }
+  const std::vector<SimulationResult> parallel =
+      RunSyntheticExperiments(exps, /*threads=*/3);
+  ASSERT_EQ(parallel.size(), exps.size());
+  for (std::size_t i = 0; i < exps.size(); ++i) {
+    ExpectSameResult(RunSyntheticExperiment(exps[i]), parallel[i]);
+  }
+}
+
+TEST(ParallelSimulatorTest, RealExperimentSupportsThreads) {
+  const RealDataset dataset = RealDataset::Create(5);
+  RealExperiment exp;
+  exp.horizon = 200;
+  const SimulationResult sequential = RunRealExperiment(dataset, exp);
+  exp.threads = 4;
+  ExpectSameResult(sequential, RunRealExperiment(dataset, exp));
+}
+
+TEST(SimulatorCheckpointTest, DuplicateCheckpointsCollapseToOneRow) {
+  SyntheticConfig config = SmallConfig();
+  auto world = SyntheticWorld::Create(config);
+  ASSERT_TRUE(world.ok());
+  OptPolicy opt(&(*world)->instance(), &(*world)->feedback());
+
+  SimOptions options;
+  options.horizon = 50;
+  options.checkpoints = {10, 10, 10, 25, 50, 50};
+  Simulator sim(&(*world)->instance(), &(*world)->provider(),
+                &(*world)->feedback(), options);
+  const SimulationResult result = sim.Run(&opt, {});
+  EXPECT_EQ(result.reference.checkpoints,
+            (std::vector<std::int64_t>{10, 25, 50}));
+}
+
+TEST(SimulatorCheckpointTest, CheckpointsBeyondHorizonAreDropped) {
+  SyntheticConfig config = SmallConfig();
+  auto world = SyntheticWorld::Create(config);
+  ASSERT_TRUE(world.ok());
+  OptPolicy opt(&(*world)->instance(), &(*world)->feedback());
+
+  SimOptions options;
+  options.horizon = 30;
+  options.checkpoints = {10, 30, 40, 100000};
+  Simulator sim(&(*world)->instance(), &(*world)->provider(),
+                &(*world)->feedback(), options);
+  const SimulationResult result = sim.Run(&opt, {});
+  EXPECT_EQ(result.reference.checkpoints,
+            (std::vector<std::int64_t>{10, 30}));
+}
+
+TEST(SimulatorCheckpointTest, NonPositiveCheckpointAborts) {
+  SyntheticConfig config = SmallConfig();
+  auto world = SyntheticWorld::Create(config);
+  ASSERT_TRUE(world.ok());
+  SimOptions options;
+  options.horizon = 30;
+  options.checkpoints = {0, 10};
+  EXPECT_DEATH(Simulator(&(*world)->instance(), &(*world)->provider(),
+                         &(*world)->feedback(), options),
+               "FASEA_CHECK");
+}
+
+}  // namespace
+}  // namespace fasea

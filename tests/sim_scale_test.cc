@@ -1,0 +1,99 @@
+// FASEA_SCALE handling: strict parsing of the environment variable and
+// the capacity floor that keeps extreme scales feasible.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/experiment.h"
+
+namespace fasea {
+namespace {
+
+class EnvScaleTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("FASEA_SCALE"); }
+};
+
+TEST_F(EnvScaleTest, UnsetAndEmptyDefaultToOne) {
+  unsetenv("FASEA_SCALE");
+  EXPECT_EQ(EnvScale(), 1.0);
+  setenv("FASEA_SCALE", "", 1);
+  EXPECT_EQ(EnvScale(), 1.0);
+}
+
+TEST_F(EnvScaleTest, ParsesPlainDecimals) {
+  setenv("FASEA_SCALE", "0.05", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(), 0.05);
+  setenv("FASEA_SCALE", "1", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(), 1.0);
+  setenv("FASEA_SCALE", "1e-3", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(), 1e-3);
+}
+
+TEST_F(EnvScaleTest, TrailingGarbageAbortsNamingTheValue) {
+  // atof would have silently parsed this as 0.5.
+  setenv("FASEA_SCALE", "0.5x5", 1);
+  EXPECT_DEATH(EnvScale(), "FASEA_SCALE='0.5x5'");
+}
+
+TEST_F(EnvScaleTest, NonNumericAbortsNamingTheValue) {
+  // atof would have silently produced 0.0, failing later with no hint.
+  setenv("FASEA_SCALE", "abc", 1);
+  EXPECT_DEATH(EnvScale(), "FASEA_SCALE='abc'");
+}
+
+TEST_F(EnvScaleTest, OutOfRangeAborts) {
+  setenv("FASEA_SCALE", "0", 1);
+  EXPECT_DEATH(EnvScale(), "FASEA_SCALE='0'");
+  setenv("FASEA_SCALE", "1.5", 1);
+  EXPECT_DEATH(EnvScale(), "FASEA_SCALE='1.5'");
+  setenv("FASEA_SCALE", "-0.5", 1);
+  EXPECT_DEATH(EnvScale(), "FASEA_SCALE='-0.5'");
+}
+
+TEST(ApplyScaleTest, ModerateScaleShrinksProportionally) {
+  SyntheticConfig config;  // horizon 100000, c_v ~ N(200, 100).
+  ApplyScale(0.1, &config);
+  EXPECT_EQ(config.horizon, 10000);
+  EXPECT_DOUBLE_EQ(config.event_capacity_mean, 20.0);
+  EXPECT_DOUBLE_EQ(config.event_capacity_stddev, 10.0);
+}
+
+TEST(ApplyScaleTest, ExtremeScaleKeepsCapacitiesFeasible) {
+  // Without the floor, mean 200 * 1e-6 = 0.0002 rounds every sampled
+  // capacity to zero seats and every arrangement comes back empty.
+  SyntheticConfig config;
+  ApplyScale(1e-6, &config);
+  EXPECT_EQ(config.horizon, 1);
+  EXPECT_GE(config.event_capacity_mean, 1.0);
+  EXPECT_GE(config.event_capacity_stddev, 0.0);
+  EXPECT_LE(config.event_capacity_stddev, config.event_capacity_mean);
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ApplyScaleTest, ExtremeScaleStillArrangesEvents) {
+  // Regression: a scaled-to-the-floor experiment must still hand out
+  // seats — the world keeps at least some positive capacities.
+  SyntheticExperiment exp;
+  exp.data.num_events = 30;
+  exp.data.dim = 5;
+  exp.data.seed = 3;
+  ApplyScale(1e-4, &exp.data);
+  exp.data.horizon = 50;  // A handful of rounds is enough to observe seats.
+  exp.kinds = {PolicyKind::kUcb};
+  const SimulationResult result = RunSyntheticExperiment(exp);
+  EXPECT_GT(result.reference.final_arranged, 0.0);
+}
+
+TEST(ApplyScaleTest, ScaleOfOneIsIdentity) {
+  SyntheticConfig config;
+  const SyntheticConfig before = config;
+  ApplyScale(1.0, &config);
+  EXPECT_EQ(config.horizon, before.horizon);
+  EXPECT_DOUBLE_EQ(config.event_capacity_mean, before.event_capacity_mean);
+  EXPECT_DOUBLE_EQ(config.event_capacity_stddev,
+                   before.event_capacity_stddev);
+}
+
+}  // namespace
+}  // namespace fasea

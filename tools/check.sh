@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the plain build + full test suite, then the same
 # tests again under AddressSanitizer + UndefinedBehaviorSanitizer
-# (-DFASEA_SANITIZE=ON). Run from anywhere; trees live in build/ and
-# build-sanitize/ at the repository root.
+# (-DFASEA_SANITIZE=ON), then the concurrency tests under ThreadSanitizer
+# (-DFASEA_SANITIZE=thread — TSan cannot link with ASan, so the tiers are
+# mutually exclusive and build in separate trees). Run from anywhere;
+# trees live in build/, build-sanitize/, and build-tsan/ at the
+# repository root.
 #
-#   tools/check.sh                  # plain + sanitizer tiers
+#   tools/check.sh                  # plain + ASan/UBSan + TSan tiers
 #   tools/check.sh --metrics-smoke  # also smoke-test `fasea_cli stats`
 set -euo pipefail
 
@@ -53,6 +56,18 @@ configure "$root/build-sanitize" \
   -DFASEA_BUILD_EXAMPLES=OFF
 cmake --build "$root/build-sanitize" -j "$jobs"
 ctest --test-dir "$root/build-sanitize" --output-on-failure -j "$jobs"
+
+echo
+echo "== sanitizers: TSan build + concurrency tests =="
+echo "sanitizer tier: ThreadSanitizer (-DFASEA_SANITIZE=thread);" \
+     "runs the thread-pool / parallel-sim / service-concurrency suites"
+configure "$root/build-tsan" \
+  -DFASEA_SANITIZE=thread \
+  -DFASEA_BUILD_BENCHMARKS=OFF \
+  -DFASEA_BUILD_EXAMPLES=OFF
+cmake --build "$root/build-tsan" -j "$jobs"
+ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
+  -R '(thread_pool|parallel|concurrency)'
 
 if [[ "$metrics_smoke" -eq 1 ]]; then
   echo
