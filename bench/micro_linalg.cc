@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "linalg/cholesky.h"
+#include "linalg/kernels.h"
 #include "linalg/mvn.h"
 #include "linalg/sherman_morrison.h"
 #include "rng/distributions.h"
@@ -69,7 +70,8 @@ void BM_CholeskyFactorize(benchmark::State& state) {
     benchmark::DoNotOptimize(chol);
   }
 }
-BENCHMARK(BM_CholeskyFactorize)->Arg(5)->Arg(20)->Arg(100);
+BENCHMARK(BM_CholeskyFactorize)
+    ->Arg(5)->Arg(10)->Arg(20)->Arg(30)->Arg(50)->Arg(100);
 
 void BM_ShermanMorrisonUpdate(benchmark::State& state) {
   Pcg64 rng(5);
@@ -96,6 +98,97 @@ void BM_FullRefactorUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullRefactorUpdate)->Arg(5)->Arg(20)->Arg(100);
+
+// --- Batched scoring kernels (kernels.h) against the per-event scalar
+// loops they replace. range(0) = |V| (rows scored per round),
+// range(1) = d. BENCH_PR4.json derives its kernel speedups from these.
+
+Matrix RandomContexts(std::size_t n, std::size_t d, Pcg64& rng) {
+  Matrix m(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) m(i, j) = UniformReal(rng, -1.0, 1.0);
+  }
+  return m;
+}
+
+#define FASEA_BATCH_ARGS \
+  ->Args({1000, 10})->Args({1000, 30})->Args({1000, 50})->Args({1000, 100})
+
+void BM_GemvBatch(benchmark::State& state) {
+  Pcg64 rng(8);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  const Matrix contexts = RandomContexts(n, d, rng);
+  const Vector theta = RandomVector(d, rng);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    GemvRows(contexts, theta.span(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GemvBatch) FASEA_BATCH_ARGS;
+
+void BM_GemvScalar(benchmark::State& state) {
+  Pcg64 rng(8);  // Same stream as BM_GemvBatch: identical inputs.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  const Matrix contexts = RandomContexts(n, d, rng);
+  const Vector theta = RandomVector(d, rng);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    for (std::size_t v = 0; v < n; ++v) {
+      out[v] = Dot(contexts.Row(v), theta.span());
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GemvScalar) FASEA_BATCH_ARGS;
+
+void BM_WidthBatch(benchmark::State& state) {
+  Pcg64 rng(9);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  const Matrix contexts = RandomContexts(n, d, rng);
+  const Matrix y_inv = RandomSpd(d, rng);
+  std::vector<double> out(n);
+  Matrix at, g;
+  for (auto _ : state) {
+    BatchedQuadForm(contexts, y_inv, out, &at, &g);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_WidthBatch) FASEA_BATCH_ARGS;
+
+void BM_WidthScalar(benchmark::State& state) {
+  Pcg64 rng(9);  // Same stream as BM_WidthBatch: identical inputs.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  const Matrix contexts = RandomContexts(n, d, rng);
+  const Matrix y_inv = RandomSpd(d, rng);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    for (std::size_t v = 0; v < n; ++v) {
+      out[v] = y_inv.QuadraticForm(contexts.Row(v));
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_WidthScalar) FASEA_BATCH_ARGS;
+
+void BM_CholUpdate(benchmark::State& state) {
+  // The O(d²) incremental factor update; BM_CholeskyFactorize at the same
+  // d is the O(d³) per-round alternative it replaces in TS.
+  Pcg64 rng(10);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  Cholesky factor = Cholesky::ScaledIdentity(d, 1.0);
+  const Vector x = RandomVector(d, rng);
+  std::vector<double> work(d);
+  for (auto _ : state) {
+    const bool ok = factor.RankOneUpdate(x.span(), work);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_CholUpdate)->Arg(10)->Arg(30)->Arg(50)->Arg(100);
 
 void BM_MvnSample(benchmark::State& state) {
   Pcg64 rng(7);

@@ -20,7 +20,8 @@ struct World {
   Pcg64 feedback_rng{1};
 };
 
-World MakeWorld(PolicyKind kind, std::size_t num_events, std::size_t dim) {
+World MakeWorld(PolicyKind kind, std::size_t num_events, std::size_t dim,
+                bool scalar_scoring = false) {
   SyntheticConfig config;
   config.num_events = num_events;
   config.dim = dim;
@@ -31,7 +32,9 @@ World MakeWorld(PolicyKind kind, std::size_t num_events, std::size_t dim) {
   auto world = SyntheticWorld::Create(config);
   FASEA_CHECK(world.ok());
   World w{std::move(world).value(), nullptr, {}, Pcg64(5)};
-  w.policy = MakePolicy(kind, &w.world->instance(), PolicyParams{}, 3);
+  PolicyParams params;
+  params.scalar_scoring = scalar_scoring;
+  w.policy = MakePolicy(kind, &w.world->instance(), params, 3);
   w.state = PlatformState(w.world->instance());
   return w;
 }
@@ -83,6 +86,76 @@ BENCHMARK(BM_TsRound) FASEA_POLICY_ARGS;
 BENCHMARK(BM_EGreedyRound) FASEA_POLICY_ARGS;
 BENCHMARK(BM_ExploitRound) FASEA_POLICY_ARGS;
 BENCHMARK(BM_RandomRound) FASEA_POLICY_ARGS;
+
+// --- Propose-only, batched kernels vs the scalar reference
+// (ScoringMode::kScalar) side by side. 64 warm-up learning rounds make Y,
+// θ̂, and TS's maintained factor representative before timing starts; the
+// timed loop never Learns, so the pairs isolate the scoring path the
+// batching PR targets. tools/bench_snapshot.sh derives the UCB d=50 and
+// TS d≥30 speedups in BENCH_PR4.json from these.
+void RunProposeOnly(benchmark::State& state, PolicyKind kind,
+                    bool scalar_scoring) {
+  const std::size_t num_events = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = static_cast<std::size_t>(state.range(1));
+  World w = MakeWorld(kind, num_events, dim, scalar_scoring);
+  std::int64_t t = 0;
+  for (; t < 64; ++t) {
+    const RoundContext& round = w.world->provider().NextRound(t % 1000 + 1);
+    const Arrangement a = w.policy->Propose(t + 1, round, w.state);
+    const Feedback fb =
+        w.world->feedback().Sample(t + 1, round.contexts, a, w.feedback_rng);
+    w.policy->Learn(t + 1, round, a, fb);
+  }
+  // One fixed round for the timed loop: regenerating contexts per
+  // iteration would time the synthetic data generator, not the policy.
+  const RoundContext& round = w.world->provider().NextRound(1);
+  for (auto _ : state) {
+    ++t;
+    const Arrangement a = w.policy->Propose(t, round, w.state);
+    benchmark::DoNotOptimize(a);
+  }
+}
+
+void BM_UcbProposeBatched(benchmark::State& state) {
+  RunProposeOnly(state, PolicyKind::kUcb, /*scalar_scoring=*/false);
+}
+void BM_UcbProposeScalar(benchmark::State& state) {
+  RunProposeOnly(state, PolicyKind::kUcb, /*scalar_scoring=*/true);
+}
+void BM_TsProposeBatched(benchmark::State& state) {
+  RunProposeOnly(state, PolicyKind::kTs, /*scalar_scoring=*/false);
+}
+void BM_TsProposeScalar(benchmark::State& state) {
+  RunProposeOnly(state, PolicyKind::kTs, /*scalar_scoring=*/true);
+}
+void BM_EGreedyProposeBatched(benchmark::State& state) {
+  RunProposeOnly(state, PolicyKind::kEpsGreedy, /*scalar_scoring=*/false);
+}
+void BM_EGreedyProposeScalar(benchmark::State& state) {
+  RunProposeOnly(state, PolicyKind::kEpsGreedy, /*scalar_scoring=*/true);
+}
+void BM_ExploitProposeBatched(benchmark::State& state) {
+  RunProposeOnly(state, PolicyKind::kExploit, /*scalar_scoring=*/false);
+}
+void BM_ExploitProposeScalar(benchmark::State& state) {
+  RunProposeOnly(state, PolicyKind::kExploit, /*scalar_scoring=*/true);
+}
+
+#define FASEA_PROPOSE_ARGS         \
+  ->Args({1000, 20})               \
+      ->Args({1000, 50})           \
+      ->Args({100, 30})            \
+      ->Args({100, 50})            \
+      ->Args({100, 100})
+
+BENCHMARK(BM_UcbProposeBatched) FASEA_PROPOSE_ARGS;
+BENCHMARK(BM_UcbProposeScalar) FASEA_PROPOSE_ARGS;
+BENCHMARK(BM_TsProposeBatched) FASEA_PROPOSE_ARGS;
+BENCHMARK(BM_TsProposeScalar) FASEA_PROPOSE_ARGS;
+BENCHMARK(BM_EGreedyProposeBatched) FASEA_PROPOSE_ARGS;
+BENCHMARK(BM_EGreedyProposeScalar) FASEA_PROPOSE_ARGS;
+BENCHMARK(BM_ExploitProposeBatched) FASEA_PROPOSE_ARGS;
+BENCHMARK(BM_ExploitProposeScalar) FASEA_PROPOSE_ARGS;
 
 }  // namespace
 }  // namespace fasea

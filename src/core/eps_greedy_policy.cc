@@ -33,9 +33,13 @@ Arrangement EpsGreedyPolicy::Propose(std::int64_t t,
   }
   // Exploitation: greedy on estimated expected rewards.
   const std::int64_t score_start = SpanStart();
-  const Vector& theta = ridge_.ThetaHat();
-  for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
-    scores[v] = Dot(round.contexts.Row(v), theta.span());
+  if (scoring_mode() == ScoringMode::kBatched) {
+    ridge_.PredictBatch(round.contexts, scores);
+  } else {
+    const Vector& theta = ridge_.ThetaHat();
+    for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
+      scores[v] = Dot(round.contexts.Row(v), theta.span());
+    }
   }
   ApplyAvailabilityMask(round, scores);
   RecordSpanSince("policy.score", t, score_start);

@@ -24,6 +24,10 @@ void LinearPolicyBase::Learn(std::int64_t /*t*/, const RoundContext& round,
 void LinearPolicyBase::EstimateRewards(const ContextMatrix& contexts,
                                        std::span<double> out) const {
   FASEA_CHECK(out.size() == contexts.rows());
+  if (scoring_mode() == ScoringMode::kBatched) {
+    ridge_.PredictBatch(contexts, out);
+    return;
+  }
   const Vector& theta = ridge_.ThetaHat();
   for (std::size_t v = 0; v < contexts.rows(); ++v) {
     out[v] = Dot(contexts.Row(v), theta.span());

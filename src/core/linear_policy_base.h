@@ -14,6 +14,15 @@
 
 namespace fasea {
 
+/// Which implementation the linear policies score rounds with. kBatched
+/// (default) runs one fused kernel over the whole context matrix per
+/// round; kScalar preserves the per-event loops those kernels replaced —
+/// the reference path for equivalence tests and the A/B benches. For UCB,
+/// eGreedy and Exploit the two modes are bit-identical; TS differs only
+/// in which Cholesky factor it samples through (maintained incremental
+/// vs fresh per-round), equal up to rank-1 rounding drift.
+enum class ScoringMode { kBatched, kScalar };
+
 class LinearPolicyBase : public Policy {
  public:
   void Learn(std::int64_t t, const RoundContext& round,
@@ -37,6 +46,9 @@ class LinearPolicyBase : public Policy {
     FASEA_CHECK(state.dim() == ridge_.dim());
     ridge_ = std::move(state);
   }
+
+  ScoringMode scoring_mode() const { return scoring_mode_; }
+  void set_scoring_mode(ScoringMode mode) { scoring_mode_ = mode; }
 
  protected:
   /// `instance` must outlive the policy.
@@ -70,6 +82,7 @@ class LinearPolicyBase : public Policy {
 
  private:
   std::vector<double> scores_;
+  ScoringMode scoring_mode_ = ScoringMode::kBatched;
 };
 
 }  // namespace fasea

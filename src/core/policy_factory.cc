@@ -28,29 +28,42 @@ std::unique_ptr<Policy> MakePolicy(PolicyKind kind,
                                    const ProblemInstance* instance,
                                    const PolicyParams& params,
                                    std::uint64_t seed) {
+  const ScoringMode mode =
+      params.scalar_scoring ? ScoringMode::kScalar : ScoringMode::kBatched;
   switch (kind) {
     case PolicyKind::kUcb: {
       UcbParams p;
       p.lambda = params.lambda;
       p.alpha = params.alpha;
-      return std::make_unique<UcbPolicy>(instance, p);
+      auto policy = std::make_unique<UcbPolicy>(instance, p);
+      policy->set_scoring_mode(mode);
+      return policy;
     }
     case PolicyKind::kTs: {
       TsParams p;
       p.lambda = params.lambda;
       p.delta = params.delta;
-      return std::make_unique<TsPolicy>(instance, p, MakeEngine(seed, "ts"));
+      auto policy =
+          std::make_unique<TsPolicy>(instance, p, MakeEngine(seed, "ts"));
+      policy->set_scoring_mode(mode);
+      return policy;
     }
     case PolicyKind::kEpsGreedy: {
       EpsGreedyParams p;
       p.lambda = params.lambda;
       p.epsilon = params.epsilon;
-      return std::make_unique<EpsGreedyPolicy>(instance, p,
-                                               MakeEngine(seed, "egreedy"));
+      auto policy = std::make_unique<EpsGreedyPolicy>(
+          instance, p, MakeEngine(seed, "egreedy"));
+      policy->set_scoring_mode(mode);
+      return policy;
     }
-    case PolicyKind::kExploit:
-      return MakeExploitPolicy(instance, params.lambda);
+    case PolicyKind::kExploit: {
+      auto policy = MakeExploitPolicy(instance, params.lambda);
+      policy->set_scoring_mode(mode);
+      return policy;
+    }
     case PolicyKind::kRandom:
+      // Random has no learning state; scoring mode does not apply.
       return std::make_unique<RandomPolicy>(instance,
                                             MakeEngine(seed, "random"));
   }

@@ -25,6 +25,10 @@ struct PolicyParams {
   double alpha = 2.0;   // UCB.
   double delta = 0.1;   // TS.
   double epsilon = 0.1; // eGreedy.
+  // Use the pre-batching per-event scoring loops (ScoringMode::kScalar)
+  // instead of the fused kernels — the reference path for equivalence
+  // tests and the scalar-vs-batched benches.
+  bool scalar_scoring = false;
 };
 
 /// Builds one policy. `seed` feeds the policy's private randomness

@@ -1,5 +1,7 @@
 #include "core/ridge.h"
 
+#include "linalg/kernels.h"
+
 namespace fasea {
 
 RidgeState::RidgeState(std::size_t dim, double lambda,
@@ -7,6 +9,9 @@ RidgeState::RidgeState(std::size_t dim, double lambda,
     : lambda_(lambda),
       inverse_(dim, lambda, refactor_every),
       b_(dim),
+      factor_(Cholesky::ScaledIdentity(dim, lambda)),
+      refactor_every_(refactor_every),
+      factor_work_(dim),
       theta_hat_(dim) {
   FASEA_CHECK(lambda > 0.0);
 }
@@ -29,14 +34,42 @@ StatusOr<RidgeState> RidgeState::FromComponents(double lambda, Matrix y,
   state.inverse_ = std::move(inverse).value();
   state.b_ = std::move(b);
   state.theta_dirty_ = true;
+  // FromMatrix already factorized Y once to derive the inverse, so this
+  // second factorization cannot fail; it seeds the maintained factor.
+  auto factor = Cholesky::Factorize(state.inverse_.y());
+  FASEA_CHECK(factor.ok());
+  state.factor_ = std::move(factor).value();
   return state;
 }
 
 void RidgeState::Update(std::span<const double> x, double reward) {
   FASEA_CHECK(x.size() == dim());
   inverse_.RankOneUpdate(x);
+  if (factor_healthy_ && !factor_.RankOneUpdate(x, factor_work_.span())) {
+    ++num_factor_failures_;
+    factor_healthy_ = false;
+  }
   Axpy(reward, x, b_.span());
   theta_dirty_ = true;
+  // Same cadence as the inverse: the periodic exact re-derivation clears
+  // rank-1 rounding drift and doubles as the recovery path after a
+  // failed update left the factor unusable.
+  if (refactor_every_ > 0 &&
+      inverse_.num_updates() % refactor_every_ == 0) {
+    RefactorizeFactor();
+  }
+}
+
+void RidgeState::RefactorizeFactor() {
+  auto chol = Cholesky::Factorize(inverse_.y());
+  if (!chol.ok()) {
+    ++num_factor_failures_;
+    factor_healthy_ = false;
+    return;
+  }
+  factor_ = std::move(chol).value();
+  ++num_factor_refactorizations_;
+  factor_healthy_ = true;
 }
 
 const Vector& RidgeState::ThetaHat() const {
@@ -49,6 +82,18 @@ const Vector& RidgeState::ThetaHat() const {
 
 double RidgeState::PredictedReward(std::span<const double> x) const {
   return Dot(ThetaHat().span(), x);
+}
+
+void RidgeState::PredictBatch(const Matrix& contexts,
+                              std::span<double> out) const {
+  FASEA_CHECK(out.size() == contexts.rows());
+  GemvRows(contexts, ThetaHat().span(), out);
+}
+
+void RidgeState::ConfidenceWidthSqBatch(const Matrix& contexts,
+                                        std::span<double> out) const {
+  FASEA_CHECK(out.size() == contexts.rows());
+  BatchedQuadForm(contexts, inverse_.inverse(), out, &batch_at_, &batch_g_);
 }
 
 }  // namespace fasea

@@ -9,13 +9,16 @@
 //
 // RidgeState tracks Y exactly, keeps Y⁻¹ current via Sherman–Morrison
 // rank-1 updates (with periodic re-factorization for numerical hygiene),
-// and caches θ̂ lazily.
+// maintains the Cholesky factor of Y the same way (rank-1 updates, same
+// re-factorization cadence) so TS never pays a per-round O(d³)
+// factorization, and caches θ̂ lazily.
 #ifndef FASEA_CORE_RIDGE_H_
 #define FASEA_CORE_RIDGE_H_
 
 #include <cstdint>
 
 #include "common/status.h"
+#include "linalg/cholesky.h"
 #include "linalg/sherman_morrison.h"
 #include "linalg/vector.h"
 
@@ -54,6 +57,33 @@ class RidgeState {
     return inverse_.InverseQuadraticForm(x);
   }
 
+  /// Batched x ᵀ θ̂ over every row of `contexts`: one vectorized GEMV
+  /// instead of |V| dots. Bit-identical to PredictedReward per row.
+  void PredictBatch(const Matrix& contexts, std::span<double> out) const;
+
+  /// Batched xᵀ Y⁻¹ x over every row of `contexts`: one blocked GEMM plus
+  /// row-dots instead of |V| d×d quadratic forms. Bit-identical to
+  /// ConfidenceWidthSq per row. Mutates internal scratch — a RidgeState
+  /// was never shareable across threads without a lock anyway (Update).
+  void ConfidenceWidthSqBatch(const Matrix& contexts,
+                              std::span<double> out) const;
+
+  /// The maintained Cholesky factor of Y: rank-1 updated in O(d²) per
+  /// observation and re-derived exactly on the refactor cadence, so it
+  /// equals the fresh factor of Y up to rank-1 rounding drift. Only
+  /// meaningful while factor_healthy().
+  const Cholesky& Factor() const { return factor_; }
+
+  /// False once a rank-1 factor update or a periodic re-derivation failed
+  /// (Y numerically corrupt). A later successful re-derivation restores
+  /// health. TS falls back to a degraded proposal while false.
+  bool factor_healthy() const { return factor_healthy_; }
+
+  std::int64_t num_factor_refactorizations() const {
+    return num_factor_refactorizations_;
+  }
+  std::int64_t num_factor_failures() const { return num_factor_failures_; }
+
   /// The tracked Gram matrix Y and maintained inverse.
   const Matrix& Y() const { return inverse_.y(); }
   const Matrix& YInverse() const { return inverse_.inverse(); }
@@ -77,17 +107,42 @@ class RidgeState {
   bool healthy() const { return inverse_.healthy(); }
 
   /// Test hook: simulates numerical corruption of Y.
-  void SetUnhealthyForTesting() { inverse_.SetUnhealthyForTesting(); }
+  void SetUnhealthyForTesting() {
+    inverse_.SetUnhealthyForTesting();
+    factor_healthy_ = false;
+  }
+
+  /// Test hook: corrupts the tracked Y itself (negative diagonal) so every
+  /// subsequent factorization attempt fails, and marks the maintained
+  /// factor unhealthy — the state a real corruption would be detected in.
+  void CorruptYForTesting() {
+    inverse_.CorruptYForTesting();
+    factor_healthy_ = false;
+  }
 
   std::size_t MemoryBytes() const {
     return inverse_.MemoryBytes() + b_.MemoryBytes() +
-           theta_hat_.MemoryBytes();
+           theta_hat_.MemoryBytes() + factor_.L().MemoryBytes() +
+           factor_work_.MemoryBytes() + batch_at_.MemoryBytes() +
+           batch_g_.MemoryBytes();
   }
 
  private:
+  /// Re-derives the factor from the tracked Y (O(d³)); clears rank-1
+  /// drift, restores health on success.
+  void RefactorizeFactor();
+
   double lambda_;
   SymmetricInverse inverse_;
   Vector b_;
+  Cholesky factor_;
+  std::int64_t refactor_every_;
+  std::int64_t num_factor_refactorizations_ = 0;
+  std::int64_t num_factor_failures_ = 0;
+  bool factor_healthy_ = true;
+  mutable Vector factor_work_;  // Scratch for the rank-1 factor update.
+  mutable Matrix batch_at_;     // Scratch: (Y⁻¹)ᵀ for the batched widths.
+  mutable Matrix batch_g_;      // Scratch: X · (Y⁻¹)ᵀ.
   mutable Vector theta_hat_;
   mutable bool theta_dirty_ = true;
 };

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/cholesky.h"
+#include "linalg/kernels.h"
 #include "linalg/mvn.h"
 #include "obs/trace.h"
 
@@ -29,23 +30,40 @@ Arrangement TsPolicy::Propose(std::int64_t t, const RoundContext& round,
                 std::log(static_cast<double>(t) / params_.delta));
 
   {
-    // Sample θ̃ ~ N(θ̂, q² Y⁻¹) through the Cholesky factor of Y: the
-    // O(d³) step of the paper's complexity analysis — the one worth
-    // watching as d grows.
+    // Sample θ̃ ~ N(θ̂, q² Y⁻¹) through the Cholesky factor of Y — the
+    // O(d³)-per-round step of the paper's complexity analysis. The
+    // batched path reuses the incrementally maintained O(d²)-per-update
+    // factor instead; the scalar path keeps the fresh per-round
+    // factorization as the reference. Either way a missing factor (Y
+    // corrupt / not SPD) degrades the round instead of aborting.
     static Histogram* const sample_hist =
         Metrics()->GetHistogram("fasea.policy.ts_sample_ns");
     TraceSpan span("policy.sample_theta", t, TraceRing::Global(),
                    sample_hist);
-    auto chol = Cholesky::Factorize(ridge_.Y());
-    FASEA_CHECK(chol.ok());
-    sampled_theta_ =
-        SampleMvnFromPrecision(rng_, ridge_.ThetaHat(), q, chol.value());
+    if (scoring_mode() == ScoringMode::kScalar) {
+      auto chol = Cholesky::Factorize(ridge_.Y());
+      if (chol.ok()) {
+        sampled_theta_ =
+            SampleMvnFromPrecision(rng_, ridge_.ThetaHat(), q, chol.value());
+      } else {
+        DegradedSample();
+      }
+    } else if (ridge_.factor_healthy()) {
+      sampled_theta_ =
+          SampleMvnFromPrecision(rng_, ridge_.ThetaHat(), q, ridge_.Factor());
+    } else {
+      DegradedSample();
+    }
   }
 
   std::span<double> scores = Scores(round.contexts.rows());
   const std::int64_t score_start = SpanStart();
-  for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
-    scores[v] = Dot(round.contexts.Row(v), sampled_theta_.span());
+  if (scoring_mode() == ScoringMode::kBatched) {
+    GemvRows(round.contexts, sampled_theta_.span(), scores);
+  } else {
+    for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
+      scores[v] = Dot(round.contexts.Row(v), sampled_theta_.span());
+    }
   }
   ApplyAvailabilityMask(round, scores);
   RecordSpanSince("policy.score", t, score_start);
@@ -56,9 +74,19 @@ Arrangement TsPolicy::Propose(std::int64_t t, const RoundContext& round,
   return arrangement;
 }
 
+void TsPolicy::DegradedSample() {
+  sampled_theta_ = ridge_.ThetaHat();
+  ++num_degraded_samples_;
+  sample_factor_failures_metric_->Increment();
+}
+
 void TsPolicy::EstimateRewards(const ContextMatrix& contexts,
                                std::span<double> out) const {
   FASEA_CHECK(out.size() == contexts.rows());
+  if (scoring_mode() == ScoringMode::kBatched) {
+    GemvRows(contexts, sampled_theta_.span(), out);
+    return;
+  }
   for (std::size_t v = 0; v < contexts.rows(); ++v) {
     out[v] = Dot(contexts.Row(v), sampled_theta_.span());
   }

@@ -47,10 +47,22 @@ class TsPolicy final : public LinearPolicyBase {
   /// Most recent posterior sample θ̃_t (zeros before the first round).
   const Vector& SampledTheta() const { return sampled_theta_; }
 
+  /// Rounds that could not sample (no usable Cholesky factor of Y) and
+  /// fell back to the degraded θ̃ = θ̂ proposal.
+  std::int64_t num_degraded_samples() const { return num_degraded_samples_; }
+
  private:
+  /// Fallback when Y has no usable factor (corruption / lost positive-
+  /// definiteness): propose from the posterior mean instead of aborting —
+  /// the round degrades to Exploit behaviour.
+  void DegradedSample();
+
   TsParams params_;
   Pcg64 rng_;
   Vector sampled_theta_;
+  std::int64_t num_degraded_samples_ = 0;
+  Counter* sample_factor_failures_metric_ =
+      Metrics()->GetCounter("fasea.policy.sample_factor_failures");
 };
 
 }  // namespace fasea

@@ -37,6 +37,9 @@ class UcbPolicy final : public LinearPolicyBase {
 
  private:
   UcbParams params_;
+  // Per-round scratch for the batched kernels (sized lazily, reused).
+  std::vector<double> pred_;
+  std::vector<double> width_;
 };
 
 }  // namespace fasea

@@ -2,7 +2,19 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
+
 namespace fasea {
+
+Cholesky Cholesky::ScaledIdentity(std::size_t n, double diag) {
+  FASEA_CHECK(diag > 0.0);
+  return Cholesky(Matrix::ScaledIdentity(n, std::sqrt(diag)));
+}
+
+bool Cholesky::RankOneUpdate(std::span<const double> x,
+                             std::span<double> work) {
+  return CholUpdate(&l_, x, work);
+}
 
 StatusOr<Cholesky> Cholesky::Factorize(const Matrix& a) {
   if (a.rows() != a.cols()) {

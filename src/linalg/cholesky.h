@@ -20,6 +20,17 @@ class Cholesky {
   /// with InvalidArgument if `a` is not square or a pivot is not positive.
   static StatusOr<Cholesky> Factorize(const Matrix& a);
 
+  /// The factor of A = diag·I, i.e. L = √diag·I (diag > 0). The starting
+  /// point for incrementally maintained factors of Y = λI + Σ x xᵀ.
+  static Cholesky ScaledIdentity(std::size_t n, double diag);
+
+  /// Rank-1 update in O(d²): after the call, L Lᵀ = A + x xᵀ. `work` is
+  /// caller scratch of size dim(). Returns false — leaving the factor
+  /// unusable until re-factorized — only if a pivot turns non-finite or
+  /// non-positive (corrupt input); see kernels.h CholUpdate.
+  [[nodiscard]] bool RankOneUpdate(std::span<const double> x,
+                                   std::span<double> work);
+
   std::size_t dim() const { return l_.rows(); }
   const Matrix& L() const { return l_; }
 

@@ -1,0 +1,138 @@
+#include "linalg/kernels.h"
+
+#include <cmath>
+
+namespace fasea {
+
+namespace {
+
+// Rows of X processed per sweep of BatchedQuadForm's GEMM stage. A block
+// of G rows (kRowBlock × d doubles, ≤ 12.5 KB at d = 100) stays L1/L2
+// resident while every row of Aᵀ streams through it once.
+constexpr std::size_t kRowBlock = 16;
+
+}  // namespace
+
+void GemvRows(const Matrix& a, std::span<const double> x,
+              std::span<double> y) {
+  const std::size_t rows = a.rows(), cols = a.cols();
+  FASEA_CHECK(x.size() == cols && y.size() == rows);
+  const double* FASEA_RESTRICT xp = x.data();
+  // Four independent accumulators (one per row) break the add-latency
+  // chain of a single dot product; each row's own sum still accumulates
+  // in sequential j-order, so results match per-row Dot() bit-for-bit.
+  std::size_t i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    const double* FASEA_RESTRICT r0 = a.data() + (i + 0) * cols;
+    const double* FASEA_RESTRICT r1 = a.data() + (i + 1) * cols;
+    const double* FASEA_RESTRICT r2 = a.data() + (i + 2) * cols;
+    const double* FASEA_RESTRICT r3 = a.data() + (i + 3) * cols;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double xj = xp[j];
+      s0 += r0[j] * xj;
+      s1 += r1[j] * xj;
+      s2 += r2[j] * xj;
+      s3 += r3[j] * xj;
+    }
+    y[i + 0] = s0;
+    y[i + 1] = s1;
+    y[i + 2] = s2;
+    y[i + 3] = s3;
+  }
+  for (; i < rows; ++i) {
+    const double* FASEA_RESTRICT row = a.data() + i * cols;
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) sum += row[j] * xp[j];
+    y[i] = sum;
+  }
+}
+
+void TransposeInto(const Matrix& a, Matrix* out) {
+  if (out->rows() != a.cols() || out->cols() != a.rows()) {
+    *out = Matrix(a.cols(), a.rows());
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* FASEA_RESTRICT row = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      (*out)(j, i) = row[j];
+    }
+  }
+}
+
+void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
+  FASEA_CHECK(a.cols() == b.rows() && c->rows() == a.rows() &&
+              c->cols() == b.cols());
+  const std::size_t n = b.cols(), kdim = a.cols();
+  for (std::size_t i0 = 0; i0 < a.rows(); i0 += kRowBlock) {
+    const std::size_t i1 = std::min(i0 + kRowBlock, a.rows());
+    for (std::size_t k = 0; k < kdim; ++k) {
+      const double* FASEA_RESTRICT brow = b.data() + k * n;
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double aik = a.data()[i * kdim + k];
+        double* FASEA_RESTRICT crow = c->data() + i * n;
+#pragma omp simd
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void BatchedQuadForm(const Matrix& x, const Matrix& a, std::span<double> out,
+                     Matrix* at, Matrix* g) {
+  const std::size_t n = x.rows(), d = x.cols();
+  FASEA_CHECK(a.rows() == d && a.cols() == d && out.size() == n);
+  // G(v, i) must accumulate A(i, 0)·x₀ + A(i, 1)·x₁ + … in that order to
+  // match QuadraticForm's row traversal; with B = Aᵀ the i-k-j GEMM
+  // produces exactly G(v, i) = Σ_k x(v, k)·B(k, i) = Σ_k x(v, k)·A(i, k)
+  // in sequential k-order. (A is symmetric up to ulps here — Y⁻¹ from
+  // Sherman–Morrison — but bit-compatibility cannot ride on that, hence
+  // the explicit transpose; it is O(d²) per round, noise next to the
+  // O(n·d²) GEMM.)
+  TransposeInto(a, at);
+  if (g->rows() != n || g->cols() != d) *g = Matrix(n, d);
+  g->Fill(0.0);
+  GemmAccumulate(x, *at, g);
+  // Cheap O(n·d) epilogue: w_v = Σ_i x(v, i)·G(v, i), scalar i-order —
+  // the same products QuadraticForm's outer loop adds, in the same order.
+  for (std::size_t v = 0; v < n; ++v) {
+    const double* FASEA_RESTRICT xrow = x.data() + v * d;
+    const double* FASEA_RESTRICT grow = g->data() + v * d;
+    double total = 0.0;
+    for (std::size_t i = 0; i < d; ++i) total += xrow[i] * grow[i];
+    out[v] = total;
+  }
+}
+
+bool CholUpdate(Matrix* l, std::span<const double> x,
+                std::span<double> work) {
+  const std::size_t n = l->rows();
+  FASEA_CHECK(l->cols() == n && x.size() == n && work.size() == n);
+  double* FASEA_RESTRICT w = work.data();
+  for (std::size_t i = 0; i < n; ++i) w[i] = x[i];
+  // Column k of the Givens sweep: rotate (L_kk, w_k) onto the diagonal,
+  // then apply the same rotation to the remaining column below it.
+  for (std::size_t k = 0; k < n; ++k) {
+    double* FASEA_RESTRICT colk = l->data() + k * n;  // Row-major: L(k, :).
+    const double lkk = colk[k];
+    if (!(lkk > 0.0)) return false;  // Catches corrupt and NaN pivots.
+    const double r = std::sqrt(lkk * lkk + w[k] * w[k]);
+    if (!(r > 0.0) || !std::isfinite(r)) return false;
+    const double c = r / lkk;
+    const double s = w[k] / lkk;
+    colk[k] = r;
+    if (!std::isfinite(c) || !std::isfinite(s)) return false;
+    const double inv_c = 1.0 / c;
+#pragma omp simd
+    for (std::size_t i = k + 1; i < n; ++i) {
+      // L(i, k) lives at column k of row i.
+      double* lik = l->data() + i * n + k;
+      const double updated = (*lik + s * w[i]) * inv_c;
+      w[i] = c * w[i] - s * updated;
+      *lik = updated;
+    }
+  }
+  return true;
+}
+
+}  // namespace fasea

@@ -1,0 +1,79 @@
+// Batched, blocked, SIMD-friendly kernels for the bandit scoring hot path.
+//
+// The paper's per-round cost is O(d³ + |V|·d²): every policy scores |V|
+// events, UCB pays a d×d quadratic form per event, and TS re-factorizes
+// Y per round. These kernels restructure that work so it vectorizes
+// WITHOUT changing a single result bit relative to the per-event scalar
+// loops they replace:
+//
+//  * Reductions stay scalar, accumulations become axpy. A row-wise dot
+//    (Σ_j a_j·x_j) cannot be SIMD-vectorized without reassociating the
+//    sum (illegal under IEEE without -ffast-math, and it would break the
+//    batched-vs-scalar bit-compatibility the simulator tests assert).
+//    An axpy (y[:] += s·a[:]) has no cross-lane dependence, so the
+//    compiler vectorizes it freely while every y[i] still accumulates
+//    its terms in exactly the scalar order.
+//  * BatchedQuadForm therefore computes G = X·Aᵀ in axpy form (the
+//    O(|V|·d²) bulk, fully vectorized; the explicit transpose makes the
+//    inner loop contiguous AND makes the per-element accumulation order
+//    identical to Matrix::QuadraticForm's row-major traversal), then
+//    finishes with the cheap O(|V|·d) row-dots in scalar order.
+//  * GemvRows keeps each row's reduction sequential but interleaves four
+//    independent rows, breaking the add-latency dependency chain that
+//    makes one long dot product latency-bound.
+//  * CholUpdate maintains L(Y + xxᵀ) from L(Y) in O(d²) via Givens-style
+//    rotations, replacing the O(d³) per-round re-factorization in TS.
+//
+// All pointer kernels require non-aliasing arguments (FASEA_RESTRICT).
+#ifndef FASEA_LINALG_KERNELS_H_
+#define FASEA_LINALG_KERNELS_H_
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+// GCC/Clang spelling; kernels are compiled with -fopenmp-simd so the
+// `#pragma omp simd` hints apply without an OpenMP runtime dependency.
+#define FASEA_RESTRICT __restrict__
+
+namespace fasea {
+
+/// y[i] = Row(a, i) · x for every row of `a` (rows × cols, row-major).
+/// Per-row accumulation order is the sequential j-order of Dot(); rows
+/// are processed four at a time for instruction-level parallelism.
+/// Bit-identical to calling Dot(a.Row(i), x) per row.
+void GemvRows(const Matrix& a, std::span<const double> x,
+              std::span<double> y);
+
+/// out = aᵀ (resized/reshaped as needed).
+void TransposeInto(const Matrix& a, Matrix* out);
+
+/// c += a · b in blocked i-k-j axpy form (c must be pre-shaped
+/// a.rows() × b.cols() — zero it first for a plain product). The inner
+/// j-loop is a contiguous vectorizable axpy; each c(i,j) accumulates its
+/// k-terms in sequential k-order.
+void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// out[v] = Row(x, v)ᵀ · a · Row(x, v) for every row of x (n × d), with
+/// `a` square d × d. Equivalent to — and bit-identical with — calling
+/// a.QuadraticForm(x.Row(v)) per row, but the O(n·d²) bulk runs as a
+/// blocked vectorized GEMM against aᵀ. `at` and `g` are caller scratch
+/// (reshaped as needed) so per-round calls allocate nothing.
+void BatchedQuadForm(const Matrix& x, const Matrix& a, std::span<double> out,
+                     Matrix* at, Matrix* g);
+
+/// Rank-1 Cholesky update: given lower-triangular `l` with L·Lᵀ = Y,
+/// rewrites it in place so L·Lᵀ = Y + x·xᵀ, in O(d²) (vs O(d³) for a
+/// fresh factorization). `work` is caller scratch of size d. Returns
+/// false (leaving `l` in an unspecified state the caller must discard or
+/// re-factorize) if a pivot turns non-finite or non-positive — possible
+/// only when `l` or `x` is already corrupt, since a genuine rank-1
+/// *update* of an SPD matrix stays SPD.
+[[nodiscard]] bool CholUpdate(Matrix* l, std::span<const double> x,
+                              std::span<double> work);
+
+}  // namespace fasea
+
+#endif  // FASEA_LINALG_KERNELS_H_

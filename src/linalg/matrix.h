@@ -1,5 +1,7 @@
 // Dense row-major double matrix with the BLAS-2/3 kernels FASEA needs:
 // mat-vec, mat-mat, transpose, symmetric rank-1 update, quadratic forms.
+// Storage is 64-byte aligned (aligned.h) for the SIMD kernels in
+// kernels.h; batched/blocked variants of the hot-path kernels live there.
 #ifndef FASEA_LINALG_MATRIX_H_
 #define FASEA_LINALG_MATRIX_H_
 
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "linalg/aligned.h"
 #include "linalg/vector.h"
 
 namespace fasea {
@@ -87,7 +90,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::vector<double, AlignedAllocator<double>> data_;
 };
 
 /// C = A * B.

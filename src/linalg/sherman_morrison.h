@@ -14,6 +14,7 @@
 #ifndef FASEA_LINALG_SHERMAN_MORRISON_H_
 #define FASEA_LINALG_SHERMAN_MORRISON_H_
 
+#include <cmath>
 #include <cstdint>
 
 #include "common/status.h"
@@ -64,6 +65,10 @@ class SymmetricInverse {
 
   /// Test hook: simulates a failed refactorization.
   void SetUnhealthyForTesting() { healthy_ = false; }
+
+  /// Test hook: corrupts the tracked Y itself (negates the first diagonal
+  /// entry) so every subsequent factorization attempt fails.
+  void CorruptYForTesting() { y_(0, 0) = -std::abs(y_(0, 0)) - 1.0; }
 
   /// Number of rank-1 updates applied so far.
   std::int64_t num_updates() const { return num_updates_; }

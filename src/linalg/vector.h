@@ -2,7 +2,9 @@
 //
 // FASEA's dimensions are small (d ≤ a few dozen in the paper, |V| ≤ a few
 // thousand), so the implementation favours clarity and cache-friendly
-// contiguous storage over blocking tricks. All kernels are scalar loops
+// contiguous storage over blocking tricks. Storage is 64-byte aligned
+// (aligned.h) so the batched kernels in kernels.h can stream it through
+// full-width SIMD loads; the element-wise kernels here stay scalar loops
 // the compiler can auto-vectorize.
 #ifndef FASEA_LINALG_VECTOR_H_
 #define FASEA_LINALG_VECTOR_H_
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "linalg/aligned.h"
 
 namespace fasea {
 
@@ -24,7 +27,9 @@ class Vector {
   explicit Vector(std::size_t n) : data_(n, 0.0) {}
   Vector(std::size_t n, double fill) : data_(n, fill) {}
   Vector(std::initializer_list<double> values) : data_(values) {}
-  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+  /// Copies into aligned storage (the input's allocation cannot be kept).
+  explicit Vector(const std::vector<double>& values)
+      : data_(values.begin(), values.end()) {}
 
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
@@ -77,7 +82,7 @@ class Vector {
   }
 
  private:
-  std::vector<double> data_;
+  std::vector<double, AlignedAllocator<double>> data_;
 };
 
 /// Dot product; dimensions must match.

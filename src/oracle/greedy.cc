@@ -6,10 +6,61 @@
 
 namespace fasea {
 
+namespace {
+
+// True when `v` is masked out of the round (ApplyAvailabilityMask writes
+// kExcludedScore = −∞ for unavailable events).
+inline bool IsExcluded(std::span<const double> scores, EventId v) {
+  return std::isinf(scores[v]) && scores[v] < 0;
+}
+
+}  // namespace
+
 Arrangement GreedyOracle::Select(std::span<const double> scores,
                                  const ConflictGraph& conflicts,
                                  const PlatformState& state,
                                  std::int64_t user_capacity) {
+  const std::size_t n = scores.size();
+  FASEA_DCHECK(n == state.num_events());
+  FASEA_CHECK(user_capacity >= 0);
+
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0);
+  // `worse(a, b)` ⇔ a comes after b in the (score desc, id asc) visit
+  // order, so the max-heap's top is always the next event the sorted
+  // reference scan would visit.
+  const auto worse = [&](EventId a, EventId b) {
+    if (scores[a] != scores[b]) return scores[a] < scores[b];
+    return a > b;
+  };
+  std::make_heap(order_.begin(), order_.end(), worse);
+
+  if (arranged_.size() != n) arranged_ = EventBitset(n);
+  arranged_.Reset();
+
+  Arrangement result;
+  result.reserve(static_cast<std::size_t>(user_capacity));
+  auto heap_end = order_.end();
+  while (static_cast<std::int64_t>(result.size()) < user_capacity &&
+         heap_end != order_.begin()) {
+    const EventId v = order_.front();
+    // Top is −∞ ⇒ every remaining event is −∞ (excluded); the sorted
+    // scan would skip them all, so stop popping.
+    if (IsExcluded(scores, v)) break;
+    std::pop_heap(order_.begin(), heap_end, worse);
+    --heap_end;
+    if (!state.HasCapacity(v)) continue;
+    if (conflicts.ConflictsWithAny(v, arranged_)) continue;
+    arranged_.Set(v);
+    result.push_back(v);
+  }
+  return result;
+}
+
+Arrangement GreedyOracle::SelectBySort(std::span<const double> scores,
+                                       const ConflictGraph& conflicts,
+                                       const PlatformState& state,
+                                       std::int64_t user_capacity) {
   const std::size_t n = scores.size();
   FASEA_DCHECK(n == state.num_events());
   FASEA_CHECK(user_capacity >= 0);
@@ -29,7 +80,7 @@ Arrangement GreedyOracle::Select(std::span<const double> scores,
   result.reserve(static_cast<std::size_t>(user_capacity));
   for (EventId v : order_) {
     if (static_cast<std::int64_t>(result.size()) >= user_capacity) break;
-    if (std::isinf(scores[v]) && scores[v] < 0) continue;  // Excluded.
+    if (IsExcluded(scores, v)) continue;
     if (!state.HasCapacity(v)) continue;
     if (conflicts.ConflictsWithAny(v, arranged_)) continue;
     arranged_.Set(v);

@@ -18,10 +18,24 @@ namespace fasea {
 
 class GreedyOracle final : public ArrangementOracle {
  public:
+  /// Lazy top-k selection: builds a max-heap over (score desc, id asc) in
+  /// O(|V|) and pops only until c_u events are placed — O(|V| + k log|V|)
+  /// with k pops, vs the O(|V| log|V|) full sort of SelectBySort. The heap
+  /// pops in exactly the sort's total order, so the arrangement is
+  /// identical (the tie order is part of the contract: the simulator's
+  /// bit-compatibility tests depend on it).
   Arrangement Select(std::span<const double> scores,
                      const ConflictGraph& conflicts,
                      const PlatformState& state,
                      std::int64_t user_capacity) override;
+
+  /// Reference implementation: full sort by (score desc, id asc), then a
+  /// linear placement scan. Kept for the heap-vs-sort equivalence tests
+  /// and the oracle benches; produces the same arrangement as Select.
+  Arrangement SelectBySort(std::span<const double> scores,
+                           const ConflictGraph& conflicts,
+                           const PlatformState& state,
+                           std::int64_t user_capacity);
 
   std::string_view name() const override { return "Oracle-Greedy"; }
 

@@ -1,0 +1,113 @@
+// The lazy heap-based GreedyOracle::Select must produce arrangements
+// identical to the full-sort reference SelectBySort on every input —
+// including the adversarial ones: massive score ties, −∞ availability
+// masks, +∞ scores, zero-capacity events, dense conflicts, and user
+// capacities beyond the instance size. The tie order (score desc, id asc)
+// is part of the oracle's contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "oracle/greedy.h"
+#include "oracle/oracle.h"
+#include "rng/distributions.h"
+#include "rng/pcg64.h"
+
+namespace fasea {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct FuzzInstance {
+  ProblemInstance instance;
+  std::vector<double> scores;
+};
+
+FuzzInstance MakeFuzz(std::size_t n, double conflict_ratio, Pcg64& rng) {
+  std::vector<std::int64_t> caps(n);
+  for (auto& c : caps) c = UniformInt(rng, 0, 2);  // Some events full.
+  ConflictGraph g = ConflictGraph::Random(n, conflict_ratio, rng);
+  auto inst = ProblemInstance::Create(std::move(caps), std::move(g), 1);
+  FASEA_CHECK(inst.ok());
+  std::vector<double> scores(n);
+  for (auto& s : scores) {
+    // Quantized to seven levels so ties are the common case, then a
+    // sprinkling of the oracle's sentinel values.
+    s = 0.5 * static_cast<double>(UniformInt(rng, -3, 3));
+    const int special = UniformInt(rng, 0, 9);
+    if (special == 0) s = -kInf;  // Excluded (availability mask).
+    if (special == 1) s = kInf;
+  }
+  return {std::move(inst).value(), std::move(scores)};
+}
+
+TEST(LazyTopKTest, HeapMatchesSortOnFuzzedInstances) {
+  Pcg64 rng(31337);
+  GreedyOracle oracle;
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(UniformInt(rng, 1, 70));
+    const double cr = 0.25 * static_cast<double>(UniformInt(rng, 0, 4));
+    FuzzInstance fi = MakeFuzz(n, cr, rng);
+    PlatformState state(fi.instance);
+    const std::int64_t cu =
+        UniformInt(rng, 0, static_cast<int>(n) + 3);  // Past-the-end c_u.
+    const Arrangement heap =
+        oracle.Select(fi.scores, fi.instance.conflicts(), state, cu);
+    const Arrangement sorted =
+        oracle.SelectBySort(fi.scores, fi.instance.conflicts(), state, cu);
+    ASSERT_EQ(heap, sorted) << "n=" << n << " cr=" << cr << " cu=" << cu
+                            << " trial=" << trial;
+    EXPECT_TRUE(
+        IsFeasibleArrangement(heap, fi.instance.conflicts(), state, cu));
+  }
+}
+
+TEST(LazyTopKTest, AllExcludedYieldsEmpty) {
+  auto inst = ProblemInstance::Create(std::vector<std::int64_t>(5, 10),
+                                      ConflictGraph(5), 1);
+  ASSERT_TRUE(inst.ok());
+  PlatformState state(*inst);
+  const std::vector<double> scores(5, -kInf);
+  GreedyOracle oracle;
+  EXPECT_TRUE(oracle.Select(scores, inst->conflicts(), state, 3).empty());
+  EXPECT_TRUE(
+      oracle.SelectBySort(scores, inst->conflicts(), state, 3).empty());
+}
+
+TEST(LazyTopKTest, ZeroCapacityUserYieldsEmpty) {
+  auto inst = ProblemInstance::Create(std::vector<std::int64_t>(4, 10),
+                                      ConflictGraph(4), 1);
+  ASSERT_TRUE(inst.ok());
+  PlatformState state(*inst);
+  const std::vector<double> scores = {1.0, 2.0, 3.0, 4.0};
+  GreedyOracle oracle;
+  EXPECT_TRUE(oracle.Select(scores, inst->conflicts(), state, 0).empty());
+}
+
+TEST(LazyTopKTest, AllTiedScoresVisitInIdOrder) {
+  auto inst = ProblemInstance::Create(std::vector<std::int64_t>(6, 10),
+                                      ConflictGraph(6), 1);
+  ASSERT_TRUE(inst.ok());
+  PlatformState state(*inst);
+  const std::vector<double> scores(6, 0.75);
+  GreedyOracle oracle;
+  const Arrangement a = oracle.Select(scores, inst->conflicts(), state, 4);
+  EXPECT_EQ(a, (Arrangement{0, 1, 2, 3}));
+}
+
+TEST(LazyTopKTest, ScratchSurvivesShrinkingAndGrowingInstances) {
+  Pcg64 rng(777);
+  GreedyOracle oracle;
+  for (std::size_t n : {40u, 3u, 64u, 1u, 17u}) {
+    FuzzInstance fi = MakeFuzz(n, 0.5, rng);
+    PlatformState state(fi.instance);
+    EXPECT_EQ(oracle.Select(fi.scores, fi.instance.conflicts(), state, 5),
+              oracle.SelectBySort(fi.scores, fi.instance.conflicts(), state,
+                                  5));
+  }
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Performance snapshot for the batched scoring engine: builds a dedicated
+# Release tree (full native SIMD width by default), runs the
+# scalar-vs-batched micro pairs plus the paper's scalability benches
+# (Tables 5/6), and emits a machine-readable BENCH_PR4.json with raw
+# timings and the derived speedups the PR's acceptance targets reference
+# (UCB scoring at d=50 |V|=1000, TS propose at d≥30).
+#
+#   tools/bench_snapshot.sh             # native Release build, full snapshot
+#   tools/bench_snapshot.sh --generic   # portable codegen (no -march=native)
+#   FASEA_SCALE=0.005 tools/bench_snapshot.sh   # shrink the tab5/tab6 runs
+#
+# The build tree lives in build-bench/ at the repository root; the JSON
+# lands at the repository root as BENCH_PR4.json. Numbers are machine-
+# specific — regenerate rather than compare across hosts.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+out="$root/BENCH_PR4.json"
+native=1
+for arg in "$@"; do
+  case "$arg" in
+    --generic) native=0 ;;
+    *)
+      echo "bench_snapshot.sh: unknown argument '$arg'" \
+           "(supported: --generic)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+# The wall-clock benches read FASEA_SCALE themselves; default to a scale
+# that keeps the whole snapshot under a few minutes on one core.
+export FASEA_SCALE="${FASEA_SCALE:-0.005}"
+
+arch_flag=OFF
+[[ "$native" -eq 1 ]] && arch_flag=ON
+dir="$root/build-bench"
+
+echo "== bench_snapshot: configure + build (Release, native=$arch_flag) =="
+cmake -B "$dir" -S "$root" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DFASEA_NATIVE_ARCH="$arch_flag" \
+  -DFASEA_BUILD_TESTS=OFF \
+  -DFASEA_BUILD_EXAMPLES=OFF >"$dir.configure.log" 2>&1 || {
+  echo "bench_snapshot.sh: cmake configure failed; see $dir.configure.log" >&2
+  exit 1
+}
+cmake --build "$dir" --target micro_linalg micro_policies \
+  tab5_scal_v tab6_scal_d -j "$jobs"
+
+echo "== bench_snapshot: micro_linalg (kernel pairs) =="
+"$dir/bench/micro_linalg" \
+  --benchmark_filter='GemvBatch|GemvScalar|WidthBatch|WidthScalar|CholUpdate|CholeskyFactorize' \
+  --benchmark_format=json --benchmark_min_time=0.2 \
+  >"$dir/micro_linalg.json"
+
+echo "== bench_snapshot: micro_policies (propose pairs) =="
+"$dir/bench/micro_policies" \
+  --benchmark_filter='Propose(Batched|Scalar)' \
+  --benchmark_format=json --benchmark_min_time=0.2 \
+  >"$dir/micro_policies.json"
+
+echo "== bench_snapshot: tab5/tab6 wall clock (FASEA_SCALE=$FASEA_SCALE) =="
+wall() {  # wall <name> <binary>: prints "<name> <seconds>"
+  local start end
+  start=$(date +%s.%N)
+  "$2" >"$dir/$1.out" 2>&1
+  end=$(date +%s.%N)
+  echo "$1 $(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')"
+}
+wall tab5_scal_v "$dir/bench/tab5_scal_v" >"$dir/walltimes.txt"
+wall tab6_scal_d "$dir/bench/tab6_scal_d" >>"$dir/walltimes.txt"
+cat "$dir/walltimes.txt"
+
+python3 - "$dir" "$out" "$arch_flag" "$FASEA_SCALE" <<'PY'
+import json
+import sys
+
+bench_dir, out_path, native, scale = sys.argv[1:5]
+
+def load(name):
+    with open(f"{bench_dir}/{name}") as f:
+        data = json.load(f)
+    times = {}
+    for b in data["benchmarks"]:
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        times[b["name"]] = b["real_time"]  # ns (default time unit)
+    return data.get("context", {}), times
+
+context, linalg = load("micro_linalg.json")
+_, policies = load("micro_policies.json")
+
+walltimes = {}
+with open(f"{bench_dir}/walltimes.txt") as f:
+    for line in f:
+        name, seconds = line.split()
+        walltimes[name] = float(seconds)
+
+def speedup(scalar, batched, times):
+    if scalar not in times or batched not in times or times[batched] <= 0:
+        return None
+    return round(times[scalar] / times[batched], 3)
+
+snapshot = {
+    "pr": 4,
+    "description": "Batched SIMD scoring engine: scalar-vs-batched kernel "
+                   "and propose pairs, incremental Cholesky, lazy top-k.",
+    "native_arch": native == "ON",
+    "fasea_scale": float(scale),
+    "host": {
+        "num_cpus": context.get("num_cpus"),
+        "mhz_per_cpu": context.get("mhz_per_cpu"),
+        "library_build_type": context.get("library_build_type"),
+    },
+    "micro_linalg_ns": linalg,
+    "micro_policies_ns": policies,
+    "wall_seconds": walltimes,
+    "speedups": {
+        # Acceptance targets: ucb_propose_d50_v1000 >= 3, one of the
+        # ts_propose rows with d >= 30 must be >= 5.
+        "ucb_scoring_width_d50_v1000": speedup(
+            "BM_WidthScalar/1000/50", "BM_WidthBatch/1000/50", linalg),
+        "gemv_d50_v1000": speedup(
+            "BM_GemvScalar/1000/50", "BM_GemvBatch/1000/50", linalg),
+        "ucb_propose_d50_v1000": speedup(
+            "BM_UcbProposeScalar/1000/50", "BM_UcbProposeBatched/1000/50",
+            policies),
+        "ts_propose_d30_v100": speedup(
+            "BM_TsProposeScalar/100/30", "BM_TsProposeBatched/100/30",
+            policies),
+        "ts_propose_d50_v100": speedup(
+            "BM_TsProposeScalar/100/50", "BM_TsProposeBatched/100/50",
+            policies),
+        "ts_propose_d100_v100": speedup(
+            "BM_TsProposeScalar/100/100", "BM_TsProposeBatched/100/100",
+            policies),
+        # Incremental factor update vs the O(d³) fresh factorization it
+        # replaces in TS (per observation vs per round).
+        "chol_update_vs_factorize_d50": speedup(
+            "BM_CholeskyFactorize/50", "BM_CholUpdate/50", linalg),
+    },
+}
+
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+print(f"bench_snapshot: wrote {out_path}")
+for key, value in sorted(snapshot["speedups"].items()):
+    print(f"  {key}: {value}x")
+PY

@@ -9,17 +9,24 @@
 #
 #   tools/check.sh                  # plain + ASan/UBSan + TSan tiers
 #   tools/check.sh --metrics-smoke  # also smoke-test `fasea_cli stats`
+#   tools/check.sh --native         # plain tier with -DFASEA_NATIVE_ARCH=ON
+#   tools/check.sh --perf-smoke     # also assert batched >= scalar scoring
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 metrics_smoke=0
+perf_smoke=0
+native=OFF
 for arg in "$@"; do
   case "$arg" in
     --metrics-smoke) metrics_smoke=1 ;;
+    --perf-smoke) perf_smoke=1 ;;
+    --native) native=ON ;;
     *)
-      echo "check.sh: unknown argument '$arg' (supported: --metrics-smoke)" >&2
+      echo "check.sh: unknown argument '$arg'" \
+           "(supported: --metrics-smoke --perf-smoke --native)" >&2
       exit 2
       ;;
   esac
@@ -39,8 +46,10 @@ configure() {
   fi
 }
 
-echo "== tier-1: plain build + ctest =="
-configure "$root/build"
+echo "== tier-1: plain build + ctest (FASEA_NATIVE_ARCH=$native) =="
+# The flag is passed explicitly both ways so a previous --native run's
+# cached value cannot leak into a later plain run.
+configure "$root/build" -DFASEA_NATIVE_ARCH="$native"
 cmake --build "$root/build" -j "$jobs"
 ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
 
@@ -89,6 +98,34 @@ assert "fasea.service.degraded_entries" in snap["counters"], \
     "missing degraded-mode counter"
 print("metrics smoke: serve-latency histogram OK "
       f"(count={hist['count']}, p50={hist['p50']}ns, p99={hist['p99']}ns)")
+PY
+fi
+
+if [[ "$perf_smoke" -eq 1 ]]; then
+  echo
+  echo "== perf smoke: batched vs scalar UCB propose (d=50, |V|=1000) =="
+  "$root/build/bench/micro_policies" \
+    --benchmark_filter='BM_UcbPropose(Batched|Scalar)/1000/50' \
+    --benchmark_format=json --benchmark_min_time=0.2 \
+    >"$root/build/perf_smoke.json"
+  python3 - "$root/build/perf_smoke.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+times = {b["name"]: b["real_time"] for b in data["benchmarks"]
+         if b.get("run_type", "iteration") == "iteration"}
+batched = times["BM_UcbProposeBatched/1000/50"]
+scalar = times["BM_UcbProposeScalar/1000/50"]
+# The batched path must not regress below the scalar reference; 10%
+# slack absorbs single-core timer noise (the real margin is ~1.5x even
+# on portable SSE2 codegen, far outside the slack).
+assert batched <= 1.10 * scalar, (
+    f"batched UCB propose ({batched:.0f}ns) slower than scalar "
+    f"({scalar:.0f}ns) at d=50, |V|=1000")
+print(f"perf smoke: batched {batched:.0f}ns <= scalar {scalar:.0f}ns "
+      f"({scalar / batched:.2f}x) OK")
 PY
 fi
 
