@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/retry.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "datagen/synthetic.h"
@@ -37,6 +38,7 @@ struct WorkerTotals {
   std::int64_t served = 0;
   std::int64_t contention_retries = 0;
   std::int64_t accepted = 0;
+  std::int64_t retries_exhausted = 0;
 };
 
 }  // namespace
@@ -123,6 +125,7 @@ int main(int argc, char** argv) {
               config.dim, service.wal_attached() ? "on" : "off");
 
   std::atomic<std::int64_t> completed{0};
+  std::atomic<bool> aborted{false};
   std::vector<WorkerTotals> totals(static_cast<std::size_t>(threads));
   Stopwatch wall;
   wall.Start();
@@ -134,7 +137,11 @@ int main(int argc, char** argv) {
         Pcg64 rng(DeriveSeed(config.seed, "load-feedback",
                              static_cast<std::uint64_t>(w)),
                   static_cast<std::uint64_t>(w));
-        while (completed.load(std::memory_order_relaxed) < target_rounds) {
+        RetryPolicy retry(RetryOptions{},
+                          DeriveSeed(config.seed, "load-retry",
+                                     static_cast<std::uint64_t>(w)));
+        while (!aborted.load(std::memory_order_relaxed) &&
+               completed.load(std::memory_order_relaxed) < target_rounds) {
           const RoundContext& round =
               rounds[static_cast<std::size_t>(
                   completed.load(std::memory_order_relaxed)) %
@@ -151,9 +158,20 @@ int main(int argc, char** argv) {
           }
           const Feedback feedback = (*world)->feedback().Sample(
               mine.served + 1, round.contexts, *arrangement, rng);
-          Status st = service.SubmitFeedback(feedback);
-          while (IsRetryable(st)) st = service.SubmitFeedback(feedback);
-          FASEA_CHECK_OK(st);
+          // Bounded, jittered retries instead of a hot-spin: a WAL that
+          // keeps failing retryable surfaces here instead of pegging a
+          // core forever.
+          const Status st =
+              retry.Run([&] { return service.SubmitFeedback(feedback); });
+          if (!st.ok()) {
+            if (IsRetryable(st)) ++mine.retries_exhausted;
+            std::fprintf(stderr,
+                         "load_service: worker %d abandoning the run, "
+                         "feedback failed: %s\n",
+                         w, st.ToString().c_str());
+            aborted.store(true, std::memory_order_relaxed);
+            return;
+          }
           ++mine.served;
           mine.accepted += NumAccepted(feedback);
           completed.fetch_add(1, std::memory_order_relaxed);
@@ -169,6 +187,16 @@ int main(int argc, char** argv) {
     sum.served += t.served;
     sum.contention_retries += t.contention_retries;
     sum.accepted += t.accepted;
+    sum.retries_exhausted += t.retries_exhausted;
+  }
+  if (aborted.load()) {
+    std::fprintf(stderr,
+                 "load_service: aborted after %lld/%lld rounds "
+                 "(%lld retry budget(s) exhausted)\n",
+                 static_cast<long long>(sum.served),
+                 static_cast<long long>(target_rounds),
+                 static_cast<long long>(sum.retries_exhausted));
+    return 1;
   }
   FASEA_CHECK(sum.served == service.rounds_served());
   FASEA_CHECK(sum.served >= target_rounds);
@@ -204,6 +232,8 @@ int main(int argc, char** argv) {
                   : 0.0);
   std::printf("  contention retries         %lld\n",
               static_cast<long long>(sum.contention_retries));
+  std::printf("  retry budgets exhausted    %lld\n",
+              static_cast<long long>(sum.retries_exhausted));
   percentiles("fasea.serve.latency_ns");
   percentiles("fasea.feedback.latency_ns");
   return 0;

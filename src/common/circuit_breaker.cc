@@ -1,0 +1,109 @@
+#include "common/circuit_breaker.h"
+
+#include "common/macros.h"
+
+namespace fasea {
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options,
+                               NowFn now)
+    : options_(options),
+      now_(options.clock != nullptr ? options.clock : now),
+      state_gauge_(Metrics()->GetGauge(options.metric_prefix + ".state")),
+      opens_metric_(Metrics()->GetCounter(options.metric_prefix + ".opens")),
+      closes_metric_(
+          Metrics()->GetCounter(options.metric_prefix + ".closes")),
+      probes_metric_(
+          Metrics()->GetCounter(options.metric_prefix + ".probes")) {
+  FASEA_CHECK(options.failure_threshold >= 1);
+  FASEA_CHECK(options.open_cooldown_ns >= 0);
+  FASEA_CHECK(options.half_open_successes >= 1);
+  FASEA_CHECK(options.half_open_max_probes >= 1);
+  state_gauge_->Set(0.0);
+}
+
+std::string_view CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kHalfOpen:
+      return "half-open";
+    case State::kOpen:
+      return "open";
+  }
+  return "unknown";
+}
+
+void CircuitBreaker::TransitionLocked(State next) {
+  if (state_ == next) return;
+  state_ = next;
+  state_gauge_->Set(static_cast<double>(next));
+  switch (next) {
+    case State::kOpen:
+      ++opens_;
+      opens_metric_->Increment();
+      open_until_ns_ = now_() + options_.open_cooldown_ns;
+      break;
+    case State::kClosed:
+      ++closes_;
+      closes_metric_->Increment();
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      half_open_successes_seen_ = 0;
+      probes_in_flight_ = 0;
+      break;
+  }
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kOpen) {
+    if (now_() < open_until_ns_) return false;
+    TransitionLocked(State::kHalfOpen);
+  }
+  if (state_ == State::kHalfOpen) {
+    if (probes_in_flight_ >= options_.half_open_max_probes) return false;
+    ++probes_in_flight_;
+    ++probes_;
+    probes_metric_->Increment();
+    return true;
+  }
+  return true;  // Closed.
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      if (probes_in_flight_ > 0) --probes_in_flight_;
+      if (++half_open_successes_seen_ >= options_.half_open_successes) {
+        TransitionLocked(State::kClosed);
+      }
+      break;
+    case State::kOpen:
+      // A straggler admitted before the trip; the cooldown still governs.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        TransitionLocked(State::kOpen);
+      }
+      break;
+    case State::kHalfOpen:
+      if (probes_in_flight_ > 0) --probes_in_flight_;
+      TransitionLocked(State::kOpen);
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+}  // namespace fasea

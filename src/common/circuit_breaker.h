@@ -1,0 +1,121 @@
+// CircuitBreaker: the classic three-state failure isolator.
+//
+//   kClosed    — requests flow; `failure_threshold` *consecutive*
+//                failures trip the breaker.
+//   kOpen      — requests are rejected without touching the failing
+//                dependency; after `open_cooldown_ns` the next Allow()
+//                moves to half-open.
+//   kHalfOpen  — a bounded number of probe requests go through; a
+//                success closes the breaker (after
+//                `half_open_successes` of them), a failure re-opens it
+//                and restarts the cooldown.
+//
+// The serving layer wraps the WAL append path in one of these so a dying
+// disk degrades the service (visibly, via Health()) instead of failing
+// every round, and the periodic half-open probe re-attaches durability
+// automatically when the disk comes back — no operator intervention.
+//
+// Time comes from an injectable monotonic clock for deterministic tests.
+// All methods are thread-safe (one small mutex; this sits on a path that
+// already fsyncs). state() reports the stored state without performing
+// the lazy open → half-open transition; only Allow() moves states.
+//
+// Telemetry under `metric_prefix` (default "fasea.breaker"): `.state`
+// gauge (0 closed / 1 half-open / 2 open), `.opens` / `.closes` /
+// `.probes` counters.
+#ifndef FASEA_COMMON_CIRCUIT_BREAKER_H_
+#define FASEA_COMMON_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace fasea {
+
+struct CircuitBreakerOptions {
+  /// Consecutive RecordFailure calls (with no success between) that trip
+  /// a closed breaker.
+  int failure_threshold = 5;
+  /// How long an open breaker rejects before probing.
+  std::int64_t open_cooldown_ns = 50'000'000;  // 50 ms
+  /// Probe successes required to close from half-open.
+  int half_open_successes = 1;
+  /// Probes allowed in flight at once while half-open.
+  int half_open_max_probes = 1;
+  /// Metric namespace; breakers sharing a prefix share series.
+  std::string metric_prefix = "fasea.breaker";
+  /// Clock override. When set it wins over the constructor's `now`
+  /// argument — lets owners that build the breaker from options alone
+  /// (ArrangementService) run it on a logical clock, which makes chaos
+  /// harness runs bit-reproducible (cooldowns elapse in ticks, not
+  /// wall time).
+  std::int64_t (*clock)() = nullptr;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+  using NowFn = std::int64_t (*)();
+
+  explicit CircuitBreaker(const CircuitBreakerOptions& options = {},
+                          NowFn now = &Stopwatch::NowNanos);
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// May this request proceed? Closed: always. Open: no, unless the
+  /// cooldown elapsed — then the breaker turns half-open and this call
+  /// becomes the first probe. Half-open: yes while a probe slot is free.
+  /// A true return must be matched by RecordSuccess or RecordFailure.
+  bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+  std::int64_t opens() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return opens_;
+  }
+  std::int64_t closes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closes_;
+  }
+  std::int64_t probes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return probes_;
+  }
+
+  static std::string_view StateName(State state);
+
+ private:
+  void TransitionLocked(State next);
+
+  mutable std::mutex mu_;
+  const CircuitBreakerOptions options_;
+  const NowFn now_;
+
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_seen_ = 0;
+  int probes_in_flight_ = 0;
+  std::int64_t open_until_ns_ = 0;
+  std::int64_t opens_ = 0;
+  std::int64_t closes_ = 0;
+  std::int64_t probes_ = 0;
+
+  Gauge* state_gauge_;
+  Counter* opens_metric_;
+  Counter* closes_metric_;
+  Counter* probes_metric_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_COMMON_CIRCUIT_BREAKER_H_

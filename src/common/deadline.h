@@ -1,0 +1,70 @@
+// Deadline: a point on the monotonic clock after which a caller no
+// longer wants the answer.
+//
+// The serving layer threads a Deadline through ServeUser/SubmitFeedback
+// so a request that has already been abandoned is rejected with
+// kDeadlineExceeded instead of burning a round of work (and a lock hold)
+// on a response nobody will read. Deadlines compose with the retry layer:
+// RetryPolicy stops retrying an operation whose deadline has expired.
+//
+// Built on Stopwatch's steady clock (common/stopwatch.h), so a deadline
+// is immune to wall-clock jumps. Value-semantic and trivially copyable;
+// the default-constructed Deadline is infinite (never expires), which
+// keeps existing call sites zero-cost.
+#ifndef FASEA_COMMON_DEADLINE_H_
+#define FASEA_COMMON_DEADLINE_H_
+
+#include <cstdint>
+
+#include "common/stopwatch.h"
+
+namespace fasea {
+
+class Deadline {
+ public:
+  /// Never expires — the default for callers that don't care.
+  constexpr Deadline() = default;
+  static constexpr Deadline Infinite() { return Deadline(); }
+
+  /// Expires `nanos` from now (clamped to "already expired" for
+  /// non-positive values).
+  static Deadline AfterNanos(std::int64_t nanos) {
+    return AtNanos(Stopwatch::NowNanos() + (nanos > 0 ? nanos : 0));
+  }
+  static Deadline AfterMillis(std::int64_t millis) {
+    return AfterNanos(millis * 1'000'000);
+  }
+
+  /// Expires at absolute monotonic time `nanos` (Stopwatch::NowNanos
+  /// scale).
+  static constexpr Deadline AtNanos(std::int64_t nanos) {
+    return Deadline(nanos);
+  }
+
+  constexpr bool infinite() const { return nanos_ == kInfinite; }
+
+  bool Expired() const { return ExpiredAt(Stopwatch::NowNanos()); }
+  constexpr bool ExpiredAt(std::int64_t now_nanos) const {
+    return !infinite() && now_nanos >= nanos_;
+  }
+
+  /// Nanoseconds until expiry (<= 0 once expired). Infinite deadlines
+  /// report INT64_MAX.
+  std::int64_t RemainingNanos() const {
+    return infinite() ? kInfinite : nanos_ - Stopwatch::NowNanos();
+  }
+
+  friend constexpr bool operator==(Deadline a, Deadline b) {
+    return a.nanos_ == b.nanos_;
+  }
+
+ private:
+  static constexpr std::int64_t kInfinite = INT64_MAX;
+  constexpr explicit Deadline(std::int64_t nanos) : nanos_(nanos) {}
+
+  std::int64_t nanos_ = kInfinite;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_COMMON_DEADLINE_H_

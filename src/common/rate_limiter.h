@@ -1,0 +1,74 @@
+// RateLimiter: a thread-safe token bucket.
+//
+// Tokens refill continuously at `permits_per_second` up to a `burst`
+// ceiling; TryAcquire never blocks — admission control wants an instant
+// shed decision (kResourceExhausted), not a queue. Time comes from an
+// injectable monotonic clock so tests are deterministic.
+#ifndef FASEA_COMMON_RATE_LIMITER_H_
+#define FASEA_COMMON_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace fasea {
+
+class RateLimiter {
+ public:
+  using NowFn = std::int64_t (*)();
+
+  /// `permits_per_second` > 0 is the steady-state rate; `burst` > 0 is
+  /// the bucket capacity (how far ahead of the steady rate a quiet
+  /// period lets callers run). The bucket starts full.
+  RateLimiter(double permits_per_second, double burst,
+              NowFn now = &Stopwatch::NowNanos)
+      : rate_per_ns_(permits_per_second / 1e9),
+        burst_(burst),
+        tokens_(burst),
+        now_(now),
+        last_refill_ns_(now()) {
+    FASEA_CHECK(permits_per_second > 0.0);
+    FASEA_CHECK(burst > 0.0);
+  }
+  RateLimiter(const RateLimiter&) = delete;
+  RateLimiter& operator=(const RateLimiter&) = delete;
+
+  /// Takes `permits` tokens if the bucket holds them; false (and no
+  /// tokens consumed) otherwise.
+  bool TryAcquire(double permits = 1.0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RefillLocked();
+    if (tokens_ < permits) return false;
+    tokens_ -= permits;
+    return true;
+  }
+
+  /// Tokens currently in the bucket (after refill) — observability only.
+  double available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    RefillLocked();
+    return tokens_;
+  }
+
+ private:
+  void RefillLocked() const {
+    const std::int64_t now = now_();
+    if (now <= last_refill_ns_) return;
+    tokens_ += static_cast<double>(now - last_refill_ns_) * rate_per_ns_;
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_refill_ns_ = now;
+  }
+
+  mutable std::mutex mu_;
+  const double rate_per_ns_;
+  const double burst_;
+  mutable double tokens_;
+  const NowFn now_;
+  mutable std::int64_t last_refill_ns_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_COMMON_RATE_LIMITER_H_

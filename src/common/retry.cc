@@ -1,0 +1,69 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace fasea {
+
+RetryPolicy::RetryPolicy(const RetryOptions& options, std::uint64_t seed)
+    : options_(options),
+      rng_(seed, /*stream=*/0x7265747279ULL),  // "retry"
+      prev_delay_ns_(options.initial_backoff_ns) {
+  FASEA_CHECK(options.max_attempts >= 1);
+  FASEA_CHECK(options.initial_backoff_ns >= 0);
+  FASEA_CHECK(options.max_backoff_ns >= options.initial_backoff_ns);
+}
+
+void RetryPolicy::Reset() {
+  attempts_ = 0;
+  prev_delay_ns_ = options_.initial_backoff_ns;
+}
+
+bool RetryPolicy::ShouldRetry(const Status& status,
+                              const Deadline& deadline) {
+  ++attempts_;
+  if (status.ok() || !IsRetryable(status)) return false;
+  if (attempts_ >= options_.max_attempts) {
+    exhausted_metric_->Increment();
+    return false;
+  }
+  return !deadline.Expired();
+}
+
+std::int64_t RetryPolicy::NextDelayNanos() {
+  const std::int64_t base = options_.initial_backoff_ns;
+  // Decorrelated jitter: uniform in [base, min(cap, 3 * prev)]. Guard the
+  // tripling against overflow before clamping to the cap.
+  std::int64_t hi = options_.max_backoff_ns;
+  if (prev_delay_ns_ < hi / 3) hi = prev_delay_ns_ * 3;
+  const std::uint64_t range =
+      hi > base ? static_cast<std::uint64_t>(hi - base) : 0;
+  std::int64_t delay = base;
+  if (range > 0) {
+    delay += static_cast<std::int64_t>(rng_.NextBounded(range + 1));
+  }
+  prev_delay_ns_ = delay;
+  backoffs_metric_->Increment();
+  return delay;
+}
+
+Status RetryPolicy::Run(const std::function<Status()>& op,
+                        const SleepFn& sleep, const Deadline& deadline) {
+  Reset();
+  for (;;) {
+    Status status = op();
+    if (!ShouldRetry(status, deadline)) {
+      attempts_histogram_->Record(attempts_);
+      return status;
+    }
+    const std::int64_t delay = NextDelayNanos();
+    if (sleep) {
+      sleep(delay);
+    } else {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+    }
+  }
+}
+
+}  // namespace fasea

@@ -1,0 +1,94 @@
+// RetryPolicy: capped exponential backoff with decorrelated jitter.
+//
+// Replaces ad-hoc retry loops (`while (IsRetryable(st)) ...` hot-spins)
+// with a bounded, seeded, observable policy:
+//
+//   - an attempt budget: an operation that keeps failing retryable is
+//     eventually surfaced to the caller instead of looping forever;
+//   - decorrelated jitter (the AWS scheme): each delay is drawn
+//     uniformly from [base, min(cap, 3 * previous_delay)], which spreads
+//     synchronized retry storms apart much better than plain
+//     exponential-with-full-jitter while still growing geometrically;
+//   - a seeded RNG stream (rng/pcg64.h): delays reproduce bit-for-bit
+//     per seed, so chaos runs that include retry timing stay
+//     deterministic;
+//   - deadline awareness: retrying stops once the caller's Deadline
+//     expires (the operation's own deadline handling still applies).
+//
+// Telemetry (process registry, DESIGN.md §8): `fasea.retry.attempts`
+// histogram (attempts per completed Run), `fasea.retry.backoffs`
+// counter (sleeps taken), `fasea.retry.exhausted` counter (budgets
+// spent without success).
+//
+// Thread safety: none — the RNG and attempt counter are plain state.
+// Give each worker thread its own RetryPolicy (they are cheap).
+#ifndef FASEA_COMMON_RETRY_H_
+#define FASEA_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "rng/pcg64.h"
+
+namespace fasea {
+
+struct RetryOptions {
+  /// Total tries including the first; must be >= 1. A budget of 1 means
+  /// "never retry".
+  int max_attempts = 5;
+  /// First backoff delay and the cap every later delay is clamped to.
+  std::int64_t initial_backoff_ns = 1'000'000;    // 1 ms
+  std::int64_t max_backoff_ns = 100'000'000;      // 100 ms
+};
+
+class RetryPolicy {
+ public:
+  using SleepFn = std::function<void(std::int64_t nanos)>;
+
+  /// `seed` selects the jitter stream; equal seeds give identical delay
+  /// sequences.
+  RetryPolicy(const RetryOptions& options, std::uint64_t seed);
+
+  /// Starts a fresh attempt sequence (Run calls this itself).
+  void Reset();
+
+  /// Marks one completed attempt that ended in `status` and decides
+  /// whether to try again: false when the status is OK or non-retryable,
+  /// the attempt budget is spent, or `deadline` has expired.
+  bool ShouldRetry(const Status& status,
+                   const Deadline& deadline = Deadline::Infinite());
+
+  /// Next backoff delay (decorrelated jitter, capped). Call between
+  /// attempts, after ShouldRetry returned true.
+  std::int64_t NextDelayNanos();
+
+  /// Attempts completed in the current sequence.
+  int attempts() const { return attempts_; }
+
+  /// Runs `op` under this policy: invoke, and while ShouldRetry says so,
+  /// sleep the jittered backoff and invoke again. Returns the final
+  /// status (the last error when the budget or deadline ran out).
+  /// `sleep` defaults to std::this_thread::sleep_for; tests inject a
+  /// recorder.
+  Status Run(const std::function<Status()>& op, const SleepFn& sleep = {},
+             const Deadline& deadline = Deadline::Infinite());
+
+ private:
+  RetryOptions options_;
+  Pcg64 rng_;
+  int attempts_ = 0;
+  std::int64_t prev_delay_ns_;
+
+  Histogram* attempts_histogram_ =
+      Metrics()->GetHistogram("fasea.retry.attempts");
+  Counter* backoffs_metric_ = Metrics()->GetCounter("fasea.retry.backoffs");
+  Counter* exhausted_metric_ =
+      Metrics()->GetCounter("fasea.retry.exhausted");
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_COMMON_RETRY_H_

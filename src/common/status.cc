@@ -22,6 +22,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -58,9 +62,16 @@ Status UnavailableError(std::string message) {
 Status DataLossError(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
 }
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
 
 bool IsRetryable(const Status& status) {
-  return status.code() == StatusCode::kUnavailable;
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kResourceExhausted;
 }
 
 }  // namespace fasea

@@ -28,6 +28,14 @@ enum class StatusCode {
   /// Unrecoverable data corruption or loss (e.g. a WAL frame whose
   /// checksum fails mid-file). Retrying cannot help.
   kDataLoss = 8,
+  /// The serving layer shed the request to protect itself (admission
+  /// control: in-flight cap or rate limit). Nothing happened; retry
+  /// after backing off.
+  kResourceExhausted = 9,
+  /// The caller's deadline expired before the operation ran. Nothing
+  /// happened, but the caller has presumably walked away — retrying
+  /// verbatim is pointless without a fresh deadline.
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -68,9 +76,12 @@ Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status UnavailableError(std::string message);
 Status DataLossError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// True if the failed operation had no effect and is worth retrying
-/// verbatim (currently: kUnavailable). OK statuses are not "retryable".
+/// verbatim (kUnavailable, kResourceExhausted — after a backoff; see
+/// common/retry.h). OK statuses are not "retryable".
 bool IsRetryable(const Status& status);
 
 /// Either a value of T or an error Status. Accessing the value of a

@@ -1,11 +1,55 @@
 #include "ebsn/arrangement_service.h"
 
+#include <chrono>
+
 #include "common/strings.h"
 #include "obs/trace.h"
 #include "oracle/oracle.h"
 #include "rng/seed.h"
 
 namespace fasea {
+
+namespace {
+
+/// Acquires `mu` honoring `deadline`; false on timeout (lock not held).
+bool LockWithDeadline(std::unique_lock<std::timed_mutex>& lock,
+                      const Deadline& deadline) {
+  if (deadline.infinite()) {
+    lock.lock();
+    return true;
+  }
+  const std::int64_t remaining = deadline.RemainingNanos();
+  if (remaining <= 0) return false;
+  return lock.try_lock_for(std::chrono::nanoseconds(remaining));
+}
+
+/// RAII in-flight counter for admission control.
+class InflightGuard {
+ public:
+  explicit InflightGuard(std::atomic<int>* counter) : counter_(counter) {
+    count_ = counter_->fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  ~InflightGuard() { counter_->fetch_sub(1, std::memory_order_relaxed); }
+  int count() const { return count_; }
+
+ private:
+  std::atomic<int>* counter_;
+  int count_;
+};
+
+}  // namespace
+
+std::string_view HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kLameDuck:
+      return "lame-duck";
+  }
+  return "unknown";
+}
 
 ArrangementService::ArrangementService(const ProblemInstance* instance,
                                        PolicyKind kind,
@@ -41,12 +85,41 @@ ArrangementService::FromCheckpoint(const ProblemInstance* instance,
 }
 
 void ArrangementService::AttachWal(std::unique_ptr<WalWriter> wal,
-                                   DurabilityPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+                                   DurabilityPolicy policy,
+                                   WalReopenFn reopen) {
+  std::lock_guard<std::timed_mutex> lock(mu_);
   FASEA_CHECK(wal != nullptr);
-  FASEA_CHECK(wal_ == nullptr && "a WAL is already attached");
+  FASEA_CHECK((wal_ == nullptr || wal_degraded_ || wal_->broken()) &&
+              "re-attach requires the current WAL to be broken or the "
+              "service WAL-degraded");
   wal_ = std::move(wal);
   durability_ = policy;
+  reopen_fn_ = std::move(reopen);
+  wal_degraded_ = false;
+  wal_degraded_gauge_->Set(0.0);
+  breaker_ = policy.breaker_enabled
+                 ? std::make_unique<CircuitBreaker>(policy.breaker)
+                 : nullptr;
+  UpdateHealthGaugeLocked();
+}
+
+void ArrangementService::ConfigureOverload(const OverloadOptions& options) {
+  FASEA_CHECK(options.max_inflight >= 0);
+  FASEA_CHECK(options.max_rps >= 0.0);
+  FASEA_CHECK(options.burst >= 0.0);
+  overload_ = options;
+  if (options.max_rps > 0.0) {
+    const double burst =
+        options.burst > 0.0 ? options.burst : options.max_rps;
+    rate_limiter_ = std::make_unique<RateLimiter>(options.max_rps, burst);
+  } else {
+    rate_limiter_.reset();
+  }
+}
+
+void ArrangementService::EnterLameDuck() {
+  lame_duck_.store(true, std::memory_order_relaxed);
+  health_gauge_->Set(static_cast<double>(HealthState::kLameDuck));
 }
 
 Arrangement ArrangementService::StatelessProposal(
@@ -70,10 +143,81 @@ Arrangement ArrangementService::StatelessProposal(
   return out;
 }
 
+bool ArrangementService::LearnerHealthyLocked() const {
+  const auto* base = dynamic_cast<const LinearPolicyBase*>(policy_.get());
+  return base == nullptr || base->ridge().healthy();
+}
+
+HealthState ArrangementService::HealthStateLocked() const {
+  if (lame_duck_.load(std::memory_order_relaxed)) {
+    return HealthState::kLameDuck;
+  }
+  if (wal_degraded_ || !LearnerHealthyLocked()) {
+    return HealthState::kDegraded;
+  }
+  if (breaker_ != nullptr &&
+      breaker_->state() != CircuitBreaker::State::kClosed) {
+    return HealthState::kDegraded;
+  }
+  return HealthState::kHealthy;
+}
+
+void ArrangementService::UpdateHealthGaugeLocked() {
+  health_gauge_->Set(static_cast<double>(HealthStateLocked()));
+}
+
+HealthSnapshot ArrangementService::Health() const {
+  std::lock_guard<std::timed_mutex> lock(mu_);
+  HealthSnapshot snapshot;
+  snapshot.state = HealthStateLocked();
+  snapshot.wal_attached = wal_ != nullptr;
+  snapshot.wal_degraded = wal_degraded_;
+  snapshot.learner_healthy = LearnerHealthyLocked();
+  snapshot.breaker_enabled = breaker_ != nullptr;
+  if (breaker_ != nullptr) snapshot.breaker = breaker_->state();
+  snapshot.rounds_served = t_;
+  snapshot.rounds_shed = rounds_shed_.load(std::memory_order_relaxed);
+  snapshot.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  snapshot.nondurable_rounds = nondurable_rounds_;
+  snapshot.wal_reopens = wal_reopens_;
+  snapshot.stateless_fallbacks = stateless_fallbacks_;
+  return snapshot;
+}
+
 StatusOr<Arrangement> ArrangementService::ServeUser(
     std::int64_t user_id, std::int64_t user_capacity,
-    const ContextMatrix& contexts) {
-  std::lock_guard<std::mutex> lock(mu_);
+    const ContextMatrix& contexts, const Deadline& deadline) {
+  // Admission control runs before the round mutex: shedding exists
+  // precisely to keep excess callers from queueing on the pipeline.
+  if (lame_duck_.load(std::memory_order_relaxed)) {
+    serve_errors_metric_->Increment();
+    return UnavailableError("service is draining (lame duck)");
+  }
+  InflightGuard inflight(&inflight_);
+  if (overload_.max_inflight > 0 &&
+      inflight.count() > overload_.max_inflight) {
+    rounds_shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_metric_->Increment();
+    return ResourceExhaustedError(StrFormat(
+        "overloaded: %d requests in flight (limit %d)", inflight.count(),
+        overload_.max_inflight));
+  }
+  if (rate_limiter_ != nullptr && !rate_limiter_->TryAcquire()) {
+    rounds_shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_metric_->Increment();
+    return ResourceExhaustedError(
+        StrFormat("overloaded: admission rate limit of %.1f rps exceeded",
+                  overload_.max_rps));
+  }
+
+  std::unique_lock<std::timed_mutex> lock(mu_, std::defer_lock);
+  if (!LockWithDeadline(lock, deadline)) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    deadline_exceeded_metric_->Increment();
+    return DeadlineExceededError(
+        "deadline expired before the round pipeline was acquired");
+  }
   TraceSpan total_span("serve.total", t_ + 1, TraceRing::Global(),
                        serve_latency_);
   if (pending_) {
@@ -96,9 +240,7 @@ StatusOr<Arrangement> ArrangementService::ServeUser(
   }
   ++t_;
   Arrangement arrangement;
-  const auto* base = dynamic_cast<const LinearPolicyBase*>(policy_.get());
-  const bool learner_healthy =
-      base == nullptr || base->ridge().healthy();
+  const bool learner_healthy = LearnerHealthyLocked();
   learner_healthy_gauge_->Set(learner_healthy ? 1.0 : 0.0);
   {
     TraceSpan span("serve.propose", t_);
@@ -122,11 +264,38 @@ StatusOr<Arrangement> ArrangementService::ServeUser(
   proposed_events_metric_->Add(static_cast<std::int64_t>(
       arrangement.size()));
   rounds_served_gauge_->Set(static_cast<double>(t_));
+  UpdateHealthGaugeLocked();
   return arrangement;
 }
 
-Status ArrangementService::SubmitFeedback(const Feedback& feedback) {
-  std::lock_guard<std::mutex> lock(mu_);
+Status ArrangementService::WalAppendLocked(std::string_view encoded) {
+  if (wal_->broken()) {
+    // Only a fresh writer (new segment) can accept frames again; sealed
+    // or torn bytes are never rewritten.
+    if (!reopen_fn_) {
+      return UnavailableError(
+          "wal writer is broken and no reopen hook was attached");
+    }
+    auto reopened = reopen_fn_();
+    if (!reopened.ok()) return reopened.status();
+    wal_ = std::move(reopened).value();
+    ++wal_reopens_;
+    wal_reopens_metric_->Increment();
+  }
+  wal_->set_trace_round(t_);
+  return wal_->Append(encoded);
+}
+
+Status ArrangementService::SubmitFeedback(const Feedback& feedback,
+                                          FeedbackResult* result,
+                                          const Deadline& deadline) {
+  std::unique_lock<std::timed_mutex> lock(mu_, std::defer_lock);
+  if (!LockWithDeadline(lock, deadline)) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    deadline_exceeded_metric_->Increment();
+    return DeadlineExceededError(
+        "deadline expired before the round pipeline was acquired");
+  }
   TraceSpan total_span("feedback.total", t_, TraceRing::Global(),
                        feedback_latency_);
   if (!pending_) {
@@ -166,22 +335,54 @@ Status ArrangementService::SubmitFeedback(const Feedback& feedback) {
   // Write-ahead: the interaction must be durable (per the writer's fsync
   // policy) before any state changes, so a crash between here and the end
   // of this function loses nothing that was applied.
+  bool durable = false;
   if (wal_ != nullptr && !wal_degraded_) {
-    wal_->set_trace_round(t_);
-    if (Status st = wal_->Append(encoded); !st.ok()) {
-      ++wal_append_failures_;
-      if (durability_.on_wal_error ==
-          DurabilityPolicy::OnWalError::kFailRound) {
-        retryable_errors_metric_->Increment();
-        return UnavailableError(
-            "durability failure, feedback not applied (retry after the "
-            "log is restored): " +
-            st.message());
+    if (breaker_ == nullptr) {
+      wal_->set_trace_round(t_);
+      if (Status st = wal_->Append(encoded); st.ok()) {
+        durable = true;
+      } else {
+        ++wal_append_failures_;
+        if (durability_.on_wal_error ==
+            DurabilityPolicy::OnWalError::kFailRound) {
+          retryable_errors_metric_->Increment();
+          return UnavailableError(
+              "durability failure, feedback not applied (retry after the "
+              "log is restored): " +
+              st.message());
+        }
+        // Degrade: availability over durability, visibly.
+        wal_degraded_ = true;
+        degraded_entries_metric_->Increment();
+        wal_degraded_gauge_->Set(1.0);
+        UpdateHealthGaugeLocked();
       }
-      // Degrade: availability over durability, visibly.
-      wal_degraded_ = true;
-      degraded_entries_metric_->Increment();
-      wal_degraded_gauge_->Set(1.0);
+    } else if (!breaker_->Allow()) {
+      // Open (or probe slots busy): serve without touching the dying
+      // disk. The round is acknowledged non-durably; the breaker's
+      // cooldown decides when durability is probed again.
+      ++nondurable_rounds_;
+      nondurable_metric_->Increment();
+    } else {
+      Status st = WalAppendLocked(encoded);
+      if (st.ok()) {
+        breaker_->RecordSuccess();
+        durable = true;
+      } else {
+        breaker_->RecordFailure();
+        ++wal_append_failures_;
+        if (durability_.on_wal_error ==
+            DurabilityPolicy::OnWalError::kFailRound) {
+          retryable_errors_metric_->Increment();
+          UpdateHealthGaugeLocked();
+          return UnavailableError(
+              "durability failure, feedback not applied (retry; the "
+              "breaker arbitrates recovery): " +
+              st.message());
+        }
+        ++nondurable_rounds_;
+        nondurable_metric_->Increment();
+      }
     }
   }
 
@@ -197,12 +398,17 @@ Status ArrangementService::SubmitFeedback(const Feedback& feedback) {
   FASEA_CHECK_OK(log_.Append(std::move(record)));
   pending_ = false;
   feedback_rounds_metric_->Increment();
+  UpdateHealthGaugeLocked();
+  if (result != nullptr) {
+    result->round = t_;
+    result->durable = durable;
+  }
   return Status::Ok();
 }
 
 Status ArrangementService::RestoreInteraction(
     const InteractionRecord& record, bool learn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::timed_mutex> lock(mu_);
   if (pending_) {
     return FailedPreconditionError(
         "cannot restore interactions while a round is awaiting feedback");
@@ -241,7 +447,7 @@ Status ArrangementService::RestoreInteraction(
 }
 
 std::string ArrangementService::Checkpoint() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::timed_mutex> lock(mu_);
   const auto* base = dynamic_cast<const LinearPolicyBase*>(policy_.get());
   FASEA_CHECK(base != nullptr &&
               "only ridge learners support checkpointing");

@@ -15,6 +15,27 @@
 // serve-without-logging while wal_degraded() surfaces the condition to
 // health checks.
 //
+// Self-healing (DurabilityPolicy::breaker_enabled): the WAL append path
+// runs behind a CircuitBreaker. Consecutive append failures trip it open
+// — the service keeps serving, acknowledging rounds as non-durable
+// without touching the dying disk — and after the cooldown a half-open
+// probe reopens the writer (fresh segment, via the WalReopenFn passed to
+// AttachWal) and appends through it. A successful probe closes the
+// breaker and durability re-attaches by itself; a failed probe restarts
+// the cooldown. The whole cycle is observable: `fasea.breaker.state`
+// gauge, `fasea.service.nondurable_rounds` / `.wal_reopens` counters,
+// and Health().
+//
+// Overload protection: ConfigureOverload bounds ServeUser admission — a
+// token-bucket rate limit and an in-flight cap, both shedding with a
+// retryable kResourceExhausted *before* the round mutex is touched, so
+// overload queues at the client, not inside the server. ServeUser and
+// SubmitFeedback also accept a Deadline; a request whose deadline passes
+// while waiting for the pipeline fails with kDeadlineExceeded (not
+// retryable — the caller has moved on). EnterLameDuck() starts a drain:
+// new rounds are rejected while the pending round's feedback is still
+// accepted.
+//
 // Numerical resilience: if the policy's periodic Cholesky
 // refactorization of Y ever fails (drift or corruption made Y lose
 // positive-definiteness), ServeUser falls back to a stateless greedy
@@ -23,25 +44,33 @@
 //
 // Recovery paths: Checkpoint() + WAL tail via RecoverArrangementService
 // (ebsn/recovery_manager.h), checkpoint-only via FromCheckpoint, or
-// InteractionLog::Replay over a persisted CSV log.
+// InteractionLog::Replay over a persisted CSV log. After recovery the
+// WAL may be re-attached (AttachWal allows re-attach whenever the
+// current writer is broken or the service is degraded).
 //
 // Thread safety: ServeUser, SubmitFeedback, RestoreInteraction,
-// Checkpoint, AttachWal, and the health accessors are safe to call from
-// any number of threads — one mutex serializes the round pipeline (the
-// protocol itself is sequential: one pending arrangement at a time, so
-// coarse locking costs no parallelism). A ServeUser racing a round that
-// is mid-flight fails with the same retryable FailedPrecondition a
-// single-threaded caller gets for an out-of-order call; closed-loop
-// drivers (bench/load_service.cc) simply retry. The reference accessors
-// state()/log()/policy() hand out unguarded views — take them only while
-// no other thread is mutating (tests, recovery tooling).
+// Checkpoint, AttachWal, Health, and the health accessors are safe to
+// call from any number of threads — one mutex serializes the round
+// pipeline (the protocol itself is sequential: one pending arrangement
+// at a time, so coarse locking costs no parallelism). A ServeUser racing
+// a round that is mid-flight fails with the same retryable
+// FailedPrecondition a single-threaded caller gets for an out-of-order
+// call; closed-loop drivers (bench/load_service.cc) simply retry. The
+// reference accessors state()/log()/policy() hand out unguarded views —
+// take them only while no other thread is mutating (tests, recovery
+// tooling). ConfigureOverload must be called before serving starts.
 #ifndef FASEA_EBSN_ARRANGEMENT_SERVICE_H_
 #define FASEA_EBSN_ARRANGEMENT_SERVICE_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "common/circuit_breaker.h"
+#include "common/deadline.h"
+#include "common/rate_limiter.h"
 #include "core/checkpoint.h"
 #include "core/policy_factory.h"
 #include "ebsn/interaction_log.h"
@@ -63,6 +92,68 @@ struct DurabilityPolicy {
     kDegrade,
   };
   OnWalError on_wal_error = OnWalError::kFailRound;
+
+  /// Runs the append path behind a circuit breaker (see the class
+  /// comment). on_wal_error then governs only closed/half-open failures:
+  /// kFailRound fails those rounds retryably, kDegrade acknowledges them
+  /// non-durably; once the breaker is open every round is acknowledged
+  /// non-durably without touching the disk, and — unlike the plain
+  /// kDegrade flag — the condition heals itself when a probe succeeds.
+  bool breaker_enabled = false;
+  CircuitBreakerOptions breaker;
+};
+
+/// Reopens the WAL after the writer broke (typically
+/// `[=] { return WalWriter::Open(env, dir, options); }` — a fresh
+/// segment; sealed frames are never rewritten).
+using WalReopenFn =
+    std::function<StatusOr<std::unique_ptr<WalWriter>>()>;
+
+/// ServeUser admission bounds. Zero means "unlimited" for each knob.
+struct OverloadOptions {
+  /// ServeUser calls allowed past admission at once (including those
+  /// waiting on the round mutex); excess calls shed kResourceExhausted.
+  int max_inflight = 0;
+  /// Sustained ServeUser admission rate (token bucket), and its burst.
+  double max_rps = 0.0;
+  double burst = 0.0;  // Defaults to max_rps when 0.
+};
+
+/// Coarse service condition, exported as the `fasea.service.health_state`
+/// gauge (numeric values below) for dashboards and `fasea_cli stats`.
+enum class HealthState {
+  kHealthy = 0,   // Serving, durable (when a WAL is attached).
+  kDegraded = 1,  // Serving, but non-durably or via the stateless
+                  // fallback — investigate.
+  kLameDuck = 2,  // Draining: no new rounds, pending feedback accepted.
+};
+
+std::string_view HealthStateName(HealthState state);
+
+/// One consistent snapshot of everything a health check wants to know.
+struct HealthSnapshot {
+  HealthState state = HealthState::kHealthy;
+  bool wal_attached = false;
+  bool wal_degraded = false;
+  bool learner_healthy = true;
+  bool breaker_enabled = false;
+  CircuitBreaker::State breaker = CircuitBreaker::State::kClosed;
+  std::int64_t rounds_served = 0;
+  std::int64_t rounds_shed = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t nondurable_rounds = 0;
+  std::int64_t wal_reopens = 0;
+  std::int64_t stateless_fallbacks = 0;
+};
+
+/// Per-round outcome detail for SubmitFeedback callers that track
+/// durability (the chaos harness keeps a ledger of durable acks).
+struct FeedbackResult {
+  std::int64_t round = 0;
+  /// True when the interaction reached the WAL under the writer's fsync
+  /// policy. False when no WAL is attached, the service is degraded, or
+  /// the breaker swallowed the append.
+  bool durable = false;
 };
 
 class ArrangementService {
@@ -80,22 +171,42 @@ class ArrangementService {
 
   /// Attaches a write-ahead log: every subsequent SubmitFeedback encodes
   /// the interaction and appends it (with the writer's fsync policy)
-  /// before any state changes. May be called at most once.
+  /// before any state changes. Re-attach is allowed when the current
+  /// writer is broken or the service is WAL-degraded (post-recovery
+  /// re-arm); it clears the degraded flag and rebuilds the breaker.
+  /// `reopen` is required for breaker self-healing — without it a
+  /// half-open probe over a broken writer fails and the breaker stays
+  /// open until re-attach.
   void AttachWal(std::unique_ptr<WalWriter> wal,
-                 DurabilityPolicy policy = {});
+                 DurabilityPolicy policy = {}, WalReopenFn reopen = {});
+
+  /// Installs admission bounds for ServeUser. Call before serving
+  /// starts (not thread-safe against in-flight requests).
+  void ConfigureOverload(const OverloadOptions& options);
+
+  /// Begins draining: every later ServeUser is rejected (kUnavailable)
+  /// while SubmitFeedback still completes the pending round. Sticky.
+  void EnterLameDuck();
 
   /// Serves the next arriving user: proposes a feasible arrangement for
   /// the revealed contexts. Fails if the previous user's feedback has not
-  /// been submitted yet or the round is malformed.
+  /// been submitted yet or the round is malformed; sheds
+  /// kResourceExhausted when admission bounds are hit and
+  /// kDeadlineExceeded when `deadline` passes before the pipeline is
+  /// acquired.
   StatusOr<Arrangement> ServeUser(std::int64_t user_id,
                                   std::int64_t user_capacity,
-                                  const ContextMatrix& contexts);
+                                  const ContextMatrix& contexts,
+                                  const Deadline& deadline = {});
 
   /// Submits the served user's feedback (aligned with the returned
   /// arrangement): logs to the WAL (if attached), consumes capacities,
   /// trains the policy, records the interaction. On kUnavailable nothing
-  /// has changed and the same feedback may be submitted again.
-  Status SubmitFeedback(const Feedback& feedback);
+  /// has changed and the same feedback may be submitted again. `result`
+  /// (optional) reports the round id and whether the ack is durable.
+  Status SubmitFeedback(const Feedback& feedback,
+                        FeedbackResult* result = nullptr,
+                        const Deadline& deadline = {});
 
   /// Serializes the policy's learning state (see core/checkpoint.h).
   std::string Checkpoint() const;
@@ -104,8 +215,9 @@ class ArrangementService {
   /// capacity consumption, the in-memory log, and the round counter;
   /// policy learning only when `learn` is true (records already covered
   /// by a checkpoint were learned before it was cut). Records must
-  /// arrive in strictly increasing `t` order. On failure nothing has
-  /// changed. Used by RecoverArrangementService.
+  /// arrive in strictly increasing `t` order (gaps are legal: rounds
+  /// served non-durably leave none). On failure nothing has changed.
+  /// Used by RecoverArrangementService.
   Status RestoreInteraction(const InteractionRecord& record, bool learn);
 
   /// Unguarded views — require external quiescence (see the thread-safety
@@ -117,37 +229,63 @@ class ArrangementService {
   /// tests; production serving goes through ServeUser/SubmitFeedback.
   Policy* mutable_policy() { return policy_.get(); }
   std::int64_t rounds_served() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::timed_mutex> lock(mu_);
     return t_;
   }
   bool AwaitingFeedback() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::timed_mutex> lock(mu_);
     return pending_;
   }
 
   // --- Health -----------------------------------------------------------
 
+  /// Consistent snapshot of the service's condition.
+  HealthSnapshot Health() const;
+
   bool wal_attached() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::timed_mutex> lock(mu_);
     return wal_ != nullptr;
   }
   /// True once a WAL failure switched the service to serve-without-
   /// logging (DurabilityPolicy::kDegrade). Rounds served past this point
   /// are not recoverable from the WAL.
   bool wal_degraded() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::timed_mutex> lock(mu_);
     return wal_degraded_;
   }
   std::int64_t wal_append_failures() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::timed_mutex> lock(mu_);
     return wal_append_failures_;
   }
   /// Rounds proposed by the stateless fallback because the learner's
   /// numerical state went unhealthy.
   std::int64_t stateless_fallbacks() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::timed_mutex> lock(mu_);
     return stateless_fallbacks_;
   }
+  /// Rounds acknowledged without reaching the WAL (breaker open or a
+  /// swallowed append failure under kDegrade + breaker).
+  std::int64_t nondurable_rounds() const {
+    std::lock_guard<std::timed_mutex> lock(mu_);
+    return nondurable_rounds_;
+  }
+  /// Times a half-open probe reopened the broken writer.
+  std::int64_t wal_reopens() const {
+    std::lock_guard<std::timed_mutex> lock(mu_);
+    return wal_reopens_;
+  }
+  std::int64_t rounds_shed() const {
+    return rounds_shed_.load(std::memory_order_relaxed);
+  }
+  std::int64_t deadline_exceeded() const {
+    return deadline_exceeded_.load(std::memory_order_relaxed);
+  }
+  bool lame_duck() const {
+    return lame_duck_.load(std::memory_order_relaxed);
+  }
+  /// The append-path breaker, or nullptr when breaker_enabled is off.
+  /// Stable once AttachWal returns; for tests and stats tooling.
+  const CircuitBreaker* breaker() const { return breaker_.get(); }
 
  private:
   ArrangementService(const ProblemInstance* instance, PolicyKind kind,
@@ -158,9 +296,16 @@ class ArrangementService {
   /// user capacity.
   Arrangement StatelessProposal(const RoundContext& round) const;
 
+  /// Reopens the writer if it is broken (via reopen_fn_), then appends.
+  Status WalAppendLocked(std::string_view encoded);
+  bool LearnerHealthyLocked() const;
+  HealthState HealthStateLocked() const;
+  void UpdateHealthGaugeLocked();
+
   /// Serializes the round pipeline and every mutable member below; the
   /// telemetry pointers are lock-free (the obs primitives are atomic).
-  mutable std::mutex mu_;
+  /// Timed so deadline-carrying requests can bound their wait.
+  mutable std::timed_mutex mu_;
 
   const ProblemInstance* instance_;
   PolicyKind kind_;
@@ -171,9 +316,22 @@ class ArrangementService {
 
   std::unique_ptr<WalWriter> wal_;
   DurabilityPolicy durability_;
+  WalReopenFn reopen_fn_;
+  std::unique_ptr<CircuitBreaker> breaker_;
   bool wal_degraded_ = false;
   std::int64_t wal_append_failures_ = 0;
   std::int64_t stateless_fallbacks_ = 0;
+  std::int64_t nondurable_rounds_ = 0;
+  std::int64_t wal_reopens_ = 0;
+
+  // Admission control runs before the round mutex, so its state is
+  // atomic rather than mu_-guarded.
+  OverloadOptions overload_;
+  std::unique_ptr<RateLimiter> rate_limiter_;
+  std::atomic<int> inflight_{0};
+  std::atomic<std::int64_t> rounds_shed_{0};
+  std::atomic<std::int64_t> deadline_exceeded_{0};
+  std::atomic<bool> lame_duck_{false};
 
   std::int64_t t_ = 0;
   bool pending_ = false;
@@ -203,12 +361,21 @@ class ArrangementService {
       Metrics()->GetCounter("fasea.feedback.retryable_errors");
   Counter* degraded_entries_metric_ =
       Metrics()->GetCounter("fasea.service.degraded_entries");
+  Counter* shed_metric_ = Metrics()->GetCounter("fasea.service.shed");
+  Counter* deadline_exceeded_metric_ =
+      Metrics()->GetCounter("fasea.service.deadline_exceeded");
+  Counter* nondurable_metric_ =
+      Metrics()->GetCounter("fasea.service.nondurable_rounds");
+  Counter* wal_reopens_metric_ =
+      Metrics()->GetCounter("fasea.service.wal_reopens");
   Gauge* wal_degraded_gauge_ =
       Metrics()->GetGauge("fasea.service.wal_degraded");
   Gauge* learner_healthy_gauge_ =
       Metrics()->GetGauge("fasea.service.learner_healthy");
   Gauge* rounds_served_gauge_ =
       Metrics()->GetGauge("fasea.service.rounds_served");
+  Gauge* health_gauge_ =
+      Metrics()->GetGauge("fasea.service.health_state");
 };
 
 }  // namespace fasea

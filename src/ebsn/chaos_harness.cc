@@ -1,0 +1,533 @@
+#include "ebsn/chaos_harness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/retry.h"
+#include "common/strings.h"
+#include "ebsn/arrangement_service.h"
+#include "ebsn/recovery_manager.h"
+#include "rng/seed.h"
+
+namespace fasea {
+
+namespace {
+
+// The breaker's logical clock: one tick per completed round, shared
+// process-wide. Only tick *differences* matter (cooldowns), so the
+// absence of a reset keeps concurrent harnesses safe while leaving
+// single-threaded runs bit-reproducible.
+std::atomic<std::int64_t> g_chaos_clock{1};
+
+std::int64_t ChaosClockNow() {
+  return g_chaos_clock.load(std::memory_order_relaxed);
+}
+
+void TickChaosClock() {
+  g_chaos_clock.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SleepNanos(std::int64_t nanos) {
+  if (nanos > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+  }
+}
+
+constexpr std::uint64_t kPerCycleStride = 1024;  // threads < stride.
+
+/// Mutable state one chaos run threads through its phases.
+struct ChaosRun {
+  const ChaosOptions* options = nullptr;
+  SyntheticWorld* world = nullptr;
+  FaultInjectionEnv* env = nullptr;
+  std::unique_ptr<ArrangementService> service;
+  std::vector<RoundContext> ring;  // Pre-generated round contexts.
+  std::uint64_t policy_seed = 0;
+
+  // The run-level truth: every acknowledged round keyed by t. A round id
+  // re-served after a crash lost its non-durable predecessor — the new
+  // record overwrites it, exactly as the recovered world re-decided it.
+  std::map<std::int64_t, InteractionRecord> truth;
+  std::set<std::int64_t> durable;  // Round ids acked durable.
+  std::mutex ledger_mu;
+
+  std::atomic<bool> stop{false};
+  ChaosReport report;
+  std::mutex report_mu;
+
+  void Violation(std::string message) {
+    std::lock_guard<std::mutex> lock(report_mu);
+    report.violations.push_back(std::move(message));
+    stop.store(true, std::memory_order_relaxed);
+  }
+};
+
+RetryOptions ChaosRetryOptions(const ChaosOptions& options) {
+  RetryOptions retry;
+  // Enough budget that consecutive failures trip the breaker before the
+  // budget runs out (the open breaker then acknowledges non-durably, so
+  // every submit loop terminates).
+  retry.max_attempts = options.breaker_failure_threshold + 5;
+  retry.initial_backoff_ns = 50'000;   // 50 µs
+  retry.max_backoff_ns = 1'000'000;    // 1 ms
+  return retry;
+}
+
+/// Submits `feedback` until acknowledged; counts exhausted retry budgets.
+/// Returns false (with a violation recorded) on a non-retryable failure.
+bool SubmitUntilAcked(ChaosRun* run, RetryPolicy* retry,
+                      const Feedback& feedback, FeedbackResult* result) {
+  retry->Reset();
+  Status st = run->service->SubmitFeedback(feedback, result);
+  while (!st.ok()) {
+    if (!IsRetryable(st)) {
+      run->Violation("feedback failed non-retryably: " + st.ToString());
+      return false;
+    }
+    if (retry->ShouldRetry(st)) {
+      SleepNanos(retry->NextDelayNanos());
+    } else {
+      // Budget spent with the round still pending: report it, then keep
+      // going — abandoning the round would wedge the protocol, and the
+      // breaker guarantees forward progress (consecutive failures trip
+      // it, and an open breaker acknowledges non-durably).
+      std::lock_guard<std::mutex> lock(run->report_mu);
+      ++run->report.retries_exhausted;
+      retry->Reset();
+    }
+    st = run->service->SubmitFeedback(feedback, result);
+  }
+  return true;
+}
+
+/// Records the acknowledged round in the truth ledger. The record is
+/// rebuilt from the worker's own round/arrangement/feedback — exactly
+/// the fields the service encodes — rather than read back from the
+/// shared log, which other workers may append to between this worker's
+/// acknowledgement and the read.
+void RecordAck(ChaosRun* run, const FeedbackResult& result,
+               const RoundContext& round, const Arrangement& arrangement,
+               const Feedback& feedback) {
+  InteractionRecord record;
+  record.t = result.round;
+  record.user_id = round.user_id;
+  record.user_capacity = round.user_capacity;
+  record.arrangement = arrangement;
+  record.feedback = feedback;
+  for (EventId v : arrangement) {
+    const auto row = round.contexts.Row(v);
+    record.contexts.emplace_back(row.begin(), row.end());
+  }
+  std::lock_guard<std::mutex> lock(run->ledger_mu);
+  run->truth[result.round] = std::move(record);
+  if (result.durable) {
+    run->durable.insert(result.round);
+  }
+}
+
+/// Closed-loop drive: `threads` workers complete `target` rounds.
+void DrivePhase(ChaosRun* run, int cycle, int threads,
+                std::int64_t target) {
+  std::atomic<std::int64_t> completed{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([run, cycle, w, target, &completed] {
+      const std::uint64_t lane =
+          static_cast<std::uint64_t>(cycle) * kPerCycleStride +
+          static_cast<std::uint64_t>(w);
+      Pcg64 fb_rng(DeriveSeed(run->options->seed, "chaos-fb", lane),
+                   static_cast<std::uint64_t>(w));
+      RetryPolicy retry(ChaosRetryOptions(*run->options),
+                        DeriveSeed(run->options->seed, "chaos-retry", lane));
+      while (!run->stop.load(std::memory_order_relaxed) &&
+             completed.load(std::memory_order_relaxed) < target) {
+        const RoundContext& round =
+            run->ring[static_cast<std::size_t>(
+                          completed.load(std::memory_order_relaxed)) %
+                      run->ring.size()];
+        auto arrangement = run->service->ServeUser(
+            round.user_id, round.user_capacity, round.contexts);
+        if (!arrangement.ok()) {
+          const StatusCode code = arrangement.status().code();
+          if (code == StatusCode::kFailedPrecondition) {
+            std::lock_guard<std::mutex> lock(run->report_mu);
+            ++run->report.contention_rejects;
+          } else if (code == StatusCode::kResourceExhausted) {
+            std::lock_guard<std::mutex> lock(run->report_mu);
+            ++run->report.rounds_shed;
+          } else {
+            run->Violation("serve failed unexpectedly: " +
+                           arrangement.status().ToString());
+            return;
+          }
+          std::this_thread::yield();
+          continue;
+        }
+        const Feedback feedback = run->world->feedback().Sample(
+            1, round.contexts, *arrangement, fb_rng);
+        FeedbackResult result;
+        if (!SubmitUntilAcked(run, &retry, feedback, &result)) return;
+        RecordAck(run, result, round, *arrangement, feedback);
+        TickChaosClock();
+        {
+          std::lock_guard<std::mutex> lock(run->report_mu);
+          ++run->report.rounds_acked;
+          if (result.durable) {
+            ++run->report.durable_acked;
+          } else {
+            ++run->report.nondurable_acked;
+          }
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+/// Step 2: faults are disarmed; drive single-threaded until the breaker
+/// is closed and a durable acknowledgement proves the WAL is live again.
+void DriveUntilReclosed(ChaosRun* run, int cycle) {
+  RetryPolicy retry(
+      ChaosRetryOptions(*run->options),
+      DeriveSeed(run->options->seed, "chaos-reclose",
+                 static_cast<std::uint64_t>(cycle)));
+  Pcg64 fb_rng(DeriveSeed(run->options->seed, "chaos-reclose-fb",
+                          static_cast<std::uint64_t>(cycle)),
+               /*stream=*/7);
+  for (std::int64_t i = 0; i < run->options->reclose_budget; ++i) {
+    if (run->stop.load(std::memory_order_relaxed)) return;
+    const RoundContext& round =
+        run->ring[static_cast<std::size_t>(i) % run->ring.size()];
+    auto arrangement = run->service->ServeUser(
+        round.user_id, round.user_capacity, round.contexts);
+    if (!arrangement.ok()) {
+      run->Violation("serve failed during re-close drive: " +
+                     arrangement.status().ToString());
+      return;
+    }
+    const Feedback feedback = run->world->feedback().Sample(
+        1, round.contexts, *arrangement, fb_rng);
+    FeedbackResult result;
+    if (!SubmitUntilAcked(run, &retry, feedback, &result)) return;
+    RecordAck(run, result, round, *arrangement, feedback);
+    TickChaosClock();
+    {
+      std::lock_guard<std::mutex> lock(run->report_mu);
+      ++run->report.rounds_acked;
+      if (result.durable) {
+        ++run->report.durable_acked;
+      } else {
+        ++run->report.nondurable_acked;
+      }
+    }
+    if (result.durable &&
+        run->service->breaker()->state() ==
+            CircuitBreaker::State::kClosed) {
+      return;
+    }
+  }
+  run->Violation(StrFormat(
+      "cycle %d: breaker failed to re-close within %lld rounds after "
+      "faults were disarmed",
+      cycle, static_cast<long long>(run->options->reclose_budget)));
+}
+
+void CheckCapacitiesNonNegative(ChaosRun* run, const ArrangementService& s,
+                                const char* which, int cycle) {
+  const ProblemInstance& instance = run->world->instance();
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (s.state().remaining(v) < 0) {
+      run->Violation(StrFormat(
+          "cycle %d: %s service has negative remaining capacity for "
+          "event %u",
+          cycle, which, v));
+    }
+  }
+}
+
+/// The crash-and-recover step: snapshot counters, destroy the live
+/// service, recover from the WAL alone, and check every invariant.
+void CrashRecoverAndVerify(ChaosRun* run, int cycle) {
+  const ChaosOptions& options = *run->options;
+
+  // Snapshot the live side before "crashing".
+  {
+    std::lock_guard<std::mutex> lock(run->report_mu);
+    run->report.breaker_opens += run->service->breaker()->opens();
+    run->report.breaker_closes += run->service->breaker()->closes();
+    run->report.breaker_probes += run->service->breaker()->probes();
+    run->report.wal_reopens += run->service->wal_reopens();
+  }
+  CheckCapacitiesNonNegative(run, *run->service, "live", cycle);
+  run->service.reset();  // Crash: in-memory state is gone.
+
+  RecoveryOptions ropts;
+  ropts.seed = run->policy_seed;
+  auto recovered = RecoverArrangementService(
+      &run->world->instance(), run->env, options.wal_dir, "", ropts);
+  if (!recovered.ok()) {
+    run->Violation(StrFormat("cycle %d: recovery failed: %s", cycle,
+                             recovered.status().ToString().c_str()));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(run->report_mu);
+    run->report.records_recovered = recovered->report.records_scanned;
+    run->report.duplicate_frames_skipped +=
+        recovered->report.duplicate_frames_skipped;
+    run->report.bytes_truncated += recovered->report.bytes_truncated;
+  }
+  ArrangementService& service = *recovered->service;
+  CheckCapacitiesNonNegative(run, service, "recovered", cycle);
+
+  // Invariant: the WAL never invents rounds, and no durable ack is lost.
+  std::set<std::int64_t> recovered_ids;
+  for (std::size_t i = 0; i < service.log().size(); ++i) {
+    const std::int64_t t = service.log().record(i).t;
+    recovered_ids.insert(t);
+    if (run->truth.find(t) == run->truth.end()) {
+      run->Violation(StrFormat(
+          "cycle %d: recovered round %lld was never acknowledged", cycle,
+          static_cast<long long>(t)));
+    }
+  }
+  for (const std::int64_t t : run->durable) {
+    if (recovered_ids.find(t) == recovered_ids.end()) {
+      run->Violation(StrFormat(
+          "cycle %d: durably acknowledged round %lld is missing from "
+          "the recovered log",
+          cycle, static_cast<long long>(t)));
+    }
+  }
+
+  // Invariant: recovery is bit-identical to a shadow service that
+  // replays exactly the recovered rounds from the in-memory truth.
+  ArrangementService shadow(&run->world->instance(), PolicyKind::kUcb,
+                            PolicyParams{}, run->policy_seed);
+  for (const std::int64_t t : recovered_ids) {
+    const auto it = run->truth.find(t);
+    if (it == run->truth.end()) continue;  // Already a violation above.
+    if (Status st = shadow.RestoreInteraction(it->second, /*learn=*/true);
+        !st.ok()) {
+      run->Violation(StrFormat("cycle %d: shadow replay of round %lld "
+                               "failed: %s",
+                               cycle, static_cast<long long>(t),
+                               st.ToString().c_str()));
+      return;
+    }
+  }
+  if (service.Checkpoint() != shadow.Checkpoint()) {
+    run->Violation(StrFormat(
+        "cycle %d: recovered learning state (Y, b) differs from the "
+        "shadow replay of the durable history",
+        cycle));
+  }
+  if (service.log().ToCsv() != shadow.log().ToCsv()) {
+    run->Violation(StrFormat(
+        "cycle %d: recovered interaction log differs from the shadow "
+        "replay",
+        cycle));
+  }
+  if (service.rounds_served() != shadow.rounds_served()) {
+    run->Violation(StrFormat(
+        "cycle %d: recovered round counter %lld != shadow %lld", cycle,
+        static_cast<long long>(service.rounds_served()),
+        static_cast<long long>(shadow.rounds_served())));
+  }
+  const ProblemInstance& instance = run->world->instance();
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (service.state().remaining(v) != shadow.state().remaining(v)) {
+      run->Violation(StrFormat(
+          "cycle %d: recovered capacity of event %u (%lld) != shadow "
+          "(%lld)",
+          cycle, v,
+          static_cast<long long>(service.state().remaining(v)),
+          static_cast<long long>(shadow.state().remaining(v))));
+      break;
+    }
+  }
+
+  // The truth going forward is the recovered world: round ids above the
+  // recovered counter were acknowledged non-durably and died with the
+  // crash — the next cycle re-decides them.
+  run->service = std::move(recovered->service);
+}
+
+Status AttachFreshWal(ChaosRun* run) {
+  FaultInjectionEnv* env = run->env;
+  const std::string dir = run->options->wal_dir;
+  auto wal = WalWriter::Open(env, dir);
+  if (!wal.ok()) return wal.status();
+  DurabilityPolicy durability;
+  durability.on_wal_error = DurabilityPolicy::OnWalError::kFailRound;
+  durability.breaker_enabled = true;
+  durability.breaker.failure_threshold =
+      run->options->breaker_failure_threshold;
+  durability.breaker.open_cooldown_ns =
+      run->options->breaker_cooldown_ticks;  // Logical-clock ticks.
+  durability.breaker.clock = &ChaosClockNow;
+  run->service->AttachWal(
+      std::move(wal).value(), durability,
+      [env, dir] { return WalWriter::Open(env, dir); });
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ChaosReport::ToString() const {
+  std::string out;
+  out += StrFormat("verdict:                  %s\n",
+                   ok ? "PASS" : "FAIL");
+  out += StrFormat("cycles run:               %d\n", cycles_run);
+  out += StrFormat("rounds acked:             %lld\n",
+                   static_cast<long long>(rounds_acked));
+  out += StrFormat("  durable:                %lld\n",
+                   static_cast<long long>(durable_acked));
+  out += StrFormat("  non-durable:            %lld\n",
+                   static_cast<long long>(nondurable_acked));
+  out += StrFormat("rounds shed:              %lld\n",
+                   static_cast<long long>(rounds_shed));
+  out += StrFormat("contention rejects:       %lld\n",
+                   static_cast<long long>(contention_rejects));
+  out += StrFormat("retry budgets exhausted:  %lld\n",
+                   static_cast<long long>(retries_exhausted));
+  out += StrFormat("faults injected:          %lld\n",
+                   static_cast<long long>(faults_injected));
+  out += StrFormat("breaker opens/closes:     %lld/%lld\n",
+                   static_cast<long long>(breaker_opens),
+                   static_cast<long long>(breaker_closes));
+  out += StrFormat("breaker probes:           %lld\n",
+                   static_cast<long long>(breaker_probes));
+  out += StrFormat("wal reopens:              %lld\n",
+                   static_cast<long long>(wal_reopens));
+  out += StrFormat("records recovered:        %lld\n",
+                   static_cast<long long>(records_recovered));
+  out += StrFormat("duplicate frames skipped: %lld\n",
+                   static_cast<long long>(duplicate_frames_skipped));
+  out += StrFormat("torn bytes truncated:     %lld\n",
+                   static_cast<long long>(bytes_truncated));
+  for (const std::string& violation : violations) {
+    out += "VIOLATION: " + violation + "\n";
+  }
+  return out;
+}
+
+StatusOr<FaultSchedule> NamedFaultSchedule(std::string_view name) {
+  if (name == "clean") return FaultSchedule::Parse("");
+  if (name == "flaky-appends") {
+    return FaultSchedule::Parse(
+        "append_error_rate=0.05;short_write_rate=0.02");
+  }
+  if (name == "dying-disk") return FaultSchedule::Parse("sync_fail_at=25");
+  if (name == "torn-tail") {
+    return FaultSchedule::Parse(
+        "short_write_at=15;short_write_keep_bytes=10;"
+        "append_error_rate=0.02");
+  }
+  if (name == "slow-disk") {
+    return FaultSchedule::Parse(
+        "append_latency_ns=20000;sync_latency_ns=30000;"
+        "latency_jitter_ns=10000;sync_error_rate=0.02");
+  }
+  return InvalidArgumentError(
+      StrFormat("unknown fault schedule '%s' (try: clean, flaky-appends, "
+                "dying-disk, torn-tail, slow-disk)",
+                std::string(name).c_str()));
+}
+
+const std::vector<std::string_view>& NamedFaultScheduleNames() {
+  static const std::vector<std::string_view> kNames = {
+      "clean", "flaky-appends", "dying-disk", "torn-tail", "slow-disk"};
+  return kNames;
+}
+
+StatusOr<ChaosReport> RunChaos(const ChaosOptions& options) {
+  if (options.wal_dir.empty()) {
+    return InvalidArgumentError("chaos: wal_dir is required");
+  }
+  if (options.threads < 1 || options.cycles < 1 ||
+      options.rounds_per_cycle < 1) {
+    return InvalidArgumentError(
+        "chaos: threads, cycles, and rounds_per_cycle must be >= 1");
+  }
+  FaultInjectionEnv env(Env::Default());
+  if (auto names = env.ListDir(options.wal_dir); names.ok()) {
+    for (const std::string& name : *names) {
+      if (StartsWith(name, "wal-")) {
+        return InvalidArgumentError(
+            "chaos: wal_dir already holds WAL segments — the run needs a "
+            "fresh directory");
+      }
+    }
+  }
+
+  SyntheticConfig config;
+  config.num_events = options.num_events;
+  config.dim = options.dim;
+  config.horizon = 100000;
+  config.seed = DeriveSeed(options.seed, "chaos-world");
+  auto world = SyntheticWorld::Create(config);
+  if (!world.ok()) return world.status();
+
+  ChaosRun run;
+  run.options = &options;
+  run.world = world->get();
+  run.env = &env;
+  run.policy_seed = DeriveSeed(options.seed, "chaos-policy");
+  run.service = std::make_unique<ArrangementService>(
+      &run.world->instance(), PolicyKind::kUcb, PolicyParams{},
+      run.policy_seed);
+  run.ring.resize(64);
+  for (std::size_t i = 0; i < run.ring.size(); ++i) {
+    run.ring[i] =
+        run.world->provider().NextRound(static_cast<std::int64_t>(i) + 1);
+  }
+  if (options.max_inflight > 0) {
+    OverloadOptions overload;
+    overload.max_inflight = options.max_inflight;
+    run.service->ConfigureOverload(overload);
+  }
+
+  for (int cycle = 0; cycle < options.cycles; ++cycle) {
+    if (Status st = AttachFreshWal(&run); !st.ok()) return st;
+
+    FaultSchedule schedule = options.schedule;
+    schedule.seed = DeriveSeed(options.seed, "chaos-faults",
+                               static_cast<std::uint64_t>(cycle));
+    env.ApplySchedule(schedule);
+
+    DrivePhase(&run, cycle, options.threads, options.rounds_per_cycle);
+    env.DisarmAll();
+    if (!run.stop.load(std::memory_order_relaxed)) {
+      DriveUntilReclosed(&run, cycle);
+    }
+    if (run.stop.load(std::memory_order_relaxed)) break;
+
+    CrashRecoverAndVerify(&run, cycle);
+    ++run.report.cycles_run;
+    if (run.stop.load(std::memory_order_relaxed) ||
+        run.service == nullptr) {
+      break;
+    }
+    if (options.max_inflight > 0) {
+      OverloadOptions overload;
+      overload.max_inflight = options.max_inflight;
+      run.service->ConfigureOverload(overload);
+    }
+  }
+
+  run.report.faults_injected = env.faults_injected();
+  run.report.ok = run.report.violations.empty() &&
+                  run.report.cycles_run == options.cycles;
+  return std::move(run.report);
+}
+
+}  // namespace fasea

@@ -1,0 +1,113 @@
+// Deterministic chaos harness: proves the serving layer's crash-safety
+// and self-healing claims end to end, under injected storage faults and
+// kill-and-recover cycles, with multi-threaded closed-loop load.
+//
+// One run executes `cycles` rounds of:
+//
+//   1. serve `rounds_per_cycle` rounds from `threads` closed-loop
+//      workers, with a FaultSchedule armed on the WAL's
+//      FaultInjectionEnv and the append path behind a circuit breaker
+//      (ticking on a logical clock, one tick per served round, so
+//      cooldowns elapse in rounds — bit-reproducible per seed);
+//   2. disarm all faults and keep serving until the breaker re-closes
+//      and a durable acknowledgement is observed (or a bounded budget
+//      runs out — a violation);
+//   3. "crash": snapshot the in-memory truth, destroy the service,
+//      recover a fresh one from the WAL alone (RecoverArrangementService)
+//      and verify the invariants below, then re-attach a fresh WAL
+//      writer and continue into the next cycle.
+//
+// Invariants checked every cycle (violations are collected, not thrown):
+//
+//   - No durable acknowledgement is lost: every round SubmitFeedback
+//     acked with FeedbackResult::durable is present in the recovered log.
+//   - The recovered service is bit-identical to a shadow service that
+//     replays exactly the recovered rounds from the in-memory truth:
+//     same checkpoint blob (Y, b, observation count), same remaining
+//     capacities, same log CSV, same round counter.
+//   - The WAL never invents rounds: everything recovered was acked.
+//   - Remaining capacities never go negative (live and recovered).
+//   - The breaker re-closes after faults disarm.
+//
+// The harness is deliberately deterministic for threads=1: every RNG is
+// seeded from ChaosOptions::seed, the breaker runs on the logical clock,
+// and the report carries no wall-clock fields — two single-threaded runs
+// with the same options produce byte-identical reports. Multi-threaded
+// runs interleave differently but must pass the same invariants.
+//
+// Backs bench/chaos_soak.cc, `fasea_cli chaos`, and the gtest suite
+// (tests/ebsn_chaos_harness_test.cc).
+#ifndef FASEA_EBSN_CHAOS_HARNESS_H_
+#define FASEA_EBSN_CHAOS_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datagen/synthetic.h"
+#include "io/fault_injection_env.h"
+
+namespace fasea {
+
+struct ChaosOptions {
+  /// Faults armed during each cycle's driving phase (see
+  /// NamedFaultSchedule for ready-made mixes). The harness overrides
+  /// schedule.seed per cycle, derived from `seed`.
+  FaultSchedule schedule;
+  int threads = 2;
+  std::int64_t rounds_per_cycle = 200;
+  int cycles = 3;
+  std::uint64_t seed = 1;
+  /// WAL directory — must be empty/fresh; the run owns it.
+  std::string wal_dir;
+
+  /// Breaker tuning (logical-clock ticks, one per served round).
+  int breaker_failure_threshold = 3;
+  std::int64_t breaker_cooldown_ticks = 32;
+  /// Extra rounds allowed for step 2 before "failed to re-close".
+  std::int64_t reclose_budget = 500;
+
+  /// ServeUser in-flight admission cap (0 = unlimited).
+  int max_inflight = 0;
+
+  /// Workload shape (kept small; capacities come from the defaults).
+  std::size_t num_events = 24;
+  std::size_t dim = 4;
+};
+
+struct ChaosReport {
+  bool ok = false;
+  std::vector<std::string> violations;
+
+  int cycles_run = 0;
+  std::int64_t rounds_acked = 0;      // Completed rounds, all cycles.
+  std::int64_t durable_acked = 0;     // Rounds acked durable.
+  std::int64_t nondurable_acked = 0;  // Rounds acked non-durably.
+  std::int64_t rounds_shed = 0;       // kResourceExhausted rejections.
+  std::int64_t contention_rejects = 0;  // Racing ServeUser rejections.
+  std::int64_t retries_exhausted = 0;   // RetryPolicy budgets spent.
+  std::int64_t faults_injected = 0;     // Fired by the FaultInjectionEnv.
+  std::int64_t breaker_opens = 0;
+  std::int64_t breaker_closes = 0;
+  std::int64_t breaker_probes = 0;
+  std::int64_t wal_reopens = 0;
+  std::int64_t records_recovered = 0;   // Last recovery's restored rounds.
+  std::int64_t duplicate_frames_skipped = 0;  // Across all recoveries.
+  std::int64_t bytes_truncated = 0;           // Across all recoveries.
+
+  std::string ToString() const;
+};
+
+/// Runs the harness; fails (Status) only on setup errors — invariant
+/// violations land in the report (`ok` false, `violations` non-empty).
+StatusOr<ChaosReport> RunChaos(const ChaosOptions& options);
+
+/// Ready-made schedules: "clean", "flaky-appends", "dying-disk",
+/// "torn-tail", "slow-disk". Unknown names fail kInvalidArgument.
+StatusOr<FaultSchedule> NamedFaultSchedule(std::string_view name);
+const std::vector<std::string_view>& NamedFaultScheduleNames();
+
+}  // namespace fasea
+
+#endif  // FASEA_EBSN_CHAOS_HARNESS_H_

@@ -38,9 +38,18 @@ Status ScanAndClassify(Env* env, const std::string& wal_dir,
   report->corrupt_frames_skipped = scan->corrupt_frames_skipped;
 
   std::int64_t cumulative_observations = 0;
+  std::int64_t last_t = 0;
   for (const std::string& payload : scan->payloads) {
     auto record = DecodeInteractionRecord(payload);
     if (!record.ok()) return record.status();
+    if (record->t == last_t) {
+      // A retried append of the round the previous frame already holds:
+      // its fsync failed after the bytes reached the log (see the
+      // report-field comment). Apply the round once.
+      ++report->duplicate_frames_skipped;
+      continue;
+    }
+    last_t = record->t;
     ++report->records_scanned;
     const auto observations =
         static_cast<std::int64_t>(record->arrangement.size());
@@ -103,6 +112,8 @@ std::string RecoveryReport::ToString() const {
                    static_cast<long long>(bytes_truncated));
   out += StrFormat("corrupt frames skipped:   %lld\n",
                    static_cast<long long>(corrupt_frames_skipped));
+  out += StrFormat("duplicate frames skipped: %lld\n",
+                   static_cast<long long>(duplicate_frames_skipped));
   out += StrFormat("records restored (state): %lld\n",
                    static_cast<long long>(records_restored));
   out += StrFormat("records replayed (learn): %lld\n",
@@ -183,6 +194,8 @@ StatusOr<RecoveredService> RecoverArrangementService(
       ->Add(result.report.bytes_truncated);
   metrics->GetCounter("fasea.recovery.corrupt_frames_skipped")
       ->Add(result.report.corrupt_frames_skipped);
+  metrics->GetCounter("fasea.recovery.duplicate_frames_skipped")
+      ->Add(result.report.duplicate_frames_skipped);
   return result;
 }
 

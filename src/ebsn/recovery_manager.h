@@ -52,6 +52,10 @@ struct RecoveryReport {
   std::int64_t records_scanned = 0;   // Frames that decoded successfully.
   std::int64_t bytes_truncated = 0;   // Torn tail dropped by ScanWal.
   std::int64_t corrupt_frames_skipped = 0;  // Only under kSkip.
+  /// Frames repeating the previous frame's round: an append whose fsync
+  /// failed persisted the frame anyway, the acknowledgement was withheld,
+  /// and the retry wrote the round again. Replaying once is exact.
+  std::int64_t duplicate_frames_skipped = 0;
 
   std::int64_t records_restored = 0;  // Pre-checkpoint: state/log only.
   std::int64_t records_replayed = 0;  // Post-checkpoint: learned too.

@@ -1,6 +1,11 @@
 #include "io/fault_injection_env.h"
 
+#include <chrono>
+#include <cstdlib>
+#include <thread>
 #include <utility>
+
+#include "common/strings.h"
 
 namespace fasea {
 
@@ -8,7 +13,142 @@ namespace {
 constexpr std::string_view kTornWriteMsg = "injected fault: torn write";
 constexpr std::string_view kWriteErrorMsg = "injected fault: write error";
 constexpr std::string_view kSyncFailureMsg = "injected fault: fsync failure";
+
+/// Strict full-string parses: the whole value must be consumed, so a
+/// typo like "0.5x" is a configuration error, not a silent truncation.
+bool ParseDoubleStrict(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseInt64Strict(const std::string& text, std::int64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::int64_t>(value);
+  return true;
+}
+
+void SleepNanos(std::int64_t nanos) {
+  if (nanos > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+  }
+}
 }  // namespace
+
+// --- FaultSchedule -------------------------------------------------------
+
+StatusOr<FaultSchedule> FaultSchedule::Parse(std::string_view spec) {
+  FaultSchedule schedule;
+  for (const std::string& raw : StrSplit(spec, ';')) {
+    const std::string_view piece = StripAsciiWhitespace(raw);
+    if (piece.empty()) continue;
+    const std::size_t eq = piece.find('=');
+    if (eq == std::string_view::npos) {
+      return InvalidArgumentError(StrFormat(
+          "fault schedule: '%s' is not a key=value pair",
+          std::string(piece).c_str()));
+    }
+    const std::string key(StripAsciiWhitespace(piece.substr(0, eq)));
+    const std::string value(StripAsciiWhitespace(piece.substr(eq + 1)));
+    const auto bad = [&](const char* why) {
+      return InvalidArgumentError(StrFormat(
+          "fault schedule: %s '%s' for key '%s'", why, value.c_str(),
+          key.c_str()));
+    };
+
+    double rate = 0.0;
+    std::int64_t number = 0;
+    if (key == "append_error_rate" || key == "short_write_rate" ||
+        key == "sync_error_rate") {
+      if (!ParseDoubleStrict(value, &rate) || rate < 0.0 || rate > 1.0) {
+        return bad("bad probability");
+      }
+      if (key == "append_error_rate") schedule.append_error_rate = rate;
+      if (key == "short_write_rate") schedule.short_write_rate = rate;
+      if (key == "sync_error_rate") schedule.sync_error_rate = rate;
+      continue;
+    }
+    if (!ParseInt64Strict(value, &number)) return bad("bad integer");
+    if (key == "seed") {
+      schedule.seed = static_cast<std::uint64_t>(number);
+    } else if (key == "short_write_keep_bytes") {
+      if (number < 0) return bad("negative value");
+      schedule.short_write_keep_bytes = static_cast<std::size_t>(number);
+    } else if (key == "append_latency_ns") {
+      if (number < 0) return bad("negative value");
+      schedule.append_latency_ns = number;
+    } else if (key == "sync_latency_ns") {
+      if (number < 0) return bad("negative value");
+      schedule.sync_latency_ns = number;
+    } else if (key == "latency_jitter_ns") {
+      if (number < 0) return bad("negative value");
+      schedule.latency_jitter_ns = number;
+    } else if (key == "write_error_at") {
+      schedule.write_error_at = number;
+    } else if (key == "short_write_at") {
+      schedule.short_write_at = number;
+    } else if (key == "sync_fail_at") {
+      schedule.sync_fail_at = number;
+    } else if (key == "disarm_after_appends") {
+      schedule.disarm_after_appends = number;
+    } else {
+      return InvalidArgumentError(StrFormat(
+          "fault schedule: unknown key '%s'", key.c_str()));
+    }
+  }
+  return schedule;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::vector<std::string> pieces;
+  const FaultSchedule defaults;
+  if (seed != defaults.seed) {
+    pieces.push_back(StrFormat("seed=%llu",
+                               static_cast<unsigned long long>(seed)));
+  }
+  const auto rate = [&](const char* key, double value) {
+    if (value > 0.0) {
+      pieces.push_back(std::string(key) + "=" + FormatDouble(value));
+    }
+  };
+  rate("append_error_rate", append_error_rate);
+  rate("short_write_rate", short_write_rate);
+  rate("sync_error_rate", sync_error_rate);
+  if (short_write_keep_bytes != defaults.short_write_keep_bytes) {
+    pieces.push_back(StrFormat("short_write_keep_bytes=%zu",
+                               short_write_keep_bytes));
+  }
+  const auto number = [&](const char* key, std::int64_t value,
+                          std::int64_t default_value) {
+    if (value != default_value) {
+      pieces.push_back(StrFormat("%s=%lld", key,
+                                 static_cast<long long>(value)));
+    }
+  };
+  number("append_latency_ns", append_latency_ns, 0);
+  number("sync_latency_ns", sync_latency_ns, 0);
+  number("latency_jitter_ns", latency_jitter_ns, 0);
+  number("write_error_at", write_error_at, -1);
+  number("short_write_at", short_write_at, -1);
+  number("sync_fail_at", sync_fail_at, -1);
+  number("disarm_after_appends", disarm_after_appends, -1);
+  return StrJoin(pieces, ";");
+}
+
+bool FaultSchedule::Armed() const {
+  return append_error_rate > 0.0 || short_write_rate > 0.0 ||
+         sync_error_rate > 0.0 || append_latency_ns > 0 ||
+         sync_latency_ns > 0 || write_error_at >= 0 ||
+         short_write_at >= 0 || sync_fail_at >= 0;
+}
+
+// --- FaultInjectedWritableFile -------------------------------------------
 
 /// Forwards to the real file but consults the env's fault plan first.
 class FaultInjectedWritableFile final : public WritableFile {
@@ -19,7 +159,9 @@ class FaultInjectedWritableFile final : public WritableFile {
 
   Status Append(std::string_view data) override {
     bool fail = false;
-    const std::size_t keep = env_->PlanAppend(data.size(), &fail);
+    std::int64_t delay_ns = 0;
+    const std::size_t keep = env_->PlanAppend(data.size(), &fail, &delay_ns);
+    SleepNanos(delay_ns);
     if (keep > 0) {
       if (Status st = base_->Append(data.substr(0, keep)); !st.ok()) {
         return st;
@@ -38,7 +180,10 @@ class FaultInjectedWritableFile final : public WritableFile {
   Status Flush() override { return base_->Flush(); }
 
   Status Sync() override {
-    if (env_->PlanSyncFailure()) {
+    std::int64_t delay_ns = 0;
+    const bool fail = env_->PlanSyncFailure(&delay_ns);
+    SleepNanos(delay_ns);
+    if (fail) {
       // The data may or may not be durable; only the acknowledgement is
       // withheld. Flush so the bytes are at least visible to readers.
       (void)base_->Flush();
@@ -54,44 +199,152 @@ class FaultInjectedWritableFile final : public WritableFile {
   FaultInjectionEnv* env_;
 };
 
+// --- FaultInjectionEnv ---------------------------------------------------
+
+void FaultInjectionEnv::ArmWriteError(std::int64_t countdown) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_error_in_ = countdown;
+}
+
+void FaultInjectionEnv::ArmShortWrite(std::int64_t countdown,
+                                      std::size_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  short_write_in_ = countdown;
+  short_write_keep_bytes_ = keep_bytes;
+}
+
+void FaultInjectionEnv::ArmSyncFailure(std::int64_t countdown) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_failure_in_ = countdown;
+}
+
 void FaultInjectionEnv::ArmReadCorruption(const std::string& path_suffix,
                                           std::size_t offset,
                                           std::uint8_t mask) {
   FASEA_CHECK(mask != 0);
+  std::lock_guard<std::mutex> lock(mu_);
   corruptions_[path_suffix].push_back(Corruption{offset, mask});
 }
 
-void FaultInjectionEnv::DisarmAll() {
+void FaultInjectionEnv::SeedRng(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Pcg64(seed, /*stream=*/0x6661756C74ULL);
+}
+
+void FaultInjectionEnv::ApplySchedule(const FaultSchedule& schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Pcg64(schedule.seed, /*stream=*/0x6661756C74ULL);
+  write_error_in_ = schedule.write_error_at;
+  short_write_in_ = schedule.short_write_at;
+  short_write_keep_bytes_ = schedule.short_write_keep_bytes;
+  sync_failure_in_ = schedule.sync_fail_at;
+  append_error_rate_ = schedule.append_error_rate;
+  short_write_rate_ = schedule.short_write_rate;
+  sync_error_rate_ = schedule.sync_error_rate;
+  rate_short_write_keep_bytes_ = schedule.short_write_keep_bytes;
+  append_latency_ns_ = schedule.append_latency_ns;
+  sync_latency_ns_ = schedule.sync_latency_ns;
+  latency_jitter_ns_ = schedule.latency_jitter_ns;
+  disarm_at_appends_ = schedule.disarm_after_appends >= 0
+                           ? appends_seen_ + schedule.disarm_after_appends
+                           : -1;
+}
+
+void FaultInjectionEnv::DisarmAllLocked() {
   write_error_in_ = -1;
   short_write_in_ = -1;
   sync_failure_in_ = -1;
+  append_error_rate_ = 0.0;
+  short_write_rate_ = 0.0;
+  sync_error_rate_ = 0.0;
+  append_latency_ns_ = 0;
+  sync_latency_ns_ = 0;
+  latency_jitter_ns_ = 0;
+  disarm_at_appends_ = -1;
   corruptions_.clear();
 }
 
-std::size_t FaultInjectionEnv::PlanAppend(std::size_t size, bool* fail) {
+void FaultInjectionEnv::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DisarmAllLocked();
+}
+
+std::int64_t FaultInjectionEnv::appends_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_seen_;
+}
+
+std::int64_t FaultInjectionEnv::syncs_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return syncs_seen_;
+}
+
+std::int64_t FaultInjectionEnv::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
+}
+
+std::int64_t FaultInjectionEnv::JitteredLatencyLocked(
+    std::int64_t base_ns) {
+  if (base_ns <= 0) return 0;
+  std::int64_t delay = base_ns;
+  if (latency_jitter_ns_ > 0) {
+    delay += static_cast<std::int64_t>(rng_.NextBounded(
+        static_cast<std::uint64_t>(latency_jitter_ns_) + 1));
+  }
+  return delay;
+}
+
+std::size_t FaultInjectionEnv::PlanAppend(std::size_t size, bool* fail,
+                                          std::int64_t* delay_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++appends_seen_;
   *fail = false;
+  *delay_ns = 0;
+  if (disarm_at_appends_ >= 0 && appends_seen_ > disarm_at_appends_) {
+    DisarmAllLocked();
+  }
+  *delay_ns = JitteredLatencyLocked(append_latency_ns_);
   if (write_error_in_ >= 0 && write_error_in_-- == 0) {
-    CountInjectedFault();
+    CountInjectedFaultLocked();
     *fail = true;
     return 0;
   }
   if (short_write_in_ >= 0 && short_write_in_-- == 0) {
-    CountInjectedFault();
+    CountInjectedFaultLocked();
     *fail = true;
     return short_write_keep_bytes_ < size ? short_write_keep_bytes_ : size;
+  }
+  if (append_error_rate_ > 0.0 &&
+      rng_.NextDouble() < append_error_rate_) {
+    CountInjectedFaultLocked();
+    *fail = true;
+    return 0;
+  }
+  if (short_write_rate_ > 0.0 && rng_.NextDouble() < short_write_rate_) {
+    CountInjectedFaultLocked();
+    *fail = true;
+    return rate_short_write_keep_bytes_ < size
+               ? rate_short_write_keep_bytes_
+               : size;
   }
   return size;
 }
 
-bool FaultInjectionEnv::PlanSyncFailure() {
+bool FaultInjectionEnv::PlanSyncFailure(std::int64_t* delay_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++syncs_seen_;
+  *delay_ns = JitteredLatencyLocked(sync_latency_ns_);
   if (sync_failure_in_ >= 0) {
     if (sync_failure_in_ == 0) {
-      CountInjectedFault();
+      CountInjectedFaultLocked();
       return true;  // Stays at 0: every later sync fails too.
     }
     --sync_failure_in_;
+  }
+  if (sync_error_rate_ > 0.0 && rng_.NextDouble() < sync_error_rate_) {
+    CountInjectedFaultLocked();
+    return true;
   }
   return false;
 }
@@ -108,6 +361,7 @@ StatusOr<std::string> FaultInjectionEnv::ReadFileToString(
     const std::string& path) {
   auto data = base_->ReadFileToString(path);
   if (!data.ok()) return data;
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [suffix, faults] : corruptions_) {
     if (path.size() < suffix.size() ||
         path.compare(path.size() - suffix.size(), suffix.size(), suffix) !=
@@ -116,7 +370,7 @@ StatusOr<std::string> FaultInjectionEnv::ReadFileToString(
     }
     for (const Corruption& c : faults) {
       if (c.offset < data->size()) {
-        CountInjectedFault();
+        CountInjectedFaultLocked();
         (*data)[c.offset] = static_cast<char>(
             static_cast<std::uint8_t>((*data)[c.offset]) ^ c.mask);
       }

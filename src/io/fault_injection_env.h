@@ -8,25 +8,85 @@
 //   - fsync failures — data may sit in the page cache but durability is
 //                      not acknowledged;
 //   - read corruption — bytes flip between write and read-back (bit rot,
-//                      to exercise CRC verification and frame skipping).
+//                      to exercise CRC verification and frame skipping);
+//   - latency        — appends/syncs stall (a saturated or dying disk),
+//                      to exercise deadlines and backoff.
 //
-// Faults are armed with countdowns over the *global* operation sequence
-// (appends and syncs across every file opened through this Env), which
-// lets a test say "the 7th append tears" without knowing which segment
-// the writer will be on.
+// Two arming styles compose:
+//
+//   - countdowns over the *global* operation sequence (appends and syncs
+//     across every file opened through this Env), which lets a test say
+//     "the 7th append tears" without knowing which segment the writer
+//     will be on;
+//   - probabilistic rates driven by a seeded RNG (SeedRng /
+//     FaultSchedule::seed), so chaos soaks inject a realistic fault mix
+//     that reproduces bit-for-bit per seed for a given operation order
+//     (the WAL path is serialized by the service lock, so the order is
+//     deterministic too).
+//
+// A declarative FaultSchedule bundles one whole configuration into a
+// parseable string ("append_error_rate=0.05;disarm_after_appends=200")
+// for the chaos harness and `fasea_cli chaos`.
+//
+// Thread safety: every method may be called from any thread — one mutex
+// guards the fault plan, the RNG, and the counters, so the env can sit
+// under a multi-threaded chaos driver without racing.
 #ifndef FASEA_IO_FAULT_INJECTION_ENV_H_
 #define FASEA_IO_FAULT_INJECTION_ENV_H_
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "io/env.h"
 #include "obs/metrics.h"
+#include "rng/pcg64.h"
 
 namespace fasea {
+
+/// One declarative fault configuration, parseable from a spec string of
+/// `key=value` pairs separated by ';' (whitespace around either is
+/// ignored; the empty string is the all-clear schedule). Keys:
+///
+///   seed=N                   RNG stream for the probabilistic faults.
+///   append_error_rate=P      Each append fails outright w.p. P.
+///   short_write_rate=P       Each append tears w.p. P (keeps
+///                            `short_write_keep_bytes` bytes).
+///   short_write_keep_bytes=N Prefix kept by probabilistic tears.
+///   sync_error_rate=P        Each sync fails w.p. P.
+///   append_latency_ns=N      Every append stalls N ns before running.
+///   sync_latency_ns=N        Every sync stalls N ns before running.
+///   latency_jitter_ns=N      Adds uniform [0, N] ns to each stall.
+///   write_error_at=K         The (K+1)-th append from now fails.
+///   short_write_at=K         The (K+1)-th append from now tears.
+///   sync_fail_at=K           The (K+1)-th sync from now fails — and
+///                            every later one (a dying disk).
+///   disarm_after_appends=N   After N more appends, DisarmAll fires
+///                            automatically (bounded fault windows make
+///                            breaker re-close assertions deterministic).
+struct FaultSchedule {
+  std::uint64_t seed = 0;
+  double append_error_rate = 0.0;
+  double short_write_rate = 0.0;
+  double sync_error_rate = 0.0;
+  std::size_t short_write_keep_bytes = 4;
+  std::int64_t append_latency_ns = 0;
+  std::int64_t sync_latency_ns = 0;
+  std::int64_t latency_jitter_ns = 0;
+  std::int64_t write_error_at = -1;
+  std::int64_t short_write_at = -1;
+  std::int64_t sync_fail_at = -1;
+  std::int64_t disarm_after_appends = -1;
+
+  static StatusOr<FaultSchedule> Parse(std::string_view spec);
+  /// Canonical spec string (only non-default fields; parseable back).
+  std::string ToString() const;
+  /// True if any fault or latency is configured.
+  bool Armed() const;
+};
 
 class FaultInjectionEnv final : public Env {
  public:
@@ -38,33 +98,38 @@ class FaultInjectionEnv final : public Env {
   // --- Fault arming -----------------------------------------------------
 
   /// The (countdown+1)-th Append from now on fails; no bytes are written.
-  void ArmWriteError(std::int64_t countdown) { write_error_in_ = countdown; }
+  void ArmWriteError(std::int64_t countdown);
 
   /// The (countdown+1)-th Append writes only `keep_bytes` bytes of its
   /// payload, then reports failure — a torn write.
-  void ArmShortWrite(std::int64_t countdown, std::size_t keep_bytes) {
-    short_write_in_ = countdown;
-    short_write_keep_bytes_ = keep_bytes;
-  }
+  void ArmShortWrite(std::int64_t countdown, std::size_t keep_bytes);
 
   /// The (countdown+1)-th Sync from now on fails (and every later one,
   /// matching a dying disk). Appends keep succeeding.
-  void ArmSyncFailure(std::int64_t countdown) { sync_failure_in_ = countdown; }
+  void ArmSyncFailure(std::int64_t countdown);
 
   /// Every future read of the file whose path ends with `path_suffix`
   /// sees byte `offset` XOR-ed with `mask` (mask must be non-zero).
   void ArmReadCorruption(const std::string& path_suffix, std::size_t offset,
                          std::uint8_t mask);
 
-  /// Clears all armed faults (already-failed syncs stay failed until
-  /// re-armed; this resets that too).
+  /// Reseeds the probabilistic-fault RNG stream.
+  void SeedRng(std::uint64_t seed);
+
+  /// Installs `schedule` wholesale: countdowns are re-armed relative to
+  /// now, rates/latencies replace the current ones, and the RNG is
+  /// reseeded from schedule.seed. Corruption arms are left alone.
+  void ApplySchedule(const FaultSchedule& schedule);
+
+  /// Clears all armed faults, rates, and latencies (already-failed syncs
+  /// stay failed until re-armed; this resets that too).
   void DisarmAll();
 
   // --- Observability ----------------------------------------------------
 
-  std::int64_t appends_seen() const { return appends_seen_; }
-  std::int64_t syncs_seen() const { return syncs_seen_; }
-  std::int64_t faults_injected() const { return faults_injected_; }
+  std::int64_t appends_seen() const;
+  std::int64_t syncs_seen() const;
+  std::int64_t faults_injected() const;
 
   // --- Env --------------------------------------------------------------
 
@@ -85,25 +150,41 @@ class FaultInjectionEnv final : public Env {
   };
 
   /// Decides the fate of one Append carrying `size` bytes. Returns the
-  /// number of bytes to actually write and sets `fail` when the append
-  /// must report an error afterwards.
-  std::size_t PlanAppend(std::size_t size, bool* fail);
+  /// number of bytes to actually write; sets `fail` when the append must
+  /// report an error afterwards and `delay_ns` to the injected stall
+  /// (the caller sleeps outside the env lock).
+  std::size_t PlanAppend(std::size_t size, bool* fail,
+                         std::int64_t* delay_ns);
 
-  /// Decides whether the next Sync fails.
-  bool PlanSyncFailure();
+  /// Decides whether the next Sync fails, and its injected stall.
+  bool PlanSyncFailure(std::int64_t* delay_ns);
+
+  void DisarmAllLocked();
+  std::int64_t JitteredLatencyLocked(std::int64_t base_ns);
 
   /// Bumps both the local count and the process-wide injected-fault
   /// metric (so harness runs can report how many faults actually fired).
-  void CountInjectedFault() {
+  void CountInjectedFaultLocked() {
     ++faults_injected_;
     faults_metric_->Increment();
   }
 
-  Env* base_;
+  Env* const base_;
+
+  mutable std::mutex mu_;
+  Pcg64 rng_{0, /*stream=*/0x6661756C74ULL};  // "fault"
   std::int64_t write_error_in_ = -1;
   std::int64_t short_write_in_ = -1;
   std::size_t short_write_keep_bytes_ = 0;
   std::int64_t sync_failure_in_ = -1;
+  double append_error_rate_ = 0.0;
+  double short_write_rate_ = 0.0;
+  double sync_error_rate_ = 0.0;
+  std::size_t rate_short_write_keep_bytes_ = 4;
+  std::int64_t append_latency_ns_ = 0;
+  std::int64_t sync_latency_ns_ = 0;
+  std::int64_t latency_jitter_ns_ = 0;
+  std::int64_t disarm_at_appends_ = -1;  // Absolute appends_seen_ mark.
   std::map<std::string, std::vector<Corruption>> corruptions_;
 
   std::int64_t appends_seen_ = 0;

@@ -66,8 +66,8 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env, std::string dir,
 }
 
 Status WalWriter::OpenSegment(std::uint64_t index) {
-  auto file = env_->NewWritableFile(
-      JoinPath(dir_, WalSegmentFileName(index)));
+  const std::string path = JoinPath(dir_, WalSegmentFileName(index));
+  auto file = env_->NewWritableFile(path);
   if (!file.ok()) return file.status();
   file_ = std::move(file).value();
   segment_index_ = index;
@@ -75,6 +75,11 @@ Status WalWriter::OpenSegment(std::uint64_t index) {
   const std::string header = SegmentHeader(index);
   if (Status st = file_->Append(header); !st.ok()) {
     broken_ = true;
+    // Remove the partial-header segment so the next Open does not have
+    // to scan past it (a torn header is benign to ScanWal regardless).
+    (void)file_->Close();
+    file_.reset();
+    (void)env_->DeleteFile(path);
     return st;
   }
   segment_bytes_written_ = header.size();
@@ -193,22 +198,22 @@ Status WalWriter::Close() {
 
 namespace {
 
-/// Scans the frames of one segment into `scan`. `is_last` selects the
-/// torn-tail interpretation for unreadable trailing bytes.
+/// Scans the frames of one segment into `scan`. Unreadable bytes at the
+/// physical tail of the segment are treated as a benign tear (truncated);
+/// unreadable bytes with valid data after them are corruption.
 Status ScanSegment(const std::string& name, const std::string& data,
-                   bool is_last, CorruptFramePolicy policy, WalScan* scan) {
+                   CorruptFramePolicy policy, WalScan* scan) {
   const auto corrupt = [&](const char* what, std::size_t pos) {
     return DataLossError(StrFormat("wal segment %s: %s at offset %zu",
                                    name.c_str(), what, pos));
   };
   if (data.size() < kSegmentHeaderBytes) {
-    // A crash can leave a freshly created segment with a partial header;
-    // anywhere else a short segment is corruption.
-    if (is_last) {
-      scan->bytes_truncated += static_cast<std::int64_t>(data.size());
-      return Status::Ok();
-    }
-    return corrupt("segment header truncated", 0);
+    // A crash can leave a freshly created segment with a partial header.
+    // The header precedes every frame, so such a segment holds nothing
+    // acknowledged — benign even mid-log (a crash-then-reopen-then-crash
+    // history leaves the torn segment followed by newer ones).
+    scan->bytes_truncated += static_cast<std::int64_t>(data.size());
+    return Status::Ok();
   }
   ByteReader header(std::string_view(data).substr(0, kSegmentHeaderBytes));
   const std::uint32_t magic = *header.ReadU32();
@@ -222,8 +227,7 @@ Status ScanSegment(const std::string& name, const std::string& data,
   std::size_t pos = kSegmentHeaderBytes;
   while (pos < data.size()) {
     const std::size_t bytes_left = data.size() - pos;
-    // Incomplete frame header or payload: a torn tail if nothing follows
-    // (only possible in the last segment), corruption otherwise.
+    // Incomplete frame header or payload: a torn tail.
     bool torn = false;
     std::uint32_t payload_len = 0;
     if (bytes_left < kFrameHeaderBytes) {
@@ -244,14 +248,12 @@ Status ScanSegment(const std::string& name, const std::string& data,
       if (bytes_left < kFrameHeaderBytes + payload_len) torn = true;
     }
     if (torn) {
-      if (is_last) {
-        scan->bytes_truncated += static_cast<std::int64_t>(bytes_left);
-        return Status::Ok();
-      }
-      if (policy == CorruptFramePolicy::kFail) {
-        return corrupt("torn frame inside a sealed segment", pos);
-      }
-      ++scan->corrupt_frames_skipped;
+      // A tear at the physical end of *any* segment is benign: torn
+      // bytes were never acknowledged. Mid-log tears happen when a
+      // failed append breaks the writer and recovery (or the breaker's
+      // half-open probe) reopens a fresh segment, then a later crash
+      // preserves both.
+      scan->bytes_truncated += static_cast<std::int64_t>(bytes_left);
       return Status::Ok();
     }
 
@@ -261,9 +263,9 @@ Status ScanSegment(const std::string& name, const std::string& data,
                                    payload_len);
     const std::size_t frame_end = pos + kFrameHeaderBytes + payload_len;
     if (Crc32c(payload) != stored_crc) {
-      if (is_last && frame_end == data.size()) {
-        // The final frame of the log failed verification: a torn or
-        // partially synced tail. Truncate it.
+      if (frame_end == data.size()) {
+        // The final frame of the segment failed verification: a torn or
+        // partially synced tail (see the mid-log tear note above).
         scan->bytes_truncated += static_cast<std::int64_t>(bytes_left);
         return Status::Ok();
       }
@@ -300,9 +302,7 @@ StatusOr<WalScan> ScanWal(Env* env, const std::string& dir,
   for (std::size_t i = 0; i < segments.size(); ++i) {
     auto data = env->ReadFileToString(JoinPath(dir, segments[i]));
     if (!data.ok()) return data.status();
-    const bool is_last = i + 1 == segments.size();
-    if (Status st =
-            ScanSegment(segments[i], *data, is_last, policy, &scan);
+    if (Status st = ScanSegment(segments[i], *data, policy, &scan);
         !st.ok()) {
       return st;
     }

@@ -22,11 +22,13 @@
 // truncates the torn tail.
 //
 // Reading: ScanWal walks every segment in order and returns the payloads
-// of all verifiable frames. An unreadable tail of the *last* segment is
-// a torn write — reported via `bytes_truncated`, never an error. A bad
-// frame with valid data after it (or any bad frame in a non-last
-// segment) is mid-file corruption: fatal (kDataLoss) or skipped and
-// counted, per CorruptFramePolicy.
+// of all verifiable frames. An unreadable tail of *any* segment is a
+// torn write — reported via `bytes_truncated`, never an error. (Torn
+// tails appear mid-log too: a failed append breaks the writer, reopening
+// starts a fresh segment, and a later crash preserves both. Torn bytes
+// were never acknowledged, so dropping them is always safe.) A bad frame
+// with valid data after it in the same segment is mid-file corruption:
+// fatal (kDataLoss) or skipped and counted, per CorruptFramePolicy.
 #ifndef FASEA_IO_WAL_H_
 #define FASEA_IO_WAL_H_
 

@@ -1,0 +1,127 @@
+#include "common/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace fasea {
+namespace {
+
+// The breaker takes a plain function pointer for time, so the fake
+// clock lives in a file-local global.
+std::int64_t g_now_ns = 0;
+std::int64_t FakeNow() { return g_now_ns; }
+
+CircuitBreakerOptions TestOptions() {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.open_cooldown_ns = 100;
+  return options;
+}
+
+class CircuitBreakerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { g_now_ns = 0; }
+};
+
+TEST_F(CircuitBreakerTest, StartsClosedAndAllows) {
+  CircuitBreaker breaker(TestOptions(), &FakeNow);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.opens(), 0);
+}
+
+TEST_F(CircuitBreakerTest, ConsecutiveFailuresTrip) {
+  CircuitBreaker breaker(TestOptions(), &FakeNow);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();  // Third consecutive failure: threshold.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1);
+  EXPECT_FALSE(breaker.Allow());  // Cooldown has not elapsed.
+}
+
+TEST_F(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker(TestOptions(), &FakeNow);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // Streak broken.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(CircuitBreakerTest, CooldownThenProbeThenClose) {
+  CircuitBreaker breaker(TestOptions(), &FakeNow);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  g_now_ns += 99;
+  EXPECT_FALSE(breaker.Allow());  // Still cooling down.
+  g_now_ns += 1;                  // Cooldown elapsed exactly.
+  EXPECT_TRUE(breaker.Allow());   // This call is the probe.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.probes(), 1);
+  EXPECT_FALSE(breaker.Allow());  // One probe slot; the rest wait.
+
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.closes(), 1);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST_F(CircuitBreakerTest, FailedProbeReopensAndRestartsCooldown) {
+  CircuitBreaker breaker(TestOptions(), &FakeNow);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  g_now_ns += 100;
+  ASSERT_TRUE(breaker.Allow());  // Probe.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2);
+  EXPECT_FALSE(breaker.Allow());  // Fresh cooldown from the re-open.
+  g_now_ns += 100;
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST_F(CircuitBreakerTest, MultipleSuccessesRequiredWhenConfigured) {
+  CircuitBreakerOptions options = TestOptions();
+  options.half_open_successes = 2;
+  options.half_open_max_probes = 2;
+  CircuitBreaker breaker(options, &FakeNow);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  g_now_ns += 100;
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(CircuitBreakerTest, OptionsClockOverridesConstructorClock) {
+  // Owners that build the breaker from options alone (ArrangementService)
+  // inject a logical clock this way; it must win over the `now` argument.
+  CircuitBreakerOptions options = TestOptions();
+  options.clock = &FakeNow;
+  CircuitBreaker breaker(options);  // Default `now` = wall clock.
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  g_now_ns += 100;  // Only the fake clock moves.
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST_F(CircuitBreakerTest, StateNames) {
+  EXPECT_EQ(CircuitBreaker::StateName(CircuitBreaker::State::kClosed),
+            "closed");
+  EXPECT_EQ(CircuitBreaker::StateName(CircuitBreaker::State::kHalfOpen),
+            "half-open");
+  EXPECT_EQ(CircuitBreaker::StateName(CircuitBreaker::State::kOpen),
+            "open");
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,49 @@
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace fasea {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingNanos(), INT64_MAX);
+  EXPECT_EQ(d, Deadline::Infinite());
+}
+
+TEST(DeadlineTest, ExpiredAtComparesAbsoluteNanos) {
+  const Deadline d = Deadline::AtNanos(1'000);
+  EXPECT_FALSE(d.ExpiredAt(999));
+  EXPECT_TRUE(d.ExpiredAt(1'000));  // Expiry is inclusive.
+  EXPECT_TRUE(d.ExpiredAt(1'001));
+  EXPECT_FALSE(Deadline::Infinite().ExpiredAt(INT64_MAX - 1));
+}
+
+TEST(DeadlineTest, AfterNanosExpiresInTheFuture) {
+  const Deadline d = Deadline::AfterNanos(60'000'000'000);  // a minute
+  EXPECT_FALSE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingNanos(), 0);
+  EXPECT_LE(d.RemainingNanos(), 60'000'000'000);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::AfterNanos(0).Expired());
+  EXPECT_TRUE(Deadline::AfterNanos(-5).Expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-1).Expired());
+  EXPECT_LE(Deadline::AfterNanos(0).RemainingNanos(), 0);
+}
+
+TEST(DeadlineTest, AfterMillisScales) {
+  const Deadline d = Deadline::AfterMillis(1'000);
+  const std::int64_t remaining = d.RemainingNanos();
+  EXPECT_GT(remaining, 500'000'000);
+  EXPECT_LE(remaining, 1'000'000'000);
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,63 @@
+#include "common/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace fasea {
+namespace {
+
+// Fake monotonic clock: NowFn is a plain function pointer, so the fake
+// lives in a file-local global the tests advance by hand.
+std::int64_t g_now_ns = 0;
+std::int64_t FakeNow() { return g_now_ns; }
+
+class RateLimiterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { g_now_ns = 0; }
+};
+
+TEST_F(RateLimiterTest, BucketStartsFullAndDrains) {
+  RateLimiter limiter(/*permits_per_second=*/1.0, /*burst=*/3.0, &FakeNow);
+  EXPECT_TRUE(limiter.TryAcquire());
+  EXPECT_TRUE(limiter.TryAcquire());
+  EXPECT_TRUE(limiter.TryAcquire());
+  EXPECT_FALSE(limiter.TryAcquire());  // Empty, no time has passed.
+}
+
+TEST_F(RateLimiterTest, RefillsAtTheConfiguredRate) {
+  RateLimiter limiter(/*permits_per_second=*/2.0, /*burst=*/1.0, &FakeNow);
+  EXPECT_TRUE(limiter.TryAcquire());
+  EXPECT_FALSE(limiter.TryAcquire());
+  g_now_ns += 250'000'000;  // 0.25 s at 2/s = half a token.
+  EXPECT_FALSE(limiter.TryAcquire());
+  g_now_ns += 250'000'000;  // Full token now.
+  EXPECT_TRUE(limiter.TryAcquire());
+}
+
+TEST_F(RateLimiterTest, BurstCapsAccumulation) {
+  RateLimiter limiter(/*permits_per_second=*/1000.0, /*burst=*/2.0,
+                      &FakeNow);
+  g_now_ns += 60'000'000'000;  // A minute idle: 60k tokens earned...
+  EXPECT_DOUBLE_EQ(limiter.available(), 2.0);  // ...capped at burst.
+  EXPECT_TRUE(limiter.TryAcquire());
+  EXPECT_TRUE(limiter.TryAcquire());
+  EXPECT_FALSE(limiter.TryAcquire());
+}
+
+TEST_F(RateLimiterTest, FailedAcquireConsumesNothing) {
+  RateLimiter limiter(/*permits_per_second=*/1.0, /*burst=*/1.0, &FakeNow);
+  EXPECT_FALSE(limiter.TryAcquire(2.0));  // More than the bucket holds.
+  EXPECT_DOUBLE_EQ(limiter.available(), 1.0);
+  EXPECT_TRUE(limiter.TryAcquire(1.0));
+}
+
+TEST_F(RateLimiterTest, ClockGoingBackwardsIsIgnored) {
+  RateLimiter limiter(/*permits_per_second=*/1.0, /*burst=*/1.0, &FakeNow);
+  EXPECT_TRUE(limiter.TryAcquire());
+  g_now_ns = -1'000'000'000;  // Monotonic clocks don't do this; be safe.
+  EXPECT_FALSE(limiter.TryAcquire());
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,146 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace fasea {
+namespace {
+
+RetryOptions FastOptions() {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff_ns = 100;
+  options.max_backoff_ns = 10'000;
+  return options;
+}
+
+/// Sleep recorder: no real time passes in these tests.
+struct SleepLog {
+  std::vector<std::int64_t> delays;
+  RetryPolicy::SleepFn fn() {
+    return [this](std::int64_t nanos) { delays.push_back(nanos); };
+  }
+};
+
+TEST(RetryPolicyTest, FirstTrySuccessNeverSleeps) {
+  RetryPolicy policy(FastOptions(), /*seed=*/1);
+  SleepLog sleeps;
+  int calls = 0;
+  const Status st = policy.Run(
+      [&] {
+        ++calls;
+        return Status::Ok();
+      },
+      sleeps.fn());
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.delays.empty());
+  EXPECT_EQ(policy.attempts(), 1);
+}
+
+TEST(RetryPolicyTest, RetryableFailuresRetryUntilSuccess) {
+  RetryPolicy policy(FastOptions(), /*seed=*/1);
+  SleepLog sleeps;
+  int calls = 0;
+  const Status st = policy.Run(
+      [&] {
+        ++calls;
+        return calls < 3 ? UnavailableError("transient") : Status::Ok();
+      },
+      sleeps.fn());
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps.delays.size(), 2u);  // One backoff between each pair.
+}
+
+TEST(RetryPolicyTest, BudgetExhaustionReturnsTheLastError) {
+  RetryPolicy policy(FastOptions(), /*seed=*/1);
+  SleepLog sleeps;
+  int calls = 0;
+  const Status st = policy.Run(
+      [&] {
+        ++calls;
+        return UnavailableError("still down");
+      },
+      sleeps.fn());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 4);  // max_attempts tries total.
+  EXPECT_EQ(sleeps.delays.size(), 3u);
+}
+
+TEST(RetryPolicyTest, NonRetryableErrorStopsImmediately) {
+  RetryPolicy policy(FastOptions(), /*seed=*/1);
+  SleepLog sleeps;
+  int calls = 0;
+  const Status st = policy.Run(
+      [&] {
+        ++calls;
+        return InvalidArgumentError("caller bug");
+      },
+      sleeps.fn());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.delays.empty());
+}
+
+TEST(RetryPolicyTest, ExpiredDeadlineStopsRetrying) {
+  RetryPolicy policy(FastOptions(), /*seed=*/1);
+  SleepLog sleeps;
+  int calls = 0;
+  const Status st = policy.Run(
+      [&] {
+        ++calls;
+        return UnavailableError("transient");
+      },
+      sleeps.fn(), Deadline::AfterNanos(0));  // Already expired.
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);  // The deadline killed the second attempt.
+}
+
+TEST(RetryPolicyTest, DelaysStayWithinTheConfiguredBounds) {
+  RetryOptions options = FastOptions();
+  options.max_attempts = 50;
+  RetryPolicy policy(options, /*seed=*/7);
+  SleepLog sleeps;
+  (void)policy.Run([&] { return UnavailableError("x"); }, sleeps.fn());
+  ASSERT_EQ(sleeps.delays.size(), 49u);
+  std::int64_t prev = options.initial_backoff_ns;
+  for (const std::int64_t delay : sleeps.delays) {
+    EXPECT_GE(delay, options.initial_backoff_ns);
+    EXPECT_LE(delay, options.max_backoff_ns);
+    // Decorrelated jitter growth bound: at most 3x the previous delay
+    // (before the cap).
+    EXPECT_LE(delay, std::min<std::int64_t>(options.max_backoff_ns,
+                                            prev * 3));
+    prev = delay;
+  }
+}
+
+TEST(RetryPolicyTest, EqualSeedsGiveIdenticalDelaySequences) {
+  SleepLog a, b;
+  RetryPolicy pa(FastOptions(), /*seed=*/42);
+  RetryPolicy pb(FastOptions(), /*seed=*/42);
+  (void)pa.Run([] { return UnavailableError("x"); }, a.fn());
+  (void)pb.Run([] { return UnavailableError("x"); }, b.fn());
+  EXPECT_EQ(a.delays, b.delays);
+  EXPECT_FALSE(a.delays.empty());
+}
+
+TEST(RetryPolicyTest, ManualLoopWithShouldRetry) {
+  RetryPolicy policy(FastOptions(), /*seed=*/3);
+  policy.Reset();
+  EXPECT_TRUE(policy.ShouldRetry(UnavailableError("x")));
+  EXPECT_GT(policy.NextDelayNanos(), 0);
+  EXPECT_FALSE(policy.ShouldRetry(Status::Ok()));  // Success ends it.
+  EXPECT_EQ(policy.attempts(), 2);
+  policy.Reset();
+  EXPECT_EQ(policy.attempts(), 0);
+}
+
+}  // namespace
+}  // namespace fasea

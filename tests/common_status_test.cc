@@ -30,12 +30,20 @@ TEST(StatusTest, FactoryFunctionsMapToCodes) {
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(DeadlineExceededError("x").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, RetryableClassification) {
-  // Only kUnavailable invites a retry: the operation failed transiently
-  // and changed nothing. Data loss and caller bugs must not be retried.
+  // kUnavailable and kResourceExhausted invite a retry (after a
+  // backoff): the operation failed transiently and changed nothing. A
+  // blown deadline must NOT be retried — the caller has moved on — and
+  // neither may data loss or caller bugs.
   EXPECT_TRUE(IsRetryable(UnavailableError("wal fsync failed")));
+  EXPECT_TRUE(IsRetryable(ResourceExhaustedError("shed")));
+  EXPECT_FALSE(IsRetryable(DeadlineExceededError("too late")));
   EXPECT_FALSE(IsRetryable(Status::Ok()));
   EXPECT_FALSE(IsRetryable(DataLossError("x")));
   EXPECT_FALSE(IsRetryable(InvalidArgumentError("x")));
@@ -62,6 +70,10 @@ TEST(StatusCodeNameTest, AllCodesNamed) {
   EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "UNIMPLEMENTED");
   EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
   EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DEADLINE_EXCEEDED");
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -1,0 +1,150 @@
+// The chaos harness itself: named schedules, short end-to-end runs under
+// each fault mix, and single-threaded bit-reproducibility of the report.
+// The full soak lives behind FASEA_SOAK=1 (ctest label `soak`); the
+// in-tier tests here are sized to finish in seconds.
+#include "ebsn/chaos_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "io/env.h"
+
+namespace fasea {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "fasea_" + name;
+  Env* env = Env::Default();
+  if (auto names = env->ListDir(dir); names.ok()) {
+    for (const std::string& file : *names) {
+      (void)env->DeleteFile(JoinPath(dir, file));
+    }
+  }
+  EXPECT_TRUE(env->CreateDir(dir).ok());
+  return dir;
+}
+
+ChaosOptions ShortOptions(const std::string& dir_name,
+                          std::string_view schedule_name) {
+  ChaosOptions options;
+  auto schedule = NamedFaultSchedule(schedule_name);
+  EXPECT_TRUE(schedule.ok()) << schedule_name;
+  options.schedule = *schedule;
+  options.threads = 1;
+  options.rounds_per_cycle = 60;
+  options.cycles = 2;
+  options.seed = 7;
+  options.wal_dir = FreshDir(dir_name);
+  return options;
+}
+
+TEST(NamedFaultScheduleTest, KnownNamesParseAndUnknownFail) {
+  for (const std::string_view name : NamedFaultScheduleNames()) {
+    auto schedule = NamedFaultSchedule(name);
+    EXPECT_TRUE(schedule.ok()) << name;
+  }
+  EXPECT_TRUE(NamedFaultSchedule("clean")->ToString().empty());
+  EXPECT_TRUE(NamedFaultSchedule("dying-disk")->Armed());
+  EXPECT_EQ(NamedFaultSchedule("raid-fire").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(NamedFaultSchedule("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ChaosHarnessTest, CleanScheduleIsAllDurable) {
+  auto report = RunChaos(ShortOptions("chaos_clean", "clean"));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->ToString();
+  EXPECT_EQ(report->cycles_run, 2);
+  EXPECT_GE(report->rounds_acked, 120);
+  EXPECT_EQ(report->nondurable_acked, 0);
+  EXPECT_EQ(report->faults_injected, 0);
+  EXPECT_EQ(report->breaker_opens, 0);
+}
+
+TEST(ChaosHarnessTest, DyingDiskTripsTheBreakerAndStillPasses) {
+  auto report = RunChaos(ShortOptions("chaos_dying", "dying-disk"));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->ToString();
+  // The sticky fsync failure must actually bite: the breaker opened,
+  // rounds were acked non-durably while it was open, and it probed its
+  // way back (step 2 of every cycle requires a durable ack to finish).
+  EXPECT_GT(report->faults_injected, 0);
+  EXPECT_GT(report->breaker_opens, 0);
+  EXPECT_GT(report->nondurable_acked, 0);
+  EXPECT_GE(report->breaker_closes, 1);
+  EXPECT_GE(report->wal_reopens, 1);
+  EXPECT_GT(report->durable_acked, 0);
+}
+
+TEST(ChaosHarnessTest, SingleThreadedReportIsBitReproducible) {
+  auto first = RunChaos(ShortOptions("chaos_det_a", "flaky-appends"));
+  auto second = RunChaos(ShortOptions("chaos_det_b", "flaky-appends"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(first->ok) << first->ToString();
+  // The report carries no wall-clock or path fields, so equal options
+  // (different WAL dirs) must give byte-identical reports.
+  EXPECT_EQ(first->ToString(), second->ToString());
+}
+
+TEST(ChaosHarnessTest, MultiThreadedTornTailPassesInvariants) {
+  ChaosOptions options = ShortOptions("chaos_mt", "torn-tail");
+  options.threads = 2;
+  options.max_inflight = 2;
+  auto report = RunChaos(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->ToString();
+  EXPECT_EQ(report->cycles_run, 2);
+}
+
+TEST(ChaosHarnessTest, RejectsBadOptionsAndDirtyWalDirs) {
+  ChaosOptions options = ShortOptions("chaos_bad", "clean");
+  options.threads = 0;
+  EXPECT_EQ(RunChaos(options).status().code(),
+            StatusCode::kInvalidArgument);
+
+  options = ShortOptions("chaos_dirty", "clean");
+  {
+    Env* env = Env::Default();
+    auto file =
+        env->NewWritableFile(JoinPath(options.wal_dir, "wal-000001.log"));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  EXPECT_EQ(RunChaos(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The soak matrix proper: every named schedule at two thread counts,
+// full-size cycles. Minutes, not seconds — runs only under FASEA_SOAK=1
+// (the ctest entry labeled `soak` sets it; tier-1 skips).
+TEST(ChaosSoakTest, EverySchedulePassesAtBothThreadCounts) {
+  if (std::getenv("FASEA_SOAK") == nullptr) {
+    GTEST_SKIP() << "set FASEA_SOAK=1 (ctest label `soak`) to run";
+  }
+  for (const std::string_view name : NamedFaultScheduleNames()) {
+    for (const int threads : {1, 4}) {
+      ChaosOptions options;
+      auto schedule = NamedFaultSchedule(name);
+      ASSERT_TRUE(schedule.ok());
+      options.schedule = *schedule;
+      options.threads = threads;
+      options.rounds_per_cycle = 150;
+      options.cycles = 3;
+      options.seed = 11;
+      options.wal_dir = FreshDir("soak_" + std::string(name) + "_t" +
+                                 std::to_string(threads));
+      auto report = RunChaos(options);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_TRUE(report->ok)
+          << "schedule=" << name << " threads=" << threads << "\n"
+          << report->ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "io/env.h"
+#include "io/fault_injection_env.h"
+
+namespace fasea {
+namespace {
+
+TEST(FaultScheduleTest, EmptySpecIsAllClear) {
+  auto schedule = FaultSchedule::Parse("");
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_FALSE(schedule->Armed());
+  EXPECT_EQ(schedule->ToString(), "");
+  // Whitespace-only is the same schedule.
+  auto blank = FaultSchedule::Parse("  \t ");
+  ASSERT_TRUE(blank.ok());
+  EXPECT_FALSE(blank->Armed());
+}
+
+TEST(FaultScheduleTest, ParsesEveryKey) {
+  auto schedule = FaultSchedule::Parse(
+      "seed=9;append_error_rate=0.25;short_write_rate=0.5;"
+      "sync_error_rate=0.125;short_write_keep_bytes=7;"
+      "append_latency_ns=100;sync_latency_ns=200;latency_jitter_ns=50;"
+      "write_error_at=3;short_write_at=4;sync_fail_at=5;"
+      "disarm_after_appends=60");
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->seed, 9u);
+  EXPECT_DOUBLE_EQ(schedule->append_error_rate, 0.25);
+  EXPECT_DOUBLE_EQ(schedule->short_write_rate, 0.5);
+  EXPECT_DOUBLE_EQ(schedule->sync_error_rate, 0.125);
+  EXPECT_EQ(schedule->short_write_keep_bytes, 7u);
+  EXPECT_EQ(schedule->append_latency_ns, 100);
+  EXPECT_EQ(schedule->sync_latency_ns, 200);
+  EXPECT_EQ(schedule->latency_jitter_ns, 50);
+  EXPECT_EQ(schedule->write_error_at, 3);
+  EXPECT_EQ(schedule->short_write_at, 4);
+  EXPECT_EQ(schedule->sync_fail_at, 5);
+  EXPECT_EQ(schedule->disarm_after_appends, 60);
+  EXPECT_TRUE(schedule->Armed());
+}
+
+TEST(FaultScheduleTest, WhitespaceAroundKeysAndValuesIsIgnored) {
+  auto schedule =
+      FaultSchedule::Parse("  append_error_rate = 0.1 ; seed = 3 ");
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_DOUBLE_EQ(schedule->append_error_rate, 0.1);
+  EXPECT_EQ(schedule->seed, 3u);
+}
+
+TEST(FaultScheduleTest, ToStringRoundTrips) {
+  auto original = FaultSchedule::Parse(
+      "seed=4;sync_fail_at=20;append_error_rate=0.05;"
+      "append_latency_ns=1000");
+  ASSERT_TRUE(original.ok());
+  const std::string spec = original->ToString();
+  auto reparsed = FaultSchedule::Parse(spec);
+  ASSERT_TRUE(reparsed.ok()) << spec;
+  EXPECT_EQ(reparsed->ToString(), spec);
+  EXPECT_EQ(reparsed->seed, 4u);
+  EXPECT_EQ(reparsed->sync_fail_at, 20);
+  EXPECT_DOUBLE_EQ(reparsed->append_error_rate, 0.05);
+  EXPECT_EQ(reparsed->append_latency_ns, 1000);
+}
+
+TEST(FaultScheduleTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultSchedule::Parse("no_such_key=1").ok());
+  EXPECT_FALSE(FaultSchedule::Parse("append_error_rate").ok());
+  EXPECT_FALSE(FaultSchedule::Parse("append_error_rate=").ok());
+  EXPECT_FALSE(FaultSchedule::Parse("append_error_rate=maybe").ok());
+  EXPECT_FALSE(FaultSchedule::Parse("append_error_rate=1.5").ok());
+  EXPECT_FALSE(FaultSchedule::Parse("append_error_rate=-0.1").ok());
+  EXPECT_FALSE(FaultSchedule::Parse("append_latency_ns=-5").ok());
+  EXPECT_FALSE(FaultSchedule::Parse("seed=12junk").ok());
+}
+
+// --- Schedule-driven env behavior ---------------------------------------
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "fasea_" + name;
+  Env* env = Env::Default();
+  if (auto names = env->ListDir(dir); names.ok()) {
+    for (const std::string& file : *names) {
+      (void)env->DeleteFile(JoinPath(dir, file));
+    }
+  }
+  EXPECT_TRUE(env->CreateDir(dir).ok());
+  return dir;
+}
+
+TEST(FaultScheduleEnvTest, CountdownWriteErrorFiresOnTheArmedAppend) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("sched_countdown");
+  auto schedule = FaultSchedule::Parse("write_error_at=2");
+  ASSERT_TRUE(schedule.ok());
+  env.ApplySchedule(*schedule);
+
+  auto file = env.NewWritableFile(JoinPath(dir, "f"));
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append("one").ok());
+  EXPECT_TRUE((*file)->Append("two").ok());
+  EXPECT_FALSE((*file)->Append("three").ok());  // The armed one.
+  EXPECT_TRUE((*file)->Append("four").ok());    // One-shot countdown.
+  EXPECT_EQ(env.faults_injected(), 1);
+}
+
+TEST(FaultScheduleEnvTest, DisarmAfterAppendsBoundsTheFaultWindow) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("sched_disarm");
+  auto schedule =
+      FaultSchedule::Parse("append_error_rate=1;disarm_after_appends=3");
+  ASSERT_TRUE(schedule.ok());
+  env.ApplySchedule(*schedule);
+
+  auto file = env.NewWritableFile(JoinPath(dir, "f"));
+  ASSERT_TRUE(file.ok());
+  int failures = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (!(*file)->Append("payload").ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 3);  // Every append in the window, none after.
+}
+
+TEST(FaultScheduleEnvTest, StickySyncFailureUntilDisarm) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string dir = FreshDir("sched_sync");
+  auto schedule = FaultSchedule::Parse("sync_fail_at=1");
+  ASSERT_TRUE(schedule.ok());
+  env.ApplySchedule(*schedule);
+
+  auto file = env.NewWritableFile(JoinPath(dir, "f"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("x").ok());
+  EXPECT_TRUE((*file)->Sync().ok());
+  EXPECT_FALSE((*file)->Sync().ok());  // Armed one — and sticky:
+  EXPECT_FALSE((*file)->Sync().ok());
+  env.DisarmAll();
+  EXPECT_TRUE((*file)->Sync().ok());  // The disk "came back".
+}
+
+TEST(FaultScheduleEnvTest, RatesReproduceBitForBitPerSeed) {
+  auto schedule =
+      FaultSchedule::Parse("seed=11;append_error_rate=0.3");
+  ASSERT_TRUE(schedule.ok());
+  auto run = [&](const std::string& tag) {
+    FaultInjectionEnv env(Env::Default());
+    env.ApplySchedule(*schedule);
+    const std::string dir = FreshDir("sched_det_" + tag);
+    auto file = env.NewWritableFile(JoinPath(dir, "f"));
+    EXPECT_TRUE(file.ok());
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += (*file)->Append("data").ok() ? '.' : 'X';
+    }
+    return pattern;
+  };
+  const std::string first = run("a");
+  EXPECT_EQ(first, run("b"));
+  EXPECT_NE(first, std::string(64, '.'));  // Some fault actually fired.
+}
+
+}  // namespace
+}  // namespace fasea

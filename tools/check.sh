@@ -11,6 +11,10 @@
 #   tools/check.sh --metrics-smoke  # also smoke-test `fasea_cli stats`
 #   tools/check.sh --native         # plain tier with -DFASEA_NATIVE_ARCH=ON
 #   tools/check.sh --perf-smoke     # also assert batched >= scalar scoring
+#   tools/check.sh --chaos-smoke    # also run the chaos soak matrix
+#
+# The `soak` ctest label (the full chaos matrix) is excluded from the
+# plain and sanitizer tiers; --chaos-smoke opts into it explicitly.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,15 +22,18 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 metrics_smoke=0
 perf_smoke=0
+chaos_smoke=0
 native=OFF
 for arg in "$@"; do
   case "$arg" in
     --metrics-smoke) metrics_smoke=1 ;;
     --perf-smoke) perf_smoke=1 ;;
+    --chaos-smoke) chaos_smoke=1 ;;
     --native) native=ON ;;
     *)
       echo "check.sh: unknown argument '$arg'" \
-           "(supported: --metrics-smoke --perf-smoke --native)" >&2
+           "(supported: --metrics-smoke --perf-smoke --chaos-smoke" \
+           "--native)" >&2
       exit 2
       ;;
   esac
@@ -51,7 +58,7 @@ echo "== tier-1: plain build + ctest (FASEA_NATIVE_ARCH=$native) =="
 # cached value cannot leak into a later plain run.
 configure "$root/build" -DFASEA_NATIVE_ARCH="$native"
 cmake --build "$root/build" -j "$jobs"
-ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+ctest --test-dir "$root/build" --output-on-failure -j "$jobs" -LE soak
 
 echo
 echo "== sanitizers: ASan + UBSan build + ctest =="
@@ -64,7 +71,8 @@ configure "$root/build-sanitize" \
   -DFASEA_BUILD_BENCHMARKS=OFF \
   -DFASEA_BUILD_EXAMPLES=OFF
 cmake --build "$root/build-sanitize" -j "$jobs"
-ctest --test-dir "$root/build-sanitize" --output-on-failure -j "$jobs"
+ctest --test-dir "$root/build-sanitize" --output-on-failure -j "$jobs" \
+  -LE soak
 
 echo
 echo "== sanitizers: TSan build + concurrency tests =="
@@ -77,6 +85,21 @@ configure "$root/build-tsan" \
 cmake --build "$root/build-tsan" -j "$jobs"
 ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
   -R '(thread_pool|parallel|concurrency)'
+
+if [[ "$chaos_smoke" -eq 1 ]]; then
+  echo
+  echo "== chaos smoke: soak matrix + fasea_cli chaos =="
+  # The full deterministic matrix: every named fault schedule at two
+  # thread counts, with kill-and-recover cycles and invariant checks.
+  ctest --test-dir "$root/build" --output-on-failure -L soak
+  # And the operator-facing path: a dying disk must trip the breaker,
+  # serve degraded, re-close after the faults clear, and exit 0.
+  "$root/build/tools/fasea_cli" chaos --schedule=dying-disk --threads=2 \
+    --rounds=100 --cycles=2 --seed=4 \
+    --wal_dir="$root/build/chaos-smoke-wal.$$"
+  rm -rf "$root/build/chaos-smoke-wal.$$"
+  echo "chaos smoke: all schedules passed their invariants"
+fi
 
 if [[ "$metrics_smoke" -eq 1 ]]; then
   echo

@@ -19,12 +19,25 @@
 //   fasea_cli stats                       # JSON on stdout
 //   fasea_cli stats --format=prom         # Prometheus-style text
 //   fasea_cli stats --rounds=1000 --trace_rounds=3   # + stage trace on stderr
+//
+// Deterministic chaos run (drives the kill-and-recover harness of
+// ebsn/chaos_harness.h under a named or inline fault schedule and prints
+// the invariant verdict plus fault/breaker counts; nonzero exit on any
+// violation):
+//
+//   fasea_cli chaos --list
+//   fasea_cli chaos --schedule=dying-disk --threads=2 --cycles=3
+//   fasea_cli chaos --schedule='append_error_rate=0.1' --seed=5
 #include <cstdio>
+#include <string>
 #include <string_view>
+
+#include <unistd.h>
 
 #include "common/flags.h"
 #include "datagen/synthetic.h"
 #include "ebsn/arrangement_service.h"
+#include "ebsn/chaos_harness.h"
 #include "ebsn/recovery_manager.h"
 #include "io/env.h"
 #include "obs/metrics.h"
@@ -190,6 +203,29 @@ int StatsMain(int argc, char** argv) {
   } else {
     std::fputs(fasea::Metrics()->ToPrometheusText().c_str(), stdout);
   }
+  // Operator-facing health line (the runbook in README.md reads these
+  // fields; the same data is in the registry dump as
+  // fasea.service.health_state / .shed / .deadline_exceeded / ...).
+  const fasea::HealthSnapshot health = service.Health();
+  const std::string state_name(fasea::HealthStateName(health.state));
+  const std::string breaker_name(
+      health.breaker_enabled
+          ? fasea::CircuitBreaker::StateName(health.breaker)
+          : std::string_view("off"));
+  std::fprintf(stderr,
+               "health: state=%s wal_attached=%d wal_degraded=%d "
+               "learner_healthy=%d breaker=%s served=%lld shed=%lld "
+               "deadline_exceeded=%lld nondurable=%lld wal_reopens=%lld "
+               "stateless_fallbacks=%lld\n",
+               state_name.c_str(),
+               health.wal_attached ? 1 : 0, health.wal_degraded ? 1 : 0,
+               health.learner_healthy ? 1 : 0, breaker_name.c_str(),
+               static_cast<long long>(health.rounds_served),
+               static_cast<long long>(health.rounds_shed),
+               static_cast<long long>(health.deadline_exceeded),
+               static_cast<long long>(health.nondurable_rounds),
+               static_cast<long long>(health.wal_reopens),
+               static_cast<long long>(health.stateless_fallbacks));
   const std::int64_t trace_rounds = flags.GetInt("trace_rounds");
   if (trace_rounds > 0) {
     std::fputs(fasea::TraceRing::Global()
@@ -200,6 +236,81 @@ int StatsMain(int argc, char** argv) {
   return 0;
 }
 
+int ChaosMain(int argc, char** argv) {
+  fasea::FlagSet flags;
+  flags.DefineString("schedule", "dying-disk",
+                     "Named fault schedule (see --list) or an inline "
+                     "'key=value;...' FaultSchedule string.");
+  flags.DefineInt("threads", 2, "Closed-loop workers per cycle.");
+  flags.DefineInt("rounds", 200, "Rounds served per cycle.");
+  flags.DefineInt("cycles", 3, "Kill-and-recover cycles.");
+  flags.DefineInt("seed", 1, "Root seed (drives every RNG in the run).");
+  flags.DefineString("wal_dir", "",
+                     "Fresh WAL directory for the run (default: "
+                     "/tmp/fasea_chaos_cli.<pid>).");
+  flags.DefineBool("list", false, "List named fault schedules and exit.");
+  flags.DefineBool("help", false, "Show this help.");
+  if (fasea::Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "fasea_cli chaos: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::fputs(flags.HelpText("fasea_cli chaos").c_str(), stdout);
+    return 0;
+  }
+  if (flags.GetBool("list")) {
+    for (std::string_view name : fasea::NamedFaultScheduleNames()) {
+      auto schedule = fasea::NamedFaultSchedule(name);
+      std::printf("%-16s %s\n", std::string(name).c_str(),
+                  schedule.ok() ? schedule->ToString().c_str() : "?");
+    }
+    return 0;
+  }
+
+  const std::string& spec = flags.GetString("schedule");
+  auto schedule = fasea::NamedFaultSchedule(spec);
+  if (!schedule.ok() && spec.find('=') != std::string::npos) {
+    schedule = fasea::FaultSchedule::Parse(spec);  // Inline spec.
+  }
+  if (!schedule.ok()) {
+    std::fprintf(stderr, "fasea_cli chaos: %s\n",
+                 schedule.status().ToString().c_str());
+    return 2;
+  }
+
+  fasea::ChaosOptions options;
+  options.schedule = *schedule;
+  options.threads = static_cast<int>(flags.GetInt("threads"));
+  options.rounds_per_cycle = flags.GetInt("rounds");
+  options.cycles = static_cast<int>(flags.GetInt("cycles"));
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  options.wal_dir = flags.GetString("wal_dir");
+  if (options.wal_dir.empty()) {
+    options.wal_dir = "/tmp/fasea_chaos_cli." + std::to_string(::getpid());
+  }
+  if (fasea::Status st = fasea::Env::Default()->CreateDir(options.wal_dir);
+      !st.ok()) {
+    std::fprintf(stderr, "fasea_cli chaos: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("chaos: schedule=%s threads=%d rounds=%lld cycles=%d seed=%llu "
+              "wal_dir=%s\n",
+              spec.c_str(), options.threads,
+              static_cast<long long>(options.rounds_per_cycle),
+              options.cycles,
+              static_cast<unsigned long long>(options.seed),
+              options.wal_dir.c_str());
+  auto report = fasea::RunChaos(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "fasea_cli chaos: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(report->ToString().c_str(), stdout);
+  return report->ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,6 +319,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::string_view(argv[1]) == "stats") {
     return StatsMain(argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::string_view(argv[1]) == "chaos") {
+    return ChaosMain(argc - 2, argv + 2);
   }
   return fasea::CliMain(argc, argv);
 }
