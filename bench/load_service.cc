@@ -16,6 +16,16 @@
 //
 //   load_service --threads=8 --rounds=20000
 //   load_service --threads=4 --policy=ts --wal_dir=/tmp/load_wal
+//
+// --shards=N routes the load through ShardedArrangementService instead
+// (N=1 degenerates to the full instance, so the 1-vs-N comparison is
+// apples-to-apples). Per-round scoring touches only the home partition
+// plus any spillover stages, so throughput scales with N even on one
+// core. The results block adds per-shard QPS and the max/min skew
+// ratio of the consistent-hash partitioning:
+//
+//   load_service --shards=1 --rounds=20000   # sharded-path baseline
+//   load_service --shards=4 --rounds=20000
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -27,6 +37,7 @@
 #include "common/thread_pool.h"
 #include "datagen/synthetic.h"
 #include "ebsn/arrangement_service.h"
+#include "ebsn/sharded_service.h"
 #include "io/env.h"
 #include "obs/metrics.h"
 #include "rng/seed.h"
@@ -40,6 +51,162 @@ struct WorkerTotals {
   std::int64_t accepted = 0;
   std::int64_t retries_exhausted = 0;
 };
+
+// The sharded variant of the closed loop: same protocol, but rounds
+// route through ShardedArrangementService, and the results block adds
+// per-shard throughput plus the max/min skew ratio (how evenly the
+// consistent-hash partition spreads the event set's load).
+int RunShardedLoad(fasea::SyntheticWorld& world,
+                   const fasea::SyntheticConfig& config,
+                   fasea::PolicyKind kind, const std::string& wal_dir,
+                   int shards, int threads, std::int64_t target_rounds) {
+  using namespace fasea;
+
+  ShardedOptions options;
+  options.num_shards = shards;
+  options.kind = kind;
+  options.seed = config.seed;
+  ShardedArrangementService service(&world.instance(), options);
+  if (!wal_dir.empty()) {
+    if (Status st = service.AttachWals(Env::Default(), wal_dir); !st.ok()) {
+      std::fprintf(stderr, "load_service: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const std::size_t ring_size =
+      std::min<std::size_t>(256, static_cast<std::size_t>(target_rounds));
+  std::vector<RoundContext> rounds(ring_size);
+  for (std::size_t i = 0; i < ring_size; ++i) {
+    rounds[i] = world.provider().NextRound(static_cast<std::int64_t>(i) + 1);
+  }
+
+  std::printf("load_service: %d worker(s), %lld rounds, %d shard(s), "
+              "|V|=%zu, d=%zu, wal=%s\n",
+              threads, static_cast<long long>(target_rounds), shards,
+              config.num_events, config.dim,
+              wal_dir.empty() ? "off" : "on");
+
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<bool> aborted{false};
+  std::vector<WorkerTotals> totals(static_cast<std::size_t>(threads));
+  std::vector<std::atomic<std::int64_t>> shard_served(
+      static_cast<std::size_t>(shards));
+  Stopwatch wall;
+  wall.Start();
+  {
+    std::vector<std::thread> workers;
+    for (int w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        WorkerTotals& mine = totals[static_cast<std::size_t>(w)];
+        Pcg64 rng(DeriveSeed(config.seed, "load-feedback",
+                             static_cast<std::uint64_t>(w)),
+                  static_cast<std::uint64_t>(w));
+        RetryPolicy retry(RetryOptions{},
+                          DeriveSeed(config.seed, "load-retry",
+                                     static_cast<std::uint64_t>(w)));
+        while (!aborted.load(std::memory_order_relaxed) &&
+               completed.load(std::memory_order_relaxed) < target_rounds) {
+          const RoundContext& round =
+              rounds[static_cast<std::size_t>(
+                  completed.load(std::memory_order_relaxed)) %
+                  rounds.size()];
+          auto served = service.ServeUser(round.user_id, round.user_capacity,
+                                          round.contexts);
+          if (!served.ok()) {
+            // The home shard's pipeline is busy with another worker's
+            // round; back off and try the next arrival.
+            ++mine.contention_retries;
+            std::this_thread::yield();
+            continue;
+          }
+          const Feedback feedback = world.feedback().Sample(
+              mine.served + 1, round.contexts, served->arrangement, rng);
+          const Status st = retry.Run(
+              [&] { return service.SubmitFeedback(served->txn, feedback); });
+          if (!st.ok()) {
+            if (IsRetryable(st)) ++mine.retries_exhausted;
+            std::fprintf(stderr,
+                         "load_service: worker %d abandoning the run, "
+                         "feedback failed: %s\n",
+                         w, st.ToString().c_str());
+            aborted.store(true, std::memory_order_relaxed);
+            return;
+          }
+          ++mine.served;
+          mine.accepted += NumAccepted(feedback);
+          shard_served[static_cast<std::size_t>(served->home_shard)]
+              .fetch_add(1, std::memory_order_relaxed);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  wall.Stop();
+
+  WorkerTotals sum;
+  for (const WorkerTotals& t : totals) {
+    sum.served += t.served;
+    sum.contention_retries += t.contention_retries;
+    sum.accepted += t.accepted;
+    sum.retries_exhausted += t.retries_exhausted;
+  }
+  if (aborted.load()) {
+    std::fprintf(stderr,
+                 "load_service: aborted after %lld/%lld rounds "
+                 "(%lld retry budget(s) exhausted)\n",
+                 static_cast<long long>(sum.served),
+                 static_cast<long long>(target_rounds),
+                 static_cast<long long>(sum.retries_exhausted));
+    return 1;
+  }
+  FASEA_CHECK(sum.served == service.rounds_completed());
+  FASEA_CHECK(sum.served >= target_rounds);
+
+  const double seconds = wall.ElapsedSeconds();
+  const ShardedStats stats = service.Stats();
+  std::printf("\nresults:\n");
+  std::printf("  rounds served              %lld\n",
+              static_cast<long long>(sum.served));
+  std::printf("  wall seconds               %.3f\n", seconds);
+  std::printf("  throughput                 %.0f rounds/s\n",
+              seconds > 0 ? static_cast<double>(sum.served) / seconds : 0.0);
+  std::printf("  accept ratio               %.4f\n",
+              sum.served > 0
+                  ? static_cast<double>(sum.accepted) /
+                        static_cast<double>(sum.served)
+                  : 0.0);
+  std::printf("  contention retries         %lld\n",
+              static_cast<long long>(sum.contention_retries));
+  std::printf("  retry budgets exhausted    %lld\n",
+              static_cast<long long>(sum.retries_exhausted));
+  std::printf("  cross-shard rounds         %lld\n",
+              static_cast<long long>(stats.cross_shard_rounds));
+  std::printf("  reservation refusals       %lld\n",
+              static_cast<long long>(stats.reservation_refusals));
+
+  // Per-home-shard throughput: skew is the max/min QPS ratio; 1.00 is a
+  // perfectly even consistent-hash spread of arrivals over shards.
+  std::int64_t busiest = 0;
+  std::int64_t quietest = sum.served;
+  for (int s = 0; s < shards; ++s) {
+    const std::int64_t count =
+        shard_served[static_cast<std::size_t>(s)].load();
+    busiest = std::max(busiest, count);
+    quietest = std::min(quietest, count);
+    std::printf("  shard %-2d throughput        %.0f rounds/s (%lld rounds)\n",
+                s, seconds > 0 ? static_cast<double>(count) / seconds : 0.0,
+                static_cast<long long>(count));
+  }
+  if (quietest > 0) {
+    std::printf("  shard skew (max/min QPS)   %.2f\n",
+                static_cast<double>(busiest) / static_cast<double>(quietest));
+  } else {
+    std::printf("  shard skew (max/min QPS)   inf (an idle shard)\n");
+  }
+  return 0;
+}
 
 }  // namespace
 
@@ -57,7 +224,12 @@ int main(int argc, char** argv) {
                      "Serving policy: ucb|ts|egreedy|exploit|random.");
   flags.DefineInt("seed", 7, "Workload + policy seed.");
   flags.DefineString("wal_dir", "",
-                     "Attach a WAL in this directory (empty = no WAL).");
+                     "Attach a WAL in this directory (empty = no WAL; "
+                     "with --shards, per-shard WALs under shard-NNN/).");
+  flags.DefineInt("shards", 0,
+                  "0 drives the single ArrangementService path; N>=1 "
+                  "drives ShardedArrangementService with N shards "
+                  "(1 = full instance through the sharded path).");
   flags.DefineBool("help", false, "Show this help.");
   if (Status st = flags.Parse(argc - 1, argv + 1); !st.ok()) {
     std::fprintf(stderr, "load_service: %s\n", st.ToString().c_str());
@@ -93,6 +265,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "load_service: %s\n",
                  kinds.status().ToString().c_str());
     return 2;
+  }
+
+  if (const int shards = static_cast<int>(flags.GetInt("shards"));
+      shards >= 1) {
+    return RunShardedLoad(**world, config, kinds->front(),
+                          flags.GetString("wal_dir"), shards, threads,
+                          target_rounds);
   }
 
   ArrangementService service(&(*world)->instance(), kinds->front(),

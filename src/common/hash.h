@@ -1,0 +1,47 @@
+// Hashing utilities for shard routing.
+//
+// Mix64 is the splitmix64 finalizer — a cheap, well-distributed 64-bit
+// mixer for integer keys (event ids, user ids). JumpConsistentHash is
+// Lamping & Veach's consistent hash: it maps a key to one of
+// `num_buckets` buckets such that growing the bucket count moves only
+// ~1/n of the keys, with no lookup table. Both are pure functions, so
+// shard assignment is stable across processes and restarts — a recovered
+// shard owns exactly the events it owned before the crash.
+#ifndef FASEA_COMMON_HASH_H_
+#define FASEA_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace fasea {
+
+/// splitmix64 finalizer: bijective on 64-bit ints, avalanche-complete.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Lamping–Veach jump consistent hash: key -> bucket in [0, num_buckets).
+/// O(ln n) expected iterations, no state, uniform across buckets.
+inline std::int32_t JumpConsistentHash(std::uint64_t key,
+                                       std::int32_t num_buckets) {
+  FASEA_DCHECK(num_buckets > 0);
+  std::int64_t b = -1;
+  std::int64_t j = 0;
+  while (j < num_buckets) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1LL << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<std::int32_t>(b);
+}
+
+}  // namespace fasea
+
+#endif  // FASEA_COMMON_HASH_H_

@@ -106,6 +106,19 @@ class RidgeState {
   /// fall back to a stateless proposal (see ArrangementService).
   bool healthy() const { return inverse_.healthy(); }
 
+  /// On-demand exact re-derivation of the inverse and the Cholesky
+  /// factor from the tracked Y (O(d³)): clears every bit of rank-1
+  /// drift and restores health if Y is still SPD. The sharded serving
+  /// layer calls this after absorbing a peer shard's observation delta
+  /// — a merged batch of rank-1 updates can drift the factor further
+  /// than the periodic cadence anticipates, and the exact restart is
+  /// the repair path.
+  void Refactorize() {
+    inverse_.Refactorize();
+    RefactorizeFactor();
+    theta_dirty_ = true;
+  }
+
   /// Test hook: simulates numerical corruption of Y.
   void SetUnhealthyForTesting() {
     inverse_.SetUnhealthyForTesting();

@@ -188,6 +188,14 @@ HealthSnapshot ArrangementService::Health() const {
 StatusOr<Arrangement> ArrangementService::ServeUser(
     std::int64_t user_id, std::int64_t user_capacity,
     const ContextMatrix& contexts, const Deadline& deadline) {
+  return ServeUser(user_id, user_capacity, contexts,
+                   std::vector<std::uint8_t>{}, deadline);
+}
+
+StatusOr<Arrangement> ArrangementService::ServeUser(
+    std::int64_t user_id, std::int64_t user_capacity,
+    const ContextMatrix& contexts, std::vector<std::uint8_t> available,
+    const Deadline& deadline) {
   // Admission control runs before the round mutex: shedding exists
   // precisely to keep excess callers from queueing on the pipeline.
   if (lame_duck_.load(std::memory_order_relaxed)) {
@@ -231,6 +239,7 @@ StatusOr<Arrangement> ArrangementService::ServeUser(
     round.contexts = contexts;
     round.user_capacity = user_capacity;
     round.user_id = user_id;
+    round.available = std::move(available);
     if (Status st = ValidateRoundContext(round, instance_->num_events(),
                                          instance_->dim());
         !st.ok()) {
@@ -406,6 +415,23 @@ Status ArrangementService::SubmitFeedback(const Feedback& feedback,
   return Status::Ok();
 }
 
+Status ArrangementService::AbortPendingRound() {
+  std::lock_guard<std::timed_mutex> lock(mu_);
+  if (!pending_) {
+    return FailedPreconditionError("no round is pending to abort");
+  }
+  // The round never reached the WAL (SubmitFeedback is the write-ahead
+  // point) and no state was consumed, so undoing it is just forgetting
+  // it: the next ServeUser re-uses the same round id.
+  --t_;
+  pending_ = false;
+  pending_round_ = RoundContext{};
+  pending_arrangement_.clear();
+  aborted_rounds_metric_->Increment();
+  rounds_served_gauge_->Set(static_cast<double>(t_));
+  return Status::Ok();
+}
+
 Status ArrangementService::RestoreInteraction(
     const InteractionRecord& record, bool learn) {
   std::lock_guard<std::timed_mutex> lock(mu_);
@@ -443,6 +469,37 @@ Status ArrangementService::RestoreInteraction(
   t_ = record.t;
   rounds_served_gauge_->Set(static_cast<double>(t_));
   FASEA_CHECK_OK(log_.Append(record));
+  return Status::Ok();
+}
+
+Status ArrangementService::AbsorbPeerObservations(
+    const std::vector<PeerObservation>& delta) {
+  std::lock_guard<std::timed_mutex> lock(mu_);
+  auto* base = dynamic_cast<LinearPolicyBase*>(policy_.get());
+  if (base == nullptr) {
+    return FailedPreconditionError(
+        "policy has no mergeable ridge state");
+  }
+  if (delta.empty()) return Status::Ok();
+  RidgeState& ridge = base->mutable_ridge();
+  for (const PeerObservation& obs : delta) {
+    if (obs.context.size() != instance_->dim()) {
+      return InvalidArgumentError(StrFormat(
+          "peer observation has dimension %zu, instance has %zu",
+          obs.context.size(), instance_->dim()));
+    }
+  }
+  for (const PeerObservation& obs : delta) {
+    ridge.Update(obs.context, obs.reward);
+  }
+  ridge.Refactorize();
+  learner_healthy_gauge_->Set(ridge.healthy() ? 1.0 : 0.0);
+  UpdateHealthGaugeLocked();
+  if (!ridge.healthy()) {
+    return InternalError(
+        "merged delta left the learner unhealthy (refactorization "
+        "failed)");
+  }
   return Status::Ok();
 }
 

@@ -146,6 +146,13 @@ struct HealthSnapshot {
   std::int64_t stateless_fallbacks = 0;
 };
 
+/// One peer-shard observation for delta-merge: the arranged event's
+/// context row and its 0/1 reward (see AbsorbPeerObservations).
+struct PeerObservation {
+  std::vector<double> context;
+  double reward = 0.0;
+};
+
 /// Per-round outcome detail for SubmitFeedback callers that track
 /// durability (the chaos harness keeps a ledger of durable acks).
 struct FeedbackResult {
@@ -199,6 +206,25 @@ class ArrangementService {
                                   const ContextMatrix& contexts,
                                   const Deadline& deadline = {});
 
+  /// As above with a Remark 2 availability mask: only events with
+  /// available[v] != 0 may be arranged this round (empty = all). The
+  /// sharded serving layer uses this to exclude events that conflict
+  /// with portions already arranged on other shards.
+  StatusOr<Arrangement> ServeUser(std::int64_t user_id,
+                                  std::int64_t user_capacity,
+                                  const ContextMatrix& contexts,
+                                  std::vector<std::uint8_t> available,
+                                  const Deadline& deadline = {});
+
+  /// Rolls back the round opened by the last ServeUser before any
+  /// feedback was applied: the pending arrangement is discarded and the
+  /// round counter returns to its pre-serve value. Nothing about the
+  /// round reached the WAL (SubmitFeedback is the write-ahead point), so
+  /// the rollback is purely in-memory. The two-phase cross-shard
+  /// protocol uses this when a reservation cannot be obtained. Fails
+  /// kFailedPrecondition when no round is pending.
+  Status AbortPendingRound();
+
   /// Submits the served user's feedback (aligned with the returned
   /// arrangement): logs to the WAL (if attached), consumes capacities,
   /// trains the policy, records the interaction. On kUnavailable nothing
@@ -207,6 +233,17 @@ class ArrangementService {
   Status SubmitFeedback(const Feedback& feedback,
                         FeedbackResult* result = nullptr,
                         const Deadline& deadline = {});
+
+  /// Folds a peer shard's observation delta into the learner (ridge
+  /// state is additive, so absorbing (x, r) pairs out of round order is
+  /// exact) and then runs an exact Cholesky refactorization restart —
+  /// the repair for the factor drift a merged batch of rank-1 updates
+  /// can accumulate. Thread-safe against the round pipeline. No effect
+  /// on capacities, the log, or the round counter; absorbed
+  /// observations are soft state that crash recovery does not restore
+  /// (the next merge re-syncs). kFailedPrecondition for policies
+  /// without ridge state.
+  Status AbsorbPeerObservations(const std::vector<PeerObservation>& delta);
 
   /// Serializes the policy's learning state (see core/checkpoint.h).
   std::string Checkpoint() const;
@@ -349,6 +386,8 @@ class ArrangementService {
       Metrics()->GetCounter("fasea.serve.errors");
   Counter* proposed_events_metric_ =
       Metrics()->GetCounter("fasea.serve.proposed_events");
+  Counter* aborted_rounds_metric_ =
+      Metrics()->GetCounter("fasea.serve.aborted_rounds");
   Counter* fallbacks_metric_ =
       Metrics()->GetCounter("fasea.serve.stateless_fallbacks");
   Counter* feedback_rounds_metric_ =

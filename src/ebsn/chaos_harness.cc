@@ -14,6 +14,7 @@
 #include "common/strings.h"
 #include "ebsn/arrangement_service.h"
 #include "ebsn/recovery_manager.h"
+#include "ebsn/sharded_service.h"
 #include "rng/seed.h"
 
 namespace fasea {
@@ -524,6 +525,658 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& options) {
     }
   }
 
+  run.report.faults_injected = env.faults_injected();
+  run.report.ok = run.report.violations.empty() &&
+                  run.report.cycles_run == options.cycles;
+  return std::move(run.report);
+}
+
+// --- Sharded chaos -------------------------------------------------------
+
+namespace {
+
+/// Mutable state of one sharded run. Strictly single-threaded: kills
+/// fire at fixed round indexes and every counter is deterministic.
+struct ShardedRun {
+  const ShardedChaosOptions* options = nullptr;
+  SyntheticWorld* world = nullptr;
+  FaultInjectionEnv* env = nullptr;
+  std::unique_ptr<ShardedArrangementService> service;
+  std::vector<RoundContext> ring;
+  std::uint64_t policy_seed = 0;
+
+  // Truth keyed by txn. Transaction ids are never reused, so a round
+  // lost to a crash simply leaves a truth entry with no recovered
+  // counterpart (allowed — it was acked non-durably), and its re-serve
+  // gets a fresh txn.
+  std::map<std::uint64_t, InteractionRecord> truth;
+  std::set<std::uint64_t> durable;
+
+  // Mid-commit crash handshake with the service hook.
+  bool hook_armed = false;
+  std::uint64_t hook_fired_txn = 0;
+
+  bool stop = false;
+  ShardedChaosReport report;
+
+  void Violation(std::string message) {
+    report.violations.push_back(std::move(message));
+    stop = true;
+  }
+};
+
+enum class ArrivalOutcome { kAcked, kSkipped, kCrashed, kFailed };
+
+InteractionRecord BuildTruthRecord(const RoundContext& round,
+                                   const Arrangement& arrangement,
+                                   const Feedback& feedback) {
+  InteractionRecord record;
+  record.t = 0;  // Renumbered at replay time (txn order).
+  record.user_id = round.user_id;
+  record.user_capacity = round.user_capacity;
+  record.arrangement = arrangement;
+  record.feedback = feedback;
+  for (EventId v : arrangement) {
+    const auto row = round.contexts.Row(v);
+    record.contexts.emplace_back(row.begin(), row.end());
+  }
+  return record;
+}
+
+void AccumulateRecovery(ShardedRun* run, const ShardRecoveryReport& r) {
+  ShardedChaosReport& rep = run->report;
+  ++rep.shard_recoveries;
+  rep.duplicate_frames_skipped += r.duplicate_frames_skipped;
+  rep.bytes_truncated += r.bytes_truncated;
+  rep.in_doubt_seen += r.reservations_in_doubt;
+  rep.resolved_committed += r.resolved_committed;
+  rep.resolved_aborted += r.resolved_aborted;
+  rep.interrupted_completed += r.interrupted_completed;
+  rep.interrupted_aborted += r.interrupted_aborted;
+}
+
+/// Breakers die with their shard (kill) or writer (re-attach); harvest
+/// the counters just before each destruction point.
+void HarvestBreaker(ShardedRun* run, int shard) {
+  const CircuitBreaker* breaker = run->service->shard_breaker(shard);
+  if (breaker == nullptr) return;
+  run->report.breaker_opens += breaker->opens();
+  run->report.breaker_closes += breaker->closes();
+  run->report.breaker_probes += breaker->probes();
+}
+
+void RearmFaults(ShardedRun* run, int cycle, int lane) {
+  FaultSchedule schedule = run->options->schedule;
+  schedule.seed = DeriveSeed(run->options->seed, "sharded-faults",
+                             static_cast<std::uint64_t>(cycle) * 8 +
+                                 static_cast<std::uint64_t>(lane));
+  run->env->ApplySchedule(schedule);
+}
+
+/// Invariant 5: remaining capacities never go negative on any shard's
+/// sub-instance, live or recovered.
+void CheckShardCapacities(ShardedRun* run, const char* which, int cycle) {
+  for (int s = 0; s < run->service->num_shards(); ++s) {
+    const ArrangementService* inner = run->service->shard_service(s);
+    if (inner == nullptr) continue;
+    const ProblemInstance& sub = run->service->router().SubInstance(s);
+    for (EventId v = 0; v < sub.num_events(); ++v) {
+      if (inner->state().remaining(v) < 0) {
+        run->Violation(StrFormat(
+            "cycle %d: %s shard %d has negative remaining capacity for "
+            "local event %u",
+            cycle, which, s, v));
+        return;
+      }
+    }
+  }
+}
+
+bool KillOneShard(ShardedRun* run, int shard, int cycle) {
+  HarvestBreaker(run, shard);
+  if (Status st = run->service->KillShard(shard); !st.ok()) {
+    run->Violation(StrFormat("cycle %d: KillShard(%d) failed: %s", cycle,
+                             shard, st.ToString().c_str()));
+    return false;
+  }
+  ++run->report.shard_kills;
+  return true;
+}
+
+/// Recovery must leave zero in-doubt reservations — invariant 7.
+bool RecoverOneShard(ShardedRun* run, int shard, int cycle) {
+  auto recovered = run->service->RecoverShard(shard);
+  if (!recovered.ok()) {
+    run->Violation(StrFormat("cycle %d: RecoverShard(%d) failed: %s",
+                             cycle, shard,
+                             recovered.status().ToString().c_str()));
+    return false;
+  }
+  AccumulateRecovery(run, *recovered);
+  return true;
+}
+
+void CheckNoInDoubtSurvives(ShardedRun* run, int cycle, const char* when) {
+  const std::int64_t open = run->service->OpenReservations();
+  if (open != 0) {
+    run->Violation(StrFormat(
+        "cycle %d: %lld in-doubt reservation(s) survived recovery (%s)",
+        cycle, static_cast<long long>(open), when));
+  }
+}
+
+/// The mid-commit crash: the coordinator died after its decision frame,
+/// before any portion applied. Recovery must complete the transaction
+/// (durable decision) or erase it entirely (the decision never hardened
+/// — only possible when faults were armed at the commit point).
+void HandleMidCommitCrash(ShardedRun* run, int cycle,
+                          const ShardedServeResult& served,
+                          const RoundContext& round,
+                          const Feedback& feedback) {
+  ++run->report.mid_commit_crashes;
+  run->env->DisarmAll();
+  const int home = served.home_shard;
+  if (!KillOneShard(run, home, cycle)) return;
+  if (!RecoverOneShard(run, home, cycle)) return;
+  CheckNoInDoubtSurvives(run, cycle, "after a mid-commit coordinator crash");
+  if (Status st = run->service->AttachShardWal(home); !st.ok()) {
+    run->Violation(StrFormat("cycle %d: AttachShardWal(%d) failed: %s",
+                             cycle, home, st.ToString().c_str()));
+    return;
+  }
+  // Committed iff the decision survived into the recovered index; the
+  // recovered world then owes the caller the full round.
+  if (run->service->Decisions(home).count(served.txn) != 0) {
+    run->truth[served.txn] =
+        BuildTruthRecord(round, served.arrangement, feedback);
+    run->durable.insert(served.txn);
+    ++run->report.rounds_acked;
+    ++run->report.durable_acked;
+  }
+  RearmFaults(run, cycle, /*lane=*/1);
+}
+
+RetryOptions ShardedRetryOptions(const ShardedChaosOptions& options) {
+  RetryOptions retry;
+  retry.max_attempts = options.breaker_failure_threshold + 5;
+  retry.initial_backoff_ns = 50'000;
+  retry.max_backoff_ns = 1'000'000;
+  return retry;
+}
+
+/// One arrival: serve, sample feedback, submit until acked. `arm_hook`
+/// schedules a coordinator crash between the commit phases.
+ArrivalOutcome DriveOneArrival(ShardedRun* run, int cycle,
+                               std::size_t ring_index, Pcg64* fb_rng,
+                               RetryPolicy* retry, bool arm_hook,
+                               ShardedFeedbackResult* out) {
+  const RoundContext& round = run->ring[ring_index % run->ring.size()];
+  auto served = run->service->ServeUser(round.user_id, round.user_capacity,
+                                        round.contexts);
+  if (!served.ok()) {
+    const StatusCode code = served.status().code();
+    if (code == StatusCode::kUnavailable ||
+        code == StatusCode::kFailedPrecondition ||
+        code == StatusCode::kResourceExhausted) {
+      // Dead or draining home: the next arrival round-robins elsewhere.
+      ++run->report.serves_unavailable;
+      TickChaosClock();
+      return ArrivalOutcome::kSkipped;
+    }
+    run->Violation(StrFormat("cycle %d: sharded serve failed: %s", cycle,
+                             served.status().ToString().c_str()));
+    return ArrivalOutcome::kFailed;
+  }
+  const Feedback feedback = run->world->feedback().Sample(
+      1, round.contexts, served->arrangement, *fb_rng);
+  if (arm_hook) run->hook_armed = true;
+  retry->Reset();
+  ShardedFeedbackResult result;
+  Status st = run->service->SubmitFeedback(served->txn, feedback, &result);
+  while (!st.ok()) {
+    if (run->hook_fired_txn == served->txn) {
+      run->hook_fired_txn = 0;
+      HandleMidCommitCrash(run, cycle, *served, round, feedback);
+      TickChaosClock();
+      return run->stop ? ArrivalOutcome::kFailed : ArrivalOutcome::kCrashed;
+    }
+    if (!IsRetryable(st)) {
+      run->Violation(StrFormat("cycle %d: feedback failed non-retryably: %s",
+                               cycle, st.ToString().c_str()));
+      return ArrivalOutcome::kFailed;
+    }
+    if (retry->ShouldRetry(st)) {
+      SleepNanos(retry->NextDelayNanos());
+    } else {
+      ++run->report.retries_exhausted;
+      retry->Reset();  // The breaker guarantees forward progress.
+    }
+    st = run->service->SubmitFeedback(served->txn, feedback, &result);
+  }
+  run->truth[served->txn] =
+      BuildTruthRecord(round, served->arrangement, feedback);
+  if (result.durable) run->durable.insert(served->txn);
+  ++run->report.rounds_acked;
+  if (result.durable) {
+    ++run->report.durable_acked;
+  } else {
+    ++run->report.nondurable_acked;
+  }
+  TickChaosClock();
+  if (out != nullptr) *out = result;
+  return ArrivalOutcome::kAcked;
+}
+
+/// The faulted drive of one cycle, with the kill mode's crash woven in
+/// at fixed round indexes. Faults are disarmed around every
+/// kill/recover/re-attach window (the dying disk gets swapped) and
+/// re-armed with a fresh derived lane.
+void DriveShardedCycle(ShardedRun* run, int cycle) {
+  const ShardedChaosOptions& options = *run->options;
+  Pcg64 fb_rng(DeriveSeed(options.seed, "sharded-fb",
+                          static_cast<std::uint64_t>(cycle)),
+               /*stream=*/3);
+  RetryPolicy retry(ShardedRetryOptions(options),
+                    DeriveSeed(options.seed, "sharded-retry",
+                               static_cast<std::uint64_t>(cycle)));
+  const std::int64_t kill_at = options.rounds_per_cycle / 3;
+  const std::int64_t recover_at = (2 * options.rounds_per_cycle) / 3;
+  const std::int64_t crash_at = options.rounds_per_cycle / 2;
+  const int victim = cycle % options.shards;  // Round-robin across cycles.
+  bool crash_pending =
+      options.kill_mode == ShardKillMode::kCoordinatorMidCommit;
+
+  for (std::int64_t i = 0; i < options.rounds_per_cycle && !run->stop;
+       ++i) {
+    if (options.kill_mode == ShardKillMode::kOneShard) {
+      if (i == kill_at) {
+        run->env->DisarmAll();
+        if (!KillOneShard(run, victim, cycle)) return;
+        RearmFaults(run, cycle, /*lane=*/2);
+      } else if (i == recover_at) {
+        run->env->DisarmAll();
+        if (!RecoverOneShard(run, victim, cycle)) return;
+        CheckNoInDoubtSurvives(run, cycle, "after a single-shard crash");
+        if (Status st = run->service->AttachShardWal(victim); !st.ok()) {
+          run->Violation(StrFormat(
+              "cycle %d: AttachShardWal(%d) failed: %s", cycle, victim,
+              st.ToString().c_str()));
+          return;
+        }
+        RearmFaults(run, cycle, /*lane=*/3);
+      }
+    } else if (options.kill_mode == ShardKillMode::kAll && i == crash_at) {
+      run->env->DisarmAll();
+      for (int s = 0; s < options.shards; ++s) {
+        if (!KillOneShard(run, s, cycle)) return;
+      }
+      for (int s = 0; s < options.shards; ++s) {
+        if (!RecoverOneShard(run, s, cycle)) return;
+      }
+      CheckNoInDoubtSurvives(run, cycle, "after an all-shard crash");
+      CheckShardCapacities(run, "mid-cycle recovered", cycle);
+      for (int s = 0; s < options.shards; ++s) {
+        if (Status st = run->service->AttachShardWal(s); !st.ok()) {
+          run->Violation(StrFormat(
+              "cycle %d: AttachShardWal(%d) failed: %s", cycle, s,
+              st.ToString().c_str()));
+          return;
+        }
+      }
+      RearmFaults(run, cycle, /*lane=*/4);
+    }
+    const bool arm = crash_pending && i >= crash_at;
+    const ArrivalOutcome outcome =
+        DriveOneArrival(run, cycle, static_cast<std::size_t>(i), &fb_rng,
+                        &retry, arm, nullptr);
+    if (outcome == ArrivalOutcome::kFailed) return;
+    if (outcome == ArrivalOutcome::kCrashed) crash_pending = false;
+    if (outcome == ArrivalOutcome::kSkipped && arm) {
+      run->hook_armed = false;  // Serve never happened; re-arm next round.
+    }
+  }
+  if (crash_pending && !run->stop) {
+    run->Violation(StrFormat(
+        "cycle %d: the scheduled mid-commit crash never fired", cycle));
+  }
+}
+
+/// Invariant 6: with faults disarmed, drive until every shard's breaker
+/// is closed and a durable acknowledgement proves the WALs are live.
+void DriveShardsUntilReclosed(ShardedRun* run, int cycle) {
+  const ShardedChaosOptions& options = *run->options;
+  Pcg64 fb_rng(DeriveSeed(options.seed, "sharded-reclose-fb",
+                          static_cast<std::uint64_t>(cycle)),
+               /*stream=*/7);
+  RetryPolicy retry(ShardedRetryOptions(options),
+                    DeriveSeed(options.seed, "sharded-reclose",
+                               static_cast<std::uint64_t>(cycle)));
+  for (std::int64_t i = 0; i < options.reclose_budget && !run->stop; ++i) {
+    ShardedFeedbackResult result;
+    const ArrivalOutcome outcome =
+        DriveOneArrival(run, cycle, static_cast<std::size_t>(i), &fb_rng,
+                        &retry, /*arm_hook=*/false, &result);
+    if (outcome == ArrivalOutcome::kFailed) return;
+    if (outcome != ArrivalOutcome::kAcked || !result.durable) continue;
+    bool all_closed = true;
+    for (int s = 0; s < options.shards; ++s) {
+      const CircuitBreaker* breaker = run->service->shard_breaker(s);
+      if (breaker != nullptr &&
+          breaker->state() != CircuitBreaker::State::kClosed) {
+        all_closed = false;
+        break;
+      }
+    }
+    if (all_closed) return;
+  }
+  run->Violation(StrFormat(
+      "cycle %d: shard breakers failed to re-close within %lld rounds "
+      "after faults were disarmed",
+      cycle, static_cast<long long>(options.reclose_budget)));
+}
+
+/// End-of-cycle full crash: kill every shard, recover each from its WAL
+/// alone, then check invariants 1–5 and 7 (6 was the re-close drive).
+void CrashRecoverAllAndVerify(ShardedRun* run, int cycle) {
+  ShardedArrangementService& service = *run->service;
+  const ShardedChaosOptions& options = *run->options;
+  CheckShardCapacities(run, "live", cycle);
+
+  for (int s = 0; s < options.shards; ++s) {
+    if (!service.shard_alive(s)) continue;
+    if (!KillOneShard(run, s, cycle)) return;
+  }
+  for (int s = 0; s < options.shards; ++s) {
+    if (!RecoverOneShard(run, s, cycle)) return;
+  }
+  CheckShardCapacities(run, "recovered", cycle);
+  CheckNoInDoubtSurvives(run, cycle, "after the full crash");
+
+  // The union of the shards' recovered decision ledgers.
+  std::map<std::uint64_t, InteractionRecord> unioned;
+  for (int s = 0; s < options.shards; ++s) {
+    for (auto& [txn, record] : service.Decisions(s)) {
+      unioned.emplace(txn, std::move(record));
+    }
+  }
+
+  // Invariant 1: recovery never invents transactions.
+  for (const auto& [txn, record] : unioned) {
+    if (run->truth.find(txn) == run->truth.end()) {
+      run->Violation(StrFormat(
+          "cycle %d: recovered transaction %llu was never acknowledged",
+          cycle, static_cast<unsigned long long>(txn)));
+    }
+  }
+  // Invariant 2: no durable acknowledgement is lost.
+  for (const std::uint64_t txn : run->durable) {
+    if (unioned.find(txn) == unioned.end()) {
+      run->Violation(StrFormat(
+          "cycle %d: durably acknowledged transaction %llu is missing "
+          "from the recovered decision union",
+          cycle, static_cast<unsigned long long>(txn)));
+    }
+  }
+
+  // Invariant 3: the recovered union, replayed in txn order into a
+  // fresh UNSHARDED service over the full instance, is bit-identical to
+  // the same replay of the truth ledger.
+  ArrangementService shadow_recovered(&run->world->instance(),
+                                      PolicyKind::kUcb, PolicyParams{},
+                                      run->policy_seed);
+  ArrangementService shadow_truth(&run->world->instance(),
+                                  PolicyKind::kUcb, PolicyParams{},
+                                  run->policy_seed);
+  std::int64_t t = 0;
+  for (const auto& [txn, record] : unioned) {
+    const auto it = run->truth.find(txn);
+    if (it == run->truth.end()) continue;  // Already a violation above.
+    ++t;
+    InteractionRecord recovered_record = record;
+    recovered_record.t = t;
+    InteractionRecord truth_record = it->second;
+    truth_record.t = t;
+    if (Status st =
+            shadow_recovered.RestoreInteraction(recovered_record, true);
+        !st.ok()) {
+      run->Violation(StrFormat(
+          "cycle %d: shadow replay of recovered txn %llu failed: %s",
+          cycle, static_cast<unsigned long long>(txn),
+          st.ToString().c_str()));
+      return;
+    }
+    if (Status st = shadow_truth.RestoreInteraction(truth_record, true);
+        !st.ok()) {
+      run->Violation(StrFormat(
+          "cycle %d: shadow replay of truth txn %llu failed: %s", cycle,
+          static_cast<unsigned long long>(txn), st.ToString().c_str()));
+      return;
+    }
+  }
+  if (shadow_recovered.Checkpoint() != shadow_truth.Checkpoint()) {
+    run->Violation(StrFormat(
+        "cycle %d: the recovered decision union replays to different "
+        "learning state (Y, b) than the acknowledged truth",
+        cycle));
+  }
+  if (shadow_recovered.log().ToCsv() != shadow_truth.log().ToCsv()) {
+    run->Violation(StrFormat(
+        "cycle %d: the recovered decision union replays to a different "
+        "interaction log than the acknowledged truth",
+        cycle));
+  }
+  if (shadow_recovered.rounds_served() != shadow_truth.rounds_served()) {
+    run->Violation(StrFormat(
+        "cycle %d: union replay round counter %lld != truth replay %lld",
+        cycle,
+        static_cast<long long>(shadow_recovered.rounds_served()),
+        static_cast<long long>(shadow_truth.rounds_served())));
+  }
+  const ProblemInstance& instance = run->world->instance();
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (shadow_recovered.state().remaining(v) !=
+        shadow_truth.state().remaining(v)) {
+      run->Violation(StrFormat(
+          "cycle %d: union replay capacity of event %u (%lld) != truth "
+          "replay (%lld)",
+          cycle, v,
+          static_cast<long long>(shadow_recovered.state().remaining(v)),
+          static_cast<long long>(shadow_truth.state().remaining(v))));
+      break;
+    }
+  }
+
+  // Invariant 4: per-event capacities on the recovered shards agree
+  // exactly with the unsharded shadow — every cross-shard portion
+  // landed where its decision says, nowhere else.
+  const ShardRouter& router = service.router();
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    const int owner = router.OwnerShard(v);
+    const ArrangementService* inner = service.shard_service(owner);
+    if (inner == nullptr) continue;  // Unreachable: all recovered above.
+    const std::int64_t got = inner->state().remaining(router.LocalId(v));
+    const std::int64_t want = shadow_recovered.state().remaining(v);
+    if (got != want) {
+      run->Violation(StrFormat(
+          "cycle %d: recovered capacity of event %u on shard %d (%lld) "
+          "!= unsharded shadow (%lld)",
+          cycle, v, owner, static_cast<long long>(got),
+          static_cast<long long>(want)));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ShardedChaosReport::ToString() const {
+  std::string out;
+  out += StrFormat("verdict:                  %s\n", ok ? "PASS" : "FAIL");
+  out += StrFormat("cycles run:               %d\n", cycles_run);
+  out += StrFormat("rounds acked:             %lld\n",
+                   static_cast<long long>(rounds_acked));
+  out += StrFormat("  durable:                %lld\n",
+                   static_cast<long long>(durable_acked));
+  out += StrFormat("  non-durable:            %lld\n",
+                   static_cast<long long>(nondurable_acked));
+  out += StrFormat("serves unavailable:       %lld\n",
+                   static_cast<long long>(serves_unavailable));
+  out += StrFormat("retry budgets exhausted:  %lld\n",
+                   static_cast<long long>(retries_exhausted));
+  out += StrFormat("faults injected:          %lld\n",
+                   static_cast<long long>(faults_injected));
+  out += StrFormat("cross-shard rounds:       %lld\n",
+                   static_cast<long long>(cross_shard_rounds));
+  out += StrFormat("reservations made:        %lld\n",
+                   static_cast<long long>(reservations_made));
+  out += StrFormat("reservation refusals:     %lld\n",
+                   static_cast<long long>(reservation_refusals));
+  out += StrFormat("in-doubt at recovery:     %lld\n",
+                   static_cast<long long>(in_doubt_seen));
+  out += StrFormat("  resolved committed:     %lld\n",
+                   static_cast<long long>(resolved_committed));
+  out += StrFormat("  resolved aborted:       %lld\n",
+                   static_cast<long long>(resolved_aborted));
+  out += StrFormat("interrupted txns:         %lld completed, %lld aborted\n",
+                   static_cast<long long>(interrupted_completed),
+                   static_cast<long long>(interrupted_aborted));
+  out += StrFormat("mid-commit crashes:       %lld\n",
+                   static_cast<long long>(mid_commit_crashes));
+  out += StrFormat("shard kills/recoveries:   %lld/%lld\n",
+                   static_cast<long long>(shard_kills),
+                   static_cast<long long>(shard_recoveries));
+  out += StrFormat("breaker opens/closes:     %lld/%lld\n",
+                   static_cast<long long>(breaker_opens),
+                   static_cast<long long>(breaker_closes));
+  out += StrFormat("breaker probes:           %lld\n",
+                   static_cast<long long>(breaker_probes));
+  out += StrFormat("wal reopens:              %lld\n",
+                   static_cast<long long>(wal_reopens));
+  out += StrFormat("duplicate frames skipped: %lld\n",
+                   static_cast<long long>(duplicate_frames_skipped));
+  out += StrFormat("torn bytes truncated:     %lld\n",
+                   static_cast<long long>(bytes_truncated));
+  out += StrFormat("learner merges:           %lld\n",
+                   static_cast<long long>(merges));
+  for (const std::string& violation : violations) {
+    out += "VIOLATION: " + violation + "\n";
+  }
+  return out;
+}
+
+StatusOr<ShardKillMode> ParseShardKillMode(std::string_view name) {
+  if (name == "one-shard") return ShardKillMode::kOneShard;
+  if (name == "coordinator-mid-commit") {
+    return ShardKillMode::kCoordinatorMidCommit;
+  }
+  if (name == "all") return ShardKillMode::kAll;
+  return InvalidArgumentError(StrFormat(
+      "unknown shard kill mode '%s' (try: one-shard, "
+      "coordinator-mid-commit, all)",
+      std::string(name).c_str()));
+}
+
+const std::vector<std::string_view>& ShardKillModeNames() {
+  static const std::vector<std::string_view> kNames = {
+      "one-shard", "coordinator-mid-commit", "all"};
+  return kNames;
+}
+
+StatusOr<ShardedChaosReport> RunShardedChaos(
+    const ShardedChaosOptions& options) {
+  if (options.wal_dir.empty()) {
+    return InvalidArgumentError("sharded chaos: wal_dir is required");
+  }
+  if (options.shards < 1 || options.cycles < 1 ||
+      options.rounds_per_cycle < 1) {
+    return InvalidArgumentError(
+        "sharded chaos: shards, cycles, and rounds_per_cycle must be >= 1");
+  }
+  FaultInjectionEnv env(Env::Default());
+  for (int s = 0; s < options.shards; ++s) {
+    const std::string dir = ShardWalDirName(options.wal_dir, s);
+    if (auto names = env.ListDir(dir); names.ok()) {
+      for (const std::string& name : *names) {
+        if (StartsWith(name, "wal-")) {
+          return InvalidArgumentError(StrFormat(
+              "sharded chaos: %s already holds WAL segments — the run "
+              "needs a fresh directory",
+              dir.c_str()));
+        }
+      }
+    }
+  }
+
+  SyntheticConfig config;
+  config.num_events = options.num_events;
+  config.dim = options.dim;
+  config.horizon = 100000;
+  config.seed = DeriveSeed(options.seed, "sharded-world");
+  auto world = SyntheticWorld::Create(config);
+  if (!world.ok()) return world.status();
+
+  ShardedRun run;
+  run.options = &options;
+  run.world = world->get();
+  run.env = &env;
+  run.policy_seed = DeriveSeed(options.seed, "sharded-policy");
+
+  ShardedOptions service_options;
+  service_options.num_shards = options.shards;
+  service_options.seed = run.policy_seed;
+  service_options.merge_every = options.merge_every;
+  run.service = std::make_unique<ShardedArrangementService>(
+      &run.world->instance(), service_options);
+  run.service->set_crash_after_decision_hook([&run](std::uint64_t txn) {
+    if (!run.hook_armed) return false;
+    run.hook_armed = false;
+    run.hook_fired_txn = txn;
+    return true;
+  });
+  run.ring.resize(64);
+  for (std::size_t i = 0; i < run.ring.size(); ++i) {
+    run.ring[i] =
+        run.world->provider().NextRound(static_cast<std::int64_t>(i) + 1);
+  }
+
+  DurabilityPolicy durability;
+  durability.on_wal_error = DurabilityPolicy::OnWalError::kFailRound;
+  durability.breaker_enabled = true;
+  durability.breaker.failure_threshold = options.breaker_failure_threshold;
+  durability.breaker.open_cooldown_ns =
+      options.breaker_cooldown_ticks;  // Logical-clock ticks.
+  durability.breaker.clock = &ChaosClockNow;
+
+  for (int cycle = 0; cycle < options.cycles; ++cycle) {
+    if (Status st = run.service->AttachWals(&env, options.wal_dir,
+                                            WalOptions{}, durability);
+        !st.ok()) {
+      return st;
+    }
+    RearmFaults(&run, cycle, /*lane=*/0);
+
+    DriveShardedCycle(&run, cycle);
+    env.DisarmAll();
+    if (!run.stop) DriveShardsUntilReclosed(&run, cycle);
+    if (run.stop) break;
+
+    CrashRecoverAllAndVerify(&run, cycle);
+    ++run.report.cycles_run;
+    if (run.stop) break;
+  }
+
+  // Final telemetry sweep (per-shard counters survive kills; the
+  // breakers were harvested at each destruction point, plus any still
+  // alive now).
+  for (int s = 0; s < options.shards; ++s) {
+    HarvestBreaker(&run, s);
+    run.report.wal_reopens += run.service->ShardHealth(s).wal_reopens;
+  }
+  const ShardedStats stats = run.service->Stats();
+  run.report.cross_shard_rounds = stats.cross_shard_rounds;
+  run.report.reservations_made = stats.reservations_made;
+  run.report.reservation_refusals = stats.reservation_refusals;
+  run.report.merges = stats.merges;
   run.report.faults_injected = env.faults_injected();
   run.report.ok = run.report.violations.empty() &&
                   run.report.cycles_run == options.cycles;

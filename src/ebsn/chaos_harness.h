@@ -108,6 +108,114 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& options);
 StatusOr<FaultSchedule> NamedFaultSchedule(std::string_view name);
 const std::vector<std::string_view>& NamedFaultScheduleNames();
 
+// --- Sharded chaos -------------------------------------------------------
+//
+// RunShardedChaos drives a ShardedArrangementService the same way, plus
+// per-shard kill schedules. Every cycle: arm faults and serve (the kill
+// mode injects its crash mid-cycle — faults are disarmed around the
+// kill/recover/re-arm window, like swapping a dying disk), then disarm
+// and drive until every shard's breaker re-closes, then kill ALL shards
+// and recover each from its own WAL alone. Invariants, checked per
+// cycle (all seven must hold):
+//
+//   1. recovered decisions never invent rounds (every decision txn was
+//      acknowledged, or proven committed after a mid-commit crash);
+//   2. no durable acknowledgement is lost (durable txns ⊆ recovered
+//      decisions);
+//   3. the union of the shards' recovered decision records, replayed in
+//      txn order into a fresh UNSHARDED service over the full instance,
+//      is bit-identical (checkpoint, log CSV, capacities, round count)
+//      to the same replay of the harness's own truth ledger;
+//   4. per-event capacities on the recovered shards agree exactly with
+//      that unsharded shadow (cross-shard portions land where the
+//      decisions say);
+//   5. remaining capacities never go negative, live or recovered;
+//   6. every per-shard breaker re-closes after faults are disarmed;
+//   7. no in-doubt reservation survives any recovery.
+//
+// Runs are single-threaded and bit-reproducible per seed (kills fire at
+// fixed round indexes, the breakers tick on the logical clock).
+
+enum class ShardKillMode {
+  /// Kill one shard mid-cycle (round-robin victim across cycles),
+  /// recover it later the same cycle while traffic continues around it.
+  kOneShard,
+  /// Crash the coordinator between the two commit phases (after its
+  /// decision frame is durable, before any portion applies) and verify
+  /// recovery completes the transaction on the participants. Pair with
+  /// the "clean" schedule so the decision is always durable.
+  kCoordinatorMidCommit,
+  /// Kill every shard at once mid-cycle and recover them all.
+  kAll,
+};
+
+StatusOr<ShardKillMode> ParseShardKillMode(std::string_view name);
+const std::vector<std::string_view>& ShardKillModeNames();
+
+struct ShardedChaosOptions {
+  FaultSchedule schedule;
+  int shards = 4;
+  ShardKillMode kill_mode = ShardKillMode::kOneShard;
+  std::int64_t rounds_per_cycle = 120;
+  int cycles = 3;
+  std::uint64_t seed = 1;
+  /// Base directory; shard WALs live in `<wal_dir>/shard-NNN/`.
+  std::string wal_dir;
+
+  int breaker_failure_threshold = 3;
+  std::int64_t breaker_cooldown_ticks = 32;
+  std::int64_t reclose_budget = 500;
+  /// Delta-merge cadence forwarded to the service (0 = off). Merged
+  /// learner state is soft and deliberately outside the replay
+  /// invariants.
+  std::int64_t merge_every = 0;
+
+  /// Deliberately tiny partitions (~num_events/shards events each) so
+  /// spillover — and with it the two-phase protocol — fires constantly.
+  std::size_t num_events = 12;
+  std::size_t dim = 4;
+};
+
+struct ShardedChaosReport {
+  bool ok = false;
+  std::vector<std::string> violations;
+
+  int cycles_run = 0;
+  std::int64_t rounds_acked = 0;
+  std::int64_t durable_acked = 0;
+  std::int64_t nondurable_acked = 0;
+  std::int64_t serves_unavailable = 0;  // Dead-home arrivals re-routed.
+  std::int64_t retries_exhausted = 0;
+  std::int64_t faults_injected = 0;
+
+  std::int64_t cross_shard_rounds = 0;
+  std::int64_t reservations_made = 0;
+  std::int64_t reservation_refusals = 0;
+  std::int64_t in_doubt_seen = 0;  // Reservations open at recovery.
+  std::int64_t resolved_committed = 0;
+  std::int64_t resolved_aborted = 0;
+  std::int64_t interrupted_completed = 0;
+  std::int64_t interrupted_aborted = 0;
+  std::int64_t mid_commit_crashes = 0;
+
+  std::int64_t shard_kills = 0;
+  std::int64_t shard_recoveries = 0;
+  std::int64_t breaker_opens = 0;
+  std::int64_t breaker_closes = 0;
+  std::int64_t breaker_probes = 0;
+  std::int64_t wal_reopens = 0;
+  std::int64_t duplicate_frames_skipped = 0;
+  std::int64_t bytes_truncated = 0;
+  std::int64_t merges = 0;
+
+  std::string ToString() const;
+};
+
+/// Runs the sharded harness; Status only on setup errors — invariant
+/// violations land in the report.
+StatusOr<ShardedChaosReport> RunShardedChaos(
+    const ShardedChaosOptions& options);
+
 }  // namespace fasea
 
 #endif  // FASEA_EBSN_CHAOS_HARNESS_H_

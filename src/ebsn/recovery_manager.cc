@@ -42,10 +42,15 @@ Status ScanAndClassify(Env* env, const std::string& wal_dir,
   for (const std::string& payload : scan->payloads) {
     auto record = DecodeInteractionRecord(payload);
     if (!record.ok()) return record.status();
-    if (record->t == last_t) {
-      // A retried append of the round the previous frame already holds:
-      // its fsync failed after the bytes reached the log (see the
-      // report-field comment). Apply the round once.
+    if (record->t <= last_t) {
+      // A retried append of a round already in the log: its fsync failed
+      // after the bytes reached the disk, the acknowledgement was
+      // withheld, and the retry wrote the round again (see the
+      // report-field comment). Round ids are strictly increasing, so any
+      // frame at or below the highest round seen is such a retry — and
+      // retries need not land adjacent to the original: a retry storm
+      // interleaved across users can separate the duplicate from its
+      // first copy by several later rounds. Apply each round once.
       ++report->duplicate_frames_skipped;
       continue;
     }

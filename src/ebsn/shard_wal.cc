@@ -1,0 +1,91 @@
+#include "ebsn/shard_wal.h"
+
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+
+namespace fasea {
+
+std::string EncodeDecisionFrame(std::uint64_t txn,
+                                const InteractionRecord& record) {
+  std::string out;
+  AppendU8(&out, static_cast<std::uint8_t>(ShardFrameKind::kDecision));
+  AppendU64(&out, txn);
+  out += EncodeInteractionRecord(record);
+  return out;
+}
+
+std::string EncodeReserveFrame(const ReservationRecord& reservation) {
+  std::string out;
+  AppendU8(&out, static_cast<std::uint8_t>(ShardFrameKind::kReserve));
+  AppendU64(&out, reservation.txn);
+  AppendU32(&out, static_cast<std::uint32_t>(reservation.coordinator_shard));
+  AppendI64(&out, reservation.coordinator_round);
+  AppendI64(&out, reservation.user_id);
+  AppendU32(&out, static_cast<std::uint32_t>(reservation.events.size()));
+  for (EventId v : reservation.events) AppendU32(&out, v);
+  return out;
+}
+
+std::string EncodePortionFrame(std::uint64_t txn,
+                               const InteractionRecord& record) {
+  std::string out;
+  AppendU8(&out, static_cast<std::uint8_t>(ShardFrameKind::kPortion));
+  AppendU64(&out, txn);
+  out += EncodeInteractionRecord(record);
+  return out;
+}
+
+StatusOr<ShardFrame> DecodeShardFrame(std::string_view payload) {
+  ByteReader reader(payload, "shard frame: truncated payload");
+  auto kind = reader.ReadU8();
+  if (!kind.ok()) return kind.status();
+  auto txn = reader.ReadU64();
+  if (!txn.ok()) return txn.status();
+
+  ShardFrame frame;
+  frame.txn = *txn;
+  switch (*kind) {
+    case static_cast<std::uint8_t>(ShardFrameKind::kDecision):
+    case static_cast<std::uint8_t>(ShardFrameKind::kPortion): {
+      frame.kind = static_cast<ShardFrameKind>(*kind);
+      auto record =
+          DecodeInteractionRecord(payload.substr(reader.position()));
+      if (!record.ok()) return record.status();
+      frame.record = std::move(record).value();
+      return frame;
+    }
+    case static_cast<std::uint8_t>(ShardFrameKind::kReserve): {
+      frame.kind = ShardFrameKind::kReserve;
+      auto shard = reader.ReadU32();
+      if (!shard.ok()) return shard.status();
+      auto round = reader.ReadI64();
+      if (!round.ok()) return round.status();
+      auto user = reader.ReadI64();
+      if (!user.ok()) return user.status();
+      auto n = reader.ReadU32();
+      if (!n.ok()) return n.status();
+      frame.reservation.txn = *txn;
+      frame.reservation.coordinator_shard = static_cast<int>(*shard);
+      frame.reservation.coordinator_round = *round;
+      frame.reservation.user_id = *user;
+      frame.reservation.events.reserve(*n);
+      for (std::uint32_t i = 0; i < *n; ++i) {
+        auto v = reader.ReadU32();
+        if (!v.ok()) return v.status();
+        frame.reservation.events.push_back(*v);
+      }
+      if (!reader.AtEnd()) {
+        return DataLossError("shard frame: trailing bytes after "
+                             "reservation body");
+      }
+      return frame;
+    }
+    default:
+      return DataLossError(StrFormat(
+          "shard frame: unknown kind 0x%02x", *kind));
+  }
+}
+
+}  // namespace fasea

@@ -1,0 +1,83 @@
+// Typed WAL frames of the sharded serving layer.
+//
+// A shard's WAL carries more than interaction records: the two-phase
+// cross-shard arrangement protocol needs durable traces of both phases.
+// Every frame payload starts with a one-byte kind tag and the global
+// transaction id, then the kind-specific body:
+//
+//   kDecision [0x01][txn][InteractionRecord]
+//     The coordinator's commit record: the FULL round (global event
+//     ids, record.t = the coordinator's local round counter). Appending
+//     this frame durably IS the commit point of the transaction — on
+//     replay the coordinator re-applies its home-owned portion, and
+//     participants resolve in-doubt reservations against it. A
+//     single-shard round is just a decision with no remote portions.
+//
+//   kReserve [0x02][txn][coordinator_shard][coordinator_round][user_id]
+//            [n][event]*n
+//     Phase 1 on a participant: the listed (global-id) events are
+//     reserved for the coordinator's round. A participant only votes
+//     yes once this frame is durable; until a kPortion for the same txn
+//     follows, the reservation is *in-doubt* and recovery must resolve
+//     it (presumed-abort, see sharded_service.h).
+//
+//   kPortion [0x03][txn][InteractionRecord]
+//     Phase 2 on a participant: its slice of the round was applied
+//     (record in LOCAL event ids, record.t = the participant's own
+//     round counter). Closes the txn's in-doubt reservation. Only
+//     written when the coordinator's decision was durable — a portion
+//     must never outlive its decision record.
+//
+// The framing beneath (length + masked CRC, torn-tail truncation) is
+// io/wal.h, unchanged; this is purely the payload layer.
+#ifndef FASEA_EBSN_SHARD_WAL_H_
+#define FASEA_EBSN_SHARD_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ebsn/interaction_log.h"
+#include "model/types.h"
+
+namespace fasea {
+
+enum class ShardFrameKind : std::uint8_t {
+  kDecision = 0x01,
+  kReserve = 0x02,
+  kPortion = 0x03,
+};
+
+/// Phase-1 reservation: `events` (global ids) held on the owner shard
+/// for the coordinator's round until committed or aborted.
+struct ReservationRecord {
+  std::uint64_t txn = 0;
+  int coordinator_shard = 0;
+  std::int64_t coordinator_round = 0;
+  std::int64_t user_id = 0;
+  Arrangement events;
+};
+
+/// One decoded shard-WAL frame (exactly one of the bodies is set,
+/// per `kind`).
+struct ShardFrame {
+  ShardFrameKind kind = ShardFrameKind::kDecision;
+  std::uint64_t txn = 0;
+  InteractionRecord record;       // kDecision / kPortion.
+  ReservationRecord reservation;  // kReserve.
+};
+
+std::string EncodeDecisionFrame(std::uint64_t txn,
+                                const InteractionRecord& record);
+std::string EncodeReserveFrame(const ReservationRecord& reservation);
+std::string EncodePortionFrame(std::uint64_t txn,
+                               const InteractionRecord& record);
+
+/// Decodes any shard frame; kDataLoss on unknown kinds or malformed
+/// bodies (the frame passed its checksum, so damage means a format bug
+/// rather than bit rot).
+StatusOr<ShardFrame> DecodeShardFrame(std::string_view payload);
+
+}  // namespace fasea
+
+#endif  // FASEA_EBSN_SHARD_WAL_H_

@@ -1,0 +1,1061 @@
+#include "ebsn/sharded_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "rng/seed.h"
+
+namespace fasea {
+
+namespace {
+
+/// Serve failures a spillover stage may swallow (the stage is skipped,
+/// the round goes on with fewer events): a busy participant pipeline, a
+/// shed request, a draining shard.
+bool IsRetryableServe(StatusCode code) {
+  return code == StatusCode::kFailedPrecondition ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kUnavailable;
+}
+
+}  // namespace
+
+std::string ShardRecoveryReport::ToString() const {
+  return StrFormat(
+      "shard %d: %lld segment(s), %lld frame(s), %lld byte(s) truncated, "
+      "%lld duplicate(s) skipped; %lld decision(s) indexed, %lld "
+      "portion(s) replayed, %lld round(s) restored; in-doubt %lld -> "
+      "%lld committed / %lld aborted; interrupted %lld completed / %lld "
+      "aborted",
+      shard, static_cast<long long>(segments_scanned),
+      static_cast<long long>(frames_scanned),
+      static_cast<long long>(bytes_truncated),
+      static_cast<long long>(duplicate_frames_skipped),
+      static_cast<long long>(decisions_indexed),
+      static_cast<long long>(portions_applied),
+      static_cast<long long>(rounds_served),
+      static_cast<long long>(reservations_in_doubt),
+      static_cast<long long>(resolved_committed),
+      static_cast<long long>(resolved_aborted),
+      static_cast<long long>(interrupted_completed),
+      static_cast<long long>(interrupted_aborted));
+}
+
+ShardedArrangementService::ShardedArrangementService(
+    const ProblemInstance* instance, ShardedOptions options)
+    : instance_(instance),
+      options_(std::move(options)),
+      router_(instance, options_.num_shards) {
+  FASEA_CHECK(instance != nullptr);
+  FASEA_CHECK(options_.num_shards >= 1);
+  shards_.reserve(static_cast<std::size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    shard->service = std::make_unique<ArrangementService>(
+        &router_.SubInstance(s), options_.kind, options_.params,
+        DeriveSeed(options_.seed, "shard-policy",
+                   static_cast<std::uint64_t>(s)));
+    shards_.push_back(std::move(shard));
+  }
+  cursors_.assign(
+      static_cast<std::size_t>(options_.num_shards),
+      std::vector<std::size_t>(static_cast<std::size_t>(options_.num_shards),
+                               0));
+}
+
+ShardedArrangementService::~ShardedArrangementService() = default;
+
+// --- Durability ----------------------------------------------------------
+
+Status ShardedArrangementService::AttachWals(
+    Env* env, const std::string& base_dir, const WalOptions& wal_options,
+    const DurabilityPolicy& durability) {
+  FASEA_CHECK(env != nullptr);
+  env_ = env;
+  wal_base_dir_ = base_dir;
+  wal_options_ = wal_options;
+  durability_ = durability;
+  for (int s = 0; s < options_.num_shards; ++s) {
+    if (shards_[static_cast<std::size_t>(s)]->service == nullptr) continue;
+    if (Status st = AttachShardWal(s); !st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+Status ShardedArrangementService::AttachShardWal(int shard) {
+  if (shard < 0 || shard >= options_.num_shards) {
+    return InvalidArgumentError(StrFormat("no shard %d", shard));
+  }
+  if (env_ == nullptr) {
+    return FailedPreconditionError(
+        "AttachWals has not configured a WAL base directory");
+  }
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  if (s.service == nullptr) {
+    return FailedPreconditionError(
+        StrFormat("shard %d is down; recover it first", shard));
+  }
+  auto wal =
+      WalWriter::Open(env_, ShardWalDirName(wal_base_dir_, shard),
+                      wal_options_);
+  if (!wal.ok()) return wal.status();
+  std::lock_guard<std::mutex> lock(s.wal_mu);
+  s.wal = std::move(wal).value();
+  s.degraded = false;
+  s.breaker = durability_.breaker_enabled
+                  ? std::make_unique<CircuitBreaker>(durability_.breaker)
+                  : nullptr;
+  return Status::Ok();
+}
+
+Status ShardedArrangementService::AppendLocked(Shard& shard,
+                                               std::string_view frame) {
+  if (shard.wal->broken()) {
+    // Sealed or torn bytes are never rewritten; a fresh segment is the
+    // only way to accept frames again.
+    auto reopened = WalWriter::Open(
+        env_, ShardWalDirName(wal_base_dir_, shard.index), wal_options_);
+    if (!reopened.ok()) return reopened.status();
+    shard.wal = std::move(reopened).value();
+    ++shard.wal_reopens;
+  }
+  return shard.wal->Append(frame);
+}
+
+StatusOr<ShardedArrangementService::AppendOutcome>
+ShardedArrangementService::AppendFrame(Shard& shard,
+                                       std::string_view frame) {
+  std::lock_guard<std::mutex> lock(shard.wal_mu);
+  if (shard.wal == nullptr || shard.degraded) {
+    return AppendOutcome::kNonDurable;
+  }
+  if (shard.breaker == nullptr) {
+    Status st = AppendLocked(shard, frame);
+    if (st.ok()) return AppendOutcome::kDurable;
+    ++shard.append_failures;
+    if (durability_.on_wal_error ==
+        DurabilityPolicy::OnWalError::kFailRound) {
+      return UnavailableError(
+          "durability failure, round not applied (retry after the log is "
+          "restored): " +
+          st.message());
+    }
+    shard.degraded = true;
+    ++shard.nondurable_rounds;
+    nondurable_metric_->Increment();
+    return AppendOutcome::kNonDurable;
+  }
+  if (!shard.breaker->Allow()) {
+    ++shard.nondurable_rounds;
+    nondurable_metric_->Increment();
+    return AppendOutcome::kNonDurable;
+  }
+  Status st = AppendLocked(shard, frame);
+  if (st.ok()) {
+    shard.breaker->RecordSuccess();
+    return AppendOutcome::kDurable;
+  }
+  shard.breaker->RecordFailure();
+  ++shard.append_failures;
+  if (durability_.on_wal_error == DurabilityPolicy::OnWalError::kFailRound) {
+    return UnavailableError(
+        "durability failure, round not applied (retry; the breaker "
+        "arbitrates recovery): " +
+        st.message());
+  }
+  ++shard.nondurable_rounds;
+  nondurable_metric_->Increment();
+  return AppendOutcome::kNonDurable;
+}
+
+Status ShardedArrangementService::AppendFrameStrict(Shard& shard,
+                                                    std::string_view frame) {
+  std::lock_guard<std::mutex> lock(shard.wal_mu);
+  // With no WAL anywhere, a crash loses everything regardless — the
+  // reservation requirement is vacuous.
+  if (shard.wal == nullptr) return Status::Ok();
+  if (shard.degraded) {
+    return UnavailableError("shard is WAL-degraded; reservation refused");
+  }
+  if (shard.breaker != nullptr && !shard.breaker->Allow()) {
+    return UnavailableError("shard breaker is open; reservation refused");
+  }
+  Status st = AppendLocked(shard, frame);
+  if (shard.breaker != nullptr) {
+    if (st.ok()) {
+      shard.breaker->RecordSuccess();
+    } else {
+      shard.breaker->RecordFailure();
+    }
+  }
+  if (!st.ok()) {
+    ++shard.append_failures;
+    return UnavailableError("reservation could not be hardened: " +
+                            st.message());
+  }
+  return Status::Ok();
+}
+
+// --- Serving -------------------------------------------------------------
+
+Matrix ShardedArrangementService::GatherContexts(
+    int shard, const ContextMatrix& contexts) const {
+  const std::vector<EventId>& events = router_.ShardEvents(shard);
+  Matrix out(events.size(), contexts.cols());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto src = contexts.Row(events[i]);
+    std::copy(src.begin(), src.end(), out.Row(i).begin());
+  }
+  return out;
+}
+
+Arrangement ShardedArrangementService::MapToGlobal(
+    int shard, const Arrangement& local) const {
+  const std::vector<EventId>& events = router_.ShardEvents(shard);
+  Arrangement out;
+  out.reserve(local.size());
+  for (EventId v : local) {
+    FASEA_DCHECK(v < events.size());
+    out.push_back(events[v]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ShardedArrangementService::SpilloverMask(
+    int shard, const Arrangement& chosen) const {
+  const std::vector<EventId>& events = router_.ShardEvents(shard);
+  const ConflictGraph& conflicts = instance_->conflicts();
+  std::vector<std::uint8_t> mask(events.size(), 1);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    for (EventId c : chosen) {
+      if (conflicts.Conflicts(events[i], c)) {
+        mask[i] = 0;
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+void ShardedArrangementService::AbortOpenPortions(const PendingTxn& pending,
+                                                  std::uint64_t txn) {
+  for (const Portion& portion : pending.portions) {
+    Shard& s = *shards_[static_cast<std::size_t>(portion.shard)];
+    if (s.service != nullptr) (void)s.service->AbortPendingRound();
+    if (portion.shard != pending.home) {
+      std::lock_guard<std::mutex> lock(s.ledger_mu);
+      s.open_reservations.erase(txn);
+    }
+  }
+}
+
+StatusOr<ShardedServeResult> ShardedArrangementService::ServeUser(
+    std::int64_t user_id, std::int64_t user_capacity,
+    const ContextMatrix& contexts) {
+  if (contexts.rows() != instance_->num_events() ||
+      contexts.cols() != instance_->dim()) {
+    return InvalidArgumentError(StrFormat(
+        "context matrix is %zux%zu, the instance needs %zux%zu",
+        contexts.rows(), contexts.cols(), instance_->num_events(),
+        instance_->dim()));
+  }
+  const std::uint64_t txn =
+      next_txn_.fetch_add(1, std::memory_order_relaxed);
+  const int home =
+      router_.HomeShard(user_id, static_cast<std::int64_t>(txn - 1),
+                        options_.routing);
+  Shard& h = *shards_[static_cast<std::size_t>(home)];
+  if (h.service == nullptr) {
+    return UnavailableError(
+        StrFormat("home shard %d is down; retry (the next arrival routes "
+                  "elsewhere)",
+                  home));
+  }
+
+  PendingTxn pending;
+  pending.home = home;
+  pending.user_id = user_id;
+  pending.user_capacity = user_capacity;
+
+  // Stage 0: the coordinator proposes from its own partition.
+  Arrangement chosen;  // Global ids.
+  {
+    auto local =
+        h.service->ServeUser(user_id, user_capacity,
+                             GatherContexts(home, contexts));
+    if (!local.ok()) return local.status();
+    pending.coordinator_round = h.service->rounds_served();
+    Portion portion;
+    portion.shard = home;
+    portion.local_events = std::move(local).value();
+    portion.start = 0;
+    portion.local_round = pending.coordinator_round;
+    portion.local_capacity = user_capacity;
+    chosen = MapToGlobal(home, portion.local_events);
+    pending.portions.push_back(std::move(portion));
+  }
+
+  // Spillover: ring order after the home, while capacity remains.
+  std::int64_t remaining =
+      user_capacity - static_cast<std::int64_t>(chosen.size());
+  int budget = options_.max_participant_shards < 0
+                   ? options_.num_shards - 1
+                   : std::min(options_.max_participant_shards,
+                              options_.num_shards - 1);
+  bool crossed = false;
+  for (int k = 1;
+       k < options_.num_shards && budget > 0 && remaining > 0; ++k) {
+    const int sid = (home + k) % options_.num_shards;
+    Shard& s = *shards_[static_cast<std::size_t>(sid)];
+    if (s.service == nullptr || router_.ShardEvents(sid).empty()) {
+      continue;
+    }
+    std::vector<std::uint8_t> mask = SpilloverMask(sid, chosen);
+    if (std::all_of(mask.begin(), mask.end(),
+                    [](std::uint8_t m) { return m == 0; })) {
+      continue;  // Everything here conflicts with the chosen set.
+    }
+    auto local = s.service->ServeUser(user_id, remaining,
+                                      GatherContexts(sid, contexts),
+                                      std::move(mask));
+    if (!local.ok()) {
+      if (IsRetryableServe(local.status().code())) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.spillover_stages_skipped;
+        continue;  // A busy/draining participant just sits this one out.
+      }
+      AbortOpenPortions(pending, txn);
+      return local.status();
+    }
+    if (local->empty()) {
+      (void)s.service->AbortPendingRound();
+      continue;
+    }
+
+    // Phase 1: the contribution only counts once the reservation is
+    // durable on the participant.
+    ReservationRecord reservation;
+    reservation.txn = txn;
+    reservation.coordinator_shard = home;
+    reservation.coordinator_round = pending.coordinator_round;
+    reservation.user_id = user_id;
+    reservation.events = MapToGlobal(sid, *local);
+    if (Status st = AppendFrameStrict(s, EncodeReserveFrame(reservation));
+        !st.ok()) {
+      (void)s.service->AbortPendingRound();
+      reservation_refusals_metric_->Increment();
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.reservation_refusals;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(s.ledger_mu);
+      s.open_reservations[txn] = reservation;
+    }
+    Portion portion;
+    portion.shard = sid;
+    portion.start = chosen.size();
+    portion.local_round = s.service->rounds_served();
+    portion.local_capacity = remaining;  // What this stage was asked for.
+    portion.local_events = std::move(local).value();
+    remaining -= static_cast<std::int64_t>(reservation.events.size());
+    reservations_metric_->Add(
+        static_cast<std::int64_t>(reservation.events.size()));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.reservations_made +=
+          static_cast<std::int64_t>(reservation.events.size());
+    }
+    for (EventId g : reservation.events) chosen.push_back(g);
+    pending.portions.push_back(std::move(portion));
+    --budget;
+    crossed = true;
+  }
+  if (crossed) {
+    cross_shard_rounds_metric_->Increment();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cross_shard_rounds;
+  }
+
+  pending.arrangement = chosen;
+  pending.context_rows.reserve(chosen.size());
+  for (EventId v : chosen) {
+    const auto row = contexts.Row(v);
+    pending.context_rows.emplace_back(row.begin(), row.end());
+  }
+
+  ShardedServeResult result;
+  result.txn = txn;
+  result.home_shard = home;
+  result.arrangement = chosen;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_[txn] = std::move(pending);
+  }
+  open_reservations_gauge_->Set(static_cast<double>(OpenReservations()));
+  return result;
+}
+
+Status ShardedArrangementService::SubmitFeedback(
+    std::uint64_t txn, const Feedback& feedback,
+    ShardedFeedbackResult* result) {
+  PendingTxn* pending = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(txn);
+    if (it == pending_.end()) {
+      return FailedPreconditionError(StrFormat(
+          "transaction %llu is not pending (never served, already "
+          "committed, or lost with a crashed coordinator)",
+          static_cast<unsigned long long>(txn)));
+    }
+    if (it->second.busy) {
+      return FailedPreconditionError("transaction is already mid-commit");
+    }
+    it->second.busy = true;
+    pending = &it->second;  // Map nodes are stable.
+  }
+  const auto fail_retryable = [&](Status st) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending->busy = false;
+    return st;
+  };
+
+  if (feedback.size() != pending->arrangement.size()) {
+    return fail_retryable(InvalidArgumentError(
+        "feedback must align with the served arrangement"));
+  }
+  for (std::uint8_t f : feedback) {
+    if (f > 1) {
+      return fail_retryable(
+          InvalidArgumentError("feedback entries must be 0/1"));
+    }
+  }
+  Shard& h = *shards_[static_cast<std::size_t>(pending->home)];
+  if (h.service == nullptr) {
+    return fail_retryable(UnavailableError("home shard is down"));
+  }
+
+  InteractionRecord record;
+  record.t = pending->coordinator_round;
+  record.user_id = pending->user_id;
+  record.user_capacity = pending->user_capacity;
+  record.arrangement = pending->arrangement;
+  record.feedback = feedback;
+  record.contexts = pending->context_rows;
+
+  // Commit point: the decision frame on the coordinator's WAL. A
+  // retryable failure leaves nothing applied anywhere — reservations
+  // stay durably open and the same feedback may be resubmitted.
+  bool durable = false;
+  {
+    auto outcome = AppendFrame(h, EncodeDecisionFrame(txn, record));
+    if (!outcome.ok()) return fail_retryable(outcome.status());
+    durable = (*outcome == AppendOutcome::kDurable);
+  }
+  // From here the transaction is committed: index the decision so
+  // resolvers (live peers or recovering shards) can find it even if we
+  // die before any portion applies.
+  {
+    std::lock_guard<std::mutex> lock(h.ledger_mu);
+    h.decisions[txn] = record;
+  }
+  if (crash_after_decision_ && crash_after_decision_(txn)) {
+    // Simulated coordinator crash between the phases. The transaction
+    // stays pending; KillShard parks it and RecoverShard resolves it.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending->busy = false;
+    return UnavailableError(
+        "injected coordinator crash after the decision was committed");
+  }
+
+  // Phase 2: apply every portion. Per shard, WAL frames precede the
+  // inner application (write-ahead), so each shard's frames carry
+  // strictly increasing round ids.
+  int participants = 0;
+  const int home_shard = pending->home;
+  const std::int64_t home_round = pending->coordinator_round;
+  for (const Portion& portion : pending->portions) {
+    Shard& s = *shards_[static_cast<std::size_t>(portion.shard)];
+    if (s.service == nullptr) {
+      // The participant died after the commit point. Its durable
+      // reservation meets the durable decision at its recovery, which
+      // applies the portion then — the transaction still commits.
+      if (portion.shard != home_shard) ++participants;
+      continue;
+    }
+    Feedback fb(feedback.begin() + static_cast<std::ptrdiff_t>(portion.start),
+                feedback.begin() + static_cast<std::ptrdiff_t>(
+                                       portion.start +
+                                       portion.local_events.size()));
+    if (portion.shard != home_shard) {
+      ++participants;
+      if (durable) {
+        // Close the reservation durably. Best-effort: a lost portion
+        // frame re-resolves (to the same commit) at recovery. Never
+        // written without a durable decision — a portion record must
+        // not outlive its decision.
+        InteractionRecord local;
+        local.t = portion.local_round;
+        local.user_id = pending->user_id;
+        local.user_capacity = portion.local_capacity;
+        local.arrangement = portion.local_events;
+        local.feedback = fb;
+        local.contexts.assign(
+            pending->context_rows.begin() +
+                static_cast<std::ptrdiff_t>(portion.start),
+            pending->context_rows.begin() +
+                static_cast<std::ptrdiff_t>(portion.start +
+                                            portion.local_events.size()));
+        (void)AppendFrame(s, EncodePortionFrame(txn, local));
+      }
+    }
+    FeedbackResult inner;
+    if (Status st = s.service->SubmitFeedback(fb, &inner); !st.ok()) {
+      // Inner services run WAL-less, so feedback can only fail on a
+      // protocol bug (wrong pending round) — never retryably.
+      return fail_retryable(InternalError(StrFormat(
+          "shard %d portion of txn %llu failed: %s", portion.shard,
+          static_cast<unsigned long long>(txn), st.message().c_str())));
+    }
+    if (portion.shard != home_shard) {
+      std::lock_guard<std::mutex> lock(s.ledger_mu);
+      s.open_reservations.erase(txn);
+    }
+    {
+      std::lock_guard<std::mutex> lock(s.obs_mu);
+      for (std::size_t i = 0; i < portion.local_events.size(); ++i) {
+        Observation obs;
+        obs.context = pending->context_rows[portion.start + i];
+        obs.reward = static_cast<double>(fb[i]);
+        s.obs.push_back(std::move(obs));
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.erase(txn);  // `pending` dangles past this point.
+  }
+  rounds_completed_.fetch_add(1, std::memory_order_relaxed);
+  open_reservations_gauge_->Set(static_cast<double>(OpenReservations()));
+  if (result != nullptr) {
+    result->txn = txn;
+    result->home_shard = home_shard;
+    result->home_round = home_round;
+    result->durable = durable;
+    result->participant_shards = participants;
+  }
+  MaybeAutoMerge();
+  return Status::Ok();
+}
+
+// --- Crash and recovery --------------------------------------------------
+
+Status ShardedArrangementService::KillShard(int shard) {
+  if (shard < 0 || shard >= options_.num_shards) {
+    return InvalidArgumentError(StrFormat("no shard %d", shard));
+  }
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  if (s.service == nullptr) {
+    return FailedPreconditionError(
+        StrFormat("shard %d is already down", shard));
+  }
+  // Transactions this shard coordinated are parked for RecoverShard's
+  // resolver; transactions it merely participated in are aborted on the
+  // survivors (their durable reservations resolve to presumed abort).
+  std::vector<std::pair<std::uint64_t, PendingTxn>> participated;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      bool involved = false;
+      for (const Portion& portion : it->second.portions) {
+        if (portion.shard == shard) {
+          involved = true;
+          break;
+        }
+      }
+      if (it->second.home == shard) {
+        interrupted_[it->first] = std::move(it->second);
+        it = pending_.erase(it);
+      } else if (involved) {
+        participated.emplace_back(it->first, std::move(it->second));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& [txn, pending] : participated) {
+    for (const Portion& portion : pending.portions) {
+      if (portion.shard == shard) continue;
+      Shard& p = *shards_[static_cast<std::size_t>(portion.shard)];
+      if (p.service != nullptr) (void)p.service->AbortPendingRound();
+      if (portion.shard != pending.home) {
+        std::lock_guard<std::mutex> lock(p.ledger_mu);
+        p.open_reservations.erase(txn);
+      }
+    }
+  }
+  // The crash: every in-memory structure is gone; the WAL survives.
+  s.service.reset();
+  {
+    std::lock_guard<std::mutex> lock(s.wal_mu);
+    s.wal.reset();
+    s.breaker.reset();
+    s.degraded = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.ledger_mu);
+    s.decisions.clear();
+    s.open_reservations.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.obs_mu);
+    s.obs.clear();
+  }
+  return Status::Ok();
+}
+
+InteractionRecord ShardedArrangementService::SliceForShard(
+    int shard, const InteractionRecord& record, std::int64_t t) const {
+  InteractionRecord out;
+  out.t = t;
+  out.user_id = record.user_id;
+  out.user_capacity = record.user_capacity;
+  for (std::size_t i = 0; i < record.arrangement.size(); ++i) {
+    const EventId g = record.arrangement[i];
+    if (router_.OwnerShard(g) != shard) continue;
+    out.arrangement.push_back(router_.LocalId(g));
+    out.feedback.push_back(record.feedback[i]);
+    out.contexts.push_back(record.contexts[i]);
+  }
+  return out;
+}
+
+StatusOr<bool> ShardedArrangementService::LookupDecision(
+    int coordinator, std::uint64_t txn, InteractionRecord* out) const {
+  if (coordinator < 0 || coordinator >= options_.num_shards) {
+    return InvalidArgumentError(
+        StrFormat("reservation names unknown coordinator shard %d",
+                  coordinator));
+  }
+  const Shard& c = *shards_[static_cast<std::size_t>(coordinator)];
+  if (c.service != nullptr) {
+    std::lock_guard<std::mutex> lock(c.ledger_mu);
+    auto it = c.decisions.find(txn);
+    if (it == c.decisions.end()) return false;
+    *out = it->second;
+    return true;
+  }
+  // The coordinator is down: presumed abort, unless its durable decision
+  // record says otherwise. Its WAL is readable without disturbing it.
+  if (env_ == nullptr) return false;
+  auto scan = ScanWal(env_, ShardWalDirName(wal_base_dir_, coordinator),
+                      CorruptFramePolicy::kFail);
+  if (!scan.ok()) return scan.status();
+  bool found = false;
+  for (const std::string& payload : scan->payloads) {
+    auto frame = DecodeShardFrame(payload);
+    if (!frame.ok()) return frame.status();
+    if (frame->kind == ShardFrameKind::kDecision && frame->txn == txn) {
+      *out = frame->record;
+      found = true;  // Later duplicates (retries) carry the same bytes.
+    }
+  }
+  return found;
+}
+
+void ShardedArrangementService::AppendObservations(
+    Shard& shard, const InteractionRecord& record) {
+  std::lock_guard<std::mutex> lock(shard.obs_mu);
+  for (std::size_t i = 0; i < record.arrangement.size(); ++i) {
+    Observation obs;
+    obs.context = record.contexts[i];
+    obs.reward = static_cast<double>(record.feedback[i]);
+    shard.obs.push_back(std::move(obs));
+  }
+}
+
+StatusOr<ShardRecoveryReport> ShardedArrangementService::RecoverShard(
+    int shard) {
+  if (shard < 0 || shard >= options_.num_shards) {
+    return InvalidArgumentError(StrFormat("no shard %d", shard));
+  }
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  if (s.service != nullptr) {
+    return FailedPreconditionError(
+        StrFormat("shard %d is alive; kill it before recovering", shard));
+  }
+  if (env_ == nullptr) {
+    return FailedPreconditionError(
+        "no WAL base directory configured (AttachWals was never called)");
+  }
+  ShardRecoveryReport report;
+  report.shard = shard;
+
+  auto scan = ScanWal(env_, ShardWalDirName(wal_base_dir_, shard),
+                      CorruptFramePolicy::kFail);
+  if (!scan.ok()) return scan.status();
+  report.segments_scanned = scan->segments_scanned;
+  report.bytes_truncated = scan->bytes_truncated;
+
+  auto service = std::make_unique<ArrangementService>(
+      &router_.SubInstance(shard), options_.kind, options_.params,
+      DeriveSeed(options_.seed, "shard-policy",
+                 static_cast<std::uint64_t>(shard)));
+  std::map<std::uint64_t, InteractionRecord> decisions;
+  std::map<std::uint64_t, ReservationRecord> in_doubt;
+  for (const std::string& payload : scan->payloads) {
+    ++report.frames_scanned;
+    auto frame = DecodeShardFrame(payload);
+    if (!frame.ok()) return frame.status();
+    switch (frame->kind) {
+      case ShardFrameKind::kDecision: {
+        decisions[frame->txn] = frame->record;
+        InteractionRecord slice =
+            SliceForShard(shard, frame->record, frame->record.t);
+        if (slice.t <= service->rounds_served()) {
+          ++report.duplicate_frames_skipped;
+          break;
+        }
+        if (Status st = service->RestoreInteraction(slice, /*learn=*/true);
+            !st.ok()) {
+          return st;
+        }
+        break;
+      }
+      case ShardFrameKind::kReserve:
+        // Idempotent: a retried reservation re-frames the same bytes.
+        in_doubt[frame->txn] = frame->reservation;
+        break;
+      case ShardFrameKind::kPortion: {
+        in_doubt.erase(frame->txn);
+        if (frame->record.t <= service->rounds_served()) {
+          ++report.duplicate_frames_skipped;
+          break;
+        }
+        if (Status st =
+                service->RestoreInteraction(frame->record, /*learn=*/true);
+            !st.ok()) {
+          return st;
+        }
+        ++report.portions_applied;
+        break;
+      }
+    }
+  }
+  report.decisions_indexed =
+      static_cast<std::int64_t>(decisions.size());
+  report.reservations_in_doubt =
+      static_cast<std::int64_t>(in_doubt.size());
+
+  // Presumed-abort resolution: every in-doubt reservation gets a verdict
+  // now — none survives recovery. Deterministic: reservations resolve in
+  // txn order against durable decision records (or a live coordinator's
+  // index, which mirrors them).
+  for (const auto& [txn, reservation] : in_doubt) {
+    InteractionRecord decision;
+    auto found =
+        LookupDecision(reservation.coordinator_shard, txn, &decision);
+    if (!found.ok()) return found.status();
+    InteractionRecord slice;
+    if (*found) {
+      slice = SliceForShard(shard, decision, service->rounds_served() + 1);
+    }
+    if (*found && !slice.arrangement.empty()) {
+      // Commit. The recovered state cannot already hold this portion:
+      // state is rebuilt from the WAL alone, and an applied portion
+      // that made it to the WAL would have closed the reservation.
+      if (Status st = service->RestoreInteraction(slice, /*learn=*/true);
+          !st.ok()) {
+        return st;
+      }
+      ++report.resolved_committed;
+      resolved_committed_metric_->Increment();
+    } else {
+      ++report.resolved_aborted;
+      resolved_aborted_metric_->Increment();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.resolved_committed += report.resolved_committed;
+    stats_.resolved_aborted += report.resolved_aborted;
+  }
+  report.rounds_served = service->rounds_served();
+
+  // Install the rebuilt shard. The observation buffer is re-derived from
+  // the recovered log; peer cursors clamp to its (possibly shorter)
+  // length — merged learner state is soft, the next merge re-syncs.
+  {
+    std::lock_guard<std::mutex> lock(s.ledger_mu);
+    s.decisions = std::move(decisions);
+    s.open_reservations.clear();
+  }
+  std::size_t obs_size = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.obs_mu);
+    s.obs.clear();
+    const InteractionLog& log = service->log();
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      const InteractionRecord& rec = log.record(i);
+      for (std::size_t j = 0; j < rec.arrangement.size(); ++j) {
+        Observation obs;
+        obs.context = rec.contexts[j];
+        obs.reward = static_cast<double>(rec.feedback[j]);
+        s.obs.push_back(std::move(obs));
+      }
+    }
+    obs_size = s.obs.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    for (int j = 0; j < options_.num_shards; ++j) {
+      cursors_[static_cast<std::size_t>(shard)][static_cast<std::size_t>(
+          j)] = 0;  // The fresh learner has absorbed no peer state.
+      cursors_[static_cast<std::size_t>(j)][static_cast<std::size_t>(
+          shard)] =
+          std::min(cursors_[static_cast<std::size_t>(j)]
+                           [static_cast<std::size_t>(shard)],
+                   obs_size);
+    }
+  }
+  s.service = std::move(service);
+  recoveries_metric_->Increment();
+
+  if (Status st = ResolveInterrupted(shard, &report); !st.ok()) return st;
+  open_reservations_gauge_->Set(static_cast<double>(OpenReservations()));
+  return report;
+}
+
+Status ShardedArrangementService::ResolveInterrupted(
+    int shard, ShardRecoveryReport* report) {
+  std::vector<std::pair<std::uint64_t, PendingTxn>> mine;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (auto it = interrupted_.begin(); it != interrupted_.end();) {
+      if (it->second.home == shard) {
+        mine.emplace_back(it->first, std::move(it->second));
+        it = interrupted_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  Shard& h = *shards_[static_cast<std::size_t>(shard)];
+  for (const auto& [txn, pending] : mine) {
+    InteractionRecord decision;
+    bool committed = false;
+    {
+      std::lock_guard<std::mutex> lock(h.ledger_mu);
+      auto it = h.decisions.find(txn);
+      if (it != h.decisions.end()) {
+        committed = true;
+        decision = it->second;
+      }
+    }
+    for (const Portion& portion : pending.portions) {
+      if (portion.shard == shard) continue;  // Our slice replayed above.
+      Shard& p = *shards_[static_cast<std::size_t>(portion.shard)];
+      // A participant that died (or died and moved on) resolves from its
+      // own WAL; only its still-pending inner round for THIS txn is ours
+      // to finish.
+      if (p.service == nullptr ||
+          p.service->rounds_served() != portion.local_round ||
+          !p.service->AwaitingFeedback()) {
+        continue;
+      }
+      if (committed) {
+        Feedback fb(decision.feedback.begin() +
+                        static_cast<std::ptrdiff_t>(portion.start),
+                    decision.feedback.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            portion.start + portion.local_events.size()));
+        InteractionRecord local;
+        local.t = portion.local_round;
+        local.user_id = pending.user_id;
+        local.user_capacity = portion.local_capacity;
+        local.arrangement = portion.local_events;
+        local.feedback = fb;
+        local.contexts.assign(
+            decision.contexts.begin() +
+                static_cast<std::ptrdiff_t>(portion.start),
+            decision.contexts.begin() +
+                static_cast<std::ptrdiff_t>(portion.start +
+                                            portion.local_events.size()));
+        // The decision is durable (it came from the recovered index), so
+        // the portion frame may close the reservation.
+        (void)AppendFrame(p, EncodePortionFrame(txn, local));
+        if (Status st = p.service->SubmitFeedback(fb); !st.ok()) {
+          return InternalError(StrFormat(
+              "completing interrupted txn %llu on shard %d failed: %s",
+              static_cast<unsigned long long>(txn), portion.shard,
+              st.message().c_str()));
+        }
+        AppendObservations(p, local);
+        ++report->interrupted_completed;
+      } else {
+        (void)p.service->AbortPendingRound();
+        ++report->interrupted_aborted;
+      }
+      {
+        std::lock_guard<std::mutex> lock(p.ledger_mu);
+        p.open_reservations.erase(txn);
+      }
+    }
+    if (committed) {
+      // The coordinator's own obs were rebuilt from its log; the round
+      // now counts as completed (its original caller saw kUnavailable).
+      rounds_completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Status::Ok();
+}
+
+// --- Delta-merge ---------------------------------------------------------
+
+Status ShardedArrangementService::MergeLearners() {
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  Status result = Status::Ok();
+  for (int i = 0; i < options_.num_shards; ++i) {
+    Shard& dst = *shards_[static_cast<std::size_t>(i)];
+    if (dst.service == nullptr) continue;
+    std::vector<PeerObservation> delta;
+    std::vector<std::pair<int, std::size_t>> advanced;
+    for (int j = 0; j < options_.num_shards; ++j) {
+      if (j == i) continue;
+      Shard& src = *shards_[static_cast<std::size_t>(j)];
+      if (src.service == nullptr) continue;
+      std::lock_guard<std::mutex> obs_lock(src.obs_mu);
+      const std::size_t cursor =
+          cursors_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      for (std::size_t k = cursor; k < src.obs.size(); ++k) {
+        PeerObservation obs;
+        obs.context = src.obs[k].context;
+        obs.reward = src.obs[k].reward;
+        delta.push_back(std::move(obs));
+      }
+      advanced.emplace_back(j, src.obs.size());
+    }
+    if (delta.empty()) continue;
+    Status st = dst.service->AbsorbPeerObservations(delta);
+    // Advance the cursors even on failure: the observations are already
+    // folded into Y, and re-folding them would double-count.
+    for (const auto& [j, end] : advanced) {
+      cursors_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          end;
+    }
+    if (!st.ok()) {
+      result = st;
+      continue;
+    }
+    merges_metric_->Increment();
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.merges;
+  }
+  return result;
+}
+
+void ShardedArrangementService::MaybeAutoMerge() {
+  if (options_.merge_every <= 0) return;
+  if (rounds_completed_.load(std::memory_order_relaxed) %
+          options_.merge_every ==
+      0) {
+    (void)MergeLearners();
+  }
+}
+
+// --- Introspection -------------------------------------------------------
+
+const ArrangementService* ShardedArrangementService::shard_service(
+    int shard) const {
+  if (shard < 0 || shard >= options_.num_shards) return nullptr;
+  return shards_[static_cast<std::size_t>(shard)]->service.get();
+}
+
+const CircuitBreaker* ShardedArrangementService::shard_breaker(
+    int shard) const {
+  if (shard < 0 || shard >= options_.num_shards) return nullptr;
+  const Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  std::lock_guard<std::mutex> lock(s.wal_mu);
+  return s.breaker.get();
+}
+
+bool ShardedArrangementService::shard_alive(int shard) const {
+  if (shard < 0 || shard >= options_.num_shards) return false;
+  return shards_[static_cast<std::size_t>(shard)]->service != nullptr;
+}
+
+std::map<std::uint64_t, InteractionRecord>
+ShardedArrangementService::Decisions(int shard) const {
+  if (shard < 0 || shard >= options_.num_shards) return {};
+  const Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  std::lock_guard<std::mutex> lock(s.ledger_mu);
+  return s.decisions;
+}
+
+std::int64_t ShardedArrangementService::OpenReservations() const {
+  std::int64_t open = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->ledger_mu);
+    open += static_cast<std::int64_t>(shard->open_reservations.size());
+  }
+  return open;
+}
+
+ShardedStats ShardedArrangementService::Stats() const {
+  ShardedStats stats;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats = stats_;
+  }
+  stats.rounds_completed =
+      rounds_completed_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->wal_mu);
+    stats.nondurable_rounds += shard->nondurable_rounds;
+  }
+  return stats;
+}
+
+HealthSnapshot ShardedArrangementService::ShardHealth(int shard) const {
+  HealthSnapshot snapshot;
+  if (shard < 0 || shard >= options_.num_shards) {
+    snapshot.state = HealthState::kLameDuck;
+    return snapshot;
+  }
+  const Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  if (s.service == nullptr) {
+    snapshot.state = HealthState::kLameDuck;  // Down until recovered.
+    return snapshot;
+  }
+  snapshot = s.service->Health();
+  std::lock_guard<std::mutex> lock(s.wal_mu);
+  snapshot.wal_attached = s.wal != nullptr;
+  snapshot.wal_degraded = s.degraded;
+  snapshot.breaker_enabled = s.breaker != nullptr;
+  if (s.breaker != nullptr) snapshot.breaker = s.breaker->state();
+  snapshot.nondurable_rounds = s.nondurable_rounds;
+  snapshot.wal_reopens = s.wal_reopens;
+  if (snapshot.state == HealthState::kHealthy &&
+      (s.degraded ||
+       (s.breaker != nullptr &&
+        s.breaker->state() != CircuitBreaker::State::kClosed))) {
+    snapshot.state = HealthState::kDegraded;
+  }
+  return snapshot;
+}
+
+HealthState ShardedArrangementService::AggregateHealth() const {
+  HealthState worst = HealthState::kHealthy;
+  for (int s = 0; s < options_.num_shards; ++s) {
+    const HealthState state = ShardHealth(s).state;
+    if (static_cast<int>(state) > static_cast<int>(worst)) worst = state;
+  }
+  return worst;
+}
+
+}  // namespace fasea

@@ -1,0 +1,364 @@
+// ShardedArrangementService: crash-safe sharded serving with a two-phase
+// cross-shard arrangement protocol.
+//
+// Events are partitioned across N shards (ShardRouter, consistent
+// hashing); each shard runs a WAL-less inner ArrangementService over its
+// *sub-instance* — its own policy, capacities, and interaction log over
+// the owned partition — so proposal scoring costs O(|V|/N · d²) per
+// round instead of O(|V| · d²). Every durability decision lives in this
+// layer: each shard has its own WAL segment directory
+// (`<base>/shard-000/…`), its own circuit breaker, and an independent
+// recovery path.
+//
+// Round protocol. An arriving user is routed to a home (coordinator)
+// shard, which proposes from its own partition. If the home partition
+// cannot fill the user's capacity, the coordinator *spills over* to
+// the other shards in ring order; each contributing participant
+// proposes from its partition under an availability mask that excludes
+// events conflicting (via the global conflict graph — this is where
+// cross-shard conflict edges are enforced) with everything already
+// chosen. A participant's contribution is only accepted after a
+// phase-1 RESERVE frame is durably in the participant's WAL — a
+// participant that cannot harden the reservation refuses the stage and
+// its tentative proposal is rolled back (AbortPendingRound).
+//
+// Feedback commits the round: the coordinator appends a DECISION frame
+// (the full round, global event ids) to its own WAL — the transaction's
+// commit point, breaker-mediated exactly like the unsharded service
+// (append failure fails the round retryably with nothing applied; an
+// open breaker acknowledges non-durably). Then every portion is applied
+// to its shard's inner service, and participants append a PORTION frame
+// closing their reservation — but only when the decision was durable,
+// so a portion record can never outlive its decision.
+//
+// Crash recovery (per shard, independent). Replaying a shard's WAL
+// rebuilds its inner service from DECISION slices and PORTION records
+// (duplicate frames collapsed by round id, adjacent or not), indexes
+// its decisions, and collects reservations with no closing portion —
+// the *in-doubt* set. Resolution is presumed-abort: each in-doubt
+// reservation re-queries the coordinator shard's decision index (live
+// in-memory, or just-recovered); a decision containing the reserved
+// events commits the portion (applied exactly once — an applied-but-
+// unclosed portion cannot survive into the recovered state, because
+// recovered state comes only from the WAL), anything else aborts it.
+// No in-doubt reservation survives recovery. Capacities can never go
+// negative: every consumption goes through the owner's inner service,
+// which validates before applying.
+//
+// Learner delta-merge. Ridge state is additive (Y += x xᵀ, b += r x),
+// so shards periodically absorb each other's observation deltas via
+// rank-1 incremental updates (the PR 4 Cholesky path), with an exact
+// refactorization restart as the repair when a merged batch drifts the
+// factor (RidgeState::Refactorize). Merged state is soft: recovery
+// rebuilds a shard from its own WAL only, and the next merge re-syncs.
+//
+// Thread safety: ServeUser/SubmitFeedback are safe from any number of
+// threads (inner services serialize their own pipelines; WAL appends
+// are per-shard mutexed; no lock is ever held across a peer shard's
+// lock). KillShard/RecoverShard/MergeLearners assume the caller stops
+// traffic to the affected shards first (the chaos harness and tests
+// do). Single-threaded runs are bit-reproducible per seed.
+#ifndef FASEA_EBSN_SHARDED_SERVICE_H_
+#define FASEA_EBSN_SHARDED_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ebsn/arrangement_service.h"
+#include "ebsn/shard_router.h"
+#include "ebsn/shard_wal.h"
+
+namespace fasea {
+
+struct ShardedOptions {
+  int num_shards = 1;
+  ShardRoutingMode routing = ShardRoutingMode::kRoundRobin;
+  PolicyKind kind = PolicyKind::kUcb;
+  PolicyParams params;
+  std::uint64_t seed = 0;
+  /// Shards beyond the home allowed to contribute to one round
+  /// (-1 = all others). Spillover only happens when the home partition
+  /// cannot fill the user's capacity.
+  int max_participant_shards = -1;
+  /// Absorb peer observation deltas every this many completed rounds
+  /// (0 disables the automatic cadence; MergeLearners() always works).
+  std::int64_t merge_every = 0;
+};
+
+/// The serve-side ticket: feedback must quote `txn`.
+struct ShardedServeResult {
+  std::uint64_t txn = 0;
+  int home_shard = 0;
+  Arrangement arrangement;  // Global event ids, proposal order.
+};
+
+struct ShardedFeedbackResult {
+  std::uint64_t txn = 0;
+  int home_shard = 0;
+  std::int64_t home_round = 0;  // Coordinator's local round id.
+  /// True when the DECISION frame reached the coordinator's WAL.
+  bool durable = false;
+  int participant_shards = 0;  // Remote portions in this round.
+};
+
+/// What recovering one shard did; printable for operators.
+struct ShardRecoveryReport {
+  int shard = 0;
+  std::int64_t segments_scanned = 0;
+  std::int64_t frames_scanned = 0;
+  std::int64_t bytes_truncated = 0;
+  std::int64_t duplicate_frames_skipped = 0;
+  std::int64_t decisions_indexed = 0;
+  std::int64_t portions_applied = 0;
+  std::int64_t reservations_in_doubt = 0;
+  std::int64_t resolved_committed = 0;
+  std::int64_t resolved_aborted = 0;
+  std::int64_t interrupted_completed = 0;
+  std::int64_t interrupted_aborted = 0;
+  std::int64_t rounds_served = 0;  // Inner counter after replay.
+
+  std::string ToString() const;
+};
+
+/// Aggregated cross-shard protocol counters (see DESIGN.md §8).
+struct ShardedStats {
+  std::int64_t rounds_completed = 0;
+  std::int64_t cross_shard_rounds = 0;
+  std::int64_t reservations_made = 0;
+  std::int64_t reservation_refusals = 0;
+  std::int64_t spillover_stages_skipped = 0;
+  std::int64_t nondurable_rounds = 0;
+  std::int64_t merges = 0;
+  std::int64_t resolved_committed = 0;
+  std::int64_t resolved_aborted = 0;
+};
+
+class ShardedArrangementService {
+ public:
+  /// `instance` must outlive the service.
+  ShardedArrangementService(const ProblemInstance* instance,
+                            ShardedOptions options);
+  ~ShardedArrangementService();
+
+  /// Attaches one WAL per shard under `<base_dir>/shard-NNN/`
+  /// (ShardWalDirName). `env` and `base_dir` are retained for breaker
+  /// reopen probes and RecoverShard. Replaces any prior writers (the
+  /// chaos harness re-arms fresh writers per cycle).
+  Status AttachWals(Env* env, const std::string& base_dir,
+                    const WalOptions& wal_options = {},
+                    const DurabilityPolicy& durability = {});
+
+  /// Serves the next arriving user from the full event set (`contexts`
+  /// is the global |V| × d matrix). Retryable failures
+  /// (kFailedPrecondition on a busy home pipeline, kResourceExhausted)
+  /// leave nothing reserved.
+  StatusOr<ShardedServeResult> ServeUser(std::int64_t user_id,
+                                         std::int64_t user_capacity,
+                                         const ContextMatrix& contexts);
+
+  /// Commits (or retryably fails) the round `txn`. On kUnavailable
+  /// nothing has been applied and the same call may be retried.
+  Status SubmitFeedback(std::uint64_t txn, const Feedback& feedback,
+                        ShardedFeedbackResult* result = nullptr);
+
+  /// Chaos hook: "crashes" shard `shard` — its inner service, WAL
+  /// writer, breaker, decision index, and observation buffer are
+  /// destroyed. Pending transactions it participated in are aborted on
+  /// the surviving shards; transactions it *coordinated* are parked for
+  /// resolution by RecoverShard. Callers must stop traffic first.
+  Status KillShard(int shard);
+
+  /// Rebuilds a killed shard from its WAL alone, resolves every
+  /// in-doubt reservation (presumed-abort against the coordinators'
+  /// decision indexes), and completes or aborts interrupted
+  /// transactions this shard coordinated. Leaves the shard without a
+  /// WAL writer; call AttachWals (or AttachShardWal) to resume
+  /// durability.
+  StatusOr<ShardRecoveryReport> RecoverShard(int shard);
+
+  /// Re-attaches a fresh writer for one shard (post-recovery re-arm).
+  Status AttachShardWal(int shard);
+
+  /// Absorbs every peer shard's new observations into every live
+  /// shard's learner (rank-1 updates + exact refactorization repair).
+  /// Requires external quiescence.
+  Status MergeLearners();
+
+  // --- Introspection ----------------------------------------------------
+
+  const ShardRouter& router() const { return router_; }
+  int num_shards() const { return options_.num_shards; }
+  std::int64_t rounds_completed() const {
+    return rounds_completed_.load(std::memory_order_relaxed);
+  }
+
+  /// The inner service of a shard; nullptr while killed.
+  const ArrangementService* shard_service(int shard) const;
+  /// The shard's append-path breaker; nullptr when absent or killed.
+  const CircuitBreaker* shard_breaker(int shard) const;
+  bool shard_alive(int shard) const;
+
+  /// Snapshot of one shard's decision index (coordinated rounds, global
+  /// event ids, keyed by txn). The chaos harness unions these across
+  /// shards for the shadow-replay invariant.
+  std::map<std::uint64_t, InteractionRecord> Decisions(int shard) const;
+
+  /// Reservations currently open (reserved, neither committed nor
+  /// aborted) across live shards — the in-memory mirror of the WAL's
+  /// in-doubt set. Zero whenever no round is mid-flight; recovery must
+  /// always drive the recovered shard's share to zero.
+  std::int64_t OpenReservations() const;
+
+  ShardedStats Stats() const;
+
+  /// Aggregated health: worst state across live shards (a killed shard
+  /// counts as lame-duck until recovered).
+  HealthState AggregateHealth() const;
+  HealthSnapshot ShardHealth(int shard) const;
+
+  /// Test/chaos hook: invoked after a durable DECISION append, before
+  /// any portion is applied. Returning true makes SubmitFeedback fail
+  /// with kUnavailable, leaving the transaction interrupted exactly as
+  /// a coordinator crash between the two phases would.
+  void set_crash_after_decision_hook(
+      std::function<bool(std::uint64_t txn)> hook) {
+    crash_after_decision_ = std::move(hook);
+  }
+
+ private:
+  struct Portion {
+    int shard = 0;
+    Arrangement local_events;  // Inner (sub-instance) ids.
+    std::size_t start = 0;     // Offset into the global arrangement.
+    /// The participant's inner round id at serve time — lets the
+    /// interrupted-transaction resolver tell this txn's still-pending
+    /// inner round apart from unrelated later rounds.
+    std::int64_t local_round = 0;
+    /// The capacity the inner service was asked to fill at this stage
+    /// (the user's capacity minus everything chosen upstream). PORTION
+    /// frames must carry it so replay reproduces the inner log
+    /// bit-identically.
+    std::int64_t local_capacity = 0;
+  };
+  struct PendingTxn {
+    int home = 0;
+    std::int64_t user_id = 0;
+    std::int64_t user_capacity = 0;
+    std::int64_t coordinator_round = 0;
+    Arrangement arrangement;  // Global ids.
+    std::vector<std::vector<double>> context_rows;
+    std::vector<Portion> portions;  // [0] is the home portion.
+    bool busy = false;
+  };
+  struct Observation {
+    std::vector<double> context;
+    double reward = 0.0;
+  };
+  struct Shard {
+    int index = 0;
+    std::unique_ptr<ArrangementService> service;
+
+    // Durability (owned here, not by the inner service).
+    mutable std::mutex wal_mu;
+    std::unique_ptr<WalWriter> wal;
+    std::unique_ptr<CircuitBreaker> breaker;
+    bool degraded = false;
+    std::int64_t append_failures = 0;
+    std::int64_t wal_reopens = 0;
+    std::int64_t nondurable_rounds = 0;
+
+    // Two-phase protocol state.
+    mutable std::mutex ledger_mu;
+    std::map<std::uint64_t, InteractionRecord> decisions;
+    std::map<std::uint64_t, ReservationRecord> open_reservations;
+
+    // Delta-merge buffers.
+    mutable std::mutex obs_mu;
+    std::vector<Observation> obs;
+  };
+
+  enum class AppendOutcome { kDurable, kNonDurable };
+
+  Matrix GatherContexts(int shard, const ContextMatrix& contexts) const;
+  Arrangement MapToGlobal(int shard, const Arrangement& local) const;
+  std::vector<std::uint8_t> SpilloverMask(int shard,
+                                          const Arrangement& chosen) const;
+  /// Breaker-mediated append (DECISION/PORTION path): mirrors the
+  /// unsharded DurabilityPolicy semantics.
+  StatusOr<AppendOutcome> AppendFrame(Shard& shard, std::string_view frame);
+  /// Strict append (RESERVE path): durable or refused, never degraded.
+  Status AppendFrameStrict(Shard& shard, std::string_view frame);
+  /// Reopen-if-broken + append; caller holds shard.wal_mu.
+  Status AppendLocked(Shard& shard, std::string_view frame);
+
+  /// The slice of a (global-id) decision record owned by `shard`,
+  /// re-labelled with local ids and round `t`.
+  InteractionRecord SliceForShard(int shard, const InteractionRecord& record,
+                                  std::int64_t t) const;
+  /// Rolls back every inner round a failed serve opened and drops the
+  /// in-memory reservations (their durable frames resolve to presumed
+  /// abort).
+  void AbortOpenPortions(const PendingTxn& pending, std::uint64_t txn);
+  /// The coordinator's decision for `txn`: its live in-memory index, or
+  /// — when the coordinator is down — a read-only scan of its WAL.
+  StatusOr<bool> LookupDecision(int coordinator, std::uint64_t txn,
+                                InteractionRecord* out) const;
+  void AppendObservations(Shard& shard, const InteractionRecord& record);
+  void MaybeAutoMerge();
+  Status ResolveInterrupted(int shard, ShardRecoveryReport* report);
+
+  const ProblemInstance* instance_;
+  ShardedOptions options_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  Env* env_ = nullptr;          // Set by AttachWals.
+  std::string wal_base_dir_;
+  WalOptions wal_options_;
+  DurabilityPolicy durability_;
+
+  std::atomic<std::uint64_t> next_txn_{1};
+  std::atomic<std::int64_t> rounds_completed_{0};
+
+  mutable std::mutex pending_mu_;
+  std::map<std::uint64_t, PendingTxn> pending_;
+  /// Transactions whose coordinator died mid-commit; resolved by
+  /// RecoverShard(coordinator).
+  std::map<std::uint64_t, PendingTxn> interrupted_;
+
+  mutable std::mutex stats_mu_;
+  ShardedStats stats_;
+  /// cursors_[i][j]: observations of shard j already absorbed by i.
+  std::vector<std::vector<std::size_t>> cursors_;
+  std::mutex merge_mu_;
+
+  std::function<bool(std::uint64_t)> crash_after_decision_;
+
+  // Telemetry (§8 catalog).
+  Counter* cross_shard_rounds_metric_ =
+      Metrics()->GetCounter("fasea.shard.cross_shard_rounds");
+  Counter* reservations_metric_ =
+      Metrics()->GetCounter("fasea.shard.reservations");
+  Counter* reservation_refusals_metric_ =
+      Metrics()->GetCounter("fasea.shard.reservation_refusals");
+  Counter* resolved_committed_metric_ =
+      Metrics()->GetCounter("fasea.shard.resolved_committed");
+  Counter* resolved_aborted_metric_ =
+      Metrics()->GetCounter("fasea.shard.resolved_aborted");
+  Counter* recoveries_metric_ =
+      Metrics()->GetCounter("fasea.shard.recoveries");
+  Counter* merges_metric_ = Metrics()->GetCounter("fasea.shard.merges");
+  Counter* nondurable_metric_ =
+      Metrics()->GetCounter("fasea.shard.nondurable_rounds");
+  Gauge* open_reservations_gauge_ =
+      Metrics()->GetGauge("fasea.shard.open_reservations");
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_EBSN_SHARDED_SERVICE_H_

@@ -90,12 +90,16 @@ StatusOr<FaultSchedule> FaultSchedule::Parse(std::string_view spec) {
       if (number < 0) return bad("negative value");
       schedule.latency_jitter_ns = number;
     } else if (key == "write_error_at") {
+      if (number < 0) return bad("negative value");
       schedule.write_error_at = number;
     } else if (key == "short_write_at") {
+      if (number < 0) return bad("negative value");
       schedule.short_write_at = number;
     } else if (key == "sync_fail_at") {
+      if (number < 0) return bad("negative value");
       schedule.sync_fail_at = number;
     } else if (key == "disarm_after_appends") {
+      if (number < 0) return bad("negative value");
       schedule.disarm_after_appends = number;
     } else {
       return InvalidArgumentError(StrFormat(
@@ -114,7 +118,17 @@ std::string FaultSchedule::ToString() const {
   }
   const auto rate = [&](const char* key, double value) {
     if (value > 0.0) {
-      pieces.push_back(std::string(key) + "=" + FormatDouble(value));
+      // The printed form must parse back to the same double: ToString()
+      // is the wire format chaos reruns consume, so a lossy print would
+      // silently change the injected rate. 15 significant digits round-
+      // trip almost every value; fall back to 17 (always exact) when
+      // they don't.
+      std::string printed = FormatDouble(value, 15);
+      double reparsed = 0.0;
+      if (!ParseDoubleStrict(printed, &reparsed) || reparsed != value) {
+        printed = FormatDouble(value, 17);
+      }
+      pieces.push_back(std::string(key) + "=" + printed);
     }
   };
   rate("append_error_rate", append_error_rate);

@@ -43,6 +43,10 @@ std::string WalSegmentFileName(std::uint64_t index) {
   return StrFormat("wal-%06llu.log", static_cast<unsigned long long>(index));
 }
 
+std::string ShardWalDirName(const std::string& base_dir, int shard) {
+  return JoinPath(base_dir, StrFormat("shard-%03d", shard));
+}
+
 // --- WalWriter -----------------------------------------------------------
 
 StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env, std::string dir,

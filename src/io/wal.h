@@ -144,6 +144,12 @@ StatusOr<WalScan> ScanWal(Env* env, const std::string& dir,
 /// Name of segment file `index` ("wal-000042.log").
 std::string WalSegmentFileName(std::uint64_t index);
 
+/// Directory of shard `shard`'s WAL under `base_dir`
+/// ("<base>/shard-000"). Each shard of a sharded deployment owns an
+/// independent segment sequence so shards fail, recover, and fsync
+/// independently (see ebsn/sharded_service.h).
+std::string ShardWalDirName(const std::string& base_dir, int shard);
+
 }  // namespace fasea
 
 #endif  // FASEA_IO_WAL_H_

@@ -19,6 +19,11 @@ Status ValidateRoundContext(const RoundContext& round, std::size_t num_events,
         "user capacity must be >= 1, got %lld",
         static_cast<long long>(round.user_capacity)));
   }
+  if (!round.available.empty() && round.available.size() != num_events) {
+    return InvalidArgumentError(
+        StrFormat("availability mask has %zu entries, expected %zu",
+                  round.available.size(), num_events));
+  }
   constexpr double kNormTolerance = 1e-9;
   for (std::size_t v = 0; v < num_events; ++v) {
     double norm_sq = 0.0;

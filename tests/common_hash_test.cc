@@ -1,0 +1,96 @@
+// Mix64 and JumpConsistentHash: the pure functions shard routing rests
+// on. Stability matters more than speed here — a recovered shard must
+// own exactly the events it owned before the crash, so these tests pin
+// concrete values.
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace fasea {
+namespace {
+
+// Independent splitmix64 reference (Steele/Lea/Flood constants),
+// written out again so a typo in common/hash.h cannot self-certify.
+std::uint64_t ReferenceSplitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+TEST(Mix64Test, MatchesTheReferenceAndKnownVector) {
+  // First output of the splitmix64 stream seeded with 0 — the standard
+  // published test vector. A change here silently reshuffles every
+  // shard assignment, hence the hard pin.
+  EXPECT_EQ(Mix64(0), 0xe220a8397b1dcdafULL);
+  for (std::uint64_t x : {1ULL, 2ULL, 42ULL, 0xdeadbeefULL,
+                          0xffffffffffffffffULL}) {
+    EXPECT_EQ(Mix64(x), ReferenceSplitmix64(x)) << x;
+  }
+}
+
+TEST(Mix64Test, IsInjectiveOnASample) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    seen.insert(Mix64(x));
+  }
+  EXPECT_EQ(seen.size(), 4096u);  // Bijective, so no collisions ever.
+}
+
+TEST(JumpConsistentHashTest, StaysInRange) {
+  for (std::int32_t buckets : {1, 2, 3, 7, 64}) {
+    for (std::uint64_t key = 0; key < 1000; ++key) {
+      const std::int32_t b = JumpConsistentHash(Mix64(key), buckets);
+      EXPECT_GE(b, 0);
+      EXPECT_LT(b, buckets);
+    }
+  }
+}
+
+TEST(JumpConsistentHashTest, SingleBucketIsAlwaysZero) {
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(JumpConsistentHash(Mix64(key), 1), 0);
+  }
+}
+
+TEST(JumpConsistentHashTest, GrowingBucketsMovesFewKeys) {
+  // The consistent-hash property: going n -> n+1 buckets relocates
+  // ~1/(n+1) of the keys, never reshuffles wholesale.
+  constexpr int kKeys = 10000;
+  for (std::int32_t n : {4, 8, 16}) {
+    int moved = 0;
+    for (std::uint64_t key = 0; key < kKeys; ++key) {
+      const std::uint64_t mixed = Mix64(key);
+      const std::int32_t before = JumpConsistentHash(mixed, n);
+      const std::int32_t after = JumpConsistentHash(mixed, n + 1);
+      if (before != after) {
+        ++moved;
+        EXPECT_EQ(after, n);  // Moved keys only ever go to the new bucket.
+      }
+    }
+    const double fraction = static_cast<double>(moved) / kKeys;
+    EXPECT_GT(fraction, 0.5 / (n + 1));
+    EXPECT_LT(fraction, 2.0 / (n + 1));
+  }
+}
+
+TEST(JumpConsistentHashTest, IsRoughlyUniform) {
+  constexpr std::int32_t kBuckets = 8;
+  constexpr int kKeys = 16000;
+  std::vector<int> counts(kBuckets, 0);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    ++counts[static_cast<std::size_t>(
+        JumpConsistentHash(Mix64(key), kBuckets))];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, kKeys / kBuckets / 2);
+    EXPECT_LT(c, kKeys / kBuckets * 2);
+  }
+}
+
+}  // namespace
+}  // namespace fasea

@@ -233,6 +233,43 @@ TEST(RecoveryTest, CheckpointAheadOfWalIsDataLoss) {
   EXPECT_EQ(recovered.status().code(), StatusCode::kDataLoss);
 }
 
+// Regression: a retried append whose first copy actually reached the
+// disk can land several rounds away from the original — a retry storm
+// interleaved across users separates the duplicate from its first copy.
+// Replay must apply each round exactly once no matter where the
+// duplicate lands, not only when it sits adjacent to the original.
+TEST(RecoveryTest, NonAdjacentDuplicateFramesCollapseOnReplay) {
+  const ProblemInstance instance = MakeInstance();
+  Env* env = Env::Default();
+  const std::string dir = FreshDir("recovery_nonadjacent_dup");
+  {
+    ArrangementService live(&instance, PolicyKind::kUcb, PolicyParams{}, 1);
+    live.AttachWal(OpenWal(env, dir));
+    Pcg64 rng(17);
+    RunRounds(live, rng, 6);
+    ASSERT_EQ(live.log().size(), 6u);
+    // Late retries of rounds 2 and 5 reach the log after round 6 — four
+    // and one rounds away from their originals (a fresh segment, as a
+    // post-reopen retry would use).
+    auto writer = OpenWal(env, dir);
+    ASSERT_TRUE(
+        writer->Append(EncodeInteractionRecord(live.log().record(1))).ok());
+    ASSERT_TRUE(
+        writer->Append(EncodeInteractionRecord(live.log().record(4))).ok());
+  }
+
+  ArrangementService reference(&instance, PolicyKind::kUcb, PolicyParams{},
+                               1);
+  Pcg64 reference_rng(17);
+  RunRounds(reference, reference_rng, 6);
+
+  auto recovered = RecoverArrangementService(&instance, env, dir, "");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->report.duplicate_frames_skipped, 2);
+  EXPECT_EQ(recovered->report.records_scanned, 6);
+  ExpectBitIdentical(*recovered->service, reference);
+}
+
 // --- Mid-file corruption: fail-fast vs skip-and-count -------------------
 
 TEST(RecoveryTest, MidFileCorruptionFailsOrSkipsPerPolicy) {

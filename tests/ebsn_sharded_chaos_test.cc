@@ -1,0 +1,175 @@
+// The sharded chaos harness: every kill mode (single shard, coordinator
+// mid-commit, all shards) against faulted and clean schedules must pass
+// all seven invariants, and single-threaded reports must be
+// bit-reproducible per seed. The full matrix lives behind FASEA_SOAK=1
+// (ctest label `soak`); in-tier runs finish in seconds.
+#include "ebsn/chaos_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "io/env.h"
+#include "io/wal.h"
+
+namespace fasea {
+namespace {
+
+std::string FreshShardedDir(const std::string& name, int shards) {
+  const std::string dir = ::testing::TempDir() + "fasea_" + name;
+  Env* env = Env::Default();
+  (void)env->CreateDir(dir);
+  for (int s = 0; s < shards; ++s) {
+    const std::string sub = ShardWalDirName(dir, s);
+    if (auto names = env->ListDir(sub); names.ok()) {
+      for (const std::string& file : *names) {
+        (void)env->DeleteFile(JoinPath(sub, file));
+      }
+    }
+  }
+  return dir;
+}
+
+ShardedChaosOptions ShortOptions(const std::string& dir_name,
+                                 std::string_view schedule_name,
+                                 ShardKillMode mode) {
+  ShardedChaosOptions options;
+  auto schedule = NamedFaultSchedule(schedule_name);
+  EXPECT_TRUE(schedule.ok()) << schedule_name;
+  options.schedule = *schedule;
+  options.shards = 4;
+  options.kill_mode = mode;
+  options.rounds_per_cycle = 60;
+  options.cycles = 2;
+  options.seed = 7;
+  options.wal_dir = FreshShardedDir(dir_name, options.shards);
+  return options;
+}
+
+TEST(ShardKillModeTest, ParsesEveryNameAndRejectsUnknown) {
+  for (const std::string_view name : ShardKillModeNames()) {
+    EXPECT_TRUE(ParseShardKillMode(name).ok()) << name;
+  }
+  EXPECT_EQ(*ParseShardKillMode("one-shard"), ShardKillMode::kOneShard);
+  EXPECT_EQ(*ParseShardKillMode("coordinator-mid-commit"),
+            ShardKillMode::kCoordinatorMidCommit);
+  EXPECT_EQ(*ParseShardKillMode("all"), ShardKillMode::kAll);
+  EXPECT_EQ(ParseShardKillMode("half").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedChaosTest, SingleShardKillUnderFaultsPassesInvariants) {
+  auto report = RunShardedChaos(ShortOptions(
+      "schaos_one", "flaky-appends", ShardKillMode::kOneShard));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->ToString();
+  EXPECT_EQ(report->cycles_run, 2);
+  EXPECT_GT(report->rounds_acked, 0);
+  EXPECT_GT(report->cross_shard_rounds, 0);  // Tiny partitions spill over.
+  // One mid-cycle kill per cycle plus the end-of-cycle full crash.
+  EXPECT_EQ(report->shard_kills, 2 * (1 + 4));
+  EXPECT_EQ(report->shard_recoveries, report->shard_kills);
+  EXPECT_GT(report->serves_unavailable, 0);  // Arrivals hit the dead home.
+}
+
+TEST(ShardedChaosTest, CoordinatorMidCommitCrashCommitsOnRecovery) {
+  auto report = RunShardedChaos(ShortOptions(
+      "schaos_mid", "clean", ShardKillMode::kCoordinatorMidCommit));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->ToString();
+  EXPECT_EQ(report->cycles_run, 2);
+  EXPECT_EQ(report->mid_commit_crashes, 2);  // One per cycle.
+  // Under a clean schedule the decision is always durable, so recovery
+  // must complete the interrupted transactions, never abort them.
+  EXPECT_GE(report->interrupted_completed, 1);
+  EXPECT_EQ(report->interrupted_aborted, 0);
+  EXPECT_EQ(report->nondurable_acked, 0);
+}
+
+TEST(ShardedChaosTest, AllShardKillUnderTornTailPassesInvariants) {
+  auto report = RunShardedChaos(
+      ShortOptions("schaos_all", "torn-tail", ShardKillMode::kAll));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->ToString();
+  EXPECT_EQ(report->cycles_run, 2);
+  // Mid-cycle all-kill plus end-of-cycle full crash, each cycle.
+  EXPECT_EQ(report->shard_kills, 2 * (4 + 4));
+}
+
+TEST(ShardedChaosTest, DeltaMergeStaysOutsideTheReplayInvariants) {
+  ShardedChaosOptions options = ShortOptions(
+      "schaos_merge", "flaky-appends", ShardKillMode::kOneShard);
+  options.merge_every = 10;
+  auto report = RunShardedChaos(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->ToString();
+  EXPECT_GT(report->merges, 0);
+}
+
+TEST(ShardedChaosTest, ReportIsBitReproduciblePerSeed) {
+  auto first = RunShardedChaos(ShortOptions(
+      "schaos_det_a", "flaky-appends", ShardKillMode::kOneShard));
+  auto second = RunShardedChaos(ShortOptions(
+      "schaos_det_b", "flaky-appends", ShardKillMode::kOneShard));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(first->ok) << first->ToString();
+  EXPECT_EQ(first->ToString(), second->ToString());
+}
+
+TEST(ShardedChaosTest, RejectsBadOptionsAndDirtyWalDirs) {
+  ShardedChaosOptions options =
+      ShortOptions("schaos_bad", "clean", ShardKillMode::kOneShard);
+  options.shards = 0;
+  EXPECT_EQ(RunShardedChaos(options).status().code(),
+            StatusCode::kInvalidArgument);
+
+  options = ShortOptions("schaos_dirty", "clean", ShardKillMode::kOneShard);
+  {
+    Env* env = Env::Default();
+    const std::string sub = ShardWalDirName(options.wal_dir, 2);
+    ASSERT_TRUE(env->CreateDir(sub).ok());
+    auto file = env->NewWritableFile(JoinPath(sub, "wal-000001.log"));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  EXPECT_EQ(RunShardedChaos(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The soak matrix: every kill mode x every named schedule (mid-commit
+// pairs with clean only — its contract requires a durable decision).
+// Runs only under FASEA_SOAK=1 (ctest labels `soak` and `shard`).
+TEST(ShardedChaosSoakTest, EveryKillModePassesEverySchedule) {
+  if (std::getenv("FASEA_SOAK") == nullptr) {
+    GTEST_SKIP() << "set FASEA_SOAK=1 (ctest label `soak`) to run";
+  }
+  int combo = 0;
+  for (const ShardKillMode mode :
+       {ShardKillMode::kOneShard, ShardKillMode::kAll}) {
+    for (const std::string_view name : NamedFaultScheduleNames()) {
+      ShardedChaosOptions options = ShortOptions(
+          "schaos_soak_" + std::to_string(combo++), name, mode);
+      options.rounds_per_cycle = 120;
+      options.cycles = 3;
+      options.seed = 11;
+      auto report = RunShardedChaos(options);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_TRUE(report->ok)
+          << "mode=" << static_cast<int>(mode) << " schedule=" << name
+          << "\n"
+          << report->ToString();
+    }
+  }
+  ShardedChaosOptions mid = ShortOptions(
+      "schaos_soak_mid", "clean", ShardKillMode::kCoordinatorMidCommit);
+  mid.rounds_per_cycle = 120;
+  mid.cycles = 3;
+  auto report = RunShardedChaos(mid);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->ToString();
+}
+
+}  // namespace
+}  // namespace fasea

@@ -1,0 +1,368 @@
+// ShardedArrangementService: partitioned serving with the two-phase
+// cross-shard protocol. Covers feasibility of spilled-over rounds,
+// capacity accounting, per-shard WAL recovery, the mid-commit
+// coordinator crash, participant death (presumed abort), and the
+// learner delta-merge.
+#include "ebsn/sharded_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/conflict_graph.h"
+#include "io/env.h"
+#include "io/wal.h"
+#include "linalg/matrix.h"
+#include "model/instance.h"
+
+namespace fasea {
+namespace {
+
+constexpr std::size_t kEvents = 16;
+constexpr std::size_t kDim = 3;
+
+ProblemInstance MakeInstance() {
+  std::vector<std::int64_t> capacities(kEvents, 4);
+  ConflictGraph conflicts(kEvents);
+  for (std::size_t v = 0; v + 1 < kEvents; ++v) {
+    conflicts.AddConflict(v, v + 1);  // A ring: cross-shard edges exist.
+  }
+  conflicts.AddConflict(0, kEvents - 1);
+  auto instance = ProblemInstance::Create(std::move(capacities),
+                                          std::move(conflicts), kDim);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+Matrix MakeContexts(std::uint64_t salt) {
+  Matrix contexts(kEvents, kDim);
+  for (std::size_t v = 0; v < kEvents; ++v) {
+    for (std::size_t k = 0; k < kDim; ++k) {
+      contexts.Row(v)[k] =
+          0.1 * static_cast<double>((v * kDim + k + salt) % 7) + 0.05;
+    }
+  }
+  return contexts;
+}
+
+std::string FreshShardedDir(const std::string& name, int shards) {
+  const std::string dir = ::testing::TempDir() + "fasea_" + name;
+  Env* env = Env::Default();
+  (void)env->CreateDir(dir);
+  for (int s = 0; s < shards; ++s) {
+    const std::string sub = ShardWalDirName(dir, s);
+    if (auto names = env->ListDir(sub); names.ok()) {
+      for (const std::string& file : *names) {
+        (void)env->DeleteFile(JoinPath(sub, file));
+      }
+    }
+  }
+  return dir;
+}
+
+ShardedOptions Opts(int shards) {
+  ShardedOptions options;
+  options.num_shards = shards;
+  options.seed = 42;
+  return options;
+}
+
+/// Serves and commits one round; returns the arrangement.
+Arrangement OneRound(ShardedArrangementService* service,
+                     std::int64_t capacity, std::uint64_t salt,
+                     ShardedFeedbackResult* result = nullptr) {
+  const Matrix contexts = MakeContexts(salt);
+  auto served = service->ServeUser(0, capacity, contexts);
+  EXPECT_TRUE(served.ok()) << served.status().ToString();
+  if (!served.ok()) return {};
+  Feedback feedback(served->arrangement.size(), 1);
+  Status st = service->SubmitFeedback(served->txn, feedback, result);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return served->arrangement;
+}
+
+TEST(ShardedServiceTest, ServesFeasibleCrossShardArrangements) {
+  const ProblemInstance instance = MakeInstance();
+  ShardedArrangementService service(&instance, Opts(4));
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_FALSE(service.router().ShardEvents(s).empty())
+        << "partition of " << kEvents << " events left shard " << s
+        << " empty — the tests below assume otherwise";
+  }
+  std::map<EventId, int> chosen_counts;
+  for (int i = 0; i < 8; ++i) {
+    // c_u = 6 exceeds every partition, so the home must spill over.
+    const Arrangement arrangement =
+        OneRound(&service, 6, static_cast<std::uint64_t>(i));
+    ASSERT_FALSE(arrangement.empty());
+    EXPECT_LE(arrangement.size(), 6u);
+    EXPECT_TRUE(instance.conflicts().IsIndependentSet(arrangement));
+    std::set<EventId> unique(arrangement.begin(), arrangement.end());
+    EXPECT_EQ(unique.size(), arrangement.size());
+    for (EventId v : arrangement) ++chosen_counts[v];
+  }
+  const ShardedStats stats = service.Stats();
+  EXPECT_EQ(stats.rounds_completed, 8);
+  EXPECT_GT(stats.cross_shard_rounds, 0);
+  EXPECT_GT(stats.reservations_made, 0);
+  EXPECT_EQ(service.OpenReservations(), 0);
+  // Capacity accounting: each shard's inner state consumed exactly the
+  // rounds that chose its events.
+  const ShardRouter& router = service.router();
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    const ArrangementService* inner =
+        service.shard_service(router.OwnerShard(v));
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->state().remaining(router.LocalId(v)),
+              instance.capacity(v) - chosen_counts[v])
+        << "event " << v;
+  }
+}
+
+TEST(ShardedServiceTest, SingleShardDegeneratesToTheFullInstance) {
+  const ProblemInstance instance = MakeInstance();
+  ShardedArrangementService service(&instance, Opts(1));
+  const Arrangement arrangement = OneRound(&service, 3, 0);
+  EXPECT_FALSE(arrangement.empty());
+  EXPECT_EQ(service.Stats().cross_shard_rounds, 0);
+  EXPECT_EQ(service.Stats().reservations_made, 0);
+}
+
+TEST(ShardedServiceTest, DeadHomeIsRetryableAndTrafficRoutesAround) {
+  const ProblemInstance instance = MakeInstance();
+  ShardedArrangementService service(&instance, Opts(2));
+  ASSERT_TRUE(service.KillShard(0).ok());
+  const Matrix contexts = MakeContexts(0);
+  int unavailable = 0;
+  int served_ok = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto served = service.ServeUser(0, 2, contexts);
+    if (served.ok()) {
+      ++served_ok;
+      EXPECT_EQ(served->home_shard, 1);
+      Feedback feedback(served->arrangement.size(), 1);
+      EXPECT_TRUE(service.SubmitFeedback(served->txn, feedback).ok());
+    } else {
+      EXPECT_EQ(served.status().code(), StatusCode::kUnavailable);
+      ++unavailable;  // Round-robin lands on the corpse every 2nd arrival.
+    }
+  }
+  EXPECT_EQ(unavailable, 2);
+  EXPECT_EQ(served_ok, 2);
+}
+
+TEST(ShardedServiceTest, KilledShardRecoversBitIdenticalFromItsWal) {
+  const ProblemInstance instance = MakeInstance();
+  ShardedArrangementService service(&instance, Opts(4));
+  ASSERT_TRUE(service
+                  .AttachWals(Env::Default(),
+                              FreshShardedDir("shard_recover", 4))
+                  .ok());
+  for (int i = 0; i < 12; ++i) {
+    ShardedFeedbackResult result;
+    OneRound(&service, 5, static_cast<std::uint64_t>(i), &result);
+    EXPECT_TRUE(result.durable);  // Healthy disk: every commit hardens.
+  }
+  const int victim = 2;
+  const ArrangementService* before = service.shard_service(victim);
+  ASSERT_NE(before, nullptr);
+  const std::string checkpoint = before->Checkpoint();
+  const std::string log_csv = before->log().ToCsv();
+  const std::int64_t rounds = before->rounds_served();
+  const auto decisions = service.Decisions(victim);
+
+  ASSERT_TRUE(service.KillShard(victim).ok());
+  EXPECT_FALSE(service.shard_alive(victim));
+  EXPECT_EQ(service.shard_service(victim), nullptr);
+  auto report = service.RecoverShard(victim);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->ToString().empty());
+
+  const ArrangementService* after = service.shard_service(victim);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->Checkpoint(), checkpoint);
+  EXPECT_EQ(after->log().ToCsv(), log_csv);
+  EXPECT_EQ(after->rounds_served(), rounds);
+  const auto recovered = service.Decisions(victim);
+  ASSERT_EQ(recovered.size(), decisions.size());
+  for (const auto& [txn, record] : decisions) {
+    const auto it = recovered.find(txn);
+    ASSERT_NE(it, recovered.end()) << "txn " << txn;
+    EXPECT_EQ(it->second.t, record.t);
+    EXPECT_EQ(it->second.arrangement, record.arrangement);
+    EXPECT_EQ(it->second.feedback, record.feedback);
+  }
+  EXPECT_EQ(service.OpenReservations(), 0);
+
+  // The shard serves again once its WAL is re-armed.
+  ASSERT_TRUE(service.AttachShardWal(victim).ok());
+  EXPECT_FALSE(OneRound(&service, 5, 99).empty());
+}
+
+TEST(ShardedServiceTest, MidCommitCoordinatorCrashCompletesOnRecovery) {
+  const ProblemInstance instance = MakeInstance();
+  ShardedArrangementService service(&instance, Opts(4));
+  ASSERT_TRUE(service
+                  .AttachWals(Env::Default(),
+                              FreshShardedDir("shard_midcommit", 4))
+                  .ok());
+  const ShardRouter& router = service.router();
+
+  // Find a cross-shard round to crash.
+  const Matrix contexts = MakeContexts(1);
+  StatusOr<ShardedServeResult> served = InternalError("unset");
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    served = service.ServeUser(0, 6, contexts);
+    ASSERT_TRUE(served.ok());
+    bool cross_shard = false;
+    for (EventId v : served->arrangement) {
+      if (router.OwnerShard(v) != served->home_shard) cross_shard = true;
+    }
+    if (cross_shard) break;
+    Feedback feedback(served->arrangement.size(), 1);
+    ASSERT_TRUE(service.SubmitFeedback(served->txn, feedback).ok());
+  }
+  std::map<EventId, std::int64_t> remaining_before;
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    remaining_before[v] = service.shard_service(router.OwnerShard(v))
+                              ->state()
+                              .remaining(router.LocalId(v));
+  }
+
+  service.set_crash_after_decision_hook(
+      [target = served->txn](std::uint64_t txn) { return txn == target; });
+  Feedback feedback(served->arrangement.size(), 1);
+  Status st = service.SubmitFeedback(served->txn, feedback);
+  ASSERT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+  service.set_crash_after_decision_hook(nullptr);
+
+  const int home = served->home_shard;
+  ASSERT_TRUE(service.KillShard(home).ok());
+  auto report = service.RecoverShard(home);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The decision was durable, so recovery completed the transaction on
+  // the surviving participants instead of aborting it.
+  EXPECT_GE(report->interrupted_completed, 1);
+  EXPECT_EQ(report->interrupted_aborted, 0);
+  EXPECT_EQ(service.Decisions(home).count(served->txn), 1u);
+  EXPECT_EQ(service.OpenReservations(), 0);
+  // Every chosen event was consumed exactly once, nothing else moved.
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    const std::int64_t consumed =
+        static_cast<std::int64_t>(std::count(served->arrangement.begin(),
+                                             served->arrangement.end(), v));
+    EXPECT_EQ(service.shard_service(router.OwnerShard(v))
+                  ->state()
+                  .remaining(router.LocalId(v)),
+              remaining_before[v] - consumed)
+        << "event " << v;
+  }
+  // The interrupted transaction is spoken for: a retry is rejected.
+  EXPECT_EQ(service.SubmitFeedback(served->txn, feedback).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardedServiceTest, ParticipantDeathBeforeCommitAbortsReservation) {
+  const ProblemInstance instance = MakeInstance();
+  ShardedArrangementService service(&instance, Opts(4));
+  ASSERT_TRUE(service
+                  .AttachWals(Env::Default(),
+                              FreshShardedDir("shard_participant", 4))
+                  .ok());
+  const ShardRouter& router = service.router();
+
+  const Matrix contexts = MakeContexts(2);
+  int participant = -1;
+  StatusOr<ShardedServeResult> served = InternalError("unset");
+  for (int attempt = 0; attempt < 8 && participant < 0; ++attempt) {
+    served = service.ServeUser(0, 6, contexts);
+    ASSERT_TRUE(served.ok());
+    for (EventId v : served->arrangement) {
+      if (router.OwnerShard(v) != served->home_shard) {
+        participant = router.OwnerShard(v);
+        break;
+      }
+    }
+    if (participant < 0) {
+      Feedback feedback(served->arrangement.size(), 1);
+      ASSERT_TRUE(service.SubmitFeedback(served->txn, feedback).ok());
+    }
+  }
+  ASSERT_GE(participant, 0) << "no cross-shard round in 8 attempts";
+  ASSERT_GT(service.OpenReservations(), 0);
+
+  // The participant dies with the reservation durably open; the round
+  // dies with it (the commit point was never reached).
+  ASSERT_TRUE(service.KillShard(participant).ok());
+  Feedback feedback(served->arrangement.size(), 1);
+  EXPECT_EQ(service.SubmitFeedback(served->txn, feedback).code(),
+            StatusCode::kFailedPrecondition);
+
+  auto report = service.RecoverShard(participant);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Its WAL holds the un-closed RESERVE frame; with no decision record
+  // anywhere, presumed abort resolves it.
+  EXPECT_GE(report->reservations_in_doubt, 1);
+  EXPECT_GE(report->resolved_aborted, 1);
+  EXPECT_EQ(report->resolved_committed, 0);
+  EXPECT_EQ(service.OpenReservations(), 0);
+}
+
+TEST(ShardedServiceTest, MergeLearnersAbsorbsPeerObservations) {
+  const ProblemInstance instance = MakeInstance();
+  ShardedOptions options = Opts(2);
+  ShardedArrangementService service(&instance, options);
+  for (int i = 0; i < 6; ++i) {
+    OneRound(&service, 3, static_cast<std::uint64_t>(i));
+  }
+  const std::string before = service.shard_service(0)->Checkpoint();
+  ASSERT_TRUE(service.MergeLearners().ok());
+  EXPECT_GE(service.Stats().merges, 1);
+  // Peer observations landed in the ridge state — and left it healthy.
+  EXPECT_NE(service.shard_service(0)->Checkpoint(), before);
+  EXPECT_EQ(service.ShardHealth(0).state, HealthState::kHealthy);
+  // A second merge with no new observations is a no-op.
+  const std::string after = service.shard_service(0)->Checkpoint();
+  ASSERT_TRUE(service.MergeLearners().ok());
+  EXPECT_EQ(service.shard_service(0)->Checkpoint(), after);
+}
+
+TEST(ShardedServiceTest, AutoMergeRunsOnTheConfiguredCadence) {
+  const ProblemInstance instance = MakeInstance();
+  ShardedOptions options = Opts(2);
+  options.merge_every = 3;
+  ShardedArrangementService service(&instance, options);
+  for (int i = 0; i < 6; ++i) {
+    OneRound(&service, 3, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_GE(service.Stats().merges, 1);
+}
+
+TEST(ShardedServiceTest, RejectsBadInput) {
+  const ProblemInstance instance = MakeInstance();
+  ShardedArrangementService service(&instance, Opts(2));
+  Matrix wrong(kEvents - 1, kDim);
+  EXPECT_EQ(service.ServeUser(0, 2, wrong).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.SubmitFeedback(999, Feedback{1}).code(),
+            StatusCode::kFailedPrecondition);
+  auto served = service.ServeUser(0, 2, MakeContexts(0));
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(service
+                .SubmitFeedback(served->txn,
+                                Feedback(served->arrangement.size() + 1, 1))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.KillShard(7).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.RecoverShard(0).status().code(),
+            StatusCode::kFailedPrecondition);  // Alive — kill it first.
+}
+
+}  // namespace
+}  // namespace fasea

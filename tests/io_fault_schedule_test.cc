@@ -2,7 +2,9 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
+#include "ebsn/chaos_harness.h"
 #include "io/env.h"
 #include "io/fault_injection_env.h"
 
@@ -64,6 +66,101 @@ TEST(FaultScheduleTest, ToStringRoundTrips) {
   EXPECT_EQ(reparsed->sync_fail_at, 20);
   EXPECT_DOUBLE_EQ(reparsed->append_error_rate, 0.05);
   EXPECT_EQ(reparsed->append_latency_ns, 1000);
+}
+
+// Every named schedule must survive parse -> print -> parse with a
+// stable printed form: ToString() is the wire format check.sh and the
+// chaos CLI pass around, so any asymmetry between the printer and the
+// parser silently changes what a rerun actually injects.
+TEST(FaultScheduleTest, EveryNamedScheduleRoundTripsThroughToString) {
+  for (const std::string_view name : NamedFaultScheduleNames()) {
+    auto original = NamedFaultSchedule(name);
+    ASSERT_TRUE(original.ok()) << name;
+    const std::string printed = original->ToString();
+    auto reparsed = FaultSchedule::Parse(printed);
+    ASSERT_TRUE(reparsed.ok()) << name << ": " << printed;
+    EXPECT_EQ(reparsed->ToString(), printed) << name;
+    // The reparsed schedule must also be behaviorally identical, not
+    // just print-identical.
+    EXPECT_EQ(reparsed->seed, original->seed) << name;
+    EXPECT_DOUBLE_EQ(reparsed->append_error_rate, original->append_error_rate)
+        << name;
+    EXPECT_DOUBLE_EQ(reparsed->short_write_rate, original->short_write_rate)
+        << name;
+    EXPECT_DOUBLE_EQ(reparsed->sync_error_rate, original->sync_error_rate)
+        << name;
+    EXPECT_EQ(reparsed->short_write_keep_bytes,
+              original->short_write_keep_bytes)
+        << name;
+    EXPECT_EQ(reparsed->append_latency_ns, original->append_latency_ns)
+        << name;
+    EXPECT_EQ(reparsed->sync_latency_ns, original->sync_latency_ns) << name;
+    EXPECT_EQ(reparsed->latency_jitter_ns, original->latency_jitter_ns)
+        << name;
+    EXPECT_EQ(reparsed->write_error_at, original->write_error_at) << name;
+    EXPECT_EQ(reparsed->short_write_at, original->short_write_at) << name;
+    EXPECT_EQ(reparsed->sync_fail_at, original->sync_fail_at) << name;
+    EXPECT_EQ(reparsed->disarm_after_appends, original->disarm_after_appends)
+        << name;
+    EXPECT_EQ(reparsed->Armed(), original->Armed()) << name;
+  }
+}
+
+// Probabilistic-rate grammar corners: the printer must preserve enough
+// precision for exact double round-trips, including the boundaries.
+TEST(FaultScheduleTest, ProbabilisticRatesRoundTripExactly) {
+  for (const std::string_view rate :
+       {"0", "1", "0.5", "0.0625", "0.1", "0.333333333333333", "1e-6"}) {
+    const std::string spec =
+        "append_error_rate=" + std::string(rate) + ";seed=2";
+    auto original = FaultSchedule::Parse(spec);
+    ASSERT_TRUE(original.ok()) << spec;
+    auto reparsed = FaultSchedule::Parse(original->ToString());
+    ASSERT_TRUE(reparsed.ok()) << original->ToString();
+    EXPECT_EQ(reparsed->append_error_rate, original->append_error_rate)
+        << spec;  // Bit-exact, not just approximately equal.
+    EXPECT_EQ(reparsed->ToString(), original->ToString()) << spec;
+  }
+  // A rate of exactly 0 disarms that lane; the round-trip must not
+  // resurrect it.
+  auto zero = FaultSchedule::Parse("append_error_rate=0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_FALSE(zero->Armed());
+  auto zero_again = FaultSchedule::Parse(zero->ToString());
+  ASSERT_TRUE(zero_again.ok());
+  EXPECT_FALSE(zero_again->Armed());
+}
+
+// Countdown-arm grammar corners: *_at counters survive the round trip
+// at the boundaries (0 = fire on the very next op) and negatives are
+// rejected — "disarmed" is expressed by omitting the key.
+TEST(FaultScheduleTest, CountdownArmsRoundTripAtTheBoundaries) {
+  for (const std::string_view key :
+       {"write_error_at", "short_write_at", "sync_fail_at"}) {
+    for (const std::string_view value : {"0", "1", "2", "1000000"}) {
+      const std::string spec =
+          std::string(key) + "=" + std::string(value);
+      auto original = FaultSchedule::Parse(spec);
+      ASSERT_TRUE(original.ok()) << spec;
+      EXPECT_TRUE(original->Armed()) << spec;
+      auto reparsed = FaultSchedule::Parse(original->ToString());
+      ASSERT_TRUE(reparsed.ok()) << original->ToString();
+      EXPECT_EQ(reparsed->ToString(), original->ToString()) << spec;
+    }
+    EXPECT_FALSE(
+        FaultSchedule::Parse(std::string(key) + "=-1").ok())
+        << key;
+  }
+  // A countdown combined with a disarm window must round-trip to the
+  // same printed form (both differ from their -1 "omit" defaults).
+  auto combo = FaultSchedule::Parse("write_error_at=0;disarm_after_appends=5");
+  ASSERT_TRUE(combo.ok());
+  EXPECT_TRUE(combo->Armed());
+  auto combo_again = FaultSchedule::Parse(combo->ToString());
+  ASSERT_TRUE(combo_again.ok());
+  EXPECT_EQ(combo_again->ToString(), combo->ToString());
+  EXPECT_FALSE(
+      FaultSchedule::Parse("disarm_after_appends=-2").ok());
 }
 
 TEST(FaultScheduleTest, RejectsMalformedSpecs) {

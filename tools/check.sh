@@ -12,9 +12,13 @@
 #   tools/check.sh --native         # plain tier with -DFASEA_NATIVE_ARCH=ON
 #   tools/check.sh --perf-smoke     # also assert batched >= scalar scoring
 #   tools/check.sh --chaos-smoke    # also run the chaos soak matrix
+#   tools/check.sh --shard-smoke    # also run the sharded kill-mode drills
 #
 # The `soak` ctest label (the full chaos matrix) is excluded from the
 # plain and sanitizer tiers; --chaos-smoke opts into it explicitly.
+# The `shard` label marks the sharded-serving suites; they run in every
+# tier, and --shard-smoke additionally drives `fasea_cli chaos --shards`
+# through each kill mode.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,17 +27,19 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 metrics_smoke=0
 perf_smoke=0
 chaos_smoke=0
+shard_smoke=0
 native=OFF
 for arg in "$@"; do
   case "$arg" in
     --metrics-smoke) metrics_smoke=1 ;;
     --perf-smoke) perf_smoke=1 ;;
     --chaos-smoke) chaos_smoke=1 ;;
+    --shard-smoke) shard_smoke=1 ;;
     --native) native=ON ;;
     *)
       echo "check.sh: unknown argument '$arg'" \
            "(supported: --metrics-smoke --perf-smoke --chaos-smoke" \
-           "--native)" >&2
+           "--shard-smoke --native)" >&2
       exit 2
       ;;
   esac
@@ -77,14 +83,18 @@ ctest --test-dir "$root/build-sanitize" --output-on-failure -j "$jobs" \
 echo
 echo "== sanitizers: TSan build + concurrency tests =="
 echo "sanitizer tier: ThreadSanitizer (-DFASEA_SANITIZE=thread);" \
-     "runs the thread-pool / parallel-sim / service-concurrency suites"
+     "runs the thread-pool / parallel-sim / service-concurrency / shard" \
+     "suites"
 configure "$root/build-tsan" \
   -DFASEA_SANITIZE=thread \
   -DFASEA_BUILD_BENCHMARKS=OFF \
   -DFASEA_BUILD_EXAMPLES=OFF
 cmake --build "$root/build-tsan" -j "$jobs"
+# The shard suites ride along here because ShardedArrangementService is
+# a concurrent serving surface (per-shard locks + atomic counters); the
+# soak label is excluded as in the other tiers.
 ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
-  -R '(thread_pool|parallel|concurrency)'
+  -R '(thread_pool|parallel|concurrency|shard)' -LE soak
 
 if [[ "$chaos_smoke" -eq 1 ]]; then
   echo
@@ -99,6 +109,30 @@ if [[ "$chaos_smoke" -eq 1 ]]; then
     --wal_dir="$root/build/chaos-smoke-wal.$$"
   rm -rf "$root/build/chaos-smoke-wal.$$"
   echo "chaos smoke: all schedules passed their invariants"
+fi
+
+if [[ "$shard_smoke" -eq 1 ]]; then
+  echo
+  echo "== shard smoke: sharded kill-mode drills via fasea_cli chaos =="
+  # A short multi-shard chaos run per kill mode: each drill kills at
+  # least one shard (one-shard and all also do a full end-of-cycle
+  # crash), recovers from the per-shard WALs, and checks all seven
+  # invariants. The mid-commit drill runs clean — its contract needs a
+  # durable decision; the other two run under a faulted schedule.
+  for mode in one-shard coordinator-mid-commit all; do
+    schedule=flaky-appends
+    [[ "$mode" == coordinator-mid-commit ]] && schedule=clean
+    wal="$root/build/shard-smoke-wal.$$.$mode"
+    "$root/build/tools/fasea_cli" chaos --shards=4 --kill_mode="$mode" \
+      --schedule="$schedule" --rounds=60 --cycles=2 --seed=9 \
+      --wal_dir="$wal"
+    rm -rf "$wal"
+  done
+  # And the health probe across the sharded path must report healthy
+  # (exit code 0 IS the verdict).
+  "$root/build/tools/fasea_cli" health --shards=4 --rounds=120 \
+    --num_events=16 --dim=4 >/dev/null
+  echo "shard smoke: every kill mode passed all seven invariants"
 fi
 
 if [[ "$metrics_smoke" -eq 1 ]]; then

@@ -28,6 +28,20 @@
 //   fasea_cli chaos --list
 //   fasea_cli chaos --schedule=dying-disk --threads=2 --cycles=3
 //   fasea_cli chaos --schedule='append_error_rate=0.1' --seed=5
+//
+// Sharded chaos (per-shard WALs + the two-phase cross-shard protocol;
+// see ebsn/sharded_service.h). --shards > 0 selects the sharded
+// harness; --kill_mode picks which crash drill each cycle runs:
+//
+//   fasea_cli chaos --shards=4 --kill_mode=one-shard --schedule=torn-tail
+//   fasea_cli chaos --shards=4 --kill_mode=coordinator-mid-commit
+//
+// Machine-readable health probe (drives a short workload, dumps the
+// HealthSnapshot as JSON, and exits with the health state itself:
+// 0 healthy, 1 degraded, 2 lame-duck; 3 on usage/runtime errors):
+//
+//   fasea_cli health
+//   fasea_cli health --shards=4 --rounds=200; echo "state=$?"
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -39,7 +53,9 @@
 #include "ebsn/arrangement_service.h"
 #include "ebsn/chaos_harness.h"
 #include "ebsn/recovery_manager.h"
+#include "ebsn/sharded_service.h"
 #include "io/env.h"
+#include "io/wal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rng/pcg64.h"
@@ -236,6 +252,185 @@ int StatsMain(int argc, char** argv) {
   return 0;
 }
 
+// One HealthSnapshot as a JSON object. `label` names the sub-service
+// ("service" for the unsharded probe, "shard-N" otherwise).
+std::string HealthJson(const std::string& label,
+                       const fasea::HealthSnapshot& health) {
+  const std::string state_name(fasea::HealthStateName(health.state));
+  const std::string breaker_name(
+      health.breaker_enabled
+          ? fasea::CircuitBreaker::StateName(health.breaker)
+          : std::string_view("off"));
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"name\":\"%s\",\"state\":\"%s\",\"state_code\":%d,"
+      "\"wal_attached\":%s,\"wal_degraded\":%s,\"learner_healthy\":%s,"
+      "\"breaker\":\"%s\",\"rounds_served\":%lld,\"rounds_shed\":%lld,"
+      "\"deadline_exceeded\":%lld,\"nondurable_rounds\":%lld,"
+      "\"wal_reopens\":%lld,\"stateless_fallbacks\":%lld}",
+      label.c_str(), state_name.c_str(), static_cast<int>(health.state),
+      health.wal_attached ? "true" : "false",
+      health.wal_degraded ? "true" : "false",
+      health.learner_healthy ? "true" : "false", breaker_name.c_str(),
+      static_cast<long long>(health.rounds_served),
+      static_cast<long long>(health.rounds_shed),
+      static_cast<long long>(health.deadline_exceeded),
+      static_cast<long long>(health.nondurable_rounds),
+      static_cast<long long>(health.wal_reopens),
+      static_cast<long long>(health.stateless_fallbacks));
+  return buffer;
+}
+
+std::string FreshScratchWalDir(fasea::Env* env, const std::string& name,
+                               int shards) {
+  const std::string dir = "/tmp/" + name + "." + std::to_string(::getpid());
+  (void)env->CreateDir(dir);
+  for (int s = 0; s < shards; ++s) {
+    const std::string sub =
+        shards > 1 ? fasea::ShardWalDirName(dir, s) : dir;
+    if (auto entries = env->ListDir(sub); entries.ok()) {
+      for (const std::string& file : *entries) {
+        (void)env->DeleteFile(fasea::JoinPath(sub, file));
+      }
+    }
+  }
+  return dir;
+}
+
+// `fasea_cli health`: drive a short synthetic workload (unsharded, or
+// across N WAL-backed shards) and report the resulting HealthSnapshot
+// as JSON. The exit code IS the health verdict — 0 healthy, 1
+// degraded, 2 lame-duck — so probes can consume it without parsing;
+// usage and runtime errors exit 3 to stay distinguishable.
+int HealthMain(int argc, char** argv) {
+  fasea::FlagSet flags;
+  flags.DefineInt("rounds", 200, "Serve/feedback rounds to drive.");
+  flags.DefineInt("num_events", 64, "|V| of the synthetic workload.");
+  flags.DefineInt("dim", 8, "Context dimension d.");
+  flags.DefineInt("seed", 7, "Workload + policy seed.");
+  flags.DefineInt("shards", 1,
+                  "1 probes a single ArrangementService; N>1 probes a "
+                  "ShardedArrangementService with per-shard WALs and "
+                  "reports every shard plus the aggregate.");
+  flags.DefineString("wal_dir", "",
+                     "WAL directory (default: a fresh scratch dir under "
+                     "/tmp; old segments are deleted first).");
+  flags.DefineBool("help", false, "Show this help.");
+  if (fasea::Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "fasea_cli health: %s\n", st.ToString().c_str());
+    return 3;
+  }
+  if (flags.GetBool("help")) {
+    std::fputs(flags.HelpText("fasea_cli health").c_str(), stdout);
+    return 0;
+  }
+  const int shards = static_cast<int>(flags.GetInt("shards"));
+  if (shards < 1) {
+    std::fprintf(stderr, "fasea_cli health: --shards must be >= 1\n");
+    return 3;
+  }
+
+  fasea::SyntheticConfig config;
+  config.num_events = static_cast<std::size_t>(flags.GetInt("num_events"));
+  config.dim = static_cast<std::size_t>(flags.GetInt("dim"));
+  config.horizon = flags.GetInt("rounds");
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  if (fasea::Status st = config.Validate(); !st.ok()) {
+    std::fprintf(stderr, "fasea_cli health: %s\n", st.ToString().c_str());
+    return 3;
+  }
+  auto world = fasea::SyntheticWorld::Create(config);
+  if (!world.ok()) {
+    std::fprintf(stderr, "fasea_cli health: %s\n",
+                 world.status().ToString().c_str());
+    return 3;
+  }
+
+  fasea::Env* env = fasea::Env::Default();
+  std::string wal_dir = flags.GetString("wal_dir");
+  if (wal_dir.empty()) {
+    wal_dir = FreshScratchWalDir(env, "fasea_health_wal", shards);
+  }
+  const std::int64_t rounds = flags.GetInt("rounds");
+  fasea::Pcg64 feedback_rng(static_cast<std::uint64_t>(flags.GetInt("seed")),
+                            /*stream=*/99);
+
+  if (shards == 1) {
+    fasea::ArrangementService service(
+        &(*world)->instance(), fasea::PolicyKind::kUcb, fasea::PolicyParams{},
+        static_cast<std::uint64_t>(flags.GetInt("seed")));
+    auto wal = fasea::WalWriter::Open(env, wal_dir, fasea::WalOptions{});
+    if (!wal.ok()) {
+      std::fprintf(stderr, "fasea_cli health: %s\n",
+                   wal.status().ToString().c_str());
+      return 3;
+    }
+    service.AttachWal(std::move(wal).value());
+    for (std::int64_t t = 1; t <= rounds; ++t) {
+      const fasea::RoundContext& round = (*world)->provider().NextRound(t);
+      auto arrangement = service.ServeUser(round.user_id, round.user_capacity,
+                                           round.contexts);
+      if (!arrangement.ok()) {
+        std::fprintf(stderr, "fasea_cli health: round %lld: %s\n",
+                     static_cast<long long>(t),
+                     arrangement.status().ToString().c_str());
+        return 3;
+      }
+      const fasea::Feedback feedback = (*world)->feedback().Sample(
+          t, round.contexts, *arrangement, feedback_rng);
+      if (fasea::Status st = service.SubmitFeedback(feedback); !st.ok()) {
+        std::fprintf(stderr, "fasea_cli health: round %lld: %s\n",
+                     static_cast<long long>(t), st.ToString().c_str());
+        return 3;
+      }
+    }
+    const fasea::HealthSnapshot health = service.Health();
+    std::printf("%s\n", HealthJson("service", health).c_str());
+    return static_cast<int>(health.state);
+  }
+
+  fasea::ShardedOptions options;
+  options.num_shards = shards;
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  fasea::ShardedArrangementService service(&(*world)->instance(), options);
+  if (fasea::Status st = service.AttachWals(env, wal_dir); !st.ok()) {
+    std::fprintf(stderr, "fasea_cli health: %s\n", st.ToString().c_str());
+    return 3;
+  }
+  for (std::int64_t t = 1; t <= rounds; ++t) {
+    const fasea::RoundContext& round = (*world)->provider().NextRound(t);
+    auto served = service.ServeUser(round.user_id, round.user_capacity,
+                                    round.contexts);
+    if (!served.ok()) {
+      std::fprintf(stderr, "fasea_cli health: round %lld: %s\n",
+                   static_cast<long long>(t),
+                   served.status().ToString().c_str());
+      return 3;
+    }
+    const fasea::Feedback feedback = (*world)->feedback().Sample(
+        t, round.contexts, served->arrangement, feedback_rng);
+    if (fasea::Status st = service.SubmitFeedback(served->txn, feedback);
+        !st.ok()) {
+      std::fprintf(stderr, "fasea_cli health: round %lld: %s\n",
+                   static_cast<long long>(t), st.ToString().c_str());
+      return 3;
+    }
+  }
+  const fasea::HealthState aggregate = service.AggregateHealth();
+  std::printf("{\"aggregate\":\"%s\",\"aggregate_code\":%d,\"shards\":[",
+              std::string(fasea::HealthStateName(aggregate)).c_str(),
+              static_cast<int>(aggregate));
+  for (int s = 0; s < shards; ++s) {
+    std::printf("%s%s", s == 0 ? "" : ",",
+                HealthJson("shard-" + std::to_string(s),
+                           service.ShardHealth(s))
+                    .c_str());
+  }
+  std::printf("]}\n");
+  return static_cast<int>(aggregate);
+}
+
 int ChaosMain(int argc, char** argv) {
   fasea::FlagSet flags;
   flags.DefineString("schedule", "dying-disk",
@@ -248,6 +443,16 @@ int ChaosMain(int argc, char** argv) {
   flags.DefineString("wal_dir", "",
                      "Fresh WAL directory for the run (default: "
                      "/tmp/fasea_chaos_cli.<pid>).");
+  flags.DefineInt("shards", 0,
+                  "0 runs the classic single-service harness; N>0 runs "
+                  "the sharded harness (per-shard WALs, two-phase "
+                  "cross-shard rounds) with N shards.");
+  flags.DefineString("kill_mode", "one-shard",
+                     "Sharded-only crash drill: one-shard | "
+                     "coordinator-mid-commit | all.");
+  flags.DefineInt("merge_every", 0,
+                  "Sharded-only: delta-merge learner state every N "
+                  "completed rounds (0 = off).");
   flags.DefineBool("list", false, "List named fault schedules and exit.");
   flags.DefineBool("help", false, "Show this help.");
   if (fasea::Status st = flags.Parse(argc, argv); !st.ok()) {
@@ -276,6 +481,50 @@ int ChaosMain(int argc, char** argv) {
     std::fprintf(stderr, "fasea_cli chaos: %s\n",
                  schedule.status().ToString().c_str());
     return 2;
+  }
+
+  const int shards = static_cast<int>(flags.GetInt("shards"));
+  if (shards > 0) {
+    auto kill_mode = fasea::ParseShardKillMode(flags.GetString("kill_mode"));
+    if (!kill_mode.ok()) {
+      std::fprintf(stderr, "fasea_cli chaos: %s\n",
+                   kill_mode.status().ToString().c_str());
+      return 2;
+    }
+    fasea::ShardedChaosOptions options;
+    options.schedule = *schedule;
+    options.shards = shards;
+    options.kill_mode = *kill_mode;
+    options.rounds_per_cycle = flags.GetInt("rounds");
+    options.cycles = static_cast<int>(flags.GetInt("cycles"));
+    options.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+    options.merge_every = flags.GetInt("merge_every");
+    options.wal_dir = flags.GetString("wal_dir");
+    if (options.wal_dir.empty()) {
+      options.wal_dir =
+          "/tmp/fasea_chaos_cli." + std::to_string(::getpid());
+    }
+    if (fasea::Status st = fasea::Env::Default()->CreateDir(options.wal_dir);
+        !st.ok()) {
+      std::fprintf(stderr, "fasea_cli chaos: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("chaos: schedule=%s shards=%d kill_mode=%s rounds=%lld "
+                "cycles=%d seed=%llu wal_dir=%s\n",
+                spec.c_str(), shards,
+                flags.GetString("kill_mode").c_str(),
+                static_cast<long long>(options.rounds_per_cycle),
+                options.cycles,
+                static_cast<unsigned long long>(options.seed),
+                options.wal_dir.c_str());
+    auto report = fasea::RunShardedChaos(options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "fasea_cli chaos: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(report->ToString().c_str(), stdout);
+    return report->ok ? 0 : 1;
   }
 
   fasea::ChaosOptions options;
@@ -322,6 +571,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::string_view(argv[1]) == "chaos") {
     return ChaosMain(argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::string_view(argv[1]) == "health") {
+    return HealthMain(argc - 2, argv + 2);
   }
   return fasea::CliMain(argc, argv);
 }
