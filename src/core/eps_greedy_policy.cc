@@ -11,7 +11,8 @@ EpsGreedyPolicy::EpsGreedyPolicy(const ProblemInstance* instance,
     : LinearPolicyBase(instance, params.lambda),
       params_(params),
       coin_rng_(rng),
-      random_oracle_(Pcg64(rng.Next(), HashTag("egreedy-oracle"))) {
+      random_oracle_(Pcg64(rng.Next(), HashTag("egreedy-oracle"))),
+      propensity_salt_(DeriveSeed(rng.Next(), "egreedy-propensity")) {
   FASEA_CHECK(params.epsilon >= 0.0 && params.epsilon <= 1.0);
 }
 
@@ -48,6 +49,38 @@ Arrangement EpsGreedyPolicy::Propose(std::int64_t t,
       greedy_.Select(scores, conflicts(), state, round.user_capacity);
   RecordSpanSince("oracle.greedy", t, greedy_start);
   return arrangement;
+}
+
+double EpsGreedyPolicy::PropensityOf(std::int64_t t, const RoundContext& round,
+                                     const PlatformState& state,
+                                     const Arrangement& arrangement) {
+  // Exploit component: deterministic greedy on x ᵀ θ̂ — exact.
+  std::span<double> scores = Scores(round.contexts.rows());
+  if (scoring_mode() == ScoringMode::kBatched) {
+    ridge_.PredictBatch(round.contexts, scores);
+  } else {
+    const Vector& theta = ridge_.ThetaHat();
+    for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
+      scores[v] = Dot(round.contexts.Row(v), theta.span());
+    }
+  }
+  ApplyAvailabilityMask(round, scores);
+  const bool greedy_match =
+      greedy_.Select(scores, conflicts(), state, round.user_capacity) ==
+      arrangement;
+  double p = greedy_match ? 1.0 - params_.epsilon : 0.0;
+  if (params_.epsilon > 0.0) {
+    // Exploration component: availability-only scores, same filter the
+    // exploration branch of Propose hands its RandomOracle.
+    std::fill(scores.begin(), scores.end(), 0.0);
+    ApplyAvailabilityMask(round, scores);
+    p += params_.epsilon *
+         McRandomArrangementMass(
+             DeriveSeed(propensity_salt_, "mc",
+                        static_cast<std::uint64_t>(t)),
+             scores, conflicts(), state, round.user_capacity, arrangement);
+  }
+  return p;
 }
 
 std::unique_ptr<EpsGreedyPolicy> MakeExploitPolicy(

@@ -37,10 +37,18 @@ class EpsGreedyPolicy : public LinearPolicyBase {
   Arrangement Propose(std::int64_t t, const RoundContext& round,
                       const PlatformState& state) override;
 
+  /// ε-mixture: (1−ε)·𝟙[A = greedy(θ̂)] + ε·P_random(A), the random mass
+  /// Monte-Carlo estimated on a derived per-round stream (never the coin
+  /// or oracle streams, so serving draws are untouched).
+  double PropensityOf(std::int64_t t, const RoundContext& round,
+                      const PlatformState& state,
+                      const Arrangement& arrangement) override;
+
  private:
   EpsGreedyParams params_;
   Pcg64 coin_rng_;
   RandomOracle random_oracle_;
+  std::uint64_t propensity_salt_;
 };
 
 /// The pure-exploitation special case (ε = 0); needs no randomness.

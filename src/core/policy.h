@@ -13,11 +13,19 @@
 #include <string>
 #include <string_view>
 
+#include "graph/conflict_graph.h"
 #include "model/context.h"
 #include "model/platform_state.h"
 #include "model/types.h"
 
 namespace fasea {
+
+/// Monte-Carlo draws behind the stochastic policies' PropensityOf
+/// estimates. The estimates are Laplace-smoothed ((hits+1)/(draws+1)) so a
+/// logged action never reports zero behavior propensity — an MC miss would
+/// otherwise silently drop the round from every importance-weighted
+/// estimator.
+inline constexpr int kPropensityMcDraws = 32;
 
 class Policy {
  public:
@@ -51,7 +59,40 @@ class Policy {
   /// Bytes of learner state (the paper's memory metric tracks how state
   /// scales with |V| and d).
   virtual std::size_t MemoryBytes() const = 0;
+
+  /// Probability that this policy, in its CURRENT learner state, would
+  /// propose exactly `arrangement` (ordered — the arrangement IS the
+  /// action under Definition 3) for this round. This is the behavior
+  /// propensity the decision log records and the IPS/DR replay estimators
+  /// divide by.
+  ///
+  /// Contract: the value must be a pure function of (learner state, round,
+  /// platform state, arrangement) — it must NOT consume any of the
+  /// policy's serving RNG streams, so recording it at serve time and
+  /// recomputing it during offline replay (after feeding the same Learn
+  /// sequence) yield the identical double. Stochastic policies derive
+  /// private per-round MC streams from a construction-time salt instead.
+  ///
+  /// The default implementation treats the policy as deterministic — a
+  /// point mass on whatever Propose returns — which is exact for UCB,
+  /// Exploit, and OPT. Stochastic policies (eGreedy, TS, Random,
+  /// Boltzmann) override it.
+  virtual double PropensityOf(std::int64_t t, const RoundContext& round,
+                              const PlatformState& state,
+                              const Arrangement& arrangement);
 };
+
+/// Shared by the eGreedy and Random overrides: Laplace-smoothed Monte-Carlo
+/// estimate of the probability that a RandomOracle (uniform visit order +
+/// feasibility filter) emits exactly `arrangement`, in order. `scores` only
+/// carry the availability mask (kExcludedScore = skip). Deterministic given
+/// `seed`.
+double McRandomArrangementMass(std::uint64_t seed,
+                               std::span<const double> scores,
+                               const ConflictGraph& conflicts,
+                               const PlatformState& state,
+                               std::int64_t user_capacity,
+                               const Arrangement& arrangement);
 
 /// Overwrites scores of unavailable events with kExcludedScore.
 void ApplyAvailabilityMask(const RoundContext& round,

@@ -1,5 +1,6 @@
 #include "core/policy_factory.h"
 
+#include "core/boltzmann_policy.h"
 #include "core/eps_greedy_policy.h"
 #include "core/random_policy.h"
 #include "core/ts_policy.h"
@@ -20,6 +21,8 @@ std::string_view PolicyKindName(PolicyKind kind) {
       return "Exploit";
     case PolicyKind::kRandom:
       return "Random";
+    case PolicyKind::kBoltzmann:
+      return "Boltzmann";
   }
   return "Unknown";
 }
@@ -66,6 +69,15 @@ std::unique_ptr<Policy> MakePolicy(PolicyKind kind,
       // Random has no learning state; scoring mode does not apply.
       return std::make_unique<RandomPolicy>(instance,
                                             MakeEngine(seed, "random"));
+    case PolicyKind::kBoltzmann: {
+      BoltzmannParams p;
+      p.lambda = params.lambda;
+      p.temperature = params.temperature;
+      auto policy = std::make_unique<BoltzmannPolicy>(
+          instance, p, MakeEngine(seed, "boltzmann"));
+      policy->set_scoring_mode(mode);
+      return policy;
+    }
   }
   FASEA_CHECK(false && "unknown policy kind");
   return nullptr;

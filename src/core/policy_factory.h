@@ -14,7 +14,10 @@
 
 namespace fasea {
 
-enum class PolicyKind { kUcb, kTs, kEpsGreedy, kExploit, kRandom };
+/// The paper's five algorithms plus the Boltzmann/softmax explorer (a
+/// stochastic behavior policy with closed-form propensities; not part of
+/// AllPolicyKinds so the paper-figure sweeps are unchanged).
+enum class PolicyKind { kUcb, kTs, kEpsGreedy, kExploit, kRandom, kBoltzmann };
 
 std::string_view PolicyKindName(PolicyKind kind);
 
@@ -25,6 +28,7 @@ struct PolicyParams {
   double alpha = 2.0;   // UCB.
   double delta = 0.1;   // TS.
   double epsilon = 0.1; // eGreedy.
+  double temperature = 0.2; // Boltzmann softmax τ.
   // Use the pre-batching per-event scoring loops (ScoringMode::kScalar)
   // instead of the fused kernels — the reference path for equivalence
   // tests and the scalar-vs-batched benches.

@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "rng/seed.h"
+
 namespace fasea {
+
+RandomPolicy::RandomPolicy(const ProblemInstance* instance, Pcg64 rng)
+    : instance_(instance),
+      oracle_(rng),
+      propensity_salt_(DeriveSeed(rng.Next(), "random-propensity")) {
+  FASEA_CHECK(instance != nullptr);
+}
 
 Arrangement RandomPolicy::Propose(std::int64_t /*t*/,
                                   const RoundContext& round,
@@ -12,6 +21,18 @@ Arrangement RandomPolicy::Propose(std::int64_t /*t*/,
   ApplyAvailabilityMask(round, scores_);
   return oracle_.Select(scores_, instance_->conflicts(), state,
                         round.user_capacity);
+}
+
+double RandomPolicy::PropensityOf(std::int64_t t, const RoundContext& round,
+                                  const PlatformState& state,
+                                  const Arrangement& arrangement) {
+  scores_.resize(round.contexts.rows());
+  std::fill(scores_.begin(), scores_.end(), 0.0);
+  ApplyAvailabilityMask(round, scores_);
+  return McRandomArrangementMass(
+      DeriveSeed(propensity_salt_, "mc", static_cast<std::uint64_t>(t)),
+      scores_, instance_->conflicts(), state, round.user_capacity,
+      arrangement);
 }
 
 void RandomPolicy::EstimateRewards(const ContextMatrix& contexts,

@@ -14,10 +14,7 @@ namespace fasea {
 
 class RandomPolicy final : public Policy {
  public:
-  RandomPolicy(const ProblemInstance* instance, Pcg64 rng)
-      : instance_(instance), oracle_(rng) {
-    FASEA_CHECK(instance != nullptr);
-  }
+  RandomPolicy(const ProblemInstance* instance, Pcg64 rng);
 
   std::string_view name() const override { return "Random"; }
 
@@ -35,9 +32,17 @@ class RandomPolicy final : public Policy {
     return scores_.capacity() * sizeof(double);
   }
 
+  /// Monte-Carlo arrangement mass under the uniform feasibility-filtered
+  /// oracle, on a derived per-round stream (the serving oracle stream is
+  /// untouched).
+  double PropensityOf(std::int64_t t, const RoundContext& round,
+                      const PlatformState& state,
+                      const Arrangement& arrangement) override;
+
  private:
   const ProblemInstance* instance_;
   RandomOracle oracle_;
+  std::uint64_t propensity_salt_;
   std::vector<double> scores_;
 };
 

@@ -1,11 +1,13 @@
 #include "core/ts_policy.h"
 
 #include <cmath>
+#include <optional>
 
 #include "linalg/cholesky.h"
 #include "linalg/kernels.h"
 #include "linalg/mvn.h"
 #include "obs/trace.h"
+#include "rng/seed.h"
 
 namespace fasea {
 
@@ -14,6 +16,7 @@ TsPolicy::TsPolicy(const ProblemInstance* instance, const TsParams& params,
     : LinearPolicyBase(instance, params.lambda),
       params_(params),
       rng_(rng),
+      propensity_salt_(DeriveSeed(rng.Next(), "ts-propensity")),
       sampled_theta_(instance->dim()) {
   FASEA_CHECK(params.delta > 0.0 && params.delta < 1.0);
   FASEA_CHECK(params.r_scale >= 0.0);
@@ -72,6 +75,62 @@ Arrangement TsPolicy::Propose(std::int64_t t, const RoundContext& round,
       greedy_.Select(scores, conflicts(), state, round.user_capacity);
   RecordSpanSince("oracle.greedy", t, greedy_start);
   return arrangement;
+}
+
+double TsPolicy::PropensityOf(std::int64_t t, const RoundContext& round,
+                              const PlatformState& state,
+                              const Arrangement& arrangement) {
+  const std::size_t d = ridge_.dim();
+  const double q =
+      params_.r_scale *
+      std::sqrt(9.0 * static_cast<double>(d) *
+                std::log(static_cast<double>(t) / params_.delta));
+
+  // Mirror Propose's factor choice per scoring mode, so the propensity
+  // model is the distribution the behavior draw actually came from.
+  std::optional<StatusOr<Cholesky>> fresh;
+  const Cholesky* factor = nullptr;
+  if (scoring_mode() == ScoringMode::kScalar) {
+    fresh.emplace(Cholesky::Factorize(ridge_.Y()));
+    if (fresh->ok()) factor = &fresh->value();
+  } else if (ridge_.factor_healthy()) {
+    factor = &ridge_.Factor();
+  }
+
+  std::span<double> scores = Scores(round.contexts.rows());
+  const auto score_with = [&](const Vector& theta) {
+    if (scoring_mode() == ScoringMode::kBatched) {
+      GemvRows(round.contexts, theta.span(), scores);
+    } else {
+      for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
+        scores[v] = Dot(round.contexts.Row(v), theta.span());
+      }
+    }
+    ApplyAvailabilityMask(round, scores);
+  };
+
+  if (factor == nullptr) {
+    // Degraded rounds propose deterministically from θ̂ — point mass.
+    score_with(ridge_.ThetaHat());
+    return greedy_.Select(scores, conflicts(), state,
+                          round.user_capacity) == arrangement
+               ? 1.0
+               : 0.0;
+  }
+
+  Pcg64 mc(DeriveSeed(propensity_salt_, "mc", static_cast<std::uint64_t>(t)),
+           HashTag("ts-propensity-mc"));
+  int hits = 0;
+  for (int k = 0; k < kPropensityMcDraws; ++k) {
+    const Vector theta =
+        SampleMvnFromPrecision(mc, ridge_.ThetaHat(), q, *factor);
+    score_with(theta);
+    if (greedy_.Select(scores, conflicts(), state, round.user_capacity) ==
+        arrangement) {
+      ++hits;
+    }
+  }
+  return (hits + 1.0) / (kPropensityMcDraws + 1.0);
 }
 
 void TsPolicy::DegradedSample() {

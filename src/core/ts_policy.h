@@ -39,6 +39,15 @@ class TsPolicy final : public LinearPolicyBase {
   Arrangement Propose(std::int64_t t, const RoundContext& round,
                       const PlatformState& state) override;
 
+  /// Sample-count Monte-Carlo estimate: the fraction of fresh posterior
+  /// draws θ̃ ~ N(θ̂, q² Y⁻¹) whose greedy arrangement equals the action
+  /// (Laplace-smoothed), on a derived per-round stream — the private
+  /// posterior stream `rng_` and the cached `sampled_theta_` are never
+  /// touched. Degrades to the θ̃ = θ̂ point mass exactly when Propose would.
+  double PropensityOf(std::int64_t t, const RoundContext& round,
+                      const PlatformState& state,
+                      const Arrangement& arrangement) override;
+
   /// TS's per-round reward estimate is x ᵀ θ̃ with the *sampled* θ̃ — the
   /// source of the ranking noise Figure 2 visualizes.
   void EstimateRewards(const ContextMatrix& contexts,
@@ -59,6 +68,7 @@ class TsPolicy final : public LinearPolicyBase {
 
   TsParams params_;
   Pcg64 rng_;
+  std::uint64_t propensity_salt_;
   Vector sampled_theta_;
   std::int64_t num_degraded_samples_ = 0;
   Counter* sample_factor_failures_metric_ =

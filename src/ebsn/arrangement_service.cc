@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/hash.h"
 #include "common/strings.h"
 #include "obs/trace.h"
 #include "oracle/oracle.h"
@@ -101,6 +102,20 @@ void ArrangementService::AttachWal(std::unique_ptr<WalWriter> wal,
                  ? std::make_unique<CircuitBreaker>(policy.breaker)
                  : nullptr;
   UpdateHealthGaugeLocked();
+}
+
+void ArrangementService::AttachDecisionLog(
+    std::unique_ptr<DecisionLogWriter> log) {
+  std::lock_guard<std::timed_mutex> lock(mu_);
+  FASEA_CHECK(log != nullptr);
+  decision_log_ = std::move(log);
+}
+
+void ArrangementService::SetNextRoundTrace(std::uint64_t txn,
+                                           std::uint64_t trace_id) {
+  std::lock_guard<std::timed_mutex> lock(mu_);
+  next_txn_override_ = txn;
+  next_trace_override_ = trace_id;
 }
 
 void ArrangementService::ConfigureOverload(const OverloadOptions& options) {
@@ -226,8 +241,17 @@ StatusOr<Arrangement> ArrangementService::ServeUser(
     return DeadlineExceededError(
         "deadline expired before the round pipeline was acquired");
   }
+  // Consume the sharded coordinator's id override (if any) up front so a
+  // failed serve cannot leak it into an unrelated later round.
+  const std::uint64_t txn = next_txn_override_ != 0
+                                ? next_txn_override_
+                                : static_cast<std::uint64_t>(t_ + 1);
+  const std::uint64_t trace_id =
+      next_trace_override_ != 0 ? next_trace_override_ : Mix64(txn);
+  next_txn_override_ = 0;
+  next_trace_override_ = 0;
   TraceSpan total_span("serve.total", t_ + 1, TraceRing::Global(),
-                       serve_latency_);
+                       serve_latency_, trace_id);
   if (pending_) {
     serve_errors_metric_->Increment();
     return FailedPreconditionError(
@@ -252,7 +276,8 @@ StatusOr<Arrangement> ArrangementService::ServeUser(
   const bool learner_healthy = LearnerHealthyLocked();
   learner_healthy_gauge_->Set(learner_healthy ? 1.0 : 0.0);
   {
-    TraceSpan span("serve.propose", t_);
+    TraceSpan span("serve.propose", t_, TraceRing::Global(), nullptr,
+                   trace_id);
     if (!learner_healthy) {
       // The learner's Y lost positive-definiteness (a failed Cholesky
       // refactorization). Serve a feasible, estimate-free arrangement
@@ -269,6 +294,37 @@ StatusOr<Arrangement> ArrangementService::ServeUser(
   pending_ = true;
   pending_round_ = std::move(round);
   pending_arrangement_ = arrangement;
+  pending_txn_ = txn;
+  pending_trace_id_ = trace_id;
+  if (decision_log_ != nullptr) {
+    TraceSpan span("serve.decision_log", t_, TraceRing::Global(), nullptr,
+                   trace_id);
+    DecisionRecord decision;
+    decision.round = t_;
+    decision.txn = txn;
+    decision.user_id = user_id;
+    decision.user_capacity = user_capacity;
+    decision.context_hash = HashRoundContext(pending_round_);
+    decision.trace_id = trace_id;
+    const auto* base =
+        dynamic_cast<const LinearPolicyBase*>(policy_.get());
+    decision.theta_version =
+        base != nullptr ? base->ridge().num_observations() : 0;
+    if (learner_healthy) {
+      decision.propensity =
+          policy_->PropensityOf(t_, pending_round_, state_, arrangement);
+      decision.policy_id = std::string(policy_->name());
+    } else {
+      // The stateless fallback is deterministic given the round and
+      // capacities: a point mass on what it proposed.
+      decision.propensity = 1.0;
+      decision.policy_id = "Stateless";
+    }
+    decision.arrangement = arrangement;
+    // Best-effort: a failed append counts in
+    // fasea.decision.append_failures, serving continues.
+    (void)decision_log_->Append(decision);
+  }
   serve_rounds_metric_->Increment();
   proposed_events_metric_->Add(static_cast<std::int64_t>(
       arrangement.size()));
@@ -306,7 +362,8 @@ Status ArrangementService::SubmitFeedback(const Feedback& feedback,
         "deadline expired before the round pipeline was acquired");
   }
   TraceSpan total_span("feedback.total", t_, TraceRing::Global(),
-                       feedback_latency_);
+                       feedback_latency_,
+                       pending_ ? pending_trace_id_ : 0);
   if (!pending_) {
     feedback_errors_metric_->Increment();
     return FailedPreconditionError("no arrangement is awaiting feedback");
@@ -326,7 +383,8 @@ Status ArrangementService::SubmitFeedback(const Feedback& feedback,
   InteractionRecord record;
   std::string encoded;
   {
-    TraceSpan span("feedback.encode", t_);
+    TraceSpan span("feedback.encode", t_, TraceRing::Global(), nullptr,
+                   pending_trace_id_);
     record.t = t_;
     record.user_id = pending_round_.user_id;
     record.user_capacity = pending_round_.user_capacity;
@@ -399,7 +457,8 @@ Status ArrangementService::SubmitFeedback(const Feedback& feedback,
     if (feedback[i]) state_.ConsumeOne(pending_arrangement_[i]);
   }
   {
-    TraceSpan span("feedback.learn", t_);
+    TraceSpan span("feedback.learn", t_, TraceRing::Global(), nullptr,
+                   pending_trace_id_);
     policy_->Learn(t_, pending_round_, pending_arrangement_, feedback);
   }
   accepted_events_metric_->Add(

@@ -76,6 +76,7 @@
 #include "ebsn/interaction_log.h"
 #include "io/wal.h"
 #include "model/platform_state.h"
+#include "obs/decision_log.h"
 #include "obs/metrics.h"
 
 namespace fasea {
@@ -187,6 +188,21 @@ class ArrangementService {
   void AttachWal(std::unique_ptr<WalWriter> wal,
                  DurabilityPolicy policy = {}, WalReopenFn reopen = {});
 
+  /// Attaches a decision log (obs/decision_log.h): every subsequent
+  /// ServeUser appends one record — round, user, context hash, proposed
+  /// arrangement, the behavior policy's propensity for it, policy id, θ̂
+  /// version, txn and trace ids — beside the feedback WAL. Logging is
+  /// best-effort observability: an append failure counts
+  /// fasea.decision.append_failures and serving continues.
+  void AttachDecisionLog(std::unique_ptr<DecisionLogWriter> log);
+
+  /// The transaction/trace ids the NEXT ServeUser stamps on its spans and
+  /// decision record. The sharded coordinator calls this so per-shard
+  /// records and spans carry the coordinator's ids; without it the
+  /// unsharded service defaults to txn = t and trace = Mix64(t). Consumed
+  /// by the next ServeUser (success or failure).
+  void SetNextRoundTrace(std::uint64_t txn, std::uint64_t trace_id);
+
   /// Installs admission bounds for ServeUser. Call before serving
   /// starts (not thread-safe against in-flight requests).
   void ConfigureOverload(const OverloadOptions& options);
@@ -265,6 +281,9 @@ class ArrangementService {
   /// Mutable policy access — for recovery tooling and fault-injection
   /// tests; production serving goes through ServeUser/SubmitFeedback.
   Policy* mutable_policy() { return policy_.get(); }
+  /// The attached decision log (nullptr when none); mutable access for
+  /// Sync/Close at shutdown.
+  DecisionLogWriter* mutable_decision_log() { return decision_log_.get(); }
   std::int64_t rounds_served() const {
     std::lock_guard<std::timed_mutex> lock(mu_);
     return t_;
@@ -370,10 +389,18 @@ class ArrangementService {
   std::atomic<std::int64_t> deadline_exceeded_{0};
   std::atomic<bool> lame_duck_{false};
 
+  std::unique_ptr<DecisionLogWriter> decision_log_;
+  // Ids stamped on the next round's spans and decision record (0 = use
+  // the unsharded defaults txn = t, trace = Mix64(t)).
+  std::uint64_t next_txn_override_ = 0;
+  std::uint64_t next_trace_override_ = 0;
+
   std::int64_t t_ = 0;
   bool pending_ = false;
   RoundContext pending_round_;
   Arrangement pending_arrangement_;
+  std::uint64_t pending_txn_ = 0;
+  std::uint64_t pending_trace_id_ = 0;
 
   // --- Telemetry (process-wide registry; see DESIGN.md §8) --------------
   Histogram* serve_latency_ =

@@ -7,11 +7,12 @@
 
 namespace fasea {
 
-std::string EncodeDecisionFrame(std::uint64_t txn,
+std::string EncodeDecisionFrame(std::uint64_t txn, std::uint64_t trace_id,
                                 const InteractionRecord& record) {
   std::string out;
   AppendU8(&out, static_cast<std::uint8_t>(ShardFrameKind::kDecision));
   AppendU64(&out, txn);
+  AppendU64(&out, trace_id);
   out += EncodeInteractionRecord(record);
   return out;
 }
@@ -20,6 +21,7 @@ std::string EncodeReserveFrame(const ReservationRecord& reservation) {
   std::string out;
   AppendU8(&out, static_cast<std::uint8_t>(ShardFrameKind::kReserve));
   AppendU64(&out, reservation.txn);
+  AppendU64(&out, reservation.trace_id);
   AppendU32(&out, static_cast<std::uint32_t>(reservation.coordinator_shard));
   AppendI64(&out, reservation.coordinator_round);
   AppendI64(&out, reservation.user_id);
@@ -28,11 +30,12 @@ std::string EncodeReserveFrame(const ReservationRecord& reservation) {
   return out;
 }
 
-std::string EncodePortionFrame(std::uint64_t txn,
+std::string EncodePortionFrame(std::uint64_t txn, std::uint64_t trace_id,
                                const InteractionRecord& record) {
   std::string out;
   AppendU8(&out, static_cast<std::uint8_t>(ShardFrameKind::kPortion));
   AppendU64(&out, txn);
+  AppendU64(&out, trace_id);
   out += EncodeInteractionRecord(record);
   return out;
 }
@@ -43,9 +46,12 @@ StatusOr<ShardFrame> DecodeShardFrame(std::string_view payload) {
   if (!kind.ok()) return kind.status();
   auto txn = reader.ReadU64();
   if (!txn.ok()) return txn.status();
+  auto trace_id = reader.ReadU64();
+  if (!trace_id.ok()) return trace_id.status();
 
   ShardFrame frame;
   frame.txn = *txn;
+  frame.trace_id = *trace_id;
   switch (*kind) {
     case static_cast<std::uint8_t>(ShardFrameKind::kDecision):
     case static_cast<std::uint8_t>(ShardFrameKind::kPortion): {
@@ -67,6 +73,7 @@ StatusOr<ShardFrame> DecodeShardFrame(std::string_view payload) {
       auto n = reader.ReadU32();
       if (!n.ok()) return n.status();
       frame.reservation.txn = *txn;
+      frame.reservation.trace_id = *trace_id;
       frame.reservation.coordinator_shard = static_cast<int>(*shard);
       frame.reservation.coordinator_round = *round;
       frame.reservation.user_id = *user;

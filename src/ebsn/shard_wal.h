@@ -2,10 +2,13 @@
 //
 // A shard's WAL carries more than interaction records: the two-phase
 // cross-shard arrangement protocol needs durable traces of both phases.
-// Every frame payload starts with a one-byte kind tag and the global
-// transaction id, then the kind-specific body:
+// Every frame payload starts with a one-byte kind tag, the global
+// transaction id, and the coordinator's trace id (the TraceRing
+// correlation id stamped on every span and decision-log record of the
+// same transaction, so one stats dump reconstructs the cross-shard
+// timeline), then the kind-specific body:
 //
-//   kDecision [0x01][txn][InteractionRecord]
+//   kDecision [0x01][txn][trace][InteractionRecord]
 //     The coordinator's commit record: the FULL round (global event
 //     ids, record.t = the coordinator's local round counter). Appending
 //     this frame durably IS the commit point of the transaction — on
@@ -13,15 +16,15 @@
 //     participants resolve in-doubt reservations against it. A
 //     single-shard round is just a decision with no remote portions.
 //
-//   kReserve [0x02][txn][coordinator_shard][coordinator_round][user_id]
-//            [n][event]*n
+//   kReserve [0x02][txn][trace][coordinator_shard][coordinator_round]
+//            [user_id][n][event]*n
 //     Phase 1 on a participant: the listed (global-id) events are
 //     reserved for the coordinator's round. A participant only votes
 //     yes once this frame is durable; until a kPortion for the same txn
 //     follows, the reservation is *in-doubt* and recovery must resolve
 //     it (presumed-abort, see sharded_service.h).
 //
-//   kPortion [0x03][txn][InteractionRecord]
+//   kPortion [0x03][txn][trace][InteractionRecord]
 //     Phase 2 on a participant: its slice of the round was applied
 //     (record in LOCAL event ids, record.t = the participant's own
 //     round counter). Closes the txn's in-doubt reservation. Only
@@ -52,6 +55,7 @@ enum class ShardFrameKind : std::uint8_t {
 /// for the coordinator's round until committed or aborted.
 struct ReservationRecord {
   std::uint64_t txn = 0;
+  std::uint64_t trace_id = 0;
   int coordinator_shard = 0;
   std::int64_t coordinator_round = 0;
   std::int64_t user_id = 0;
@@ -63,14 +67,15 @@ struct ReservationRecord {
 struct ShardFrame {
   ShardFrameKind kind = ShardFrameKind::kDecision;
   std::uint64_t txn = 0;
+  std::uint64_t trace_id = 0;     // Coordinator's correlation id.
   InteractionRecord record;       // kDecision / kPortion.
   ReservationRecord reservation;  // kReserve.
 };
 
-std::string EncodeDecisionFrame(std::uint64_t txn,
+std::string EncodeDecisionFrame(std::uint64_t txn, std::uint64_t trace_id,
                                 const InteractionRecord& record);
 std::string EncodeReserveFrame(const ReservationRecord& reservation);
-std::string EncodePortionFrame(std::uint64_t txn,
+std::string EncodePortionFrame(std::uint64_t txn, std::uint64_t trace_id,
                                const InteractionRecord& record);
 
 /// Decodes any shard frame; kDataLoss on unknown kinds or malformed

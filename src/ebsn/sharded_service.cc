@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "rng/seed.h"
 
 namespace fasea {
@@ -77,6 +79,9 @@ Status ShardedArrangementService::AttachWals(
   wal_base_dir_ = base_dir;
   wal_options_ = wal_options;
   durability_ = durability;
+  // Per-shard dirs nest under the base; WalWriter::Open only creates its
+  // own leaf, so a fresh base path must exist before the first shard.
+  if (Status st = env->CreateDir(base_dir); !st.ok()) return st;
   for (int s = 0; s < options_.num_shards; ++s) {
     if (shards_[static_cast<std::size_t>(s)]->service == nullptr) continue;
     if (Status st = AttachShardWal(s); !st.ok()) return st;
@@ -108,6 +113,34 @@ Status ShardedArrangementService::AttachShardWal(int shard) {
                   ? std::make_unique<CircuitBreaker>(durability_.breaker)
                   : nullptr;
   return Status::Ok();
+}
+
+Status ShardedArrangementService::AttachDecisionLogs(
+    Env* env, const std::string& base_dir, const DecisionLogHeader& header,
+    const WalOptions& wal_options) {
+  FASEA_CHECK(env != nullptr);
+  for (int s = 0; s < options_.num_shards; ++s) {
+    Shard& shard = *shards_[static_cast<std::size_t>(s)];
+    if (shard.service == nullptr) continue;
+    auto log = DecisionLogWriter::Open(
+        env, DecisionLogDirName(ShardWalDirName(base_dir, s)), header,
+        wal_options);
+    if (!log.ok()) return log.status();
+    shard.service->AttachDecisionLog(std::move(log).value());
+  }
+  return Status::Ok();
+}
+
+Status ShardedArrangementService::CloseDecisionLogs() {
+  Status first = Status::Ok();
+  for (int s = 0; s < options_.num_shards; ++s) {
+    Shard& shard = *shards_[static_cast<std::size_t>(s)];
+    if (shard.service == nullptr) continue;
+    DecisionLogWriter* log = shard.service->mutable_decision_log();
+    if (log == nullptr) continue;
+    if (Status st = log->Close(); !st.ok() && first.ok()) first = st;
+  }
+  return first;
 }
 
 Status ShardedArrangementService::AppendLocked(Shard& shard,
@@ -263,6 +296,9 @@ StatusOr<ShardedServeResult> ShardedArrangementService::ServeUser(
   }
   const std::uint64_t txn =
       next_txn_.fetch_add(1, std::memory_order_relaxed);
+  // The transaction's correlation id: deterministic, so recovery and
+  // replay re-derive the same id from the txn alone.
+  const std::uint64_t trace_id = Mix64(txn);
   const int home =
       router_.HomeShard(user_id, static_cast<std::int64_t>(txn - 1),
                         options_.routing);
@@ -276,12 +312,16 @@ StatusOr<ShardedServeResult> ShardedArrangementService::ServeUser(
 
   PendingTxn pending;
   pending.home = home;
+  pending.trace_id = trace_id;
   pending.user_id = user_id;
   pending.user_capacity = user_capacity;
 
   // Stage 0: the coordinator proposes from its own partition.
   Arrangement chosen;  // Global ids.
   {
+    TraceSpan span("txn.coordinate", static_cast<std::int64_t>(txn),
+                   TraceRing::Global(), nullptr, trace_id);
+    h.service->SetNextRoundTrace(txn, trace_id);
     auto local =
         h.service->ServeUser(user_id, user_capacity,
                              GatherContexts(home, contexts));
@@ -317,6 +357,7 @@ StatusOr<ShardedServeResult> ShardedArrangementService::ServeUser(
                     [](std::uint8_t m) { return m == 0; })) {
       continue;  // Everything here conflicts with the chosen set.
     }
+    s.service->SetNextRoundTrace(txn, trace_id);
     auto local = s.service->ServeUser(user_id, remaining,
                                       GatherContexts(sid, contexts),
                                       std::move(mask));
@@ -338,10 +379,13 @@ StatusOr<ShardedServeResult> ShardedArrangementService::ServeUser(
     // durable on the participant.
     ReservationRecord reservation;
     reservation.txn = txn;
+    reservation.trace_id = trace_id;
     reservation.coordinator_shard = home;
     reservation.coordinator_round = pending.coordinator_round;
     reservation.user_id = user_id;
     reservation.events = MapToGlobal(sid, *local);
+    TraceSpan reserve_span("txn.reserve", static_cast<std::int64_t>(txn),
+                           TraceRing::Global(), nullptr, trace_id);
     if (Status st = AppendFrameStrict(s, EncodeReserveFrame(reservation));
         !st.ok()) {
       (void)s.service->AbortPendingRound();
@@ -451,7 +495,10 @@ Status ShardedArrangementService::SubmitFeedback(
   // stay durably open and the same feedback may be resubmitted.
   bool durable = false;
   {
-    auto outcome = AppendFrame(h, EncodeDecisionFrame(txn, record));
+    TraceSpan span("txn.commit", static_cast<std::int64_t>(txn),
+                   TraceRing::Global(), nullptr, pending->trace_id);
+    auto outcome = AppendFrame(
+        h, EncodeDecisionFrame(txn, pending->trace_id, record));
     if (!outcome.ok()) return fail_retryable(outcome.status());
     durable = (*outcome == AppendOutcome::kDurable);
   }
@@ -509,7 +556,10 @@ Status ShardedArrangementService::SubmitFeedback(
             pending->context_rows.begin() +
                 static_cast<std::ptrdiff_t>(portion.start +
                                             portion.local_events.size()));
-        (void)AppendFrame(s, EncodePortionFrame(txn, local));
+        TraceSpan span("txn.portion", static_cast<std::int64_t>(txn),
+                       TraceRing::Global(), nullptr, pending->trace_id);
+        (void)AppendFrame(s,
+                          EncodePortionFrame(txn, pending->trace_id, local));
       }
     }
     FeedbackResult inner;
@@ -888,7 +938,8 @@ Status ShardedArrangementService::ResolveInterrupted(
                                             portion.local_events.size()));
         // The decision is durable (it came from the recovered index), so
         // the portion frame may close the reservation.
-        (void)AppendFrame(p, EncodePortionFrame(txn, local));
+        (void)AppendFrame(
+            p, EncodePortionFrame(txn, pending.trace_id, local));
         if (Status st = p.service->SubmitFeedback(fb); !st.ok()) {
           return InternalError(StrFormat(
               "completing interrupted txn %llu on shard %d failed: %s",

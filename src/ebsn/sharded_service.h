@@ -153,6 +153,23 @@ class ShardedArrangementService {
                     const WalOptions& wal_options = {},
                     const DurabilityPolicy& durability = {});
 
+  /// Attaches one decision log per live shard under
+  /// `<base_dir>/shard-NNN-decisions/` (DecisionLogDirName over
+  /// ShardWalDirName). Each shard's inner service then records its own
+  /// portion proposals — coordinator and participants alike — stamped
+  /// with the coordinator's txn and trace ids, so the per-shard logs of
+  /// one transaction join on either id. `header` should describe the
+  /// global deployment (event count, policy recipe); it is written
+  /// verbatim to every shard's log.
+  Status AttachDecisionLogs(Env* env, const std::string& base_dir,
+                            const DecisionLogHeader& header,
+                            const WalOptions& wal_options = {});
+
+  /// Syncs and closes every live shard's decision log (end-of-run flush
+  /// so readers see the full record stream). First failure wins; closing
+  /// with no logs attached is a no-op.
+  Status CloseDecisionLogs();
+
   /// Serves the next arriving user from the full event set (`contexts`
   /// is the global |V| × d matrix). Retryable failures
   /// (kFailedPrecondition on a busy home pipeline, kResourceExhausted)
@@ -247,6 +264,7 @@ class ShardedArrangementService {
   };
   struct PendingTxn {
     int home = 0;
+    std::uint64_t trace_id = 0;  // Mix64(txn), stamped everywhere.
     std::int64_t user_id = 0;
     std::int64_t user_capacity = 0;
     std::int64_t coordinator_round = 0;

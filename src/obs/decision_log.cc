@@ -1,0 +1,247 @@
+#include "obs/decision_log.h"
+
+#include <bit>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace fasea {
+
+namespace {
+
+// Frame kinds inside a decision log. Distinct from the shard-WAL kinds:
+// a decision log is its own directory with its own payload layer.
+constexpr std::uint8_t kHeaderFrame = 0x00;
+constexpr std::uint8_t kDecisionFrame = 0x01;
+
+constexpr std::uint64_t kHashSeed = 0xCBF29CE484222325ULL;  // FNV offset.
+
+inline std::uint64_t HashFold(std::uint64_t h, std::uint64_t v) {
+  return Mix64(h ^ (v + 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace
+
+std::uint64_t HashRoundContext(const RoundContext& round) {
+  std::uint64_t h = kHashSeed;
+  h = HashFold(h, static_cast<std::uint64_t>(round.user_id));
+  h = HashFold(h, static_cast<std::uint64_t>(round.user_capacity));
+  h = HashFold(h, round.contexts.rows());
+  h = HashFold(h, round.contexts.cols());
+  for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
+    for (double x : round.contexts.Row(v)) {
+      h = HashFold(h, std::bit_cast<std::uint64_t>(x));
+    }
+  }
+  for (std::uint8_t a : round.available) h = HashFold(h, a);
+  return h;
+}
+
+std::string EncodeDecisionLogHeader(const DecisionLogHeader& header) {
+  std::string out;
+  AppendU8(&out, kHeaderFrame);
+  AppendU32(&out, header.version);
+  AppendU64(&out, header.num_events);
+  AppendU64(&out, header.dim);
+  AppendI64(&out, header.horizon);
+  AppendU64(&out, header.workload_seed);
+  AppendDouble(&out, header.lambda);
+  AppendDouble(&out, header.alpha);
+  AppendDouble(&out, header.delta);
+  AppendDouble(&out, header.epsilon);
+  AppendDouble(&out, header.temperature);
+  AppendU64(&out, header.policy_seed);
+  AppendU32(&out, static_cast<std::uint32_t>(header.policy_id.size()));
+  out += header.policy_id;
+  return out;
+}
+
+std::string EncodeDecisionRecord(const DecisionRecord& record) {
+  std::string out;
+  AppendU8(&out, kDecisionFrame);
+  AppendI64(&out, record.round);
+  AppendU64(&out, record.txn);
+  AppendI64(&out, record.user_id);
+  AppendI64(&out, record.user_capacity);
+  AppendU64(&out, record.context_hash);
+  AppendU64(&out, record.trace_id);
+  AppendI64(&out, record.theta_version);
+  AppendDouble(&out, record.propensity);
+  AppendU32(&out, static_cast<std::uint32_t>(record.policy_id.size()));
+  out += record.policy_id;
+  AppendU32(&out, static_cast<std::uint32_t>(record.arrangement.size()));
+  for (EventId v : record.arrangement) AppendU32(&out, v);
+  return out;
+}
+
+namespace {
+
+StatusOr<DecisionLogHeader> DecodeHeaderBody(std::string_view payload) {
+  ByteReader reader(payload, "decision log: truncated header");
+  DecisionLogHeader h;
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  h.version = *version;
+  auto num_events = reader.ReadU64();
+  if (!num_events.ok()) return num_events.status();
+  h.num_events = *num_events;
+  auto dim = reader.ReadU64();
+  if (!dim.ok()) return dim.status();
+  h.dim = *dim;
+  auto horizon = reader.ReadI64();
+  if (!horizon.ok()) return horizon.status();
+  h.horizon = *horizon;
+  auto workload_seed = reader.ReadU64();
+  if (!workload_seed.ok()) return workload_seed.status();
+  h.workload_seed = *workload_seed;
+  for (double* field : {&h.lambda, &h.alpha, &h.delta, &h.epsilon,
+                        &h.temperature}) {
+    auto value = reader.ReadDouble();
+    if (!value.ok()) return value.status();
+    *field = *value;
+  }
+  auto policy_seed = reader.ReadU64();
+  if (!policy_seed.ok()) return policy_seed.status();
+  h.policy_seed = *policy_seed;
+  auto name_len = reader.ReadU32();
+  if (!name_len.ok()) return name_len.status();
+  if (reader.remaining() != *name_len) {
+    return DataLossError("decision log: header policy id length mismatch");
+  }
+  h.policy_id = std::string(payload.substr(reader.position(), *name_len));
+  return h;
+}
+
+StatusOr<DecisionRecord> DecodeRecordBody(std::string_view payload) {
+  ByteReader reader(payload, "decision log: truncated record");
+  DecisionRecord r;
+  auto round = reader.ReadI64();
+  if (!round.ok()) return round.status();
+  r.round = *round;
+  auto txn = reader.ReadU64();
+  if (!txn.ok()) return txn.status();
+  r.txn = *txn;
+  auto user_id = reader.ReadI64();
+  if (!user_id.ok()) return user_id.status();
+  r.user_id = *user_id;
+  auto user_capacity = reader.ReadI64();
+  if (!user_capacity.ok()) return user_capacity.status();
+  r.user_capacity = *user_capacity;
+  auto context_hash = reader.ReadU64();
+  if (!context_hash.ok()) return context_hash.status();
+  r.context_hash = *context_hash;
+  auto trace_id = reader.ReadU64();
+  if (!trace_id.ok()) return trace_id.status();
+  r.trace_id = *trace_id;
+  auto theta_version = reader.ReadI64();
+  if (!theta_version.ok()) return theta_version.status();
+  r.theta_version = *theta_version;
+  auto propensity = reader.ReadDouble();
+  if (!propensity.ok()) return propensity.status();
+  r.propensity = *propensity;
+  auto name_len = reader.ReadU32();
+  if (!name_len.ok()) return name_len.status();
+  if (reader.remaining() < *name_len) {
+    return DataLossError("decision log: truncated policy id");
+  }
+  r.policy_id = std::string(payload.substr(reader.position(), *name_len));
+  ByteReader tail(payload.substr(reader.position() + *name_len),
+                  "decision log: truncated arrangement");
+  auto n = tail.ReadU32();
+  if (!n.ok()) return n.status();
+  r.arrangement.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto v = tail.ReadU32();
+    if (!v.ok()) return v.status();
+    r.arrangement.push_back(*v);
+  }
+  if (!tail.AtEnd()) {
+    return DataLossError("decision log: trailing bytes after record");
+  }
+  return r;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<DecisionLogWriter>> DecisionLogWriter::Open(
+    Env* env, std::string dir, const DecisionLogHeader& header,
+    WalOptions options) {
+  auto wal = WalWriter::Open(env, std::move(dir), options);
+  if (!wal.ok()) return wal.status();
+  auto writer = std::unique_ptr<DecisionLogWriter>(
+      new DecisionLogWriter(std::move(wal).value()));
+  if (Status st = writer->wal_->Append(EncodeDecisionLogHeader(header));
+      !st.ok()) {
+    return st;
+  }
+  return writer;
+}
+
+Status DecisionLogWriter::Append(const DecisionRecord& record) {
+  Status st = wal_->Append(EncodeDecisionRecord(record));
+  if (!st.ok()) {
+    failures_metric_->Increment();
+    return st;
+  }
+  ++records_appended_;
+  records_metric_->Increment();
+  return Status::Ok();
+}
+
+Status DecisionLogWriter::Sync() { return wal_->Sync(); }
+
+Status DecisionLogWriter::Close() { return wal_->Close(); }
+
+StatusOr<DecisionLogScan> ReadDecisionLog(Env* env, const std::string& dir) {
+  auto scan = ScanWal(env, dir, CorruptFramePolicy::kFail);
+  if (!scan.ok()) return scan.status();
+  DecisionLogScan out;
+  out.segments_scanned = scan->segments_scanned;
+  out.bytes_truncated = scan->bytes_truncated;
+  for (const std::string& payload : scan->payloads) {
+    if (payload.empty()) {
+      return DataLossError("decision log: empty frame");
+    }
+    const auto kind = static_cast<std::uint8_t>(payload[0]);
+    const std::string_view body = std::string_view(payload).substr(1);
+    if (kind == kHeaderFrame) {
+      auto header = DecodeHeaderBody(body);
+      if (!header.ok()) return header.status();
+      if (out.has_header) {
+        // A reopened writer re-frames its header; only the first governs.
+        ++out.duplicates_collapsed;
+        continue;
+      }
+      out.header = std::move(header).value();
+      out.has_header = true;
+      continue;
+    }
+    if (kind != kDecisionFrame) {
+      return DataLossError(
+          StrFormat("decision log: unknown frame kind 0x%02x", kind));
+    }
+    auto record = DecodeRecordBody(body);
+    if (!record.ok()) return record.status();
+    // A frame whose round does not advance means the service rewound —
+    // a persisted-retry duplicate, an AbortPendingRound re-serve, or a
+    // crash recovery that lost the tail outcomes and re-served those
+    // rounds. The LAST frame for a round is the proposal its outcome
+    // belongs to, and every previously logged decision at or past the
+    // rewind point was rolled back with it.
+    while (!out.records.empty() &&
+           out.records.back().round >= record->round) {
+      out.records.pop_back();
+      ++out.duplicates_collapsed;
+    }
+    out.records.push_back(std::move(record).value());
+  }
+  return out;
+}
+
+std::string DecisionLogDirName(const std::string& wal_dir) {
+  return wal_dir + "-decisions";
+}
+
+}  // namespace fasea

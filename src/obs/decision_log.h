@@ -1,0 +1,131 @@
+// Durable decision log: the exploration side of the serve → log →
+// evaluate → promote loop.
+//
+// The feedback WAL (io/wal.h + ebsn/interaction_log.h) records what the
+// user DID; nothing recorded what the policy KNEW when it acted — which
+// arrangement it proposed, from which context, with what probability. The
+// decision log closes that gap, MWTExplore-Recorder style: one CRC-framed
+// record per proposal carrying (round, user, context hash, arrangement,
+// behavior propensity, policy id, θ̂ version, trace id), written through
+// the same segmented-WAL framing beside the feedback WAL so crash
+// recovery yields a matched (decision, outcome) stream keyed by round.
+//
+// The context is stored as a 64-bit hash, not the |V|×d matrix: offline
+// replay regenerates contexts deterministically from the logged workload
+// seed (the header carries everything needed) and the hash verifies the
+// regeneration bit-for-bit — compact logged state instead of O(|V|d)
+// bytes per round, per Bento et al.'s space argument.
+#ifndef FASEA_OBS_DECISION_LOG_H_
+#define FASEA_OBS_DECISION_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/wal.h"
+#include "model/context.h"
+#include "model/types.h"
+#include "obs/metrics.h"
+
+namespace fasea {
+
+/// First frame of every decision log: format version plus the recipe for
+/// regenerating the logged traffic (synthetic workload shape + seed) and
+/// for reconstructing the behavior policy (kind, Table 4 params, seed).
+struct DecisionLogHeader {
+  std::uint32_t version = 1;
+  std::uint64_t num_events = 0;
+  std::uint64_t dim = 0;
+  std::int64_t horizon = 0;
+  std::uint64_t workload_seed = 0;
+  std::string policy_id;        // PolicyKindName of the behavior policy.
+  double lambda = 1.0;
+  double alpha = 2.0;
+  double delta = 0.1;
+  double epsilon = 0.1;
+  double temperature = 0.2;
+  std::uint64_t policy_seed = 0;
+
+  bool operator==(const DecisionLogHeader&) const = default;
+};
+
+/// One logged proposal.
+struct DecisionRecord {
+  std::int64_t round = 0;        // Service round t (coordinator round when
+                                 // sharded) — the join key to the outcome.
+  std::uint64_t txn = 0;         // Transaction id (== round unsharded).
+  std::int64_t user_id = 0;
+  std::int64_t user_capacity = 0;
+  std::uint64_t context_hash = 0;  // HashRoundContext of the round.
+  std::uint64_t trace_id = 0;      // TraceRing correlation id.
+  std::int64_t theta_version = 0;  // Learner observations at propose time.
+  double propensity = 0.0;         // Behavior probability of `arrangement`.
+  std::string policy_id;           // Behavior policy name.
+  Arrangement arrangement;
+
+  bool operator==(const DecisionRecord&) const = default;
+};
+
+/// Order-sensitive 64-bit hash of everything the policy saw this round:
+/// user id, capacity, shape, availability mask, and the raw bit patterns
+/// of every context double. Replay recomputes it over the regenerated
+/// round and skips (and counts) mismatches instead of silently evaluating
+/// against wrong contexts.
+std::uint64_t HashRoundContext(const RoundContext& round);
+
+std::string EncodeDecisionLogHeader(const DecisionLogHeader& header);
+std::string EncodeDecisionRecord(const DecisionRecord& record);
+
+/// Appends decision records through a segmented WAL in its own directory
+/// (conventionally `<wal_dir>-decisions` beside the feedback WAL). The
+/// header frame is written at Open. Append failures follow WAL semantics:
+/// the writer breaks and later appends fail fast — callers treat decision
+/// logging as best-effort observability, never blocking serving.
+class DecisionLogWriter {
+ public:
+  static StatusOr<std::unique_ptr<DecisionLogWriter>> Open(
+      Env* env, std::string dir, const DecisionLogHeader& header,
+      WalOptions options = {});
+
+  Status Append(const DecisionRecord& record);
+  Status Sync();
+  Status Close();
+  bool broken() const { return wal_->broken(); }
+  std::int64_t records_appended() const { return records_appended_; }
+
+ private:
+  explicit DecisionLogWriter(std::unique_ptr<WalWriter> wal)
+      : wal_(std::move(wal)) {}
+
+  std::unique_ptr<WalWriter> wal_;
+  std::int64_t records_appended_ = 0;
+  Counter* records_metric_ =
+      Metrics()->GetCounter("fasea.decision.records");
+  Counter* failures_metric_ =
+      Metrics()->GetCounter("fasea.decision.append_failures");
+};
+
+struct DecisionLogScan {
+  DecisionLogHeader header;
+  bool has_header = false;
+  std::vector<DecisionRecord> records;     // Duplicate-collapsed, in order.
+  std::int64_t duplicates_collapsed = 0;   // Persisted-retry frames dropped.
+  std::int64_t segments_scanned = 0;
+  std::int64_t bytes_truncated = 0;        // Torn tail dropped, in bytes.
+};
+
+/// Recovers every decision from the log in `dir`. Torn tails truncate
+/// silently (those proposals were never acknowledged); a record whose
+/// round does not advance past the previous one is a persisted-retry
+/// duplicate (fsync failed after the frame hit disk, the writer reopened
+/// and re-appended) and collapses, mirroring RecoveryManager's rule for
+/// the feedback WAL.
+StatusOr<DecisionLogScan> ReadDecisionLog(Env* env, const std::string& dir);
+
+/// Directory convention for a decision log living beside a feedback WAL.
+std::string DecisionLogDirName(const std::string& wal_dir);
+
+}  // namespace fasea
+
+#endif  // FASEA_OBS_DECISION_LOG_H_

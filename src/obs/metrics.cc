@@ -152,11 +152,43 @@ void AppendJsonHistogram(const HistogramSnapshot& h, std::string* out) {
   out->append("]}");
 }
 
-std::string PrometheusName(std::string name) {
-  for (char& c : name) {
-    if (c == '.' || c == '-') c = '_';
+bool IsPrometheusNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; every
+// illegal character (dots, dashes, slashes, spaces, ...) collapses to '_'
+// and a leading digit gains a '_' prefix, so scrapers ingest any dotted
+// registry name cleanly.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    out.push_back(IsPrometheusNameChar(c) ? c : '_');
   }
-  return name;
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+// HELP text: the original dotted name survives the rename (escaped per the
+// exposition format: backslash and newline), so dashboards can map the
+// exported series back to the registry catalog in DESIGN.md §8.
+std::string PrometheusHelp(const std::string& name) {
+  std::string escaped;
+  escaped.reserve(name.size());
+  for (char c : name) {
+    if (c == '\\') {
+      escaped.append("\\\\");
+    } else if (c == '\n') {
+      escaped.append("\\n");
+    } else {
+      escaped.push_back(c);
+    }
+  }
+  return "FASEA metric '" + escaped + "'";
 }
 
 }  // namespace
@@ -190,17 +222,22 @@ std::string MetricsRegistry::ToPrometheusText() const {
   std::string out;
   for (const auto& [name, value] : snap.counters) {
     const std::string prom = PrometheusName(name);
-    out.append(StrFormat("# TYPE %s counter\n%s %lld\n", prom.c_str(),
-                         prom.c_str(), static_cast<long long>(value)));
+    out.append(StrFormat("# HELP %s %s\n# TYPE %s counter\n%s %lld\n",
+                         prom.c_str(), PrometheusHelp(name).c_str(),
+                         prom.c_str(), prom.c_str(),
+                         static_cast<long long>(value)));
   }
   for (const auto& [name, value] : snap.gauges) {
     const std::string prom = PrometheusName(name);
-    out.append(StrFormat("# TYPE %s gauge\n%s %s\n", prom.c_str(),
-                         prom.c_str(), FormatDouble(value, 6).c_str()));
+    out.append(StrFormat("# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+                         prom.c_str(), PrometheusHelp(name).c_str(),
+                         prom.c_str(), prom.c_str(),
+                         FormatDouble(value, 6).c_str()));
   }
   for (const auto& [name, h] : snap.histograms) {
     const std::string prom = PrometheusName(name);
-    out.append(StrFormat("# TYPE %s summary\n", prom.c_str()));
+    out.append(StrFormat("# HELP %s %s\n# TYPE %s summary\n", prom.c_str(),
+                         PrometheusHelp(name).c_str(), prom.c_str()));
     for (double q : {0.5, 0.9, 0.95, 0.99}) {
       out.append(StrFormat(
           "%s{quantile=\"%s\"} %lld\n", prom.c_str(),

@@ -1,0 +1,126 @@
+// Offline counterfactual policy evaluation over a recorded decision log.
+//
+// Given the matched (decision, outcome) stream recovered from a decision
+// log and its feedback WAL, the evaluator replays the logged traffic
+// against a CANDIDATE policy — no live serving — and scores it with the
+// standard off-policy estimator family:
+//
+//   IPS     (1/n) Σ w_i r_i                    w_i = π_c(A_i|x_i)/p_i
+//   SNIPS   Σ w_i r_i / Σ w_i                  (self-normalized)
+//   DR      (1/n) Σ [ q̂(x_i, A_c) + w_i (r_i − q̂(x_i, A_i)) ]
+//
+// where p_i is the logged behavior propensity, r_i = accepted events, and
+// q̂ is the direct model: a FROZEN RidgeState fit once over every logged
+// (context, reward) observation and scored through the PR 4 batch kernels
+// (Σ over an arrangement of clamp(xᵀθ̂, [0,1])). Both propensities are
+// floor-clipped (OfflineEvalOptions::propensity_floor) so one
+// vanishing-probability action cannot dominate the average; the
+// effective sample size (Σw)²/Σw² diagnoses how much the weights
+// concentrated.
+//
+// Replay fidelity: the candidate learns progressively from the logged
+// outcomes exactly the way the behavior service did (same Learn calls,
+// bit-identical context rows from the outcome records) and the platform
+// capacity state follows the LOGGED acceptances — so evaluating the
+// behavior policy itself as candidate reproduces its recorded
+// propensities exactly and IPS collapses to the observed mean reward
+// (the self-consistency check `fasea_cli replay --self_check` asserts).
+#ifndef FASEA_OBS_OFFLINE_EVAL_H_
+#define FASEA_OBS_OFFLINE_EVAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/ridge.h"
+#include "ebsn/interaction_log.h"
+#include "obs/decision_log.h"
+
+namespace fasea {
+
+struct OfflineEvalOptions {
+  /// Propensities below this clip up to it (both sides of the ratio), the
+  /// standard variance/robustness guard for logged exploration tails.
+  double propensity_floor = 1e-6;
+  /// Candidate learns from each logged outcome after being evaluated on
+  /// it (progressive replay). Off = frozen candidate.
+  bool learn_from_log = true;
+  /// Normal-approximation half-width multiplier for the reported CIs.
+  double confidence_z = 1.96;
+};
+
+struct EstimatorResult {
+  double mean = 0.0;
+  double std_error = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+};
+
+struct OfflineEvalResult {
+  std::string candidate_id;
+  std::int64_t examples = 0;               // Rounds actually estimated.
+  std::int64_t skipped_no_outcome = 0;     // Decision without feedback.
+  std::int64_t skipped_pairing_mismatch = 0;  // Arrangement disagreement.
+  std::int64_t skipped_context_mismatch = 0;  // Regenerated hash differs.
+  std::int64_t clipped_propensities = 0;
+  std::int64_t theta_version_mismatches = 0;  // Learner-state drift.
+  double observed_mean_reward = 0.0;       // Logged behavior performance.
+  double mean_weight = 0.0;                // Mean importance weight.
+  double effective_sample_size = 0.0;      // (Σw)² / Σw².
+  EstimatorResult ips;
+  EstimatorResult snips;
+  EstimatorResult dr;
+};
+
+/// Regenerates the full |V|×d round the policy saw at `round` (the
+/// decision log stores only its hash). The CLI wires this to the
+/// synthetic RoundProvider rebuilt from the log header.
+using RoundRegenerator = std::function<RoundContext(std::int64_t round)>;
+
+class OfflineEvaluator {
+ public:
+  /// Joins decisions to outcomes by round id, fits the frozen direct
+  /// model, and is then reusable across any number of candidates (the
+  /// A/B path evaluates every --policy over the same matched stream).
+  /// `instance` must outlive the evaluator.
+  OfflineEvaluator(const ProblemInstance* instance, DecisionLogScan log,
+                   std::vector<InteractionRecord> outcomes,
+                   RoundRegenerator regenerate);
+
+  /// Replays the matched stream against `candidate`. Exports the run's
+  /// diagnostics through MetricsRegistry as fasea.replay.*.
+  OfflineEvalResult Evaluate(Policy* candidate,
+                             const OfflineEvalOptions& options = {}) const;
+
+  std::int64_t num_matched() const {
+    return static_cast<std::int64_t>(pairs_.size());
+  }
+  const DecisionLogHeader& header() const { return log_.header; }
+  const RidgeState& direct_model() const { return direct_model_; }
+
+ private:
+  struct MatchedExample {
+    const DecisionRecord* decision;
+    const InteractionRecord* outcome;
+  };
+
+  /// Σ over `arrangement` of clamp(xᵀθ̂_frozen, [0,1]) given the round's
+  /// batch-predicted scores.
+  static double DirectValue(std::span<const double> scores,
+                            const Arrangement& arrangement);
+
+  const ProblemInstance* instance_;
+  DecisionLogScan log_;
+  std::vector<InteractionRecord> outcomes_;
+  RoundRegenerator regenerate_;
+  std::vector<MatchedExample> pairs_;
+  std::int64_t unmatched_decisions_ = 0;
+  std::int64_t pairing_mismatches_ = 0;
+  RidgeState direct_model_;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_OBS_OFFLINE_EVAL_H_

@@ -98,13 +98,49 @@ std::string TraceRing::ToJson(std::size_t last_rounds) const {
   for (std::size_t i = 0; i < events.size(); ++i) {
     out.append(StrFormat(
         "%s{\"name\":\"%s\",\"round\":%lld,\"start_ns\":%lld,"
-        "\"duration_ns\":%lld}",
+        "\"duration_ns\":%lld,\"trace_id\":\"%016llx\"}",
         i == 0 ? "" : ",", events[i].name,
         static_cast<long long>(events[i].round),
         static_cast<long long>(events[i].start_ns),
-        static_cast<long long>(events[i].duration_ns)));
+        static_cast<long long>(events[i].duration_ns),
+        static_cast<unsigned long long>(events[i].trace_id)));
   }
   out.append("]");
+  return out;
+}
+
+std::string TraceRing::DumpTransactionTimeline() const {
+  const std::vector<TraceEvent> events = Events();
+  // Group by trace id in first-seen (oldest-transaction-first) order; the
+  // ring is oldest → newest, so a stable sort keeps span order within a
+  // transaction too.
+  std::vector<std::uint64_t> order;
+  for (const TraceEvent& e : events) {
+    if (e.trace_id == 0) continue;
+    if (std::find(order.begin(), order.end(), e.trace_id) == order.end()) {
+      order.push_back(e.trace_id);
+    }
+  }
+  if (order.empty()) return "trace: no cross-shard transactions recorded\n";
+  std::string out;
+  for (std::uint64_t id : order) {
+    std::int64_t origin_ns = 0;
+    bool first = true;
+    for (const TraceEvent& e : events) {
+      if (e.trace_id != id) continue;
+      if (first) {
+        origin_ns = e.start_ns;
+        first = false;
+        out.append(StrFormat("txn trace=%016llx:\n",
+                             static_cast<unsigned long long>(id)));
+      }
+      out.append(StrFormat(
+          "  %-24s round=%-8lld %10.1fus  @+%.1fus\n", e.name,
+          static_cast<long long>(e.round),
+          static_cast<double>(e.duration_ns) / 1e3,
+          static_cast<double>(e.start_ns - origin_ns) / 1e3));
+    }
+  }
   return out;
 }
 
@@ -114,9 +150,11 @@ TraceRing* TraceRing::Global() {
 }
 
 void RecordSpanSinceImpl(const char* name, std::int64_t round,
-                         std::int64_t start_ns, Histogram* histogram) {
+                         std::int64_t start_ns, Histogram* histogram,
+                         std::uint64_t trace_id) {
   const std::int64_t duration = Stopwatch::NowNanos() - start_ns;
-  TraceRing::Global()->Record(TraceEvent{name, round, start_ns, duration});
+  TraceRing::Global()->Record(
+      TraceEvent{name, round, start_ns, duration, trace_id});
   if (histogram != nullptr) histogram->Record(duration);
 }
 

@@ -31,6 +31,11 @@ struct TraceEvent {
   std::int64_t round = 0;
   std::int64_t start_ns = 0;     // Steady-clock timestamp.
   std::int64_t duration_ns = 0;
+  /// Distributed-trace correlation id (0 = none). The sharded serving
+  /// layer derives it deterministically from the transaction id, so spans
+  /// recorded on different shards for the same cross-shard arrangement
+  /// share one id and DumpTransactionTimeline can stitch them together.
+  std::uint64_t trace_id = 0;
 };
 
 class TraceRing {
@@ -59,8 +64,15 @@ class TraceRing {
   std::string DumpText(std::size_t last_rounds = 0) const;
 
   /// JSON array [{"name":...,"round":...,"start_ns":...,
-  /// "duration_ns":...}, ...], same filtering as DumpText.
+  /// "duration_ns":...,"trace_id":...}, ...], same filtering as DumpText.
   std::string ToJson(std::size_t last_rounds = 0) const;
+
+  /// Cross-shard transaction timelines: spans carrying a non-zero
+  /// trace_id, grouped by trace id in first-seen order, each span's start
+  /// offset relative to the transaction's first span — one dump
+  /// reconstructs the full reserve/commit path of every retained
+  /// cross-shard arrangement.
+  std::string DumpTransactionTimeline() const;
 
   /// The process-wide flight recorder used by production spans.
   static TraceRing* Global();
@@ -83,8 +95,13 @@ class TraceSpan {
  public:
   explicit TraceSpan(const char* name, std::int64_t round = 0,
                      TraceRing* ring = TraceRing::Global(),
-                     Histogram* histogram = nullptr)
-      : name_(name), round_(round), ring_(ring), histogram_(histogram) {
+                     Histogram* histogram = nullptr,
+                     std::uint64_t trace_id = 0)
+      : name_(name),
+        round_(round),
+        trace_id_(trace_id),
+        ring_(ring),
+        histogram_(histogram) {
     if constexpr (kMetricsEnabled) start_ns_ = Stopwatch::NowNanos();
   }
 
@@ -92,7 +109,8 @@ class TraceSpan {
     if constexpr (kMetricsEnabled) {
       const std::int64_t duration = Stopwatch::NowNanos() - start_ns_;
       if (ring_ != nullptr) {
-        ring_->Record(TraceEvent{name_, round_, start_ns_, duration});
+        ring_->Record(
+            TraceEvent{name_, round_, start_ns_, duration, trace_id_});
       }
       if (histogram_ != nullptr) histogram_->Record(duration);
     }
@@ -104,6 +122,7 @@ class TraceSpan {
  private:
   const char* name_;
   std::int64_t round_;
+  std::uint64_t trace_id_;
   std::int64_t start_ns_ = 0;
   TraceRing* ring_;
   Histogram* histogram_;
@@ -125,13 +144,15 @@ inline std::int64_t SpanStart() {
 /// deliberately out of line so the caller pays one plain call, nothing
 /// more (and none at all under FASEA_DISABLE_METRICS).
 void RecordSpanSinceImpl(const char* name, std::int64_t round,
-                         std::int64_t start_ns, Histogram* histogram);
+                         std::int64_t start_ns, Histogram* histogram,
+                         std::uint64_t trace_id);
 
 inline void RecordSpanSince(const char* name, std::int64_t round,
                             std::int64_t start_ns,
-                            Histogram* histogram = nullptr) {
+                            Histogram* histogram = nullptr,
+                            std::uint64_t trace_id = 0) {
   if constexpr (kMetricsEnabled) {
-    RecordSpanSinceImpl(name, round, start_ns, histogram);
+    RecordSpanSinceImpl(name, round, start_ns, histogram, trace_id);
   }
 }
 

@@ -95,10 +95,12 @@ StatusOr<std::vector<PolicyKind>> ParsePolicyList(const std::string& text) {
       kinds.push_back(PolicyKind::kExploit);
     } else if (name == "random") {
       kinds.push_back(PolicyKind::kRandom);
+    } else if (name == "boltzmann") {
+      kinds.push_back(PolicyKind::kBoltzmann);
     } else {
       return InvalidArgumentError(
           "unknown policy '" + name +
-          "' (ucb|ts|egreedy|exploit|random)");
+          "' (ucb|ts|egreedy|exploit|random|boltzmann)");
     }
   }
   if (kinds.empty()) {

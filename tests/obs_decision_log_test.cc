@@ -1,0 +1,215 @@
+// Decision log: CRC-framed durable exploration records. Covers the
+// header/record round trip, silent torn-tail truncation, rewind/retry
+// duplicate collapse, header-first-wins across writer reopens, and the
+// context-hash sensitivity the replay join relies on.
+#include "obs/decision_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/env.h"
+#include "io/wal.h"
+
+namespace fasea {
+namespace {
+
+std::string FreshLogDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "fasea_" + name;
+  Env* env = Env::Default();
+  (void)env->CreateDir(dir);
+  if (auto names = env->ListDir(dir); names.ok()) {
+    for (const std::string& file : *names) {
+      (void)env->DeleteFile(JoinPath(dir, file));
+    }
+  }
+  return dir;
+}
+
+DecisionLogHeader TestHeader() {
+  DecisionLogHeader header;
+  header.num_events = 24;
+  header.dim = 4;
+  header.horizon = 100;
+  header.workload_seed = 11;
+  header.policy_id = "eGreedy";
+  header.epsilon = 0.25;
+  header.policy_seed = 7;
+  return header;
+}
+
+DecisionRecord TestRecord(std::int64_t round, double propensity) {
+  DecisionRecord record;
+  record.round = round;
+  record.txn = static_cast<std::uint64_t>(round);
+  record.user_id = round % 5;
+  record.user_capacity = 2;
+  record.context_hash = 0xABCDEF0000000000ULL + static_cast<std::uint64_t>(round);
+  record.trace_id = 0x1000 + static_cast<std::uint64_t>(round);
+  record.theta_version = 3 * (round - 1);
+  record.propensity = propensity;
+  record.policy_id = "eGreedy";
+  record.arrangement = {static_cast<EventId>(round % 24),
+                        static_cast<EventId>((round + 7) % 24)};
+  return record;
+}
+
+std::unique_ptr<DecisionLogWriter> OpenLog(const std::string& dir,
+                                           const DecisionLogHeader& header) {
+  auto writer = DecisionLogWriter::Open(Env::Default(), dir, header);
+  EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+  return std::move(writer).value();
+}
+
+TEST(DecisionLogTest, HeaderAndRecordsRoundTrip) {
+  const std::string dir = FreshLogDir("dlog_roundtrip");
+  const DecisionLogHeader header = TestHeader();
+  std::vector<DecisionRecord> written;
+  {
+    auto writer = OpenLog(dir, header);
+    for (std::int64_t t = 1; t <= 5; ++t) {
+      written.push_back(TestRecord(t, 0.1 * static_cast<double>(t)));
+      ASSERT_TRUE(writer->Append(written.back()).ok());
+    }
+    EXPECT_EQ(writer->records_appended(), 5);
+    ASSERT_TRUE(writer->Close().ok());
+  }
+
+  auto scan = ReadDecisionLog(Env::Default(), dir);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_TRUE(scan->has_header);
+  EXPECT_EQ(scan->header, header);
+  EXPECT_EQ(scan->records, written);
+  EXPECT_EQ(scan->duplicates_collapsed, 0);
+  EXPECT_EQ(scan->bytes_truncated, 0);
+}
+
+TEST(DecisionLogTest, TornTailTruncatesSilently) {
+  const std::string dir = FreshLogDir("dlog_torn");
+  {
+    auto writer = OpenLog(dir, TestHeader());
+    for (std::int64_t t = 1; t <= 4; ++t) {
+      ASSERT_TRUE(writer->Append(TestRecord(t, 0.5)).ok());
+    }
+    ASSERT_TRUE(writer->Close().ok());
+  }
+
+  // Chop bytes off the tail of the (only) segment: the final frame was
+  // never acknowledged, so the reader must drop it without erroring.
+  Env* env = Env::Default();
+  const std::string segment = JoinPath(dir, WalSegmentFileName(1));
+  auto raw = env->ReadFileToString(segment);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(env->DeleteFile(segment).ok());
+  auto file = env->NewWritableFile(segment);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(raw->substr(0, raw->size() - 3)).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto scan = ReadDecisionLog(env, dir);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_TRUE(scan->has_header);
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->records.back().round, 3);
+  EXPECT_GT(scan->bytes_truncated, 0);
+}
+
+TEST(DecisionLogTest, RewindCollapsesSupersededRounds) {
+  const std::string dir = FreshLogDir("dlog_rewind");
+  {
+    auto writer = OpenLog(dir, TestHeader());
+    // Rounds 1,2,3 are served, then the service rewinds to round 2 (a
+    // crash lost the tail outcomes) and re-serves 2,3,4 with different
+    // proposals. The re-served frames supersede BOTH stale decisions.
+    for (std::int64_t t = 1; t <= 3; ++t) {
+      ASSERT_TRUE(writer->Append(TestRecord(t, 0.25)).ok());
+    }
+    for (std::int64_t t = 2; t <= 4; ++t) {
+      ASSERT_TRUE(writer->Append(TestRecord(t, 0.75)).ok());
+    }
+    ASSERT_TRUE(writer->Close().ok());
+  }
+
+  auto scan = ReadDecisionLog(Env::Default(), dir);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan->records.size(), 4u);
+  EXPECT_EQ(scan->duplicates_collapsed, 2);
+  EXPECT_DOUBLE_EQ(scan->records[0].propensity, 0.25);  // Round 1 survives.
+  for (std::size_t i = 1; i < scan->records.size(); ++i) {
+    EXPECT_EQ(scan->records[i].round, static_cast<std::int64_t>(i + 1));
+    EXPECT_DOUBLE_EQ(scan->records[i].propensity, 0.75) << "round " << i + 1;
+  }
+}
+
+TEST(DecisionLogTest, ReopenedWriterHeaderFirstWins) {
+  const std::string dir = FreshLogDir("dlog_reopen");
+  const DecisionLogHeader first = TestHeader();
+  {
+    auto writer = OpenLog(dir, first);
+    ASSERT_TRUE(writer->Append(TestRecord(1, 0.5)).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  DecisionLogHeader second = TestHeader();
+  second.policy_id = "UCB";
+  second.policy_seed = 99;
+  {
+    auto writer = OpenLog(dir, second);  // Re-arm after a crash/restart.
+    ASSERT_TRUE(writer->Append(TestRecord(2, 0.5)).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+
+  auto scan = ReadDecisionLog(Env::Default(), dir);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_TRUE(scan->has_header);
+  EXPECT_EQ(scan->header, first);  // The governing header is the first.
+  EXPECT_EQ(scan->duplicates_collapsed, 1);  // The re-framed header.
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[0].round, 1);
+  EXPECT_EQ(scan->records[1].round, 2);
+}
+
+TEST(DecisionLogTest, HashRoundContextSeesEveryInput) {
+  RoundContext round;
+  round.user_id = 3;
+  round.user_capacity = 2;
+  round.contexts = ContextMatrix(4, 3);
+  for (std::size_t v = 0; v < 4; ++v) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      round.contexts.Row(v)[k] = 0.1 * static_cast<double>(v * 3 + k);
+    }
+  }
+  round.available = {1, 1, 0, 1};
+  const std::uint64_t base = HashRoundContext(round);
+
+  RoundContext same = round;
+  same.contexts = ContextMatrix(4, 3);
+  for (std::size_t v = 0; v < 4; ++v) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      same.contexts.Row(v)[k] = round.contexts.Row(v)[k];
+    }
+  }
+  EXPECT_EQ(HashRoundContext(same), base);
+
+  RoundContext other_user = round;
+  other_user.user_id = 4;
+  EXPECT_NE(HashRoundContext(other_user), base);
+
+  RoundContext other_capacity = round;
+  other_capacity.user_capacity = 3;
+  EXPECT_NE(HashRoundContext(other_capacity), base);
+
+  RoundContext other_context = round;
+  other_context.contexts.Row(2)[1] += 1e-12;  // Bit-level sensitivity.
+  EXPECT_NE(HashRoundContext(other_context), base);
+
+  RoundContext other_mask = round;
+  other_mask.available = {1, 1, 1, 1};
+  EXPECT_NE(HashRoundContext(other_mask), base);
+}
+
+}  // namespace
+}  // namespace fasea

@@ -4,7 +4,9 @@
 # scalar-vs-batched micro pairs plus the paper's scalability benches
 # (Tables 5/6), and emits a machine-readable BENCH_PR4.json with raw
 # timings and the derived speedups the PR's acceptance targets reference
-# (UCB scoring at d=50 |V|=1000, TS propose at d≥30).
+# (UCB scoring at d=50 |V|=1000, TS propose at d≥30). It then records a
+# decision-logged serving run and times `fasea_cli replay` over it,
+# emitting counterfactual-replay throughput into BENCH_PR7.json.
 #
 #   tools/bench_snapshot.sh             # native Release build, full snapshot
 #   tools/bench_snapshot.sh --generic   # portable codegen (no -march=native)
@@ -48,7 +50,7 @@ cmake -B "$dir" -S "$root" \
   exit 1
 }
 cmake --build "$dir" --target micro_linalg micro_policies \
-  tab5_scal_v tab6_scal_d -j "$jobs"
+  tab5_scal_v tab6_scal_d fasea_cli -j "$jobs"
 
 echo "== bench_snapshot: micro_linalg (kernel pairs) =="
 "$dir/bench/micro_linalg" \
@@ -67,6 +69,13 @@ wall() {  # wall <name> <binary>: prints "<name> <seconds>"
   local start end
   start=$(date +%s.%N)
   "$2" >"$dir/$1.out" 2>&1
+  end=$(date +%s.%N)
+  echo "$1 $(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')"
+}
+wall_sh() {  # wall_sh <name> <command string>: prints "<name> <seconds>"
+  local start end
+  start=$(date +%s.%N)
+  bash -c "$2" >"$dir/$1.out" 2>&1
   end=$(date +%s.%N)
   echo "$1 $(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')"
 }
@@ -151,4 +160,74 @@ with open(out_path, "w") as f:
 print(f"bench_snapshot: wrote {out_path}")
 for key, value in sorted(snapshot["speedups"].items()):
     print(f"  {key}: {value}x")
+PY
+
+echo "== bench_snapshot: counterfactual replay throughput =="
+replay_rounds=2000
+replay_events=100
+replay_dim=10
+wal="$dir/replay-bench-wal"
+rm -rf "$wal" "$wal-decisions"
+wall_sh record \
+  "$dir/tools/fasea_cli stats --decision_log --policy=boltzmann \
+   --rounds=$replay_rounds --num_events=$replay_events \
+   --dim=$replay_dim --seed=7 --wal_dir=$wal" >"$dir/replay_times.txt"
+# One stochastic + one deterministic candidate: Boltzmann propensities
+# are exact closed-form products, UCB is a point mass via Propose — the
+# two bracket the per-example replay cost.
+wall_sh replay_self_check \
+  "$dir/tools/fasea_cli replay --log=$wal --self_check" \
+  >>"$dir/replay_times.txt"
+wall_sh replay_ab \
+  "$dir/tools/fasea_cli replay --log=$wal --policy=ucb,boltzmann" \
+  >>"$dir/replay_times.txt"
+cat "$dir/replay_times.txt"
+rm -rf "$wal" "$wal-decisions"
+
+python3 - "$dir" "$root/BENCH_PR7.json" "$arch_flag" \
+  "$replay_rounds" "$replay_events" "$replay_dim" <<'PY'
+import json
+import sys
+
+bench_dir, out_path, native, rounds, events, dim = sys.argv[1:7]
+rounds = int(rounds)
+
+times = {}
+with open(f"{bench_dir}/replay_times.txt") as f:
+    for line in f:
+        name, seconds = line.split()
+        times[name] = float(seconds)
+
+def throughput(name, candidates):
+    secs = times.get(name)
+    if not secs:
+        return None
+    return round(rounds * candidates / secs, 1)
+
+snapshot = {
+    "pr": 7,
+    "description": "Counterfactual replay: decision-log recording and "
+                   "IPS/SNIPS/DR offline evaluation throughput "
+                   "(fasea_cli replay).",
+    "native_arch": native == "ON",
+    "workload": {"rounds": rounds, "num_events": int(events),
+                 "dim": int(dim), "behavior_policy": "boltzmann"},
+    "wall_seconds": times,
+    "throughput": {
+        # Decisions evaluated per second, per pass over the log.
+        "record_rounds_per_sec": throughput("record", 1),
+        "replay_self_check_decisions_per_sec":
+            throughput("replay_self_check", 1),
+        # The A/B run makes one full evaluation pass per candidate.
+        "replay_ab_decisions_per_sec": throughput("replay_ab", 2),
+    },
+}
+
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+print(f"bench_snapshot: wrote {out_path}")
+for key, value in sorted(snapshot["throughput"].items()):
+    print(f"  {key}: {value}/s")
 PY

@@ -13,6 +13,8 @@
 #   tools/check.sh --perf-smoke     # also assert batched >= scalar scoring
 #   tools/check.sh --chaos-smoke    # also run the chaos soak matrix
 #   tools/check.sh --shard-smoke    # also run the sharded kill-mode drills
+#   tools/check.sh --replay-smoke   # also record + counterfactually replay
+#                                   # a decision log (IPS self-check)
 #
 # The `soak` ctest label (the full chaos matrix) is excluded from the
 # plain and sanitizer tiers; --chaos-smoke opts into it explicitly.
@@ -28,6 +30,7 @@ metrics_smoke=0
 perf_smoke=0
 chaos_smoke=0
 shard_smoke=0
+replay_smoke=0
 native=OFF
 for arg in "$@"; do
   case "$arg" in
@@ -35,11 +38,12 @@ for arg in "$@"; do
     --perf-smoke) perf_smoke=1 ;;
     --chaos-smoke) chaos_smoke=1 ;;
     --shard-smoke) shard_smoke=1 ;;
+    --replay-smoke) replay_smoke=1 ;;
     --native) native=ON ;;
     *)
       echo "check.sh: unknown argument '$arg'" \
            "(supported: --metrics-smoke --perf-smoke --chaos-smoke" \
-           "--shard-smoke --native)" >&2
+           "--shard-smoke --replay-smoke --native)" >&2
       exit 2
       ;;
   esac
@@ -133,6 +137,26 @@ if [[ "$shard_smoke" -eq 1 ]]; then
   "$root/build/tools/fasea_cli" health --shards=4 --rounds=120 \
     --num_events=16 --dim=4 >/dev/null
   echo "shard smoke: every kill mode passed all seven invariants"
+fi
+
+if [[ "$replay_smoke" -eq 1 ]]; then
+  echo
+  echo "== replay smoke: record a decision log, replay, IPS self-check =="
+  wal="$root/build/replay-smoke-wal.$$"
+  rm -rf "$wal" "$wal-decisions"
+  # Record a short default-setting (fig1-shaped) run with the genuinely
+  # stochastic behavior policy, then replay it. --self_check exits
+  # non-zero unless behavior-as-candidate reproduces the observed mean
+  # reward exactly (w ≡ 1 ⇒ IPS = observed, zero context mismatches).
+  "$root/build/tools/fasea_cli" stats --decision_log --policy=boltzmann \
+    --rounds=500 --num_events=100 --dim=10 --seed=7 \
+    --wal_dir="$wal" >/dev/null
+  "$root/build/tools/fasea_cli" replay --log="$wal" --self_check
+  # And the A/B path must run clean over the same log.
+  "$root/build/tools/fasea_cli" replay --log="$wal" \
+    --policy=ucb,egreedy >/dev/null
+  rm -rf "$wal" "$wal-decisions"
+  echo "replay smoke: IPS self-check passed"
 fi
 
 if [[ "$metrics_smoke" -eq 1 ]]; then
