@@ -10,22 +10,27 @@
 // the serialized pipeline under contention — lock overhead, fairness,
 // and the per-call latency distribution — not speedup.
 //
+// --batch=B switches the service to the snapshot-read batched protocol
+// (ConfigureBatching + ServeUserBatched/SubmitBatchedFeedback): arrivals
+// coalesce into batches of up to B, scoring runs against immutable
+// learner snapshots with no round lock held, and workers never contend
+// on a pending round — the concurrency the sequential protocol forbids.
+//
 // Latency percentiles come from the process metrics registry (the same
 // `fasea.serve.latency_ns` / `fasea.feedback.latency_ns` histograms
-// `fasea_cli stats` exports); throughput from a wall-clock stopwatch.
+// `fasea_cli stats` exports). Those histograms are process-cumulative,
+// so the bench snapshots them after the --warmup phase and reports the
+// measured phase's delta (HistogramSnapshot::DeltaSince) — cold-start
+// rounds never pollute the percentiles. Throughput comes from a
+// wall-clock stopwatch over the measured phase only.
 //
-//   load_service --threads=8 --rounds=20000
+//   load_service --threads=8 --rounds=20000 --warmup=2000
+//   load_service --threads=8 --rounds=20000 --warmup=2000 --batch=8
 //   load_service --threads=4 --policy=ts --wal_dir=/tmp/load_wal
 //
 // --shards=N routes the load through ShardedArrangementService instead
 // (N=1 degenerates to the full instance, so the 1-vs-N comparison is
-// apples-to-apples). Per-round scoring touches only the home partition
-// plus any spillover stages, so throughput scales with N even on one
-// core. The results block adds per-shard QPS and the max/min skew
-// ratio of the consistent-hash partitioning:
-//
-//   load_service --shards=1 --rounds=20000   # sharded-path baseline
-//   load_service --shards=4 --rounds=20000
+// apples-to-apples; --warmup/--batch apply to the unsharded path only).
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -51,6 +56,119 @@ struct WorkerTotals {
   std::int64_t accepted = 0;
   std::int64_t retries_exhausted = 0;
 };
+
+struct PhaseResult {
+  WorkerTotals sum;
+  bool aborted = false;
+  double seconds = 0.0;
+};
+
+fasea::HistogramSnapshot HistogramByName(const fasea::RegistrySnapshot& snap,
+                                         const char* name) {
+  for (const auto& [metric, hist] : snap.histograms) {
+    if (metric == name) return hist;
+  }
+  return fasea::HistogramSnapshot{};
+}
+
+// One closed-loop phase: `threads` workers drive `target_rounds` rounds
+// through the shared service, sequentially or batched. `phase_salt`
+// keeps the feedback/retry rng streams of repeated phases (warmup, then
+// measurement) distinct.
+PhaseResult RunPhase(fasea::ArrangementService& service,
+                     fasea::SyntheticWorld& world,
+                     const std::vector<fasea::RoundContext>& rounds,
+                     int threads, std::int64_t target_rounds,
+                     std::uint64_t phase_salt, bool batched) {
+  using namespace fasea;
+
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<bool> aborted{false};
+  std::vector<WorkerTotals> totals(static_cast<std::size_t>(threads));
+  Stopwatch wall;
+  wall.Start();
+  {
+    std::vector<std::thread> workers;
+    for (int w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        WorkerTotals& mine = totals[static_cast<std::size_t>(w)];
+        Pcg64 rng(DeriveSeed(phase_salt, "load-feedback",
+                             static_cast<std::uint64_t>(w)),
+                  static_cast<std::uint64_t>(w));
+        RetryPolicy retry(RetryOptions{},
+                          DeriveSeed(phase_salt, "load-retry",
+                                     static_cast<std::uint64_t>(w)));
+        while (!aborted.load(std::memory_order_relaxed) &&
+               completed.load(std::memory_order_relaxed) < target_rounds) {
+          const RoundContext& round =
+              rounds[static_cast<std::size_t>(
+                  completed.load(std::memory_order_relaxed)) %
+                  rounds.size()];
+          Arrangement arrangement;
+          std::int64_t ticket = 0;
+          if (batched) {
+            auto served = service.ServeUserBatched(
+                round.user_id, round.user_capacity, round.contexts);
+            if (!served.ok()) {
+              // Shed (max_pending or overload bounds); back off.
+              ++mine.contention_retries;
+              std::this_thread::yield();
+              continue;
+            }
+            ticket = served->ticket;
+            arrangement = std::move(served->arrangement);
+          } else {
+            auto served = service.ServeUser(
+                round.user_id, round.user_capacity, round.contexts);
+            if (!served.ok()) {
+              // Another worker's round is mid-flight (the protocol
+              // allows one pending arrangement); back off and retry.
+              ++mine.contention_retries;
+              std::this_thread::yield();
+              continue;
+            }
+            arrangement = std::move(served).value();
+          }
+          const Feedback feedback = world.feedback().Sample(
+              mine.served + 1, round.contexts, arrangement, rng);
+          // Bounded, jittered retries instead of a hot-spin: a WAL that
+          // keeps failing retryable surfaces here instead of pegging a
+          // core forever.
+          const Status st = retry.Run([&] {
+            return batched
+                       ? service.SubmitBatchedFeedback(ticket, feedback)
+                       : service.SubmitFeedback(feedback);
+          });
+          if (!st.ok()) {
+            if (IsRetryable(st)) ++mine.retries_exhausted;
+            std::fprintf(stderr,
+                         "load_service: worker %d abandoning the run, "
+                         "feedback failed: %s\n",
+                         w, st.ToString().c_str());
+            aborted.store(true, std::memory_order_relaxed);
+            return;
+          }
+          ++mine.served;
+          mine.accepted += NumAccepted(feedback);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  wall.Stop();
+
+  PhaseResult result;
+  for (const WorkerTotals& t : totals) {
+    result.sum.served += t.served;
+    result.sum.contention_retries += t.contention_retries;
+    result.sum.accepted += t.accepted;
+    result.sum.retries_exhausted += t.retries_exhausted;
+  }
+  result.aborted = aborted.load();
+  result.seconds = wall.ElapsedSeconds();
+  return result;
+}
 
 // The sharded variant of the closed loop: same protocol, but rounds
 // route through ShardedArrangementService, and the results block adds
@@ -217,7 +335,10 @@ int main(int argc, char** argv) {
   flags.DefineInt("threads", 4,
                   "Closed-loop workers driving the shared service "
                   "(<= 0 = one per hardware thread).");
-  flags.DefineInt("rounds", 10000, "Total rounds to serve across workers.");
+  flags.DefineInt("rounds", 10000, "Measured rounds to serve across workers.");
+  flags.DefineInt("warmup", 0,
+                  "Rounds served before measurement starts; their latency "
+                  "samples are excluded from the reported percentiles.");
   flags.DefineInt("num_events", 100, "|V| of the synthetic workload.");
   flags.DefineInt("dim", 10, "Context dimension d.");
   flags.DefineString("policy", "ucb",
@@ -230,6 +351,15 @@ int main(int argc, char** argv) {
                   "0 drives the single ArrangementService path; N>=1 "
                   "drives ShardedArrangementService with N shards "
                   "(1 = full instance through the sharded path).");
+  flags.DefineInt("batch", 0,
+                  "0 drives the sequential protocol; B>=1 enables batched "
+                  "serving with batches of up to B users.");
+  flags.DefineInt("batch_wait_us", 50,
+                  "Batched mode: coalescing window an arrival holds the "
+                  "batch open for.");
+  flags.DefineInt("max_pending", 0,
+                  "Batched mode: unresolved rounds allowed at once "
+                  "(0 = unlimited).");
   flags.DefineBool("help", false, "Show this help.");
   if (Status st = flags.Parse(argc - 1, argv + 1); !st.ok()) {
     std::fprintf(stderr, "load_service: %s\n", st.ToString().c_str());
@@ -243,12 +373,15 @@ int main(int argc, char** argv) {
                           ? ThreadPool::HardwareThreads()
                           : static_cast<int>(flags.GetInt("threads"));
   const std::int64_t target_rounds = flags.GetInt("rounds");
+  const std::int64_t warmup_rounds = flags.GetInt("warmup");
+  const int batch = static_cast<int>(flags.GetInt("batch"));
   FASEA_CHECK(target_rounds >= 1);
+  FASEA_CHECK(warmup_rounds >= 0);
 
   SyntheticConfig config;
   config.num_events = static_cast<std::size_t>(flags.GetInt("num_events"));
   config.dim = static_cast<std::size_t>(flags.GetInt("dim"));
-  config.horizon = target_rounds;
+  config.horizon = target_rounds + warmup_rounds;
   config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
   if (Status st = config.Validate(); !st.ok()) {
     std::fprintf(stderr, "load_service: %s\n", st.ToString().c_str());
@@ -269,6 +402,12 @@ int main(int argc, char** argv) {
 
   if (const int shards = static_cast<int>(flags.GetInt("shards"));
       shards >= 1) {
+    if (batch >= 1) {
+      std::fprintf(stderr,
+                   "load_service: --batch and --shards are mutually "
+                   "exclusive\n");
+      return 2;
+    }
     return RunShardedLoad(**world, config, kinds->front(),
                           flags.GetString("wal_dir"), shards, threads,
                           target_rounds);
@@ -287,88 +426,51 @@ int main(int argc, char** argv) {
     }
     service.AttachWal(std::move(wal).value());
   }
+  if (batch >= 1) {
+    BatchingOptions batching;
+    batching.max_batch = batch;
+    batching.max_wait_us = flags.GetInt("batch_wait_us");
+    batching.max_pending = static_cast<int>(flags.GetInt("max_pending"));
+    service.ConfigureBatching(batching);
+  }
 
   // Pre-generate a ring of rounds: the synthetic provider reuses its
   // buffers and is not thread-safe, so workers cycle private copies.
-  const std::size_t ring_size =
-      std::min<std::size_t>(256, static_cast<std::size_t>(target_rounds));
+  const std::size_t ring_size = std::min<std::size_t>(
+      256, static_cast<std::size_t>(target_rounds + warmup_rounds));
   std::vector<RoundContext> rounds(ring_size);
   for (std::size_t i = 0; i < ring_size; ++i) {
     rounds[i] = (*world)->provider().NextRound(static_cast<std::int64_t>(i) + 1);
   }
 
-  std::printf("load_service: %d worker(s), %lld rounds, policy=%s, |V|=%zu, "
-              "d=%zu, wal=%s\n",
+  std::printf("load_service: %d worker(s), %lld rounds (+%lld warmup), "
+              "policy=%s, mode=%s, |V|=%zu, d=%zu, wal=%s\n",
               threads, static_cast<long long>(target_rounds),
-              flags.GetString("policy").c_str(), config.num_events,
+              static_cast<long long>(warmup_rounds),
+              flags.GetString("policy").c_str(),
+              batch >= 1 ? "batched" : "sequential", config.num_events,
               config.dim, service.wal_attached() ? "on" : "off");
 
-  std::atomic<std::int64_t> completed{0};
-  std::atomic<bool> aborted{false};
-  std::vector<WorkerTotals> totals(static_cast<std::size_t>(threads));
-  Stopwatch wall;
-  wall.Start();
-  {
-    std::vector<std::thread> workers;
-    for (int w = 0; w < threads; ++w) {
-      workers.emplace_back([&, w] {
-        WorkerTotals& mine = totals[static_cast<std::size_t>(w)];
-        Pcg64 rng(DeriveSeed(config.seed, "load-feedback",
-                             static_cast<std::uint64_t>(w)),
-                  static_cast<std::uint64_t>(w));
-        RetryPolicy retry(RetryOptions{},
-                          DeriveSeed(config.seed, "load-retry",
-                                     static_cast<std::uint64_t>(w)));
-        while (!aborted.load(std::memory_order_relaxed) &&
-               completed.load(std::memory_order_relaxed) < target_rounds) {
-          const RoundContext& round =
-              rounds[static_cast<std::size_t>(
-                  completed.load(std::memory_order_relaxed)) %
-                  rounds.size()];
-          auto arrangement =
-              service.ServeUser(round.user_id, round.user_capacity,
-                                round.contexts);
-          if (!arrangement.ok()) {
-            // Another worker's round is mid-flight (the protocol allows
-            // one pending arrangement); back off and retry.
-            ++mine.contention_retries;
-            std::this_thread::yield();
-            continue;
-          }
-          const Feedback feedback = (*world)->feedback().Sample(
-              mine.served + 1, round.contexts, *arrangement, rng);
-          // Bounded, jittered retries instead of a hot-spin: a WAL that
-          // keeps failing retryable surfaces here instead of pegging a
-          // core forever.
-          const Status st =
-              retry.Run([&] { return service.SubmitFeedback(feedback); });
-          if (!st.ok()) {
-            if (IsRetryable(st)) ++mine.retries_exhausted;
-            std::fprintf(stderr,
-                         "load_service: worker %d abandoning the run, "
-                         "feedback failed: %s\n",
-                         w, st.ToString().c_str());
-            aborted.store(true, std::memory_order_relaxed);
-            return;
-          }
-          ++mine.served;
-          mine.accepted += NumAccepted(feedback);
-          completed.fetch_add(1, std::memory_order_relaxed);
-        }
-      });
+  std::int64_t warmup_served = 0;
+  if (warmup_rounds > 0) {
+    PhaseResult warm = RunPhase(
+        service, **world, rounds, threads, warmup_rounds,
+        DeriveSeed(config.seed, "load-warmup"), batch >= 1);
+    if (warm.aborted) {
+      std::fprintf(stderr, "load_service: aborted during warmup\n");
+      return 1;
     }
-    for (std::thread& worker : workers) worker.join();
+    warmup_served = warm.sum.served;
   }
-  wall.Stop();
 
-  WorkerTotals sum;
-  for (const WorkerTotals& t : totals) {
-    sum.served += t.served;
-    sum.contention_retries += t.contention_retries;
-    sum.accepted += t.accepted;
-    sum.retries_exhausted += t.retries_exhausted;
-  }
-  if (aborted.load()) {
+  // The registry histograms are process-cumulative; the baseline taken
+  // here makes the reported percentiles cover the measured phase only.
+  const RegistrySnapshot before = Metrics()->Snapshot();
+  PhaseResult run =
+      RunPhase(service, **world, rounds, threads, target_rounds,
+               config.seed, batch >= 1);
+  const WorkerTotals& sum = run.sum;
+  if (run.aborted) {
     std::fprintf(stderr,
                  "load_service: aborted after %lld/%lld rounds "
                  "(%lld retry budget(s) exhausted)\n",
@@ -377,25 +479,33 @@ int main(int argc, char** argv) {
                  static_cast<long long>(sum.retries_exhausted));
     return 1;
   }
-  FASEA_CHECK(sum.served == service.rounds_served());
-  FASEA_CHECK(sum.served >= target_rounds);
+  const RegistrySnapshot after = Metrics()->Snapshot();
 
-  const double seconds = wall.ElapsedSeconds();
-  const RegistrySnapshot snap = Metrics()->Snapshot();
+  std::int64_t invariant_violations = 0;
+  if (warmup_served + sum.served != service.rounds_served()) {
+    ++invariant_violations;
+  }
+  if (service.batching_enabled() &&
+      service.pending_batched_rounds() != 0) {
+    ++invariant_violations;
+  }
+  if (sum.served < target_rounds) ++invariant_violations;
+
+  const double seconds = run.seconds;
   const auto percentiles = [&](const char* name) {
-    for (const auto& [metric, hist] : snap.histograms) {
-      if (metric == name) {
-        std::printf("  %-26s p50=%lldns p95=%lldns p99=%lldns max=%lldns "
-                    "(n=%lld)\n",
-                    name, static_cast<long long>(hist.ValueAtPercentile(50)),
-                    static_cast<long long>(hist.ValueAtPercentile(95)),
-                    static_cast<long long>(hist.ValueAtPercentile(99)),
-                    static_cast<long long>(hist.max),
-                    static_cast<long long>(hist.count));
-        return;
-      }
+    const HistogramSnapshot hist =
+        HistogramByName(after, name).DeltaSince(HistogramByName(before, name));
+    if (hist.count == 0) {
+      std::printf("  %-26s (no samples)\n", name);
+      return;
     }
-    std::printf("  %-26s (no samples)\n", name);
+    std::printf("  %-26s p50=%lldns p95=%lldns p99=%lldns max=%lldns "
+                "(n=%lld)\n",
+                name, static_cast<long long>(hist.ValueAtPercentile(50)),
+                static_cast<long long>(hist.ValueAtPercentile(95)),
+                static_cast<long long>(hist.ValueAtPercentile(99)),
+                static_cast<long long>(hist.max),
+                static_cast<long long>(hist.count));
   };
 
   std::printf("\nresults:\n");
@@ -415,5 +525,11 @@ int main(int argc, char** argv) {
               static_cast<long long>(sum.retries_exhausted));
   percentiles("fasea.serve.latency_ns");
   percentiles("fasea.feedback.latency_ns");
-  return 0;
+  if (batch >= 1) {
+    percentiles("fasea.batch.size");
+    percentiles("fasea.batch.wait_ns");
+  }
+  std::printf("  invariant violations       %lld\n",
+              static_cast<long long>(invariant_violations));
+  return invariant_violations == 0 ? 0 : 1;
 }

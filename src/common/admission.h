@@ -1,0 +1,88 @@
+// InflightLimiter: compare-and-admit in-flight bounding for admission
+// control.
+//
+// The naive increment-then-check guard has a thundering-herd bug at the
+// limit boundary: N callers racing at the limit each increment first,
+// each observes count > limit, and ALL shed — admission can reject down
+// to zero throughput exactly when the service is saturated. TryAcquire
+// instead CASes the counter upward only while it is strictly below the
+// limit, so of N racing callers exactly `limit` are admitted and the
+// rest shed; at least one caller always makes progress.
+#ifndef FASEA_COMMON_ADMISSION_H_
+#define FASEA_COMMON_ADMISSION_H_
+
+#include <atomic>
+#include <utility>
+
+namespace fasea {
+
+class InflightLimiter {
+ public:
+  /// Moveable RAII admission slot; releases on destruction. A
+  /// default-constructed (or rejected) permit holds nothing.
+  class Permit {
+   public:
+    Permit() = default;
+    Permit(Permit&& other) noexcept
+        : limiter_(std::exchange(other.limiter_, nullptr)),
+          count_(other.count_) {}
+    Permit& operator=(Permit&& other) noexcept {
+      if (this != &other) {
+        Release();
+        limiter_ = std::exchange(other.limiter_, nullptr);
+        count_ = other.count_;
+      }
+      return *this;
+    }
+    Permit(const Permit&) = delete;
+    Permit& operator=(const Permit&) = delete;
+    ~Permit() { Release(); }
+
+    bool admitted() const { return limiter_ != nullptr; }
+    /// In-flight count at admission (this permit included); 0 when
+    /// rejected.
+    int count() const { return count_; }
+    void Release() {
+      if (limiter_ != nullptr) {
+        limiter_->count_.fetch_sub(1, std::memory_order_release);
+        limiter_ = nullptr;
+      }
+    }
+
+   private:
+    friend class InflightLimiter;
+    Permit(InflightLimiter* limiter, int count)
+        : limiter_(limiter), count_(count) {}
+    InflightLimiter* limiter_ = nullptr;
+    int count_ = 0;
+  };
+
+  InflightLimiter() = default;
+  InflightLimiter(const InflightLimiter&) = delete;
+  InflightLimiter& operator=(const InflightLimiter&) = delete;
+
+  /// Admits unless `limit` callers are already in flight (limit <= 0 =
+  /// unlimited). The admit is a CAS from a below-limit count, so exactly
+  /// min(N, limit) of N concurrent callers succeed — never fewer.
+  Permit TryAcquire(int limit) {
+    int cur = count_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (limit > 0 && cur >= limit) return Permit();
+      if (count_.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return Permit(this, cur + 1);
+      }
+    }
+  }
+
+  int current() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Permit;
+  std::atomic<int> count_{0};
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_COMMON_ADMISSION_H_

@@ -12,8 +12,30 @@ EpsGreedyPolicy::EpsGreedyPolicy(const ProblemInstance* instance,
       params_(params),
       coin_rng_(rng),
       random_oracle_(Pcg64(rng.Next(), HashTag("egreedy-oracle"))),
-      propensity_salt_(DeriveSeed(rng.Next(), "egreedy-propensity")) {
+      propensity_salt_(DeriveSeed(rng.Next(), "egreedy-propensity")),
+      batch_salt_(DeriveSeed(rng.Next(), "egreedy-batch")) {
   FASEA_CHECK(params.epsilon >= 0.0 && params.epsilon <= 1.0);
+}
+
+void EpsGreedyPolicy::ScoreBatchSnapshot(
+    const LearnerSnapshot& snapshot, std::span<const SnapshotRound> rows,
+    Matrix* scores, std::span<RowResolve> resolve) const {
+  // Exploitation scores for every row first (one stacked θ̂ GEMV via the
+  // base), then the per-ticket coins overwrite exploration rows with the
+  // availability-only scores the random oracle expects.
+  LinearPolicyBase::ScoreBatchSnapshot(snapshot, rows, scores, resolve);
+  if (params_.epsilon <= 0.0) return;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    Pcg64 coin(DeriveSeed(batch_salt_, "coin",
+                          static_cast<std::uint64_t>(rows[i].ticket)),
+               HashTag("egreedy-batch-coin"));
+    if (coin.NextDouble() <= params_.epsilon) {
+      resolve[i] = RowResolve::kRandom;
+      std::span<double> row = scores->Row(i);
+      std::fill(row.begin(), row.end(), 0.0);
+      ApplyAvailabilityMask(*rows[i].round, row);
+    }
+  }
 }
 
 Arrangement EpsGreedyPolicy::Propose(std::int64_t t,

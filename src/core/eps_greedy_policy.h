@@ -37,6 +37,16 @@ class EpsGreedyPolicy : public LinearPolicyBase {
   Arrangement Propose(std::int64_t t, const RoundContext& round,
                       const PlatformState& state) override;
 
+  /// Batched eGreedy over a snapshot: each user's ε coin comes from a
+  /// private stream derived from the ticket (the sequential coin stream
+  /// is untouched). Exploitation rows carry x ᵀ θ̂; exploration rows are
+  /// marked kRandom with availability-only scores — the serving layer
+  /// resolves them through a ticket-seeded RandomOracle.
+  void ScoreBatchSnapshot(const LearnerSnapshot& snapshot,
+                          std::span<const SnapshotRound> rows,
+                          Matrix* scores,
+                          std::span<RowResolve> resolve) const override;
+
   /// ε-mixture: (1−ε)·𝟙[A = greedy(θ̂)] + ε·P_random(A), the random mass
   /// Monte-Carlo estimated on a derived per-round stream (never the coin
   /// or oracle streams, so serving draws are untouched).
@@ -49,6 +59,11 @@ class EpsGreedyPolicy : public LinearPolicyBase {
   Pcg64 coin_rng_;
   RandomOracle random_oracle_;
   std::uint64_t propensity_salt_;
+  // Declared (and thus initialized) after propensity_salt_: its extra
+  // draw from the constructor's rng parameter happens after every
+  // pre-existing stream was derived, so adding it changed no sequential
+  // behavior.
+  std::uint64_t batch_salt_;
 };
 
 /// The pure-exploitation special case (ε = 0); needs no randomness.

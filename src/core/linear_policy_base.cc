@@ -1,6 +1,68 @@
 #include "core/linear_policy_base.h"
 
+#include <algorithm>
+
+#include "linalg/kernels.h"
+
 namespace fasea {
+
+std::shared_ptr<const LearnerSnapshot> LinearPolicyBase::MakeSnapshot()
+    const {
+  auto snap = std::make_shared<LearnerSnapshot>();
+  snap->epoch = ridge_.num_observations();
+  snap->healthy = ridge_.healthy();
+  snap->factor_healthy = ridge_.factor_healthy();
+  snap->theta_hat = ridge_.ThetaHat();
+  snap->y_inverse = ridge_.YInverse();
+  TransposeInto(snap->y_inverse, &snap->y_inverse_t);
+  if (snap->factor_healthy) snap->factor.emplace(ridge_.Factor());
+  double checksum = 0.0;
+  for (double v : snap->theta_hat.span()) checksum += v;
+  snap->theta_checksum = checksum;
+  return snap;
+}
+
+void LinearPolicyBase::StackContexts(std::span<const SnapshotRound> rows,
+                                     Matrix* stacked) {
+  FASEA_CHECK(!rows.empty());
+  const std::size_t n = rows.front().round->contexts.rows();
+  const std::size_t d = rows.front().round->contexts.cols();
+  if (stacked->rows() != rows.size() * n || stacked->cols() != d) {
+    *stacked = Matrix(rows.size() * n, d);
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Matrix& contexts = rows[i].round->contexts;
+    FASEA_CHECK(contexts.rows() == n && contexts.cols() == d);
+    std::copy(contexts.data(), contexts.data() + n * d,
+              stacked->data() + i * n * d);
+  }
+}
+
+void LinearPolicyBase::MaskBatchRows(std::span<const SnapshotRound> rows,
+                                     Matrix* scores) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    ApplyAvailabilityMask(*rows[i].round, scores->Row(i));
+  }
+}
+
+void LinearPolicyBase::ScoreBatchSnapshot(
+    const LearnerSnapshot& snapshot, std::span<const SnapshotRound> rows,
+    Matrix* scores, std::span<RowResolve> resolve) const {
+  FASEA_CHECK(snapshot.healthy);
+  FASEA_CHECK(scores->rows() == rows.size() &&
+              resolve.size() == rows.size());
+  if (rows.empty()) return;
+  // Pure exploitation: one stacked GEMV over all B·|V| context rows.
+  // Each score row is the same flat storage GemvRows writes, and each
+  // row's dot is computed independently in sequential j-order, so the
+  // results are bit-identical to B separate PredictBatch calls.
+  Matrix stacked;
+  StackContexts(rows, &stacked);
+  GemvRows(stacked, snapshot.theta_hat.span(),
+           std::span<double>(scores->data(),
+                             scores->rows() * scores->cols()));
+  MaskBatchRows(rows, scores);
+}
 
 void LinearPolicyBase::Learn(std::int64_t /*t*/, const RoundContext& round,
                              const Arrangement& arrangement,

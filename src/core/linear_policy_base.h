@@ -4,8 +4,11 @@
 #ifndef FASEA_CORE_LINEAR_POLICY_BASE_H_
 #define FASEA_CORE_LINEAR_POLICY_BASE_H_
 
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "core/learner_snapshot.h"
 #include "core/policy.h"
 #include "core/ridge.h"
 #include "model/instance.h"
@@ -22,6 +25,21 @@ namespace fasea {
 /// in which Cholesky factor it samples through (maintained incremental
 /// vs fresh per-round), equal up to rank-1 rounding drift.
 enum class ScoringMode { kBatched, kScalar };
+
+/// One user of a cross-user batch handed to ScoreBatchSnapshot. `ticket`
+/// is the arrival-order id the serving layer assigned — stochastic
+/// policies derive their per-user randomness from it, so a batch's
+/// scores depend only on (snapshot, tickets, rounds), never on timing.
+struct SnapshotRound {
+  std::int64_t ticket = 0;
+  const RoundContext* round = nullptr;
+};
+
+/// How the serving layer must turn one scored row into an arrangement:
+/// greedily over the row's scores (the normal case), or via a
+/// ticket-seeded RandomOracle (an eGreedy exploration row — its "scores"
+/// are just the availability mask).
+enum class RowResolve { kGreedy, kRandom };
 
 class LinearPolicyBase : public Policy {
  public:
@@ -50,6 +68,29 @@ class LinearPolicyBase : public Policy {
   ScoringMode scoring_mode() const { return scoring_mode_; }
   void set_scoring_mode(ScoringMode mode) { scoring_mode_ = mode; }
 
+  /// Captures the current learning state as an immutable epoch snapshot
+  /// (see core/learner_snapshot.h). Caller must hold whatever lock
+  /// serializes Learn — the capture itself reads the live ridge.
+  std::shared_ptr<const LearnerSnapshot> MakeSnapshot() const;
+
+  /// Scores every batch row against `snapshot` — no live learner state is
+  /// read, so this runs with no lock held. `scores` must be pre-shaped
+  /// rows.size() × |V|; `resolve` (same length, pre-filled kGreedy) tells
+  /// the caller how to turn each row into an arrangement. Per-row scores
+  /// are bit-identical to what the sequential batched Propose computes
+  /// from the same learner state, availability masks included (batched
+  /// rounds carry none today, but the mask is applied for parity). The
+  /// base implementation is pure exploitation (one stacked θ̂ GEMV over
+  /// all B·|V| rows); UCB adds the confidence width via the snapshot's
+  /// precomputed (Y⁻¹)ᵀ, TS samples a per-ticket θ̃ through the
+  /// snapshot's factor, eGreedy flips a per-ticket coin and marks
+  /// exploration rows kRandom. Requires snapshot.healthy — the serving
+  /// layer falls back to stateless proposals otherwise.
+  virtual void ScoreBatchSnapshot(const LearnerSnapshot& snapshot,
+                                  std::span<const SnapshotRound> rows,
+                                  Matrix* scores,
+                                  std::span<RowResolve> resolve) const;
+
  protected:
   /// `instance` must outlive the policy.
   LinearPolicyBase(const ProblemInstance* instance, double lambda,
@@ -75,6 +116,14 @@ class LinearPolicyBase : public Policy {
     scores_.resize(n);
     return scores_;
   }
+
+  /// Stacks the batch's context matrices into one (B·|V|) × d operand so
+  /// one kernel call scores every user.
+  static void StackContexts(std::span<const SnapshotRound> rows,
+                            Matrix* stacked);
+  /// Applies each round's availability mask to its score row.
+  static void MaskBatchRows(std::span<const SnapshotRound> rows,
+                            Matrix* scores);
 
   const ProblemInstance* instance_;
   RidgeState ridge_;

@@ -17,6 +17,7 @@ TsPolicy::TsPolicy(const ProblemInstance* instance, const TsParams& params,
       params_(params),
       rng_(rng),
       propensity_salt_(DeriveSeed(rng.Next(), "ts-propensity")),
+      batch_salt_(DeriveSeed(rng.Next(), "ts-batch")),
       sampled_theta_(instance->dim()) {
   FASEA_CHECK(params.delta > 0.0 && params.delta < 1.0);
   FASEA_CHECK(params.r_scale >= 0.0);
@@ -75,6 +76,41 @@ Arrangement TsPolicy::Propose(std::int64_t t, const RoundContext& round,
       greedy_.Select(scores, conflicts(), state, round.user_capacity);
   RecordSpanSince("oracle.greedy", t, greedy_start);
   return arrangement;
+}
+
+void TsPolicy::ScoreBatchSnapshot(const LearnerSnapshot& snapshot,
+                                  std::span<const SnapshotRound> rows,
+                                  Matrix* scores,
+                                  std::span<RowResolve> resolve) const {
+  FASEA_CHECK(snapshot.healthy);
+  FASEA_CHECK(scores->rows() == rows.size() &&
+              resolve.size() == rows.size());
+  const std::size_t d = snapshot.theta_hat.size();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SnapshotRound& user = rows[i];
+    FASEA_CHECK(user.ticket >= 1);
+    const double q =
+        params_.r_scale *
+        std::sqrt(9.0 * static_cast<double>(d) *
+                  std::log(static_cast<double>(user.ticket) /
+                           params_.delta));
+    Vector theta;
+    if (snapshot.factor.has_value()) {
+      Pcg64 sample_rng(
+          DeriveSeed(batch_salt_, "sample",
+                     static_cast<std::uint64_t>(user.ticket)),
+          HashTag("ts-batch-sample"));
+      theta = SampleMvnFromPrecision(sample_rng, snapshot.theta_hat, q,
+                                     *snapshot.factor);
+    } else {
+      theta = snapshot.theta_hat;
+      sample_factor_failures_metric_->Increment();
+    }
+    // Per-user θ̃ means per-user GEMV — TS's posterior draws cannot share
+    // one stacked multiply the way the fixed-θ̂ policies do.
+    GemvRows(user.round->contexts, theta.span(), scores->Row(i));
+    ApplyAvailabilityMask(*user.round, scores->Row(i));
+  }
 }
 
 double TsPolicy::PropensityOf(std::int64_t t, const RoundContext& round,

@@ -39,6 +39,18 @@ class TsPolicy final : public LinearPolicyBase {
   Arrangement Propose(std::int64_t t, const RoundContext& round,
                       const PlatformState& state) override;
 
+  /// Batched TS over a snapshot: each user gets an independent posterior
+  /// draw θ̃ ~ N(θ̂, q² Y⁻¹) through the snapshot's Cholesky factor, on a
+  /// private stream derived from the user's ticket — deterministic given
+  /// the arrival order, untouched by the sequential stream `rng_`. Uses
+  /// the ticket as the round index in the posterior-scale formula. A
+  /// snapshot without a usable factor degrades every row to θ̃ = θ̂
+  /// exactly as Propose would.
+  void ScoreBatchSnapshot(const LearnerSnapshot& snapshot,
+                          std::span<const SnapshotRound> rows,
+                          Matrix* scores,
+                          std::span<RowResolve> resolve) const override;
+
   /// Sample-count Monte-Carlo estimate: the fraction of fresh posterior
   /// draws θ̃ ~ N(θ̂, q² Y⁻¹) whose greedy arrangement equals the action
   /// (Laplace-smoothed), on a derived per-round stream — the private
@@ -69,6 +81,11 @@ class TsPolicy final : public LinearPolicyBase {
   TsParams params_;
   Pcg64 rng_;
   std::uint64_t propensity_salt_;
+  // Declared (and thus initialized) after propensity_salt_: its extra
+  // draw from the constructor's rng parameter happens after every
+  // pre-existing stream was derived, so adding it changed no sequential
+  // behavior.
+  std::uint64_t batch_salt_;
   Vector sampled_theta_;
   std::int64_t num_degraded_samples_ = 0;
   Counter* sample_factor_failures_metric_ =

@@ -1,7 +1,9 @@
 #include "core/ucb_policy.h"
 
 #include <cmath>
+#include <vector>
 
+#include "linalg/kernels.h"
 #include "obs/trace.h"
 
 namespace fasea {
@@ -9,6 +11,32 @@ namespace fasea {
 UcbPolicy::UcbPolicy(const ProblemInstance* instance, const UcbParams& params)
     : LinearPolicyBase(instance, params.lambda), params_(params) {
   FASEA_CHECK(params.alpha >= 0.0);
+}
+
+void UcbPolicy::ScoreBatchSnapshot(const LearnerSnapshot& snapshot,
+                                   std::span<const SnapshotRound> rows,
+                                   Matrix* scores,
+                                   std::span<RowResolve> resolve) const {
+  FASEA_CHECK(snapshot.healthy);
+  FASEA_CHECK(scores->rows() == rows.size() &&
+              resolve.size() == rows.size());
+  if (rows.empty()) return;
+  Matrix stacked;
+  StackContexts(rows, &stacked);
+  const std::size_t total = scores->rows() * scores->cols();
+  std::span<double> flat(scores->data(), total);
+  // Predictions and widths over all B·|V| rows in two kernel calls; the
+  // combine mirrors the sequential batched Propose term for term, and
+  // both kernels are row-independent, so each user's scores equal a
+  // lone PredictBatch + ConfidenceWidthSqBatch against this state.
+  GemvRows(stacked, snapshot.theta_hat.span(), flat);
+  std::vector<double> width(total);
+  Matrix g;
+  BatchedQuadFormPre(stacked, snapshot.y_inverse_t, width, &g);
+  for (std::size_t k = 0; k < total; ++k) {
+    flat[k] = flat[k] + params_.alpha * std::sqrt(width[k]);
+  }
+  MaskBatchRows(rows, scores);
 }
 
 double UcbPolicy::UpperConfidenceBound(std::span<const double> x) const {

@@ -31,6 +31,15 @@ class UcbPolicy final : public LinearPolicyBase {
   Arrangement Propose(std::int64_t t, const RoundContext& round,
                       const PlatformState& state) override;
 
+  /// Batched UCB over a snapshot: one stacked GEMV for the predictions
+  /// plus one stacked width GEMM against the snapshot's precomputed
+  /// (Y⁻¹)ᵀ, then the same per-event combine as Propose — bit-identical
+  /// to scoring each user separately against that learner state.
+  void ScoreBatchSnapshot(const LearnerSnapshot& snapshot,
+                          std::span<const SnapshotRound> rows,
+                          Matrix* scores,
+                          std::span<RowResolve> resolve) const override;
+
   /// The upper confidence bound r̂ of one context under the current state
   /// (exposed for tests of the bound's shrinking behaviour).
   double UpperConfidenceBound(std::span<const double> x) const;

@@ -1,11 +1,15 @@
 #include "ebsn/arrangement_service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "common/hash.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "obs/trace.h"
 #include "oracle/oracle.h"
+#include "oracle/random_oracle.h"
 #include "rng/seed.h"
 
 namespace fasea {
@@ -13,6 +17,9 @@ namespace fasea {
 namespace {
 
 /// Acquires `mu` honoring `deadline`; false on timeout (lock not held).
+/// An already-expired deadline returns false immediately (remaining <= 0
+/// must never be handed to try_lock_for, whose behavior on non-positive
+/// durations is an immediate — and misleading — plain try_lock).
 bool LockWithDeadline(std::unique_lock<std::timed_mutex>& lock,
                       const Deadline& deadline) {
   if (deadline.infinite()) {
@@ -24,21 +31,22 @@ bool LockWithDeadline(std::unique_lock<std::timed_mutex>& lock,
   return lock.try_lock_for(std::chrono::nanoseconds(remaining));
 }
 
-/// RAII in-flight counter for admission control.
-class InflightGuard {
- public:
-  explicit InflightGuard(std::atomic<int>* counter) : counter_(counter) {
-    count_ = counter_->fetch_add(1, std::memory_order_relaxed) + 1;
-  }
-  ~InflightGuard() { counter_->fetch_sub(1, std::memory_order_relaxed); }
-  int count() const { return count_; }
-
- private:
-  std::atomic<int>* counter_;
-  int count_;
-};
-
 }  // namespace
+
+/// One queued ServeUserBatched call. Lives on the calling thread's stack;
+/// the queue holds pointers, valid until `done` flips under batch_mu_.
+/// `result` is written by the batch leader while the owner is blocked and
+/// read by the owner only after observing `done` — the mutex hand-off is
+/// the synchronization.
+struct ArrangementService::BatchWaiter {
+  std::int64_t ticket = 0;
+  RoundContext round;
+  std::int64_t enqueue_ns = 0;
+  bool claimed = false;
+  bool done = false;
+  StatusOr<BatchedRound> result{
+      FailedPreconditionError("batched round was never resolved")};
+};
 
 std::string_view HealthStateName(HealthState state) {
   switch (state) {
@@ -69,6 +77,7 @@ ArrangementService::ArrangementService(const ProblemInstance* instance,
                                        std::uint64_t seed)
     : ArrangementService(instance, kind, params) {
   policy_ = MakePolicy(kind, instance, params, seed);
+  batch_salt_ = DeriveSeed(seed, "batch-serve");
 }
 
 StatusOr<std::unique_ptr<ArrangementService>>
@@ -82,6 +91,7 @@ ArrangementService::FromCheckpoint(const ProblemInstance* instance,
   auto service = std::unique_ptr<ArrangementService>(new ArrangementService(
       instance, checkpoint->kind, checkpoint->params));
   service->policy_ = std::move(policy).value();
+  service->batch_salt_ = DeriveSeed(seed, "batch-serve");
   return service;
 }
 
@@ -108,6 +118,8 @@ void ArrangementService::AttachDecisionLog(
     std::unique_ptr<DecisionLogWriter> log) {
   std::lock_guard<std::timed_mutex> lock(mu_);
   FASEA_CHECK(log != nullptr);
+  FASEA_CHECK(!batching_enabled_.load(std::memory_order_acquire) &&
+              "decision logging is incompatible with batched serving");
   decision_log_ = std::move(log);
 }
 
@@ -132,6 +144,26 @@ void ArrangementService::ConfigureOverload(const OverloadOptions& options) {
   }
 }
 
+void ArrangementService::ConfigureBatching(const BatchingOptions& options) {
+  FASEA_CHECK(options.max_batch >= 1);
+  FASEA_CHECK(options.max_wait_us >= 0);
+  FASEA_CHECK(options.max_pending >= 0);
+  std::lock_guard<std::timed_mutex> lock(mu_);
+  FASEA_CHECK(dynamic_cast<const LinearPolicyBase*>(policy_.get()) !=
+                  nullptr &&
+              "batched serving needs a ridge learner to snapshot");
+  FASEA_CHECK(decision_log_ == nullptr &&
+              "decision-log propensities are defined against live state; "
+              "detach the decision log before enabling batching");
+  FASEA_CHECK(!pending_ && "enable batching before serving starts");
+  batching_ = options;
+  // The reservation view starts as a copy of the ground truth and stays
+  // equal to it whenever no batched round is outstanding.
+  effective_state_ = state_;
+  batching_enabled_.store(true, std::memory_order_release);
+  PublishSnapshotLocked();
+}
+
 void ArrangementService::EnterLameDuck() {
   lame_duck_.store(true, std::memory_order_relaxed);
   health_gauge_->Set(static_cast<double>(HealthState::kLameDuck));
@@ -139,13 +171,18 @@ void ArrangementService::EnterLameDuck() {
 
 Arrangement ArrangementService::StatelessProposal(
     const RoundContext& round) const {
+  return StatelessProposal(round, state_);
+}
+
+Arrangement ArrangementService::StatelessProposal(
+    const RoundContext& round, const PlatformState& state) const {
   const ConflictGraph& conflicts = instance_->conflicts();
   Arrangement out;
   for (EventId v = 0;
        v < instance_->num_events() &&
        static_cast<std::int64_t>(out.size()) < round.user_capacity;
        ++v) {
-    if (!round.IsAvailable(v) || !state_.HasCapacity(v)) continue;
+    if (!round.IsAvailable(v) || !state.HasCapacity(v)) continue;
     bool clashes = false;
     for (EventId arranged : out) {
       if (conflicts.Conflicts(v, arranged)) {
@@ -217,14 +254,21 @@ StatusOr<Arrangement> ArrangementService::ServeUser(
     serve_errors_metric_->Increment();
     return UnavailableError("service is draining (lame duck)");
   }
-  InflightGuard inflight(&inflight_);
-  if (overload_.max_inflight > 0 &&
-      inflight.count() > overload_.max_inflight) {
+  if (batching_enabled_.load(std::memory_order_acquire)) {
+    serve_errors_metric_->Increment();
+    return FailedPreconditionError(
+        "service is in batched mode; use ServeUserBatched");
+  }
+  // Compare-and-admit: the permit is granted only while the count is
+  // strictly below the limit, so exactly max_inflight callers can hold
+  // one at a time (a racing overflow caller can never push an admitted
+  // one over the limit and make both shed).
+  InflightLimiter::Permit permit = inflight_.TryAcquire(overload_.max_inflight);
+  if (!permit.admitted()) {
     rounds_shed_.fetch_add(1, std::memory_order_relaxed);
     shed_metric_->Increment();
     return ResourceExhaustedError(StrFormat(
-        "overloaded: %d requests in flight (limit %d)", inflight.count(),
-        overload_.max_inflight));
+        "overloaded: in-flight limit of %d reached", overload_.max_inflight));
   }
   if (rate_limiter_ != nullptr && !rate_limiter_->TryAcquire()) {
     rounds_shed_.fetch_add(1, std::memory_order_relaxed);
@@ -351,6 +395,60 @@ Status ArrangementService::WalAppendLocked(std::string_view encoded) {
   return wal_->Append(encoded);
 }
 
+Status ArrangementService::WalWriteAheadLocked(const std::string& encoded,
+                                               bool* durable) {
+  *durable = false;
+  if (wal_ == nullptr || wal_degraded_) return Status::Ok();
+  if (breaker_ == nullptr) {
+    wal_->set_trace_round(t_);
+    if (Status st = wal_->Append(encoded); st.ok()) {
+      *durable = true;
+    } else {
+      ++wal_append_failures_;
+      if (durability_.on_wal_error ==
+          DurabilityPolicy::OnWalError::kFailRound) {
+        retryable_errors_metric_->Increment();
+        return UnavailableError(
+            "durability failure, feedback not applied (retry after the "
+            "log is restored): " +
+            st.message());
+      }
+      // Degrade: availability over durability, visibly.
+      wal_degraded_ = true;
+      degraded_entries_metric_->Increment();
+      wal_degraded_gauge_->Set(1.0);
+      UpdateHealthGaugeLocked();
+    }
+  } else if (!breaker_->Allow()) {
+    // Open (or probe slots busy): serve without touching the dying
+    // disk. The round is acknowledged non-durably; the breaker's
+    // cooldown decides when durability is probed again.
+    ++nondurable_rounds_;
+    nondurable_metric_->Increment();
+  } else {
+    Status st = WalAppendLocked(encoded);
+    if (st.ok()) {
+      breaker_->RecordSuccess();
+      *durable = true;
+    } else {
+      breaker_->RecordFailure();
+      ++wal_append_failures_;
+      if (durability_.on_wal_error ==
+          DurabilityPolicy::OnWalError::kFailRound) {
+        retryable_errors_metric_->Increment();
+        UpdateHealthGaugeLocked();
+        return UnavailableError(
+            "durability failure, feedback not applied (retry; the "
+            "breaker arbitrates recovery): " +
+            st.message());
+      }
+      ++nondurable_rounds_;
+      nondurable_metric_->Increment();
+    }
+  }
+  return Status::Ok();
+}
+
 Status ArrangementService::SubmitFeedback(const Feedback& feedback,
                                           FeedbackResult* result,
                                           const Deadline& deadline) {
@@ -364,6 +462,11 @@ Status ArrangementService::SubmitFeedback(const Feedback& feedback,
   TraceSpan total_span("feedback.total", t_, TraceRing::Global(),
                        feedback_latency_,
                        pending_ ? pending_trace_id_ : 0);
+  if (batching_enabled_.load(std::memory_order_acquire)) {
+    feedback_errors_metric_->Increment();
+    return FailedPreconditionError(
+        "service is in batched mode; use SubmitBatchedFeedback");
+  }
   if (!pending_) {
     feedback_errors_metric_->Increment();
     return FailedPreconditionError("no arrangement is awaiting feedback");
@@ -403,54 +506,8 @@ Status ArrangementService::SubmitFeedback(const Feedback& feedback,
   // policy) before any state changes, so a crash between here and the end
   // of this function loses nothing that was applied.
   bool durable = false;
-  if (wal_ != nullptr && !wal_degraded_) {
-    if (breaker_ == nullptr) {
-      wal_->set_trace_round(t_);
-      if (Status st = wal_->Append(encoded); st.ok()) {
-        durable = true;
-      } else {
-        ++wal_append_failures_;
-        if (durability_.on_wal_error ==
-            DurabilityPolicy::OnWalError::kFailRound) {
-          retryable_errors_metric_->Increment();
-          return UnavailableError(
-              "durability failure, feedback not applied (retry after the "
-              "log is restored): " +
-              st.message());
-        }
-        // Degrade: availability over durability, visibly.
-        wal_degraded_ = true;
-        degraded_entries_metric_->Increment();
-        wal_degraded_gauge_->Set(1.0);
-        UpdateHealthGaugeLocked();
-      }
-    } else if (!breaker_->Allow()) {
-      // Open (or probe slots busy): serve without touching the dying
-      // disk. The round is acknowledged non-durably; the breaker's
-      // cooldown decides when durability is probed again.
-      ++nondurable_rounds_;
-      nondurable_metric_->Increment();
-    } else {
-      Status st = WalAppendLocked(encoded);
-      if (st.ok()) {
-        breaker_->RecordSuccess();
-        durable = true;
-      } else {
-        breaker_->RecordFailure();
-        ++wal_append_failures_;
-        if (durability_.on_wal_error ==
-            DurabilityPolicy::OnWalError::kFailRound) {
-          retryable_errors_metric_->Increment();
-          UpdateHealthGaugeLocked();
-          return UnavailableError(
-              "durability failure, feedback not applied (retry; the "
-              "breaker arbitrates recovery): " +
-              st.message());
-        }
-        ++nondurable_rounds_;
-        nondurable_metric_->Increment();
-      }
-    }
+  if (Status st = WalWriteAheadLocked(encoded, &durable); !st.ok()) {
+    return st;
   }
 
   for (std::size_t i = 0; i < feedback.size(); ++i) {
@@ -472,6 +529,361 @@ Status ArrangementService::SubmitFeedback(const Feedback& feedback,
     result->durable = durable;
   }
   return Status::Ok();
+}
+
+StatusOr<BatchedRound> ArrangementService::ServeUserBatched(
+    std::int64_t user_id, std::int64_t user_capacity,
+    const ContextMatrix& contexts, const Deadline& deadline) {
+  if (!batching_enabled_.load(std::memory_order_acquire)) {
+    serve_errors_metric_->Increment();
+    return FailedPreconditionError(
+        "batched serving is not enabled (ConfigureBatching)");
+  }
+  if (lame_duck_.load(std::memory_order_relaxed)) {
+    serve_errors_metric_->Increment();
+    return UnavailableError("service is draining (lame duck)");
+  }
+  InflightLimiter::Permit permit =
+      inflight_.TryAcquire(overload_.max_inflight);
+  if (!permit.admitted()) {
+    rounds_shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_metric_->Increment();
+    return ResourceExhaustedError(StrFormat(
+        "overloaded: in-flight limit of %d reached", overload_.max_inflight));
+  }
+  if (rate_limiter_ != nullptr && !rate_limiter_->TryAcquire()) {
+    rounds_shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_metric_->Increment();
+    return ResourceExhaustedError(
+        StrFormat("overloaded: admission rate limit of %.1f rps exceeded",
+                  overload_.max_rps));
+  }
+  if (batching_.max_pending > 0 &&
+      pending_batched_count_.load(std::memory_order_relaxed) >=
+          batching_.max_pending) {
+    rounds_shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_metric_->Increment();
+    return ResourceExhaustedError(StrFormat(
+        "overloaded: %lld batched rounds awaiting feedback (limit %d)",
+        static_cast<long long>(
+            pending_batched_count_.load(std::memory_order_relaxed)),
+        batching_.max_pending));
+  }
+  if (deadline.Expired()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    deadline_exceeded_metric_->Increment();
+    return DeadlineExceededError(
+        "deadline expired before the round was enqueued");
+  }
+
+  BatchWaiter waiter;
+  waiter.round.contexts = contexts;
+  waiter.round.user_capacity = user_capacity;
+  waiter.round.user_id = user_id;
+  if (Status st = ValidateRoundContext(waiter.round, instance_->num_events(),
+                                       instance_->dim());
+      !st.ok()) {
+    serve_errors_metric_->Increment();
+    return st;
+  }
+  waiter.enqueue_ns = Stopwatch::NowNanos();
+
+  // Leader/follower coalescing: every arrival enqueues; the front
+  // unclaimed waiter claims a batch once it is full, the coalescing
+  // window has passed, or every admitted arrival is already queued.
+  // Claiming threads process their batch themselves — there is no
+  // background thread to keep alive or drain at shutdown — and several
+  // claimed batches score concurrently (resolution is sequenced by
+  // claim order inside ProcessBatch).
+  std::vector<BatchWaiter*> batch;
+  std::int64_t batch_seq = 0;
+  {
+    std::unique_lock<std::mutex> lock(batch_mu_);
+    waiter.ticket = ++next_ticket_;
+    batch_queue_.push_back(&waiter);
+    batch_cv_.notify_all();
+    const std::int64_t window_ns = batching_.max_wait_us * 1000;
+    while (!waiter.done) {
+      if (!waiter.claimed && batch_queue_.front() == &waiter) {
+        const bool full =
+            static_cast<int>(batch_queue_.size()) >= batching_.max_batch;
+        // Provably alone: this waiter holds the only admitted in-flight
+        // serve, so no companion can arrive before it resolves — waiting
+        // out the window would add latency without growing the batch.
+        // Under real concurrency the window (or a full batch) governs,
+        // which is what lets arrivals coalesce at all.
+        const bool lone = inflight_.current() <= 1;
+        const bool window_over =
+            Stopwatch::NowNanos() - waiter.enqueue_ns >= window_ns;
+        if (full || lone || window_over) {
+          const std::size_t take =
+              std::min(batch_queue_.size(),
+                       static_cast<std::size_t>(batching_.max_batch));
+          batch.reserve(take);
+          for (std::size_t i = 0; i < take; ++i) {
+            BatchWaiter* w = batch_queue_.front();
+            batch_queue_.pop_front();
+            w->claimed = true;
+            batch.push_back(w);
+          }
+          batch_seq = next_batch_seq_++;
+          // The next front may already be claimable (it saw itself
+          // non-front a moment ago).
+          batch_cv_.notify_all();
+          break;
+        }
+      }
+      // Sleep until something can change: the front waiter must wake at
+      // window expiry to claim; unclaimed waiters honor their deadline.
+      std::int64_t wait_ns = -1;  // < 0: wait for a notification.
+      if (!waiter.claimed && batch_queue_.front() == &waiter) {
+        // Clamp: the window can expire between the claim check above and
+        // this read of the clock, and a negative remainder must mean
+        // "recheck immediately", never "sleep unbounded".
+        wait_ns = std::max<std::int64_t>(
+            waiter.enqueue_ns + window_ns - Stopwatch::NowNanos(), 0);
+      }
+      if (!waiter.claimed && !deadline.infinite()) {
+        const std::int64_t remaining = deadline.RemainingNanos();
+        if (remaining <= 0) {
+          // Still unclaimed, so no batch references this waiter yet:
+          // withdrawing is just leaving the queue.
+          auto it = std::find(batch_queue_.begin(), batch_queue_.end(),
+                              &waiter);
+          FASEA_CHECK(it != batch_queue_.end());
+          batch_queue_.erase(it);
+          batch_cv_.notify_all();
+          deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+          deadline_exceeded_metric_->Increment();
+          return DeadlineExceededError(
+              "deadline expired while waiting for the batch window");
+        }
+        wait_ns = wait_ns < 0 ? remaining : std::min(wait_ns, remaining);
+      }
+      if (wait_ns < 0) {
+        batch_cv_.wait(lock);
+      } else {
+        batch_cv_.wait_for(lock, std::chrono::nanoseconds(
+                                     std::max<std::int64_t>(wait_ns, 0)));
+      }
+    }
+  }
+
+  if (!batch.empty()) {
+    ProcessBatch(batch, batch_seq);
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    for (BatchWaiter* w : batch) w->done = true;
+    batch_cv_.notify_all();
+  }
+  serve_latency_->Record(Stopwatch::NowNanos() - waiter.enqueue_ns);
+  return std::move(waiter.result);
+}
+
+void ArrangementService::ProcessBatch(
+    const std::vector<BatchWaiter*>& batch, std::int64_t seq) {
+  std::shared_ptr<const LearnerSnapshot> snap;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snap = snapshot_;
+  }
+  FASEA_CHECK(snap != nullptr);
+  const std::size_t b = batch.size();
+  std::vector<SnapshotRound> rows(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    rows[i].ticket = batch[i]->ticket;
+    rows[i].round = &batch[i]->round;
+  }
+  Matrix scores(b, instance_->num_events());
+  std::vector<RowResolve> resolve(b, RowResolve::kGreedy);
+  const auto* base = static_cast<const LinearPolicyBase*>(policy_.get());
+  if (snap->healthy) {
+    // The expensive step: one stacked scoring pass over the immutable
+    // snapshot with no lock held — feedback commits run in parallel.
+    base->ScoreBatchSnapshot(*snap, rows, &scores,
+                             std::span<RowResolve>(resolve));
+  }
+
+  // eGreedy exploration rows resolve through a ticket-seeded random
+  // oracle, so a batch's arrangements depend only on (snapshot, tickets,
+  // rounds) — never on which thread claimed the batch.
+  std::vector<std::unique_ptr<RandomOracle>> explorers;
+  std::vector<ArrangementOracle*> row_oracle(b, nullptr);
+  for (std::size_t i = 0; i < b; ++i) {
+    if (resolve[i] == RowResolve::kRandom) {
+      explorers.push_back(std::make_unique<RandomOracle>(
+          Pcg64(DeriveSeed(batch_salt_, "explore",
+                           static_cast<std::uint64_t>(batch[i]->ticket)),
+                HashTag("batch-explore"))));
+      row_oracle[i] = explorers.back().get();
+    }
+  }
+  std::vector<std::int64_t> caps(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    caps[i] = batch[i]->round.user_capacity;
+  }
+
+  std::vector<Arrangement> arrangements;
+  {
+    // The short critical section: ticket-order capacity resolution over
+    // the reservation view, plus pending registration. Concurrent
+    // batches score in parallel above but resolve strictly in claim
+    // order (seq), so capacity contention is deterministic given the
+    // arrival order.
+    std::unique_lock<std::timed_mutex> lock(mu_);
+    resolve_cv_.wait(lock, [&] { return resolve_turn_ == seq; });
+    if (snap->healthy) {
+      arrangements = batch_oracle_.SelectBatch(
+          scores, instance_->conflicts(), &effective_state_, caps,
+          std::span<ArrangementOracle* const>(row_oracle));
+    } else {
+      // Snapshot captured an unhealthy learner: estimate-free proposals,
+      // still reserving seats so concurrent batches cannot oversell.
+      arrangements.resize(b);
+      for (std::size_t i = 0; i < b; ++i) {
+        arrangements[i] =
+            StatelessProposal(batch[i]->round, effective_state_);
+        FASEA_CHECK(IsFeasibleArrangement(arrangements[i],
+                                          instance_->conflicts(),
+                                          effective_state_, caps[i]));
+        for (EventId v : arrangements[i]) effective_state_.ConsumeOne(v);
+        ++stateless_fallbacks_;
+        fallbacks_metric_->Increment();
+      }
+    }
+    learner_healthy_gauge_->Set(snap->healthy ? 1.0 : 0.0);
+    for (std::size_t i = 0; i < b; ++i) {
+      PendingBatched pending;
+      pending.round = std::move(batch[i]->round);
+      pending.arrangement = arrangements[i];
+      pending.epoch = snap->epoch;
+      batched_pending_.emplace(batch[i]->ticket, std::move(pending));
+      pending_batched_count_.fetch_add(1, std::memory_order_relaxed);
+      proposed_events_metric_->Add(
+          static_cast<std::int64_t>(arrangements[i].size()));
+      serve_rounds_metric_->Increment();
+    }
+    ++resolve_turn_;
+    resolve_cv_.notify_all();
+  }
+  const std::int64_t resolved_ns = Stopwatch::NowNanos();
+  batch_size_hist_->Record(static_cast<std::int64_t>(b));
+  for (std::size_t i = 0; i < b; ++i) {
+    batch_wait_hist_->Record(resolved_ns - batch[i]->enqueue_ns);
+    BatchedRound out;
+    out.ticket = batch[i]->ticket;
+    out.epoch = snap->epoch;
+    out.arrangement = std::move(arrangements[i]);
+    batch[i]->result = std::move(out);
+  }
+}
+
+Status ArrangementService::SubmitBatchedFeedback(std::int64_t ticket,
+                                                 const Feedback& feedback,
+                                                 FeedbackResult* result,
+                                                 const Deadline& deadline) {
+  std::unique_lock<std::timed_mutex> lock(mu_, std::defer_lock);
+  if (!LockWithDeadline(lock, deadline)) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    deadline_exceeded_metric_->Increment();
+    return DeadlineExceededError(
+        "deadline expired before the round pipeline was acquired");
+  }
+  if (!batching_enabled_.load(std::memory_order_acquire)) {
+    feedback_errors_metric_->Increment();
+    return FailedPreconditionError(
+        "batched serving is not enabled (ConfigureBatching)");
+  }
+  TraceSpan total_span("feedback.total", t_ + 1, TraceRing::Global(),
+                       feedback_latency_);
+  auto it = batched_pending_.find(ticket);
+  if (it == batched_pending_.end()) {
+    feedback_errors_metric_->Increment();
+    return NotFoundError(
+        StrFormat("ticket %lld has no batched round awaiting feedback",
+                  static_cast<long long>(ticket)));
+  }
+  PendingBatched& round = it->second;
+  if (feedback.size() != round.arrangement.size()) {
+    feedback_errors_metric_->Increment();
+    return InvalidArgumentError(
+        "feedback must align with the proposed arrangement");
+  }
+  for (std::uint8_t f : feedback) {
+    if (f > 1) {
+      feedback_errors_metric_->Increment();
+      return InvalidArgumentError("feedback entries must be 0/1");
+    }
+  }
+
+  InteractionRecord record;
+  std::string encoded;
+  {
+    TraceSpan span("feedback.encode", t_ + 1);
+    // Commit order assigns the round id: whichever outstanding ticket
+    // lands first gets the next t, so the WAL stays strictly increasing
+    // and recovery replays unchanged.
+    record.t = t_ + 1;
+    record.user_id = round.round.user_id;
+    record.user_capacity = round.round.user_capacity;
+    record.arrangement = round.arrangement;
+    record.feedback = feedback;
+    for (EventId v : round.arrangement) {
+      const auto row = round.round.contexts.Row(v);
+      record.contexts.emplace_back(row.begin(), row.end());
+    }
+    if (wal_ != nullptr && !wal_degraded_) {
+      encoded = EncodeInteractionRecord(record);
+    }
+  }
+
+  bool durable = false;
+  if (Status st = WalWriteAheadLocked(encoded, &durable); !st.ok()) {
+    return st;  // Nothing applied; the ticket stays pending for retry.
+  }
+  ++t_;
+  for (std::size_t i = 0; i < feedback.size(); ++i) {
+    const EventId v = round.arrangement[i];
+    if (feedback[i]) {
+      // The seat was reserved in effective_state_ at propose time; the
+      // acceptance makes the consumption permanent in the ground truth.
+      state_.ConsumeOne(v);
+    } else {
+      effective_state_.ReleaseOne(v);
+    }
+  }
+  {
+    TraceSpan span("feedback.learn", t_);
+    policy_->Learn(t_, round.round, round.arrangement, feedback);
+  }
+  accepted_events_metric_->Add(
+      static_cast<std::int64_t>(NumAccepted(feedback)));
+  FASEA_CHECK_OK(log_.Append(std::move(record)));
+  batched_pending_.erase(it);
+  pending_batched_count_.fetch_sub(1, std::memory_order_relaxed);
+  feedback_rounds_metric_->Increment();
+  rounds_served_gauge_->Set(static_cast<double>(t_));
+  PublishSnapshotLocked();
+  UpdateHealthGaugeLocked();
+  if (result != nullptr) {
+    result->round = t_;
+    result->durable = durable;
+  }
+  return Status::Ok();
+}
+
+void ArrangementService::PublishSnapshotLocked() {
+  if (!batching_enabled_.load(std::memory_order_acquire)) return;
+  const auto* base = static_cast<const LinearPolicyBase*>(policy_.get());
+  std::shared_ptr<const LearnerSnapshot> snap = base->MakeSnapshot();
+  snapshot_epoch_gauge_->Set(static_cast<double>(snap->epoch));
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const LearnerSnapshot> ArrangementService::CurrentSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
 }
 
 Status ArrangementService::AbortPendingRound() {
@@ -516,7 +928,14 @@ Status ArrangementService::RestoreInteraction(
 
   // All checks passed; apply. Append cannot fail after Validate.
   for (std::size_t i = 0; i < record.arrangement.size(); ++i) {
-    if (record.feedback[i]) state_.ConsumeOne(record.arrangement[i]);
+    if (record.feedback[i]) {
+      state_.ConsumeOne(record.arrangement[i]);
+      // Restored records carry no outstanding reservation, so the
+      // effective view tracks the ground truth one-for-one.
+      if (batching_enabled_.load(std::memory_order_acquire)) {
+        effective_state_.ConsumeOne(record.arrangement[i]);
+      }
+    }
   }
   if (learn) {
     RoundContext scratch;
@@ -528,6 +947,7 @@ Status ArrangementService::RestoreInteraction(
   t_ = record.t;
   rounds_served_gauge_->Set(static_cast<double>(t_));
   FASEA_CHECK_OK(log_.Append(record));
+  PublishSnapshotLocked();
   return Status::Ok();
 }
 
@@ -554,6 +974,9 @@ Status ArrangementService::AbsorbPeerObservations(
   ridge.Refactorize();
   learner_healthy_gauge_->Set(ridge.healthy() ? 1.0 : 0.0);
   UpdateHealthGaugeLocked();
+  // Batched scoring must see the merged estimates (healthy or not — an
+  // unhealthy snapshot routes batches to the stateless fallback).
+  PublishSnapshotLocked();
   if (!ridge.healthy()) {
     return InternalError(
         "merged delta left the learner unhealthy (refactorization "

@@ -59,25 +59,47 @@
 // reference accessors state()/log()/policy() hand out unguarded views —
 // take them only while no other thread is mutating (tests, recovery
 // tooling). ConfigureOverload must be called before serving starts.
+//
+// Batched serving (ConfigureBatching): the snapshot-read alternative to
+// the sequential protocol for multi-tenant deployments where many
+// independent users arrive concurrently. ServeUserBatched coalesces
+// arrivals within a small wait window into one batch, scores the whole
+// batch against an immutable learner snapshot (no round mutex held),
+// and resolves capacity in ticket (arrival) order during one short
+// critical section over a reservation view of the platform state.
+// Feedback is per-ticket (SubmitBatchedFeedback), may arrive in any
+// order across tickets, and each commit publishes a fresh snapshot —
+// scoring never blocks on learning, learning never blocks on scoring.
+// The sequential entry points are rejected while batching is enabled
+// (and vice versa the batched ones before), so a deployment runs
+// exactly one protocol and the sequential path stays bit-identical to a
+// build without this feature.
 #ifndef FASEA_EBSN_ARRANGEMENT_SERVICE_H_
 #define FASEA_EBSN_ARRANGEMENT_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "common/admission.h"
 #include "common/circuit_breaker.h"
 #include "common/deadline.h"
 #include "common/rate_limiter.h"
 #include "core/checkpoint.h"
+#include "core/learner_snapshot.h"
 #include "core/policy_factory.h"
 #include "ebsn/interaction_log.h"
 #include "io/wal.h"
 #include "model/platform_state.h"
 #include "obs/decision_log.h"
 #include "obs/metrics.h"
+#include "oracle/greedy.h"
 
 namespace fasea {
 
@@ -118,6 +140,30 @@ struct OverloadOptions {
   /// Sustained ServeUser admission rate (token bucket), and its burst.
   double max_rps = 0.0;
   double burst = 0.0;  // Defaults to max_rps when 0.
+};
+
+/// Cross-user batching knobs for ServeUserBatched.
+struct BatchingOptions {
+  /// Largest number of arrivals resolved as one batch.
+  int max_batch = 8;
+  /// How long an arrival may hold the batch open waiting for companions.
+  /// A lone arrival (nothing else admitted) never waits.
+  std::int64_t max_wait_us = 50;
+  /// Batched rounds allowed to be awaiting feedback at once; 0 means
+  /// unlimited. Excess arrivals shed kResourceExhausted.
+  int max_pending = 0;
+};
+
+/// What ServeUserBatched returns: the proposal plus the ids tying the
+/// later SubmitBatchedFeedback call and the telemetry to this round.
+struct BatchedRound {
+  /// Arrival-order id assigned at admission; identifies the round to
+  /// SubmitBatchedFeedback and seeds the policy's per-user randomness.
+  std::int64_t ticket = 0;
+  /// Epoch (learner observation count) of the snapshot that scored the
+  /// proposal — the staleness bound of its estimates.
+  std::int64_t epoch = 0;
+  Arrangement arrangement;
 };
 
 /// Coarse service condition, exported as the `fasea.service.health_state`
@@ -206,6 +252,54 @@ class ArrangementService {
   /// Installs admission bounds for ServeUser. Call before serving
   /// starts (not thread-safe against in-flight requests).
   void ConfigureOverload(const OverloadOptions& options);
+
+  /// Switches the service to batched serving (see the class comment):
+  /// ServeUserBatched/SubmitBatchedFeedback become the entry points and
+  /// the sequential ServeUser/SubmitFeedback are rejected. Call before
+  /// serving starts, on a ridge-backed policy, with no decision log
+  /// attached (decision propensities are defined against live state,
+  /// which batched proposals never observe). Sticky.
+  void ConfigureBatching(const BatchingOptions& options);
+  bool batching_enabled() const {
+    return batching_enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Batched-mode ServeUser: joins the admission queue, gets an
+  /// arrival-order ticket, is scored against the current learner
+  /// snapshot together with every other arrival coalesced into its
+  /// batch, and has its capacity resolved in ticket order against the
+  /// reservation view of the platform state (so two concurrent batched
+  /// users can never be promised the same last seat). Blocks up to
+  /// BatchingOptions::max_wait_us waiting for companions; a lone
+  /// arrival resolves immediately. Sheds and deadline semantics match
+  /// ServeUser; an expired deadline fails before enqueueing, and a
+  /// queued-but-unclaimed waiter whose deadline passes withdraws with
+  /// kDeadlineExceeded.
+  StatusOr<BatchedRound> ServeUserBatched(std::int64_t user_id,
+                                          std::int64_t user_capacity,
+                                          const ContextMatrix& contexts,
+                                          const Deadline& deadline = {});
+
+  /// Feedback for a batched round, by ticket; order across outstanding
+  /// tickets is free. Runs the same write-ahead / consume / learn / log
+  /// pipeline as SubmitFeedback (the committed record gets the next
+  /// round id, so WAL replay order is commit order), releases the
+  /// round's rejected-seat reservations, and publishes a fresh learner
+  /// snapshot for subsequent batches. On kUnavailable nothing changed
+  /// and the same call may be retried.
+  Status SubmitBatchedFeedback(std::int64_t ticket,
+                               const Feedback& feedback,
+                               FeedbackResult* result = nullptr,
+                               const Deadline& deadline = {});
+
+  /// The snapshot batched scoring currently reads (nullptr before
+  /// ConfigureBatching). Epochs are monotone across feedback commits.
+  std::shared_ptr<const LearnerSnapshot> CurrentSnapshot() const;
+
+  /// Batched rounds proposed but not yet fed back.
+  std::int64_t pending_batched_rounds() const {
+    return pending_batched_count_.load(std::memory_order_relaxed);
+  }
 
   /// Begins draining: every later ServeUser is rejected (kUnavailable)
   /// while SubmitFeedback still completes the pending round. Sticky.
@@ -347,11 +441,41 @@ class ArrangementService {
   ArrangementService(const ProblemInstance* instance, PolicyKind kind,
                      const PolicyParams& params);
 
+  /// One queued ServeUserBatched call (defined in the .cc; lives on the
+  /// waiting thread's stack, so pointers in batch_queue_ stay valid
+  /// until `done`).
+  struct BatchWaiter;
+  /// A batched round between proposal and feedback.
+  struct PendingBatched {
+    RoundContext round;
+    Arrangement arrangement;
+    std::int64_t epoch = 0;
+  };
+
   /// Greedy feasible arrangement that consults no learned state: events
   /// in id order, skipping unavailable/full/conflicting ones, up to the
   /// user capacity.
   Arrangement StatelessProposal(const RoundContext& round) const;
+  /// As above against an explicit capacity view (the batched path passes
+  /// its reservation state).
+  Arrangement StatelessProposal(const RoundContext& round,
+                                const PlatformState& state) const;
 
+  /// Leader-side batch resolution: snapshot scoring with no lock, then
+  /// one short mu_ critical section — entered in `seq` (claim) order —
+  /// for ticket-order capacity resolution and pending registration.
+  /// Fills each waiter's result.
+  void ProcessBatch(const std::vector<BatchWaiter*>& batch,
+                    std::int64_t seq);
+  /// Re-captures the learner state and swaps the published snapshot.
+  /// No-op until batching is enabled.
+  void PublishSnapshotLocked();
+
+  /// The write-ahead step shared by both feedback paths: appends
+  /// `encoded` per the durability policy (plain / degrade / breaker).
+  /// A non-OK return means the round must fail retryably with nothing
+  /// applied; `*durable` reports whether the bytes reached the WAL.
+  Status WalWriteAheadLocked(const std::string& encoded, bool* durable);
   /// Reopens the writer if it is broken (via reopen_fn_), then appends.
   Status WalAppendLocked(std::string_view encoded);
   bool LearnerHealthyLocked() const;
@@ -384,10 +508,47 @@ class ArrangementService {
   // atomic rather than mu_-guarded.
   OverloadOptions overload_;
   std::unique_ptr<RateLimiter> rate_limiter_;
-  std::atomic<int> inflight_{0};
+  InflightLimiter inflight_;
   std::atomic<std::int64_t> rounds_shed_{0};
   std::atomic<std::int64_t> deadline_exceeded_{0};
   std::atomic<bool> lame_duck_{false};
+
+  // --- Batched serving --------------------------------------------------
+  std::atomic<bool> batching_enabled_{false};
+  BatchingOptions batching_;
+  // Seeds the per-ticket RandomOracle streams of eGreedy exploration
+  // rows; derived from the service seed at construction.
+  std::uint64_t batch_salt_ = 0;
+  // Admission queue: guards the waiter deque, claim/done flags, and the
+  // batch sequence counter. Leaf lock — never held together with mu_ or
+  // snapshot_mu_.
+  std::mutex batch_mu_;
+  std::condition_variable batch_cv_;
+  std::deque<BatchWaiter*> batch_queue_;
+  std::int64_t next_ticket_ = 0;
+  // Claim-order sequencing of concurrently scoring batches: each claim
+  // takes the next seq (batch_mu_-guarded), and resolution waits its
+  // turn (mu_-guarded, resolve_cv_), so capacity is always consumed in
+  // global arrival order even though scoring overlaps.
+  std::int64_t next_batch_seq_ = 0;
+  std::int64_t resolve_turn_ = 0;
+  std::condition_variable_any resolve_cv_;
+  // Batched rounds between proposal and feedback, by ticket
+  // (mu_-guarded); the count mirrors the map size for lock-free
+  // admission checks.
+  std::unordered_map<std::int64_t, PendingBatched> batched_pending_;
+  std::atomic<std::int64_t> pending_batched_count_{0};
+  // state_ minus outstanding batched reservations: batch resolution
+  // consumes from this view at propose time so overlapping batches
+  // cannot oversell a seat; feedback releases rejected seats back
+  // (mu_-guarded). Equals state_ whenever no round is outstanding.
+  PlatformState effective_state_;
+  GreedyOracle batch_oracle_;
+  // The published immutable learner snapshot: swapped on every feedback
+  // commit under snapshot_mu_ (held only for the pointer swap), read by
+  // scoring with no round-mutex involvement.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const LearnerSnapshot> snapshot_;
 
   std::unique_ptr<DecisionLogWriter> decision_log_;
   // Ids stamped on the next round's spans and decision record (0 = use
@@ -442,6 +603,12 @@ class ArrangementService {
       Metrics()->GetGauge("fasea.service.rounds_served");
   Gauge* health_gauge_ =
       Metrics()->GetGauge("fasea.service.health_state");
+  Histogram* batch_size_hist_ =
+      Metrics()->GetHistogram("fasea.batch.size");
+  Histogram* batch_wait_hist_ =
+      Metrics()->GetHistogram("fasea.batch.wait_ns");
+  Gauge* snapshot_epoch_gauge_ =
+      Metrics()->GetGauge("fasea.snapshot.epoch");
 };
 
 }  // namespace fasea

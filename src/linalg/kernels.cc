@@ -78,10 +78,17 @@ void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
   }
 }
 
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
+  if (c->rows() != a.rows() || c->cols() != b.cols()) {
+    *c = Matrix(a.rows(), b.cols());
+  }
+  c->Fill(0.0);
+  GemmAccumulate(a, b, c);
+}
+
 void BatchedQuadForm(const Matrix& x, const Matrix& a, std::span<double> out,
                      Matrix* at, Matrix* g) {
-  const std::size_t n = x.rows(), d = x.cols();
-  FASEA_CHECK(a.rows() == d && a.cols() == d && out.size() == n);
+  FASEA_CHECK(a.rows() == x.cols() && a.cols() == x.cols());
   // G(v, i) must accumulate A(i, 0)·x₀ + A(i, 1)·x₁ + … in that order to
   // match QuadraticForm's row traversal; with B = Aᵀ the i-k-j GEMM
   // produces exactly G(v, i) = Σ_k x(v, k)·B(k, i) = Σ_k x(v, k)·A(i, k)
@@ -90,9 +97,16 @@ void BatchedQuadForm(const Matrix& x, const Matrix& a, std::span<double> out,
   // the explicit transpose; it is O(d²) per round, noise next to the
   // O(n·d²) GEMM.)
   TransposeInto(a, at);
+  BatchedQuadFormPre(x, *at, out, g);
+}
+
+void BatchedQuadFormPre(const Matrix& x, const Matrix& at,
+                        std::span<double> out, Matrix* g) {
+  const std::size_t n = x.rows(), d = x.cols();
+  FASEA_CHECK(at.rows() == d && at.cols() == d && out.size() == n);
   if (g->rows() != n || g->cols() != d) *g = Matrix(n, d);
   g->Fill(0.0);
-  GemmAccumulate(x, *at, g);
+  GemmAccumulate(x, at, g);
   // Cheap O(n·d) epilogue: w_v = Σ_i x(v, i)·G(v, i), scalar i-order —
   // the same products QuadraticForm's outer loop adds, in the same order.
   for (std::size_t v = 0; v < n; ++v) {

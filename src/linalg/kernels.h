@@ -56,6 +56,12 @@ void TransposeInto(const Matrix& a, Matrix* out);
 /// k-terms in sequential k-order.
 void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix* c);
 
+/// c = a · b — the plain GEMM entry (reshapes and zeroes `c`, then runs
+/// GemmAccumulate). The batched serving path stacks B users' context
+/// matrices into one (B·|V|) × d operand and scores them in this single
+/// call instead of B GEMVs.
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c);
+
 /// out[v] = Row(x, v)ᵀ · a · Row(x, v) for every row of x (n × d), with
 /// `a` square d × d. Equivalent to — and bit-identical with — calling
 /// a.QuadraticForm(x.Row(v)) per row, but the O(n·d²) bulk runs as a
@@ -63,6 +69,15 @@ void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix* c);
 /// (reshaped as needed) so per-round calls allocate nothing.
 void BatchedQuadForm(const Matrix& x, const Matrix& a, std::span<double> out,
                      Matrix* at, Matrix* g);
+
+/// BatchedQuadForm with the transpose already in hand: out[v] =
+/// Row(x, v)ᵀ · atᵀ · Row(x, v) where `at` is the d × d transpose of the
+/// quadratic-form matrix. Bit-identical to BatchedQuadForm(x, atᵀ, ...) —
+/// it IS that function minus the TransposeInto — so callers that reuse
+/// one matrix across many batches (epoch snapshots precompute (Y⁻¹)ᵀ
+/// once per feedback commit) skip the per-call transpose.
+void BatchedQuadFormPre(const Matrix& x, const Matrix& at,
+                        std::span<double> out, Matrix* g);
 
 /// Rank-1 Cholesky update: given lower-triangular `l` with L·Lᵀ = Y,
 /// rewrites it in place so L·Lᵀ = Y + x·xᵀ, in O(d²) (vs O(d³) for a

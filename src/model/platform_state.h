@@ -37,6 +37,15 @@ class PlatformState {
     --remaining_[v];
   }
 
+  /// Returns one seat of event v. The batched serving layer reserves
+  /// seats at propose time on its effective-capacity view and releases
+  /// the ones the user rejected at feedback time; the ground-truth state
+  /// never calls this (acceptances are irrevocable).
+  void ReleaseOne(EventId v) {
+    FASEA_DCHECK(v < remaining_.size());
+    ++remaining_[v];
+  }
+
   /// Number of events that still have capacity.
   std::int64_t NumAvailableEvents() const;
 

@@ -32,6 +32,41 @@ std::int64_t HistogramSnapshot::ValueAtPercentile(double p) const {
   return max;
 }
 
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& baseline) const {
+  FASEA_CHECK(baseline.buckets.empty() ||
+              baseline.buckets.size() == buckets.size());
+  HistogramSnapshot delta;
+  delta.buckets.resize(buckets.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::int64_t before =
+        i < baseline.buckets.size() ? baseline.buckets[i] : 0;
+    FASEA_CHECK(buckets[i] >= before &&
+                "baseline is not an earlier snapshot of this histogram");
+    delta.buckets[i] = buckets[i] - before;
+    delta.count += delta.buckets[i];
+  }
+  if (delta.count == 0) return delta;
+  delta.sum = sum - baseline.sum;
+  std::size_t first = 0;
+  while (delta.buckets[first] == 0) ++first;
+  std::size_t last = delta.buckets.size() - 1;
+  while (delta.buckets[last] == 0) --last;
+  // The cumulative min/max are exact when they land inside the delta's
+  // edge buckets (they then bound the delta's own extremes at least as
+  // tightly as the bucket edges do); otherwise fall back to the edges.
+  const std::int64_t first_lo = Histogram::BucketLowerBound(first);
+  const std::int64_t first_hi = Histogram::BucketUpperBound(first);
+  delta.min = (min >= first_lo && min < first_hi) ? min : first_lo;
+  const std::int64_t last_hi = Histogram::BucketUpperBound(last);
+  if (max >= Histogram::BucketLowerBound(last) && max < last_hi) {
+    delta.max = max;
+  } else {
+    delta.max = last_hi == INT64_MAX ? max : last_hi - 1;
+  }
+  return delta;
+}
+
 // --- Histogram -----------------------------------------------------------
 
 std::int64_t Histogram::BucketLowerBound(std::size_t index) {

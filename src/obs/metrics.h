@@ -105,6 +105,18 @@ struct HistogramSnapshot {
   double Mean() const {
     return count > 0 ? static_cast<double>(sum) / count : 0.0;
   }
+
+  /// The distribution recorded between `baseline` (an EARLIER snapshot of
+  /// the same histogram) and this snapshot: counts, sums, and buckets
+  /// subtract element-wise, so percentiles on the result describe only
+  /// the post-baseline samples. This is the warmup-exclusion primitive —
+  /// histograms are cumulative and process-wide, so a load bench that
+  /// wants steady-state p99 snapshots after warmup and reports the delta.
+  /// min/max are re-derived from the delta's non-empty bucket edges,
+  /// tightened to this snapshot's exact extremes when those fall inside
+  /// the edge buckets (exact unless the all-time extreme predates the
+  /// baseline yet shares a bucket; then off by < one bucket width).
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& baseline) const;
 };
 
 /// Log-scale histogram of non-negative 64-bit values (HdrHistogram-style

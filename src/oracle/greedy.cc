@@ -57,6 +57,31 @@ Arrangement GreedyOracle::Select(std::span<const double> scores,
   return result;
 }
 
+std::vector<Arrangement> GreedyOracle::SelectBatch(
+    const Matrix& scores, const ConflictGraph& conflicts,
+    PlatformState* state, std::span<const std::int64_t> capacities,
+    std::span<ArrangementOracle* const> row_oracle) {
+  const std::size_t batch = scores.rows();
+  FASEA_CHECK(capacities.size() == batch);
+  FASEA_CHECK(row_oracle.empty() || row_oracle.size() == batch);
+  std::vector<Arrangement> out(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    ArrangementOracle* oracle =
+        row_oracle.empty() ? nullptr : row_oracle[i];
+    out[i] = oracle != nullptr
+                 ? oracle->Select(scores.Row(i), conflicts, *state,
+                                  capacities[i])
+                 : Select(scores.Row(i), conflicts, *state, capacities[i]);
+    FASEA_CHECK(
+        IsFeasibleArrangement(out[i], conflicts, *state, capacities[i]));
+    // Consume before the next row: later arrivals see this user's
+    // proposed seats as taken, which is what makes the batch equal the
+    // one-at-a-time sequence.
+    for (EventId v : out[i]) state->ConsumeOne(v);
+  }
+  return out;
+}
+
 Arrangement GreedyOracle::SelectBySort(std::span<const double> scores,
                                        const ConflictGraph& conflicts,
                                        const PlatformState& state,

@@ -10,8 +10,10 @@
 #ifndef FASEA_ORACLE_GREEDY_H_
 #define FASEA_ORACLE_GREEDY_H_
 
+#include <span>
 #include <vector>
 
+#include "linalg/matrix.h"
 #include "oracle/oracle.h"
 
 namespace fasea {
@@ -28,6 +30,22 @@ class GreedyOracle final : public ArrangementOracle {
                      const ConflictGraph& conflicts,
                      const PlatformState& state,
                      std::int64_t user_capacity) override;
+
+  /// Arrival-order batch resolution over a B × |V| score matrix: row i is
+  /// selected against `state` as already mutated by rows 0..i−1 — each
+  /// selected event consumes one seat the moment it is placed — so the
+  /// batch's users contend for remaining capacity exactly as if they had
+  /// been served one at a time in ticket order (`capacities[i]` is row
+  /// i's user capacity). The caller passes its reservation view of the
+  /// platform state; on return every proposed seat has been consumed
+  /// from it. Rows with a non-null entry in `row_oracle` delegate
+  /// selection to that oracle instead of the greedy heap (eGreedy
+  /// exploration rows bring a ticket-seeded RandomOracle). Every row is
+  /// checked feasible against its pre-consumption state.
+  std::vector<Arrangement> SelectBatch(
+      const Matrix& scores, const ConflictGraph& conflicts,
+      PlatformState* state, std::span<const std::int64_t> capacities,
+      std::span<ArrangementOracle* const> row_oracle = {});
 
   /// Reference implementation: full sort by (score desc, id asc), then a
   /// linear placement scan. Kept for the heap-vs-sort equivalence tests

@@ -1,0 +1,156 @@
+// InflightLimiter: the compare-and-admit contract. The regression that
+// motivates the racing tests: an increment-then-check guard lets N
+// racers at the limit ALL observe count > limit and ALL shed; TryAcquire
+// must admit exactly min(N, limit) of them.
+#include "common/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fasea {
+namespace {
+
+TEST(InflightLimiterTest, AdmitsUpToLimitThenSheds) {
+  InflightLimiter limiter;
+  InflightLimiter::Permit a = limiter.TryAcquire(2);
+  InflightLimiter::Permit b = limiter.TryAcquire(2);
+  EXPECT_TRUE(a.admitted());
+  EXPECT_TRUE(b.admitted());
+  EXPECT_EQ(limiter.current(), 2);
+
+  InflightLimiter::Permit c = limiter.TryAcquire(2);
+  EXPECT_FALSE(c.admitted());
+  EXPECT_EQ(limiter.current(), 2);
+
+  a.Release();
+  EXPECT_EQ(limiter.current(), 1);
+  InflightLimiter::Permit d = limiter.TryAcquire(2);
+  EXPECT_TRUE(d.admitted());
+  EXPECT_EQ(limiter.current(), 2);
+}
+
+TEST(InflightLimiterTest, NonPositiveLimitIsUnlimited) {
+  InflightLimiter limiter;
+  std::vector<InflightLimiter::Permit> permits;
+  for (int i = 0; i < 64; ++i) {
+    permits.push_back(limiter.TryAcquire(0));
+    ASSERT_TRUE(permits.back().admitted());
+  }
+  EXPECT_EQ(limiter.current(), 64);
+  EXPECT_TRUE(limiter.TryAcquire(-1).admitted());
+}
+
+TEST(InflightLimiterTest, PermitReportsCountAtAdmission) {
+  InflightLimiter limiter;
+  InflightLimiter::Permit a = limiter.TryAcquire(4);
+  InflightLimiter::Permit b = limiter.TryAcquire(4);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_EQ(limiter.TryAcquire(2).count(), 0);  // Rejected.
+}
+
+TEST(InflightLimiterTest, MovedFromPermitReleasesNothing) {
+  InflightLimiter limiter;
+  InflightLimiter::Permit a = limiter.TryAcquire(1);
+  ASSERT_TRUE(a.admitted());
+  InflightLimiter::Permit b = std::move(a);
+  EXPECT_FALSE(a.admitted());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.admitted());
+  EXPECT_EQ(limiter.current(), 1);
+  a.Release();  // No-op: the slot moved to b.
+  EXPECT_EQ(limiter.current(), 1);
+  b.Release();
+  EXPECT_EQ(limiter.current(), 0);
+  b.Release();  // Idempotent.
+  EXPECT_EQ(limiter.current(), 0);
+}
+
+TEST(InflightLimiterTest, DestructionReleasesTheSlot) {
+  InflightLimiter limiter;
+  {
+    InflightLimiter::Permit a = limiter.TryAcquire(1);
+    ASSERT_TRUE(a.admitted());
+    EXPECT_EQ(limiter.current(), 1);
+  }
+  EXPECT_EQ(limiter.current(), 0);
+  EXPECT_TRUE(limiter.TryAcquire(1).admitted());
+}
+
+TEST(InflightLimiterTest, RacersAtTheBoundaryNeverAllShed) {
+  // limit 1, 2 racers, repeated: exactly one of each pair must be
+  // admitted. The increment-first guard this replaces could shed both.
+  // Each racer holds its permit until both have decided, so a fast
+  // racer's release can't open the slot for the slow one. The spins
+  // yield: on a single hardware thread (or under TSan's scheduler) a
+  // hard spin can starve the peer it is waiting for.
+  InflightLimiter limiter;
+  for (int round = 0; round < 100; ++round) {
+    std::atomic<int> admitted{0};
+    std::atomic<int> decided{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> racers;
+    for (int r = 0; r < 2; ++r) {
+      racers.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        InflightLimiter::Permit permit = limiter.TryAcquire(1);
+        if (permit.admitted()) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+        }
+        decided.fetch_add(1, std::memory_order_acq_rel);
+        while (decided.load(std::memory_order_acquire) < 2) {
+          std::this_thread::yield();
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (std::thread& t : racers) t.join();
+    ASSERT_EQ(admitted.load(), 1) << "round " << round;
+    ASSERT_EQ(limiter.current(), 0) << "round " << round;
+  }
+}
+
+TEST(InflightLimiterTest, ManyRacersAdmitExactlyLimit) {
+  InflightLimiter limiter;
+  constexpr int kRacers = 8;
+  constexpr int kLimit = 3;
+  std::atomic<int> admitted{0};
+  std::atomic<int> decided{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> racers;
+  for (int r = 0; r < kRacers; ++r) {
+    racers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      InflightLimiter::Permit permit = limiter.TryAcquire(kLimit);
+      if (permit.admitted()) {
+        admitted.fetch_add(1, std::memory_order_relaxed);
+      }
+      decided.fetch_add(1, std::memory_order_acq_rel);
+      // Hold until every racer has decided, so late racers see a full
+      // limiter rather than a freed slot.
+      while (go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // All racers must get to decide before the hold is lifted, not just
+  // the kLimit winners, or a late racer could take a freed slot.
+  while (decided.load(std::memory_order_acquire) < kRacers) {
+    std::this_thread::yield();
+  }
+  go.store(false, std::memory_order_release);
+  for (std::thread& t : racers) t.join();
+  EXPECT_EQ(admitted.load(), kLimit);
+  EXPECT_EQ(limiter.current(), 0);
+}
+
+}  // namespace
+}  // namespace fasea

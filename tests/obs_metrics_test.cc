@@ -136,6 +136,39 @@ TEST(HistogramTest, NegativeValuesClampToZero) {
   EXPECT_EQ(snap.ValueAtPercentile(50), 0);
 }
 
+TEST(HistogramTest, DeltaSinceIsolatesPostBaselineSamples) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  // Warmup-exclusion: record a skewed warmup, snapshot, record the
+  // steady state, and the delta's percentiles must describe only the
+  // steady-state samples.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1000000);  // Slow warmup.
+  const HistogramSnapshot warmup = h.Snapshot();
+  for (std::int64_t v = 1; v <= 200; ++v) h.Record(v);
+  const HistogramSnapshot total = h.Snapshot();
+  const HistogramSnapshot delta = total.DeltaSince(warmup);
+
+  EXPECT_EQ(delta.count, 200);
+  EXPECT_EQ(delta.sum, total.sum - warmup.sum);
+  // The cumulative p99 is dominated by the warmup spike; the delta's is
+  // not.
+  EXPECT_GE(total.ValueAtPercentile(99), 1000000 * (1 - 0.125));
+  EXPECT_LE(delta.ValueAtPercentile(99), 200 * (1 + 0.125) + 1);
+  EXPECT_LE(delta.ValueAtPercentile(50), 100 * (1 + 0.125) + 1);
+}
+
+TEST(HistogramTest, DeltaSinceSelfIsEmpty) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "built with FASEA_DISABLE_METRICS";
+  Histogram h;
+  for (std::int64_t v = 1; v <= 50; ++v) h.Record(v * 7);
+  const HistogramSnapshot snap = h.Snapshot();
+  const HistogramSnapshot delta = snap.DeltaSince(snap);
+  EXPECT_EQ(delta.count, 0);
+  EXPECT_EQ(delta.sum, 0);
+  EXPECT_EQ(delta.ValueAtPercentile(50), 0);
+  EXPECT_EQ(delta.ValueAtPercentile(99), 0);
+}
+
 TEST(CounterTest, AddAndIncrement) {
   Counter c;
   EXPECT_EQ(c.value(), 0);

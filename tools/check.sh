@@ -15,6 +15,8 @@
 #   tools/check.sh --shard-smoke    # also run the sharded kill-mode drills
 #   tools/check.sh --replay-smoke   # also record + counterfactually replay
 #                                   # a decision log (IPS self-check)
+#   tools/check.sh --load-smoke     # also drive bench/load_service through
+#                                   # the sequential and batched protocols
 #
 # The `soak` ctest label (the full chaos matrix) is excluded from the
 # plain and sanitizer tiers; --chaos-smoke opts into it explicitly.
@@ -31,6 +33,7 @@ perf_smoke=0
 chaos_smoke=0
 shard_smoke=0
 replay_smoke=0
+load_smoke=0
 native=OFF
 for arg in "$@"; do
   case "$arg" in
@@ -39,11 +42,12 @@ for arg in "$@"; do
     --chaos-smoke) chaos_smoke=1 ;;
     --shard-smoke) shard_smoke=1 ;;
     --replay-smoke) replay_smoke=1 ;;
+    --load-smoke) load_smoke=1 ;;
     --native) native=ON ;;
     *)
       echo "check.sh: unknown argument '$arg'" \
            "(supported: --metrics-smoke --perf-smoke --chaos-smoke" \
-           "--shard-smoke --replay-smoke --native)" >&2
+           "--shard-smoke --replay-smoke --load-smoke --native)" >&2
       exit 2
       ;;
   esac
@@ -95,10 +99,12 @@ configure "$root/build-tsan" \
   -DFASEA_BUILD_EXAMPLES=OFF
 cmake --build "$root/build-tsan" -j "$jobs"
 # The shard suites ride along here because ShardedArrangementService is
-# a concurrent serving surface (per-shard locks + atomic counters); the
-# soak label is excluded as in the other tiers.
+# a concurrent serving surface (per-shard locks + atomic counters), and
+# the batched/admission suites because snapshot publication and batch
+# coalescing are lock-free fast paths; the soak label is excluded as in
+# the other tiers.
 ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
-  -R '(thread_pool|parallel|concurrency|shard)' -LE soak
+  -R '(thread_pool|parallel|concurrency|shard|batched|admission)' -LE soak
 
 if [[ "$chaos_smoke" -eq 1 ]]; then
   echo
@@ -157,6 +163,25 @@ if [[ "$replay_smoke" -eq 1 ]]; then
     --policy=ucb,egreedy >/dev/null
   rm -rf "$wal" "$wal-decisions"
   echo "replay smoke: IPS self-check passed"
+fi
+
+if [[ "$load_smoke" -eq 1 ]]; then
+  echo
+  echo "== load smoke: sequential + batched serving under load =="
+  # A short closed-loop run through each protocol. load_service exits
+  # non-zero when any serving invariant is violated (rounds served !=
+  # feedbacks applied, log size mismatch, pending rounds left behind),
+  # so the exit code is the verdict; the grep additionally pins a
+  # nonzero throughput line into the check output.
+  for mode in "" "--batch=8 --batch_wait_us=50"; do
+    # shellcheck disable=SC2086  # $mode is intentionally word-split.
+    "$root/build/bench/load_service" --threads=4 --rounds=2000 \
+      --warmup=200 --num_events=50 --dim=8 $mode \
+      | tee "$root/build/load_smoke.out"
+    grep -Eq 'throughput +[1-9]' "$root/build/load_smoke.out"
+    grep -Eq 'invariant violations +0' "$root/build/load_smoke.out"
+  done
+  echo "load smoke: both protocols clean"
 fi
 
 if [[ "$metrics_smoke" -eq 1 ]]; then
