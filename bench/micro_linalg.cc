@@ -3,7 +3,10 @@
 // Sherman–Morrison, and MVN sampling.
 #include <benchmark/benchmark.h>
 
+#include "core/epoch_ridge.h"
+#include "core/ridge.h"
 #include "linalg/cholesky.h"
+#include "linalg/frequent_directions.h"
 #include "linalg/kernels.h"
 #include "linalg/mvn.h"
 #include "linalg/sherman_morrison.h"
@@ -189,6 +192,99 @@ void BM_CholUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CholUpdate)->Arg(10)->Arg(30)->Arg(50)->Arg(100);
+
+// --- Epoch-boundary block apply (sherman_morrison.h ApplyBlock) against
+// the k sequential rank-1 updates it amortizes. range(0) = k (epoch
+// length), range(1) = d. The block path pays one GEMM + one O(d³)
+// refactorization per epoch instead of k O(d²) Sherman–Morrison steps;
+// BENCH_PR9.json derives its epoch-apply speedups from this pair.
+
+#define FASEA_EPOCH_ARGS \
+  ->Args({64, 20})->Args({256, 20})->Args({256, 100})->Args({1024, 100})
+
+void BM_EpochApplyBlock(benchmark::State& state) {
+  Pcg64 rng(11);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  SymmetricInverse inv(d, 1.0, /*refactor_every=*/0);
+  const Matrix block = RandomContexts(k, d, rng);
+  for (auto _ : state) {
+    inv.ApplyBlock(block);
+    benchmark::DoNotOptimize(inv.inverse().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_EpochApplyBlock) FASEA_EPOCH_ARGS;
+
+void BM_EpochApplyRankOne(benchmark::State& state) {
+  Pcg64 rng(11);  // Same stream as BM_EpochApplyBlock: identical inputs.
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  SymmetricInverse inv(d, 1.0, /*refactor_every=*/0);
+  const Matrix block = RandomContexts(k, d, rng);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < k; ++i) inv.RankOneUpdate(block.Row(i));
+    benchmark::DoNotOptimize(inv.inverse().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_EpochApplyRankOne) FASEA_EPOCH_ARGS;
+
+// --- Frequent-directions sketch kernels (frequent_directions.h): the
+// amortized append (shrink every m rows) and the O(m·d) sketched width
+// against the O(d²) exact quadratic form at the same d.
+
+void BM_SketchAppend(benchmark::State& state) {
+  Pcg64 rng(12);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 32;
+  FrequentDirections fd(d, m);
+  const Matrix rows = RandomContexts(4 * m, d, rng);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    fd.Append(rows.Row(next));
+    next = (next + 1) % rows.rows();
+    benchmark::DoNotOptimize(fd.rank());
+  }
+}
+BENCHMARK(BM_SketchAppend)->Arg(50)->Arg(150)->Arg(400);
+
+void BM_SketchWidth(benchmark::State& state) {
+  // Woodbury width against an m = 32 sketch: O(m·d) per probe.
+  Pcg64 rng(13);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  LearnerConfig config;
+  config.mode = LearnerMode::kSketch;
+  config.sketch_size = 32;
+  EpochRidgeState sketch(d, 1.0, config);
+  const Matrix train = RandomContexts(256, d, rng);
+  for (std::size_t i = 0; i < train.rows(); ++i) {
+    sketch.Update(train.Row(i), 1.0);
+  }
+  const Vector x = RandomVector(d, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.ConfidenceWidthSq(x.span()));
+  }
+}
+BENCHMARK(BM_SketchWidth)->Arg(50)->Arg(150)->Arg(400);
+
+void BM_ExactWidth(benchmark::State& state) {
+  // The O(d²) exact width the sketch replaces, same d sweep.
+  Pcg64 rng(13);  // Same stream as BM_SketchWidth: identical inputs.
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  RidgeState ridge(d, 1.0);
+  const Matrix train = RandomContexts(256, d, rng);
+  for (std::size_t i = 0; i < train.rows(); ++i) {
+    ridge.Update(train.Row(i), 1.0);
+  }
+  const Vector x = RandomVector(d, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ridge.ConfidenceWidthSq(x.span()));
+  }
+}
+BENCHMARK(BM_ExactWidth)->Arg(50)->Arg(150)->Arg(400);
 
 void BM_MvnSample(benchmark::State& state) {
   Pcg64 rng(7);

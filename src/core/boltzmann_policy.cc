@@ -9,18 +9,24 @@ namespace fasea {
 
 BoltzmannPolicy::BoltzmannPolicy(const ProblemInstance* instance,
                                  const BoltzmannParams& params, Pcg64 rng)
-    : LinearPolicyBase(instance, params.lambda), params_(params), rng_(rng) {
+    : LinearPolicyBase(instance, params.lambda, params.learner),
+      params_(params),
+      rng_(rng) {
   FASEA_CHECK(params.temperature > 0.0);
 }
 
 std::span<double> BoltzmannPolicy::ScoreRound(const RoundContext& round) {
-  std::span<double> scores = Scores(round.contexts.rows());
+  // Softmax sampling needs every event's weight, which defeats cached
+  // score bounds — lazy rounds read the cache's materialize-once dense
+  // matrix instead.
+  const ContextMatrix& contexts = RoundContexts(round);
+  std::span<double> scores = Scores(contexts.rows());
   if (scoring_mode() == ScoringMode::kBatched) {
-    ridge_.PredictBatch(round.contexts, scores);
+    ridge_.PredictBatch(contexts, scores);
   } else {
     const Vector& theta = ridge_.ThetaHat();
-    for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
-      scores[v] = Dot(round.contexts.Row(v), theta.span());
+    for (std::size_t v = 0; v < contexts.rows(); ++v) {
+      scores[v] = Dot(contexts.Row(v), theta.span());
     }
   }
   ApplyAvailabilityMask(round, scores);

@@ -28,6 +28,7 @@ namespace fasea {
 struct BoltzmannParams {
   double lambda = 1.0;       // Ridge regularizer λ.
   double temperature = 0.2;  // Softmax temperature τ > 0.
+  LearnerConfig learner;  // Exact / epoch / sketch maintenance.
 };
 
 class BoltzmannPolicy final : public LinearPolicyBase {

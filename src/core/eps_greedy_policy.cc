@@ -8,7 +8,7 @@ namespace fasea {
 
 EpsGreedyPolicy::EpsGreedyPolicy(const ProblemInstance* instance,
                                  const EpsGreedyParams& params, Pcg64 rng)
-    : LinearPolicyBase(instance, params.lambda),
+    : LinearPolicyBase(instance, params.lambda, params.learner),
       params_(params),
       coin_rng_(rng),
       random_oracle_(Pcg64(rng.Next(), HashTag("egreedy-oracle"))),
@@ -41,7 +41,12 @@ void EpsGreedyPolicy::ScoreBatchSnapshot(
 Arrangement EpsGreedyPolicy::Propose(std::int64_t t,
                                      const RoundContext& round,
                                      const PlatformState& state) {
-  std::span<double> scores = Scores(round.contexts.rows());
+  // Lazy rounds carry no dense contexts; exploration only needs the
+  // availability mask over all |V| events, so either way the score
+  // buffer spans the full event set.
+  const std::size_t n = round.IsLazy() ? instance_->num_events()
+                                       : round.contexts.rows();
+  std::span<double> scores = Scores(n);
   if (params_.epsilon > 0.0 &&
       coin_rng_.NextDouble() <= params_.epsilon) {
     // Exploration: a random feasible arrangement. Scores only mark
@@ -52,6 +57,14 @@ Arrangement EpsGreedyPolicy::Propose(std::int64_t t,
     Arrangement arrangement = random_oracle_.Select(
         scores, conflicts(), state, round.user_capacity);
     RecordSpanSince("oracle.random", t, random_start);
+    return arrangement;
+  }
+  if (round.IsLazy()) {
+    // Exploitation on a lazy round: α = 0 lazy top-k on x ᵀ θ̂ — the
+    // arrangement is bit-identical to the eager path below.
+    const std::int64_t lazy_start = SpanStart();
+    Arrangement arrangement = ProposeLazy(t, round, state, /*alpha=*/0.0);
+    RecordSpanSince("policy.lazy_propose", t, lazy_start);
     return arrangement;
   }
   // Exploitation: greedy on estimated expected rewards.
@@ -76,14 +89,17 @@ Arrangement EpsGreedyPolicy::Propose(std::int64_t t,
 double EpsGreedyPolicy::PropensityOf(std::int64_t t, const RoundContext& round,
                                      const PlatformState& state,
                                      const Arrangement& arrangement) {
-  // Exploit component: deterministic greedy on x ᵀ θ̂ — exact.
-  std::span<double> scores = Scores(round.contexts.rows());
+  // Exploit component: deterministic greedy on x ᵀ θ̂ — exact. Lazy
+  // rounds fall back to the cache's materialize-once dense matrix (the
+  // propensity needs every event's score, not a top-k).
+  const ContextMatrix& contexts = RoundContexts(round);
+  std::span<double> scores = Scores(contexts.rows());
   if (scoring_mode() == ScoringMode::kBatched) {
-    ridge_.PredictBatch(round.contexts, scores);
+    ridge_.PredictBatch(contexts, scores);
   } else {
     const Vector& theta = ridge_.ThetaHat();
-    for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
-      scores[v] = Dot(round.contexts.Row(v), theta.span());
+    for (std::size_t v = 0; v < contexts.rows(); ++v) {
+      scores[v] = Dot(contexts.Row(v), theta.span());
     }
   }
   ApplyAvailabilityMask(round, scores);
@@ -106,10 +122,12 @@ double EpsGreedyPolicy::PropensityOf(std::int64_t t, const RoundContext& round,
 }
 
 std::unique_ptr<EpsGreedyPolicy> MakeExploitPolicy(
-    const ProblemInstance* instance, double lambda) {
+    const ProblemInstance* instance, double lambda,
+    const LearnerConfig& learner) {
   EpsGreedyParams params;
   params.lambda = lambda;
   params.epsilon = 0.0;
+  params.learner = learner;
   // ε = 0 never consults the rng; any seed works.
   return std::make_unique<EpsGreedyPolicy>(instance, params, Pcg64(0));
 }

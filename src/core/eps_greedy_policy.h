@@ -22,6 +22,7 @@ namespace fasea {
 struct EpsGreedyParams {
   double lambda = 1.0;   // Ridge regularizer λ.
   double epsilon = 0.1;  // Exploration probability ε ∈ [0, 1].
+  LearnerConfig learner;  // Exact / epoch / sketch maintenance.
 };
 
 class EpsGreedyPolicy : public LinearPolicyBase {
@@ -68,7 +69,8 @@ class EpsGreedyPolicy : public LinearPolicyBase {
 
 /// The pure-exploitation special case (ε = 0); needs no randomness.
 std::unique_ptr<EpsGreedyPolicy> MakeExploitPolicy(
-    const ProblemInstance* instance, double lambda);
+    const ProblemInstance* instance, double lambda,
+    const LearnerConfig& learner = {});
 
 }  // namespace fasea
 

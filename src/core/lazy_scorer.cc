@@ -1,0 +1,109 @@
+#include "core/lazy_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace fasea {
+
+LazyScorer::LazyScorer(std::size_t num_events, double width0,
+                       bool widths_monotone)
+    : width0_(width0),
+      widths_monotone_(widths_monotone),
+      pred_(num_events, 0.0),
+      width_(num_events, width0),
+      drift_at_(num_events, 0.0),
+      version_(num_events, -1),
+      arranged_(num_events) {
+  FASEA_CHECK(num_events > 0);
+  FASEA_CHECK(width0 > 0.0);
+}
+
+void LazyScorer::NoteLearn(const Vector& theta_hat,
+                           std::int64_t scoring_version) {
+  if (scoring_version == learner_version_) return;
+  if (theta_prev_.size() != theta_hat.size()) {
+    theta_prev_ = Vector(theta_hat.size());  // θ̂₀ = 0.
+  }
+  double norm_sq = 0.0;
+  for (std::size_t j = 0; j < theta_hat.size(); ++j) {
+    const double diff = theta_hat[j] - theta_prev_[j];
+    norm_sq += diff * diff;
+  }
+  drift_sum_ += std::sqrt(norm_sq);
+  theta_prev_ = theta_hat;
+  learner_version_ = scoring_version;
+}
+
+double LazyScorer::Key(EventId v, double alpha) const {
+  if (version_[v] == learner_version_) {
+    // Cached score is exact under the current learner state.
+    return pred_[v] + alpha * std::sqrt(width_[v]);
+  }
+  const double width_bound = widths_monotone_ ? width_[v] : width0_;
+  return pred_[v] + (drift_sum_ - drift_at_[v]) +
+         alpha * std::sqrt(width_bound) + kBoundSlack;
+}
+
+Arrangement LazyScorer::Select(
+    double alpha, const std::function<LazyEventScore(EventId)>& rescore,
+    const RoundContext& round, const ConflictGraph& conflicts,
+    const PlatformState& state, std::int64_t user_capacity) {
+  const std::size_t n = pred_.size();
+  FASEA_DCHECK(n == state.num_events());
+  FASEA_CHECK(user_capacity >= 0);
+  ++num_selects_;
+
+  keys_.resize(n);
+  for (EventId v = 0; v < n; ++v) keys_[v] = Key(v, alpha);
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0);
+  // Same visit order as GreedyOracle::Select: (key desc, id asc).
+  const auto worse = [&](EventId a, EventId b) {
+    if (keys_[a] != keys_[b]) return keys_[a] < keys_[b];
+    return a > b;
+  };
+  std::make_heap(order_.begin(), order_.end(), worse);
+  arranged_.Reset();
+
+  Arrangement result;
+  result.reserve(static_cast<std::size_t>(user_capacity));
+  auto heap_end = order_.end();
+  while (static_cast<std::int64_t>(result.size()) < user_capacity &&
+         heap_end != order_.begin()) {
+    const EventId v = order_.front();
+    std::pop_heap(order_.begin(), heap_end, worse);
+    --heap_end;
+    ++num_pops_;
+    // Capacity / conflict / availability skips are final even on a stale
+    // bound: a bound pops no later than the exact score would, so the
+    // arranged set here is a subset of what the eager scan would hold on
+    // reaching v — an event conflicting with the subset conflicts with
+    // the superset, and capacity/availability are round-constants.
+    if (!round.IsAvailable(v)) continue;
+    if (!state.HasCapacity(v)) continue;
+    if (conflicts.ConflictsWithAny(v, arranged_)) continue;
+    if (version_[v] == learner_version_) {
+      // Exact and on top: dominates every remaining bound, which
+      // dominate every remaining true score — a true maximum.
+      arranged_.Set(v);
+      result.push_back(v);
+      continue;
+    }
+    const LazyEventScore s = rescore(v);
+    pred_[v] = s.pred;
+    width_[v] = s.width_sq;
+    drift_at_[v] = drift_sum_;
+    version_[v] = learner_version_;
+    keys_[v] = pred_[v] + alpha * std::sqrt(width_[v]);
+    ++num_rescores_;
+    // pop_heap left v at *heap_end; re-admit it with its exact key.
+    ++heap_end;
+    std::push_heap(order_.begin(), heap_end, worse);
+  }
+  return result;
+}
+
+}  // namespace fasea

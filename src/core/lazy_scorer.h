@@ -1,0 +1,123 @@
+// Lazy top-k scoring: the arrangement loop that makes propose cost
+// sublinear in |V| on cached-context rounds.
+//
+// GreedyOracle::Select already pops a heap lazily, but every policy
+// still SCORES all |V| events first — the Θ(|V|·d) that walls out
+// Table 5. On static-context rounds (RoundContext::IsLazy) the exact
+// scores of the previous rounds remain useful: between learner changes,
+// an event's exact score is unchanged, and across changes it moves by at
+// most the accumulated drift of θ̂ (|x·θ − x·θ'| ≤ ‖x‖·‖θ−θ'‖ ≤ ‖θ−θ'‖,
+// the paper's ‖x‖ ≤ 1 bound) while its UCB width only shrinks (Y grows
+// monotonically, so xᵀY⁻¹x is non-increasing). That yields a per-event
+// upper bound
+//
+//     bound(v) = pred_cached(v) + (drift_now − drift_cached(v))
+//                + α·√(width_cached(v)) + slack
+//
+// requiring no context materialization at all. The selection loop runs
+// the same (key desc, id asc) heap as GreedyOracle over these bounds,
+// re-scoring an event (one ContextCache row + O(d²) exact score) only
+// when its bound actually reaches the top. A popped-and-exact event is a
+// true maximum over the remaining set (its exact key dominates every
+// other bound, and bounds dominate true scores), so the arrangement is
+// IDENTICAL — bit for bit, tie order included — to scoring all |V| rows
+// eagerly and running GreedyOracle. Typical rounds rescore a few dozen
+// events out of tens of thousands.
+//
+// The slack term absorbs the floating-point error of the accumulated
+// drift sum (each ‖Δθ̂‖ is computed in FP); it only makes bounds looser
+// (more rescores), never affects returned scores — arrangement decisions
+// compare exact scores only.
+#ifndef FASEA_CORE_LAZY_SCORER_H_
+#define FASEA_CORE_LAZY_SCORER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/conflict_graph.h"
+#include "linalg/vector.h"
+#include "model/context.h"
+#include "model/platform_state.h"
+#include "model/types.h"
+
+namespace fasea {
+
+/// An exact (pred, width²) pair for one event, produced on demand by the
+/// policy's rescore callback.
+struct LazyEventScore {
+  double pred = 0.0;
+  double width_sq = 0.0;
+};
+
+class LazyScorer {
+ public:
+  /// `width0` is the a-priori width bound (xᵀY⁻¹x ≤ ‖x‖²/λ ≤ 1/λ at
+  /// Y = λI, and widths only shrink from there). `widths_monotone` must
+  /// be false for sketch-backed learners — a frequent-directions shrink
+  /// can INCREASE widths, so their bounds fall back to width0.
+  LazyScorer(std::size_t num_events, double width0,
+             bool widths_monotone = true);
+
+  /// Tells the scorer the learner may have changed. Call once after every
+  /// Learn with the current θ̂ and the learner's scoring_version(); a
+  /// version it has already seen is a no-op (mid-epoch updates keep every
+  /// cached score exact — the epoch learner's staleness is the lazy
+  /// scorer's friend).
+  void NoteLearn(const Vector& theta_hat, std::int64_t scoring_version);
+
+  /// Runs the greedy arrangement over score(v) = pred(v) + α·√width²(v)
+  /// without scoring all |V| events: cached-exact events place directly,
+  /// stale events re-score through `rescore` only when their bound tops
+  /// the heap. Availability, event capacity and conflicts follow
+  /// GreedyOracle::Select exactly.
+  Arrangement Select(double alpha,
+                     const std::function<LazyEventScore(EventId)>& rescore,
+                     const RoundContext& round,
+                     const ConflictGraph& conflicts,
+                     const PlatformState& state, std::int64_t user_capacity);
+
+  std::int64_t num_pops() const { return num_pops_; }
+  std::int64_t num_rescores() const { return num_rescores_; }
+  std::int64_t num_selects() const { return num_selects_; }
+
+  std::size_t MemoryBytes() const {
+    return (pred_.capacity() + width_.capacity() + drift_at_.capacity() +
+            keys_.capacity()) *
+               sizeof(double) +
+           version_.capacity() * sizeof(version_[0]) +
+           order_.capacity() * sizeof(order_[0]) +
+           theta_prev_.MemoryBytes() + arranged_.MemoryBytes();
+  }
+
+ private:
+  double Key(EventId v, double alpha) const;
+
+  // Bounds must only ever err upward; the slack dominates the ~1e-16
+  // relative error of the FP drift accumulation at fig1 scales.
+  static constexpr double kBoundSlack = 1e-9;
+
+  double width0_;
+  bool widths_monotone_;
+
+  std::vector<double> pred_;      // Cached exact prediction.
+  std::vector<double> width_;     // Cached exact width² (at cache time).
+  std::vector<double> drift_at_;  // drift_sum_ when the cache was taken.
+  std::vector<std::int64_t> version_;  // Learner version of the cache.
+
+  std::int64_t learner_version_ = 0;
+  double drift_sum_ = 0.0;
+  Vector theta_prev_;  // θ̂ at the last NoteLearn (starts at 0 = θ̂₀).
+
+  std::vector<EventId> order_;  // Heap storage.
+  std::vector<double> keys_;
+  EventBitset arranged_;
+
+  std::int64_t num_pops_ = 0;
+  std::int64_t num_rescores_ = 0;
+  std::int64_t num_selects_ = 0;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_CORE_LAZY_SCORER_H_

@@ -1,0 +1,56 @@
+// Learner configuration shared by RidgeState and EpochRidgeState.
+//
+// The exact learner pays O(d²) per observation (Sherman–Morrison +
+// incremental Cholesky) and O(d²) memory. Bento et al., "A Time and
+// Space Efficient Algorithm for Contextual Linear Bandits"
+// (arXiv:1207.3024) shows both can be bounded below that: fold
+// observations into a buffer and apply them in epochs (amortized rank-k
+// instead of per-round rank-1), and/or keep only a frequent-directions
+// sketch of Y so state is O(d·m) with m ≪ d. LearnerMode selects the
+// trade-off; kExact is bit-identical to the pre-existing behaviour.
+#ifndef FASEA_CORE_LEARNER_CONFIG_H_
+#define FASEA_CORE_LEARNER_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fasea {
+
+/// Periodic exact re-factorization cadence of the incrementally
+/// maintained Y⁻¹ / Cholesky factor. One constant instead of a default
+/// duplicated across RidgeState's constructor, FromComponents, and the
+/// epoch learner: drift hygiene must not silently diverge between the
+/// rank-1 and rank-k paths.
+inline constexpr std::int64_t kDefaultRefactorEvery = 4096;
+
+enum class LearnerMode {
+  /// Per-observation rank-1 maintenance (the paper's learner).
+  kExact,
+  /// Observations buffer into epochs of `epoch_length`; the boundary
+  /// applies them as one rank-k update (Y += XᵀX via GEMM) followed by
+  /// the exact refactorization. Scoring between boundaries reads the
+  /// state of the last applied epoch (bounded staleness < epoch_length
+  /// observations). epoch_length == 1 routes through the exact rank-1
+  /// path and is bit-identical to kExact.
+  kEpoch,
+  /// Frequent-directions sketch of Y: state is O(d·sketch_size) instead
+  /// of O(d²). θ̂, confidence widths and posterior samples come from the
+  /// Woodbury identity against the sketch; b = Σ r·x stays exact.
+  kSketch,
+};
+
+struct LearnerConfig {
+  LearnerMode mode = LearnerMode::kExact;
+  /// kEpoch: observations applied per boundary (>= 1).
+  std::int64_t epoch_length = 1;
+  /// kSketch: number of retained directions m (>= 1). Memory and
+  /// per-score cost scale with m; approximation error shrinks as m
+  /// approaches the effective rank of the context stream.
+  std::size_t sketch_size = 16;
+  /// Exact re-factorization cadence of the rank-1 paths (0 disables).
+  std::int64_t refactor_every = kDefaultRefactorEvery;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_CORE_LEARNER_CONFIG_H_

@@ -8,9 +8,12 @@
 #include <span>
 #include <vector>
 
+#include "core/epoch_ridge.h"
+#include "core/lazy_scorer.h"
 #include "core/learner_snapshot.h"
 #include "core/policy.h"
 #include "core/ridge.h"
+#include "model/context_cache.h"
 #include "model/instance.h"
 #include "obs/metrics.h"
 #include "oracle/greedy.h"
@@ -52,18 +55,33 @@ class LinearPolicyBase : public Policy {
 
   std::size_t MemoryBytes() const override;
 
-  const RidgeState& ridge() const { return ridge_; }
+  /// The exact learning state, for checkpointing and the serving layers.
+  /// CHECK-fails for sketch-mode learners (they have no d×d state; see
+  /// core/epoch_ridge.h).
+  const RidgeState& ridge() const { return ridge_.exact(); }
 
   /// Mutable learning state — for recovery tooling and fault-injection
   /// tests; production serving paths only read.
-  RidgeState& mutable_ridge() { return ridge_; }
+  RidgeState& mutable_ridge() { return ridge_.mutable_exact(); }
 
   /// Replaces the learning state (checkpoint restore). The new state must
   /// have the instance's dimension.
   void RestoreRidge(RidgeState state) {
-    FASEA_CHECK(state.dim() == ridge_.dim());
-    ridge_ = std::move(state);
+    ridge_.RestoreExact(std::move(state));
   }
+
+  /// The bounded-scale learner facade wrapping the exact state.
+  const EpochRidgeState& learner() const { return ridge_; }
+  EpochRidgeState& mutable_learner() { return ridge_; }
+
+  /// Hot-partition row budget of the lazily created ContextCache; 0 (the
+  /// default) picks max(64, |V|/8). Takes effect before the first lazy
+  /// round.
+  void set_cache_budget(std::size_t budget) { cache_budget_ = budget; }
+  /// The context cache, once a lazy round created it (else nullptr).
+  const ContextCache* context_cache() const { return cache_.get(); }
+  /// The lazy scorer, once a lazy propose created it (else nullptr).
+  const LazyScorer* lazy_scorer() const { return lazy_scorer_.get(); }
 
   ScoringMode scoring_mode() const { return scoring_mode_; }
   void set_scoring_mode(ScoringMode mode) { scoring_mode_ = mode; }
@@ -92,10 +110,11 @@ class LinearPolicyBase : public Policy {
                                   std::span<RowResolve> resolve) const;
 
  protected:
-  /// `instance` must outlive the policy.
+  /// `instance` must outlive the policy. `learner` selects the
+  /// maintenance mode (exact / epoch / sketch; learner_config.h).
   LinearPolicyBase(const ProblemInstance* instance, double lambda,
-                   std::int64_t refactor_every = 4096)
-      : instance_(instance), ridge_(instance->dim(), lambda, refactor_every) {
+                   const LearnerConfig& learner = {})
+      : instance_(instance), ridge_(instance->dim(), lambda, learner) {
     FASEA_CHECK(instance != nullptr);
   }
 
@@ -108,6 +127,15 @@ class LinearPolicyBase : public Policy {
       Metrics()->GetCounter("fasea.policy.refactorizations");
   Counter* refactor_failures_metric_ =
       Metrics()->GetCounter("fasea.policy.refactor_failures");
+  // Bounded-scale telemetry: context-cache partition behavior and epoch
+  // boundary applications (DESIGN.md §8).
+  Counter* cache_hits_metric_ = Metrics()->GetCounter("fasea.cache.hits");
+  Counter* cache_misses_metric_ =
+      Metrics()->GetCounter("fasea.cache.misses");
+  Counter* cache_evictions_metric_ =
+      Metrics()->GetCounter("fasea.cache.evictions");
+  Counter* epoch_applies_metric_ =
+      Metrics()->GetCounter("fasea.learner.epoch_applies");
 
   const ConflictGraph& conflicts() const { return instance_->conflicts(); }
 
@@ -125,13 +153,44 @@ class LinearPolicyBase : public Policy {
   static void MaskBatchRows(std::span<const SnapshotRound> rows,
                             Matrix* scores);
 
+  /// The policy's context cache for `source`, created on first use.
+  ContextCache* EnsureCache(const ContextSource* source);
+
+  /// Dense-context fallback for lazy rounds: TS and Boltzmann score all
+  /// |V| events against a per-round θ̃, which defeats cached score
+  /// bounds, so they read the cache's materialize-once Dense() matrix.
+  /// Returns round.contexts unchanged for dense rounds.
+  const ContextMatrix& RoundContexts(const RoundContext& round);
+
+  /// Lazy-round propose for the fixed-θ̂ policies: greedy arrangement
+  /// over score(v) = pred(v) + α·√width²(v) through the LazyScorer +
+  /// ContextCache, materializing only popped events. Bit-identical to
+  /// scoring all |V| rows and running GreedyOracle (lazy_scorer.h).
+  Arrangement ProposeLazy(std::int64_t t, const RoundContext& round,
+                          const PlatformState& state, double alpha);
+
   const ProblemInstance* instance_;
-  RidgeState ridge_;
+  EpochRidgeState ridge_;
   GreedyOracle greedy_;
 
  private:
   std::vector<double> scores_;
   ScoringMode scoring_mode_ = ScoringMode::kBatched;
+  std::size_t cache_budget_ = 0;
+  std::unique_ptr<ContextCache> cache_;
+  std::unique_ptr<LazyScorer> lazy_scorer_;
+  // 1×d scratch for lazy rescores in batched mode: the rescore must run
+  // through the same batch kernels eager scoring uses, because under
+  // -march=native FMA contraction the batched quad form is NOT bit-equal
+  // to the scalar one (it IS batch-size-invariant per row, so a 1-row
+  // call reproduces the full-matrix result exactly).
+  Matrix lazy_row_;
+  // Last-synced cache counter values: Learn publishes deltas to the
+  // process-wide metrics so the per-row hot loop stays atomics-free.
+  std::int64_t synced_cache_hits_ = 0;
+  std::int64_t synced_cache_misses_ = 0;
+  std::int64_t synced_cache_evictions_ = 0;
+  std::int64_t synced_epoch_applies_ = 0;
 };
 
 }  // namespace fasea

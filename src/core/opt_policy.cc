@@ -4,7 +4,10 @@ namespace fasea {
 
 Arrangement OptPolicy::Propose(std::int64_t t, const RoundContext& round,
                                const PlatformState& state) {
-  scores_.resize(round.contexts.rows());
+  // Lazy rounds carry no dense contexts; OPT consults the ground truth
+  // per event anyway (static-context truth models ignore the matrix).
+  scores_.resize(round.IsLazy() ? instance_->num_events()
+                                : round.contexts.rows());
   for (std::size_t v = 0; v < scores_.size(); ++v) {
     scores_[v] =
         truth_->ExpectedReward(t, round.contexts, static_cast<EventId>(v));

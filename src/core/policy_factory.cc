@@ -38,31 +38,39 @@ std::unique_ptr<Policy> MakePolicy(PolicyKind kind,
       UcbParams p;
       p.lambda = params.lambda;
       p.alpha = params.alpha;
+      p.learner = params.learner;
       auto policy = std::make_unique<UcbPolicy>(instance, p);
       policy->set_scoring_mode(mode);
+      policy->set_cache_budget(params.cache_budget);
       return policy;
     }
     case PolicyKind::kTs: {
       TsParams p;
       p.lambda = params.lambda;
       p.delta = params.delta;
+      p.learner = params.learner;
       auto policy =
           std::make_unique<TsPolicy>(instance, p, MakeEngine(seed, "ts"));
       policy->set_scoring_mode(mode);
+      policy->set_cache_budget(params.cache_budget);
       return policy;
     }
     case PolicyKind::kEpsGreedy: {
       EpsGreedyParams p;
       p.lambda = params.lambda;
       p.epsilon = params.epsilon;
+      p.learner = params.learner;
       auto policy = std::make_unique<EpsGreedyPolicy>(
           instance, p, MakeEngine(seed, "egreedy"));
       policy->set_scoring_mode(mode);
+      policy->set_cache_budget(params.cache_budget);
       return policy;
     }
     case PolicyKind::kExploit: {
-      auto policy = MakeExploitPolicy(instance, params.lambda);
+      auto policy =
+          MakeExploitPolicy(instance, params.lambda, params.learner);
       policy->set_scoring_mode(mode);
+      policy->set_cache_budget(params.cache_budget);
       return policy;
     }
     case PolicyKind::kRandom:
@@ -73,9 +81,11 @@ std::unique_ptr<Policy> MakePolicy(PolicyKind kind,
       BoltzmannParams p;
       p.lambda = params.lambda;
       p.temperature = params.temperature;
+      p.learner = params.learner;
       auto policy = std::make_unique<BoltzmannPolicy>(
           instance, p, MakeEngine(seed, "boltzmann"));
       policy->set_scoring_mode(mode);
+      policy->set_cache_budget(params.cache_budget);
       return policy;
     }
   }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/learner_config.h"
 #include "core/policy.h"
 #include "model/instance.h"
 #include "model/round_provider.h"
@@ -33,6 +34,12 @@ struct PolicyParams {
   // instead of the fused kernels — the reference path for equivalence
   // tests and the scalar-vs-batched benches.
   bool scalar_scoring = false;
+  // Learner maintenance mode for the ridge policies (exact / epoch /
+  // sketch; core/learner_config.h). Random ignores it.
+  LearnerConfig learner;
+  // Hot-partition row budget of the lazy-round ContextCache; 0 picks the
+  // default max(64, |V|/8). Only consulted on lazy rounds.
+  std::size_t cache_budget = 0;
 };
 
 /// Builds one policy. `seed` feeds the policy's private randomness

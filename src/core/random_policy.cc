@@ -16,7 +16,10 @@ RandomPolicy::RandomPolicy(const ProblemInstance* instance, Pcg64 rng)
 Arrangement RandomPolicy::Propose(std::int64_t /*t*/,
                                   const RoundContext& round,
                                   const PlatformState& state) {
-  scores_.resize(round.contexts.rows());
+  // Context-free: only the availability mask matters, so lazy rounds
+  // (empty contexts) still score the full event set.
+  scores_.resize(round.IsLazy() ? instance_->num_events()
+                                : round.contexts.rows());
   std::fill(scores_.begin(), scores_.end(), 0.0);
   ApplyAvailabilityMask(round, scores_);
   return oracle_.Select(scores_, instance_->conflicts(), state,
@@ -26,7 +29,8 @@ Arrangement RandomPolicy::Propose(std::int64_t /*t*/,
 double RandomPolicy::PropensityOf(std::int64_t t, const RoundContext& round,
                                   const PlatformState& state,
                                   const Arrangement& arrangement) {
-  scores_.resize(round.contexts.rows());
+  scores_.resize(round.IsLazy() ? instance_->num_events()
+                                : round.contexts.rows());
   std::fill(scores_.begin(), scores_.end(), 0.0);
   ApplyAvailabilityMask(round, scores_);
   return McRandomArrangementMass(

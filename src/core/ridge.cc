@@ -60,6 +60,19 @@ void RidgeState::Update(std::span<const double> x, double reward) {
   }
 }
 
+void RidgeState::ApplyBlock(const Matrix& x_block,
+                            std::span<const double> rewards) {
+  FASEA_CHECK(x_block.cols() == dim());
+  FASEA_CHECK(x_block.rows() == rewards.size());
+  if (x_block.rows() == 0) return;
+  inverse_.ApplyBlock(x_block);
+  for (std::size_t i = 0; i < x_block.rows(); ++i) {
+    Axpy(rewards[i], x_block.Row(i), b_.span());
+  }
+  RefactorizeFactor();
+  theta_dirty_ = true;
+}
+
 void RidgeState::RefactorizeFactor() {
   auto chol = Cholesky::Factorize(inverse_.y());
   if (!chol.ok()) {

@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "core/learner_config.h"
 #include "linalg/cholesky.h"
 #include "linalg/sherman_morrison.h"
 #include "linalg/vector.h"
@@ -30,7 +31,7 @@ class RidgeState {
   /// `refactor_every` controls the periodic exact re-inversion cadence;
   /// 0 disables it (pure incremental mode, used by the ablation bench).
   RidgeState(std::size_t dim, double lambda,
-             std::int64_t refactor_every = 4096);
+             std::int64_t refactor_every = kDefaultRefactorEvery);
 
   /// Restores a state from previously accumulated components (checkpoint
   /// loading). `y` must be SPD and shaped like `b`.
@@ -38,13 +39,21 @@ class RidgeState {
                                              Vector b,
                                              std::int64_t num_observations,
                                              std::int64_t refactor_every =
-                                                 4096);
+                                                 kDefaultRefactorEvery);
 
   std::size_t dim() const { return b_.size(); }
   double lambda() const { return lambda_; }
 
   /// Folds one observation (context x, reward r ∈ {0,1}) into Y and b.
   void Update(std::span<const double> x, double reward);
+
+  /// Folds a k×d block of observations in one amortized rank-k step:
+  /// Y += XᵀX by blocked GEMM, b += Σ rᵢ xᵢ, then an exact
+  /// re-factorization of both the inverse and the Cholesky factor (the
+  /// epoch boundary — no incremental drift survives a block). Used by
+  /// EpochRidgeState; per-observation cost amortizes to O(d²·k/k + d³/k)
+  /// vs k separate O(d²) Sherman–Morrison + factor updates.
+  void ApplyBlock(const Matrix& x_block, std::span<const double> rewards);
 
   /// θ̂ = Y⁻¹ b, cached until the next Update.
   const Vector& ThetaHat() const;

@@ -13,7 +13,7 @@ namespace fasea {
 
 TsPolicy::TsPolicy(const ProblemInstance* instance, const TsParams& params,
                    Pcg64 rng)
-    : LinearPolicyBase(instance, params.lambda),
+    : LinearPolicyBase(instance, params.lambda, params.learner),
       params_(params),
       rng_(rng),
       propensity_salt_(DeriveSeed(rng.Next(), "ts-propensity")),
@@ -44,7 +44,13 @@ Arrangement TsPolicy::Propose(std::int64_t t, const RoundContext& round,
         Metrics()->GetHistogram("fasea.policy.ts_sample_ns");
     TraceSpan span("policy.sample_theta", t, TraceRing::Global(),
                    sample_hist);
-    if (scoring_mode() == ScoringMode::kScalar) {
+    if (ridge_.mode() == LearnerMode::kSketch) {
+      // Sketch learners keep no d×d factor; the draw goes through the
+      // sketch's Woodbury square root — an exact N(θ̂, q²Y⁻¹) sample for
+      // the sketched Y (core/epoch_ridge.h) — and never degrades.
+      const bool ok = ridge_.SamplePosterior(rng_, q, &sampled_theta_);
+      FASEA_CHECK(ok);
+    } else if (scoring_mode() == ScoringMode::kScalar) {
       auto chol = Cholesky::Factorize(ridge_.Y());
       if (chol.ok()) {
         sampled_theta_ =
@@ -60,13 +66,17 @@ Arrangement TsPolicy::Propose(std::int64_t t, const RoundContext& round,
     }
   }
 
-  std::span<double> scores = Scores(round.contexts.rows());
+  // TS scores every event against a fresh per-round θ̃, which defeats
+  // cached score bounds — lazy rounds read the cache's materialize-once
+  // dense matrix instead.
+  const ContextMatrix& contexts = RoundContexts(round);
+  std::span<double> scores = Scores(contexts.rows());
   const std::int64_t score_start = SpanStart();
   if (scoring_mode() == ScoringMode::kBatched) {
-    GemvRows(round.contexts, sampled_theta_.span(), scores);
+    GemvRows(contexts, sampled_theta_.span(), scores);
   } else {
-    for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
-      scores[v] = Dot(round.contexts.Row(v), sampled_theta_.span());
+    for (std::size_t v = 0; v < contexts.rows(); ++v) {
+      scores[v] = Dot(contexts.Row(v), sampled_theta_.span());
     }
   }
   ApplyAvailabilityMask(round, scores);
@@ -124,28 +134,34 @@ double TsPolicy::PropensityOf(std::int64_t t, const RoundContext& round,
 
   // Mirror Propose's factor choice per scoring mode, so the propensity
   // model is the distribution the behavior draw actually came from.
+  // Sketch learners have no factor at all; their MC draws go through the
+  // same Woodbury sampler Propose uses.
+  const bool sketch = ridge_.mode() == LearnerMode::kSketch;
   std::optional<StatusOr<Cholesky>> fresh;
   const Cholesky* factor = nullptr;
-  if (scoring_mode() == ScoringMode::kScalar) {
-    fresh.emplace(Cholesky::Factorize(ridge_.Y()));
-    if (fresh->ok()) factor = &fresh->value();
-  } else if (ridge_.factor_healthy()) {
-    factor = &ridge_.Factor();
+  if (!sketch) {
+    if (scoring_mode() == ScoringMode::kScalar) {
+      fresh.emplace(Cholesky::Factorize(ridge_.Y()));
+      if (fresh->ok()) factor = &fresh->value();
+    } else if (ridge_.factor_healthy()) {
+      factor = &ridge_.Factor();
+    }
   }
 
-  std::span<double> scores = Scores(round.contexts.rows());
+  const ContextMatrix& contexts = RoundContexts(round);
+  std::span<double> scores = Scores(contexts.rows());
   const auto score_with = [&](const Vector& theta) {
     if (scoring_mode() == ScoringMode::kBatched) {
-      GemvRows(round.contexts, theta.span(), scores);
+      GemvRows(contexts, theta.span(), scores);
     } else {
-      for (std::size_t v = 0; v < round.contexts.rows(); ++v) {
-        scores[v] = Dot(round.contexts.Row(v), theta.span());
+      for (std::size_t v = 0; v < contexts.rows(); ++v) {
+        scores[v] = Dot(contexts.Row(v), theta.span());
       }
     }
     ApplyAvailabilityMask(round, scores);
   };
 
-  if (factor == nullptr) {
+  if (!sketch && factor == nullptr) {
     // Degraded rounds propose deterministically from θ̂ — point mass.
     score_with(ridge_.ThetaHat());
     return greedy_.Select(scores, conflicts(), state,
@@ -157,9 +173,12 @@ double TsPolicy::PropensityOf(std::int64_t t, const RoundContext& round,
   Pcg64 mc(DeriveSeed(propensity_salt_, "mc", static_cast<std::uint64_t>(t)),
            HashTag("ts-propensity-mc"));
   int hits = 0;
+  Vector sketch_theta;
   for (int k = 0; k < kPropensityMcDraws; ++k) {
     const Vector theta =
-        SampleMvnFromPrecision(mc, ridge_.ThetaHat(), q, *factor);
+        sketch ? (ridge_.SamplePosterior(mc, q, &sketch_theta),
+                  sketch_theta)
+               : SampleMvnFromPrecision(mc, ridge_.ThetaHat(), q, *factor);
     score_with(theta);
     if (greedy_.Select(scores, conflicts(), state, round.user_capacity) ==
         arrangement) {

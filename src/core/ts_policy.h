@@ -26,6 +26,7 @@ struct TsParams {
   double lambda = 1.0;  // Ridge regularizer λ.
   double delta = 0.1;   // Confidence parameter δ.
   double r_scale = 1.0; // Sub-Gaussian scale R (1 under FASEA).
+  LearnerConfig learner;  // Exact / epoch / sketch maintenance.
 };
 
 class TsPolicy final : public LinearPolicyBase {

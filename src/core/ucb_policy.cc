@@ -9,7 +9,8 @@
 namespace fasea {
 
 UcbPolicy::UcbPolicy(const ProblemInstance* instance, const UcbParams& params)
-    : LinearPolicyBase(instance, params.lambda), params_(params) {
+    : LinearPolicyBase(instance, params.lambda, params.learner),
+      params_(params) {
   FASEA_CHECK(params.alpha >= 0.0);
 }
 
@@ -46,6 +47,14 @@ double UcbPolicy::UpperConfidenceBound(std::span<const double> x) const {
 
 Arrangement UcbPolicy::Propose(std::int64_t t, const RoundContext& round,
                                const PlatformState& state) {
+  if (round.IsLazy()) {
+    // Cached-context round: lazy top-k over drift-bounded cached scores;
+    // the arrangement is bit-identical to the eager path below.
+    const std::int64_t lazy_start = SpanStart();
+    Arrangement arrangement = ProposeLazy(t, round, state, params_.alpha);
+    RecordSpanSince("policy.lazy_propose", t, lazy_start);
+    return arrangement;
+  }
   const std::size_t n = round.contexts.rows();
   std::span<double> scores = Scores(n);
   const std::int64_t score_start = SpanStart();

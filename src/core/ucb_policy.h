@@ -20,6 +20,7 @@ namespace fasea {
 struct UcbParams {
   double lambda = 1.0;  // Ridge regularizer λ.
   double alpha = 2.0;   // Exploration weight α.
+  LearnerConfig learner;  // Exact / epoch / sketch maintenance.
 };
 
 class UcbPolicy final : public LinearPolicyBase {

@@ -39,6 +39,9 @@ Status SyntheticConfig::Validate() const {
   if (event_capacity_stddev < 0.0) {
     return InvalidArgumentError("event capacity stddev must be >= 0");
   }
+  if (lazy_contexts && !static_contexts) {
+    return InvalidArgumentError("lazy_contexts requires static_contexts");
+  }
   return Status::Ok();
 }
 
@@ -99,6 +102,32 @@ void FillContextRow(ValueDistribution dist, std::size_t dim, Pcg64& rng,
   }
 }
 
+void StaticEventContextSource::Materialize(EventId v,
+                                           std::span<double> row) const {
+  FASEA_CHECK(v < num_events_);
+  Pcg64 rng(DeriveSeed(seed_, "event", static_cast<std::uint64_t>(v)));
+  FillContextRow(dist_, dim_, rng, row);
+}
+
+StaticLinearFeedbackModel::StaticLinearFeedbackModel(
+    Vector theta, const StaticEventContextSource& source)
+    : LinearFeedbackModel(std::move(theta)),
+      expected_(source.num_events()) {
+  Vector row(source.dim());
+  for (EventId v = 0; v < source.num_events(); ++v) {
+    source.Materialize(v, row.span());
+    // Same Dot + clamp the dense model computes from its context matrix,
+    // over the same row values — bit-identical expectations.
+    expected_[v] = std::clamp(Dot(row.span(), this->theta().span()), 0.0, 1.0);
+  }
+}
+
+double StaticLinearFeedbackModel::ExpectedReward(
+    std::int64_t /*t*/, const ContextMatrix& /*contexts*/,
+    EventId v) const {
+  return expected_[v];
+}
+
 namespace {
 
 /// Streams fresh contexts and user capacities each round, reusing one
@@ -124,6 +153,41 @@ class SyntheticRoundProvider final : public RoundProvider {
       FillContextRow(config_.context_dist, config_.dim, rng,
                      round_.contexts.Row(v));
     }
+    return round_;
+  }
+
+ private:
+  SyntheticConfig config_;
+  std::uint64_t seed_;
+  RoundContext round_;
+};
+
+/// Static-context provider: the per-round engine draws ONLY the user
+/// capacity (so lazy and eager static worlds agree on it draw for draw);
+/// contexts come from the per-event source. Eager mode materializes the
+/// full matrix once up front; lazy mode hands out the source instead.
+class StaticRoundProvider final : public RoundProvider {
+ public:
+  StaticRoundProvider(const SyntheticConfig& config, std::uint64_t seed,
+                      const StaticEventContextSource* source)
+      : config_(config), seed_(seed) {
+    if (config.lazy_contexts) {
+      round_.source = source;
+    } else {
+      round_.contexts = ContextMatrix(config.num_events, config.dim);
+      for (EventId v = 0; v < config.num_events; ++v) {
+        source->Materialize(v, round_.contexts.Row(v));
+      }
+    }
+  }
+
+  const RoundContext& NextRound(std::int64_t t) override {
+    Pcg64 rng(DeriveSeed(seed_, "round", static_cast<std::uint64_t>(t)));
+    round_.user_capacity =
+        config_.basic_bandit
+            ? 1
+            : UniformInt(rng, config_.user_capacity_min,
+                         config_.user_capacity_max);
     return round_;
   }
 
@@ -172,9 +236,19 @@ StatusOr<std::unique_ptr<SyntheticWorld>> SyntheticWorld::Create(
   if (!instance.ok()) return instance.status();
   world->instance_ = std::move(instance).value();
 
-  world->provider_ = std::make_unique<SyntheticRoundProvider>(
-      config, DeriveSeed(config.seed, "provider"));
-  world->feedback_ = std::make_unique<LinearFeedbackModel>(world->theta_);
+  if (config.static_contexts) {
+    world->source_ = std::make_unique<StaticEventContextSource>(
+        config.num_events, config.dim, config.context_dist,
+        DeriveSeed(config.seed, "static-contexts"));
+    world->provider_ = std::make_unique<StaticRoundProvider>(
+        config, DeriveSeed(config.seed, "provider"), world->source_.get());
+    world->feedback_ = std::make_unique<StaticLinearFeedbackModel>(
+        world->theta_, *world->source_);
+  } else {
+    world->provider_ = std::make_unique<SyntheticRoundProvider>(
+        config, DeriveSeed(config.seed, "provider"));
+    world->feedback_ = std::make_unique<LinearFeedbackModel>(world->theta_);
+  }
   return world;
 }
 

@@ -15,6 +15,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "model/context_cache.h"
 #include "model/instance.h"
 #include "model/round_provider.h"
 
@@ -47,6 +48,19 @@ struct SyntheticConfig {
   /// capacities, no conflicts, one event arranged per round.
   bool basic_bandit = false;
 
+  /// Bounded-scale mode: each event's context is drawn ONCE (from a
+  /// per-event engine) and held fixed for the whole horizon, instead of
+  /// the paper's fresh per-round redraws. The per-round engine then only
+  /// draws the user capacity, so static worlds agree on capacities with
+  /// or without lazy delivery.
+  bool static_contexts = false;
+
+  /// Lazy context delivery (requires static_contexts): rounds carry an
+  /// empty context matrix plus a ContextSource pointer, and policies
+  /// materialize only the rows their lazy top-k scoring touches. The
+  /// trajectory is bit-identical to the eager static world.
+  bool lazy_contexts = false;
+
   Status Validate() const;
 };
 
@@ -62,6 +76,43 @@ Vector GenerateTheta(ValueDistribution dist, std::size_t dim, Pcg64& rng);
 /// and normalizes it to unit length.
 void FillContextRow(ValueDistribution dist, std::size_t dim, Pcg64& rng,
                     std::span<double> row);
+
+/// Static per-event contexts: row v is FillContextRow on a private engine
+/// seeded by (seed, "event", v), so any consumer — the cache, a dense
+/// provider, a test — materializes the identical row at any time.
+class StaticEventContextSource final : public ContextSource {
+ public:
+  StaticEventContextSource(std::size_t num_events, std::size_t dim,
+                           ValueDistribution dist, std::uint64_t seed)
+      : num_events_(num_events), dim_(dim), dist_(dist), seed_(seed) {}
+
+  std::size_t num_events() const override { return num_events_; }
+  std::size_t dim() const override { return dim_; }
+  void Materialize(EventId v, std::span<double> row) const override;
+
+ private:
+  std::size_t num_events_;
+  std::size_t dim_;
+  ValueDistribution dist_;
+  std::uint64_t seed_;
+};
+
+/// Ground truth for static worlds: expected rewards are precomputed per
+/// event (contexts never change), so OPT and the regret accounting work
+/// on lazy rounds whose context matrix is empty. Sample is inherited —
+/// it dispatches through this ExpectedReward, so feedback draws are
+/// bit-identical to the dense LinearFeedbackModel's.
+class StaticLinearFeedbackModel final : public LinearFeedbackModel {
+ public:
+  StaticLinearFeedbackModel(Vector theta,
+                            const StaticEventContextSource& source);
+
+  double ExpectedReward(std::int64_t t, const ContextMatrix& contexts,
+                        EventId v) const override;
+
+ private:
+  std::vector<double> expected_;  // clamp(x_vᵀθ, 0, 1) per event.
+};
 
 /// A complete generated world: instance + hidden θ + providers.
 class SyntheticWorld {
@@ -81,12 +132,18 @@ class SyntheticWorld {
   FeedbackModel& feedback() { return *feedback_; }
   const LinearFeedbackModel& linear_feedback() const { return *feedback_; }
 
+  /// The static per-event source (static_contexts worlds; else nullptr).
+  const StaticEventContextSource* context_source() const {
+    return source_.get();
+  }
+
  private:
   SyntheticWorld() = default;
 
   SyntheticConfig config_;
   ProblemInstance instance_;
   Vector theta_;
+  std::unique_ptr<StaticEventContextSource> source_;
   std::unique_ptr<RoundProvider> provider_;
   std::unique_ptr<LinearFeedbackModel> feedback_;
 };

@@ -1,0 +1,157 @@
+#include "linalg/frequent_directions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/macros.h"
+#include "linalg/kernels.h"
+
+namespace fasea {
+
+void SymmetricEigen(const Matrix& a, Matrix* eigvecs, Vector* eigvals) {
+  FASEA_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix work = a;
+  Matrix v = Matrix::Identity(n);
+
+  // Cyclic Jacobi: rotate away each off-diagonal element in turn until
+  // the off-diagonal mass is negligible against the diagonal. The Gram
+  // matrices this sees are ≤ 2m × 2m, so a handful of O(n³) sweeps is
+  // cheap; 64 sweeps is far beyond the ~log(ε)·n convergence bound.
+  constexpr int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    double diag = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      diag += std::abs(work(p, p));
+      for (std::size_t q = p + 1; q < n; ++q) off += std::abs(work(p, q));
+    }
+    if (off <= 1e-14 * (diag + 1e-300)) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = work(p, q);
+        if (std::abs(apq) <= 1e-18 * (diag + 1e-300)) continue;
+        const double tau = (work(q, q) - work(p, p)) / (2.0 * apq);
+        const double t =
+            (tau >= 0.0 ? 1.0 : -1.0) /
+            (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Apply the rotation G(p, q, θ) on both sides of `work` and on
+        // the right of the accumulated eigenvector matrix.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wkp = work(k, p);
+          const double wkq = work(k, q);
+          work(k, p) = c * wkp - s * wkq;
+          work(k, q) = s * wkp + c * wkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wpk = work(p, k);
+          const double wqk = work(q, k);
+          work(p, k) = c * wpk - s * wqk;
+          work(q, k) = s * wpk + c * wqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return work(i, i) > work(j, j);
+  });
+  *eigvals = Vector(n);
+  Matrix sorted(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*eigvals)[i] = work(order[i], order[i]);
+    for (std::size_t k = 0; k < n; ++k) sorted(k, i) = v(k, order[i]);
+  }
+  *eigvecs = std::move(sorted);
+}
+
+FrequentDirections::FrequentDirections(std::size_t dim,
+                                       std::size_t sketch_size)
+    : dim_(dim),
+      m_(sketch_size),
+      v_(sketch_size, dim),
+      s2_(sketch_size),
+      buffer_(sketch_size, dim) {
+  FASEA_CHECK(dim > 0);
+  FASEA_CHECK(sketch_size > 0);
+}
+
+void FrequentDirections::Append(std::span<const double> row) {
+  FASEA_CHECK(row.size() == dim_);
+  std::span<double> dst = buffer_.Row(buffer_count_);
+  std::copy(row.begin(), row.end(), dst.begin());
+  ++buffer_count_;
+  ++num_appends_;
+  if (buffer_count_ == m_) Shrink();
+}
+
+void FrequentDirections::ForceShrink() {
+  if (buffer_count_ > 0) Shrink();
+}
+
+void FrequentDirections::Shrink() {
+  // Combined sketch S: current directions re-weighted back to rows
+  // √(s²ᵢ)·vᵢ, followed by the raw buffered rows. total ≤ 2m.
+  const std::size_t total = rank_ + buffer_count_;
+  Matrix s(total, dim_);
+  for (std::size_t i = 0; i < rank_; ++i) {
+    const double w = std::sqrt(s2_[i]);
+    std::span<const double> src = v_.Row(i);
+    std::span<double> dst = s.Row(i);
+    for (std::size_t j = 0; j < dim_; ++j) dst[j] = w * src[j];
+  }
+  for (std::size_t i = 0; i < buffer_count_; ++i) {
+    std::span<const double> src = buffer_.Row(i);
+    std::span<double> dst = s.Row(rank_ + i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+
+  // Gram trick: SᵀS shares its nonzero spectrum with G = S·Sᵀ (total ×
+  // total), and the right singular vectors are recovered as
+  // V = diag(1/√e) Wᵀ S — no d×d eigenproblem ever forms.
+  Matrix st;
+  TransposeInto(s, &st);
+  Matrix gram;
+  Gemm(s, st, &gram);
+  Matrix w;
+  Vector e;
+  SymmetricEigen(gram, &w, &e);
+
+  // δ = the (m+1)-th largest eigenvalue: subtracting it from every kept
+  // direction is exactly the FD shrink step. With fewer than m+1
+  // positive eigenvalues the compression is lossless (δ = 0).
+  const double delta = (total > m_) ? std::max(e[m_], 0.0) : 0.0;
+  const double tol = 1e-12 * std::max(e[0], 1.0);
+  std::size_t new_rank = 0;
+  for (std::size_t i = 0; i < std::min(m_, total); ++i) {
+    if (e[i] <= tol) break;
+    const double s2_new = std::max(e[i] - delta, 0.0);
+    if (s2_new <= 0.0) continue;
+    const double inv_norm = 1.0 / std::sqrt(e[i]);
+    std::span<double> row = v_.Row(new_rank);
+    std::fill(row.begin(), row.end(), 0.0);
+    for (std::size_t j = 0; j < total; ++j) {
+      Axpy(w(j, i) * inv_norm, s.Row(j), row);
+    }
+    s2_[new_rank] = s2_new;
+    ++new_rank;
+  }
+  rank_ = new_rank;
+  buffer_count_ = 0;
+  ++num_shrinks_;
+}
+
+}  // namespace fasea

@@ -1,0 +1,92 @@
+// Frequent-directions sketch of a Gram matrix stream (Liberty 2013;
+// Ghashami et al. 2015), the low-rank state behind LearnerMode::kSketch.
+//
+// The exact learner tracks Y = λI + Σ x xᵀ in O(d²) memory. The sketch
+// keeps only m weighted orthonormal directions (V, s²) with the
+// deterministic guarantee
+//
+//     0 ≼ Σ x xᵀ − Vᵀ diag(s²) V ≼ (‖X‖_F² / m) · I,
+//
+// i.e. the sketch under-counts every direction's energy by at most the
+// average squared row norm over m. With unit-normalized contexts that
+// bound is T/m — small relative to the spectrum whenever the context
+// stream has effective rank below m. All downstream quantities (θ̂,
+// confidence widths, posterior samples) then come from the Woodbury
+// identity against (V, s²) in O(m·d) instead of O(d²); see
+// core/epoch_ridge.h.
+//
+// Appended rows accumulate in a buffer of m raw rows; when it fills, one
+// shrink step eigendecomposes the combined 2m-row sketch via its 2m×2m
+// Gram matrix (the "Gram trick" keeps the eigenproblem tiny — O(m²d) to
+// form, O(m³) to solve) and subtracts the (m+1)-th eigenvalue from every
+// retained direction. Rows appended since the last shrink are not yet
+// visible to readers — the same bounded-staleness contract as the epoch
+// learner.
+#ifndef FASEA_LINALG_FREQUENT_DIRECTIONS_H_
+#define FASEA_LINALG_FREQUENT_DIRECTIONS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace fasea {
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations:
+/// a = W diag(e) Wᵀ with eigenvalues descending and eigenvectors in the
+/// COLUMNS of `eigvecs`. O(n³) per sweep; intended for the small (≤ 2m)
+/// Gram matrices of the sketch, not for d×d state.
+void SymmetricEigen(const Matrix& a, Matrix* eigvecs, Vector* eigvals);
+
+class FrequentDirections {
+ public:
+  FrequentDirections(std::size_t dim, std::size_t sketch_size);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t sketch_size() const { return m_; }
+
+  /// Folds one row into the stream. Triggers a shrink once m rows have
+  /// buffered since the last one.
+  void Append(std::span<const double> row);
+
+  /// Compresses any buffered rows into the sketch now (epoch boundary /
+  /// pre-read flush). No-op when nothing is buffered.
+  void ForceShrink();
+
+  /// Retained orthonormal directions; only the first rank() rows are
+  /// valid. Rows appended since the last shrink are NOT reflected.
+  const Matrix& directions() const { return v_; }
+  /// Squared weights s²ᵢ matching directions() rows.
+  std::span<const double> weights_sq() const {
+    return {s2_.span().data(), rank_};
+  }
+  std::size_t rank() const { return rank_; }
+
+  /// Rows buffered since the last shrink (not yet visible to readers).
+  std::size_t buffered_rows() const { return buffer_count_; }
+
+  std::int64_t num_shrinks() const { return num_shrinks_; }
+  std::int64_t num_appends() const { return num_appends_; }
+
+  std::size_t MemoryBytes() const {
+    return v_.MemoryBytes() + buffer_.MemoryBytes() + s2_.MemoryBytes();
+  }
+
+ private:
+  void Shrink();
+
+  std::size_t dim_;
+  std::size_t m_;
+  Matrix v_;       // m × d; first rank_ rows orthonormal.
+  Vector s2_;      // m; first rank_ entries valid.
+  std::size_t rank_ = 0;
+  Matrix buffer_;  // m × d raw rows awaiting the next shrink.
+  std::size_t buffer_count_ = 0;
+  std::int64_t num_shrinks_ = 0;
+  std::int64_t num_appends_ = 0;
+};
+
+}  // namespace fasea
+
+#endif  // FASEA_LINALG_FREQUENT_DIRECTIONS_H_

@@ -1,6 +1,7 @@
 #include "linalg/sherman_morrison.h"
 
 #include "linalg/cholesky.h"
+#include "linalg/kernels.h"
 
 namespace fasea {
 
@@ -41,6 +42,18 @@ void SymmetricInverse::RankOneUpdate(std::span<const double> x) {
   if (refactor_every_ > 0 && num_updates_ % refactor_every_ == 0) {
     Refactorize();
   }
+}
+
+void SymmetricInverse::ApplyBlock(const Matrix& x_block) {
+  FASEA_CHECK(x_block.cols() == dim());
+  if (x_block.rows() == 0) return;
+  TransposeInto(x_block, &block_t_);
+  GemmAccumulate(block_t_, x_block, &y_);
+  num_updates_ += static_cast<std::int64_t>(x_block.rows());
+  // The exact re-derivation IS the epoch boundary: the inverse is never
+  // incrementally approximated across a block, so the periodic cadence
+  // does not apply here.
+  Refactorize();
 }
 
 Vector SymmetricInverse::Solve(const Vector& rhs) const {

@@ -46,6 +46,14 @@ class SymmetricInverse {
   /// Applies Y ← Y + x xᵀ and updates the inverse in O(d²).
   void RankOneUpdate(std::span<const double> x);
 
+  /// Applies Y ← Y + XᵀX for a k×d block of contexts as one blocked GEMM,
+  /// then re-derives the inverse exactly (the epoch boundary of the
+  /// rank-k learner). Amortized over k observations this is cheaper than
+  /// k Sherman–Morrison updates once k approaches d, and the exact
+  /// re-factorization means a block application never accumulates
+  /// incremental drift. Counts as `x_block.rows()` updates.
+  void ApplyBlock(const Matrix& x_block);
+
   /// Solves Y a = rhs using the maintained inverse (O(d²)).
   Vector Solve(const Vector& rhs) const;
 
@@ -83,13 +91,15 @@ class SymmetricInverse {
   }
 
   std::size_t MemoryBytes() const {
-    return y_.MemoryBytes() + y_inv_.MemoryBytes() + work_.MemoryBytes();
+    return y_.MemoryBytes() + y_inv_.MemoryBytes() + work_.MemoryBytes() +
+           block_t_.MemoryBytes();
   }
 
  private:
   Matrix y_;
   Matrix y_inv_;
-  Vector work_;  // Scratch for Y⁻¹ x.
+  Vector work_;           // Scratch for Y⁻¹ x.
+  mutable Matrix block_t_;  // Scratch: Xᵀ for ApplyBlock.
   std::int64_t refactor_every_;
   std::int64_t num_updates_ = 0;
   std::int64_t num_refactorizations_ = 0;

@@ -12,12 +12,26 @@
 
 namespace fasea {
 
+class ContextSource;
+
 /// Row v holds x_{t,v}. The paper requires ‖x_{t,v}‖ ≤ 1 for every event.
 using ContextMatrix = Matrix;
 
 struct RoundContext {
   ContextMatrix contexts;          // |V| × d.
   std::int64_t user_capacity = 0;  // c_u ≥ 1.
+
+  /// Bounded-scale rounds: when the per-event contexts are static for the
+  /// whole horizon, a provider may leave `contexts` EMPTY (0 rows) and
+  /// set this instead. Policies then materialize only the rows their
+  /// lazy top-k scoring actually touches, through their frequency-
+  /// partitioned ContextCache (context_cache.h), so propose cost stops
+  /// being Θ(|V|·d). The pointee must outlive the round.
+  const ContextSource* source = nullptr;
+
+  /// True when this round carries a lazy source instead of a dense
+  /// context matrix.
+  bool IsLazy() const { return contexts.rows() == 0 && source != nullptr; }
 
   /// Identity of the arriving user. The base FASEA setting treats all
   /// arrivals as sharing one θ (user_id stays 0); the Remark 1 extension

@@ -46,7 +46,11 @@ class FeedbackModel {
 
 /// The linear-payoff ground truth of Definition 2: each arranged event is
 /// accepted independently with probability clamp(x_{t,v}ᵀ θ, 0, 1).
-class LinearFeedbackModel final : public FeedbackModel {
+/// Derivable: Sample dispatches through the virtual ExpectedReward, so a
+/// subclass that overrides only the expectation (e.g. datagen's
+/// static-context model, which ignores the per-round matrix) inherits
+/// bit-identical Bernoulli draws.
+class LinearFeedbackModel : public FeedbackModel {
  public:
   explicit LinearFeedbackModel(Vector theta) : theta_(std::move(theta)) {}
 

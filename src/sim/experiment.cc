@@ -13,6 +13,9 @@
 namespace fasea {
 
 SimulationResult RunSyntheticExperiment(const SyntheticExperiment& exp) {
+  // Kendall checkpoints call EstimateRewards over the round's dense
+  // context matrix, which lazy rounds don't carry.
+  FASEA_CHECK(!(exp.data.lazy_contexts && exp.compute_kendall));
   auto world = SyntheticWorld::Create(exp.data);
   FASEA_CHECK(world.ok());
 

@@ -1,0 +1,174 @@
+// FrequentDirections sketch + the Jacobi eigensolver behind it:
+//  * SymmetricEigen returns descending eigenvalues with orthonormal
+//    eigenvectors that reconstruct the input.
+//  * The FD guarantee (Liberty 2013): for every unit u,
+//    0 <= u'(X'X)u - u'(V'S²V)u <= ||X||_F² / m.
+//  * sketch_size >= total rows is lossless (delta = 0).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/frequent_directions.h"
+#include "linalg/kernels.h"
+#include "rng/distributions.h"
+#include "rng/pcg64.h"
+
+namespace fasea {
+namespace {
+
+Matrix RandomRows(std::size_t n, std::size_t d, Pcg64& rng) {
+  Matrix m(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    double norm_sq = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      m(i, j) = StandardNormal(rng);
+      norm_sq += m(i, j) * m(i, j);
+    }
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (std::size_t j = 0; j < d; ++j) m(i, j) *= inv;
+  }
+  return m;
+}
+
+/// Dense Gram matrix G = X'X.
+Matrix Gram(const Matrix& x) {
+  Matrix xt;
+  TransposeInto(x, &xt);
+  Matrix g(x.cols(), x.cols());
+  Gemm(xt, x, &g);
+  return g;
+}
+
+/// u' G u for the quadratic-form comparisons.
+double QuadForm(const Matrix& g, std::span<const double> u) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    total += u[i] * Dot(g.Row(i), u);
+  }
+  return total;
+}
+
+/// The sketch's Gram approximation V'S²V as a dense matrix.
+Matrix SketchGram(const FrequentDirections& fd, std::size_t dim) {
+  Matrix g(dim, dim);
+  const Matrix& v = fd.directions();
+  std::span<const double> s2 = fd.weights_sq();
+  for (std::size_t k = 0; k < fd.rank(); ++k) {
+    std::span<const double> row = v.Row(k);
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        g(i, j) += s2[k] * row[i] * row[j];
+      }
+    }
+  }
+  return g;
+}
+
+TEST(SymmetricEigenTest, ReconstructsInputWithOrthonormalVectors) {
+  Pcg64 rng(31);
+  const std::size_t d = 9;
+  const Matrix x = RandomRows(40, d, rng);
+  const Matrix a = Gram(x);
+
+  Matrix w;
+  Vector e;
+  SymmetricEigen(a, &w, &e);
+  ASSERT_EQ(e.size(), d);
+
+  // Descending eigenvalues, all >= 0 for a Gram matrix.
+  for (std::size_t i = 1; i < d; ++i) EXPECT_GE(e[i - 1], e[i]);
+  EXPECT_GE(e[d - 1], -1e-10);
+
+  // Columns orthonormal: W'W = I.
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < d; ++k) dot += w(k, i) * w(k, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-10) << i << "," << j;
+    }
+  }
+
+  // A = W diag(e) W'.
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < d; ++k) sum += w(i, k) * e[k] * w(j, k);
+      EXPECT_NEAR(sum, a(i, j), 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(FrequentDirectionsTest, SatisfiesTheCovarianceErrorBound) {
+  Pcg64 rng(32);
+  const std::size_t d = 16;
+  const std::size_t m = 6;
+  const std::size_t n = 400;
+  const Matrix x = RandomRows(n, d, rng);
+
+  FrequentDirections fd(d, m);
+  double frob_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    fd.Append(x.Row(i));
+    frob_sq += Dot(x.Row(i), x.Row(i));
+  }
+  fd.ForceShrink();
+  EXPECT_LE(fd.rank(), m);
+  EXPECT_GT(fd.num_shrinks(), 0);
+  EXPECT_EQ(fd.num_appends(), static_cast<std::int64_t>(n));
+
+  const Matrix exact = Gram(x);
+  const Matrix approx = SketchGram(fd, d);
+  const double bound = frob_sq / static_cast<double>(m);
+  // Probe the Loewner ordering along random unit directions: the exact
+  // Gram dominates the sketch, by at most ||X||_F²/m.
+  Vector u(d);
+  for (int trial = 0; trial < 50; ++trial) {
+    double norm_sq = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      u[j] = StandardNormal(rng);
+      norm_sq += u[j] * u[j];
+    }
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (std::size_t j = 0; j < d; ++j) u[j] *= inv;
+    const double gap = QuadForm(exact, u.span()) - QuadForm(approx, u.span());
+    EXPECT_GE(gap, -1e-8) << trial;
+    EXPECT_LE(gap, bound + 1e-8) << trial;
+  }
+}
+
+TEST(FrequentDirectionsTest, FullSizeSketchIsLossless) {
+  Pcg64 rng(33);
+  const std::size_t d = 8;
+  const std::size_t n = 10;
+  const Matrix x = RandomRows(n, d, rng);
+
+  // m >= n: every shrink sees total <= m rows, so delta = 0 and the
+  // sketch preserves the Gram matrix exactly (up to eigensolve rounding).
+  FrequentDirections fd(d, /*sketch_size=*/12);
+  for (std::size_t i = 0; i < n; ++i) fd.Append(x.Row(i));
+  fd.ForceShrink();
+
+  const Matrix exact = Gram(x);
+  const Matrix approx = SketchGram(fd, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      EXPECT_NEAR(approx(i, j), exact(i, j), 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(FrequentDirectionsTest, MemoryStaysBounded) {
+  Pcg64 rng(34);
+  const std::size_t d = 32;
+  const std::size_t m = 8;
+  FrequentDirections fd(d, m);
+  const Matrix x = RandomRows(2000, d, rng);
+  for (std::size_t i = 0; i < x.rows(); ++i) fd.Append(x.Row(i));
+  // O(m·d) state: far below the dense d×d Gram it replaces — the whole
+  // point of the sketch mode's memory contract.
+  EXPECT_LT(fd.MemoryBytes(), 4 * (2 * m) * d * sizeof(double) + 4096);
+}
+
+}  // namespace
+}  // namespace fasea

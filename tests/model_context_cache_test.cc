@@ -1,0 +1,155 @@
+// ContextCache: the frequency-partitioned hot/cold cache over a static
+// context source.
+//  * Rows served from hot, stash, or dense are bit-identical to what the
+//    source materializes.
+//  * The hot partition never exceeds its budget; promotions of hotter
+//    cold events evict the coldest resident and are counted.
+//  * Cold rows stashed during a round stay addressable until the next
+//    BeginRound; Dense() materializes once and turns every later access
+//    into a hit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/context_cache.h"
+
+namespace fasea {
+namespace {
+
+/// Deterministic source: row v is [v+1, v+2, ..., v+d] / norm.
+class TestSource final : public ContextSource {
+ public:
+  TestSource(std::size_t num_events, std::size_t dim)
+      : num_events_(num_events), dim_(dim) {}
+
+  std::size_t num_events() const override { return num_events_; }
+  std::size_t dim() const override { return dim_; }
+  void Materialize(EventId v, std::span<double> row) const override {
+    double norm_sq = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      row[j] = static_cast<double>(v + j + 1);
+      norm_sq += row[j] * row[j];
+    }
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (std::size_t j = 0; j < dim_; ++j) row[j] *= inv;
+  }
+
+ private:
+  std::size_t num_events_;
+  std::size_t dim_;
+};
+
+std::vector<double> MaterializedRow(const ContextSource& source, EventId v) {
+  std::vector<double> row(source.dim());
+  source.Materialize(v, row);
+  return row;
+}
+
+void ExpectRowEquals(std::span<const double> got,
+                     const std::vector<double>& want, EventId v) {
+  ASSERT_EQ(got.size(), want.size()) << v;
+  for (std::size_t j = 0; j < want.size(); ++j) {
+    EXPECT_EQ(got[j], want[j]) << "event " << v << " dim " << j;
+  }
+}
+
+TEST(ContextCacheTest, ServesBitIdenticalRowsHotAndCold) {
+  TestSource source(20, 4);
+  ContextCache cache(&source, /*hot_budget=*/5);
+  cache.BeginRound();
+  // First touches fill the hot partition, then spill to the stash; every
+  // row must match the source exactly either way.
+  for (EventId v = 0; v < 20; ++v) {
+    ExpectRowEquals(cache.Row(v), MaterializedRow(source, v), v);
+  }
+  EXPECT_EQ(cache.hot_size(), 5u);
+  EXPECT_EQ(cache.misses(), 20);
+  EXPECT_EQ(cache.hits(), 0);
+
+  // Second pass within the round: hot rows and stashed rows both hit.
+  for (EventId v = 0; v < 20; ++v) {
+    ExpectRowEquals(cache.Row(v), MaterializedRow(source, v), v);
+  }
+  EXPECT_EQ(cache.hits(), 20);
+  EXPECT_EQ(cache.misses(), 20);
+}
+
+TEST(ContextCacheTest, StashResetsEachRoundHotPersists) {
+  TestSource source(10, 3);
+  ContextCache cache(&source, /*hot_budget=*/2);
+  cache.BeginRound();
+  cache.Row(0);  // Hot.
+  cache.Row(1);  // Hot.
+  cache.Row(7);  // Stash.
+  EXPECT_EQ(cache.misses(), 3);
+
+  cache.BeginRound();
+  cache.Row(0);
+  cache.Row(1);
+  EXPECT_EQ(cache.hits(), 2);  // Hot survives the round boundary.
+  cache.Row(7);
+  // 7's single access does not beat a resident's count; it re-misses.
+  EXPECT_EQ(cache.misses(), 4);
+}
+
+TEST(ContextCacheTest, HotterColdEventsArePromotedWithEviction) {
+  TestSource source(8, 3);
+  ContextCache cache(&source, /*hot_budget=*/2);
+  // Round 1: events 0 and 1 claim the hot slots with one access each.
+  cache.BeginRound();
+  cache.Row(0);
+  cache.Row(1);
+  // Event 5 becomes much hotter than either resident.
+  for (int round = 0; round < 3; ++round) {
+    cache.BeginRound();
+    cache.Row(5);
+    cache.Row(5);
+  }
+  EXPECT_GT(cache.evictions(), 0);
+  // After promotion, 5 serves from hot: a fresh round's access hits.
+  cache.BeginRound();
+  const std::int64_t misses_before = cache.misses();
+  ExpectRowEquals(cache.Row(5), MaterializedRow(source, 5), 5);
+  EXPECT_EQ(cache.misses(), misses_before);
+  EXPECT_EQ(cache.hot_size(), 2u);  // Budget never exceeded.
+}
+
+TEST(ContextCacheTest, DenseMaterializesOnceAndServesForever) {
+  TestSource source(12, 5);
+  ContextCache cache(&source, /*hot_budget=*/4);
+  cache.BeginRound();
+  const ContextMatrix& dense = cache.Dense();
+  ASSERT_EQ(dense.rows(), 12u);
+  ASSERT_EQ(dense.cols(), 5u);
+  for (EventId v = 0; v < 12; ++v) {
+    ExpectRowEquals(dense.Row(v), MaterializedRow(source, v), v);
+  }
+  EXPECT_TRUE(cache.dense_built());
+  const std::int64_t misses_after_dense = cache.misses();
+
+  // Every later Row() in any round is a hit against the dense copy.
+  cache.BeginRound();
+  for (EventId v = 0; v < 12; ++v) {
+    ExpectRowEquals(cache.Row(v), MaterializedRow(source, v), v);
+  }
+  EXPECT_EQ(cache.misses(), misses_after_dense);
+  // And Dense() itself is served from the copy, not re-materialized.
+  EXPECT_EQ(&cache.Dense(), &dense);
+}
+
+TEST(ContextCacheTest, BudgetClampsToEventCount) {
+  TestSource source(3, 2);
+  ContextCache cache(&source, /*hot_budget=*/100);
+  EXPECT_EQ(cache.hot_budget(), 3u);
+  cache.BeginRound();
+  for (EventId v = 0; v < 3; ++v) cache.Row(v);
+  cache.BeginRound();
+  for (EventId v = 0; v < 3; ++v) cache.Row(v);
+  // Everything fits: no evictions ever.
+  EXPECT_EQ(cache.evictions(), 0);
+  EXPECT_EQ(cache.hits(), 3);
+}
+
+}  // namespace
+}  // namespace fasea

@@ -17,6 +17,10 @@
 #                                   # a decision log (IPS self-check)
 #   tools/check.sh --load-smoke     # also drive bench/load_service through
 #                                   # the sequential and batched protocols
+#   tools/check.sh --scale-smoke    # also run the bounded-scale parity
+#                                   # bench (lazy-vs-eager, unit-epoch) and
+#                                   # small tab5/tab6 bounded-scale slices;
+#                                   # the exit code is the parity verdict
 #
 # The `soak` ctest label (the full chaos matrix) is excluded from the
 # plain and sanitizer tiers; --chaos-smoke opts into it explicitly.
@@ -34,6 +38,7 @@ chaos_smoke=0
 shard_smoke=0
 replay_smoke=0
 load_smoke=0
+scale_smoke=0
 native=OFF
 for arg in "$@"; do
   case "$arg" in
@@ -43,11 +48,13 @@ for arg in "$@"; do
     --shard-smoke) shard_smoke=1 ;;
     --replay-smoke) replay_smoke=1 ;;
     --load-smoke) load_smoke=1 ;;
+    --scale-smoke) scale_smoke=1 ;;
     --native) native=ON ;;
     *)
       echo "check.sh: unknown argument '$arg'" \
            "(supported: --metrics-smoke --perf-smoke --chaos-smoke" \
-           "--shard-smoke --replay-smoke --load-smoke --native)" >&2
+           "--shard-smoke --replay-smoke --load-smoke --scale-smoke" \
+           "--native)" >&2
       exit 2
       ;;
   esac
@@ -182,6 +189,24 @@ if [[ "$load_smoke" -eq 1 ]]; then
     grep -Eq 'invariant violations +0' "$root/build/load_smoke.out"
   done
   echo "load smoke: both protocols clean"
+fi
+
+if [[ "$scale_smoke" -eq 1 ]]; then
+  echo
+  echo "== scale smoke: lazy/epoch parity + bounded-scale bench slices =="
+  # micro_scale --parity reruns every policy lazy-vs-eager and
+  # unit-epoch-vs-exact and exits non-zero on the first trajectory that
+  # is not bit-identical — under `set -e` its exit code is the verdict.
+  "$root/build/bench/micro_scale" --parity
+  # A tiny slice of the bounded-scale tab5/tab6 sections (|V| = 10000,
+  # d up to 200) proves the scale configurations run end to end.
+  FASEA_SCALE=0.001 "$root/build/bench/tab5_scal_v" \
+    >"$root/build/scale_smoke_tab5.out"
+  FASEA_SCALE=0.001 "$root/build/bench/tab6_scal_d" \
+    >"$root/build/scale_smoke_tab6.out"
+  grep -q "Bounded scale" "$root/build/scale_smoke_tab5.out"
+  grep -q "Bounded scale" "$root/build/scale_smoke_tab6.out"
+  echo "scale smoke: parity clean, bounded-scale slices ran"
 fi
 
 if [[ "$metrics_smoke" -eq 1 ]]; then
