@@ -30,8 +30,8 @@ int main(int argc, char** argv) {
 
   FlagSet flags;
   flags.DefineString("schedules", "clean,flaky-appends,dying-disk,torn-tail",
-                     "Comma-separated named fault schedules (see "
-                     "--list_schedules).");
+                     "Comma-separated fault schedules: named (see "
+                     "--list_schedules) or inline 'key=value;...' specs.");
   flags.DefineString("threads", "2,4",
                      "Comma-separated closed-loop worker counts.");
   flags.DefineInt("rounds", 200, "Rounds served per cycle.");
@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   Stopwatch wall;
   wall.Start();
   for (const std::string& name : schedule_names) {
-    auto schedule = NamedFaultSchedule(StripAsciiWhitespace(name));
+    auto schedule = ResolveFaultSchedule(StripAsciiWhitespace(name));
     if (!schedule.ok()) {
       std::fprintf(stderr, "chaos_soak: %s\n",
                    schedule.status().ToString().c_str());

@@ -51,7 +51,12 @@ class Deadline {
   /// Nanoseconds until expiry (<= 0 once expired). Infinite deadlines
   /// report INT64_MAX.
   std::int64_t RemainingNanos() const {
-    return infinite() ? kInfinite : nanos_ - Stopwatch::NowNanos();
+    return RemainingAtNanos(Stopwatch::NowNanos());
+  }
+  /// Same, against a caller-supplied clock reading — lets deadlines run
+  /// on a logical clock (the simulated network) as well as the wall.
+  constexpr std::int64_t RemainingAtNanos(std::int64_t now_nanos) const {
+    return infinite() ? kInfinite : nanos_ - now_nanos;
   }
 
   friend constexpr bool operator==(Deadline a, Deadline b) {

@@ -57,7 +57,15 @@ Status RetryPolicy::Run(const std::function<Status()>& op,
       attempts_histogram_->Record(attempts_);
       return status;
     }
-    const std::int64_t delay = NextDelayNanos();
+    std::int64_t delay = NextDelayNanos();
+    // Never oversleep past the caller's deadline: a jittered delay longer
+    // than the remainder would burn the whole budget sleeping and wake up
+    // only to fail. Sleep at most the remainder (the next ShouldRetry
+    // then observes the expiry and stops).
+    if (!deadline.infinite()) {
+      delay = std::min(delay, std::max<std::int64_t>(
+                                  0, deadline.RemainingNanos()));
+    }
     if (sleep) {
       sleep(delay);
     } else {

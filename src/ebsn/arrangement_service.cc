@@ -951,6 +951,36 @@ Status ArrangementService::RestoreInteraction(
   return Status::Ok();
 }
 
+Status ArrangementService::RestoreMigratedCapacity(EventId event,
+                                                   std::int64_t consumed) {
+  std::lock_guard<std::timed_mutex> lock(mu_);
+  if (pending_) {
+    return FailedPreconditionError(
+        "cannot restore migrated capacity while a round is awaiting "
+        "feedback");
+  }
+  if (event >= instance_->num_events()) {
+    return InvalidArgumentError(StrFormat(
+        "migrated event %u is outside the instance (|V| = %zu)", event,
+        instance_->num_events()));
+  }
+  if (consumed < 0 || consumed > state_.remaining(event)) {
+    return DataLossError(StrFormat(
+        "migrated event %u claims %lld consumed seats but %lld remain — "
+        "migration record and instance disagree",
+        event, static_cast<long long>(consumed),
+        static_cast<long long>(state_.remaining(event))));
+  }
+  for (std::int64_t i = 0; i < consumed; ++i) {
+    state_.ConsumeOne(event);
+    if (batching_enabled_.load(std::memory_order_acquire)) {
+      effective_state_.ConsumeOne(event);
+    }
+  }
+  PublishSnapshotLocked();
+  return Status::Ok();
+}
+
 Status ArrangementService::AbsorbPeerObservations(
     const std::vector<PeerObservation>& delta) {
   std::lock_guard<std::timed_mutex> lock(mu_);

@@ -367,6 +367,14 @@ class ArrangementService {
   /// Used by RecoverArrangementService.
   Status RestoreInteraction(const InteractionRecord& record, bool learn);
 
+  /// Rebalance hook: folds a migrated event's consumed-so-far capacity
+  /// into the state without a log record or a round-counter step — the
+  /// consumption happened on another shard under a previous ownership
+  /// epoch, and its per-round history stays in that shard's WAL. Fails
+  /// (nothing changed) when the event is unknown, `consumed` is
+  /// negative, or it exceeds the event's remaining capacity.
+  Status RestoreMigratedCapacity(EventId event, std::int64_t consumed);
+
   /// Unguarded views — require external quiescence (see the thread-safety
   /// note above).
   const PlatformState& state() const { return state_; }

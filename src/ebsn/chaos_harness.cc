@@ -15,6 +15,7 @@
 #include "ebsn/arrangement_service.h"
 #include "ebsn/recovery_manager.h"
 #include "ebsn/sharded_service.h"
+#include "net/network.h"
 #include "rng/seed.h"
 
 namespace fasea {
@@ -545,6 +546,10 @@ struct ShardedRun {
   std::vector<RoundContext> ring;
   std::uint64_t policy_seed = 0;
 
+  /// Non-null only in kPartition mode: the simulated fabric every
+  /// protocol step travels over (it outlives the service).
+  SimulatedNetwork* net = nullptr;
+
   // Truth keyed by txn. Transaction ids are never reused, so a round
   // lost to a crash simply leaves a truth entry with no recovered
   // counterpart (allowed — it was acked non-durably), and its re-serve
@@ -740,6 +745,15 @@ ArrivalOutcome DriveOneArrival(ShardedRun* run, int cycle,
       TickChaosClock();
       return run->stop ? ArrivalOutcome::kFailed : ArrivalOutcome::kCrashed;
     }
+    if (run->net != nullptr &&
+        st.code() == StatusCode::kFailedPrecondition) {
+      // The lease sweep force-aborted this stage (presumed abort) while
+      // the fabric misbehaved: the round is gone, not wrong — its
+      // capacity was released and the caller re-serves under a new txn.
+      ++run->report.force_aborted_rounds;
+      TickChaosClock();
+      return ArrivalOutcome::kSkipped;
+    }
     if (!IsRetryable(st)) {
       run->Violation(StrFormat("cycle %d: feedback failed non-retryably: %s",
                                cycle, st.ToString().c_str()));
@@ -765,6 +779,96 @@ ArrivalOutcome DriveOneArrival(ShardedRun* run, int cycle,
   TickChaosClock();
   if (out != nullptr) *out = result;
   return ArrivalOutcome::kAcked;
+}
+
+/// One transport step on the logical clock: tick the fabric, deliver
+/// due messages, redeliver parked portions, sweep leases. No-op
+/// outside kPartition mode.
+bool PumpTransportOnce(ShardedRun* run, int cycle) {
+  if (run->net == nullptr) return true;
+  run->net->Tick();
+  if (Status st = run->service->PumpTransport(); !st.ok()) {
+    run->Violation(StrFormat("cycle %d: PumpTransport failed: %s", cycle,
+                             st.ToString().c_str()));
+    return false;
+  }
+  return true;
+}
+
+/// Invariant 8: after the partitions heal (fault dice disarmed),
+/// pumping must clear every parked portion and open reservation within
+/// the budget — zero stuck transactions.
+bool DrainTransport(ShardedRun* run, int cycle) {
+  const std::int64_t budget = run->options->heal_budget_ticks;
+  for (std::int64_t t = 0; t < budget; ++t) {
+    if (run->service->UndeliveredPortions() == 0 &&
+        run->service->OpenReservations() == 0) {
+      return true;
+    }
+    if (!PumpTransportOnce(run, cycle)) return false;
+  }
+  run->Violation(StrFormat(
+      "cycle %d: stuck transactions — %lld parked portion(s) and %lld "
+      "open reservation(s) survived a %lld-tick drain after the heal",
+      cycle, static_cast<long long>(run->service->UndeliveredPortions()),
+      static_cast<long long>(run->service->OpenReservations()),
+      static_cast<long long>(budget)));
+  return false;
+}
+
+/// The rebalance drill: one growth attempt with a crash injected at
+/// protocol step cycle%3 (after-drain / mid-transfer / pre-flip) that
+/// must abort cleanly, then the real growth, then invariant 9 —
+/// every event's new owner holds exactly what the drain snapshot
+/// recorded, superseding any partial MIGRATE frames the crash left.
+bool RebalanceDrill(ShardedRun* run, int cycle) {
+  ShardedArrangementService& service = *run->service;
+  const int target = service.num_shards() + 1;
+  // The drain restarts every shard, destroying breakers un-harvested.
+  for (int s = 0; s < service.num_shards(); ++s) HarvestBreaker(run, s);
+  const int crash_step = cycle % 3;
+  service.set_rebalance_crash_hook(
+      [crash_step](int step) { return step == crash_step; });
+  auto crashed = service.Rebalance(target);
+  service.set_rebalance_crash_hook(nullptr);
+  if (crashed.ok()) {
+    run->Violation(StrFormat(
+        "cycle %d: the injected rebalance crash at step %d never fired",
+        cycle, crash_step));
+    return false;
+  }
+  if (service.num_shards() != target - 1) {
+    run->Violation(StrFormat(
+        "cycle %d: the aborted rebalance left %d shards, expected %d",
+        cycle, service.num_shards(), target - 1));
+    return false;
+  }
+  auto report = service.Rebalance(target);
+  if (!report.ok()) {
+    run->Violation(StrFormat("cycle %d: rebalance retry failed: %s",
+                             cycle, report.status().ToString().c_str()));
+    return false;
+  }
+  // Invariant 9: capacity conservation against the drain snapshot —
+  // nothing leaks, nothing doubles, wherever the first attempt died.
+  const ProblemInstance& instance = run->world->instance();
+  const ShardRouter& router = service.router();
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    const int owner = router.OwnerShard(v);
+    const ArrangementService* inner = service.shard_service(owner);
+    const std::int64_t got =
+        inner == nullptr ? -1
+                         : inner->state().remaining(router.LocalId(v));
+    if (got != report->remaining_after_drain[v]) {
+      run->Violation(StrFormat(
+          "cycle %d: after the grow, event %u on shard %d holds %lld "
+          "capacity but the drain snapshot recorded %lld",
+          cycle, v, owner, static_cast<long long>(got),
+          static_cast<long long>(report->remaining_after_drain[v])));
+      return false;
+    }
+  }
+  return true;
 }
 
 /// The faulted drive of one cycle, with the kill mode's crash woven in
@@ -807,15 +911,16 @@ void DriveShardedCycle(ShardedRun* run, int cycle) {
       }
     } else if (options.kill_mode == ShardKillMode::kAll && i == crash_at) {
       run->env->DisarmAll();
-      for (int s = 0; s < options.shards; ++s) {
+      const int n = run->service->num_shards();
+      for (int s = 0; s < n; ++s) {
         if (!KillOneShard(run, s, cycle)) return;
       }
-      for (int s = 0; s < options.shards; ++s) {
+      for (int s = 0; s < n; ++s) {
         if (!RecoverOneShard(run, s, cycle)) return;
       }
       CheckNoInDoubtSurvives(run, cycle, "after an all-shard crash");
       CheckShardCapacities(run, "mid-cycle recovered", cycle);
-      for (int s = 0; s < options.shards; ++s) {
+      for (int s = 0; s < n; ++s) {
         if (Status st = run->service->AttachShardWal(s); !st.ok()) {
           run->Violation(StrFormat(
               "cycle %d: AttachShardWal(%d) failed: %s", cycle, s,
@@ -824,6 +929,23 @@ void DriveShardedCycle(ShardedRun* run, int cycle) {
         }
       }
       RearmFaults(run, cycle, /*lane=*/4);
+    } else if (options.kill_mode == ShardKillMode::kPartition) {
+      if (i == kill_at) {
+        if (cycle % 2 == 0) {
+          run->net->PartitionNode(victim);  // Full isolation.
+        } else {
+          run->net->BlockLink(ShardedArrangementService::kGatewayNode,
+                              victim);  // One-way: requests die, acks ok.
+        }
+        ++run->report.partitions_injected;
+      } else if (i == recover_at) {
+        run->net->HealAll();
+      }
+    } else if (options.kill_mode == ShardKillMode::kRebalance &&
+               i == kill_at) {
+      run->env->DisarmAll();
+      if (!RebalanceDrill(run, cycle)) return;
+      RearmFaults(run, cycle, /*lane=*/5);
     }
     const bool arm = crash_pending && i >= crash_at;
     const ArrivalOutcome outcome =
@@ -834,6 +956,7 @@ void DriveShardedCycle(ShardedRun* run, int cycle) {
     if (outcome == ArrivalOutcome::kSkipped && arm) {
       run->hook_armed = false;  // Serve never happened; re-arm next round.
     }
+    if (!PumpTransportOnce(run, cycle)) return;
   }
   if (crash_pending && !run->stop) {
     run->Violation(StrFormat(
@@ -857,9 +980,10 @@ void DriveShardsUntilReclosed(ShardedRun* run, int cycle) {
         DriveOneArrival(run, cycle, static_cast<std::size_t>(i), &fb_rng,
                         &retry, /*arm_hook=*/false, &result);
     if (outcome == ArrivalOutcome::kFailed) return;
+    if (!PumpTransportOnce(run, cycle)) return;
     if (outcome != ArrivalOutcome::kAcked || !result.durable) continue;
     bool all_closed = true;
-    for (int s = 0; s < options.shards; ++s) {
+    for (int s = 0; s < run->service->num_shards(); ++s) {
       const CircuitBreaker* breaker = run->service->shard_breaker(s);
       if (breaker != nullptr &&
           breaker->state() != CircuitBreaker::State::kClosed) {
@@ -879,14 +1003,14 @@ void DriveShardsUntilReclosed(ShardedRun* run, int cycle) {
 /// alone, then check invariants 1–5 and 7 (6 was the re-close drive).
 void CrashRecoverAllAndVerify(ShardedRun* run, int cycle) {
   ShardedArrangementService& service = *run->service;
-  const ShardedChaosOptions& options = *run->options;
+  const int num_shards = service.num_shards();  // Grows under kRebalance.
   CheckShardCapacities(run, "live", cycle);
 
-  for (int s = 0; s < options.shards; ++s) {
+  for (int s = 0; s < num_shards; ++s) {
     if (!service.shard_alive(s)) continue;
     if (!KillOneShard(run, s, cycle)) return;
   }
-  for (int s = 0; s < options.shards; ++s) {
+  for (int s = 0; s < num_shards; ++s) {
     if (!RecoverOneShard(run, s, cycle)) return;
   }
   CheckShardCapacities(run, "recovered", cycle);
@@ -894,7 +1018,7 @@ void CrashRecoverAllAndVerify(ShardedRun* run, int cycle) {
 
   // The union of the shards' recovered decision ledgers.
   std::map<std::uint64_t, InteractionRecord> unioned;
-  for (int s = 0; s < options.shards; ++s) {
+  for (int s = 0; s < num_shards; ++s) {
     for (auto& [txn, record] : service.Decisions(s)) {
       unioned.emplace(txn, std::move(record));
     }
@@ -1058,28 +1182,74 @@ std::string ShardedChaosReport::ToString() const {
                    static_cast<long long>(bytes_truncated));
   out += StrFormat("learner merges:           %lld\n",
                    static_cast<long long>(merges));
+  if (messages_sent > 0 || partitions_injected > 0) {
+    out += StrFormat("messages sent/drop/dup:   %lld/%lld/%lld\n",
+                     static_cast<long long>(messages_sent),
+                     static_cast<long long>(messages_dropped),
+                     static_cast<long long>(messages_duplicated));
+    out += StrFormat("dup suppressed:           %lld\n",
+                     static_cast<long long>(dup_suppressed));
+    out += StrFormat("net timeouts/retries:     %lld/%lld\n",
+                     static_cast<long long>(net_timeouts),
+                     static_cast<long long>(net_retries));
+    out += StrFormat("partitions injected:      %lld\n",
+                     static_cast<long long>(partitions_injected));
+    out += StrFormat("leases expired:           %lld\n",
+                     static_cast<long long>(leases_expired));
+    out += StrFormat("force-aborted stages:     %lld (%lld rounds)\n",
+                     static_cast<long long>(force_aborted_stages),
+                     static_cast<long long>(force_aborted_rounds));
+    out += StrFormat("redelivered portions:     %lld\n",
+                     static_cast<long long>(redelivered_portions));
+  }
+  if (rebalances > 0 || rebalances_aborted > 0) {
+    out += StrFormat("rebalances ok/aborted:    %lld/%lld\n",
+                     static_cast<long long>(rebalances),
+                     static_cast<long long>(rebalances_aborted));
+    out += StrFormat("events moved:             %lld\n",
+                     static_cast<long long>(events_moved));
+  }
   for (const std::string& violation : violations) {
     out += "VIOLATION: " + violation + "\n";
   }
   return out;
 }
 
-StatusOr<ShardKillMode> ParseShardKillMode(std::string_view name) {
+StatusOr<ShardKillMode> ParseKillMode(std::string_view name) {
   if (name == "one-shard") return ShardKillMode::kOneShard;
   if (name == "coordinator-mid-commit") {
     return ShardKillMode::kCoordinatorMidCommit;
   }
   if (name == "all") return ShardKillMode::kAll;
+  if (name == "partition") return ShardKillMode::kPartition;
+  if (name == "rebalance") return ShardKillMode::kRebalance;
   return InvalidArgumentError(StrFormat(
-      "unknown shard kill mode '%s' (try: one-shard, "
-      "coordinator-mid-commit, all)",
+      "unknown kill mode '%s' (try: one-shard, coordinator-mid-commit, "
+      "all, partition, rebalance)",
       std::string(name).c_str()));
+}
+
+StatusOr<ShardKillMode> ParseShardKillMode(std::string_view name) {
+  return ParseKillMode(name);
 }
 
 const std::vector<std::string_view>& ShardKillModeNames() {
   static const std::vector<std::string_view> kNames = {
-      "one-shard", "coordinator-mid-commit", "all"};
+      "one-shard", "coordinator-mid-commit", "all", "partition",
+      "rebalance"};
   return kNames;
+}
+
+StatusOr<FaultSchedule> ResolveFaultSchedule(std::string_view spec) {
+  auto named = NamedFaultSchedule(spec);
+  if (named.ok()) return named;
+  if (spec.find('=') == std::string_view::npos) return named.status();
+  auto parsed = FaultSchedule::Parse(spec);
+  if (parsed.ok()) return parsed;
+  return InvalidArgumentError(StrFormat(
+      "bad fault schedule '%s': not a named schedule and the inline "
+      "spec failed to parse (%s)",
+      std::string(spec).c_str(), parsed.status().ToString().c_str()));
 }
 
 StatusOr<ShardedChaosReport> RunShardedChaos(
@@ -1093,7 +1263,13 @@ StatusOr<ShardedChaosReport> RunShardedChaos(
         "sharded chaos: shards, cycles, and rounds_per_cycle must be >= 1");
   }
   FaultInjectionEnv env(Env::Default());
-  for (int s = 0; s < options.shards; ++s) {
+  // kRebalance grows the topology by one shard per cycle; those future
+  // shard directories must be fresh too.
+  const int max_shards =
+      options.shards + (options.kill_mode == ShardKillMode::kRebalance
+                            ? options.cycles
+                            : 0);
+  for (int s = 0; s < max_shards; ++s) {
     const std::string dir = ShardWalDirName(options.wal_dir, s);
     if (auto names = env.ListDir(dir); names.ok()) {
       for (const std::string& name : *names) {
@@ -1114,6 +1290,16 @@ StatusOr<ShardedChaosReport> RunShardedChaos(
   config.seed = DeriveSeed(options.seed, "sharded-world");
   auto world = SyntheticWorld::Create(config);
   if (!world.ok()) return world.status();
+
+  // The fabric for kPartition mode. Declared before the run so it
+  // outlives the service (servers unregister from it on destruction).
+  SimulatedNetwork net(DeriveSeed(options.seed, "sharded-net"));
+  NetFaultSchedule net_schedule;
+  if (options.kill_mode == ShardKillMode::kPartition) {
+    auto parsed = NetFaultSchedule::Parse(options.net_schedule);
+    if (!parsed.ok()) return parsed.status();
+    net_schedule = *parsed;
+  }
 
   ShardedRun run;
   run.options = &options;
@@ -1138,6 +1324,15 @@ StatusOr<ShardedChaosReport> RunShardedChaos(
     run.ring[i] =
         run.world->provider().NextRound(static_cast<std::int64_t>(i) + 1);
   }
+  if (options.kill_mode == ShardKillMode::kPartition) {
+    ShardTransportOptions topts;
+    topts.lease_ticks = options.lease_ticks;
+    if (Status st = run.service->ConfigureTransport(&net, topts);
+        !st.ok()) {
+      return st;
+    }
+    run.net = &net;
+  }
 
   DurabilityPolicy durability;
   durability.on_wal_error = DurabilityPolicy::OnWalError::kFailRound;
@@ -1154,9 +1349,23 @@ StatusOr<ShardedChaosReport> RunShardedChaos(
       return st;
     }
     RearmFaults(&run, cycle, /*lane=*/0);
+    if (run.net != nullptr) {
+      NetFaultSchedule cycle_faults = net_schedule;
+      cycle_faults.seed = DeriveSeed(options.seed, "sharded-net-faults",
+                                     static_cast<std::uint64_t>(cycle));
+      net.ApplySchedule(cycle_faults);
+    }
 
     DriveShardedCycle(&run, cycle);
     env.DisarmAll();
+    if (run.net != nullptr && !run.stop) {
+      // Heal whatever the cycle left partitioned, quiet the fault dice,
+      // and drain to zero stuck transactions (invariant 8) before the
+      // end-of-cycle crash drill.
+      net.HealAll();
+      net.DisarmFaults();
+      DrainTransport(&run, cycle);
+    }
     if (!run.stop) DriveShardsUntilReclosed(&run, cycle);
     if (run.stop) break;
 
@@ -1168,7 +1377,7 @@ StatusOr<ShardedChaosReport> RunShardedChaos(
   // Final telemetry sweep (per-shard counters survive kills; the
   // breakers were harvested at each destruction point, plus any still
   // alive now).
-  for (int s = 0; s < options.shards; ++s) {
+  for (int s = 0; s < run.service->num_shards(); ++s) {
     HarvestBreaker(&run, s);
     run.report.wal_reopens += run.service->ShardHealth(s).wal_reopens;
   }
@@ -1178,6 +1387,21 @@ StatusOr<ShardedChaosReport> RunShardedChaos(
   run.report.reservation_refusals = stats.reservation_refusals;
   run.report.merges = stats.merges;
   run.report.faults_injected = env.faults_injected();
+  run.report.leases_expired = stats.leases_expired;
+  run.report.force_aborted_stages = stats.force_aborted;
+  run.report.redelivered_portions = stats.redelivered_portions;
+  run.report.rebalances = stats.rebalances;
+  run.report.rebalances_aborted = stats.rebalances_aborted;
+  run.report.events_moved = stats.events_moved;
+  if (run.net != nullptr) {
+    const NetworkStats net_stats = net.stats();
+    run.report.messages_sent = net_stats.sent;
+    run.report.messages_dropped = net_stats.dropped;
+    run.report.messages_duplicated = net_stats.duplicated;
+    run.report.net_timeouts = run.service->TransportTimeouts();
+    run.report.net_retries = run.service->TransportRetries();
+    run.report.dup_suppressed = run.service->TransportDupSuppressed();
+  }
   run.report.ok = run.report.violations.empty() &&
                   run.report.cycles_run == options.cycles;
   return std::move(run.report);

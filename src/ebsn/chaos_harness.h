@@ -108,6 +108,12 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& options);
 StatusOr<FaultSchedule> NamedFaultSchedule(std::string_view name);
 const std::vector<std::string_view>& NamedFaultScheduleNames();
 
+/// Resolves `spec` as a named fault schedule, else — when it contains
+/// '=' — as an inline FaultSchedule spec. The one schedule parser
+/// shared by `fasea_cli chaos` and the soak drivers; errors name the
+/// bad value.
+StatusOr<FaultSchedule> ResolveFaultSchedule(std::string_view spec);
+
 // --- Sharded chaos -------------------------------------------------------
 //
 // RunShardedChaos drives a ShardedArrangementService the same way, plus
@@ -131,10 +137,17 @@ const std::vector<std::string_view>& NamedFaultScheduleNames();
 //      decisions say);
 //   5. remaining capacities never go negative, live or recovered;
 //   6. every per-shard breaker re-closes after faults are disarmed;
-//   7. no in-doubt reservation survives any recovery.
+//   7. no in-doubt reservation survives any recovery;
+//   8. (kPartition) after the partitions heal, pumping clears every
+//      parked portion and open reservation within the heal budget —
+//      zero stuck transactions;
+//   9. (kRebalance) after a grow — including one whose first attempt
+//      crashed mid-protocol — every event's new owner holds exactly
+//      the capacity the drain snapshot recorded.
 //
 // Runs are single-threaded and bit-reproducible per seed (kills fire at
-// fixed round indexes, the breakers tick on the logical clock).
+// fixed round indexes, the breakers tick on the logical clock, and the
+// simulated network's fault dice are re-derived per cycle).
 
 enum class ShardKillMode {
   /// Kill one shard mid-cycle (round-robin victim across cycles),
@@ -147,8 +160,24 @@ enum class ShardKillMode {
   kCoordinatorMidCommit,
   /// Kill every shard at once mid-cycle and recover them all.
   kAll,
+  /// Run over the message transport with drop/dup/reorder faults armed
+  /// cycle-long, and partition the round-robin victim mid-cycle (full
+  /// isolation on even cycles, a one-way gateway->victim cut on odd
+  /// ones). After the heal, draining must leave zero stuck
+  /// transactions (invariant 8).
+  kPartition,
+  /// Grow the topology by one shard mid-cycle: first with a crash
+  /// injected at protocol step cycle%3 (after-drain / mid-transfer /
+  /// pre-flip — the attempt must abort cleanly and leave the old
+  /// topology serving), then for real, with capacity conservation
+  /// audited against the drain snapshot (invariant 9).
+  kRebalance,
 };
 
+/// The one kill-mode parser shared by `fasea_cli chaos` and the chaos
+/// harnesses; errors name the bad value and list the valid modes.
+StatusOr<ShardKillMode> ParseKillMode(std::string_view name);
+/// Back-compat alias for ParseKillMode.
 StatusOr<ShardKillMode> ParseShardKillMode(std::string_view name);
 const std::vector<std::string_view>& ShardKillModeNames();
 
@@ -174,6 +203,16 @@ struct ShardedChaosOptions {
   /// spillover — and with it the two-phase protocol — fires constantly.
   std::size_t num_events = 12;
   std::size_t dim = 4;
+
+  /// kPartition only: NetFaultSchedule spec armed for the whole cycle
+  /// (the seed is re-derived per cycle, so runs stay reproducible).
+  std::string net_schedule =
+      "drop_rate=0.12;dup_rate=0.1;reorder_rate=0.1;jitter_ticks=2";
+  /// kPartition only: reservation/serve-stage lease, in network ticks.
+  std::int64_t lease_ticks = 48;
+  /// kPartition only: max pump/tick iterations for the post-heal drain
+  /// before open work counts as stuck (invariant 8).
+  std::int64_t heal_budget_ticks = 4096;
 };
 
 struct ShardedChaosReport {
@@ -207,6 +246,24 @@ struct ShardedChaosReport {
   std::int64_t duplicate_frames_skipped = 0;
   std::int64_t bytes_truncated = 0;
   std::int64_t merges = 0;
+
+  // Transport telemetry (kPartition; zero otherwise).
+  std::int64_t messages_sent = 0;
+  std::int64_t messages_dropped = 0;
+  std::int64_t messages_duplicated = 0;
+  std::int64_t dup_suppressed = 0;
+  std::int64_t net_timeouts = 0;
+  std::int64_t net_retries = 0;
+  std::int64_t partitions_injected = 0;
+  std::int64_t leases_expired = 0;
+  std::int64_t force_aborted_stages = 0;  // Presumed-abort expiries.
+  std::int64_t force_aborted_rounds = 0;  // Arrivals lost to them.
+  std::int64_t redelivered_portions = 0;
+
+  // Rebalance telemetry (kRebalance; zero otherwise).
+  std::int64_t rebalances = 0;
+  std::int64_t rebalances_aborted = 0;
+  std::int64_t events_moved = 0;
 
   std::string ToString() const;
 };

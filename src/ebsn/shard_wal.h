@@ -3,12 +3,14 @@
 // A shard's WAL carries more than interaction records: the two-phase
 // cross-shard arrangement protocol needs durable traces of both phases.
 // Every frame payload starts with a one-byte kind tag, the global
-// transaction id, and the coordinator's trace id (the TraceRing
-// correlation id stamped on every span and decision-log record of the
-// same transaction, so one stats dump reconstructs the cross-shard
-// timeline), then the kind-specific body:
+// transaction id, the coordinator's trace id (the TraceRing correlation
+// id stamped on every span and decision-log record of the same
+// transaction, so one stats dump reconstructs the cross-shard timeline),
+// and the rebalance epoch the frame was written under (which ShardRouter
+// generation owned the events at write time — replay maps event ids
+// through the ownership history with it), then the kind-specific body:
 //
-//   kDecision [0x01][txn][trace][InteractionRecord]
+//   kDecision [0x01][txn][trace][epoch][InteractionRecord]
 //     The coordinator's commit record: the FULL round (global event
 //     ids, record.t = the coordinator's local round counter). Appending
 //     this frame durably IS the commit point of the transaction — on
@@ -16,20 +18,35 @@
 //     participants resolve in-doubt reservations against it. A
 //     single-shard round is just a decision with no remote portions.
 //
-//   kReserve [0x02][txn][trace][coordinator_shard][coordinator_round]
-//            [user_id][n][event]*n
+//   kReserve [0x02][txn][trace][epoch][coordinator_shard]
+//            [coordinator_round][user_id][lease_expiry][n][event]*n
 //     Phase 1 on a participant: the listed (global-id) events are
 //     reserved for the coordinator's round. A participant only votes
 //     yes once this frame is durable; until a kPortion for the same txn
 //     follows, the reservation is *in-doubt* and recovery must resolve
-//     it (presumed-abort, see sharded_service.h).
+//     it (presumed-abort, see sharded_service.h). `lease_expiry` is a
+//     logical-clock tick: past it, the reservation may be queried
+//     against the coordinator's decision index and, if still
+//     undecided, force-aborted (presumed abort without waiting for a
+//     crash).
 //
-//   kPortion [0x03][txn][trace][InteractionRecord]
+//   kPortion [0x03][txn][trace][epoch][InteractionRecord]
 //     Phase 2 on a participant: its slice of the round was applied
-//     (record in LOCAL event ids, record.t = the participant's own
-//     round counter). Closes the txn's in-doubt reservation. Only
-//     written when the coordinator's decision was durable — a portion
-//     must never outlive its decision record.
+//     (record in the LOCAL event ids of the writing epoch's router,
+//     record.t = the participant's own round counter). Closes the
+//     txn's in-doubt reservation. Only written when the coordinator's
+//     decision was durable — a portion must never outlive its decision
+//     record.
+//
+//   kMigrate [0x04][txn=0][trace][epoch][src_shard][n_events]
+//            { [event][consumed][n_obs][dim] { context*dim, reward }* }*
+//     Rebalance transfer INTO this shard: each listed (global-id)
+//     event arrives with its consumed capacity and the source
+//     learner's observation rows for it. The epoch is the one the
+//     migration creates; the frame only takes effect once the flip to
+//     that epoch happened (frames from a migration that crashed before
+//     its flip are superseded by the retry and ignored, last writer
+//     per event wins).
 //
 // The framing beneath (length + masked CRC, torn-tail truncation) is
 // io/wal.h, unchanged; this is purely the payload layer.
@@ -39,6 +56,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "ebsn/interaction_log.h"
 #include "model/types.h"
@@ -49,17 +67,44 @@ enum class ShardFrameKind : std::uint8_t {
   kDecision = 0x01,
   kReserve = 0x02,
   kPortion = 0x03,
+  kMigrate = 0x04,
 };
 
 /// Phase-1 reservation: `events` (global ids) held on the owner shard
-/// for the coordinator's round until committed or aborted.
+/// for the coordinator's round until committed or aborted, or until the
+/// lease expires to presumed-abort.
 struct ReservationRecord {
   std::uint64_t txn = 0;
   std::uint64_t trace_id = 0;
   int coordinator_shard = 0;
   std::int64_t coordinator_round = 0;
   std::int64_t user_id = 0;
+  /// Logical-clock tick after which the reservation is expired
+  /// (0 = no lease, never expires on its own).
+  std::int64_t lease_expiry = 0;
+  /// Rebalance epoch the reservation was written under.
+  std::uint32_t epoch = 0;
   Arrangement events;
+};
+
+/// One learner observation travelling with a migrated event.
+struct MigratedObservation {
+  std::vector<double> context;
+  double reward = 0.0;
+};
+
+/// One event handed to a new owner shard: its consumed capacity so far
+/// plus the source learner's rows for it.
+struct MigratedEvent {
+  EventId event = 0;
+  std::int64_t consumed = 0;
+  std::vector<MigratedObservation> observations;
+};
+
+/// Rebalance transfer payload (the body of one kMigrate frame).
+struct MigrateRecord {
+  int src_shard = 0;
+  std::vector<MigratedEvent> events;
 };
 
 /// One decoded shard-WAL frame (exactly one of the bodies is set,
@@ -68,15 +113,21 @@ struct ShardFrame {
   ShardFrameKind kind = ShardFrameKind::kDecision;
   std::uint64_t txn = 0;
   std::uint64_t trace_id = 0;     // Coordinator's correlation id.
+  std::uint32_t epoch = 0;        // Rebalance epoch at write time.
   InteractionRecord record;       // kDecision / kPortion.
   ReservationRecord reservation;  // kReserve.
+  MigrateRecord migrate;          // kMigrate.
 };
 
 std::string EncodeDecisionFrame(std::uint64_t txn, std::uint64_t trace_id,
+                                std::uint32_t epoch,
                                 const InteractionRecord& record);
 std::string EncodeReserveFrame(const ReservationRecord& reservation);
 std::string EncodePortionFrame(std::uint64_t txn, std::uint64_t trace_id,
+                               std::uint32_t epoch,
                                const InteractionRecord& record);
+std::string EncodeMigrateFrame(std::uint64_t trace_id, std::uint32_t epoch,
+                               const MigrateRecord& migrate);
 
 /// Decodes any shard frame; kDataLoss on unknown kinds or malformed
 /// bodies (the frame passed its checksum, so damage means a format bug

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/bytes.h"
 #include "common/hash.h"
 #include "common/strings.h"
 #include "obs/trace.h"
@@ -20,6 +21,248 @@ bool IsRetryableServe(StatusCode code) {
          code == StatusCode::kResourceExhausted ||
          code == StatusCode::kUnavailable;
 }
+
+// --- Transport body codecs ----------------------------------------------
+//
+// Envelope bodies of the shard protocol. Deliberately boring: fixed
+// little-endian fields via common/bytes.h, the InteractionRecord codec
+// of the WAL for round payloads (always the LAST field, so it decodes
+// from the reader's remainder).
+
+void AppendMatrix(std::string* out, const Matrix& m) {
+  AppendU32(out, static_cast<std::uint32_t>(m.rows()));
+  AppendU32(out, static_cast<std::uint32_t>(m.cols()));
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (double v : m.Row(i)) AppendDouble(out, v);
+  }
+}
+
+StatusOr<Matrix> ReadMatrix(ByteReader& reader) {
+  auto rows = reader.ReadU32();
+  if (!rows.ok()) return rows.status();
+  auto cols = reader.ReadU32();
+  if (!cols.ok()) return cols.status();
+  Matrix m(*rows, *cols);
+  for (std::uint32_t i = 0; i < *rows; ++i) {
+    auto row = m.Row(i);
+    for (std::uint32_t j = 0; j < *cols; ++j) {
+      auto v = reader.ReadDouble();
+      if (!v.ok()) return v.status();
+      row[j] = *v;
+    }
+  }
+  return m;
+}
+
+struct ServeRequestBody {
+  std::int64_t user_id = 0;
+  std::int64_t user_capacity = 0;
+  std::int64_t lease_expiry = 0;
+  Matrix contexts;  // The home shard's context submatrix.
+
+  std::string Encode() const {
+    std::string out;
+    AppendI64(&out, user_id);
+    AppendI64(&out, user_capacity);
+    AppendI64(&out, lease_expiry);
+    AppendMatrix(&out, contexts);
+    return out;
+  }
+  static StatusOr<ServeRequestBody> Decode(std::string_view bytes) {
+    ByteReader reader(bytes, "serve request: truncated body");
+    ServeRequestBody body;
+    auto user = reader.ReadI64();
+    if (!user.ok()) return user.status();
+    body.user_id = *user;
+    auto cap = reader.ReadI64();
+    if (!cap.ok()) return cap.status();
+    body.user_capacity = *cap;
+    auto lease = reader.ReadI64();
+    if (!lease.ok()) return lease.status();
+    body.lease_expiry = *lease;
+    auto m = ReadMatrix(reader);
+    if (!m.ok()) return m.status();
+    body.contexts = std::move(m).value();
+    return body;
+  }
+};
+
+struct ServeResponseBody {
+  std::int64_t coordinator_round = 0;
+  Arrangement local_events;
+
+  std::string Encode() const {
+    std::string out;
+    AppendI64(&out, coordinator_round);
+    AppendU32(&out, static_cast<std::uint32_t>(local_events.size()));
+    for (EventId v : local_events) AppendU32(&out, v);
+    return out;
+  }
+  static StatusOr<ServeResponseBody> Decode(std::string_view bytes) {
+    ByteReader reader(bytes, "serve response: truncated body");
+    ServeResponseBody body;
+    auto round = reader.ReadI64();
+    if (!round.ok()) return round.status();
+    body.coordinator_round = *round;
+    auto n = reader.ReadU32();
+    if (!n.ok()) return n.status();
+    body.local_events.reserve(*n);
+    for (std::uint32_t i = 0; i < *n; ++i) {
+      auto v = reader.ReadU32();
+      if (!v.ok()) return v.status();
+      body.local_events.push_back(*v);
+    }
+    return body;
+  }
+};
+
+struct ReserveRequestBody {
+  std::int64_t user_id = 0;
+  std::int64_t remaining = 0;     // Capacity left for this stage.
+  std::int64_t lease_expiry = 0;
+  int coordinator_shard = 0;
+  std::int64_t coordinator_round = 0;
+  Arrangement chosen;  // Global ids picked upstream (conflict mask).
+  Matrix contexts;     // The participant's context submatrix.
+
+  std::string Encode() const {
+    std::string out;
+    AppendI64(&out, user_id);
+    AppendI64(&out, remaining);
+    AppendI64(&out, lease_expiry);
+    AppendU32(&out, static_cast<std::uint32_t>(coordinator_shard));
+    AppendI64(&out, coordinator_round);
+    AppendU32(&out, static_cast<std::uint32_t>(chosen.size()));
+    for (EventId v : chosen) AppendU32(&out, v);
+    AppendMatrix(&out, contexts);
+    return out;
+  }
+  static StatusOr<ReserveRequestBody> Decode(std::string_view bytes) {
+    ByteReader reader(bytes, "reserve request: truncated body");
+    ReserveRequestBody body;
+    auto user = reader.ReadI64();
+    if (!user.ok()) return user.status();
+    body.user_id = *user;
+    auto remaining = reader.ReadI64();
+    if (!remaining.ok()) return remaining.status();
+    body.remaining = *remaining;
+    auto lease = reader.ReadI64();
+    if (!lease.ok()) return lease.status();
+    body.lease_expiry = *lease;
+    auto coord = reader.ReadU32();
+    if (!coord.ok()) return coord.status();
+    body.coordinator_shard = static_cast<int>(*coord);
+    auto round = reader.ReadI64();
+    if (!round.ok()) return round.status();
+    body.coordinator_round = *round;
+    auto n = reader.ReadU32();
+    if (!n.ok()) return n.status();
+    body.chosen.reserve(*n);
+    for (std::uint32_t i = 0; i < *n; ++i) {
+      auto v = reader.ReadU32();
+      if (!v.ok()) return v.status();
+      body.chosen.push_back(*v);
+    }
+    auto m = ReadMatrix(reader);
+    if (!m.ok()) return m.status();
+    body.contexts = std::move(m).value();
+    return body;
+  }
+};
+
+struct ReserveResponseBody {
+  std::int64_t local_round = 0;
+  Arrangement global_events;  // Already mapped by the participant.
+
+  std::string Encode() const {
+    std::string out;
+    AppendI64(&out, local_round);
+    AppendU32(&out, static_cast<std::uint32_t>(global_events.size()));
+    for (EventId v : global_events) AppendU32(&out, v);
+    return out;
+  }
+  static StatusOr<ReserveResponseBody> Decode(std::string_view bytes) {
+    ByteReader reader(bytes, "reserve response: truncated body");
+    ReserveResponseBody body;
+    auto round = reader.ReadI64();
+    if (!round.ok()) return round.status();
+    body.local_round = *round;
+    auto n = reader.ReadU32();
+    if (!n.ok()) return n.status();
+    body.global_events.reserve(*n);
+    for (std::uint32_t i = 0; i < *n; ++i) {
+      auto v = reader.ReadU32();
+      if (!v.ok()) return v.status();
+      body.global_events.push_back(*v);
+    }
+    return body;
+  }
+};
+
+// COMMIT carries two sub-kinds behind a leading flag byte: the
+// coordinator's decision (the commit point) and the per-shard portion
+// application.
+constexpr std::uint8_t kCommitDecision = 0;
+constexpr std::uint8_t kCommitPortion = 1;
+
+struct CommitDecisionBody {
+  InteractionRecord record;  // Global ids, the full round.
+
+  std::string Encode() const {
+    std::string out;
+    AppendU8(&out, kCommitDecision);
+    out += EncodeInteractionRecord(record);
+    return out;
+  }
+};
+
+struct CommitPortionBody {
+  bool write_frame = false;  // Durable decision && not the home slice.
+  bool is_home = false;
+  InteractionRecord record;  // LOCAL ids of the current epoch.
+
+  std::string Encode() const {
+    std::string out;
+    AppendU8(&out, kCommitPortion);
+    AppendU8(&out, write_frame ? 1 : 0);
+    AppendU8(&out, is_home ? 1 : 0);
+    out += EncodeInteractionRecord(record);
+    return out;
+  }
+};
+
+struct QueryResponseBody {
+  // 0 = no decision (presumed abort), 1 = committed, 2 = still
+  // mid-commit, ask again.
+  std::uint8_t outcome = 0;
+  bool durable = false;
+  InteractionRecord record;  // Set when outcome == 1.
+
+  std::string Encode() const {
+    std::string out;
+    AppendU8(&out, outcome);
+    AppendU8(&out, durable ? 1 : 0);
+    if (outcome == 1) out += EncodeInteractionRecord(record);
+    return out;
+  }
+  static StatusOr<QueryResponseBody> Decode(std::string_view bytes) {
+    ByteReader reader(bytes, "query response: truncated body");
+    QueryResponseBody body;
+    auto outcome = reader.ReadU8();
+    if (!outcome.ok()) return outcome.status();
+    body.outcome = *outcome;
+    auto durable = reader.ReadU8();
+    if (!durable.ok()) return durable.status();
+    body.durable = *durable != 0;
+    if (body.outcome == 1) {
+      auto record =
+          DecodeInteractionRecord(bytes.substr(reader.position()));
+      if (!record.ok()) return record.status();
+      body.record = std::move(record).value();
+    }
+    return body;
+  }
+};
 
 }  // namespace
 
@@ -44,19 +287,26 @@ std::string ShardRecoveryReport::ToString() const {
       static_cast<long long>(interrupted_aborted));
 }
 
+std::string RebalanceReport::ToString() const {
+  return StrFormat(
+      "rebalance %d -> %d shard(s) (epoch %u): %lld event(s) moved",
+      old_shards, new_shards, static_cast<unsigned>(epoch),
+      static_cast<long long>(events_moved));
+}
+
 ShardedArrangementService::ShardedArrangementService(
     const ProblemInstance* instance, ShardedOptions options)
-    : instance_(instance),
-      options_(std::move(options)),
-      router_(instance, options_.num_shards) {
+    : instance_(instance), options_(std::move(options)) {
   FASEA_CHECK(instance != nullptr);
   FASEA_CHECK(options_.num_shards >= 1);
+  routers_.push_back(
+      std::make_unique<ShardRouter>(instance, options_.num_shards));
   shards_.reserve(static_cast<std::size_t>(options_.num_shards));
   for (int s = 0; s < options_.num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->index = s;
     shard->service = std::make_unique<ArrangementService>(
-        &router_.SubInstance(s), options_.kind, options_.params,
+        &router().SubInstance(s), options_.kind, options_.params,
         DeriveSeed(options_.seed, "shard-policy",
                    static_cast<std::uint64_t>(s)));
     shards_.push_back(std::move(shard));
@@ -231,11 +481,20 @@ Status ShardedArrangementService::AppendFrameStrict(Shard& shard,
   return Status::Ok();
 }
 
+const ShardRouter& ShardedArrangementService::RouterAt(
+    std::uint32_t epoch) const {
+  // Frames can never be written under an epoch that has not flipped, so
+  // a larger stamp means a format bug; clamping keeps replay total.
+  const std::size_t e =
+      std::min<std::size_t>(epoch, routers_.size() - 1);
+  return *routers_[e];
+}
+
 // --- Serving -------------------------------------------------------------
 
 Matrix ShardedArrangementService::GatherContexts(
     int shard, const ContextMatrix& contexts) const {
-  const std::vector<EventId>& events = router_.ShardEvents(shard);
+  const std::vector<EventId>& events = router().ShardEvents(shard);
   Matrix out(events.size(), contexts.cols());
   for (std::size_t i = 0; i < events.size(); ++i) {
     const auto src = contexts.Row(events[i]);
@@ -246,7 +505,7 @@ Matrix ShardedArrangementService::GatherContexts(
 
 Arrangement ShardedArrangementService::MapToGlobal(
     int shard, const Arrangement& local) const {
-  const std::vector<EventId>& events = router_.ShardEvents(shard);
+  const std::vector<EventId>& events = router().ShardEvents(shard);
   Arrangement out;
   out.reserve(local.size());
   for (EventId v : local) {
@@ -258,7 +517,7 @@ Arrangement ShardedArrangementService::MapToGlobal(
 
 std::vector<std::uint8_t> ShardedArrangementService::SpilloverMask(
     int shard, const Arrangement& chosen) const {
-  const std::vector<EventId>& events = router_.ShardEvents(shard);
+  const std::vector<EventId>& events = router().ShardEvents(shard);
   const ConflictGraph& conflicts = instance_->conflicts();
   std::vector<std::uint8_t> mask(events.size(), 1);
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -287,6 +546,9 @@ void ShardedArrangementService::AbortOpenPortions(const PendingTxn& pending,
 StatusOr<ShardedServeResult> ShardedArrangementService::ServeUser(
     std::int64_t user_id, std::int64_t user_capacity,
     const ContextMatrix& contexts) {
+  if (net_ != nullptr) {
+    return ServeUserTransport(user_id, user_capacity, contexts);
+  }
   if (contexts.rows() != instance_->num_events() ||
       contexts.cols() != instance_->dim()) {
     return InvalidArgumentError(StrFormat(
@@ -300,7 +562,7 @@ StatusOr<ShardedServeResult> ShardedArrangementService::ServeUser(
   // replay re-derive the same id from the txn alone.
   const std::uint64_t trace_id = Mix64(txn);
   const int home =
-      router_.HomeShard(user_id, static_cast<std::int64_t>(txn - 1),
+      router().HomeShard(user_id, static_cast<std::int64_t>(txn - 1),
                         options_.routing);
   Shard& h = *shards_[static_cast<std::size_t>(home)];
   if (h.service == nullptr) {
@@ -349,7 +611,7 @@ StatusOr<ShardedServeResult> ShardedArrangementService::ServeUser(
        k < options_.num_shards && budget > 0 && remaining > 0; ++k) {
     const int sid = (home + k) % options_.num_shards;
     Shard& s = *shards_[static_cast<std::size_t>(sid)];
-    if (s.service == nullptr || router_.ShardEvents(sid).empty()) {
+    if (s.service == nullptr || router().ShardEvents(sid).empty()) {
       continue;
     }
     std::vector<std::uint8_t> mask = SpilloverMask(sid, chosen);
@@ -383,6 +645,7 @@ StatusOr<ShardedServeResult> ShardedArrangementService::ServeUser(
     reservation.coordinator_shard = home;
     reservation.coordinator_round = pending.coordinator_round;
     reservation.user_id = user_id;
+    reservation.epoch = rebalance_epoch_;
     reservation.events = MapToGlobal(sid, *local);
     TraceSpan reserve_span("txn.reserve", static_cast<std::int64_t>(txn),
                            TraceRing::Global(), nullptr, trace_id);
@@ -445,6 +708,9 @@ StatusOr<ShardedServeResult> ShardedArrangementService::ServeUser(
 Status ShardedArrangementService::SubmitFeedback(
     std::uint64_t txn, const Feedback& feedback,
     ShardedFeedbackResult* result) {
+  if (net_ != nullptr) {
+    return SubmitFeedbackTransport(txn, feedback, result);
+  }
   PendingTxn* pending = nullptr;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
@@ -498,7 +764,8 @@ Status ShardedArrangementService::SubmitFeedback(
     TraceSpan span("txn.commit", static_cast<std::int64_t>(txn),
                    TraceRing::Global(), nullptr, pending->trace_id);
     auto outcome = AppendFrame(
-        h, EncodeDecisionFrame(txn, pending->trace_id, record));
+        h, EncodeDecisionFrame(txn, pending->trace_id, rebalance_epoch_,
+                               record));
     if (!outcome.ok()) return fail_retryable(outcome.status());
     durable = (*outcome == AppendOutcome::kDurable);
   }
@@ -558,8 +825,9 @@ Status ShardedArrangementService::SubmitFeedback(
                                             portion.local_events.size()));
         TraceSpan span("txn.portion", static_cast<std::int64_t>(txn),
                        TraceRing::Global(), nullptr, pending->trace_id);
-        (void)AppendFrame(s,
-                          EncodePortionFrame(txn, pending->trace_id, local));
+        (void)AppendFrame(
+            s, EncodePortionFrame(txn, pending->trace_id, rebalance_epoch_,
+                                  local));
       }
     }
     FeedbackResult inner;
@@ -650,6 +918,11 @@ Status ShardedArrangementService::KillShard(int shard) {
     }
   }
   // The crash: every in-memory structure is gone; the WAL survives.
+  // Under a transport the node drops off the network too — in-flight
+  // messages to it vanish like packets to a dead peer.
+  if (shard < static_cast<int>(servers_.size())) {
+    servers_[static_cast<std::size_t>(shard)].reset();
+  }
   s.service.reset();
   {
     std::lock_guard<std::mutex> lock(s.wal_mu);
@@ -660,7 +933,9 @@ Status ShardedArrangementService::KillShard(int shard) {
   {
     std::lock_guard<std::mutex> lock(s.ledger_mu);
     s.decisions.clear();
+    s.decision_durable.clear();
     s.open_reservations.clear();
+    s.stage_rounds.clear();
   }
   {
     std::lock_guard<std::mutex> lock(s.obs_mu);
@@ -677,8 +952,44 @@ InteractionRecord ShardedArrangementService::SliceForShard(
   out.user_capacity = record.user_capacity;
   for (std::size_t i = 0; i < record.arrangement.size(); ++i) {
     const EventId g = record.arrangement[i];
-    if (router_.OwnerShard(g) != shard) continue;
-    out.arrangement.push_back(router_.LocalId(g));
+    if (router().OwnerShard(g) != shard) continue;
+    out.arrangement.push_back(router().LocalId(g));
+    out.feedback.push_back(record.feedback[i]);
+    out.contexts.push_back(record.contexts[i]);
+  }
+  return out;
+}
+
+InteractionRecord ShardedArrangementService::SliceForReplay(
+    int shard, const InteractionRecord& record, std::int64_t t,
+    std::uint32_t frame_epoch,
+    const std::map<EventId, std::uint32_t>& acquired,
+    bool* migration_filtered) const {
+  const ShardRouter& then = RouterAt(frame_epoch);
+  InteractionRecord out;
+  out.t = t;
+  out.user_id = record.user_id;
+  out.user_capacity = record.user_capacity;
+  for (std::size_t i = 0; i < record.arrangement.size(); ++i) {
+    const EventId g = record.arrangement[i];
+    // Not this shard's slice at write time: the plain cross-shard
+    // filter, same as the live path.
+    if (then.OwnerShard(g) != shard) continue;
+    // Owned then but not now: the event migrated away; its new owner
+    // carries this consumption inside its MIGRATE frame.
+    if (router().OwnerShard(g) != shard) {
+      if (migration_filtered != nullptr) *migration_filtered = true;
+      continue;
+    }
+    // Owned then and now, but the frame pre-dates the event's latest
+    // migration INTO this shard — the round is already folded into the
+    // MIGRATE frame's consumed count.
+    auto it = acquired.find(g);
+    if (it != acquired.end() && frame_epoch < it->second) {
+      if (migration_filtered != nullptr) *migration_filtered = true;
+      continue;
+    }
+    out.arrangement.push_back(router().LocalId(g));
     out.feedback.push_back(record.feedback[i]);
     out.contexts.push_back(record.contexts[i]);
   }
@@ -686,11 +997,30 @@ InteractionRecord ShardedArrangementService::SliceForShard(
 }
 
 StatusOr<bool> ShardedArrangementService::LookupDecision(
-    int coordinator, std::uint64_t txn, InteractionRecord* out) const {
+    int coordinator, std::uint64_t txn, InteractionRecord* out) {
   if (coordinator < 0 || coordinator >= options_.num_shards) {
     return InvalidArgumentError(
         StrFormat("reservation names unknown coordinator shard %d",
                   coordinator));
+  }
+  // With a transport, the in-doubt re-query goes over the wire like any
+  // other protocol step — the coordinator's decision index answers. An
+  // unreachable coordinator falls through to the local paths below (the
+  // stand-in for a replicated decision log).
+  if (net_ != nullptr && net_->NodeRegistered(coordinator)) {
+    auto resp = client_->Call(MessageKind::kQueryDecision, coordinator,
+                              txn, Mix64(txn), std::string(1, '\0'));
+    if (resp.ok() && resp->ToStatus().ok()) {
+      auto body = QueryResponseBody::Decode(resp->body);
+      if (!body.ok()) return body.status();
+      if (body->outcome == 1) {
+        *out = body->record;
+        return true;
+      }
+      if (body->outcome == 0) return false;
+      // outcome == 2 (mid-commit) cannot happen here: recovery runs
+      // quiesced. Fall through to the local index to be safe.
+    }
   }
   const Shard& c = *shards_[static_cast<std::size_t>(coordinator)];
   if (c.service != nullptr) {
@@ -753,20 +1083,54 @@ StatusOr<ShardRecoveryReport> ShardedArrangementService::RecoverShard(
   report.bytes_truncated = scan->bytes_truncated;
 
   auto service = std::make_unique<ArrangementService>(
-      &router_.SubInstance(shard), options_.kind, options_.params,
+      &router().SubInstance(shard), options_.kind, options_.params,
       DeriveSeed(options_.seed, "shard-policy",
                  static_cast<std::uint64_t>(shard)));
-  std::map<std::uint64_t, InteractionRecord> decisions;
-  std::map<std::uint64_t, ReservationRecord> in_doubt;
+  // Decode every frame up front: MIGRATE frames resolve last-writer-
+  // wins per event, and the slice filter needs each event's winning
+  // acquisition epoch before the first round frame replays.
+  std::vector<ShardFrame> frames;
+  frames.reserve(scan->payloads.size());
   for (const std::string& payload : scan->payloads) {
     ++report.frames_scanned;
     auto frame = DecodeShardFrame(payload);
     if (!frame.ok()) return frame.status();
-    switch (frame->kind) {
+    frames.push_back(std::move(frame).value());
+  }
+  // acquired[g]: epoch of the winning MIGRATE frame for event g;
+  // chosen_frame[g]: its index in `frames`. Frames stamped with an
+  // epoch that never flipped (a rebalance that crashed before its
+  // flip) are inert — the retry superseded them.
+  std::map<EventId, std::uint32_t> acquired;
+  std::map<EventId, std::size_t> chosen_frame;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const ShardFrame& frame = frames[i];
+    if (frame.kind != ShardFrameKind::kMigrate) continue;
+    if (frame.epoch > rebalance_epoch_) continue;
+    for (const MigratedEvent& moved : frame.migrate.events) {
+      if (router().OwnerShard(moved.event) != shard) continue;
+      acquired[moved.event] = frame.epoch;
+      chosen_frame[moved.event] = i;
+    }
+  }
+
+  std::map<std::uint64_t, InteractionRecord> decisions;
+  std::map<std::uint64_t, ReservationRecord> in_doubt;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const ShardFrame& frame = frames[i];
+    switch (frame.kind) {
       case ShardFrameKind::kDecision: {
-        decisions[frame->txn] = frame->record;
+        decisions[frame.txn] = frame.record;
+        bool migration_filtered = false;
         InteractionRecord slice =
-            SliceForShard(shard, frame->record, frame->record.t);
+            SliceForReplay(shard, frame.record, frame.record.t,
+                           frame.epoch, acquired, &migration_filtered);
+        if (migration_filtered) ++report.migration_filtered_frames;
+        // An empty slice normally still advances the coordinator's
+        // round counter (the home contributed nothing that round) —
+        // but a slice the MIGRATION rules emptied is another shard's
+        // history now and must not.
+        if (slice.arrangement.empty() && migration_filtered) break;
         if (slice.t <= service->rounds_served()) {
           ++report.duplicate_frames_skipped;
           break;
@@ -779,20 +1143,72 @@ StatusOr<ShardRecoveryReport> ShardedArrangementService::RecoverShard(
       }
       case ShardFrameKind::kReserve:
         // Idempotent: a retried reservation re-frames the same bytes.
-        in_doubt[frame->txn] = frame->reservation;
+        in_doubt[frame.txn] = frame.reservation;
         break;
       case ShardFrameKind::kPortion: {
-        in_doubt.erase(frame->txn);
-        if (frame->record.t <= service->rounds_served()) {
+        in_doubt.erase(frame.txn);
+        // Portion records carry LOCAL ids of the writing epoch's
+        // router; translate to global, then re-slice under the
+        // ownership history into today's local ids.
+        const ShardRouter& then = RouterAt(frame.epoch);
+        if (shard >= then.num_shards()) break;  // Pre-dates the shard.
+        const std::vector<EventId>& then_events = then.ShardEvents(shard);
+        InteractionRecord global = frame.record;
+        for (EventId& v : global.arrangement) {
+          if (v >= then_events.size()) {
+            return DataLossError(StrFormat(
+                "portion frame of txn %llu names local event %u outside "
+                "epoch %u's partition of shard %d",
+                static_cast<unsigned long long>(frame.txn), v,
+                static_cast<unsigned>(frame.epoch), shard));
+          }
+          v = then_events[v];
+        }
+        bool migration_filtered = false;
+        InteractionRecord slice =
+            SliceForReplay(shard, global, frame.record.t, frame.epoch,
+                           acquired, &migration_filtered);
+        if (migration_filtered) ++report.migration_filtered_frames;
+        if (slice.arrangement.empty()) break;  // Fully migrated away.
+        if (slice.t <= service->rounds_served()) {
           ++report.duplicate_frames_skipped;
           break;
         }
-        if (Status st =
-                service->RestoreInteraction(frame->record, /*learn=*/true);
+        if (Status st = service->RestoreInteraction(slice, /*learn=*/true);
             !st.ok()) {
           return st;
         }
         ++report.portions_applied;
+        break;
+      }
+      case ShardFrameKind::kMigrate: {
+        // Apply each event whose winning frame is this one: fold the
+        // consumed capacity in, then feed the source learner's rows to
+        // the policy (soft state — kFailedPrecondition from a
+        // non-ridge policy is tolerated).
+        std::vector<PeerObservation> delta;
+        for (const MigratedEvent& moved : frame.migrate.events) {
+          auto it = chosen_frame.find(moved.event);
+          if (it == chosen_frame.end() || it->second != i) continue;
+          if (Status st = service->RestoreMigratedCapacity(
+                  router().LocalId(moved.event), moved.consumed);
+              !st.ok()) {
+            return st;
+          }
+          for (const MigratedObservation& obs : moved.observations) {
+            PeerObservation peer;
+            peer.context = obs.context;
+            peer.reward = obs.reward;
+            delta.push_back(std::move(peer));
+          }
+          ++report.migrated_events_applied;
+        }
+        if (!delta.empty()) {
+          Status st = service->AbsorbPeerObservations(delta);
+          if (!st.ok() && st.code() != StatusCode::kFailedPrecondition) {
+            return st;
+          }
+        }
         break;
       }
     }
@@ -813,7 +1229,9 @@ StatusOr<ShardRecoveryReport> ShardedArrangementService::RecoverShard(
     if (!found.ok()) return found.status();
     InteractionRecord slice;
     if (*found) {
-      slice = SliceForShard(shard, decision, service->rounds_served() + 1);
+      slice = SliceForReplay(shard, decision,
+                             service->rounds_served() + 1,
+                             reservation.epoch, acquired, nullptr);
     }
     if (*found && !slice.arrangement.empty()) {
       // Commit. The recovered state cannot already hold this portion:
@@ -842,8 +1260,13 @@ StatusOr<ShardRecoveryReport> ShardedArrangementService::RecoverShard(
   // length — merged learner state is soft, the next merge re-syncs.
   {
     std::lock_guard<std::mutex> lock(s.ledger_mu);
+    s.decision_durable.clear();
+    for (const auto& [txn, record] : decisions) {
+      s.decision_durable[txn] = true;  // It came back from the WAL.
+    }
     s.decisions = std::move(decisions);
     s.open_reservations.clear();
+    s.stage_rounds.clear();
   }
   std::size_t obs_size = 0;
   {
@@ -875,6 +1298,7 @@ StatusOr<ShardRecoveryReport> ShardedArrangementService::RecoverShard(
   }
   s.service = std::move(service);
   recoveries_metric_->Increment();
+  if (net_ != nullptr) RegisterShardServer(shard);
 
   if (Status st = ResolveInterrupted(shard, &report); !st.ok()) return st;
   open_reservations_gauge_->Set(static_cast<double>(OpenReservations()));
@@ -939,7 +1363,8 @@ Status ShardedArrangementService::ResolveInterrupted(
         // The decision is durable (it came from the recovered index), so
         // the portion frame may close the reservation.
         (void)AppendFrame(
-            p, EncodePortionFrame(txn, pending.trace_id, local));
+            p, EncodePortionFrame(txn, pending.trace_id, rebalance_epoch_,
+                                  local));
         if (Status st = p.service->SubmitFeedback(fb); !st.ok()) {
           return InternalError(StrFormat(
               "completing interrupted txn %llu on shard %d failed: %s",
@@ -964,6 +1389,942 @@ Status ShardedArrangementService::ResolveInterrupted(
     }
   }
   return Status::Ok();
+}
+
+// --- Transport -----------------------------------------------------------
+
+Status ShardedArrangementService::ConfigureTransport(
+    SimulatedNetwork* net, const ShardTransportOptions& options) {
+  FASEA_CHECK(net != nullptr);
+  if (net_ != nullptr) {
+    return FailedPreconditionError("a transport is already configured");
+  }
+  if (options.lease_ticks <= 0) {
+    return InvalidArgumentError("lease_ticks must be positive");
+  }
+  net_ = net;
+  topts_ = options;
+  client_ = std::make_unique<ShardClient>(net, kGatewayNode, topts_.client);
+  servers_.resize(static_cast<std::size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    if (shard_alive(s)) RegisterShardServer(s);
+  }
+  return Status::Ok();
+}
+
+void ShardedArrangementService::RegisterShardServer(int shard) {
+  if (static_cast<int>(servers_.size()) <= shard) {
+    servers_.resize(static_cast<std::size_t>(shard) + 1);
+  }
+  auto server = std::make_unique<ShardServer>(net_, shard, topts_.server);
+  server->Handle(MessageKind::kServe, [this, shard](const Envelope& req) {
+    return HandleServe(shard, req);
+  });
+  server->Handle(MessageKind::kReserve, [this, shard](const Envelope& req) {
+    return HandleReserve(shard, req);
+  });
+  server->Handle(MessageKind::kCommit, [this, shard](const Envelope& req) {
+    return HandleCommit(shard, req);
+  });
+  server->Handle(MessageKind::kAbort, [this, shard](const Envelope& req) {
+    return HandleAbort(shard, req);
+  });
+  server->Handle(MessageKind::kQueryDecision,
+                 [this, shard](const Envelope& req) {
+                   return HandleQuery(shard, req);
+                 });
+  server->Handle(MessageKind::kHealth, [this, shard](const Envelope& req) {
+    return HandleHealth(shard, req);
+  });
+  server->Handle(MessageKind::kMigrate, [this, shard](const Envelope& req) {
+    return HandleMigrate(shard, req);
+  });
+  servers_[static_cast<std::size_t>(shard)] = std::move(server);
+}
+
+StatusOr<std::string> ShardedArrangementService::HandleServe(
+    int shard, const Envelope& request) {
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  if (s.service == nullptr) {
+    return UnavailableError(StrFormat("shard %d is down", shard));
+  }
+  auto body = ServeRequestBody::Decode(request.body);
+  if (!body.ok()) return body.status();
+  s.service->SetNextRoundTrace(request.txn, request.trace_id);
+  auto local = s.service->ServeUser(body->user_id, body->user_capacity,
+                                    body->contexts);
+  if (!local.ok()) return local.status();
+  ServeResponseBody response;
+  response.coordinator_round = s.service->rounds_served();
+  response.local_events = std::move(local).value();
+  {
+    std::lock_guard<std::mutex> lock(s.ledger_mu);
+    StageEntry entry;
+    entry.local_round = response.coordinator_round;
+    entry.lease_expiry = body->lease_expiry;
+    entry.coordinator = shard;  // The home stage's decision lives here.
+    s.stage_rounds[request.txn] = entry;
+  }
+  return response.Encode();
+}
+
+StatusOr<std::string> ShardedArrangementService::HandleReserve(
+    int shard, const Envelope& request) {
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  if (s.service == nullptr) {
+    return UnavailableError(StrFormat("shard %d is down", shard));
+  }
+  auto body = ReserveRequestBody::Decode(request.body);
+  if (!body.ok()) return body.status();
+  std::vector<std::uint8_t> mask = SpilloverMask(shard, body->chosen);
+  ReserveResponseBody response;
+  if (std::all_of(mask.begin(), mask.end(),
+                  [](std::uint8_t m) { return m == 0; })) {
+    return response.Encode();  // Empty contribution, nothing reserved.
+  }
+  s.service->SetNextRoundTrace(request.txn, request.trace_id);
+  auto local = s.service->ServeUser(body->user_id, body->remaining,
+                                    body->contexts, std::move(mask));
+  if (!local.ok()) return local.status();
+  if (local->empty()) {
+    (void)s.service->AbortPendingRound();
+    return response.Encode();
+  }
+
+  ReservationRecord reservation;
+  reservation.txn = request.txn;
+  reservation.trace_id = request.trace_id;
+  reservation.coordinator_shard = body->coordinator_shard;
+  reservation.coordinator_round = body->coordinator_round;
+  reservation.user_id = body->user_id;
+  reservation.lease_expiry = body->lease_expiry;
+  reservation.epoch = rebalance_epoch_;
+  reservation.events = MapToGlobal(shard, *local);
+  if (Status st = AppendFrameStrict(s, EncodeReserveFrame(reservation));
+      !st.ok()) {
+    (void)s.service->AbortPendingRound();
+    reservation_refusals_metric_->Increment();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reservation_refusals;
+    return st;
+  }
+  response.local_round = s.service->rounds_served();
+  response.global_events = reservation.events;
+  {
+    std::lock_guard<std::mutex> lock(s.ledger_mu);
+    s.open_reservations[request.txn] = reservation;
+    StageEntry entry;
+    entry.local_round = response.local_round;
+    entry.lease_expiry = reservation.lease_expiry;
+    entry.coordinator = reservation.coordinator_shard;
+    s.stage_rounds[request.txn] = entry;
+  }
+  reservations_metric_->Add(
+      static_cast<std::int64_t>(reservation.events.size()));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.reservations_made +=
+        static_cast<std::int64_t>(reservation.events.size());
+  }
+  return response.Encode();
+}
+
+StatusOr<std::string> ShardedArrangementService::HandleCommit(
+    int shard, const Envelope& request) {
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  if (s.service == nullptr) {
+    return UnavailableError(StrFormat("shard %d is down", shard));
+  }
+  if (request.body.empty()) {
+    return InvalidArgumentError("commit body is empty");
+  }
+  const std::uint8_t flag =
+      static_cast<std::uint8_t>(request.body[0]);
+  if (flag == kCommitDecision) {
+    auto record =
+        DecodeInteractionRecord(std::string_view(request.body).substr(1));
+    if (!record.ok()) return record.status();
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      if (aborted_txns_.count(request.txn) != 0) {
+        return FailedPreconditionError(StrFormat(
+            "transaction %llu was force-aborted on lease expiry",
+            static_cast<unsigned long long>(request.txn)));
+      }
+    }
+    {
+      // Txn-level idempotence: a resubmitted commit of a decided txn
+      // answers from the index without a second frame.
+      std::lock_guard<std::mutex> lock(s.ledger_mu);
+      auto it = s.decisions.find(request.txn);
+      if (it != s.decisions.end()) {
+        const bool durable = s.decision_durable[request.txn];
+        return std::string(1, durable ? '\1' : '\0');
+      }
+    }
+    auto outcome = AppendFrame(
+        s, EncodeDecisionFrame(request.txn, request.trace_id,
+                               rebalance_epoch_, *record));
+    if (!outcome.ok()) return outcome.status();
+    const bool durable = (*outcome == AppendOutcome::kDurable);
+    {
+      std::lock_guard<std::mutex> lock(s.ledger_mu);
+      s.decisions[request.txn] = std::move(record).value();
+      s.decision_durable[request.txn] = durable;
+    }
+    return std::string(1, durable ? '\1' : '\0');
+  }
+  if (flag != kCommitPortion || request.body.size() < 3) {
+    return InvalidArgumentError("malformed commit body");
+  }
+  const bool write_frame = request.body[1] != 0;
+  auto record =
+      DecodeInteractionRecord(std::string_view(request.body).substr(3));
+  if (!record.ok()) return record.status();
+  StageEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(s.ledger_mu);
+    auto it = s.stage_rounds.find(request.txn);
+    // No open stage: the portion already applied (an earlier delivery
+    // beat this retry) or the shard recovered past it. Idempotent no-op.
+    if (it == s.stage_rounds.end()) return std::string();
+    entry = it->second;
+  }
+  if (s.service->rounds_served() != entry.local_round ||
+      !s.service->AwaitingFeedback()) {
+    return InternalError(StrFormat(
+        "shard %d stage of txn %llu does not match its pending round",
+        shard, static_cast<unsigned long long>(request.txn)));
+  }
+  if (write_frame) {
+    (void)AppendFrame(
+        s, EncodePortionFrame(request.txn, request.trace_id,
+                              rebalance_epoch_, *record));
+  }
+  if (Status st = s.service->SubmitFeedback(record->feedback); !st.ok()) {
+    return InternalError(StrFormat(
+        "shard %d portion of txn %llu failed: %s", shard,
+        static_cast<unsigned long long>(request.txn),
+        st.message().c_str()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.ledger_mu);
+    s.stage_rounds.erase(request.txn);
+    s.open_reservations.erase(request.txn);
+  }
+  AppendObservations(s, *record);
+  return std::string();
+}
+
+StatusOr<std::string> ShardedArrangementService::HandleAbort(
+    int shard, const Envelope& request) {
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  if (s.service == nullptr) {
+    return UnavailableError(StrFormat("shard %d is down", shard));
+  }
+  bool have_stage = false;
+  StageEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(s.ledger_mu);
+    auto it = s.stage_rounds.find(request.txn);
+    if (it != s.stage_rounds.end()) {
+      have_stage = true;
+      entry = it->second;
+    }
+  }
+  if (have_stage && s.service->rounds_served() == entry.local_round &&
+      s.service->AwaitingFeedback()) {
+    (void)s.service->AbortPendingRound();
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.ledger_mu);
+    s.stage_rounds.erase(request.txn);
+    s.open_reservations.erase(request.txn);
+  }
+  return std::string();
+}
+
+StatusOr<std::string> ShardedArrangementService::HandleQuery(
+    int shard, const Envelope& request) {
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  const bool force = !request.body.empty() && request.body[0] != 0;
+  QueryResponseBody response;
+  {
+    std::lock_guard<std::mutex> lock(s.ledger_mu);
+    auto it = s.decisions.find(request.txn);
+    if (it != s.decisions.end()) {
+      response.outcome = 1;
+      response.durable = s.decision_durable[request.txn];
+      response.record = it->second;
+      return response.Encode();
+    }
+  }
+  if (!force) return response.Encode();  // Undecided: presumed abort.
+  // Forced resolution (lease expiry): an undecided transaction that is
+  // not mid-commit right now is aborted for good — a late COMMIT will
+  // be refused.
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  auto it = pending_.find(request.txn);
+  if (it != pending_.end() && it->second.busy) {
+    response.outcome = 2;  // Mid-commit; ask again.
+    return response.Encode();
+  }
+  if (it != pending_.end()) pending_.erase(it);
+  aborted_txns_.insert(request.txn);
+  return response.Encode();
+}
+
+StatusOr<std::string> ShardedArrangementService::HandleHealth(
+    int shard, const Envelope& request) {
+  (void)request;
+  return std::string(
+      1, static_cast<char>(ShardHealth(shard).state));
+}
+
+StatusOr<std::string> ShardedArrangementService::HandleMigrate(
+    int shard, const Envelope& request) {
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  if (s.service == nullptr) {
+    return UnavailableError(StrFormat("shard %d is down", shard));
+  }
+  // The WAL-segment handoff: the body IS the MIGRATE frame; it lands
+  // strictly (durable or refused) — migrations never run degraded.
+  if (Status st = AppendFrameStrict(s, request.body); !st.ok()) return st;
+  return std::string();
+}
+
+StatusOr<ShardedServeResult> ShardedArrangementService::ServeUserTransport(
+    std::int64_t user_id, std::int64_t user_capacity,
+    const ContextMatrix& contexts) {
+  if (contexts.rows() != instance_->num_events() ||
+      contexts.cols() != instance_->dim()) {
+    return InvalidArgumentError(StrFormat(
+        "context matrix is %zux%zu, the instance needs %zux%zu",
+        contexts.rows(), contexts.cols(), instance_->num_events(),
+        instance_->dim()));
+  }
+  std::lock_guard<std::mutex> net_lock(net_mu_);
+  const std::uint64_t txn =
+      next_txn_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t trace_id = Mix64(txn);
+  const int home =
+      router().HomeShard(user_id, static_cast<std::int64_t>(txn - 1),
+                         options_.routing);
+  if (!shard_alive(home)) {
+    return UnavailableError(
+        StrFormat("home shard %d is down; retry (the next arrival routes "
+                  "elsewhere)",
+                  home));
+  }
+  const std::int64_t lease = net_->now() + topts_.lease_ticks;
+
+  PendingTxn pending;
+  pending.home = home;
+  pending.trace_id = trace_id;
+  pending.user_id = user_id;
+  pending.user_capacity = user_capacity;
+
+  // Stage 0: SERVE to the coordinator.
+  Arrangement chosen;  // Global ids.
+  {
+    TraceSpan span("txn.coordinate", static_cast<std::int64_t>(txn),
+                   TraceRing::Global(), nullptr, trace_id);
+    ServeRequestBody request;
+    request.user_id = user_id;
+    request.user_capacity = user_capacity;
+    request.lease_expiry = lease;
+    request.contexts = GatherContexts(home, contexts);
+    auto resp = client_->Call(MessageKind::kServe, home, txn, trace_id,
+                              request.Encode());
+    if (!resp.ok()) {
+      // Transport silence. An executed-but-unanswered serve left an
+      // orphan stage on the home; its lease expires it to abort.
+      return UnavailableError(StrFormat(
+          "serve to home shard %d lost in the network: %s", home,
+          resp.status().message().c_str()));
+    }
+    if (Status st = resp->ToStatus(); !st.ok()) return st;
+    auto body = ServeResponseBody::Decode(resp->body);
+    if (!body.ok()) return body.status();
+    pending.coordinator_round = body->coordinator_round;
+    Portion portion;
+    portion.shard = home;
+    portion.local_events = std::move(body->local_events);
+    portion.start = 0;
+    portion.local_round = pending.coordinator_round;
+    portion.local_capacity = user_capacity;
+    chosen = MapToGlobal(home, portion.local_events);
+    pending.portions.push_back(std::move(portion));
+  }
+
+  // Spillover: RESERVE in ring order after the home while capacity
+  // remains. A lost or refused stage is skipped (its lease cleans up
+  // whatever the participant did); the round goes on with fewer events.
+  std::int64_t remaining =
+      user_capacity - static_cast<std::int64_t>(chosen.size());
+  int budget = options_.max_participant_shards < 0
+                   ? options_.num_shards - 1
+                   : std::min(options_.max_participant_shards,
+                              options_.num_shards - 1);
+  bool crossed = false;
+  for (int k = 1;
+       k < options_.num_shards && budget > 0 && remaining > 0; ++k) {
+    const int sid = (home + k) % options_.num_shards;
+    if (!shard_alive(sid) || router().ShardEvents(sid).empty()) continue;
+    std::vector<std::uint8_t> mask = SpilloverMask(sid, chosen);
+    if (std::all_of(mask.begin(), mask.end(),
+                    [](std::uint8_t m) { return m == 0; })) {
+      continue;  // Everything here conflicts with the chosen set.
+    }
+    ReserveRequestBody request;
+    request.user_id = user_id;
+    request.remaining = remaining;
+    request.lease_expiry = lease;
+    request.coordinator_shard = home;
+    request.coordinator_round = pending.coordinator_round;
+    request.chosen = chosen;
+    request.contexts = GatherContexts(sid, contexts);
+    TraceSpan reserve_span("txn.reserve", static_cast<std::int64_t>(txn),
+                           TraceRing::Global(), nullptr, trace_id);
+    auto resp = client_->Call(MessageKind::kReserve, sid, txn, trace_id,
+                              request.Encode());
+    if (!resp.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.spillover_stages_skipped;
+      continue;  // Lost in the network; the lease reaps the orphan.
+    }
+    if (Status st = resp->ToStatus(); !st.ok()) {
+      if (IsRetryableServe(st.code())) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.spillover_stages_skipped;
+        continue;
+      }
+      // Unretryable: abort every stage opened so far (best effort —
+      // leases catch whatever these messages miss).
+      for (const Portion& portion : pending.portions) {
+        (void)client_->Call(MessageKind::kAbort, portion.shard, txn,
+                            trace_id, std::string());
+      }
+      return st;
+    }
+    auto body = ReserveResponseBody::Decode(resp->body);
+    if (!body.ok()) return body.status();
+    if (body->global_events.empty()) continue;
+    Portion portion;
+    portion.shard = sid;
+    portion.start = chosen.size();
+    portion.local_round = body->local_round;
+    portion.local_capacity = remaining;  // What this stage was asked for.
+    portion.local_events.reserve(body->global_events.size());
+    for (EventId g : body->global_events) {
+      portion.local_events.push_back(router().LocalId(g));
+    }
+    remaining -= static_cast<std::int64_t>(body->global_events.size());
+    for (EventId g : body->global_events) chosen.push_back(g);
+    pending.portions.push_back(std::move(portion));
+    --budget;
+    crossed = true;
+  }
+  if (crossed) {
+    cross_shard_rounds_metric_->Increment();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cross_shard_rounds;
+  }
+
+  pending.arrangement = chosen;
+  pending.context_rows.reserve(chosen.size());
+  for (EventId v : chosen) {
+    const auto row = contexts.Row(v);
+    pending.context_rows.emplace_back(row.begin(), row.end());
+  }
+
+  ShardedServeResult result;
+  result.txn = txn;
+  result.home_shard = home;
+  result.arrangement = chosen;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_[txn] = std::move(pending);
+  }
+  open_reservations_gauge_->Set(static_cast<double>(OpenReservations()));
+  return result;
+}
+
+Status ShardedArrangementService::SubmitFeedbackTransport(
+    std::uint64_t txn, const Feedback& feedback,
+    ShardedFeedbackResult* result) {
+  std::lock_guard<std::mutex> net_lock(net_mu_);
+  PendingTxn* pending = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(txn);
+    if (it == pending_.end()) {
+      return FailedPreconditionError(StrFormat(
+          "transaction %llu is not pending (never served, already "
+          "committed, force-aborted on lease expiry, or lost with a "
+          "crashed coordinator)",
+          static_cast<unsigned long long>(txn)));
+    }
+    if (it->second.busy) {
+      return FailedPreconditionError("transaction is already mid-commit");
+    }
+    it->second.busy = true;
+    pending = &it->second;  // Map nodes are stable.
+  }
+  const auto fail_retryable = [&](Status st) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending->busy = false;
+    return st;
+  };
+
+  if (feedback.size() != pending->arrangement.size()) {
+    return fail_retryable(InvalidArgumentError(
+        "feedback must align with the served arrangement"));
+  }
+  for (std::uint8_t f : feedback) {
+    if (f > 1) {
+      return fail_retryable(
+          InvalidArgumentError("feedback entries must be 0/1"));
+    }
+  }
+  const int home_shard = pending->home;
+  if (!shard_alive(home_shard)) {
+    return fail_retryable(UnavailableError("home shard is down"));
+  }
+
+  InteractionRecord record;
+  record.t = pending->coordinator_round;
+  record.user_id = pending->user_id;
+  record.user_capacity = pending->user_capacity;
+  record.arrangement = pending->arrangement;
+  record.feedback = feedback;
+  record.contexts = pending->context_rows;
+
+  // Commit point: COMMIT(decision) to the coordinator. The call is
+  // idempotent at both layers — the request-id replay cache suppresses
+  // network duplicates, and the decision index answers resubmits of an
+  // already-decided txn — so a timed-out commit may simply be retried.
+  bool durable = false;
+  {
+    TraceSpan span("txn.commit", static_cast<std::int64_t>(txn),
+                   TraceRing::Global(), nullptr, pending->trace_id);
+    CommitDecisionBody decision;
+    decision.record = record;
+    auto resp = client_->Call(MessageKind::kCommit, home_shard, txn,
+                              pending->trace_id, decision.Encode());
+    if (!resp.ok()) {
+      return fail_retryable(UnavailableError(StrFormat(
+          "commit of txn %llu lost in the network: %s",
+          static_cast<unsigned long long>(txn),
+          resp.status().message().c_str())));
+    }
+    Status st = resp->ToStatus();
+    if (st.code() == StatusCode::kFailedPrecondition) {
+      // The lease reaper got here first: the transaction is aborted
+      // for good, nothing was or will be applied.
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        pending_.erase(txn);
+      }
+      open_reservations_gauge_->Set(
+          static_cast<double>(OpenReservations()));
+      return st;
+    }
+    if (!st.ok()) return fail_retryable(st);
+    durable = !resp->body.empty() && resp->body[0] != '\0';
+  }
+  if (crash_after_decision_ && crash_after_decision_(txn)) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending->busy = false;
+    return UnavailableError(
+        "injected coordinator crash after the decision was committed");
+  }
+
+  // Phase 2: COMMIT(portion) to every stage. At-least-once: a lost
+  // delivery parks in the redelivery queue (PumpTransport drives it);
+  // the application is idempotent, keyed by the open stage.
+  int participants = 0;
+  const std::int64_t home_round = pending->coordinator_round;
+  for (const Portion& portion : pending->portions) {
+    Feedback fb(feedback.begin() + static_cast<std::ptrdiff_t>(portion.start),
+                feedback.begin() + static_cast<std::ptrdiff_t>(
+                                       portion.start +
+                                       portion.local_events.size()));
+    CommitPortionBody body;
+    body.is_home = portion.shard == home_shard;
+    body.write_frame = durable && !body.is_home;
+    body.record.t = portion.local_round;
+    body.record.user_id = pending->user_id;
+    body.record.user_capacity = portion.local_capacity;
+    body.record.arrangement = portion.local_events;
+    body.record.feedback = fb;
+    body.record.contexts.assign(
+        pending->context_rows.begin() +
+            static_cast<std::ptrdiff_t>(portion.start),
+        pending->context_rows.begin() +
+            static_cast<std::ptrdiff_t>(portion.start +
+                                        portion.local_events.size()));
+    if (!body.is_home) ++participants;
+    if (!shard_alive(portion.shard)) {
+      // The participant died after the commit point; its durable
+      // reservation meets the durable decision at recovery.
+      continue;
+    }
+    TraceSpan span("txn.portion", static_cast<std::int64_t>(txn),
+                   TraceRing::Global(), nullptr, pending->trace_id);
+    auto resp = client_->Call(MessageKind::kCommit, portion.shard, txn,
+                              pending->trace_id, body.Encode());
+    if (!resp.ok()) {
+      UndeliveredPortion parked;
+      parked.shard = portion.shard;
+      parked.txn = txn;
+      parked.trace_id = pending->trace_id;
+      parked.body = body.Encode();
+      std::lock_guard<std::mutex> lock(undelivered_mu_);
+      undelivered_.push_back(std::move(parked));
+      continue;
+    }
+    if (Status st = resp->ToStatus(); !st.ok()) return fail_retryable(st);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.erase(txn);  // `pending` dangles past this point.
+  }
+  rounds_completed_.fetch_add(1, std::memory_order_relaxed);
+  open_reservations_gauge_->Set(static_cast<double>(OpenReservations()));
+  if (result != nullptr) {
+    result->txn = txn;
+    result->home_shard = home_shard;
+    result->home_round = home_round;
+    result->durable = durable;
+    result->participant_shards = participants;
+  }
+  MaybeAutoMerge();
+  return Status::Ok();
+}
+
+Status ShardedArrangementService::PumpTransport() {
+  if (net_ == nullptr) return Status::Ok();
+  std::lock_guard<std::mutex> net_lock(net_mu_);
+  net_->Pump();
+
+  // Redeliver parked committed portions (at-least-once; the handler is
+  // an idempotent no-op once the stage closed). One pass per pump:
+  // still-failing deliveries go back in the queue.
+  std::deque<UndeliveredPortion> parked;
+  {
+    std::lock_guard<std::mutex> lock(undelivered_mu_);
+    parked.swap(undelivered_);
+  }
+  while (!parked.empty()) {
+    UndeliveredPortion portion = std::move(parked.front());
+    parked.pop_front();
+    if (!shard_alive(portion.shard)) {
+      // The shard crashed: its durable reservation resolves against the
+      // decision index at recovery; the parked copy is obsolete.
+      continue;
+    }
+    auto resp = client_->Call(MessageKind::kCommit, portion.shard,
+                              portion.txn, portion.trace_id, portion.body);
+    if (!resp.ok() || !resp->ToStatus().ok()) {
+      std::lock_guard<std::mutex> lock(undelivered_mu_);
+      undelivered_.push_back(std::move(portion));
+      continue;
+    }
+    redelivered_metric_->Increment();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.redelivered_portions;
+  }
+
+  // Lease sweep: every expired stage re-queries its coordinator's
+  // decision index with force — committed or mid-commit stages renew,
+  // undecided ones are force-aborted (presumed abort without a crash).
+  const std::int64_t now = net_->now();
+  struct ExpiredStage {
+    int shard = 0;
+    std::uint64_t txn = 0;
+    int coordinator = 0;
+  };
+  std::vector<ExpiredStage> expired;
+  for (int sidx = 0; sidx < options_.num_shards; ++sidx) {
+    Shard& s = *shards_[static_cast<std::size_t>(sidx)];
+    if (s.service == nullptr) continue;
+    std::lock_guard<std::mutex> lock(s.ledger_mu);
+    for (const auto& [txn, entry] : s.stage_rounds) {
+      if (entry.lease_expiry > 0 && entry.lease_expiry < now) {
+        expired.push_back({sidx, txn, entry.coordinator});
+      }
+    }
+  }
+  for (const ExpiredStage& e : expired) {
+    leases_expired_metric_->Increment();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.leases_expired;
+    }
+    const auto renew = [&]() {
+      Shard& s = *shards_[static_cast<std::size_t>(e.shard)];
+      std::lock_guard<std::mutex> lock(s.ledger_mu);
+      auto it = s.stage_rounds.find(e.txn);
+      if (it != s.stage_rounds.end()) {
+        it->second.lease_expiry = now + topts_.lease_ticks;
+      }
+    };
+    if (!shard_alive(e.coordinator)) {
+      renew();  // Wait for the coordinator's recovery to answer.
+      continue;
+    }
+    auto resp = client_->Call(MessageKind::kQueryDecision, e.coordinator,
+                              e.txn, Mix64(e.txn), std::string(1, '\1'));
+    if (!resp.ok() || !resp->ToStatus().ok()) {
+      renew();  // Unreachable; ask again next sweep.
+      continue;
+    }
+    auto body = QueryResponseBody::Decode(resp->body);
+    if (!body.ok()) return body.status();
+    if (body->outcome != 0) {
+      renew();  // Committed (redelivery closes it) or mid-commit.
+      continue;
+    }
+    auto abort_resp = client_->Call(MessageKind::kAbort, e.shard, e.txn,
+                                    Mix64(e.txn), std::string());
+    if (!abort_resp.ok() || !abort_resp->ToStatus().ok()) {
+      renew();  // The abort itself was lost; retry next sweep.
+      continue;
+    }
+    force_aborted_metric_->Increment();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.force_aborted;
+  }
+  open_reservations_gauge_->Set(static_cast<double>(OpenReservations()));
+  return Status::Ok();
+}
+
+std::int64_t ShardedArrangementService::UndeliveredPortions() const {
+  std::lock_guard<std::mutex> lock(undelivered_mu_);
+  return static_cast<std::int64_t>(undelivered_.size());
+}
+
+std::int64_t ShardedArrangementService::TransportRetries() const {
+  return client_ == nullptr ? 0 : client_->retries();
+}
+
+std::int64_t ShardedArrangementService::TransportTimeouts() const {
+  return client_ == nullptr ? 0 : client_->timeouts();
+}
+
+std::int64_t ShardedArrangementService::TransportDupSuppressed() const {
+  std::int64_t total = 0;
+  for (const auto& server : servers_) {
+    if (server != nullptr) total += server->dup_suppressed();
+  }
+  return total;
+}
+
+// --- Rebalancing ---------------------------------------------------------
+
+Status ShardedArrangementService::RestartShard(int shard) {
+  if (Status st = KillShard(shard); !st.ok()) return st;
+  auto report = RecoverShard(shard);
+  if (!report.ok()) return report.status();
+  return AttachShardWal(shard);
+}
+
+StatusOr<RebalanceReport> ShardedArrangementService::Rebalance(
+    int new_num_shards) {
+  const int old_num = options_.num_shards;
+  if (new_num_shards < old_num) {
+    return UnimplementedError(
+        "shrinking the topology is not supported; rebalancing only "
+        "grows");
+  }
+  if (new_num_shards == old_num) {
+    return InvalidArgumentError(
+        StrFormat("the topology already has %d shard(s)", old_num));
+  }
+  if (env_ == nullptr) {
+    return FailedPreconditionError(
+        "no WAL base directory configured (AttachWals was never called)");
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (!pending_.empty() || !interrupted_.empty()) {
+      return FailedPreconditionError(
+          "transactions are in flight; quiesce before rebalancing");
+    }
+  }
+  if (OpenReservations() != 0) {
+    return FailedPreconditionError(
+        "reservations are open; quiesce before rebalancing");
+  }
+  for (int s = 0; s < old_num; ++s) {
+    if (!shard_alive(s)) {
+      return FailedPreconditionError(StrFormat(
+          "shard %d is down; recover it before rebalancing", s));
+    }
+  }
+
+  const std::uint32_t new_epoch = rebalance_epoch_ + 1;
+  RebalanceReport report;
+  report.old_shards = old_num;
+  report.new_shards = new_num_shards;
+  report.epoch = new_epoch;
+
+  // Drain: restart every shard from its WAL, so the state we are about
+  // to package equals the durable state (non-durable rounds are shed
+  // exactly as a crash would shed them).
+  for (int s = 0; s < old_num; ++s) {
+    if (Status st = RestartShard(s); !st.ok()) return st;
+  }
+  const auto abort_attempt = [&](Status st) {
+    while (static_cast<int>(shards_.size()) > old_num) shards_.pop_back();
+    if (static_cast<int>(servers_.size()) > old_num) {
+      servers_.resize(static_cast<std::size_t>(old_num));
+    }
+    rebalance_aborted_metric_->Increment();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rebalances_aborted;
+    return st;
+  };
+  if (rebalance_crash_hook_ && rebalance_crash_hook_(0)) {
+    return abort_attempt(
+        UnavailableError("injected rebalance crash after the drain"));
+  }
+
+  // Snapshot the drained capacities — the conservation baseline the
+  // chaos harness audits against.
+  report.remaining_after_drain.resize(instance_->num_events());
+  for (EventId g = 0; g < instance_->num_events(); ++g) {
+    const int owner = router().OwnerShard(g);
+    report.remaining_after_drain[g] =
+        shards_[static_cast<std::size_t>(owner)]->service->state().remaining(
+            router().LocalId(g));
+  }
+
+  // Compute the moves under the candidate router and package each
+  // source shard's contribution per destination: consumed capacity plus
+  // the source learner's observation rows for the moved events.
+  auto next = std::make_unique<ShardRouter>(instance_, new_num_shards);
+  std::map<std::pair<int, int>, MigrateRecord> transfers;
+  for (EventId g = 0; g < instance_->num_events(); ++g) {
+    const int src = router().OwnerShard(g);
+    const int dst = next->OwnerShard(g);
+    if (src == dst) continue;
+    MigratedEvent moved;
+    moved.event = g;
+    moved.consumed =
+        instance_->capacity(g) - report.remaining_after_drain[g];
+    const EventId local = router().LocalId(g);
+    const InteractionLog& log =
+        shards_[static_cast<std::size_t>(src)]->service->log();
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      const InteractionRecord& rec = log.record(i);
+      for (std::size_t j = 0; j < rec.arrangement.size(); ++j) {
+        if (rec.arrangement[j] != local) continue;
+        MigratedObservation obs;
+        obs.context = rec.contexts[j];
+        obs.reward = static_cast<double>(rec.feedback[j]);
+        moved.observations.push_back(std::move(obs));
+      }
+    }
+    MigrateRecord& record = transfers[{src, dst}];
+    record.src_shard = src;
+    record.events.push_back(std::move(moved));
+    report.moved_events.push_back(g);
+  }
+  report.events_moved =
+      static_cast<std::int64_t>(report.moved_events.size());
+
+  // Create the new shards: inner services over the candidate router's
+  // sub-instances (they serve nothing until the flip) with fresh WALs,
+  // so MIGRATE frames have somewhere durable to land.
+  for (int s = old_num; s < new_num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    shard->service = std::make_unique<ArrangementService>(
+        &next->SubInstance(s), options_.kind, options_.params,
+        DeriveSeed(options_.seed, "shard-policy",
+                   static_cast<std::uint64_t>(s)));
+    auto wal = WalWriter::Open(env_, ShardWalDirName(wal_base_dir_, s),
+                               wal_options_);
+    if (!wal.ok()) return abort_attempt(wal.status());
+    shard->wal = std::move(wal).value();
+    shard->breaker =
+        durability_.breaker_enabled
+            ? std::make_unique<CircuitBreaker>(durability_.breaker)
+            : nullptr;
+    shards_.push_back(std::move(shard));
+    // Put the new shard on the wire now so the WAL-segment handoff
+    // below travels as kMigrate messages rather than direct appends.
+    if (net_ != nullptr) RegisterShardServer(s);
+  }
+
+  // Transfer: one MIGRATE frame per (source, destination) pair,
+  // appended strictly to the destination's WAL — over the transport
+  // when one is attached (the WAL-segment handoff message). A crash
+  // here leaves only frames of an epoch that never flips; the retry
+  // supersedes them (last writer per event wins).
+  for (const auto& [key, migrate] : transfers) {
+    const int dst = key.second;
+    if (rebalance_crash_hook_ && rebalance_crash_hook_(1)) {
+      return abort_attempt(
+          UnavailableError("injected rebalance crash mid-transfer"));
+    }
+    const std::string frame = EncodeMigrateFrame(
+        Mix64((static_cast<std::uint64_t>(new_epoch) << 32) |
+              static_cast<std::uint32_t>(dst)),
+        new_epoch, migrate);
+    if (net_ != nullptr && net_->NodeRegistered(dst)) {
+      auto resp = client_->Call(MessageKind::kMigrate, dst, 0,
+                                Mix64(new_epoch), frame);
+      if (!resp.ok()) return abort_attempt(resp.status());
+      if (Status st = resp->ToStatus(); !st.ok()) {
+        return abort_attempt(st);
+      }
+    } else {
+      Shard& d = *shards_[static_cast<std::size_t>(dst)];
+      if (Status st = AppendFrameStrict(d, frame); !st.ok()) {
+        return abort_attempt(st);
+      }
+    }
+  }
+  if (rebalance_crash_hook_ && rebalance_crash_hook_(2)) {
+    return abort_attempt(UnavailableError(
+        "injected rebalance crash after the transfer, before the flip"));
+  }
+
+  // Flip: install the new generation. From here on frames carry the new
+  // epoch and arrivals route across the grown topology.
+  routers_.push_back(std::move(next));
+  rebalance_epoch_ = new_epoch;
+  options_.num_shards = new_num_shards;
+  {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    cursors_.resize(static_cast<std::size_t>(new_num_shards));
+    for (auto& row : cursors_) {
+      row.resize(static_cast<std::size_t>(new_num_shards), 0);
+    }
+  }
+  if (net_ != nullptr) {
+    servers_.resize(static_cast<std::size_t>(new_num_shards));
+  }
+
+  // Rebuild: every shard restarts under the new epoch — the moment the
+  // MIGRATE frames take effect. Identical to crash recovery, so the
+  // flipped topology is exactly what a post-flip crash would rebuild.
+  for (int s = 0; s < new_num_shards; ++s) {
+    if (Status st = RestartShard(s); !st.ok()) return st;
+  }
+
+  rebalance_migrations_metric_->Increment();
+  rebalance_events_moved_metric_->Add(report.events_moved);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rebalances;
+    stats_.events_moved += report.events_moved;
+  }
+  return report;
 }
 
 // --- Delta-merge ---------------------------------------------------------

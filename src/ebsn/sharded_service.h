@@ -1,5 +1,6 @@
 // ShardedArrangementService: crash-safe sharded serving with a two-phase
-// cross-shard arrangement protocol.
+// cross-shard arrangement protocol, an optional message-passing shard
+// transport, and live shard rebalancing.
 //
 // Events are partitioned across N shards (ShardRouter, consistent
 // hashing); each shard runs a WAL-less inner ArrangementService over its
@@ -31,19 +32,62 @@
 // closing their reservation — but only when the decision was durable,
 // so a portion record can never outlive its decision.
 //
+// Message transport (ConfigureTransport). By default every protocol step
+// above is an in-process call. With a SimulatedNetwork attached, the
+// service becomes a *gateway* node: SERVE/RESERVE/COMMIT/ABORT/
+// QUERY-DECISION/HEALTH/MIGRATE steps travel as typed envelopes
+// (net/envelope.h) through the network's fault model — drop, delay,
+// duplicate, reorder, partitions — with a Deadline + RetryPolicy on
+// every call (net/client.h) and a request-id replay cache on every
+// shard server (net/server.h), so a retried RESERVE never
+// double-reserves. Reservations and serve stages then carry *leases*
+// (logical-clock expiry): PumpTransport() re-queries expired ones
+// against the coordinator's decision index over the transport and
+// force-aborts what was never committed — presumed abort without
+// waiting for a crash. Committed portions whose delivery failed park in
+// a redelivery queue (at-least-once; the portion application is
+// idempotent). The transport path is serialized by an internal mutex:
+// multi-threaded serving stays on the in-process path.
+//
 // Crash recovery (per shard, independent). Replaying a shard's WAL
 // rebuilds its inner service from DECISION slices and PORTION records
 // (duplicate frames collapsed by round id, adjacent or not), indexes
 // its decisions, and collects reservations with no closing portion —
 // the *in-doubt* set. Resolution is presumed-abort: each in-doubt
-// reservation re-queries the coordinator shard's decision index (live
-// in-memory, or just-recovered); a decision containing the reserved
-// events commits the portion (applied exactly once — an applied-but-
-// unclosed portion cannot survive into the recovered state, because
-// recovered state comes only from the WAL), anything else aborts it.
-// No in-doubt reservation survives recovery. Capacities can never go
-// negative: every consumption goes through the owner's inner service,
-// which validates before applying.
+// reservation re-queries the coordinator shard's decision index — over
+// the transport when one is attached, falling back to the live
+// in-memory index or a read-only WAL scan when the coordinator is
+// unreachable; a decision containing the reserved events commits the
+// portion, anything else aborts it. No in-doubt reservation survives
+// recovery. Capacities can never go negative: every consumption goes
+// through the owner's inner service, which validates before applying.
+//
+// Live rebalancing (Rebalance). Growing the shard count moves ~1/N of
+// the events to the new shards (consistent hashing). The migration is
+// drain → transfer → flip → rebuild:
+//   drain     every shard restarts from its WAL (non-durable rounds are
+//             shed exactly as a crash would shed them), so live state
+//             equals durable state;
+//   transfer  each source shard's moved events are handed to their new
+//             owner as a MIGRATE WAL frame — consumed capacity plus the
+//             source learner's observation rows — stamped with the
+//             epoch the migration creates;
+//   flip      the new ShardRouter generation is installed and the
+//             rebalance epoch increments (frames written from here on
+//             carry it);
+//   rebuild   every shard restarts again under the new epoch, which is
+//             when MIGRATE frames take effect.
+// A crash at any step before the flip leaves only superseded MIGRATE
+// frames behind (last writer per event wins; frames of an epoch that
+// never flipped are inert), so the retry is safe. WAL frames are
+// stamped with their write epoch, and replay maps event ids through the
+// ownership history: a frame's slice contributes an event to a shard
+// only if the shard owned it at the write epoch, still owns it now, and
+// the frame does not pre-date the event's latest migration (those
+// rounds are already folded into the MIGRATE frame's consumed count).
+// The topology history itself is process-lifetime state (shards crash
+// and recover individually; a durable topology manifest is future
+// work).
 //
 // Learner delta-merge. Ridge state is additive (Y += x xᵀ, b += r x),
 // so shards periodically absorb each other's observation deltas via
@@ -52,26 +96,33 @@
 // factor (RidgeState::Refactorize). Merged state is soft: recovery
 // rebuilds a shard from its own WAL only, and the next merge re-syncs.
 //
-// Thread safety: ServeUser/SubmitFeedback are safe from any number of
-// threads (inner services serialize their own pipelines; WAL appends
-// are per-shard mutexed; no lock is ever held across a peer shard's
-// lock). KillShard/RecoverShard/MergeLearners assume the caller stops
-// traffic to the affected shards first (the chaos harness and tests
-// do). Single-threaded runs are bit-reproducible per seed.
+// Thread safety: in-process ServeUser/SubmitFeedback are safe from any
+// number of threads (inner services serialize their own pipelines; WAL
+// appends are per-shard mutexed; no lock is ever held across a peer
+// shard's lock). KillShard/RecoverShard/MergeLearners/Rebalance assume
+// the caller stops traffic to the affected shards first (the chaos
+// harness and tests do). Single-threaded runs are bit-reproducible per
+// seed.
 #ifndef FASEA_EBSN_SHARDED_SERVICE_H_
 #define FASEA_EBSN_SHARDED_SERVICE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "ebsn/arrangement_service.h"
 #include "ebsn/shard_router.h"
 #include "ebsn/shard_wal.h"
+#include "net/client.h"
+#include "net/network.h"
+#include "net/server.h"
 
 namespace fasea {
 
@@ -88,6 +139,20 @@ struct ShardedOptions {
   /// Absorb peer observation deltas every this many completed rounds
   /// (0 disables the automatic cadence; MergeLearners() always works).
   std::int64_t merge_every = 0;
+};
+
+/// Tuning for the message-passing path (ConfigureTransport).
+struct ShardTransportOptions {
+  /// Reservation/serve-stage lease, in network ticks. Past it the stage
+  /// is re-queried against the coordinator's decision index and, if
+  /// still undecided, force-aborted (presumed abort).
+  std::int64_t lease_ticks = 64;
+  /// Client call budget (see net/client.h): per-attempt and overall
+  /// timeouts in network ticks, plus the retry policy (backoff in
+  /// ticks).
+  ShardClientOptions client;
+  /// Per-shard server replay cache (request-id dedup).
+  ShardServerOptions server;
 };
 
 /// The serve-side ticket: feedback must quote `txn`.
@@ -120,7 +185,26 @@ struct ShardRecoveryReport {
   std::int64_t resolved_aborted = 0;
   std::int64_t interrupted_completed = 0;
   std::int64_t interrupted_aborted = 0;
+  std::int64_t migrated_events_applied = 0;
+  std::int64_t migration_filtered_frames = 0;
   std::int64_t rounds_served = 0;  // Inner counter after replay.
+
+  std::string ToString() const;
+};
+
+/// What one completed rebalance moved; printable for operators. The
+/// chaos harness checks capacity conservation against it: every event's
+/// remaining capacity after the drain must reappear unchanged on its
+/// (possibly new) owner after the flip.
+struct RebalanceReport {
+  int old_shards = 0;
+  int new_shards = 0;
+  std::uint32_t epoch = 0;         // The epoch the flip installed.
+  std::int64_t events_moved = 0;
+  std::vector<EventId> moved_events;  // Global ids, ascending.
+  /// remaining_after_drain[g]: event g's remaining capacity once every
+  /// shard was restarted from its WAL, indexed by global event id.
+  std::vector<std::int64_t> remaining_after_drain;
 
   std::string ToString() const;
 };
@@ -136,10 +220,22 @@ struct ShardedStats {
   std::int64_t merges = 0;
   std::int64_t resolved_committed = 0;
   std::int64_t resolved_aborted = 0;
+  // Transport-path counters (zero on the in-process path).
+  std::int64_t leases_expired = 0;
+  std::int64_t force_aborted = 0;
+  std::int64_t redelivered_portions = 0;
+  // Rebalance counters.
+  std::int64_t rebalances = 0;
+  std::int64_t rebalances_aborted = 0;
+  std::int64_t events_moved = 0;
 };
 
 class ShardedArrangementService {
  public:
+  /// The gateway's node id on the simulated network (shards are nodes
+  /// 0..N-1, so the gateway sits outside that range).
+  static constexpr int kGatewayNode = -1;
+
   /// `instance` must outlive the service.
   ShardedArrangementService(const ProblemInstance* instance,
                             ShardedOptions options);
@@ -170,6 +266,60 @@ class ShardedArrangementService {
   /// with no logs attached is a no-op.
   Status CloseDecisionLogs();
 
+  // --- Transport --------------------------------------------------------
+
+  /// Puts every protocol step behind `net` (which must outlive the
+  /// service): the service becomes gateway node kGatewayNode, every live
+  /// shard gets a ShardServer on node id == shard index, and subsequent
+  /// ServeUser/SubmitFeedback calls travel as envelopes with deadlines,
+  /// retries, request-id dedup, and leases. Call once, quiesced.
+  Status ConfigureTransport(SimulatedNetwork* net,
+                            const ShardTransportOptions& options = {});
+  bool transport_enabled() const { return net_ != nullptr; }
+
+  /// Drives the transport-side background work: delivers due messages,
+  /// redelivers parked committed portions, and sweeps expired leases
+  /// (re-query against the coordinator's decision index; force-abort
+  /// what was never committed). Call between arrivals and after heals;
+  /// a no-op without a transport.
+  Status PumpTransport();
+
+  /// Committed portions still awaiting redelivery (zero once the
+  /// network is healed and pumped — the harness's stuck-transaction
+  /// check).
+  std::int64_t UndeliveredPortions() const;
+
+  /// Transport telemetry (zeros without ConfigureTransport): the
+  /// gateway client's retries/timeouts, and replay-cache suppressions
+  /// summed over the currently live shard servers.
+  std::int64_t TransportRetries() const;
+  std::int64_t TransportTimeouts() const;
+  std::int64_t TransportDupSuppressed() const;
+
+  // --- Rebalancing ------------------------------------------------------
+
+  /// Grows the topology to `new_num_shards` (shrinking is not
+  /// supported), migrating moved events drain → transfer → flip →
+  /// rebuild (see the file comment). Requires quiescence: no pending or
+  /// interrupted transactions, no open reservations, every shard alive
+  /// with a WAL attached. On failure (including an injected crash) the
+  /// topology is unchanged and the same call may be retried; aborted
+  /// attempts leave only superseded MIGRATE frames behind.
+  StatusOr<RebalanceReport> Rebalance(int new_num_shards);
+
+  /// The current ownership generation (0 until the first rebalance).
+  std::uint32_t rebalance_epoch() const { return rebalance_epoch_; }
+
+  /// Test/chaos hook: invoked at each rebalance step boundary —
+  /// 0 = after drain, 1 = mid-transfer (before the first MIGRATE frame),
+  /// 2 = after transfer, before the flip. Returning true aborts the
+  /// rebalance there, exactly as a crash would.
+  void set_rebalance_crash_hook(std::function<bool(int step)> hook) {
+    rebalance_crash_hook_ = std::move(hook);
+  }
+
+  // --- Serving ----------------------------------------------------------
+
   /// Serves the next arriving user from the full event set (`contexts`
   /// is the global |V| × d matrix). Retryable failures
   /// (kFailedPrecondition on a busy home pipeline, kResourceExhausted)
@@ -184,10 +334,11 @@ class ShardedArrangementService {
                         ShardedFeedbackResult* result = nullptr);
 
   /// Chaos hook: "crashes" shard `shard` — its inner service, WAL
-  /// writer, breaker, decision index, and observation buffer are
-  /// destroyed. Pending transactions it participated in are aborted on
-  /// the surviving shards; transactions it *coordinated* are parked for
-  /// resolution by RecoverShard. Callers must stop traffic first.
+  /// writer, breaker, decision index, observation buffer, and (under a
+  /// transport) its server node are destroyed. Pending transactions it
+  /// participated in are aborted on the surviving shards; transactions
+  /// it *coordinated* are parked for resolution by RecoverShard.
+  /// Callers must stop traffic first.
   Status KillShard(int shard);
 
   /// Rebuilds a killed shard from its WAL alone, resolves every
@@ -195,7 +346,8 @@ class ShardedArrangementService {
   /// decision indexes), and completes or aborts interrupted
   /// transactions this shard coordinated. Leaves the shard without a
   /// WAL writer; call AttachWals (or AttachShardWal) to resume
-  /// durability.
+  /// durability. Under a transport, the shard's server node comes back
+  /// with it.
   StatusOr<ShardRecoveryReport> RecoverShard(int shard);
 
   /// Re-attaches a fresh writer for one shard (post-recovery re-arm).
@@ -208,7 +360,7 @@ class ShardedArrangementService {
 
   // --- Introspection ----------------------------------------------------
 
-  const ShardRouter& router() const { return router_; }
+  const ShardRouter& router() const { return *routers_.back(); }
   int num_shards() const { return options_.num_shards; }
   std::int64_t rounds_completed() const {
     return rounds_completed_.load(std::memory_order_relaxed);
@@ -277,6 +429,13 @@ class ShardedArrangementService {
     std::vector<double> context;
     double reward = 0.0;
   };
+  /// One inner round opened over the transport (home serve stage or
+  /// participant reservation), awaiting its commit or abort message.
+  struct StageEntry {
+    std::int64_t local_round = 0;
+    std::int64_t lease_expiry = 0;
+    int coordinator = 0;  // Where the decision for this txn lives.
+  };
   struct Shard {
     int index = 0;
     std::unique_ptr<ArrangementService> service;
@@ -293,14 +452,31 @@ class ShardedArrangementService {
     // Two-phase protocol state.
     mutable std::mutex ledger_mu;
     std::map<std::uint64_t, InteractionRecord> decisions;
+    /// Whether each decision's frame reached the WAL (portion frames of
+    /// a replayed commit message must not outlive a non-durable
+    /// decision).
+    std::map<std::uint64_t, bool> decision_durable;
     std::map<std::uint64_t, ReservationRecord> open_reservations;
+    /// Transport-path stages keyed by txn (see StageEntry).
+    std::map<std::uint64_t, StageEntry> stage_rounds;
 
     // Delta-merge buffers.
     mutable std::mutex obs_mu;
     std::vector<Observation> obs;
   };
+  /// A committed portion whose delivery failed; PumpTransport retries.
+  struct UndeliveredPortion {
+    int shard = 0;
+    std::uint64_t txn = 0;
+    std::uint64_t trace_id = 0;
+    std::string body;
+  };
 
   enum class AppendOutcome { kDurable, kNonDurable };
+
+  /// The ownership generation a frame of epoch `e` was written under
+  /// (clamped to the newest installed generation).
+  const ShardRouter& RouterAt(std::uint32_t epoch) const;
 
   Matrix GatherContexts(int shard, const ContextMatrix& contexts) const;
   Arrangement MapToGlobal(int shard, const Arrangement& local) const;
@@ -309,30 +485,66 @@ class ShardedArrangementService {
   /// Breaker-mediated append (DECISION/PORTION path): mirrors the
   /// unsharded DurabilityPolicy semantics.
   StatusOr<AppendOutcome> AppendFrame(Shard& shard, std::string_view frame);
-  /// Strict append (RESERVE path): durable or refused, never degraded.
+  /// Strict append (RESERVE/MIGRATE path): durable or refused, never
+  /// degraded.
   Status AppendFrameStrict(Shard& shard, std::string_view frame);
   /// Reopen-if-broken + append; caller holds shard.wal_mu.
   Status AppendLocked(Shard& shard, std::string_view frame);
 
   /// The slice of a (global-id) decision record owned by `shard`,
-  /// re-labelled with local ids and round `t`.
+  /// re-labelled with local ids and round `t` — the live path (current
+  /// epoch only).
   InteractionRecord SliceForShard(int shard, const InteractionRecord& record,
                                   std::int64_t t) const;
+  /// Replay-time slice: keeps an event only if `shard` owned it at
+  /// `frame_epoch`, still owns it now, and the frame does not pre-date
+  /// the event's latest migration (`acquired`: event -> epoch of its
+  /// winning MIGRATE frame). Sets *migration_filtered when the epoch
+  /// rules dropped anything.
+  InteractionRecord SliceForReplay(
+      int shard, const InteractionRecord& record, std::int64_t t,
+      std::uint32_t frame_epoch,
+      const std::map<EventId, std::uint32_t>& acquired,
+      bool* migration_filtered) const;
   /// Rolls back every inner round a failed serve opened and drops the
   /// in-memory reservations (their durable frames resolve to presumed
   /// abort).
   void AbortOpenPortions(const PendingTxn& pending, std::uint64_t txn);
-  /// The coordinator's decision for `txn`: its live in-memory index, or
-  /// — when the coordinator is down — a read-only scan of its WAL.
+  /// The coordinator's decision for `txn`: over the transport when its
+  /// node answers, else its live in-memory index, else a read-only scan
+  /// of its WAL.
   StatusOr<bool> LookupDecision(int coordinator, std::uint64_t txn,
-                                InteractionRecord* out) const;
+                                InteractionRecord* out);
   void AppendObservations(Shard& shard, const InteractionRecord& record);
   void MaybeAutoMerge();
   Status ResolveInterrupted(int shard, ShardRecoveryReport* report);
 
+  // Transport plumbing.
+  void RegisterShardServer(int shard);
+  StatusOr<ShardedServeResult> ServeUserTransport(
+      std::int64_t user_id, std::int64_t user_capacity,
+      const ContextMatrix& contexts);
+  Status SubmitFeedbackTransport(std::uint64_t txn, const Feedback& feedback,
+                                 ShardedFeedbackResult* result);
+  StatusOr<std::string> HandleServe(int shard, const Envelope& request);
+  StatusOr<std::string> HandleReserve(int shard, const Envelope& request);
+  StatusOr<std::string> HandleCommit(int shard, const Envelope& request);
+  StatusOr<std::string> HandleAbort(int shard, const Envelope& request);
+  StatusOr<std::string> HandleQuery(int shard, const Envelope& request);
+  StatusOr<std::string> HandleHealth(int shard, const Envelope& request);
+  StatusOr<std::string> HandleMigrate(int shard, const Envelope& request);
+  /// One drain/rebuild restart of a live shard (kill + recover +
+  /// re-attach its WAL); requires quiescence.
+  Status RestartShard(int shard);
+
   const ProblemInstance* instance_;
   ShardedOptions options_;
-  ShardRouter router_;
+  /// Ownership history, one router per rebalance epoch; back() is
+  /// current. Grows at each flip; inner services of epoch e hold
+  /// pointers into routers_[e]'s sub-instances, so entries are never
+  /// dropped.
+  std::vector<std::unique_ptr<ShardRouter>> routers_;
+  std::uint32_t rebalance_epoch_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   Env* env_ = nullptr;          // Set by AttachWals.
@@ -348,6 +560,9 @@ class ShardedArrangementService {
   /// Transactions whose coordinator died mid-commit; resolved by
   /// RecoverShard(coordinator).
   std::map<std::uint64_t, PendingTxn> interrupted_;
+  /// Transactions force-aborted on lease expiry: a late COMMIT for one
+  /// of these must be refused, not applied.
+  std::set<std::uint64_t> aborted_txns_;
 
   mutable std::mutex stats_mu_;
   ShardedStats stats_;
@@ -355,7 +570,18 @@ class ShardedArrangementService {
   std::vector<std::vector<std::size_t>> cursors_;
   std::mutex merge_mu_;
 
+  // Transport state (null/empty without ConfigureTransport).
+  SimulatedNetwork* net_ = nullptr;
+  ShardTransportOptions topts_;
+  std::unique_ptr<ShardClient> client_;
+  std::vector<std::unique_ptr<ShardServer>> servers_;
+  /// Serializes the transport path (gateway calls + pumps).
+  std::mutex net_mu_;
+  mutable std::mutex undelivered_mu_;
+  std::deque<UndeliveredPortion> undelivered_;
+
   std::function<bool(std::uint64_t)> crash_after_decision_;
+  std::function<bool(int)> rebalance_crash_hook_;
 
   // Telemetry (§8 catalog).
   Counter* cross_shard_rounds_metric_ =
@@ -373,6 +599,18 @@ class ShardedArrangementService {
   Counter* merges_metric_ = Metrics()->GetCounter("fasea.shard.merges");
   Counter* nondurable_metric_ =
       Metrics()->GetCounter("fasea.shard.nondurable_rounds");
+  Counter* leases_expired_metric_ =
+      Metrics()->GetCounter("fasea.shard.leases_expired");
+  Counter* force_aborted_metric_ =
+      Metrics()->GetCounter("fasea.shard.force_aborted");
+  Counter* redelivered_metric_ =
+      Metrics()->GetCounter("fasea.shard.redelivered_portions");
+  Counter* rebalance_events_moved_metric_ =
+      Metrics()->GetCounter("fasea.rebalance.events_moved");
+  Counter* rebalance_migrations_metric_ =
+      Metrics()->GetCounter("fasea.rebalance.migrations");
+  Counter* rebalance_aborted_metric_ =
+      Metrics()->GetCounter("fasea.rebalance.aborted");
   Gauge* open_reservations_gauge_ =
       Metrics()->GetGauge("fasea.shard.open_reservations");
 };

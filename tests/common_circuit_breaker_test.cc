@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
 
 namespace fasea {
 namespace {
@@ -69,6 +74,57 @@ TEST_F(CircuitBreakerTest, CooldownThenProbeThenClose) {
   breaker.RecordSuccess();
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
   EXPECT_EQ(breaker.closes(), 1);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST_F(CircuitBreakerTest, HalfOpenAdmitsExactlyOneRacingProbe) {
+  // Many callers race Allow() the instant the cooldown elapses. The
+  // half-open probe slot must admit exactly one of them; every loser
+  // turns into a retryable rejection (so the caller's RetryPolicy can
+  // come back after the probe resolves), never a second probe.
+  CircuitBreaker breaker(TestOptions(), &FakeNow);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  g_now_ns += 100;  // Cooldown elapsed; next Allow() is the probe.
+
+  constexpr int kRacers = 8;
+  std::atomic<int> admitted{0};
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<Status> rejections(kRacers, Status::Ok());
+  std::vector<std::thread> racers;
+  racers.reserve(kRacers);
+  for (int i = 0; i < kRacers; ++i) {
+    racers.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      if (breaker.Allow()) {
+        admitted.fetch_add(1);
+      } else {
+        // What a real caller does with a false Allow(): reject the
+        // request with a retryable status and let backoff re-enter.
+        rejections[i] = UnavailableError("breaker half-open: probe lost");
+      }
+    });
+  }
+  while (ready.load() < kRacers) std::this_thread::yield();
+  go.store(true);
+  for (auto& t : racers) t.join();
+
+  EXPECT_EQ(admitted.load(), 1);  // Exactly one probe through.
+  EXPECT_EQ(breaker.probes(), 1);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  int losers = 0;
+  for (const Status& st : rejections) {
+    if (st.ok()) continue;  // The winner.
+    ++losers;
+    EXPECT_TRUE(IsRetryable(st)) << st.ToString();
+  }
+  EXPECT_EQ(losers, kRacers - 1);
+
+  // The winner's verdict still drives the state machine as usual.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
   EXPECT_TRUE(breaker.Allow());
 }
 

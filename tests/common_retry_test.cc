@@ -102,6 +102,29 @@ TEST(RetryPolicyTest, ExpiredDeadlineStopsRetrying) {
   EXPECT_EQ(calls, 1);  // The deadline killed the second attempt.
 }
 
+TEST(RetryPolicyTest, RunClampsSleepsToTheDeadlineRemainder) {
+  // Backoffs a thousand times larger than the deadline budget: without
+  // the clamp, a single jittered sleep would burn the whole budget.
+  RetryOptions options;
+  options.max_attempts = 6;
+  options.initial_backoff_ns = 1'000'000'000;  // 1s
+  options.max_backoff_ns = 5'000'000'000;      // 5s
+  constexpr std::int64_t kBudgetNs = 50'000'000;  // 50ms
+  RetryPolicy policy(options, /*seed=*/11);
+  SleepLog sleeps;
+  const Status st = policy.Run([] { return UnavailableError("x"); },
+                               sleeps.fn(), Deadline::AfterNanos(kBudgetNs));
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  ASSERT_FALSE(sleeps.delays.empty());
+  for (const std::int64_t delay : sleeps.delays) {
+    EXPECT_GE(delay, 0);
+    // Clamped to the remainder — never the configured backoff floor,
+    // which exceeds the whole budget.
+    EXPECT_LE(delay, kBudgetNs);
+    EXPECT_LT(delay, options.initial_backoff_ns);
+  }
+}
+
 TEST(RetryPolicyTest, DelaysStayWithinTheConfiguredBounds) {
   RetryOptions options = FastOptions();
   options.max_attempts = 50;

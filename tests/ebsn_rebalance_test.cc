@@ -1,0 +1,258 @@
+// Live shard rebalancing: grow the topology under a drain -> transfer
+// (WAL segment handoff + learner delta) -> flip protocol, conserve
+// per-event capacity exactly, survive a crash at every step, and keep
+// serving correctly in the new epoch — including across a post-flip
+// full crash/recovery.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ebsn/sharded_service.h"
+#include "graph/conflict_graph.h"
+#include "io/env.h"
+#include "linalg/matrix.h"
+#include "model/instance.h"
+#include "net/network.h"
+
+namespace fasea {
+namespace {
+
+constexpr std::size_t kEvents = 16;
+constexpr std::size_t kDim = 3;
+
+ProblemInstance MakeInstance() {
+  std::vector<std::int64_t> capacities(kEvents, 6);
+  ConflictGraph conflicts(kEvents);
+  for (std::size_t v = 0; v + 1 < kEvents; ++v) {
+    conflicts.AddConflict(v, v + 1);
+  }
+  auto instance = ProblemInstance::Create(std::move(capacities),
+                                          std::move(conflicts), kDim);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+Matrix MakeContexts(std::uint64_t salt) {
+  Matrix contexts(kEvents, kDim);
+  for (std::size_t v = 0; v < kEvents; ++v) {
+    for (std::size_t k = 0; k < kDim; ++k) {
+      contexts.Row(v)[k] =
+          0.1 * static_cast<double>((v * kDim + k + salt) % 7) + 0.05;
+    }
+  }
+  return contexts;
+}
+
+std::string FreshDir(const std::string& name, int max_shards) {
+  const std::string dir = ::testing::TempDir() + "fasea_" + name;
+  Env* env = Env::Default();
+  (void)env->CreateDir(dir);
+  for (int s = 0; s < max_shards; ++s) {
+    const std::string sub = ShardWalDirName(dir, s);
+    if (auto names = env->ListDir(sub); names.ok()) {
+      for (const std::string& file : *names) {
+        (void)env->DeleteFile(JoinPath(sub, file));
+      }
+    }
+  }
+  return dir;
+}
+
+ShardedOptions Opts(int shards) {
+  ShardedOptions options;
+  options.num_shards = shards;
+  options.seed = 42;
+  return options;
+}
+
+/// Serves + commits one round, folding consumption into `consumed`.
+void OneRound(ShardedArrangementService* service, std::int64_t user_id,
+              std::uint64_t salt,
+              std::map<EventId, std::int64_t>* consumed) {
+  auto served = service->ServeUser(user_id, 5, MakeContexts(salt));
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  Feedback feedback(served->arrangement.size(), 1);
+  ASSERT_TRUE(
+      service->SubmitFeedback(served->txn, feedback, nullptr).ok());
+  for (EventId v : served->arrangement) ++(*consumed)[v];
+}
+
+void ExpectCapacitiesMatch(const ShardedArrangementService& service,
+                           const ProblemInstance& instance,
+                           const std::map<EventId, std::int64_t>& consumed,
+                           const char* when) {
+  const ShardRouter& router = service.router();
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    const int owner = router.OwnerShard(v);
+    const auto it = consumed.find(v);
+    const std::int64_t used = it == consumed.end() ? 0 : it->second;
+    ASSERT_NE(service.shard_service(owner), nullptr);
+    EXPECT_EQ(service.shard_service(owner)->state().remaining(
+                  router.LocalId(v)),
+              instance.capacity(v) - used)
+        << when << ": event " << v << " owned by shard " << owner;
+  }
+}
+
+TEST(RebalanceTest, GrowConservesCapacityAndKeepsServing) {
+  const ProblemInstance instance = MakeInstance();
+  const std::string dir = FreshDir("rebalance_grow", 6);
+  ShardedArrangementService service(&instance, Opts(3));
+  ASSERT_TRUE(service
+                  .AttachWals(Env::Default(), dir, WalOptions{},
+                              DurabilityPolicy{})
+                  .ok());
+
+  std::map<EventId, std::int64_t> consumed;
+  for (int i = 0; i < 8; ++i) {
+    OneRound(&service, i, static_cast<std::uint64_t>(i), &consumed);
+  }
+
+  auto report = service.Rebalance(4);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->old_shards, 3);
+  EXPECT_EQ(report->new_shards, 4);
+  EXPECT_EQ(report->epoch, 1u);
+  EXPECT_EQ(service.rebalance_epoch(), 1u);
+  EXPECT_EQ(service.num_shards(), 4);
+  EXPECT_GT(report->events_moved, 0) << "growth moved nothing — weak test";
+
+  // Capacity conservation: what each event had after the drain is
+  // exactly what its (possibly new) owner holds now.
+  for (EventId g = 0; g < instance.num_events(); ++g) {
+    const auto it = consumed.find(g);
+    const std::int64_t used = it == consumed.end() ? 0 : it->second;
+    EXPECT_EQ(report->remaining_after_drain[g], instance.capacity(g) - used)
+        << "event " << g;
+  }
+  ExpectCapacitiesMatch(service, instance, consumed, "post-flip");
+
+  // The moved set is consistent with the routers' own story.
+  const std::set<EventId> moved(report->moved_events.begin(),
+                                report->moved_events.end());
+  for (EventId g : moved) {
+    EXPECT_EQ(service.router().OwnerShard(g), 3)
+        << "growth by one shard should only move events to the new "
+           "shard";
+  }
+
+  // Serving continues in the new epoch, including on the new shard.
+  for (int i = 8; i < 16; ++i) {
+    OneRound(&service, i, static_cast<std::uint64_t>(i), &consumed);
+  }
+  ExpectCapacitiesMatch(service, instance, consumed, "post-flip serving");
+  EXPECT_EQ(service.Stats().rebalances, 1);
+  EXPECT_EQ(service.Stats().events_moved, report->events_moved);
+
+  // A full crash in the new epoch recovers the migrated world
+  // bit-exactly: migrate frames replay before the new epoch's traffic.
+  for (int s = 0; s < service.num_shards(); ++s) {
+    ASSERT_TRUE(service.KillShard(s).ok());
+  }
+  for (int s = 0; s < service.num_shards(); ++s) {
+    auto recovered = service.RecoverShard(s);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  }
+  ExpectCapacitiesMatch(service, instance, consumed, "post-flip recovery");
+  EXPECT_EQ(service.OpenReservations(), 0);
+}
+
+TEST(RebalanceTest, RefusesBadTargetsAndBusyService) {
+  const ProblemInstance instance = MakeInstance();
+  const std::string dir = FreshDir("rebalance_refuse", 4);
+  ShardedArrangementService service(&instance, Opts(2));
+  ASSERT_TRUE(service
+                  .AttachWals(Env::Default(), dir, WalOptions{},
+                              DurabilityPolicy{})
+                  .ok());
+  EXPECT_EQ(service.Rebalance(2).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.Rebalance(1).status().code(),
+            StatusCode::kUnimplemented);
+  // An un-committed transaction blocks the drain.
+  auto served = service.ServeUser(0, 5, MakeContexts(1));
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(service.Rebalance(3).status().code(),
+            StatusCode::kFailedPrecondition);
+  Feedback feedback(served->arrangement.size(), 1);
+  ASSERT_TRUE(
+      service.SubmitFeedback(served->txn, feedback, nullptr).ok());
+  EXPECT_TRUE(service.Rebalance(3).ok());
+}
+
+TEST(RebalanceTest, CrashAtEveryStepAbortsCleanlyAndRetrySucceeds) {
+  const ProblemInstance instance = MakeInstance();
+  for (int crash_step = 0; crash_step < 3; ++crash_step) {
+    const std::string dir = FreshDir(
+        "rebalance_crash_" + std::to_string(crash_step), 4);
+    ShardedArrangementService service(&instance, Opts(3));
+    ASSERT_TRUE(service
+                    .AttachWals(Env::Default(), dir, WalOptions{},
+                                DurabilityPolicy{})
+                    .ok());
+    std::map<EventId, std::int64_t> consumed;
+    for (int i = 0; i < 6; ++i) {
+      OneRound(&service, i, static_cast<std::uint64_t>(i), &consumed);
+    }
+
+    service.set_rebalance_crash_hook(
+        [crash_step](int step) { return step == crash_step; });
+    auto crashed = service.Rebalance(4);
+    ASSERT_FALSE(crashed.ok()) << "step " << crash_step;
+    EXPECT_EQ(crashed.status().code(), StatusCode::kUnavailable);
+    // The abort left the old topology fully intact and serving.
+    EXPECT_EQ(service.num_shards(), 3);
+    EXPECT_EQ(service.rebalance_epoch(), 0u);
+    ExpectCapacitiesMatch(service, instance, consumed, "after the crash");
+    OneRound(&service, 100, 100, &consumed);
+
+    // The retry (no crash) completes and the moved state is exact,
+    // superseding any partial MIGRATE frames the crash left behind.
+    service.set_rebalance_crash_hook(nullptr);
+    auto report = service.Rebalance(4);
+    ASSERT_TRUE(report.ok())
+        << "step " << crash_step << ": " << report.status().ToString();
+    ExpectCapacitiesMatch(service, instance, consumed, "after the retry");
+    OneRound(&service, 101, 101, &consumed);
+    ExpectCapacitiesMatch(service, instance, consumed,
+                          "serving after the retry");
+    EXPECT_EQ(service.Stats().rebalances_aborted, 1);
+    EXPECT_EQ(service.Stats().rebalances, 1);
+  }
+}
+
+TEST(RebalanceTest, MigrationTravelsOverTheTransportWhenAttached) {
+  const ProblemInstance instance = MakeInstance();
+  const std::string dir = FreshDir("rebalance_net", 4);
+  SimulatedNetwork net(/*seed=*/29);  // Must outlive the service.
+  ShardedArrangementService service(&instance, Opts(3));
+  ASSERT_TRUE(service
+                  .AttachWals(Env::Default(), dir, WalOptions{},
+                              DurabilityPolicy{})
+                  .ok());
+  ASSERT_TRUE(service.ConfigureTransport(&net).ok());
+
+  std::map<EventId, std::int64_t> consumed;
+  for (int i = 0; i < 6; ++i) {
+    OneRound(&service, i, static_cast<std::uint64_t>(i), &consumed);
+  }
+  const std::int64_t sent_before = net.stats().sent;
+  auto report = service.Rebalance(4);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(net.stats().sent, sent_before)
+      << "the MIGRATE handoff should be messages, not function calls";
+  ExpectCapacitiesMatch(service, instance, consumed, "post-flip");
+  // The grown topology serves over the network, new shard included.
+  for (int i = 6; i < 12; ++i) {
+    OneRound(&service, i, static_cast<std::uint64_t>(i), &consumed);
+  }
+  ExpectCapacitiesMatch(service, instance, consumed, "post-flip serving");
+}
+
+}  // namespace
+}  // namespace fasea

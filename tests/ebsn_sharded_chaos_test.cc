@@ -1,8 +1,9 @@
 // The sharded chaos harness: every kill mode (single shard, coordinator
-// mid-commit, all shards) against faulted and clean schedules must pass
-// all seven invariants, and single-threaded reports must be
-// bit-reproducible per seed. The full matrix lives behind FASEA_SOAK=1
-// (ctest label `soak`); in-tier runs finish in seconds.
+// mid-commit, all shards, network partition, live rebalance) against
+// faulted and clean schedules must pass all nine invariants, and
+// single-threaded reports must be bit-reproducible per seed. The full
+// matrix lives behind FASEA_SOAK=1 (ctest label `soak`); in-tier runs
+// finish in seconds.
 #include "ebsn/chaos_harness.h"
 
 #include <gtest/gtest.h>
@@ -49,14 +50,34 @@ ShardedChaosOptions ShortOptions(const std::string& dir_name,
 
 TEST(ShardKillModeTest, ParsesEveryNameAndRejectsUnknown) {
   for (const std::string_view name : ShardKillModeNames()) {
-    EXPECT_TRUE(ParseShardKillMode(name).ok()) << name;
+    EXPECT_TRUE(ParseKillMode(name).ok()) << name;
+    EXPECT_TRUE(ParseShardKillMode(name).ok()) << name;  // The alias.
   }
-  EXPECT_EQ(*ParseShardKillMode("one-shard"), ShardKillMode::kOneShard);
-  EXPECT_EQ(*ParseShardKillMode("coordinator-mid-commit"),
+  EXPECT_EQ(*ParseKillMode("one-shard"), ShardKillMode::kOneShard);
+  EXPECT_EQ(*ParseKillMode("coordinator-mid-commit"),
             ShardKillMode::kCoordinatorMidCommit);
-  EXPECT_EQ(*ParseShardKillMode("all"), ShardKillMode::kAll);
-  EXPECT_EQ(ParseShardKillMode("half").status().code(),
-            StatusCode::kInvalidArgument);
+  EXPECT_EQ(*ParseKillMode("all"), ShardKillMode::kAll);
+  EXPECT_EQ(*ParseKillMode("partition"), ShardKillMode::kPartition);
+  EXPECT_EQ(*ParseKillMode("rebalance"), ShardKillMode::kRebalance);
+  const Status bad = ParseKillMode("half").status();
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("'half'"), std::string::npos)
+      << "the error must name the bad value: " << bad.ToString();
+}
+
+TEST(ResolveFaultScheduleTest, AcceptsNamedAndInlineSpecs) {
+  EXPECT_TRUE(ResolveFaultSchedule("torn-tail").ok());
+  auto inline_spec = ResolveFaultSchedule("append_error_rate=0.25");
+  ASSERT_TRUE(inline_spec.ok()) << inline_spec.status().ToString();
+  EXPECT_DOUBLE_EQ(inline_spec->append_error_rate, 0.25);
+  const Status bad_name = ResolveFaultSchedule("no-such").status();
+  EXPECT_EQ(bad_name.code(), StatusCode::kInvalidArgument);
+  const Status bad_inline =
+      ResolveFaultSchedule("no_such_knob=1").status();
+  EXPECT_EQ(bad_inline.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_inline.message().find("no_such_knob=1"),
+            std::string::npos)
+      << "the error must name the bad value: " << bad_inline.ToString();
 }
 
 TEST(ShardedChaosTest, SingleShardKillUnderFaultsPassesInvariants) {
@@ -138,6 +159,55 @@ TEST(ShardedChaosTest, RejectsBadOptionsAndDirtyWalDirs) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(ShardedChaosTest, PartitionChaosHealsWithZeroStuckTransactions) {
+  // Every protocol step over the lossy fabric (12% drop, 10% dup, 10%
+  // reorder), plus a mid-cycle victim partition (full, then one-way).
+  // report->ok covers invariant 8 (zero stuck transactions after the
+  // heal) and the union-replay bit-identity of invariant 3.
+  auto report = RunShardedChaos(ShortOptions(
+      "schaos_part", "clean", ShardKillMode::kPartition));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->ToString();
+  EXPECT_EQ(report->cycles_run, 2);
+  EXPECT_EQ(report->partitions_injected, 2);  // One victim per cycle.
+  EXPECT_GT(report->messages_sent, 0);
+  EXPECT_GT(report->messages_dropped + report->messages_duplicated, 0)
+      << "the net schedule never bit — weak test";
+  EXPECT_GT(report->net_retries, 0);
+  EXPECT_GT(report->serves_unavailable, 0);  // Arrivals hit the partition.
+  EXPECT_GT(report->rounds_acked, 0);
+}
+
+TEST(ShardedChaosTest, PartitionChaosIsBitReproduciblePerSeed) {
+  auto first = RunShardedChaos(ShortOptions(
+      "schaos_part_a", "clean", ShardKillMode::kPartition));
+  auto second = RunShardedChaos(ShortOptions(
+      "schaos_part_b", "clean", ShardKillMode::kPartition));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(first->ok) << first->ToString();
+  EXPECT_EQ(first->ToString(), second->ToString());
+}
+
+TEST(ShardedChaosTest, RebalanceChaosGrowsEveryCycleConservingCapacity) {
+  // Each cycle: one growth attempt crashed at step cycle%3 (must abort
+  // cleanly), then the real grow. report->ok covers invariant 9
+  // (capacity conservation against the drain snapshot) and the replay
+  // invariants across the epoch flips.
+  ShardedChaosOptions options = ShortOptions(
+      "schaos_reb", "flaky-appends", ShardKillMode::kRebalance);
+  // The grown topology adds one WAL dir per cycle; scrub those too.
+  (void)FreshShardedDir("schaos_reb", options.shards + options.cycles);
+  auto report = RunShardedChaos(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->ToString();
+  EXPECT_EQ(report->cycles_run, 2);
+  EXPECT_EQ(report->rebalances, 2);          // One real grow per cycle.
+  EXPECT_EQ(report->rebalances_aborted, 2);  // One crashed attempt each.
+  EXPECT_GT(report->events_moved, 0);
+  EXPECT_GT(report->rounds_acked, 0);
+}
+
 // The soak matrix: every kill mode x every named schedule (mid-commit
 // pairs with clean only — its contract requires a durable decision).
 // Runs only under FASEA_SOAK=1 (ctest labels `soak` and `shard`).
@@ -167,6 +237,27 @@ TEST(ShardedChaosSoakTest, EveryKillModePassesEverySchedule) {
   mid.rounds_per_cycle = 120;
   mid.cycles = 3;
   auto report = RunShardedChaos(mid);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->ToString();
+
+  // Partition chaos soaks at higher fault rates on top of a flaky disk;
+  // rebalance soaks three grows deep against a torn-tail WAL.
+  ShardedChaosOptions part = ShortOptions(
+      "schaos_soak_part", "flaky-appends", ShardKillMode::kPartition);
+  part.rounds_per_cycle = 120;
+  part.cycles = 3;
+  part.net_schedule =
+      "drop_rate=0.2;dup_rate=0.15;reorder_rate=0.15;jitter_ticks=3";
+  report = RunShardedChaos(part);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->ToString();
+
+  ShardedChaosOptions reb = ShortOptions(
+      "schaos_soak_reb", "torn-tail", ShardKillMode::kRebalance);
+  (void)FreshShardedDir("schaos_soak_reb", reb.shards + 3);
+  reb.rounds_per_cycle = 120;
+  reb.cycles = 3;
+  report = RunShardedChaos(reb);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_TRUE(report->ok) << report->ToString();
 }

@@ -1,0 +1,92 @@
+// Wire format of the shard-transport envelope: round-trips, response
+// construction, and rejection of malformed bytes.
+#include "net/envelope.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fasea {
+namespace {
+
+Envelope Sample() {
+  Envelope envelope;
+  envelope.request_id = 0x0123456789abcdefULL;
+  envelope.kind = MessageKind::kReserve;
+  envelope.response = false;
+  envelope.src = -1;  // The gateway node is negative by design.
+  envelope.dst = 3;
+  envelope.txn = 42;
+  envelope.trace_id = 0xdeadbeefULL;
+  envelope.status_code = StatusCode::kOk;
+  envelope.body = std::string("payload\0with\0nuls", 17);
+  return envelope;
+}
+
+TEST(EnvelopeTest, RoundTripsAllFields) {
+  const Envelope original = Sample();
+  auto decoded = DecodeEnvelope(EncodeEnvelope(original));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, original.request_id);
+  EXPECT_EQ(decoded->kind, original.kind);
+  EXPECT_EQ(decoded->response, original.response);
+  EXPECT_EQ(decoded->src, original.src);
+  EXPECT_EQ(decoded->dst, original.dst);
+  EXPECT_EQ(decoded->txn, original.txn);
+  EXPECT_EQ(decoded->trace_id, original.trace_id);
+  EXPECT_EQ(decoded->status_code, original.status_code);
+  EXPECT_EQ(decoded->body, original.body);
+}
+
+TEST(EnvelopeTest, EveryKindRoundTrips) {
+  for (MessageKind kind :
+       {MessageKind::kServe, MessageKind::kReserve, MessageKind::kCommit,
+        MessageKind::kAbort, MessageKind::kQueryDecision,
+        MessageKind::kHealth, MessageKind::kMigrate}) {
+    Envelope envelope = Sample();
+    envelope.kind = kind;
+    auto decoded = DecodeEnvelope(EncodeEnvelope(envelope));
+    ASSERT_TRUE(decoded.ok()) << MessageKindName(kind);
+    EXPECT_EQ(decoded->kind, kind);
+    EXPECT_NE(std::string(MessageKindName(kind)), "unknown");
+  }
+}
+
+TEST(EnvelopeTest, MakeResponseSwapsEndpointsAndCarriesStatus) {
+  const Envelope request = Sample();
+  const Envelope ok =
+      MakeResponse(request, Status::Ok(), "result-bytes");
+  EXPECT_TRUE(ok.response);
+  EXPECT_EQ(ok.request_id, request.request_id);
+  EXPECT_EQ(ok.src, request.dst);
+  EXPECT_EQ(ok.dst, request.src);
+  EXPECT_EQ(ok.txn, request.txn);
+  EXPECT_EQ(ok.body, "result-bytes");
+  EXPECT_TRUE(ok.ToStatus().ok());
+
+  const Envelope err = MakeResponse(
+      request, UnavailableError("shard 3 is down"), "ignored");
+  EXPECT_EQ(err.status_code, StatusCode::kUnavailable);
+  const Status relayed = err.ToStatus();
+  EXPECT_EQ(relayed.code(), StatusCode::kUnavailable);
+  EXPECT_NE(relayed.message().find("shard 3 is down"), std::string::npos);
+}
+
+TEST(EnvelopeTest, RejectsTruncatedUnknownAndTrailingBytes) {
+  const std::string bytes = EncodeEnvelope(Sample());
+  // Truncation anywhere in the header fails cleanly.
+  for (std::size_t cut = 0; cut + 1 < 30 && cut + 1 < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeEnvelope(bytes.substr(0, cut)).ok()) << cut;
+  }
+  // Unknown kind byte (header layout: magic u8, request id u64, kind).
+  std::string bad_kind = bytes;
+  bad_kind[9] = '\x7f';
+  EXPECT_FALSE(DecodeEnvelope(bad_kind).ok());
+  // A corrupted magic byte is not an envelope at all.
+  std::string bad_magic = bytes;
+  bad_magic[0] = '\x00';
+  EXPECT_FALSE(DecodeEnvelope(bad_magic).ok());
+}
+
+}  // namespace
+}  // namespace fasea

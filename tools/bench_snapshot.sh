@@ -10,7 +10,8 @@
 # Finally it runs the bounded-scale sweeps (bench/micro_scale: |V| to
 # 10000, d to 400, epoch-apply amortization) and folds the parsed
 # `[scale]` lines plus the tab5/tab6 bounded-scale wall times into
-# BENCH_PR9.json.
+# BENCH_PR9.json, and the sharded transport-overhead pair (in-process vs
+# simulated network, clean and faulted) into BENCH_PR10.json.
 #
 #   tools/bench_snapshot.sh             # native Release build, full snapshot
 #   tools/bench_snapshot.sh --generic   # portable codegen (no -march=native)
@@ -325,4 +326,74 @@ with open(out_path, "w") as f:
 print(f"bench_snapshot: wrote {out_path}")
 for key, value in sorted(snapshot["summary"].items()):
     print(f"  {key}: {value}")
+PY
+
+# Transport overhead: the sharded closed loop in-process vs over the
+# simulated message network, clean and faulted, folded into
+# BENCH_PR10.json. Round counts scale with FASEA_SCALE like the tab
+# benches (floor keeps the measurement meaningful on smoke runs).
+transport_rounds="$(python3 -c "print(max(400, int(4000 * $FASEA_SCALE)))")"
+echo "== bench_snapshot: transport overhead ($transport_rounds rounds/mode) =="
+cmake --build "$dir" --target transport_overhead -j "$jobs"
+"$dir/bench/transport_overhead" --rounds="$transport_rounds" --shards=4 \
+  >"$dir/transport_clean.out"
+cat "$dir/transport_clean.out"
+"$dir/bench/transport_overhead" --rounds="$transport_rounds" --shards=4 \
+  --net_schedule="drop_rate=0.1;dup_rate=0.1;reorder_rate=0.1;jitter_ticks=2;seed=5" \
+  >"$dir/transport_faulted.out"
+cat "$dir/transport_faulted.out"
+
+python3 - "$dir" "$root/BENCH_PR10.json" "$arch_flag" <<'PY'
+import json
+import sys
+
+bench_dir, out_path, native = sys.argv[1:4]
+
+def parse(token):
+    key, _, value = token.partition("=")
+    try:
+        number = float(value)
+        return key, int(number) if number == int(number) else number
+    except ValueError:
+        return key, value
+
+def read(path):
+    modes, ratio_row = {}, {}
+    with open(path) as f:
+        for line in f:
+            if not line.startswith("[transport] "):
+                continue
+            row = dict(parse(tok) for tok in line.split()[1:])
+            if "mode" in row:
+                modes[str(row.pop("mode"))] = row
+            else:
+                ratio_row = row
+    return modes, ratio_row
+
+clean_modes, clean_summary = read(f"{bench_dir}/transport_clean.out")
+faulted_modes, faulted_summary = read(f"{bench_dir}/transport_faulted.out")
+
+snapshot = {
+    "pr": 10,
+    "description": "Message-passing shard transport: the sharded closed "
+                   "loop driven in-process vs as typed envelopes over the "
+                   "simulated network (clean fabric, then 10% drop/dup/"
+                   "reorder). Identical round counts across modes; the "
+                   "ratio is pure transport cost.",
+    "native_arch": native == "ON",
+    "clean": {"modes": clean_modes, **clean_summary},
+    "faulted": {"modes": faulted_modes, **faulted_summary},
+}
+
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+print(f"bench_snapshot: wrote {out_path}")
+print(f"  clean overhead_ratio: {clean_summary.get('overhead_ratio')}")
+print(f"  faulted overhead_ratio: {faulted_summary.get('overhead_ratio')}")
+wire = faulted_modes.get("simulated_net", {})
+print(f"  faulted retries/timeouts/dup_suppressed: "
+      f"{wire.get('retries')}/{wire.get('timeouts')}/"
+      f"{wire.get('dup_suppressed')}")
 PY

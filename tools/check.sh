@@ -21,6 +21,9 @@
 #                                   # bench (lazy-vs-eager, unit-epoch) and
 #                                   # small tab5/tab6 bounded-scale slices;
 #                                   # the exit code is the parity verdict
+#   tools/check.sh --net-smoke      # also run the net-labeled suites plus
+#                                   # partition + rebalance chaos drills;
+#                                   # the exit code is the invariant verdict
 #
 # The `soak` ctest label (the full chaos matrix) is excluded from the
 # plain and sanitizer tiers; --chaos-smoke opts into it explicitly.
@@ -39,6 +42,7 @@ shard_smoke=0
 replay_smoke=0
 load_smoke=0
 scale_smoke=0
+net_smoke=0
 native=OFF
 for arg in "$@"; do
   case "$arg" in
@@ -49,12 +53,13 @@ for arg in "$@"; do
     --replay-smoke) replay_smoke=1 ;;
     --load-smoke) load_smoke=1 ;;
     --scale-smoke) scale_smoke=1 ;;
+    --net-smoke) net_smoke=1 ;;
     --native) native=ON ;;
     *)
       echo "check.sh: unknown argument '$arg'" \
            "(supported: --metrics-smoke --perf-smoke --chaos-smoke" \
            "--shard-smoke --replay-smoke --load-smoke --scale-smoke" \
-           "--native)" >&2
+           "--net-smoke --native)" >&2
       exit 2
       ;;
   esac
@@ -111,7 +116,8 @@ cmake --build "$root/build-tsan" -j "$jobs"
 # coalescing are lock-free fast paths; the soak label is excluded as in
 # the other tiers.
 ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
-  -R '(thread_pool|parallel|concurrency|shard|batched|admission)' -LE soak
+  -R '(thread_pool|parallel|concurrency|shard|batched|admission|net|transport|rebalance)' \
+  -LE soak
 
 if [[ "$chaos_smoke" -eq 1 ]]; then
   echo
@@ -207,6 +213,33 @@ if [[ "$scale_smoke" -eq 1 ]]; then
   grep -q "Bounded scale" "$root/build/scale_smoke_tab5.out"
   grep -q "Bounded scale" "$root/build/scale_smoke_tab6.out"
   echo "scale smoke: parity clean, bounded-scale slices ran"
+fi
+
+if [[ "$net_smoke" -eq 1 ]]; then
+  echo
+  echo "== net smoke: transport suites + partition/rebalance drills =="
+  # The net-labeled suites (envelope codec, simulated network, client/
+  # server discipline, transport-backed service, rebalancing) first.
+  ctest --test-dir "$root/build" --output-on-failure -j "$jobs" -L net
+  # Then the operator-facing drills. Partition: cycle-long drop/dup/
+  # reorder faults at >=10% rates plus a mid-cycle partition of the
+  # round-robin victim; the run exits non-zero unless every transaction
+  # clears after the heal (invariant 8) and the union replay stays
+  # bit-identical. Rebalance: a grow per cycle, first with an injected
+  # crash (must abort cleanly), then for real, with capacity
+  # conservation audited against the drain snapshot (invariant 9).
+  wal="$root/build/net-smoke-wal.$$.partition"
+  "$root/build/tools/fasea_cli" chaos --shards=3 --kill_mode=partition \
+    --schedule=clean --rounds=40 --cycles=2 --seed=11 \
+    --net_schedule="drop_rate=0.15;dup_rate=0.12;reorder_rate=0.12;jitter_ticks=2" \
+    --wal_dir="$wal"
+  rm -rf "$wal"
+  wal="$root/build/net-smoke-wal.$$.rebalance"
+  "$root/build/tools/fasea_cli" chaos --shards=3 --kill_mode=rebalance \
+    --schedule=flaky-appends --rounds=40 --cycles=2 --seed=12 \
+    --wal_dir="$wal"
+  rm -rf "$wal"
+  echo "net smoke: transport + rebalance drills passed their invariants"
 fi
 
 if [[ "$metrics_smoke" -eq 1 ]]; then

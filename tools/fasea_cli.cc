@@ -35,6 +35,9 @@
 //
 //   fasea_cli chaos --shards=4 --kill_mode=one-shard --schedule=torn-tail
 //   fasea_cli chaos --shards=4 --kill_mode=coordinator-mid-commit
+//   fasea_cli chaos --shards=4 --kill_mode=partition \
+//       --net_schedule='drop_rate=0.15;dup_rate=0.1;reorder_rate=0.1'
+//   fasea_cli chaos --shards=3 --kill_mode=rebalance --schedule=clean
 //
 // Machine-readable health probe (drives a short workload, dumps the
 // HealthSnapshot as JSON, and exits with the health state itself:
@@ -802,7 +805,13 @@ int ChaosMain(int argc, char** argv) {
                   "cross-shard rounds) with N shards.");
   flags.DefineString("kill_mode", "one-shard",
                      "Sharded-only crash drill: one-shard | "
-                     "coordinator-mid-commit | all.");
+                     "coordinator-mid-commit | all | partition | "
+                     "rebalance.");
+  flags.DefineString("net_schedule", "",
+                     "kill_mode=partition only: NetFaultSchedule spec "
+                     "armed cycle-long on the simulated network "
+                     "(default: the harness's 12% drop / 10% dup / "
+                     "10% reorder mix).");
   flags.DefineInt("merge_every", 0,
                   "Sharded-only: delta-merge learner state every N "
                   "completed rounds (0 = off).");
@@ -826,10 +835,7 @@ int ChaosMain(int argc, char** argv) {
   }
 
   const std::string& spec = flags.GetString("schedule");
-  auto schedule = fasea::NamedFaultSchedule(spec);
-  if (!schedule.ok() && spec.find('=') != std::string::npos) {
-    schedule = fasea::FaultSchedule::Parse(spec);  // Inline spec.
-  }
+  auto schedule = fasea::ResolveFaultSchedule(spec);
   if (!schedule.ok()) {
     std::fprintf(stderr, "fasea_cli chaos: %s\n",
                  schedule.status().ToString().c_str());
@@ -838,7 +844,7 @@ int ChaosMain(int argc, char** argv) {
 
   const int shards = static_cast<int>(flags.GetInt("shards"));
   if (shards > 0) {
-    auto kill_mode = fasea::ParseShardKillMode(flags.GetString("kill_mode"));
+    auto kill_mode = fasea::ParseKillMode(flags.GetString("kill_mode"));
     if (!kill_mode.ok()) {
       std::fprintf(stderr, "fasea_cli chaos: %s\n",
                    kill_mode.status().ToString().c_str());
@@ -852,6 +858,9 @@ int ChaosMain(int argc, char** argv) {
     options.cycles = static_cast<int>(flags.GetInt("cycles"));
     options.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
     options.merge_every = flags.GetInt("merge_every");
+    if (!flags.GetString("net_schedule").empty()) {
+      options.net_schedule = flags.GetString("net_schedule");
+    }
     options.wal_dir = flags.GetString("wal_dir");
     if (options.wal_dir.empty()) {
       options.wal_dir =
